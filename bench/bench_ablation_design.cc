@@ -1,0 +1,171 @@
+// Ablations for the design choices DESIGN.md calls out (not a paper figure):
+//   (a) BIGMIN jumps vs plain filtered Z-range scans in ZM window queries,
+//   (b) systematic (SP) vs random (RSP) sampling CDF fidelity across rates,
+//   (c) the paper's O(ns log n) KS scan vs the exact O(ns + n) merge,
+//   (d) full-Lloyd vs mini-batch k-means inside the CL method.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "common/cdf.h"
+#include "common/timer.h"
+#include "core/methods/sampling.h"
+#include "curve/zorder.h"
+#include "data/workload.h"
+#include "ml/kmeans.h"
+
+namespace elsi {
+namespace bench {
+namespace {
+
+void BigminAblation(const Dataset& data) {
+  std::printf("\n(a) ZM window queries: BIGMIN jumps vs plain Z-range scan\n\n");
+  const size_t n = data.size();
+  auto trainer = std::make_shared<DirectTrainer>(BenchModelConfig());
+  ZmIndex::Config with;
+  with.array.leaf_target = BenchScale(n).leaf_target;
+  ZmIndex::Config without = with;
+  without.use_bigmin = false;
+  ZmIndex bigmin(trainer, with);
+  ZmIndex plain(trainer, without);
+  bigmin.Build(data);
+  plain.Build(data);
+
+  Table table({"window size", "BIGMIN", "plain scan", "speedup"});
+  for (double frac : {0.0001, 0.0016, 0.01}) {
+    const auto windows =
+        SampleWindowQueries(data, 200, frac, BenchSeed() + 31);
+    const auto truths = WindowTruths(data, windows);
+    const double t_bigmin = MeasureWindowQuery(bigmin, windows, truths).first;
+    const double t_plain = MeasureWindowQuery(plain, windows, truths).first;
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.2f%%", frac * 100);
+    table.AddRow({label, FormatMicros(t_bigmin), FormatMicros(t_plain),
+                  FormatRatio(t_plain / std::max(t_bigmin, 1e-9))});
+  }
+  table.Print();
+}
+
+void SamplingAblation(const Dataset& data) {
+  std::printf("\n(b) SP vs RSP: KS distance of Ds to D across sampling rates\n\n");
+  const GridQuantizer quantizer(BoundingRect(data));
+  const std::function<double(const Point&)> key_fn =
+      [&quantizer](const Point& p) {
+        return static_cast<double>(
+            MortonEncode(quantizer.QuantizeX(p.x) >> 6,
+                         quantizer.QuantizeY(p.y) >> 6));
+      };
+  std::vector<Point> pts = data;
+  std::sort(pts.begin(), pts.end(),
+            [&key_fn](const Point& a, const Point& b) {
+              return key_fn(a) < key_fn(b);
+            });
+  std::vector<double> keys(pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) keys[i] = key_fn(pts[i]);
+  const BuildContext ctx{pts, keys, key_fn};
+
+  Table table({"rate", "dist(SP, D)", "dist(RSP, D)"});
+  for (double rho : {0.001, 0.005, 0.02}) {
+    SamplingConfig cfg;
+    cfg.rho = rho;
+    SystematicSampling sp(cfg);
+    RandomSampling rsp(cfg, BenchSeed());
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.3f", rho);
+    table.AddRow(
+        {label,
+         FormatRatio(KsDistanceFast(sp.ComputeTrainingSet(ctx), keys)),
+         FormatRatio(KsDistanceFast(rsp.ComputeTrainingSet(ctx), keys))});
+  }
+  table.Print();
+}
+
+void KsAblation(const Dataset& data) {
+  std::printf("\n(c) KS distance: paper's O(ns log n) scan vs exact merge\n\n");
+  const GridQuantizer quantizer(BoundingRect(data));
+  std::vector<double> keys(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    keys[i] = static_cast<double>(
+        MortonEncode(quantizer.QuantizeX(data[i].x) >> 6,
+                     quantizer.QuantizeY(data[i].y) >> 6));
+  }
+  std::sort(keys.begin(), keys.end());
+  Table table({"|Ds|", "fast value", "exact value", "fast time", "exact time"});
+  for (size_t ns : {256u, 1024u, 4096u}) {
+    std::vector<double> small;
+    const size_t stride = std::max<size_t>(1, keys.size() / ns);
+    for (size_t i = 1; i < keys.size(); i += stride) small.push_back(keys[i]);
+    Timer fast_timer;
+    double fast = 0.0;
+    for (int i = 0; i < 50; ++i) fast = KsDistanceFast(small, keys);
+    const double fast_seconds = fast_timer.ElapsedSeconds() / 50;
+    Timer exact_timer;
+    double exact = 0.0;
+    for (int i = 0; i < 50; ++i) exact = KsDistance(small, keys);
+    const double exact_seconds = exact_timer.ElapsedSeconds() / 50;
+    table.AddRow({std::to_string(small.size()), FormatRatio(fast),
+                  FormatRatio(exact), FormatSeconds(fast_seconds),
+                  FormatSeconds(exact_seconds)});
+  }
+  table.Print();
+}
+
+void KMeansAblation(const Dataset& data) {
+  std::printf("\n(d) CL's k-means: full Lloyd vs mini-batch (k = 100)\n\n");
+  Table table({"variant", "time", "mean dist to centroid"});
+  auto quality = [&](const KMeansResult& result) {
+    double total = 0.0;
+    for (const Point& p : data) {
+      double best = 1e18;
+      for (const Point& c : result.centroids) {
+        best = std::min(best, SquaredDistance(p, c));
+      }
+      total += std::sqrt(best);
+    }
+    return total / data.size();
+  };
+  {
+    KMeansOptions opts;
+    opts.max_iterations = 8;
+    Timer timer;
+    const auto result = KMeans(data, 100, opts);
+    const double seconds = timer.ElapsedSeconds();
+    table.AddRow({"full Lloyd", FormatSeconds(seconds),
+                  FormatRatio(quality(result))});
+  }
+  {
+    KMeansOptions opts;
+    opts.max_iterations = 20;
+    opts.batch_size = 4096;
+    Timer timer;
+    const auto result = KMeans(data, 100, opts);
+    const double seconds = timer.ElapsedSeconds();
+    table.AddRow({"mini-batch", FormatSeconds(seconds),
+                  FormatRatio(quality(result))});
+  }
+  table.Print();
+}
+
+void Run() {
+  PrintBanner("bench_ablation_design",
+              "design ablations (BIGMIN, SP vs RSP, KS fast vs exact, "
+              "k-means)");
+  const size_t n = BenchN();
+  const Dataset data = GenerateDataset(DatasetKind::kOsm1, n, BenchSeed());
+  BigminAblation(data);
+  SamplingAblation(data);
+  KsAblation(data);
+  KMeansAblation(data);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace elsi
+
+int main() {
+  elsi::bench::Run();
+  return 0;
+}

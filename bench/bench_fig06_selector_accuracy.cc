@@ -1,0 +1,102 @@
+// Reproduces Fig. 6: accuracy of the method selector.
+//  (a) vs the scorer-training cardinality cap u (paper: 10^4..10^8; here the
+//      scaled grid of the bench campaign).
+//  (b) vs lambda, comparing the FFN scorer with RFR/RFC/DTR/DTC baselines.
+// Accuracy = fraction of ground-truth data sets where the selector picks the
+// measured Eq. 2 argmin.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "core/method_selector.h"
+#include "core/scorer_trainer.h"
+
+namespace elsi {
+namespace bench {
+namespace {
+
+void RunPartA(const ScorerTrainingData& data) {
+  std::printf("\nFig. 6(a): selector accuracy vs training cardinality cap u\n");
+  std::printf("(scorer trained only on data sets with log10(n) <= u)\n\n");
+  // Distinct cardinality levels in the campaign.
+  std::vector<double> levels;
+  for (const ScorerDatasetGroup& g : data.groups) {
+    if (std::find(levels.begin(), levels.end(), g.log10_n) == levels.end()) {
+      levels.push_back(g.log10_n);
+    }
+  }
+  std::sort(levels.begin(), levels.end());
+
+  const double lambda = 0.8;
+  Table table({"u (log10 n cap)", "training sets", "accuracy", "accuracy (25% tol)"});
+  for (double u : levels) {
+    std::vector<ScorerSample> subset;
+    for (const ScorerSample& s : data.samples) {
+      if (s.log10_n <= u + 1e-9) subset.push_back(s);
+    }
+    auto scorer = std::make_shared<MethodScorer>();
+    scorer->Train(subset);
+    ScorerSelector selector(scorer, lambda, 1.0);
+    const double strict = SelectorAccuracy(&selector, data, lambda, 1.0);
+    const double tol = SelectorAccuracy(&selector, data, lambda, 1.0, 0.25);
+    table.AddRow({FormatRatio(u), std::to_string(subset.size()),
+                  FormatRatio(strict), FormatRatio(tol)});
+  }
+  table.Print();
+}
+
+void RunPartB(const ScorerTrainingData& data) {
+  std::printf("\nFig. 6(b): selector accuracy vs lambda, FFN vs RF/DT\n\n");
+  auto ffn_scorer = std::make_shared<MethodScorer>();
+  ffn_scorer->Train(data.samples);
+
+  Table table({"lambda", "FFN", "RFR", "RFC", "DTR", "DTC"});
+  for (double lambda = 0.1; lambda <= 1.001; lambda += 0.1) {
+    ScorerSelector ffn(ffn_scorer, lambda, 1.0);
+    TreeSelector rfr(TreeSelector::Model::kRandomForest,
+                     TreeSelector::Mode::kRegression, lambda, 1.0);
+    TreeSelector rfc(TreeSelector::Model::kRandomForest,
+                     TreeSelector::Mode::kClassification, lambda, 1.0);
+    TreeSelector dtr(TreeSelector::Model::kDecisionTree,
+                     TreeSelector::Mode::kRegression, lambda, 1.0);
+    TreeSelector dtc(TreeSelector::Model::kDecisionTree,
+                     TreeSelector::Mode::kClassification, lambda, 1.0);
+    rfr.Train(data.samples);
+    rfc.Train(data.samples);
+    dtr.Train(data.samples);
+    dtc.Train(data.samples);
+    const double tol = 0.25;  // Near-tie tolerance; see EXPERIMENTS.md.
+    table.AddRow({FormatRatio(lambda),
+                  FormatRatio(SelectorAccuracy(&ffn, data, lambda, 1.0, tol)),
+                  FormatRatio(SelectorAccuracy(&rfr, data, lambda, 1.0, tol)),
+                  FormatRatio(SelectorAccuracy(&rfc, data, lambda, 1.0, tol)),
+                  FormatRatio(SelectorAccuracy(&dtr, data, lambda, 1.0, tol)),
+                  FormatRatio(SelectorAccuracy(&dtc, data, lambda, 1.0, tol))});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper): FFN >= tree baselines, accuracy dips around\n"
+      "lambda ~0.6 where build and query costs weigh equally, and rises for\n"
+      "large lambda where the cheap-build methods separate clearly.\n");
+}
+
+void Run() {
+  PrintBanner("bench_fig06_selector_accuracy",
+              "Fig. 6(a)/(b) — method selector accuracy");
+  const ScorerTrainingData& data = GetBenchScorerData();
+  std::printf("ground truth: %zu data sets x %zu methods\n",
+              data.groups.size(),
+              data.groups.empty() ? 0 : data.groups.front().costs.size());
+  RunPartA(data);
+  RunPartB(data);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace elsi
+
+int main() {
+  elsi::bench::Run();
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Reproduces Fig. 7: build-time vs point-query-time Pareto fronts of the
+// index building methods (SP, RSP, CL, MR, RS, RL, OG) on OSM1-style data,
+// for each of the four base indices. Method parameters sweep along the
+// paper's axes (rho, C, eps, beta, eta).
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench_util.h"
+#include "data/workload.h"
+
+namespace elsi {
+namespace bench {
+namespace {
+
+struct MethodSetting {
+  BuildMethodId method;
+  std::string param;
+  BuildProcessorConfig config;
+};
+
+std::vector<MethodSetting> Settings(size_t n) {
+  const BuildProcessorConfig base = BenchProcessorConfig(n);
+  std::vector<MethodSetting> settings;
+  auto add = [&](BuildMethodId m, const std::string& param,
+                 const std::function<void(BuildProcessorConfig*)>& tweak) {
+    MethodSetting s{m, param, base};
+    tweak(&s.config);
+    s.config.enabled = {m};
+    settings.push_back(std::move(s));
+  };
+  for (double rho : {0.001, 0.005, 0.02}) {
+    add(BuildMethodId::kSP, "rho=" + std::to_string(rho),
+        [rho](BuildProcessorConfig* c) { c->sp.rho = rho; });
+    add(BuildMethodId::kRSP, "rho=" + std::to_string(rho),
+        [rho](BuildProcessorConfig* c) { c->rsp.rho = rho; });
+  }
+  for (size_t clusters : {50u, 100u, 400u}) {
+    add(BuildMethodId::kCL, "C=" + std::to_string(clusters),
+        [clusters](BuildProcessorConfig* c) { c->cl.clusters = clusters; });
+  }
+  for (double eps : {0.5, 0.3, 0.1}) {
+    add(BuildMethodId::kMR, "eps=" + std::to_string(eps),
+        [eps](BuildProcessorConfig* c) { c->mr.epsilon = eps; });
+  }
+  for (size_t denom : {25u, 100u, 400u}) {
+    const size_t beta = std::max<size_t>(16, n / denom);
+    add(BuildMethodId::kRS, "beta=" + std::to_string(beta),
+        [beta](BuildProcessorConfig* c) { c->rs.beta = beta; });
+  }
+  for (int eta : {8, 16, 24}) {
+    add(BuildMethodId::kRL, "eta=" + std::to_string(eta),
+        [eta](BuildProcessorConfig* c) { c->rl.eta = eta; });
+  }
+  add(BuildMethodId::kOG, "-", [](BuildProcessorConfig*) {});
+  return settings;
+}
+
+void Run() {
+  PrintBanner("bench_fig07_pareto",
+              "Fig. 7 — build methods Pareto (build vs point query), OSM1");
+  const size_t n = std::min<size_t>(BenchN(), FullMode() ? BenchN() : 30000);
+  const Dataset data = GenerateDataset(DatasetKind::kOsm1, n, BenchSeed());
+  const auto queries =
+      SamplePointQueries(data, std::min<size_t>(n, 4000), BenchSeed() + 1);
+
+  for (BaseIndexKind kind : kAllBaseIndexKinds) {
+    const auto enabled = DefaultEnabledMethods(BaseIndexKindName(kind));
+    std::printf("\n--- %s (n = %zu) ---\n", BaseIndexKindName(kind).c_str(),
+                n);
+    Table table({"method", "param", "build time", "point query"});
+    for (const MethodSetting& setting : Settings(n)) {
+      const bool applicable =
+          setting.method == BuildMethodId::kRSP ||
+          std::find(enabled.begin(), enabled.end(), setting.method) !=
+              enabled.end();
+      if (!applicable) {
+        table.AddRow({BuildMethodName(setting.method), setting.param, "NA",
+                      "NA"});
+        continue;
+      }
+      auto processor = std::make_shared<BuildProcessor>(
+          setting.config, std::make_shared<FixedSelector>(setting.method));
+      auto index = MakeBaseIndex(kind, processor, BenchScale(n));
+      const double build = MeasureBuildSeconds(index.get(), data);
+      const double query = MeasurePointQueryMicros(*index, queries);
+      table.AddRow({BuildMethodName(setting.method), setting.param,
+                    FormatSeconds(build), FormatMicros(query)});
+    }
+    table.Print();
+  }
+  std::printf(
+      "\nExpected shape (paper): build times rise with rho/C/(1-eps)/"
+      "(1/beta)/eta while query times fall; MR builds fastest, CL slowest;\n"
+      "RS and RL sit on the query-efficient end at much lower build cost\n"
+      "than CL; RSP trails SP in query time at equal rates.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace elsi
+
+int main() {
+  elsi::bench::Run();
+  return 0;
+}

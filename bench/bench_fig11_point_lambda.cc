@@ -1,0 +1,66 @@
+// Reproduces Fig. 11: point query time of the ELSI-based indices vs lambda
+// on OSM1 and TPC-H, with RR* and RSMI (no ELSI) as flat references.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "data/workload.h"
+
+namespace elsi {
+namespace bench {
+namespace {
+
+void RunDataset(DatasetKind kind, size_t n) {
+  const Dataset data = GenerateDataset(kind, n, BenchSeed());
+  const auto queries = SamplePointQueries(
+      data, std::min<size_t>(n, 10000), BenchSeed() + 3);
+  std::printf("\n--- %s ---\n", DatasetKindName(kind).c_str());
+
+  {
+    auto rstar = MakeTraditionalIndex("RR*");
+    rstar->Build(data);
+    auto bundle = MakeLearnedIndex({BaseIndexKind::kRSMI, false}, n, 0.8);
+    bundle.index->Build(data);
+    std::printf("reference: RR* %s, RSMI (no ELSI) %s\n",
+                FormatMicros(MeasurePointQueryMicros(*rstar, queries)).c_str(),
+                FormatMicros(
+                    MeasurePointQueryMicros(*bundle.index, queries)).c_str());
+  }
+
+  Table table({"lambda", "ML-F", "RSMI-F", "LISA-F"});
+  for (double lambda = 0.0; lambda <= 1.001; lambda += 0.2) {
+    std::vector<std::string> row = {FormatRatio(lambda)};
+    for (BaseIndexKind base :
+         {BaseIndexKind::kML, BaseIndexKind::kRSMI, BaseIndexKind::kLISA}) {
+      auto bundle = MakeLearnedIndex({base, true}, n, lambda);
+      bundle.index->Build(data);
+      row.push_back(
+          FormatMicros(MeasurePointQueryMicros(*bundle.index, queries)));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+}
+
+void Run() {
+  PrintBanner("bench_fig11_point_lambda",
+              "Fig. 11 — point query time vs lambda");
+  const size_t n = BenchN();
+  RunDataset(DatasetKind::kOsm1, n);
+  RunDataset(DatasetKind::kTpch, n);
+  std::printf(
+      "\nExpected shape (paper Fig. 11): query times grow slowly with\n"
+      "lambda (cheaper builds trade a little query efficiency); the curves\n"
+      "stay in the same band as RSMI without ELSI and RR*.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace elsi
+
+int main() {
+  elsi::bench::Run();
+  return 0;
+}

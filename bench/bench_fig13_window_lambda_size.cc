@@ -1,0 +1,96 @@
+// Reproduces Fig. 13: window query time (a) vs lambda and (b) vs window
+// size (0.0006%..0.16% of the space) on OSM1.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "data/workload.h"
+
+namespace elsi {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintBanner("bench_fig13_window_lambda_size",
+              "Fig. 13 — window query vs lambda and window size (OSM1)");
+  const size_t n = BenchN();
+  const size_t window_count = FullMode() ? 1000 : 300;
+  const Dataset data = GenerateDataset(DatasetKind::kOsm1, n, BenchSeed());
+
+  // (a) lambda sweep at the default window size.
+  {
+    const auto windows =
+        SampleWindowQueries(data, window_count, 0.0001, BenchSeed() + 11);
+    const auto truths = WindowTruths(data, windows);
+    auto rstar = MakeTraditionalIndex("RR*");
+    rstar->Build(data);
+    const auto rstar_result = MeasureWindowQuery(*rstar, windows, truths);
+    std::printf("\n(a) window query time vs lambda (0.01%% windows)\n");
+    std::printf("reference: RR* %s\n\n",
+                FormatMicros(rstar_result.first).c_str());
+    Table table({"lambda", "ML-F", "RSMI-F", "LISA-F"});
+    for (double lambda = 0.0; lambda <= 1.001; lambda += 0.2) {
+      std::vector<std::string> row = {FormatRatio(lambda)};
+      for (BaseIndexKind base :
+           {BaseIndexKind::kML, BaseIndexKind::kRSMI, BaseIndexKind::kLISA}) {
+        auto bundle = MakeLearnedIndex({base, true}, n, lambda);
+        bundle.index->Build(data);
+        row.push_back(FormatMicros(
+            MeasureWindowQuery(*bundle.index, windows, truths).first));
+      }
+      table.AddRow(row);
+    }
+    table.Print();
+  }
+
+  // (b) window size sweep at the default lambda.
+  {
+    std::printf("\n(b) window query time vs window size (lambda = 0.8)\n\n");
+    const double lambda = 0.8;
+    auto rstar = MakeTraditionalIndex("RR*");
+    rstar->Build(data);
+    auto rsmi_og = MakeLearnedIndex({BaseIndexKind::kRSMI, false}, n, lambda);
+    rsmi_og.index->Build(data);
+    std::vector<LearnedIndexBundle> bundles;
+    std::vector<std::string> labels = {"ML-F", "RSMI-F", "LISA-F"};
+    for (BaseIndexKind base :
+         {BaseIndexKind::kML, BaseIndexKind::kRSMI, BaseIndexKind::kLISA}) {
+      bundles.push_back(MakeLearnedIndex({base, true}, n, lambda));
+      bundles.back().index->Build(data);
+    }
+    Table table({"window size", "RR*", "RSMI", "ML-F", "RSMI-F", "LISA-F"});
+    for (double frac : {0.000006, 0.000025, 0.0001, 0.0004, 0.0016}) {
+      const auto windows =
+          SampleWindowQueries(data, window_count, frac, BenchSeed() + 13);
+      const auto truths = WindowTruths(data, windows);
+      std::vector<std::string> row;
+      char label[32];
+      std::snprintf(label, sizeof(label), "%.4f%%", frac * 100);
+      row.push_back(label);
+      row.push_back(
+          FormatMicros(MeasureWindowQuery(*rstar, windows, truths).first));
+      row.push_back(FormatMicros(
+          MeasureWindowQuery(*rsmi_og.index, windows, truths).first));
+      for (auto& bundle : bundles) {
+        row.push_back(FormatMicros(
+            MeasureWindowQuery(*bundle.index, windows, truths).first));
+      }
+      table.AddRow(row);
+    }
+    table.Print();
+  }
+  std::printf(
+      "\nExpected shape (paper Fig. 13): times grow with window size for\n"
+      "every index; the -F indices grow no faster than RR* or RSMI without\n"
+      "ELSI, and the lambda sweep moves them only slowly.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace elsi
+
+int main() {
+  elsi::bench::Run();
+  return 0;
+}

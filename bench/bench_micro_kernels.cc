@@ -1,0 +1,107 @@
+// Micro-benchmarks for the substrate kernels behind the Sec. VI cost terms:
+// curve encoding (data preparation), KS distance (method extras), and FFN
+// inference/training (T(n) and M(n)).
+
+#include <algorithm>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "common/cdf.h"
+#include "common/random.h"
+#include "curve/hilbert.h"
+#include "curve/zorder.h"
+#include "ml/ffn.h"
+
+namespace elsi {
+namespace {
+
+void BM_MortonEncode(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<uint32_t> xs(1024), ys(1024);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = static_cast<uint32_t>(rng.NextUint64());
+    ys[i] = static_cast<uint32_t>(rng.NextUint64());
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MortonEncode(xs[i & 1023], ys[i & 1023]));
+    ++i;
+  }
+}
+BENCHMARK(BM_MortonEncode);
+
+void BM_HilbertEncode(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<uint32_t> xs(1024), ys(1024);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = static_cast<uint32_t>(rng.NextUint64());
+    ys[i] = static_cast<uint32_t>(rng.NextUint64());
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HilbertEncode(xs[i & 1023], ys[i & 1023], 32));
+    ++i;
+  }
+}
+BENCHMARK(BM_HilbertEncode);
+
+void BM_KsDistanceFast(benchmark::State& state) {
+  const size_t ns = static_cast<size_t>(state.range(0));
+  const size_t n = 1 << 20;
+  Rng rng(3);
+  std::vector<double> small(ns), large(n);
+  for (double& v : small) v = rng.NextDouble();
+  for (double& v : large) v = rng.NextDouble();
+  std::sort(small.begin(), small.end());
+  std::sort(large.begin(), large.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KsDistanceFast(small, large));
+  }
+}
+BENCHMARK(BM_KsDistanceFast)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_KsDistanceExact(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(4);
+  std::vector<double> a(n), b(n);
+  for (double& v : a) v = rng.NextDouble();
+  for (double& v : b) v = rng.NextDouble();
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KsDistance(a, b));
+  }
+}
+BENCHMARK(BM_KsDistanceExact)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_FfnInference(benchmark::State& state) {
+  const Ffn net(1, {16}, 1, 5);
+  double x = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.Predict1({x}));
+    x += 1e-6;
+  }
+}
+BENCHMARK(BM_FfnInference);
+
+void BM_FfnTrainEpoch(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(6);
+  Matrix x(n, 1), y(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    x.At(i, 0) = rng.NextDouble();
+    y.At(i, 0) = x.At(i, 0);
+  }
+  Ffn net(1, {16}, 1, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.TrainStep(x, y, 0.01));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_FfnTrainEpoch)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+}  // namespace
+}  // namespace elsi
+
+BENCHMARK_MAIN();

@@ -1,0 +1,380 @@
+#include "bench_util.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "data/workload.h"
+#include "traditional/grid_index.h"
+#include "traditional/hrr_tree.h"
+#include "traditional/kdb_tree.h"
+#include "traditional/rstar_tree.h"
+
+namespace elsi {
+namespace bench {
+namespace {
+
+constexpr char kScorerCachePath[] = "elsi_scorer_cache.csv";
+constexpr char kRebuildCachePath[] = "elsi_rebuild_cache.csv";
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  const long long parsed = std::atoll(value);
+  return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
+}
+
+}  // namespace
+
+bool FullMode() {
+  const char* value = std::getenv("ELSI_BENCH_FULL");
+  return value != nullptr && value[0] == '1';
+}
+
+size_t BenchN() {
+  return EnvSize("ELSI_BENCH_N", FullMode() ? 500000 : 50000);
+}
+
+uint64_t BenchSeed() { return EnvSize("ELSI_BENCH_SEED", 42); }
+
+RankModelConfig BenchModelConfig() {
+  RankModelConfig cfg;
+  cfg.hidden = {16};
+  cfg.epochs = static_cast<int>(EnvSize("ELSI_BENCH_EPOCHS", 120));
+  cfg.learning_rate = 0.01;
+  cfg.seed = BenchSeed();
+  return cfg;
+}
+
+BuildProcessorConfig BenchProcessorConfig(size_t n) {
+  BuildProcessorConfig cfg;
+  cfg.model = BenchModelConfig();
+  cfg.seed = BenchSeed();
+  // Paper defaults are tuned for n = 1e8 (rho 1e-4, beta 1e4, C = 100,
+  // eta = 8, eps = 0.5); rho and beta are rescaled so |Ds| stays a small
+  // but trainable fraction of the bench cardinality.
+  cfg.sp.rho = 0.005;
+  cfg.rsp.rho = 0.005;
+  cfg.cl.clusters = 100;
+  cfg.rs.beta = std::max<size_t>(64, n / 100);
+  cfg.rl.eta = 8;
+  cfg.rl.max_steps = 300;
+  cfg.mr.epsilon = 0.5;
+  cfg.mr.synthetic_size = 1024;
+  return cfg;
+}
+
+BaseIndexScale BenchScale(size_t n) {
+  BaseIndexScale scale;
+  scale.leaf_target = std::max<size_t>(5000, n / 8);
+  return scale;
+}
+
+LearnedIndexBundle MakeLearnedIndex(const LearnedVariant& variant, size_t n,
+                                    double lambda,
+                                    std::shared_ptr<MethodSelector> selector) {
+  LearnedIndexBundle bundle;
+  if (!variant.with_elsi) {
+    bundle.index =
+        MakeBaseIndex(variant.kind,
+                      std::make_shared<DirectTrainer>(BenchModelConfig()),
+                      BenchScale(n));
+    return bundle;
+  }
+  if (selector == nullptr) {
+    selector = std::make_shared<ScorerSelector>(GetBenchScorer(), lambda, 1.0);
+  }
+  bundle.processor = MakeElsiProcessor(variant.kind, BenchProcessorConfig(n),
+                                       std::move(selector));
+  bundle.index = MakeBaseIndex(variant.kind, bundle.processor, BenchScale(n));
+  return bundle;
+}
+
+std::unique_ptr<SpatialIndex> MakeTraditionalIndex(const std::string& name) {
+  if (name == "Grid") return std::make_unique<GridIndex>();
+  if (name == "KDB") return std::make_unique<KdbTree>();
+  if (name == "HRR") return std::make_unique<HrrTree>();
+  if (name == "RR*") return std::make_unique<RStarTree>();
+  ELSI_CHECK(false) << "unknown traditional index " << name;
+  return nullptr;
+}
+
+namespace {
+
+bool LoadScorerCache(ScorerTrainingData* data) {
+  std::ifstream in(kScorerCachePath);
+  if (!in) return false;
+  std::map<std::pair<double, double>, ScorerDatasetGroup> groups;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    int method_id = 0;
+    ScorerSample s;
+    char c = 0;
+    if (!(ss >> method_id >> c >> s.log10_n >> c >> s.dissimilarity >> c >>
+          s.build_cost >> c >> s.query_cost)) {
+      return false;
+    }
+    s.method = static_cast<BuildMethodId>(method_id);
+    data->samples.push_back(s);
+    auto& group = groups[{s.log10_n, s.dissimilarity}];
+    group.log10_n = s.log10_n;
+    group.dissimilarity = s.dissimilarity;
+    group.costs[s.method] = {s.build_cost, s.query_cost};
+  }
+  for (auto& [key, group] : groups) data->groups.push_back(group);
+  return !data->samples.empty();
+}
+
+void SaveScorerCache(const ScorerTrainingData& data) {
+  std::ofstream out(kScorerCachePath);
+  for (const ScorerSample& s : data.samples) {
+    out << static_cast<int>(s.method) << ',' << s.log10_n << ','
+        << s.dissimilarity << ',' << s.build_cost << ',' << s.query_cost
+        << '\n';
+  }
+}
+
+const ScorerTrainingData& BenchScorerDataImpl() {
+  static ScorerTrainingData* data = [] {
+    auto* d = new ScorerTrainingData();
+    if (LoadScorerCache(d)) {
+      std::fprintf(stderr, "[bench] scorer ground truth loaded from %s\n",
+                   kScorerCachePath);
+      return d;
+    }
+    std::fprintf(stderr,
+                 "[bench] measuring scorer ground truth (one-off, cached in "
+                 "%s)...\n",
+                 kScorerCachePath);
+    ScorerTrainerConfig cfg;
+    cfg.log10_min = 3.0;
+    cfg.log10_max = 4.4;
+    cfg.cardinality_levels = 3;
+    cfg.dissimilarities = {0.0, 0.15, 0.3, 0.45, 0.6, 0.75, 0.9};
+    cfg.queries = 512;
+    cfg.processor = BenchProcessorConfig(25000);
+    cfg.seed = BenchSeed();
+    *d = GenerateScorerTrainingData(cfg);
+    SaveScorerCache(*d);
+    return d;
+  }();
+  return *data;
+}
+
+}  // namespace
+
+const ScorerTrainingData& GetBenchScorerData() { return BenchScorerDataImpl(); }
+
+std::shared_ptr<const MethodScorer> GetBenchScorer() {
+  static std::shared_ptr<const MethodScorer> scorer = [] {
+    auto s = std::make_shared<MethodScorer>();
+    s->Train(BenchScorerDataImpl().samples);
+    return std::shared_ptr<const MethodScorer>(s);
+  }();
+  return scorer;
+}
+
+namespace {
+
+bool LoadRebuildCache(std::vector<RebuildSample>* samples) {
+  std::ifstream in(kRebuildCachePath);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    RebuildSample s;
+    char c = 0;
+    if (!(ss >> s.features.log10_n >> c >> s.features.dissimilarity >> c >>
+          s.features.depth >> c >> s.features.update_ratio >> c >>
+          s.features.cdf_similarity >> c >> s.label)) {
+      return false;
+    }
+    samples->push_back(s);
+  }
+  return !samples->empty();
+}
+
+void SaveRebuildCache(const std::vector<RebuildSample>& samples) {
+  std::ofstream out(kRebuildCachePath);
+  for (const RebuildSample& s : samples) {
+    out << s.features.log10_n << ',' << s.features.dissimilarity << ','
+        << s.features.depth << ',' << s.features.update_ratio << ','
+        << s.features.cdf_similarity << ',' << s.label << '\n';
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<const RebuildPredictor> GetBenchRebuildPredictor() {
+  static std::shared_ptr<const RebuildPredictor> predictor = [] {
+    std::vector<RebuildSample> samples;
+    if (!LoadRebuildCache(&samples)) {
+      std::fprintf(stderr,
+                   "[bench] simulating rebuild ground truth (one-off, cached "
+                   "in %s)...\n",
+                   kRebuildCachePath);
+      RebuildTrainerConfig cfg;
+      cfg.base_n = 10000;
+      cfg.datasets = 4;
+      cfg.checkpoints = 7;
+      cfg.queries = 300;
+      cfg.seed = BenchSeed();
+      samples = GenerateRebuildTrainingData(cfg);
+      SaveRebuildCache(samples);
+    } else {
+      std::fprintf(stderr, "[bench] rebuild ground truth loaded from %s\n",
+                   kRebuildCachePath);
+    }
+    auto p = std::make_shared<RebuildPredictor>();
+    p->Train(samples);
+    return std::shared_ptr<const RebuildPredictor>(p);
+  }();
+  return predictor;
+}
+
+double MeasureBuildSeconds(SpatialIndex* index, const Dataset& data) {
+  Timer timer;
+  index->Build(data);
+  return timer.ElapsedSeconds();
+}
+
+double MeasurePointQueryMicros(const SpatialIndex& index,
+                               const std::vector<Point>& queries) {
+  Timer timer;
+  size_t found = 0;
+  for (const Point& q : queries) {
+    if (index.PointQuery(q)) ++found;
+  }
+  const double micros = timer.ElapsedMicros() / std::max<size_t>(1, queries.size());
+  if (found < queries.size() * 95 / 100) {
+    std::fprintf(stderr, "[bench] WARNING: %s found only %zu/%zu points\n",
+                 index.Name().c_str(), found, queries.size());
+  }
+  return micros;
+}
+
+std::vector<std::vector<Point>> WindowTruths(const Dataset& data,
+                                             const std::vector<Rect>& windows) {
+  std::vector<std::vector<Point>> truths;
+  truths.reserve(windows.size());
+  for (const Rect& w : windows) truths.push_back(BruteForceWindow(data, w));
+  return truths;
+}
+
+std::vector<std::vector<Point>> KnnTruths(const Dataset& data,
+                                          const std::vector<Point>& queries,
+                                          size_t k) {
+  std::vector<std::vector<Point>> truths;
+  truths.reserve(queries.size());
+  for (const Point& q : queries) truths.push_back(BruteForceKnn(data, q, k));
+  return truths;
+}
+
+std::pair<double, double> MeasureWindowQuery(
+    const SpatialIndex& index, const std::vector<Rect>& windows,
+    const std::vector<std::vector<Point>>& truths) {
+  Timer timer;
+  std::vector<std::vector<Point>> results;
+  results.reserve(windows.size());
+  for (const Rect& w : windows) results.push_back(index.WindowQuery(w));
+  const double micros =
+      timer.ElapsedMicros() / std::max<size_t>(1, windows.size());
+  double recall_sum = 0.0;
+  size_t counted = 0;
+  for (size_t i = 0; i < windows.size(); ++i) {
+    if (truths[i].empty()) continue;
+    recall_sum += Recall(results[i], truths[i]);
+    ++counted;
+  }
+  return {micros, counted > 0 ? recall_sum / counted : 1.0};
+}
+
+std::pair<double, double> MeasureKnnQuery(
+    const SpatialIndex& index, const std::vector<Point>& queries, size_t k,
+    const std::vector<std::vector<Point>>& truths) {
+  Timer timer;
+  std::vector<std::vector<Point>> results;
+  results.reserve(queries.size());
+  for (const Point& q : queries) results.push_back(index.KnnQuery(q, k));
+  const double micros =
+      timer.ElapsedMicros() / std::max<size_t>(1, queries.size());
+  double recall_sum = 0.0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    recall_sum += Recall(results[i], truths[i]);
+  }
+  return {micros, queries.empty() ? 1.0 : recall_sum / queries.size()};
+}
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {}
+
+void Table::AddRow(const std::vector<std::string>& cells) {
+  ELSI_CHECK_EQ(cells.size(), columns_.size());
+  rows_.push_back(cells);
+}
+
+void Table::Print() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    std::printf("|");
+    for (size_t c = 0; c < cells.size(); ++c) {
+      std::printf(" %-*s |", static_cast<int>(widths[c]), cells[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(columns_);
+  std::printf("|");
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    std::printf("%s|", std::string(widths[c] + 2, '-').c_str());
+  }
+  std::printf("\n");
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[32];
+  if (seconds < 0.001) {
+    std::snprintf(buf, sizeof(buf), "%.0f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  }
+  return buf;
+}
+
+std::string FormatMicros(double micros) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f us", micros);
+  return buf;
+}
+
+std::string FormatRatio(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  return buf;
+}
+
+void PrintBanner(const std::string& name, const std::string& paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s — reproduces %s\n", name.c_str(), paper_ref.c_str());
+  std::printf("n = %zu, seed = %llu%s (ELSI_BENCH_N / ELSI_BENCH_FULL=1 to scale)\n",
+              BenchN(), static_cast<unsigned long long>(BenchSeed()),
+              FullMode() ? ", FULL mode" : "");
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench
+}  // namespace elsi

@@ -1,0 +1,121 @@
+#ifndef ELSI_BENCH_BENCH_UTIL_H_
+#define ELSI_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/spatial_index.h"
+#include "core/elsi.h"
+#include "data/synthetic.h"
+
+namespace elsi {
+namespace bench {
+
+/// Data-set cardinality for figure benches. Defaults to 50,000 (the paper
+/// runs 1e8-point GPU jobs; see EXPERIMENTS.md). Override with ELSI_BENCH_N;
+/// ELSI_BENCH_FULL=1 raises it to 500,000.
+size_t BenchN();
+
+/// Whether ELSI_BENCH_FULL=1 is set (larger sweeps).
+bool FullMode();
+
+/// Global deterministic bench seed (override with ELSI_BENCH_SEED).
+uint64_t BenchSeed();
+
+/// FFN settings used by every learned index in the benches (the paper's
+/// 500-epoch GPU setting scaled for CPU; override epochs with
+/// ELSI_BENCH_EPOCHS).
+RankModelConfig BenchModelConfig();
+
+/// Method parameters scaled so |Ds|/n ratios match the paper's defaults at
+/// bench cardinality (rho, C, eps, beta, eta; Sec. VII-D).
+BuildProcessorConfig BenchProcessorConfig(size_t n);
+
+/// Structural scale for the learned indices at cardinality n.
+BaseIndexScale BenchScale(size_t n);
+
+/// Names the learned-index variant rows used across the figures.
+struct LearnedVariant {
+  BaseIndexKind kind;
+  bool with_elsi;  // "-F" suffix when true.
+  std::string Label() const {
+    return BaseIndexKindName(kind) + (with_elsi ? "-F" : "");
+  }
+};
+
+/// Builds a learned index (OG or ELSI-driven). When `with_elsi`, the given
+/// selector drives the build processor (pass null to get the ScorerSelector
+/// trained by GetBenchScorer with the given lambda).
+struct LearnedIndexBundle {
+  std::unique_ptr<SpatialIndex> index;
+  std::shared_ptr<BuildProcessor> processor;  // Null for OG.
+};
+LearnedIndexBundle MakeLearnedIndex(const LearnedVariant& variant, size_t n,
+                                    double lambda,
+                                    std::shared_ptr<MethodSelector> selector =
+                                        nullptr);
+
+/// The four traditional competitors by name ("Grid", "KDB", "HRR", "RR*").
+std::unique_ptr<SpatialIndex> MakeTraditionalIndex(const std::string& name);
+
+/// A method scorer trained on a measured campaign, cached across bench
+/// binaries in ./elsi_scorer_cache.csv (delete the file to re-measure).
+std::shared_ptr<const MethodScorer> GetBenchScorer();
+
+/// The cached measurement campaign itself (Fig. 6 needs the raw groups).
+const ScorerTrainingData& GetBenchScorerData();
+
+/// A rebuild predictor trained on the simulated update campaign, cached in
+/// ./elsi_rebuild_cache.csv.
+std::shared_ptr<const RebuildPredictor> GetBenchRebuildPredictor();
+
+// --- timing helpers -------------------------------------------------------
+
+double MeasureBuildSeconds(SpatialIndex* index, const Dataset& data);
+double MeasurePointQueryMicros(const SpatialIndex& index,
+                               const std::vector<Point>& queries);
+
+/// Ground truths computed once per (data set, workload) and shared across
+/// the indices of a figure.
+std::vector<std::vector<Point>> WindowTruths(const Dataset& data,
+                                             const std::vector<Rect>& windows);
+std::vector<std::vector<Point>> KnnTruths(const Dataset& data,
+                                          const std::vector<Point>& queries,
+                                          size_t k);
+
+/// Returns (avg micros, avg recall) over the window workload.
+std::pair<double, double> MeasureWindowQuery(
+    const SpatialIndex& index, const std::vector<Rect>& windows,
+    const std::vector<std::vector<Point>>& truths);
+std::pair<double, double> MeasureKnnQuery(
+    const SpatialIndex& index, const std::vector<Point>& queries, size_t k,
+    const std::vector<std::vector<Point>>& truths);
+
+// --- table printing -------------------------------------------------------
+
+/// Prints "| a | b | ... |" rows with a header rule, markdown style.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+  void AddRow(const std::vector<std::string>& cells);
+  void Print() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string FormatSeconds(double seconds);
+std::string FormatMicros(double micros);
+std::string FormatRatio(double value);
+
+/// Prints the standard bench banner (binary name, n, seed, mode).
+void PrintBanner(const std::string& name, const std::string& paper_ref);
+
+}  // namespace bench
+}  // namespace elsi
+
+#endif  // ELSI_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,67 @@
+// Quickstart: build a learned spatial index with ELSI and query it.
+//
+// This walks the core API end to end:
+//   1. generate (or load) a point data set,
+//   2. assemble an ELSI build processor (method pool + selector),
+//   3. build a base index (ZM here) through it,
+//   4. run point, window, and kNN queries.
+
+#include <cstdio>
+
+#include "common/timer.h"
+#include "core/elsi.h"
+#include "data/synthetic.h"
+#include "data/workload.h"
+
+int main() {
+  using namespace elsi;
+
+  // 1. A clustered data set in the unit square (OpenStreetMap-like).
+  const Dataset data = GenerateDataset(DatasetKind::kOsm1, 100000, /*seed=*/1);
+  std::printf("data: %zu points\n", data.size());
+
+  // 2. ELSI: the representative-set (RS) build method with default model
+  //    settings. Swap FixedSelector for a trained ScorerSelector to let
+  //    ELSI choose the method per model (see examples/selector_tour.cpp).
+  BuildProcessorConfig config;
+  config.model.hidden = {16};
+  config.model.epochs = 150;
+  config.rs.beta = 1000;  // Quadtree cells of <= 1000 points.
+  auto processor = MakeElsiProcessor(
+      BaseIndexKind::kZM, config,
+      std::make_shared<FixedSelector>(BuildMethodId::kRS));
+
+  // 3. Build the ZM index through ELSI.
+  auto index = MakeBaseIndex(BaseIndexKind::kZM, processor);
+  Timer build_timer;
+  index->Build(data);
+  std::printf("built %s through ELSI in %.2f s (%zu model(s) trained)\n",
+              index->Name().c_str(), build_timer.ElapsedSeconds(),
+              processor->records().size());
+  for (const BuildCallRecord& r : processor->records()) {
+    std::printf("  model over %zu points: method=%s |Ds|=%zu train=%.0f ms\n",
+                r.n, BuildMethodName(r.method).c_str(), r.training_size,
+                r.train_seconds * 1e3);
+  }
+
+  // 4a. Point query: find a stored point by its coordinates.
+  Point hit;
+  if (index->PointQuery(data[12345], &hit)) {
+    std::printf("point query hit: id=%llu at (%.4f, %.4f)\n",
+                static_cast<unsigned long long>(hit.id), hit.x, hit.y);
+  }
+
+  // 4b. Window query: everything in a small rectangle.
+  const Rect window = Rect::Of(0.40, 0.40, 0.42, 0.42);
+  const auto in_window = index->WindowQuery(window);
+  std::printf("window query [0.40,0.42]^2: %zu points\n", in_window.size());
+
+  // 4c. kNN: the 5 nearest neighbours of the data set's first point.
+  const auto knn = index->KnnQuery(data[0], 5);
+  std::printf("5 nearest neighbours of point 0:\n");
+  for (const Point& p : knn) {
+    std::printf("  id=%llu dist=%.5f\n",
+                static_cast<unsigned long long>(p.id), Distance(p, data[0]));
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// The method selector end to end: measure a small ground-truth campaign
+// (build + query costs of every method across cardinalities and skews),
+// train the FFN method scorer on it, and show which method ELSI picks for
+// different data sets as the build/query preference lambda varies (Eq. 2).
+
+#include <cstdio>
+
+#include "core/elsi.h"
+#include "data/synthetic.h"
+
+int main() {
+  using namespace elsi;
+
+  std::printf("measuring the scorer's ground truth (a few dozen builds)...\n");
+  ScorerTrainerConfig cfg;
+  cfg.log10_min = 3.0;
+  cfg.log10_max = 4.0;
+  cfg.cardinality_levels = 3;
+  cfg.dissimilarities = {0.0, 0.3, 0.6, 0.9};
+  cfg.queries = 256;
+  cfg.processor.model.epochs = 80;
+  cfg.processor.rl.max_steps = 120;
+  const ScorerTrainingData data = GenerateScorerTrainingData(cfg);
+  std::printf("campaign: %zu data sets x %zu methods\n\n", data.groups.size(),
+              data.groups.front().costs.size());
+
+  auto scorer = std::make_shared<MethodScorer>();
+  scorer->Train(data.samples);
+
+  const std::vector<BuildMethodId> pool(std::begin(kSelectorPool),
+                                        std::end(kSelectorPool));
+  std::printf("%-22s", "data set (n, dissim)");
+  for (double lambda : {0.0, 0.4, 0.8, 1.0}) {
+    std::printf("  lambda=%.1f", lambda);
+  }
+  std::printf("\n");
+  for (const ScorerDatasetGroup& group : data.groups) {
+    std::printf("n=10^%.1f  d=%.2f      ", group.log10_n,
+                group.dissimilarity);
+    for (double lambda : {0.0, 0.4, 0.8, 1.0}) {
+      ScorerSelector selector(scorer, lambda, /*w_q=*/1.0);
+      const BuildMethodId chosen =
+          selector.Choose(pool, group.log10_n, group.dissimilarity);
+      std::printf("  %-10s", BuildMethodName(chosen).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nlambda weighs build cost vs query cost (Eq. 2): small lambda\n"
+      "favours query-optimised methods (RS/RL/OG), large lambda favours\n"
+      "build-cheap ones (MR/SP). Accuracy against the measured argmin:\n");
+  for (double lambda : {0.2, 0.5, 0.8}) {
+    ScorerSelector selector(scorer, lambda, 1.0);
+    std::printf("  lambda=%.1f: strict %.2f, within-25%% %.2f\n", lambda,
+                SelectorAccuracy(&selector, data, lambda, 1.0),
+                SelectorAccuracy(&selector, data, lambda, 1.0, 0.25));
+  }
+  return 0;
+}

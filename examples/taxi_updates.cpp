@@ -1,0 +1,71 @@
+// A taxi-style update workload: build a LISA index on NYC-like pickups,
+// stream in skewed insertions (an event in one neighbourhood), and let
+// ELSI's update processor decide when to rebuild. Mirrors the Fig. 15/16
+// experiments at example scale.
+
+#include <cstdio>
+
+#include "common/timer.h"
+#include "common/random.h"
+#include "core/elsi.h"
+#include "data/synthetic.h"
+#include "data/workload.h"
+
+int main() {
+  using namespace elsi;
+
+  const size_t base_n = 40000;
+  const Dataset base = GenerateDataset(DatasetKind::kNyc, base_n, /*seed=*/3);
+
+  // LISA admits SP/MR/RS/OG (its grid depends on D, so CL/RL are out).
+  BuildProcessorConfig config;
+  config.model.epochs = 120;
+  auto processor = MakeElsiProcessor(
+      BaseIndexKind::kLISA, config,
+      std::make_shared<FixedSelector>(BuildMethodId::kSP));
+  auto index = MakeBaseIndex(BaseIndexKind::kLISA, processor);
+
+  // Train a rebuild predictor on simulated aging workloads (one-off; the
+  // benches cache this, see bench/bench_util.cc).
+  std::printf("training the rebuild predictor on simulated workloads...\n");
+  RebuildTrainerConfig trainer_cfg;
+  trainer_cfg.base_n = 8000;
+  trainer_cfg.datasets = 3;
+  trainer_cfg.checkpoints = 7;
+  trainer_cfg.queries = 200;
+  RebuildPredictor predictor;
+  predictor.Train(GenerateRebuildTrainingData(trainer_cfg));
+
+  UpdateProcessorConfig ucfg;
+  ucfg.f_u = 2048;  // Consult the predictor every 2048 updates.
+  UpdateProcessor updates(index.get(), &predictor, ucfg);
+  updates.Build(base);
+  std::printf("built %s on %zu pickups, %zu shards\n\n",
+              index->Name().c_str(), index->size(),
+              static_cast<LisaIndex*>(index.get())->shard_count());
+
+  // Stream skewed insertions: a surge concentrated in one corner.
+  Rng rng(11);
+  size_t next_id = base_n;
+  for (int burst = 1; burst <= 8; ++burst) {
+    Timer timer;
+    for (int i = 0; i < 10000; ++i) {
+      updates.Insert(Point{0.10 + 0.05 * rng.NextDouble(),
+                           0.70 + 0.05 * rng.NextDouble(), next_id++});
+    }
+    const auto queries = SamplePointQueries(index->CollectAll(), 2000,
+                                            1000 + burst);
+    Timer query_timer;
+    for (const Point& q : queries) index->PointQuery(q);
+    std::printf(
+        "burst %d: +10000 pickups in %.0f ms | sim(D',D)=%.3f | "
+        "point query %.2f us | rebuilds so far: %zu\n",
+        burst, timer.ElapsedSeconds() * 1e3, updates.CurrentSimilarity(),
+        query_timer.ElapsedMicros() / queries.size(),
+        updates.rebuild_count());
+  }
+
+  std::printf("\nfinal index: %zu points, %zu rebuild(s) triggered\n",
+              index->size(), updates.rebuild_count());
+  return 0;
+}

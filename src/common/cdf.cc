@@ -1,0 +1,98 @@
+#include "common/cdf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace elsi {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> sorted_keys)
+    : keys_(std::move(sorted_keys)) {
+  ELSI_DCHECK(std::is_sorted(keys_.begin(), keys_.end()));
+}
+
+double EmpiricalCdf::Evaluate(double x) const {
+  if (keys_.empty()) return 0.0;
+  const auto it = std::upper_bound(keys_.begin(), keys_.end(), x);
+  return static_cast<double>(it - keys_.begin()) / keys_.size();
+}
+
+size_t EmpiricalCdf::LowerRank(double x) const {
+  const auto it = std::lower_bound(keys_.begin(), keys_.end(), x);
+  return static_cast<size_t>(it - keys_.begin());
+}
+
+double KsDistance(const std::vector<double>& sorted_a,
+                  const std::vector<double>& sorted_b) {
+  ELSI_CHECK(!sorted_a.empty() && !sorted_b.empty())
+      << "KS distance requires non-empty sets";
+  ELSI_DCHECK(std::is_sorted(sorted_a.begin(), sorted_a.end()));
+  ELSI_DCHECK(std::is_sorted(sorted_b.begin(), sorted_b.end()));
+  const double na = static_cast<double>(sorted_a.size());
+  const double nb = static_cast<double>(sorted_b.size());
+  size_t i = 0;
+  size_t j = 0;
+  double max_gap = 0.0;
+  while (i < sorted_a.size() && j < sorted_b.size()) {
+    const double v = std::min(sorted_a[i], sorted_b[j]);
+    // Consume every occurrence of the jump value from both sides before
+    // evaluating the gap, so ties do not inflate the statistic.
+    while (i < sorted_a.size() && sorted_a[i] == v) ++i;
+    while (j < sorted_b.size() && sorted_b[j] == v) ++j;
+    max_gap = std::max(max_gap, std::fabs(i / na - j / nb));
+  }
+  // Once one side is exhausted its CDF stays at 1; the other side's remaining
+  // jumps only shrink the gap, so no further scan is needed.
+  return max_gap;
+}
+
+double KsDistanceFast(const std::vector<double>& sorted_small,
+                      const std::vector<double>& sorted_large) {
+  ELSI_CHECK(!sorted_small.empty() && !sorted_large.empty())
+      << "KS distance requires non-empty sets";
+  ELSI_DCHECK(std::is_sorted(sorted_small.begin(), sorted_small.end()));
+  ELSI_DCHECK(std::is_sorted(sorted_large.begin(), sorted_large.end()));
+  const double ns = static_cast<double>(sorted_small.size());
+  const double n = static_cast<double>(sorted_large.size());
+  double max_gap = 0.0;
+  for (size_t i = 0; i < sorted_small.size(); ++i) {
+    const double key = sorted_small[i];
+    // Rank of the first large element >= key (count of elements < key).
+    const auto lo =
+        std::lower_bound(sorted_large.begin(), sorted_large.end(), key);
+    const auto hi = std::upper_bound(lo, sorted_large.end(), key);
+    const double rank_before = static_cast<double>(lo - sorted_large.begin());
+    const double rank_after = static_cast<double>(hi - sorted_large.begin());
+    // Small-set CDF just before and at this jump point.
+    const double cdf_s_before = i / ns;
+    const double cdf_s_at = (i + 1) / ns;
+    max_gap = std::max(max_gap, std::fabs(cdf_s_before - rank_before / n));
+    max_gap = std::max(max_gap, std::fabs(cdf_s_at - rank_after / n));
+  }
+  return max_gap;
+}
+
+double UniformDissimilarity(const std::vector<double>& sorted_keys) {
+  ELSI_DCHECK(std::is_sorted(sorted_keys.begin(), sorted_keys.end()));
+  if (sorted_keys.size() < 2) return 0.0;
+  const double lo = sorted_keys.front();
+  const double hi = sorted_keys.back();
+  if (hi <= lo) return 0.0;
+  const double n = static_cast<double>(sorted_keys.size());
+  double max_gap = 0.0;
+  for (size_t i = 0; i < sorted_keys.size(); ++i) {
+    const double u = (sorted_keys[i] - lo) / (hi - lo);
+    // One-sample KS: the ECDF jumps from i/n to (i+1)/n at sorted_keys[i].
+    max_gap = std::max(max_gap, std::fabs((i + 1) / n - u));
+    max_gap = std::max(max_gap, std::fabs(u - i / n));
+  }
+  return max_gap;
+}
+
+double Similarity(const std::vector<double>& sorted_a,
+                  const std::vector<double>& sorted_b) {
+  return 1.0 - KsDistance(sorted_a, sorted_b);
+}
+
+}  // namespace elsi

@@ -1,0 +1,57 @@
+#ifndef ELSI_COMMON_CDF_H_
+#define ELSI_COMMON_CDF_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace elsi {
+
+/// Empirical cumulative distribution function over a sorted key set. This is
+/// the object a learned index model approximates (Sec. III of the paper).
+class EmpiricalCdf {
+ public:
+  /// `sorted_keys` must be ascending; violations are checked in debug builds.
+  explicit EmpiricalCdf(std::vector<double> sorted_keys);
+
+  /// Fraction of keys <= x, in [0, 1].
+  double Evaluate(double x) const;
+
+  /// Number of keys < x (the 0-based rank of the first key >= x).
+  size_t LowerRank(double x) const;
+
+  size_t size() const { return keys_.size(); }
+  const std::vector<double>& keys() const { return keys_; }
+
+ private:
+  std::vector<double> keys_;
+};
+
+/// Exact two-sample Kolmogorov–Smirnov distance between the ECDFs of two
+/// ascending-sorted key sets: sup_x |cdf_a(x) - cdf_b(x)|. O(|a| + |b|) merge
+/// scan. This is `dist(a, b)` of Definition 2 (the paper's similarity is
+/// 1 - this value).
+double KsDistance(const std::vector<double>& sorted_a,
+                  const std::vector<double>& sorted_b);
+
+/// The paper's O(ns log n) variant (Sec. III): scans only the small set and
+/// binary-searches each element's rank in the large set. We evaluate the gap
+/// on both sides of each jump, so the result equals the exact statistic
+/// restricted to the jump points of `sorted_small` — an upper-tight
+/// approximation of KsDistance that never needs to scan `sorted_large`.
+double KsDistanceFast(const std::vector<double>& sorted_small,
+                      const std::vector<double>& sorted_large);
+
+/// dist(Du, D): KS distance between the ECDF of `sorted_keys` and the CDF of
+/// the uniform distribution over [keys.front(), keys.back()]. This is the
+/// "distribution" feature the method scorer and rebuild predictor consume
+/// (Sec. IV-B). Uses the analytic uniform CDF (the |Du| -> inf limit), which
+/// makes the feature deterministic. Returns 0 for sets with < 2 distinct keys.
+double UniformDissimilarity(const std::vector<double>& sorted_keys);
+
+/// sim(a, b) = 1 - dist(a, b) over sorted key sets (Definition 2).
+double Similarity(const std::vector<double>& sorted_a,
+                  const std::vector<double>& sorted_b);
+
+}  // namespace elsi
+
+#endif  // ELSI_COMMON_CDF_H_

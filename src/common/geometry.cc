@@ -1,0 +1,52 @@
+#include "common/geometry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace elsi {
+
+double SquaredDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+double Distance(const Point& a, const Point& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+void Rect::Extend(const Point& p) {
+  lo_x = std::min(lo_x, p.x);
+  lo_y = std::min(lo_y, p.y);
+  hi_x = std::max(hi_x, p.x);
+  hi_y = std::max(hi_y, p.y);
+}
+
+void Rect::Extend(const Rect& r) {
+  if (r.empty()) return;
+  lo_x = std::min(lo_x, r.lo_x);
+  lo_y = std::min(lo_y, r.lo_y);
+  hi_x = std::max(hi_x, r.hi_x);
+  hi_y = std::max(hi_y, r.hi_y);
+}
+
+double Rect::IntersectionArea(const Rect& r) const {
+  const double w = std::min(hi_x, r.hi_x) - std::max(lo_x, r.lo_x);
+  const double h = std::min(hi_y, r.hi_y) - std::max(lo_y, r.lo_y);
+  if (w <= 0.0 || h <= 0.0) return 0.0;
+  return w * h;
+}
+
+double Rect::MinSquaredDistance(const Point& p) const {
+  const double dx = std::max({lo_x - p.x, 0.0, p.x - hi_x});
+  const double dy = std::max({lo_y - p.y, 0.0, p.y - hi_y});
+  return dx * dx + dy * dy;
+}
+
+Rect BoundingRect(const std::vector<Point>& points) {
+  Rect r;
+  for (const Point& p : points) r.Extend(p);
+  return r;
+}
+
+}  // namespace elsi

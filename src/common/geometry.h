@@ -1,0 +1,82 @@
+#ifndef ELSI_COMMON_GEOMETRY_H_
+#define ELSI_COMMON_GEOMETRY_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace elsi {
+
+/// A 2-D point with a stable identifier. The evaluation of the paper is
+/// entirely 2-dimensional; the library fixes d = 2 (see DESIGN.md).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+  uint64_t id = 0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y && a.id == b.id;
+  }
+};
+
+/// Squared Euclidean distance between two points.
+double SquaredDistance(const Point& a, const Point& b);
+
+/// Euclidean distance between two points.
+double Distance(const Point& a, const Point& b);
+
+/// An axis-aligned rectangle [lo_x, hi_x] x [lo_y, hi_y] (closed on all
+/// sides). Default-constructed rectangles are *empty* (inverted bounds) so
+/// they behave as the identity for Extend().
+struct Rect {
+  double lo_x = std::numeric_limits<double>::infinity();
+  double lo_y = std::numeric_limits<double>::infinity();
+  double hi_x = -std::numeric_limits<double>::infinity();
+  double hi_y = -std::numeric_limits<double>::infinity();
+
+  static Rect Of(double lx, double ly, double hx, double hy) {
+    return Rect{lx, ly, hx, hy};
+  }
+
+  bool empty() const { return lo_x > hi_x || lo_y > hi_y; }
+
+  bool Contains(const Point& p) const {
+    return p.x >= lo_x && p.x <= hi_x && p.y >= lo_y && p.y <= hi_y;
+  }
+
+  bool Contains(const Rect& r) const {
+    return r.lo_x >= lo_x && r.hi_x <= hi_x && r.lo_y >= lo_y && r.hi_y <= hi_y;
+  }
+
+  bool Intersects(const Rect& r) const {
+    return !(r.lo_x > hi_x || r.hi_x < lo_x || r.lo_y > hi_y || r.hi_y < lo_y);
+  }
+
+  /// Grows this rectangle to cover `p`.
+  void Extend(const Point& p);
+
+  /// Grows this rectangle to cover `r`.
+  void Extend(const Rect& r);
+
+  double Area() const { return empty() ? 0.0 : (hi_x - lo_x) * (hi_y - lo_y); }
+
+  double Perimeter() const {
+    return empty() ? 0.0 : 2.0 * ((hi_x - lo_x) + (hi_y - lo_y));
+  }
+
+  /// Area of the intersection with `r` (0 when disjoint).
+  double IntersectionArea(const Rect& r) const;
+
+  /// Squared distance from `p` to the closest location inside the rectangle
+  /// (0 when the point is inside). Used for kNN branch-and-bound.
+  double MinSquaredDistance(const Point& p) const;
+
+  Point Center() const { return Point{(lo_x + hi_x) / 2, (lo_y + hi_y) / 2, 0}; }
+};
+
+/// Minimum bounding rectangle of a point set (empty Rect for no points).
+Rect BoundingRect(const std::vector<Point>& points);
+
+}  // namespace elsi
+
+#endif  // ELSI_COMMON_GEOMETRY_H_

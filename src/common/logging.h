@@ -1,0 +1,57 @@
+#ifndef ELSI_COMMON_LOGGING_H_
+#define ELSI_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace elsi {
+namespace internal_logging {
+
+/// Accumulates a message and aborts the process when destroyed. Used by the
+/// ELSI_CHECK family below; never instantiate directly.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << " CHECK failed: " << condition << " ";
+  }
+
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  [[noreturn]] ~FatalMessage() {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    std::abort();
+  }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace elsi
+
+/// Aborts with a message when `condition` is false. Streams extra context:
+///   ELSI_CHECK(n > 0) << "dataset must be non-empty, got " << n;
+#define ELSI_CHECK(condition)                                               \
+  if (!(condition))                                                         \
+  ::elsi::internal_logging::FatalMessage(__FILE__, __LINE__, #condition)    \
+      .stream()
+
+#define ELSI_CHECK_EQ(a, b) ELSI_CHECK((a) == (b))
+#define ELSI_CHECK_NE(a, b) ELSI_CHECK((a) != (b))
+#define ELSI_CHECK_LT(a, b) ELSI_CHECK((a) < (b))
+#define ELSI_CHECK_LE(a, b) ELSI_CHECK((a) <= (b))
+#define ELSI_CHECK_GT(a, b) ELSI_CHECK((a) > (b))
+#define ELSI_CHECK_GE(a, b) ELSI_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define ELSI_DCHECK(condition) ELSI_CHECK(true || (condition))
+#else
+#define ELSI_DCHECK(condition) ELSI_CHECK(condition)
+#endif
+
+#endif  // ELSI_COMMON_LOGGING_H_

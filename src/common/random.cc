@@ -1,0 +1,68 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace elsi {
+namespace {
+
+uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.Next();
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = RotL(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = RotL(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  ELSI_CHECK_GT(bound, 0u);
+  // Rejection sampling over the largest multiple of bound.
+  const uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDouble(double lo, double hi) {
+  ELSI_CHECK_LE(lo, hi);
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = NextDouble();
+  while (u1 <= 1e-300) u1 = NextDouble();
+  const double u2 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+bool Rng::NextBernoulli(double p) { return NextDouble() < p; }
+
+}  // namespace elsi

@@ -1,0 +1,58 @@
+#ifndef ELSI_COMMON_RANDOM_H_
+#define ELSI_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace elsi {
+
+/// SplitMix64: fast, high-quality 64-bit generator used to seed Xoshiro and
+/// for lightweight hashing. Reference: Steele, Lea & Flood (2014).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Xoshiro256** — the repository-wide deterministic RNG. All modules take a
+/// seed (never an engine reference) so runs are reproducible and components
+/// cannot perturb each other's streams.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42);
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform integer in [0, bound) with rejection to avoid modulo bias.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Standard normal via Box–Muller (cached second deviate).
+  double NextGaussian();
+
+  /// Bernoulli trial with success probability p.
+  bool NextBernoulli(double p);
+
+ private:
+  uint64_t s_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace elsi
+
+#endif  // ELSI_COMMON_RANDOM_H_

@@ -1,0 +1,68 @@
+#ifndef ELSI_COMMON_SPATIAL_INDEX_H_
+#define ELSI_COMMON_SPATIAL_INDEX_H_
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace elsi {
+
+/// Common interface implemented by every index in the repository — the four
+/// traditional competitors (Grid, KDB, HRR, RR*) and the four learned base
+/// indices (ZM, ML, RSMI, LISA) — so the benchmark harness can drive them
+/// uniformly.
+///
+/// Query semantics:
+///  * PointQuery finds a stored point with exactly the query's coordinates
+///    (the paper's point queries probe indexed points).
+///  * WindowQuery returns points inside the closed rectangle. Learned
+///    indices may return approximate results (RSMI by design; LISA when its
+///    shard predictor is an FFN) — recall is measured by the harness.
+///  * KnnQuery returns the k nearest points by Euclidean distance; learned
+///    indices answer it via expanding window queries, so it may also be
+///    approximate.
+class SpatialIndex {
+ public:
+  virtual ~SpatialIndex() = default;
+
+  /// Display name used in benchmark tables ("Grid", "RSMI-F", ...).
+  virtual std::string Name() const = 0;
+
+  /// (Re)builds the index over `data`, replacing previous contents.
+  virtual void Build(const std::vector<Point>& data) = 0;
+
+  /// Inserts one point.
+  virtual void Insert(const Point& p) = 0;
+
+  /// Removes the point with this exact position and id. Returns false when
+  /// it is not present.
+  virtual bool Remove(const Point& p) = 0;
+
+  /// Finds a stored point with coordinates equal to q's; fills `out` (if
+  /// non-null) and returns true on a hit.
+  virtual bool PointQuery(const Point& q, Point* out = nullptr) const = 0;
+
+  virtual std::vector<Point> WindowQuery(const Rect& w) const = 0;
+
+  virtual std::vector<Point> KnnQuery(const Point& q, size_t k) const = 0;
+
+  /// Number of points currently indexed.
+  virtual size_t size() const = 0;
+
+  /// Every indexed point (the input to a full rebuild). The default scans
+  /// an unbounded window; indices with cheaper enumerations override it.
+  virtual std::vector<Point> CollectAll() const {
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    return WindowQuery(Rect::Of(-kInf, -kInf, kInf, kInf));
+  }
+
+  /// Model/tree depth — a rebuild-predictor feature (Sec. IV-B2).
+  virtual int Depth() const { return 1; }
+};
+
+}  // namespace elsi
+
+#endif  // ELSI_COMMON_SPATIAL_INDEX_H_

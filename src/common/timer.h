@@ -1,0 +1,31 @@
+#ifndef ELSI_COMMON_TIMER_H_
+#define ELSI_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace elsi {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harness and the build
+/// processor's cost instrumentation.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Microseconds since construction or the last Reset().
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace elsi
+
+#endif  // ELSI_COMMON_TIMER_H_

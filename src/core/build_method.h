@@ -1,0 +1,72 @@
+#ifndef ELSI_CORE_BUILD_METHOD_H_
+#define ELSI_CORE_BUILD_METHOD_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+#include "learned/rank_model.h"
+
+namespace elsi {
+
+/// The ELSI method pool (Sec. V). Six methods feed the method selector: five
+/// shrink the training set and OG trains on the original data. RSP (random
+/// sampling, Li et al. 2021) appears only as the Fig. 7 baseline and is not
+/// part of the selector's pool, exactly as in the paper.
+enum class BuildMethodId {
+  kSP,   // Systematic sampling over the sorted mapped keys.
+  kCL,   // k-means cluster centroids.
+  kMR,   // Model reuse from a pre-trained synthetic pool.
+  kRS,   // Representative set via recursive space partitioning (Alg. 2).
+  kRL,   // Reinforcement-learned grid point set (Sec. V-B2).
+  kOG,   // Original data (no shrinking).
+  kRSP,  // Random sampling baseline (Fig. 7 only).
+};
+
+/// Short display name ("SP", "CL", ...).
+std::string BuildMethodName(BuildMethodId id);
+
+/// The selector's method pool in the paper's order.
+inline constexpr BuildMethodId kSelectorPool[] = {
+    BuildMethodId::kSP, BuildMethodId::kCL, BuildMethodId::kMR,
+    BuildMethodId::kRS, BuildMethodId::kRL, BuildMethodId::kOG,
+};
+
+/// Everything a build method may need to compute Ds: the partition's points
+/// sorted by mapped key, the parallel ascending keys, and the base index's
+/// map() function for methods that synthesise new points (CL, MR, RL).
+struct BuildContext {
+  const std::vector<Point>& sorted_pts;
+  const std::vector<double>& sorted_keys;
+  const std::function<double(const Point&)>& key_fn;
+};
+
+/// A training-set construction method. Implementations are stateless across
+/// calls except for caches (MR's pre-trained pool).
+class BuildMethod {
+ public:
+  virtual ~BuildMethod() = default;
+
+  virtual BuildMethodId id() const = 0;
+
+  /// Offline preparation (e.g. MR pre-trains its synthetic model pool).
+  /// Called once when the method joins a build processor, mirroring the
+  /// paper's one-off "system preparation" cost (Sec. VII-B2).
+  virtual void Prepare() {}
+
+  /// Computes the sorted keys of the reduced training set Ds.
+  virtual std::vector<double> ComputeTrainingSet(const BuildContext& ctx) = 0;
+
+  /// MR path: returns true and fills `model` (sans error bounds) when a
+  /// pre-trained model can be reused outright, skipping training.
+  virtual bool TryReuseModel(const BuildContext& ctx, RankModel* model) {
+    (void)ctx;
+    (void)model;
+    return false;
+  }
+};
+
+}  // namespace elsi
+
+#endif  // ELSI_CORE_BUILD_METHOD_H_

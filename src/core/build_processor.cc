@@ -1,0 +1,135 @@
+#include "core/build_processor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/cdf.h"
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace elsi {
+
+BuildProcessor::BuildProcessor(const BuildProcessorConfig& config,
+                               std::shared_ptr<MethodSelector> selector)
+    : config_(config), selector_(std::move(selector)) {
+  ELSI_CHECK(!config.enabled.empty());
+  methods_[BuildMethodId::kSP] =
+      std::make_unique<SystematicSampling>(config_.sp);
+  methods_[BuildMethodId::kRSP] =
+      std::make_unique<RandomSampling>(config_.rsp, config_.seed);
+  methods_[BuildMethodId::kCL] = std::make_unique<ClusteringMethod>(config_.cl);
+  methods_[BuildMethodId::kMR] =
+      std::make_unique<ModelReuse>(config_.mr, config_.model);
+  methods_[BuildMethodId::kRS] =
+      std::make_unique<RepresentativeSet>(config_.rs);
+  methods_[BuildMethodId::kRL] =
+      std::make_unique<ReinforcementMethod>(config_.rl);
+  // Offline preparation for the enabled methods (MR pool pre-training);
+  // deliberately outside the per-build instrumentation, as in the paper.
+  for (BuildMethodId id : config_.enabled) {
+    if (id == BuildMethodId::kOG) continue;  // OG has no method object.
+    MethodFor(id)->Prepare();
+  }
+}
+
+BuildMethod* BuildProcessor::MethodFor(BuildMethodId id) {
+  const auto it = methods_.find(id);
+  ELSI_CHECK(it != methods_.end()) << "no method " << BuildMethodName(id);
+  return it->second.get();
+}
+
+RankModel BuildProcessor::TrainModel(
+    const std::vector<Point>& sorted_pts,
+    const std::vector<double>& sorted_keys,
+    const std::function<double(const Point&)>& key_fn) {
+  ELSI_CHECK(!sorted_keys.empty());
+  ELSI_CHECK_EQ(sorted_pts.size(), sorted_keys.size());
+  BuildCallRecord record;
+  record.n = sorted_keys.size();
+
+  // Method selection: one scorer invocation over (|D|, dist(Du, D)).
+  Timer select_timer;
+  BuildMethodId method = config_.enabled.front();
+  if (selector_ != nullptr) {
+    const double log10_n = std::log10(static_cast<double>(record.n));
+    const double dissim = UniformDissimilarity(sorted_keys);
+    method = selector_->Choose(config_.enabled, log10_n, dissim);
+  }
+  record.select_seconds = select_timer.ElapsedSeconds();
+  record.method = method;
+
+  const BuildContext ctx{sorted_pts, sorted_keys, key_fn};
+  RankModel model;
+  RankModelConfig model_cfg = config_.model;
+  model_cfg.seed = config_.seed ^ (records_.size() * 0x9e3779b9ULL);
+
+  Timer extra_timer;
+  bool reused = false;
+  std::vector<double> training_keys;
+  if (method == BuildMethodId::kOG) {
+    record.extra_seconds = 0.0;
+  } else {
+    BuildMethod* impl = MethodFor(method);
+    reused = impl->TryReuseModel(ctx, &model);
+    if (!reused) {
+      training_keys = impl->ComputeTrainingSet(ctx);
+      // Top up degenerate training sets with a systematic sample so the
+      // model always sees a minimally informative CDF.
+      const size_t floor_size = std::min(record.n, config_.min_training_set);
+      if (training_keys.size() < floor_size) {
+        const size_t stride = std::max<size_t>(1, record.n / floor_size);
+        for (size_t i = 0; i < record.n; i += stride) {
+          training_keys.push_back(sorted_keys[i]);
+        }
+        std::sort(training_keys.begin(), training_keys.end());
+      }
+    }
+    record.extra_seconds = extra_timer.ElapsedSeconds();
+  }
+
+  Timer train_timer;
+  if (!reused) {
+    const std::vector<double>& keys =
+        method == BuildMethodId::kOG ? sorted_keys : training_keys;
+    model.Train(keys, sorted_keys.front(), sorted_keys.back(), model_cfg);
+    record.training_size = keys.size();
+  }
+  record.train_seconds = train_timer.ElapsedSeconds();
+
+  // Line 6 of Algorithm 1: error bounds from one prediction pass over D.
+  Timer bounds_timer;
+  model.ComputeErrorBounds(sorted_keys);
+  record.bounds_seconds = bounds_timer.ElapsedSeconds();
+  record.error_magnitude = model.err_l() + model.err_u();
+
+  records_.push_back(record);
+  return model;
+}
+
+double BuildProcessor::TotalTrainSeconds() const {
+  double total = 0.0;
+  for (const BuildCallRecord& r : records_) total += r.train_seconds;
+  return total;
+}
+
+double BuildProcessor::TotalExtraSeconds() const {
+  double total = 0.0;
+  for (const BuildCallRecord& r : records_) {
+    total += r.extra_seconds + r.select_seconds;
+  }
+  return total;
+}
+
+std::vector<BuildMethodId> DefaultEnabledMethods(
+    const std::string& index_name) {
+  if (index_name == "LISA") {
+    // CL and RL synthesise points not in D; LISA's grid construction
+    // depends on D, so they do not apply (Sec. VII-A).
+    return {BuildMethodId::kSP, BuildMethodId::kMR, BuildMethodId::kRS,
+            BuildMethodId::kOG};
+  }
+  return {BuildMethodId::kSP, BuildMethodId::kCL, BuildMethodId::kMR,
+          BuildMethodId::kRS, BuildMethodId::kRL, BuildMethodId::kOG};
+}
+
+}  // namespace elsi

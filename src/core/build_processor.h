@@ -1,0 +1,97 @@
+#ifndef ELSI_CORE_BUILD_PROCESSOR_H_
+#define ELSI_CORE_BUILD_PROCESSOR_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/build_method.h"
+#include "core/method_selector.h"
+#include "core/methods/clustering.h"
+#include "core/methods/model_reuse.h"
+#include "core/methods/reinforcement.h"
+#include "core/methods/representative_set.h"
+#include "core/methods/sampling.h"
+#include "learned/rank_model.h"
+
+namespace elsi {
+
+struct BuildProcessorConfig {
+  RankModelConfig model;
+  SamplingConfig sp;
+  SamplingConfig rsp;
+  ClusteringConfig cl;
+  ModelReuseConfig mr;
+  RepresentativeSetConfig rs;
+  ReinforcementConfig rl;
+  /// Methods the base index admits. CL and RL must be dropped for LISA,
+  /// whose grid is built from D (Sec. VII-A).
+  std::vector<BuildMethodId> enabled = {
+      BuildMethodId::kSP, BuildMethodId::kCL, BuildMethodId::kMR,
+      BuildMethodId::kRS, BuildMethodId::kRL, BuildMethodId::kOG,
+  };
+  /// Training sets below this size are topped up by systematic samples so
+  /// every model sees a minimally informative CDF.
+  size_t min_training_set = 32;
+  uint64_t seed = 42;
+};
+
+/// Per-call instrumentation backing Table I's cost decomposition.
+struct BuildCallRecord {
+  BuildMethodId method = BuildMethodId::kOG;
+  size_t n = 0;            // Partition size.
+  size_t training_size = 0;  // |Ds| (n for OG; 0 for a reused model).
+  double select_seconds = 0.0;  // Method scorer invocation + features.
+  double extra_seconds = 0.0;   // Ds construction (method-specific).
+  double train_seconds = 0.0;   // T(|Ds|).
+  double bounds_seconds = 0.0;  // M(n): full-set error-bound pass.
+  double error_magnitude = 0.0;  // err_l + err_u.
+};
+
+/// ELSI's build processor (Sec. IV-B1, Algorithm 1): for every
+/// model-training request of a base index it selects a build method,
+/// engineers the reduced training set Ds, trains the model on Ds, and
+/// computes error bounds over the full partition. Implements ModelTrainer,
+/// so any map-and-sort/predict-and-scan index runs on it unmodified.
+class BuildProcessor : public ModelTrainer {
+ public:
+  /// `selector` may be null: the processor then always picks the first
+  /// enabled method (use FixedSelector for the per-method experiments).
+  BuildProcessor(const BuildProcessorConfig& config,
+                 std::shared_ptr<MethodSelector> selector);
+
+  RankModel TrainModel(
+      const std::vector<Point>& sorted_pts,
+      const std::vector<double>& sorted_keys,
+      const std::function<double(const Point&)>& key_fn) override;
+
+  const std::vector<BuildCallRecord>& records() const { return records_; }
+  void ClearRecords() { records_.clear(); }
+
+  /// Totals across records (Table I rows).
+  double TotalTrainSeconds() const;
+  double TotalExtraSeconds() const;
+
+  /// Methods this processor may choose.
+  const std::vector<BuildMethodId>& enabled() const {
+    return config_.enabled;
+  }
+
+  const BuildProcessorConfig& config() const { return config_; }
+
+ private:
+  BuildMethod* MethodFor(BuildMethodId id);
+
+  BuildProcessorConfig config_;
+  std::shared_ptr<MethodSelector> selector_;
+  std::map<BuildMethodId, std::unique_ptr<BuildMethod>> methods_;
+  std::vector<BuildCallRecord> records_;
+};
+
+/// The default enabled-method pool for a base index by name, honouring the
+/// paper's applicability restrictions (no CL/RL for LISA).
+std::vector<BuildMethodId> DefaultEnabledMethods(const std::string& index_name);
+
+}  // namespace elsi
+
+#endif  // ELSI_CORE_BUILD_PROCESSOR_H_

@@ -1,0 +1,96 @@
+#ifndef ELSI_CORE_ELSI_H_
+#define ELSI_CORE_ELSI_H_
+
+#include <memory>
+#include <string>
+
+#include "common/spatial_index.h"
+#include "core/build_processor.h"
+#include "core/method_scorer.h"
+#include "core/method_selector.h"
+#include "core/rebuild_predictor.h"
+#include "core/scorer_trainer.h"
+#include "core/update_processor.h"
+#include "learned/lisa_index.h"
+#include "learned/ml_index.h"
+#include "learned/rsmi_index.h"
+#include "learned/zm_index.h"
+
+namespace elsi {
+
+/// The four base learned spatial indices ELSI is integrated with
+/// (Sec. VII-A).
+enum class BaseIndexKind { kZM, kML, kRSMI, kLISA };
+
+inline constexpr BaseIndexKind kAllBaseIndexKinds[] = {
+    BaseIndexKind::kZM, BaseIndexKind::kML, BaseIndexKind::kRSMI,
+    BaseIndexKind::kLISA};
+
+inline std::string BaseIndexKindName(BaseIndexKind kind) {
+  switch (kind) {
+    case BaseIndexKind::kZM:
+      return "ZM";
+    case BaseIndexKind::kML:
+      return "ML";
+    case BaseIndexKind::kRSMI:
+      return "RSMI";
+    case BaseIndexKind::kLISA:
+      return "LISA";
+  }
+  return "?";
+}
+
+/// Structural scale knobs shared by the factory below. `leaf_target`
+/// controls the points per trained model (RSMI leaf capacity, RMI segment
+/// size); the paper's GPU-scale value is 10k and benches scale it with n.
+struct BaseIndexScale {
+  size_t leaf_target = 10000;
+  size_t block_capacity = kDefaultBlockCapacity;
+};
+
+/// Builds a base index wired to `trainer`. Pass a DirectTrainer for the
+/// paper's OG baselines and a BuildProcessor for the "-F" (ELSI) variants.
+inline std::unique_ptr<SpatialIndex> MakeBaseIndex(
+    BaseIndexKind kind, std::shared_ptr<ModelTrainer> trainer,
+    const BaseIndexScale& scale = {}) {
+  switch (kind) {
+    case BaseIndexKind::kZM: {
+      ZmIndex::Config cfg;
+      cfg.array.leaf_target = scale.leaf_target;
+      cfg.array.block_capacity = scale.block_capacity;
+      return std::make_unique<ZmIndex>(std::move(trainer), cfg);
+    }
+    case BaseIndexKind::kML: {
+      MlIndex::Config cfg;
+      cfg.array.leaf_target = scale.leaf_target;
+      cfg.array.block_capacity = scale.block_capacity;
+      return std::make_unique<MlIndex>(std::move(trainer), cfg);
+    }
+    case BaseIndexKind::kRSMI: {
+      RsmiIndex::Config cfg;
+      cfg.leaf_capacity = scale.leaf_target;
+      cfg.block_capacity = scale.block_capacity;
+      return std::make_unique<RsmiIndex>(std::move(trainer), cfg);
+    }
+    case BaseIndexKind::kLISA: {
+      LisaIndex::Config cfg;
+      cfg.shard_size = scale.block_capacity;
+      return std::make_unique<LisaIndex>(std::move(trainer), cfg);
+    }
+  }
+  return nullptr;
+}
+
+/// One-stop ELSI assembly: a build processor restricted to the methods the
+/// base index admits, driven by the given selector (null = always the first
+/// enabled method).
+inline std::shared_ptr<BuildProcessor> MakeElsiProcessor(
+    BaseIndexKind kind, BuildProcessorConfig config,
+    std::shared_ptr<MethodSelector> selector) {
+  config.enabled = DefaultEnabledMethods(BaseIndexKindName(kind));
+  return std::make_shared<BuildProcessor>(config, std::move(selector));
+}
+
+}  // namespace elsi
+
+#endif  // ELSI_CORE_ELSI_H_

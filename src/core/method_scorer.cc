@@ -1,0 +1,121 @@
+#include "core/method_scorer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace elsi {
+namespace {
+
+int PoolIndex(BuildMethodId id) {
+  for (size_t i = 0; i < std::size(kSelectorPool); ++i) {
+    if (kSelectorPool[i] == id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::string BuildMethodName(BuildMethodId id) {
+  switch (id) {
+    case BuildMethodId::kSP:
+      return "SP";
+    case BuildMethodId::kCL:
+      return "CL";
+    case BuildMethodId::kMR:
+      return "MR";
+    case BuildMethodId::kRS:
+      return "RS";
+    case BuildMethodId::kRL:
+      return "RL";
+    case BuildMethodId::kOG:
+      return "OG";
+    case BuildMethodId::kRSP:
+      return "RSP";
+  }
+  return "?";
+}
+
+std::vector<double> MethodScorer::EncodeInput(BuildMethodId method,
+                                              double log10_n,
+                                              double dissimilarity) {
+  std::vector<double> x(kInputDim, 0.0);
+  const int idx = PoolIndex(method);
+  ELSI_CHECK_GE(idx, 0) << "method " << BuildMethodName(method)
+                        << " is not in the selector pool";
+  x[idx] = 1.0;
+  // Cardinality scaled to roughly [0, 1] over the 10^4..10^8 range the
+  // paper trains on (and the scaled-down ranges the benches use).
+  x[std::size(kSelectorPool)] = log10_n / 8.0;
+  x[std::size(kSelectorPool) + 1] = dissimilarity;
+  return x;
+}
+
+void MethodScorer::Train(const std::vector<ScorerSample>& samples,
+                         const TrainOptions& options) {
+  ELSI_CHECK(!samples.empty());
+  Matrix x(samples.size(), kInputDim);
+  Matrix yb(samples.size(), 1);
+  Matrix yq(samples.size(), 1);
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const auto enc = EncodeInput(samples[i].method, samples[i].log10_n,
+                                 samples[i].dissimilarity);
+    std::copy(enc.begin(), enc.end(), x.RowPtr(i));
+    // Costs span orders of magnitude (MR reuse ~1e-3 of OG); regress in
+    // log space so the L2 loss weighs every decade equally. Predictions
+    // are exponentiated back, preserving the Eq. 2 argmin semantics.
+    yb.At(i, 0) = std::log10(std::max(samples[i].build_cost, 1e-6));
+    yq.At(i, 0) = std::log10(std::max(samples[i].query_cost, 1e-6));
+  }
+  build_net_ = std::make_unique<Ffn>(kInputDim, options.hidden, 1,
+                                     options.seed);
+  query_net_ = std::make_unique<Ffn>(kInputDim, options.hidden, 1,
+                                     options.seed ^ 0x9e37ULL);
+  FfnTrainOptions train;
+  train.learning_rate = options.learning_rate;
+  train.epochs = options.epochs;
+  build_net_->Train(x, yb, train);
+  query_net_->Train(x, yq, train);
+}
+
+bool MethodScorer::Save(std::ostream& out) const {
+  if (!trained()) return false;
+  return build_net_->Save(out) && query_net_->Save(out);
+}
+
+bool MethodScorer::Load(std::istream& in) {
+  auto build = Ffn::Load(in);
+  auto query = Ffn::Load(in);
+  if (!build.has_value() || !query.has_value() ||
+      build->input_dim() != kInputDim || query->input_dim() != kInputDim) {
+    return false;
+  }
+  build_net_ = std::make_unique<Ffn>(std::move(*build));
+  query_net_ = std::make_unique<Ffn>(std::move(*query));
+  return true;
+}
+
+double MethodScorer::PredictBuildCost(BuildMethodId method, double log10_n,
+                                      double dissimilarity) const {
+  ELSI_CHECK(trained());
+  return std::pow(
+      10.0, build_net_->Predict1(EncodeInput(method, log10_n, dissimilarity)));
+}
+
+double MethodScorer::PredictQueryCost(BuildMethodId method, double log10_n,
+                                      double dissimilarity) const {
+  ELSI_CHECK(trained());
+  return std::pow(
+      10.0, query_net_->Predict1(EncodeInput(method, log10_n, dissimilarity)));
+}
+
+double MethodScorer::CombinedCost(BuildMethodId method, double log10_n,
+                                  double dissimilarity, double lambda,
+                                  double w_q) const {
+  return lambda * PredictBuildCost(method, log10_n, dissimilarity) +
+         (1.0 - lambda) * w_q * PredictQueryCost(method, log10_n,
+                                                 dissimilarity);
+}
+
+}  // namespace elsi

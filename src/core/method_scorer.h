@@ -1,0 +1,78 @@
+#ifndef ELSI_CORE_METHOD_SCORER_H_
+#define ELSI_CORE_METHOD_SCORER_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "core/build_method.h"
+#include "ml/ffn.h"
+
+namespace elsi {
+
+/// One ground-truth measurement for scorer training: a build method applied
+/// to a data set of known cardinality and distribution, with its measured
+/// build and query costs *relative to OG* (OG = 1.0 on both axes).
+struct ScorerSample {
+  BuildMethodId method = BuildMethodId::kOG;
+  double log10_n = 0.0;
+  double dissimilarity = 0.0;  // dist(Du, D) of the mapped keys.
+  double build_cost = 1.0;
+  double query_cost = 1.0;
+};
+
+/// The method scorer (Fig. 4): two FFNs sharing the input encoding — a
+/// one-hot method id plus the cardinality and distribution of D — one
+/// estimating the index building cost C_B and one the query cost C_Q.
+/// Scores combine per Eq. 2:
+///   C(P, D) = lambda * C_B(P, D) + (1 - lambda) * w_Q * C_Q(P, D).
+struct MethodScorerTrainOptions {
+  std::vector<int> hidden = {32};
+  double learning_rate = 0.01;
+  int epochs = 600;
+  uint64_t seed = 42;
+};
+
+class MethodScorer {
+ public:
+  using TrainOptions = MethodScorerTrainOptions;
+
+  MethodScorer() = default;
+
+  /// Fits both cost FFNs on measured samples.
+  void Train(const std::vector<ScorerSample>& samples,
+             const TrainOptions& options = {});
+
+  bool trained() const { return build_net_ != nullptr; }
+
+  double PredictBuildCost(BuildMethodId method, double log10_n,
+                          double dissimilarity) const;
+  double PredictQueryCost(BuildMethodId method, double log10_n,
+                          double dissimilarity) const;
+
+  /// Eq. 2 combined cost (lower is better).
+  double CombinedCost(BuildMethodId method, double log10_n,
+                      double dissimilarity, double lambda, double w_q) const;
+
+  /// Persists both cost networks (portable text). Returns false on stream
+  /// failure or when untrained.
+  bool Save(std::ostream& out) const;
+
+  /// Loads networks written by Save() into this scorer. Returns false and
+  /// leaves the scorer untrained on malformed input.
+  bool Load(std::istream& in);
+
+  /// The shared input encoding (Component 1 of Fig. 4); exposed so the
+  /// RF/DT selector baselines of Fig. 6(b) consume identical features.
+  static std::vector<double> EncodeInput(BuildMethodId method, double log10_n,
+                                         double dissimilarity);
+  static constexpr int kInputDim =
+      static_cast<int>(std::size(kSelectorPool)) + 2;
+
+ private:
+  std::unique_ptr<Ffn> build_net_;
+  std::unique_ptr<Ffn> query_net_;
+};
+
+}  // namespace elsi
+
+#endif  // ELSI_CORE_METHOD_SCORER_H_

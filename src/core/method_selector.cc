@@ -1,0 +1,177 @@
+#include "core/method_selector.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "common/logging.h"
+
+namespace elsi {
+namespace {
+
+uint64_t NextRand(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+int PoolIndex(BuildMethodId id) {
+  for (size_t i = 0; i < std::size(kSelectorPool); ++i) {
+    if (kSelectorPool[i] == id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+ScorerSelector::ScorerSelector(std::shared_ptr<const MethodScorer> scorer,
+                               double lambda, double w_q)
+    : scorer_(std::move(scorer)), lambda_(lambda), w_q_(w_q) {
+  ELSI_CHECK(scorer_ != nullptr && scorer_->trained());
+  ELSI_CHECK(lambda >= 0.0 && lambda <= 1.0);
+  ELSI_CHECK_GE(w_q, 1.0);
+}
+
+BuildMethodId ScorerSelector::Choose(
+    const std::vector<BuildMethodId>& candidates, double log10_n,
+    double dissimilarity) {
+  ELSI_CHECK(!candidates.empty());
+  BuildMethodId best = candidates.front();
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (BuildMethodId method : candidates) {
+    const double cost =
+        scorer_->CombinedCost(method, log10_n, dissimilarity, lambda_, w_q_);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = method;
+    }
+  }
+  return best;
+}
+
+BuildMethodId FixedSelector::Choose(
+    const std::vector<BuildMethodId>& candidates, double log10_n,
+    double dissimilarity) {
+  (void)log10_n;
+  (void)dissimilarity;
+  ELSI_CHECK(std::find(candidates.begin(), candidates.end(), method_) !=
+             candidates.end())
+      << BuildMethodName(method_) << " not applicable here";
+  return method_;
+}
+
+BuildMethodId RandomSelector::Choose(
+    const std::vector<BuildMethodId>& candidates, double log10_n,
+    double dissimilarity) {
+  (void)log10_n;
+  (void)dissimilarity;
+  ELSI_CHECK(!candidates.empty());
+  return candidates[NextRand(&state_) % candidates.size()];
+}
+
+TreeSelector::TreeSelector(Model model, Mode mode, double lambda, double w_q)
+    : model_(model), mode_(mode), lambda_(lambda), w_q_(w_q) {}
+
+std::string TreeSelector::name() const {
+  const bool rf = model_ == Model::kRandomForest;
+  const bool reg = mode_ == Mode::kRegression;
+  if (rf) return reg ? "RFR" : "RFC";
+  return reg ? "DTR" : "DTC";
+}
+
+void TreeSelector::Train(const std::vector<ScorerSample>& samples) {
+  ELSI_CHECK(!samples.empty());
+  if (mode_ == Mode::kRegression) {
+    Matrix x(samples.size(), MethodScorer::kInputDim);
+    std::vector<double> yb(samples.size()), yq(samples.size());
+    for (size_t i = 0; i < samples.size(); ++i) {
+      const auto enc = MethodScorer::EncodeInput(
+          samples[i].method, samples[i].log10_n, samples[i].dissimilarity);
+      std::copy(enc.begin(), enc.end(), x.RowPtr(i));
+      yb[i] = samples[i].build_cost;
+      yq[i] = samples[i].query_cost;
+    }
+    if (model_ == Model::kRandomForest) {
+      rf_build_.Fit(x, yb, RandomForest::Task::kRegression);
+      rf_query_.Fit(x, yq, RandomForest::Task::kRegression);
+    } else {
+      dt_build_.Fit(x, yb, DecisionTree::Task::kRegression);
+      dt_query_.Fit(x, yq, DecisionTree::Task::kRegression);
+    }
+  } else {
+    // Group samples by data set (log10_n, dissim) and label each group with
+    // its Eq. 2 argmin under this selector's lambda.
+    std::map<std::pair<double, double>, std::pair<double, int>> best;
+    for (const ScorerSample& s : samples) {
+      const double cost =
+          lambda_ * s.build_cost + (1.0 - lambda_) * w_q_ * s.query_cost;
+      const auto key = std::make_pair(s.log10_n, s.dissimilarity);
+      const auto it = best.find(key);
+      if (it == best.end() || cost < it->second.first) {
+        best[key] = {cost, PoolIndex(s.method)};
+      }
+    }
+    Matrix x(best.size(), 2);
+    std::vector<double> y(best.size());
+    size_t i = 0;
+    for (const auto& [key, value] : best) {
+      x.At(i, 0) = key.first / 8.0;
+      x.At(i, 1) = key.second;
+      y[i] = static_cast<double>(value.second);
+      ++i;
+    }
+    if (model_ == Model::kRandomForest) {
+      rf_class_.Fit(x, y, RandomForest::Task::kClassification);
+    } else {
+      dt_class_.Fit(x, y, DecisionTree::Task::kClassification);
+    }
+  }
+  trained_ = true;
+}
+
+double TreeSelector::PredictCost(BuildMethodId method, double log10_n,
+                                 double dissim) const {
+  const auto enc = MethodScorer::EncodeInput(method, log10_n, dissim);
+  const double build = model_ == Model::kRandomForest
+                           ? rf_build_.Predict(enc)
+                           : dt_build_.Predict(enc);
+  const double query = model_ == Model::kRandomForest
+                           ? rf_query_.Predict(enc)
+                           : dt_query_.Predict(enc);
+  return lambda_ * build + (1.0 - lambda_) * w_q_ * query;
+}
+
+BuildMethodId TreeSelector::Choose(
+    const std::vector<BuildMethodId>& candidates, double log10_n,
+    double dissimilarity) {
+  ELSI_CHECK(trained_);
+  ELSI_CHECK(!candidates.empty());
+  if (mode_ == Mode::kClassification) {
+    const std::vector<double> x = {log10_n / 8.0, dissimilarity};
+    const double label = model_ == Model::kRandomForest
+                             ? rf_class_.Predict(x)
+                             : dt_class_.Predict(x);
+    const int idx = static_cast<int>(label);
+    if (idx >= 0 && idx < static_cast<int>(std::size(kSelectorPool))) {
+      const BuildMethodId predicted = kSelectorPool[idx];
+      if (std::find(candidates.begin(), candidates.end(), predicted) !=
+          candidates.end()) {
+        return predicted;
+      }
+    }
+    return candidates.front();  // Predicted method inapplicable here.
+  }
+  BuildMethodId best = candidates.front();
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (BuildMethodId method : candidates) {
+    const double cost = PredictCost(method, log10_n, dissimilarity);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = method;
+    }
+  }
+  return best;
+}
+
+}  // namespace elsi

@@ -1,0 +1,108 @@
+#ifndef ELSI_CORE_METHOD_SELECTOR_H_
+#define ELSI_CORE_METHOD_SELECTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/method_scorer.h"
+#include "ml/decision_tree.h"
+#include "ml/random_forest.h"
+
+namespace elsi {
+
+/// Chooses a build method for a model-training request given the request's
+/// cardinality and distribution features.
+class MethodSelector {
+ public:
+  virtual ~MethodSelector() = default;
+
+  /// `candidates` is the pool restricted to the base index's applicable
+  /// methods (e.g. no CL/RL for LISA); never empty.
+  virtual BuildMethodId Choose(const std::vector<BuildMethodId>& candidates,
+                               double log10_n, double dissimilarity) = 0;
+};
+
+/// The ELSI selector: argmin of the FFN method scorer's Eq. 2 cost.
+class ScorerSelector : public MethodSelector {
+ public:
+  ScorerSelector(std::shared_ptr<const MethodScorer> scorer, double lambda,
+                 double w_q);
+
+  BuildMethodId Choose(const std::vector<BuildMethodId>& candidates,
+                       double log10_n, double dissimilarity) override;
+
+  double lambda() const { return lambda_; }
+
+ private:
+  std::shared_ptr<const MethodScorer> scorer_;
+  double lambda_;
+  double w_q_;
+};
+
+/// Always the same method (OG when asked for the paper's no-ELSI baseline,
+/// or a fixed method column of Table II).
+class FixedSelector : public MethodSelector {
+ public:
+  explicit FixedSelector(BuildMethodId method) : method_(method) {}
+
+  BuildMethodId Choose(const std::vector<BuildMethodId>& candidates,
+                       double log10_n, double dissimilarity) override;
+
+ private:
+  BuildMethodId method_;
+};
+
+/// "Rand" of Table II: uniform over the applicable candidates.
+class RandomSelector : public MethodSelector {
+ public:
+  explicit RandomSelector(uint64_t seed = 42) : state_(seed) {}
+
+  BuildMethodId Choose(const std::vector<BuildMethodId>& candidates,
+                       double log10_n, double dissimilarity) override;
+
+ private:
+  uint64_t state_;
+};
+
+/// The Fig. 6(b) baselines: random-forest / decision-tree selectors in both
+/// regression (predict the two costs, combine per Eq. 2) and classification
+/// (predict the best method directly for a fixed lambda) flavours.
+class TreeSelector : public MethodSelector {
+ public:
+  enum class Model { kDecisionTree, kRandomForest };
+  enum class Mode { kRegression, kClassification };
+
+  TreeSelector(Model model, Mode mode, double lambda, double w_q);
+
+  /// Regression mode: fits build/query cost estimators on the samples.
+  /// Classification mode: fits a best-method classifier where the label of
+  /// each (data set) group is the Eq. 2 argmin under this selector's lambda.
+  void Train(const std::vector<ScorerSample>& samples);
+
+  BuildMethodId Choose(const std::vector<BuildMethodId>& candidates,
+                       double log10_n, double dissimilarity) override;
+
+  /// Display name: RFR / RFC / DTR / DTC.
+  std::string name() const;
+
+ private:
+  double PredictCost(BuildMethodId method, double log10_n,
+                     double dissim) const;
+
+  Model model_;
+  Mode mode_;
+  double lambda_;
+  double w_q_;
+  // Regression estimators.
+  DecisionTree dt_build_, dt_query_;
+  RandomForest rf_build_, rf_query_;
+  // Classification estimator (label = index into kSelectorPool).
+  DecisionTree dt_class_;
+  RandomForest rf_class_;
+  bool trained_ = false;
+};
+
+}  // namespace elsi
+
+#endif  // ELSI_CORE_METHOD_SELECTOR_H_

@@ -1,0 +1,29 @@
+#include "core/methods/clustering.h"
+
+#include <algorithm>
+
+#include "ml/kmeans.h"
+
+namespace elsi {
+
+std::vector<double> ClusteringMethod::ComputeTrainingSet(
+    const BuildContext& ctx) {
+  const size_t n = ctx.sorted_pts.size();
+  if (n == 0) return {};
+  const size_t k = std::min(config_.clusters, n);
+  KMeansOptions opts;
+  opts.max_iterations = config_.iterations;
+  opts.seed = config_.seed;
+  opts.batch_size = config_.batch_size;
+  if (opts.batch_size == 0 && k * n > config_.lloyd_budget) {
+    opts.batch_size = std::max<size_t>(1024, config_.lloyd_budget / k);
+  }
+  const KMeansResult result = KMeans(ctx.sorted_pts, k, opts);
+  std::vector<double> keys;
+  keys.reserve(result.centroids.size());
+  for (const Point& c : result.centroids) keys.push_back(ctx.key_fn(c));
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace elsi

@@ -1,0 +1,40 @@
+#ifndef ELSI_CORE_METHODS_CLUSTERING_H_
+#define ELSI_CORE_METHODS_CLUSTERING_H_
+
+#include <cstdint>
+
+#include "core/build_method.h"
+
+namespace elsi {
+
+struct ClusteringConfig {
+  /// Number of clusters C (paper default 100).
+  size_t clusters = 100;
+  int iterations = 8;
+  /// Mini-batch size for large k*n products (0 = full Lloyd, the paper's
+  /// straightforward implementation).
+  size_t batch_size = 0;
+  /// Switch to mini-batch when clusters * n exceeds this budget, keeping CL
+  /// usable at bench scale while remaining the slowest method.
+  size_t lloyd_budget = 50'000'000;
+  uint64_t seed = 42;
+};
+
+/// CL (Sec. V-A2): k-means cluster centroids in the original space form Ds.
+/// Centroids are generally not members of D; their keys come from the base
+/// index's map() function. Expensive to build — its defining trade-off.
+class ClusteringMethod : public BuildMethod {
+ public:
+  explicit ClusteringMethod(const ClusteringConfig& config = {})
+      : config_(config) {}
+
+  BuildMethodId id() const override { return BuildMethodId::kCL; }
+  std::vector<double> ComputeTrainingSet(const BuildContext& ctx) override;
+
+ private:
+  ClusteringConfig config_;
+};
+
+}  // namespace elsi
+
+#endif  // ELSI_CORE_METHODS_CLUSTERING_H_

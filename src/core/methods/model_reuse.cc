@@ -1,0 +1,111 @@
+#include "core/methods/model_reuse.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/cdf.h"
+#include "common/logging.h"
+
+namespace elsi {
+
+ModelReuse::ModelReuse(const ModelReuseConfig& config,
+                       const RankModelConfig& model)
+    : config_(config), model_config_(model) {
+  ELSI_CHECK(config.epsilon > 0.0 && config.epsilon <= 1.0);
+}
+
+void ModelReuse::EnsurePool() {
+  if (pool_ready_) return;
+  pool_ready_ = true;
+  // Power-law CDF families F(x) = x^a and its mirror 1 - (1-x)^a. The KS
+  // distance between consecutive exponents grows with their ratio, so a
+  // geometric exponent grid with ratio ~ (1 + 2 eps) tiles the family at
+  // resolution eps. a = 1 (uniform) is shared by both families.
+  std::vector<double> exponents;
+  const double ratio = 1.0 + 2.0 * config_.epsilon;
+  for (double a = 1.0; a <= config_.max_exponent; a *= ratio) {
+    exponents.push_back(a);
+  }
+  const size_t ns = config_.synthetic_size;
+  uint64_t seed = 0x90de1ULL;
+  auto add_entry = [&](bool mirrored, double a) {
+    PoolEntry entry;
+    entry.keys.resize(ns);
+    for (size_t i = 0; i < ns; ++i) {
+      // Inverse-transform points of the synthetic CDF.
+      const double u = (static_cast<double>(i) + 0.5) / ns;
+      entry.keys[i] = mirrored ? 1.0 - std::pow(1.0 - u, 1.0 / a)
+                               : std::pow(u, 1.0 / a);
+    }
+    std::sort(entry.keys.begin(), entry.keys.end());
+    RankModelConfig cfg = model_config_;
+    cfg.seed = seed++;
+    entry.model.Train(entry.keys, 0.0, 1.0, cfg);
+    pool_.push_back(std::move(entry));
+  };
+  for (double a : exponents) add_entry(false, a);
+  for (double a : exponents) {
+    if (a > 1.0) add_entry(true, a);
+  }
+}
+
+size_t ModelReuse::pool_size() {
+  EnsurePool();
+  return pool_.size();
+}
+
+int ModelReuse::FindBestEntry(const std::vector<double>& sorted_keys,
+                              double* dist) {
+  EnsurePool();
+  if (sorted_keys.empty()) return -1;
+  const double lo = sorted_keys.front();
+  const double hi = sorted_keys.back();
+  const double range = hi > lo ? hi - lo : 1.0;
+  int best = -1;
+  double best_dist = 2.0;
+  std::vector<double> scaled;
+  for (size_t e = 0; e < pool_.size(); ++e) {
+    // Scale the pool entry into the data's key range rather than
+    // normalising the (much larger) data set: O(n_mr * ns * log n) total.
+    scaled.resize(pool_[e].keys.size());
+    for (size_t i = 0; i < scaled.size(); ++i) {
+      scaled[i] = lo + pool_[e].keys[i] * range;
+    }
+    const double d = KsDistanceFast(scaled, sorted_keys);
+    if (d < best_dist) {
+      best_dist = d;
+      best = static_cast<int>(e);
+    }
+  }
+  if (dist != nullptr) *dist = best_dist;
+  return best;
+}
+
+double ModelReuse::BestMatchDistance(const std::vector<double>& sorted_keys) {
+  double dist = 2.0;
+  FindBestEntry(sorted_keys, &dist);
+  return dist;
+}
+
+bool ModelReuse::TryReuseModel(const BuildContext& ctx, RankModel* model) {
+  double dist = 2.0;
+  const int best = FindBestEntry(ctx.sorted_keys, &dist);
+  if (best < 0 || dist > config_.epsilon) return false;
+  model->AdoptPretrained(pool_[best].model.net(), ctx.sorted_keys.front(),
+                         ctx.sorted_keys.back());
+  return true;
+}
+
+std::vector<double> ModelReuse::ComputeTrainingSet(const BuildContext& ctx) {
+  // No sufficiently close pool entry: fall back to a sparse systematic
+  // sample so the caller can still train something cheap.
+  const size_t n = ctx.sorted_keys.size();
+  if (n == 0) return {};
+  const size_t target = std::min<size_t>(n, config_.synthetic_size);
+  const size_t stride = std::max<size_t>(1, n / target);
+  std::vector<double> keys;
+  for (size_t i = 0; i < n; i += stride) keys.push_back(ctx.sorted_keys[i]);
+  return keys;
+}
+
+}  // namespace elsi

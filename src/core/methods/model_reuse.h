@@ -1,0 +1,65 @@
+#ifndef ELSI_CORE_METHODS_MODEL_REUSE_H_
+#define ELSI_CORE_METHODS_MODEL_REUSE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/build_method.h"
+#include "ml/ffn.h"
+
+namespace elsi {
+
+struct ModelReuseConfig {
+  /// CDF-space coverage threshold epsilon (paper default 0.5; smaller means
+  /// a denser pre-trained pool and better matches).
+  double epsilon = 0.5;
+  /// Points per synthetic training set.
+  size_t synthetic_size = 2048;
+  /// Largest power-law exponent covered by the pool's CDF families.
+  double max_exponent = 64.0;
+};
+
+/// MR (Sec. V-A3): pre-trains index models on synthetic data sets whose
+/// CDFs tile the CDF space at resolution epsilon (power-law families x^a
+/// and its mirror), then indexes D with the pre-trained model whose
+/// synthetic CDF is closest by KS distance — no online training at all.
+/// The pool is built lazily once per (epsilon, model config) and reused
+/// across build calls, matching the paper's one-off preparation cost.
+class ModelReuse : public BuildMethod {
+ public:
+  ModelReuse(const ModelReuseConfig& config, const RankModelConfig& model);
+
+  BuildMethodId id() const override { return BuildMethodId::kMR; }
+
+  /// Pre-trains the pool (the paper's offline preparation).
+  void Prepare() override { EnsurePool(); }
+
+  /// Fallback when no pool entry is within epsilon: a systematic sample
+  /// (the paper observes MR may fail to match when epsilon is small).
+  std::vector<double> ComputeTrainingSet(const BuildContext& ctx) override;
+
+  bool TryReuseModel(const BuildContext& ctx, RankModel* model) override;
+
+  size_t pool_size();  // Builds the pool on first use.
+
+  /// KS distance between the best pool entry and the normalised keys.
+  double BestMatchDistance(const std::vector<double>& sorted_keys);
+
+ private:
+  struct PoolEntry {
+    std::vector<double> keys;  // Sorted, in [0, 1].
+    RankModel model;
+  };
+
+  void EnsurePool();
+  int FindBestEntry(const std::vector<double>& sorted_keys, double* dist);
+
+  ModelReuseConfig config_;
+  RankModelConfig model_config_;
+  bool pool_ready_ = false;
+  std::vector<PoolEntry> pool_;
+};
+
+}  // namespace elsi
+
+#endif  // ELSI_CORE_METHODS_MODEL_REUSE_H_

@@ -1,0 +1,107 @@
+#include "core/methods/reinforcement.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/cdf.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "ml/dqn.h"
+
+namespace elsi {
+
+std::vector<double> ReinforcementMethod::ComputeTrainingSet(
+    const BuildContext& ctx) {
+  const size_t n = ctx.sorted_keys.size();
+  if (n == 0) return {};
+  const int eta = config_.eta;
+  const size_t cells = static_cast<size_t>(eta) * eta;
+
+  // One candidate point per grid cell (its centre), keyed by the base
+  // index's map() and ordered by mapped rank — the state layout of the MDP.
+  const Rect bounds = BoundingRect(ctx.sorted_pts);
+  std::vector<double> cell_keys(cells);
+  for (int cy = 0; cy < eta; ++cy) {
+    for (int cx = 0; cx < eta; ++cx) {
+      const Point center{
+          bounds.lo_x + (cx + 0.5) * (bounds.hi_x - bounds.lo_x) / eta,
+          bounds.lo_y + (cy + 0.5) * (bounds.hi_y - bounds.lo_y) / eta, 0};
+      cell_keys[cy * eta + cx] = ctx.key_fn(center);
+    }
+  }
+  std::sort(cell_keys.begin(), cell_keys.end());
+
+  // Initial state: every cell occupied (a uniform Ds).
+  std::vector<double> state(cells, 1.0);
+  auto active_keys = [&]() {
+    std::vector<double> keys;
+    keys.reserve(cells);
+    for (size_t i = 0; i < cells; ++i) {
+      if (state[i] > 0.5) keys.push_back(cell_keys[i]);
+    }
+    return keys;  // Sorted: cells are in key order.
+  };
+  auto distance = [&](const std::vector<double>& keys) {
+    return keys.empty() ? 1.0 : KsDistanceFast(keys, ctx.sorted_keys);
+  };
+
+  double current_dist = distance(active_keys());
+  double best_dist = current_dist;
+  std::vector<double> best_state = state;
+
+  DqnConfig dqn_cfg;
+  dqn_cfg.state_dim = static_cast<int>(cells);
+  dqn_cfg.action_count = static_cast<int>(cells);
+  dqn_cfg.hidden = {config_.dqn_hidden};
+  dqn_cfg.gamma = config_.gamma;
+  dqn_cfg.replay_capacity = config_.replay_capacity;
+  dqn_cfg.batch_size = config_.batch_size;
+  dqn_cfg.train_every = config_.train_every;
+  dqn_cfg.seed = config_.seed;
+  Dqn dqn(dqn_cfg);
+  Rng rng(config_.seed ^ 0x171ULL);
+
+  int stall = 0;
+  int step = 0;
+  size_t active_count = cells;
+  for (; step < config_.max_steps && stall < config_.patience; ++step) {
+    const double progress =
+        static_cast<double>(step) / std::max(1, config_.max_steps - 1);
+    const double epsilon = config_.epsilon_start +
+                           (config_.epsilon_end - config_.epsilon_start) *
+                               progress;
+    const int cell = dqn.SelectAction(state, epsilon);
+    double reward = 0.0;
+    std::vector<double> next_state = state;
+    if (rng.NextBernoulli(config_.zeta)) {
+      // Never empty the set entirely.
+      const bool removing = state[cell] > 0.5;
+      if (!(removing && active_count == 1)) {
+        next_state[cell] = 1.0 - state[cell];
+        const double swap = current_dist;
+        std::swap(state, next_state);
+        const double new_dist = distance(active_keys());
+        std::swap(state, next_state);
+        reward = swap - new_dist;
+        active_count += removing ? -1 : 1;
+        current_dist = new_dist;
+      }
+    }
+    dqn.Observe(state, cell, reward, next_state, false);
+    state = std::move(next_state);
+    if (current_dist < best_dist - 1e-9) {
+      best_dist = current_dist;
+      best_state = state;
+      stall = 0;
+    } else {
+      ++stall;  // Terminate when dist(Ds, D) stops improving (Sec. V-B2).
+    }
+  }
+
+  state = best_state;
+  last_distance_ = best_dist;
+  last_steps_ = step;
+  return active_keys();
+}
+
+}  // namespace elsi

@@ -1,0 +1,56 @@
+#ifndef ELSI_CORE_METHODS_REINFORCEMENT_H_
+#define ELSI_CORE_METHODS_REINFORCEMENT_H_
+
+#include <cstdint>
+
+#include "core/build_method.h"
+
+namespace elsi {
+
+struct ReinforcementConfig {
+  /// Grid resolution eta: the state has eta^2 cells (paper default 8,
+  /// swept to 32 in Fig. 7).
+  int eta = 8;
+  /// Environment steps (the paper runs 50,000 on GPU; the CPU default is
+  /// scaled down and configurable).
+  int max_steps = 400;
+  /// Stop when the best distance has not improved for this many steps.
+  int patience = 120;
+  /// Probability of accepting the DQN-chosen flip (paper zeta = 0.8).
+  double zeta = 0.8;
+  double gamma = 0.9;       // Discount (paper Sec. V-B2).
+  double epsilon_start = 1.0;
+  double epsilon_end = 0.05;
+  int dqn_hidden = 64;
+  size_t replay_capacity = 4096;
+  size_t batch_size = 32;
+  int train_every = 5;  // The paper trains the DQN every five steps.
+  uint64_t seed = 42;
+};
+
+/// RL (Sec. V-B2): approximates D with up to eta^2 synthetic points — one
+/// candidate per grid cell — by learning which cells to keep. The search
+/// over the 2^(eta^2) subsets is an MDP: states are cell-occupancy vectors
+/// (ordered by mapped rank), actions flip one cell, the reward is the drop
+/// in dist(Ds, D), and a DQN learns the policy.
+class ReinforcementMethod : public BuildMethod {
+ public:
+  explicit ReinforcementMethod(const ReinforcementConfig& config = {})
+      : config_(config) {}
+
+  BuildMethodId id() const override { return BuildMethodId::kRL; }
+  std::vector<double> ComputeTrainingSet(const BuildContext& ctx) override;
+
+  /// dist(Ds, D) of the last computed training set (diagnostics).
+  double last_distance() const { return last_distance_; }
+  int last_steps() const { return last_steps_; }
+
+ private:
+  ReinforcementConfig config_;
+  double last_distance_ = 1.0;
+  int last_steps_ = 0;
+};
+
+}  // namespace elsi
+
+#endif  // ELSI_CORE_METHODS_REINFORCEMENT_H_

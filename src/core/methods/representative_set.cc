@@ -1,0 +1,56 @@
+#include "core/methods/representative_set.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace elsi {
+namespace {
+
+// Recursive quadrant partitioning (Algorithm 2, d = 2). `indices` hold
+// positions into the key-sorted arrays; buckets are filled stably so every
+// cell's index list stays sorted by mapped key and the median element is
+// the cell's mapped-space median point.
+void Recurse(const BuildContext& ctx, std::vector<size_t>& indices,
+             const Rect& bounds, size_t beta, int depth, int max_depth,
+             std::vector<double>* out) {
+  if (indices.empty()) return;
+  if (indices.size() <= beta || depth >= max_depth) {
+    out->push_back(ctx.sorted_keys[indices[indices.size() / 2]]);
+    return;
+  }
+  const double cx = (bounds.lo_x + bounds.hi_x) / 2.0;
+  const double cy = (bounds.lo_y + bounds.hi_y) / 2.0;
+  std::vector<size_t> quadrant[4];
+  for (size_t idx : indices) {
+    const Point& p = ctx.sorted_pts[idx];
+    const int q = (p.x >= cx ? 1 : 0) + (p.y >= cy ? 2 : 0);
+    quadrant[q].push_back(idx);
+  }
+  indices.clear();
+  indices.shrink_to_fit();
+  const Rect cells[4] = {
+      Rect::Of(bounds.lo_x, bounds.lo_y, cx, cy),
+      Rect::Of(cx, bounds.lo_y, bounds.hi_x, cy),
+      Rect::Of(bounds.lo_x, cy, cx, bounds.hi_y),
+      Rect::Of(cx, cy, bounds.hi_x, bounds.hi_y),
+  };
+  for (int q = 0; q < 4; ++q) {
+    Recurse(ctx, quadrant[q], cells[q], beta, depth + 1, max_depth, out);
+  }
+}
+
+}  // namespace
+
+std::vector<double> RepresentativeSet::ComputeTrainingSet(
+    const BuildContext& ctx) {
+  if (ctx.sorted_pts.empty()) return {};
+  std::vector<size_t> indices(ctx.sorted_pts.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  std::vector<double> keys;
+  Recurse(ctx, indices, BoundingRect(ctx.sorted_pts),
+          std::max<size_t>(1, config_.beta), 0, config_.max_depth, &keys);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace elsi

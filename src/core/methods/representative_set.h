@@ -1,0 +1,35 @@
+#ifndef ELSI_CORE_METHODS_REPRESENTATIVE_SET_H_
+#define ELSI_CORE_METHODS_REPRESENTATIVE_SET_H_
+
+#include "core/build_method.h"
+
+namespace elsi {
+
+struct RepresentativeSetConfig {
+  /// Stop partitioning when a cell has at most beta points (paper default
+  /// 10,000 at 1e8-point scale; benches scale it with n).
+  size_t beta = 10000;
+  /// Hard recursion depth limit (duplicated coordinates cannot be split
+  /// spatially past machine precision).
+  int max_depth = 40;
+};
+
+/// RS (Sec. V-B1, Algorithm 2): recursively quarter the data space until
+/// every cell holds at most beta points; the median point (in the mapped
+/// 1-D order) of each non-empty cell joins Ds. Approximates D in both the
+/// original and the mapped space.
+class RepresentativeSet : public BuildMethod {
+ public:
+  explicit RepresentativeSet(const RepresentativeSetConfig& config = {})
+      : config_(config) {}
+
+  BuildMethodId id() const override { return BuildMethodId::kRS; }
+  std::vector<double> ComputeTrainingSet(const BuildContext& ctx) override;
+
+ private:
+  RepresentativeSetConfig config_;
+};
+
+}  // namespace elsi
+
+#endif  // ELSI_CORE_METHODS_REPRESENTATIVE_SET_H_

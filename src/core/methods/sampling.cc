@@ -1,0 +1,38 @@
+#include "core/methods/sampling.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace elsi {
+
+std::vector<double> SystematicSampling::ComputeTrainingSet(
+    const BuildContext& ctx) {
+  const size_t n = ctx.sorted_keys.size();
+  if (n == 0) return {};
+  size_t target = static_cast<size_t>(config_.rho * static_cast<double>(n));
+  target = std::clamp<size_t>(target, std::min(n, config_.min_size), n);
+  const size_t stride = std::max<size_t>(1, n / target);
+  std::vector<double> keys;
+  keys.reserve(n / stride + 1);
+  for (size_t i = 0; i < n; i += stride) keys.push_back(ctx.sorted_keys[i]);
+  return keys;  // Already sorted: sampled from a sorted sequence.
+}
+
+std::vector<double> RandomSampling::ComputeTrainingSet(
+    const BuildContext& ctx) {
+  const size_t n = ctx.sorted_keys.size();
+  if (n == 0) return {};
+  size_t target = static_cast<size_t>(config_.rho * static_cast<double>(n));
+  target = std::clamp<size_t>(target, std::min(n, config_.min_size), n);
+  Rng rng(seed_ ^ n);
+  std::vector<double> keys;
+  keys.reserve(target);
+  for (size_t i = 0; i < target; ++i) {
+    keys.push_back(ctx.sorted_keys[rng.NextBelow(n)]);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace elsi

@@ -1,0 +1,50 @@
+#ifndef ELSI_CORE_METHODS_SAMPLING_H_
+#define ELSI_CORE_METHODS_SAMPLING_H_
+
+#include <cstdint>
+
+#include "core/build_method.h"
+
+namespace elsi {
+
+struct SamplingConfig {
+  /// Sampling rate rho; |Ds| = rho * n (paper default 1e-4 on 1e8 points).
+  double rho = 0.0001;
+  /// Lower bound on |Ds| so tiny partitions still train a usable model.
+  size_t min_size = 64;
+};
+
+/// SP (Sec. V-A1): systematic sampling over the sorted mapped keys — every
+/// floor(1/rho)-th point. The pigeonhole argument of the paper makes this
+/// the rank-gap-optimal sampling strategy.
+class SystematicSampling : public BuildMethod {
+ public:
+  explicit SystematicSampling(const SamplingConfig& config = {})
+      : config_(config) {}
+
+  BuildMethodId id() const override { return BuildMethodId::kSP; }
+  std::vector<double> ComputeTrainingSet(const BuildContext& ctx) override;
+
+ private:
+  SamplingConfig config_;
+};
+
+/// RSP: random sampling at the same rate (the Fig. 7 baseline from Li et
+/// al., 2021). Larger CDF gaps than SP at equal cost.
+class RandomSampling : public BuildMethod {
+ public:
+  explicit RandomSampling(const SamplingConfig& config = {},
+                          uint64_t seed = 42)
+      : config_(config), seed_(seed) {}
+
+  BuildMethodId id() const override { return BuildMethodId::kRSP; }
+  std::vector<double> ComputeTrainingSet(const BuildContext& ctx) override;
+
+ private:
+  SamplingConfig config_;
+  uint64_t seed_;
+};
+
+}  // namespace elsi
+
+#endif  // ELSI_CORE_METHODS_SAMPLING_H_

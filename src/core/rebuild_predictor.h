@@ -1,0 +1,89 @@
+#ifndef ELSI_CORE_REBUILD_PREDICTOR_H_
+#define ELSI_CORE_REBUILD_PREDICTOR_H_
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "ml/ffn.h"
+
+namespace elsi {
+
+/// Inputs of the rebuild predictor (Sec. IV-B2): the cardinality and
+/// distribution of D, the index depth, the update ratio |D'|/|D| - 1, and
+/// the CDF change sim(D', D). Unlike the method scorer there is no method
+/// input — the predictor concerns the index itself.
+struct RebuildFeatures {
+  double log10_n = 0.0;
+  double dissimilarity = 0.0;  // dist(Du, D).
+  double depth = 1.0;
+  double update_ratio = 0.0;
+  double cdf_similarity = 1.0;  // sim(D', D).
+};
+
+/// One labelled observation for predictor training: rebuild (1) when the
+/// no-rebuild query time exceeds the with-rebuild time by 10% (Sec.
+/// VII-B2), else keep (0).
+struct RebuildSample {
+  RebuildFeatures features;
+  double label = 0.0;
+};
+
+/// The FFN rebuild predictor: same body as the method scorer's FFNs but a
+/// sigmoid (binary) output.
+struct RebuildPredictorTrainOptions {
+  std::vector<int> hidden = {32};
+  double learning_rate = 0.02;
+  int epochs = 800;
+  uint64_t seed = 42;
+};
+
+class RebuildPredictor {
+ public:
+  using TrainOptions = RebuildPredictorTrainOptions;
+
+  RebuildPredictor() = default;
+
+  void Train(const std::vector<RebuildSample>& samples,
+             const TrainOptions& options = {});
+
+  bool trained() const { return net_ != nullptr; }
+
+  /// Rebuild probability in [0, 1].
+  double PredictScore(const RebuildFeatures& f) const;
+
+  /// Thresholded decision (the to_rebuild API of Fig. 3).
+  bool ShouldRebuild(const RebuildFeatures& f) const {
+    return PredictScore(f) > 0.5;
+  }
+
+  /// Persists the trained network; false on stream failure or untrained.
+  bool Save(std::ostream& out) const;
+
+  /// Loads a network written by Save(); false on malformed input.
+  bool Load(std::istream& in);
+
+ private:
+  static std::vector<double> Encode(const RebuildFeatures& f);
+
+  std::unique_ptr<Ffn> net_;
+};
+
+/// Generates labelled samples by simulating skewed insertion workloads on a
+/// small learned-array harness: for each checkpoint (after 2^i percent of n
+/// updates, Sec. VII-B2) point-query times are measured with and without a
+/// rebuild and labelled per the 10% rule.
+struct RebuildTrainerConfig {
+  size_t base_n = 20000;
+  int datasets = 4;
+  int checkpoints = 7;  // 1%, 2%, 4%, ..., 64% of n.
+  size_t queries = 400;
+  uint64_t seed = 42;
+};
+
+std::vector<RebuildSample> GenerateRebuildTrainingData(
+    const RebuildTrainerConfig& cfg);
+
+}  // namespace elsi
+
+#endif  // ELSI_CORE_REBUILD_PREDICTOR_H_

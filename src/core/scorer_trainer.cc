@@ -1,0 +1,218 @@
+#include "core/scorer_trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/cdf.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "curve/zorder.h"
+#include "data/synthetic.h"
+
+namespace elsi {
+namespace {
+
+// The measurement harness keys points by a 26-bit-per-dimension Z-order
+// value over the data's bounding box (the same mapping ZM uses).
+struct Harness {
+  GridQuantizer quantizer;
+  static constexpr int kShift = 6;  // 32 - 26 bits.
+
+  explicit Harness(const Rect& domain) : quantizer(domain) {}
+
+  double Key(const Point& p) const {
+    return static_cast<double>(
+        MortonEncode(quantizer.QuantizeX(p.x) >> kShift,
+                     quantizer.QuantizeY(p.y) >> kShift));
+  }
+};
+
+double ZKeyDissimilarity(const Dataset& data) {
+  const Harness harness(BoundingRect(data));
+  std::vector<double> keys(data.size());
+  for (size_t i = 0; i < data.size(); ++i) keys[i] = harness.Key(data[i]);
+  std::sort(keys.begin(), keys.end());
+  return UniformDissimilarity(keys);
+}
+
+}  // namespace
+
+double CalibratePowerForDissimilarity(double target, size_t sample_n,
+                                      uint64_t seed) {
+  ELSI_CHECK(target >= 0.0 && target < 1.0);
+  if (target <= 1e-9) return 1.0;
+  double lo = 1.0;
+  double hi = 256.0;
+  for (int iter = 0; iter < 24; ++iter) {
+    const double mid = std::sqrt(lo * hi);  // Geometric bisection.
+    const Dataset data = GeneratePower(sample_n, mid, mid, seed);
+    const double d = ZKeyDissimilarity(data);
+    if (d < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return std::sqrt(lo * hi);
+}
+
+BuildMethodId ScorerDatasetGroup::BestMethod(double lambda, double w_q) const {
+  BuildMethodId best = BuildMethodId::kOG;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const auto& [method, cost] : costs) {
+    const double combined =
+        lambda * cost.first + (1.0 - lambda) * w_q * cost.second;
+    if (combined < best_cost) {
+      best_cost = combined;
+      best = method;
+    }
+  }
+  return best;
+}
+
+ScorerTrainingData GenerateScorerTrainingData(const ScorerTrainerConfig& cfg) {
+  ELSI_CHECK_GE(cfg.cardinality_levels, 1);
+  ScorerTrainingData out;
+
+  // Calibrate skew exponents once per dissimilarity level.
+  std::vector<double> exponents;
+  exponents.reserve(cfg.dissimilarities.size());
+  for (double d : cfg.dissimilarities) {
+    exponents.push_back(CalibratePowerForDissimilarity(d, 20000, cfg.seed));
+  }
+
+  // One BuildProcessor per method, shared across data sets so MR's pool is
+  // pre-trained once (the paper's offline preparation).
+  std::map<BuildMethodId, std::unique_ptr<BuildProcessor>> processors;
+  for (BuildMethodId method : cfg.processor.enabled) {
+    BuildProcessorConfig pc = cfg.processor;
+    pc.enabled = {method};
+    processors[method] = std::make_unique<BuildProcessor>(
+        pc, std::make_shared<FixedSelector>(method));
+  }
+
+  uint64_t dataset_seed = cfg.seed ^ 0xdada5eedULL;
+  for (int level = 0; level < cfg.cardinality_levels; ++level) {
+    const double log10_n =
+        cfg.cardinality_levels == 1
+            ? cfg.log10_min
+            : cfg.log10_min + (cfg.log10_max - cfg.log10_min) * level /
+                                  (cfg.cardinality_levels - 1);
+    const size_t n = static_cast<size_t>(std::pow(10.0, log10_n));
+    for (size_t di = 0; di < cfg.dissimilarities.size(); ++di) {
+      ++dataset_seed;
+      const Dataset data =
+          GeneratePower(n, exponents[di], exponents[di], dataset_seed);
+      const Harness harness(BoundingRect(data));
+      const auto key_fn = [&harness](const Point& p) {
+        return harness.Key(p);
+      };
+
+      // Map-and-sort once per data set.
+      std::vector<double> keys(data.size());
+      for (size_t i = 0; i < data.size(); ++i) keys[i] = harness.Key(data[i]);
+      std::vector<size_t> order(data.size());
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return keys[a] < keys[b];
+      });
+      std::vector<Point> sorted_pts(data.size());
+      std::vector<double> sorted_keys(data.size());
+      for (size_t i = 0; i < data.size(); ++i) {
+        sorted_pts[i] = data[order[i]];
+        sorted_keys[i] = keys[order[i]];
+      }
+      const double measured_dissim = UniformDissimilarity(sorted_keys);
+
+      // Probe keys for query timing, data-distributed.
+      Rng rng(dataset_seed ^ 0x9e37ULL);
+      std::vector<double> probes(cfg.queries);
+      for (double& p : probes) p = sorted_keys[rng.NextBelow(n)];
+
+      ScorerDatasetGroup group;
+      group.log10_n = log10_n;
+      group.dissimilarity = measured_dissim;
+
+      std::map<BuildMethodId, std::pair<double, double>> raw;
+      const std::function<double(const Point&)> key_fn_std = key_fn;
+      for (BuildMethodId method : cfg.processor.enabled) {
+        BuildProcessor* proc = processors[method].get();
+        Timer build_timer;
+        const RankModel model =
+            proc->TrainModel(sorted_pts, sorted_keys, key_fn_std);
+        const double build_seconds = build_timer.ElapsedSeconds();
+
+        Timer query_timer;
+        size_t found = 0;
+        for (double probe : probes) {
+          const auto [lo, hi] = model.SearchRange(probe, n);
+          const auto begin = sorted_keys.begin() + lo;
+          const auto end = sorted_keys.begin() + std::min(hi + 1, n);
+          const auto it = std::lower_bound(begin, end, probe);
+          if (it != end && *it == probe) ++found;
+        }
+        const double query_seconds =
+            query_timer.ElapsedSeconds() / std::max<size_t>(1, cfg.queries);
+        ELSI_CHECK_EQ(found, cfg.queries)
+            << BuildMethodName(method) << " missed indexed keys";
+        raw[method] = {build_seconds, query_seconds};
+      }
+
+      // Normalise to OG = 1 on both axes when OG was measured.
+      double og_build = 1.0;
+      double og_query = 1.0;
+      const auto og = raw.find(BuildMethodId::kOG);
+      if (og != raw.end()) {
+        og_build = std::max(og->second.first, 1e-12);
+        og_query = std::max(og->second.second, 1e-12);
+      }
+      for (const auto& [method, cost] : raw) {
+        ScorerSample sample;
+        sample.method = method;
+        sample.log10_n = log10_n;
+        sample.dissimilarity = measured_dissim;
+        sample.build_cost = cost.first / og_build;
+        sample.query_cost = cost.second / og_query;
+        out.samples.push_back(sample);
+        group.costs[method] = {sample.build_cost, sample.query_cost};
+      }
+      out.groups.push_back(std::move(group));
+    }
+  }
+  return out;
+}
+
+double SelectorAccuracy(MethodSelector* selector,
+                        const ScorerTrainingData& data, double lambda,
+                        double w_q, double tolerance) {
+  ELSI_CHECK(selector != nullptr);
+  if (data.groups.empty()) return 0.0;
+  size_t correct = 0;
+  for (const ScorerDatasetGroup& group : data.groups) {
+    std::vector<BuildMethodId> candidates;
+    candidates.reserve(group.costs.size());
+    for (const auto& [method, cost] : group.costs) {
+      candidates.push_back(method);
+    }
+    const BuildMethodId chosen =
+        selector->Choose(candidates, group.log10_n, group.dissimilarity);
+    if (tolerance <= 0.0) {
+      if (chosen == group.BestMethod(lambda, w_q)) ++correct;
+      continue;
+    }
+    const auto combined = [&](BuildMethodId m) {
+      const auto& cost = group.costs.at(m);
+      return lambda * cost.first + (1.0 - lambda) * w_q * cost.second;
+    };
+    if (combined(chosen) <=
+        (1.0 + tolerance) * combined(group.BestMethod(lambda, w_q))) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / data.groups.size();
+}
+
+}  // namespace elsi

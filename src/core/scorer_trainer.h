@@ -1,0 +1,69 @@
+#ifndef ELSI_CORE_SCORER_TRAINER_H_
+#define ELSI_CORE_SCORER_TRAINER_H_
+
+#include <map>
+#include <vector>
+
+#include "core/build_processor.h"
+#include "core/method_scorer.h"
+#include "core/method_selector.h"
+
+namespace elsi {
+
+/// Configuration of the method-scorer ground-truth generation (Sec.
+/// VII-B2): synthetic data sets spanning a cardinality grid 10^l..10^u and
+/// dissimilarities 0.0..0.9, each built with every applicable method while
+/// build and point-query costs are measured relative to OG.
+struct ScorerTrainerConfig {
+  /// Cardinality grid (log10). The paper uses l=4, u=8; the defaults here
+  /// are scaled for CPU-only runs and swept by the Fig. 6(a) bench.
+  double log10_min = 3.0;
+  double log10_max = 4.5;
+  int cardinality_levels = 4;
+  std::vector<double> dissimilarities = {0.0, 0.1, 0.2, 0.3, 0.4,
+                                         0.5, 0.6, 0.7, 0.8, 0.9};
+  /// Point queries per measurement.
+  size_t queries = 256;
+  /// Method/model parameters used during measurement.
+  BuildProcessorConfig processor;
+  uint64_t seed = 42;
+};
+
+/// Ground truth for one synthetic data set: measured (build, query) cost
+/// pairs per method, relative to OG.
+struct ScorerDatasetGroup {
+  double log10_n = 0.0;
+  double dissimilarity = 0.0;
+  std::map<BuildMethodId, std::pair<double, double>> costs;
+
+  /// Eq. 2 argmin over the measured costs.
+  BuildMethodId BestMethod(double lambda, double w_q) const;
+};
+
+struct ScorerTrainingData {
+  std::vector<ScorerSample> samples;
+  std::vector<ScorerDatasetGroup> groups;
+};
+
+/// Exponent of a power-law data set whose Z-order keys have
+/// dist(Du, D) ~ `target`; found by bisection on a calibration sample.
+double CalibratePowerForDissimilarity(double target, size_t sample_n = 20000,
+                                      uint64_t seed = 42);
+
+/// Runs the full measurement campaign. Expensive (it actually builds models
+/// with every method); benches cache its output.
+ScorerTrainingData GenerateScorerTrainingData(const ScorerTrainerConfig& cfg);
+
+/// Fraction of ground-truth groups where the selector picks the measured
+/// Eq. 2 argmin (the accuracy metric of Fig. 6). `tolerance` widens the
+/// notion of "correct" to any method whose measured combined cost is within
+/// (1 + tolerance) of the argmin's — at CPU bench scale the cheap methods
+/// tie within measurement noise, making the exact-argmin metric ill-posed
+/// (tolerance 0 reproduces the paper's strict definition).
+double SelectorAccuracy(MethodSelector* selector,
+                        const ScorerTrainingData& data, double lambda,
+                        double w_q, double tolerance = 0.0);
+
+}  // namespace elsi
+
+#endif  // ELSI_CORE_SCORER_TRAINER_H_

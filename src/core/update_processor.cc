@@ -1,0 +1,189 @@
+#include "core/update_processor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/cdf.h"
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace elsi {
+
+UpdateProcessor::UpdateProcessor(SpatialIndex* index,
+                                 const RebuildPredictor* predictor,
+                                 const UpdateProcessorConfig& config)
+    : index_(index), predictor_(predictor), config_(config) {
+  ELSI_CHECK(index != nullptr);
+}
+
+double UpdateProcessor::Key(const Point& p) const {
+  if (quantizer_ == nullptr) return 0.0;
+  return static_cast<double>(MortonEncode(quantizer_->QuantizeX(p.x) >> 6,
+                                          quantizer_->QuantizeY(p.y) >> 6));
+}
+
+void UpdateProcessor::RecordBase(const std::vector<Point>& data) {
+  Rect domain = data.empty() ? Rect::Of(0, 0, 1, 1) : BoundingRect(data);
+  if (domain.Area() <= 0.0) {
+    domain.Extend(Point{domain.lo_x - 0.5, domain.lo_y - 0.5, 0});
+    domain.Extend(Point{domain.hi_x + 0.5, domain.hi_y + 0.5, 0});
+  }
+  quantizer_ = std::make_unique<GridQuantizer>(domain);
+  built_n_ = data.size();
+  // Systematic key sample as the stored CDF (deterministic in the seed).
+  const size_t sample = std::min(config_.cdf_sample, data.size());
+  base_sample_.clear();
+  if (sample > 0) {
+    const size_t stride = std::max<size_t>(1, data.size() / sample);
+    Rng rng(config_.seed);
+    for (size_t i = 0; i < data.size(); i += stride) {
+      base_sample_.push_back(Key(data[i]));
+    }
+    std::sort(base_sample_.begin(), base_sample_.end());
+  }
+  inserted_keys_.clear();
+  deleted_keys_.clear();
+  inserted_sorted_ = true;
+  deleted_sorted_ = true;
+  inserts_ = 0;
+  deletes_ = 0;
+  since_check_ = 0;
+}
+
+void UpdateProcessor::Build(const std::vector<Point>& data) {
+  index_->Build(data);
+  RecordBase(data);
+}
+
+void UpdateProcessor::Insert(const Point& p) {
+  index_->Insert(p);
+  inserted_keys_.push_back(Key(p));
+  inserted_sorted_ = false;
+  ++inserts_;
+  if (++since_check_ >= config_.f_u) {
+    since_check_ = 0;
+    MaybeRebuild();
+  }
+}
+
+bool UpdateProcessor::Remove(const Point& p) {
+  if (!index_->Remove(p)) return false;
+  deleted_keys_.push_back(Key(p));
+  deleted_sorted_ = false;
+  ++deletes_;
+  if (++since_check_ >= config_.f_u) {
+    since_check_ = 0;
+    MaybeRebuild();
+  }
+  return true;
+}
+
+double UpdateProcessor::UpdatedCdf(double x) const {
+  if (!inserted_sorted_) {
+    std::sort(inserted_keys_.begin(), inserted_keys_.end());
+    inserted_sorted_ = true;
+  }
+  if (!deleted_sorted_) {
+    std::sort(deleted_keys_.begin(), deleted_keys_.end());
+    deleted_sorted_ = true;
+  }
+  const double n = static_cast<double>(built_n_);
+  const double i = static_cast<double>(inserted_keys_.size());
+  const double d = static_cast<double>(deleted_keys_.size());
+  const double total = n + i - d;
+  if (total <= 0.0) return 0.0;
+  auto ecdf = [x](const std::vector<double>& keys) {
+    if (keys.empty()) return 0.0;
+    const auto it = std::upper_bound(keys.begin(), keys.end(), x);
+    return static_cast<double>(it - keys.begin()) / keys.size();
+  };
+  // F'(x) = (n F(x) + i G(x) - d H(x)) / (n + i - d): the exact ECDF of the
+  // updated multiset when deletions are drawn from the base set.
+  const double f = ecdf(base_sample_);
+  const double g = ecdf(inserted_keys_);
+  const double h = ecdf(deleted_keys_);
+  return std::clamp((n * f + i * g - d * h) / total, 0.0, 1.0);
+}
+
+std::vector<double> UpdateProcessor::EvalGrid() const {
+  // Jump points: quantiles of the base sample plus of the inserted keys.
+  std::vector<double> grid;
+  const size_t per_source = config_.eval_points / 2;
+  auto add_quantiles = [&grid, per_source](const std::vector<double>& keys) {
+    if (keys.empty()) return;
+    const size_t count = std::min(per_source, keys.size());
+    for (size_t i = 0; i < count; ++i) {
+      grid.push_back(keys[i * keys.size() / count]);
+    }
+  };
+  if (!inserted_sorted_) {
+    std::sort(inserted_keys_.begin(), inserted_keys_.end());
+    inserted_sorted_ = true;
+  }
+  add_quantiles(base_sample_);
+  add_quantiles(inserted_keys_);
+  std::sort(grid.begin(), grid.end());
+  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+  return grid;
+}
+
+double UpdateProcessor::CurrentSimilarity() const {
+  if (base_sample_.empty()) return 1.0;
+  double max_gap = 0.0;
+  for (double x : EvalGrid()) {
+    const auto it =
+        std::upper_bound(base_sample_.begin(), base_sample_.end(), x);
+    const double f =
+        static_cast<double>(it - base_sample_.begin()) / base_sample_.size();
+    max_gap = std::max(max_gap, std::fabs(UpdatedCdf(x) - f));
+  }
+  return 1.0 - max_gap;
+}
+
+double UpdateProcessor::CurrentDissimilarity() const {
+  const std::vector<double> grid = EvalGrid();
+  if (grid.size() < 2) return 0.0;
+  const double lo = grid.front();
+  const double hi = grid.back();
+  if (hi <= lo) return 0.0;
+  double max_gap = 0.0;
+  for (double x : grid) {
+    const double uniform = (x - lo) / (hi - lo);
+    max_gap = std::max(max_gap, std::fabs(UpdatedCdf(x) - uniform));
+  }
+  return max_gap;
+}
+
+RebuildFeatures UpdateProcessor::CurrentFeatures() const {
+  RebuildFeatures f;
+  const double current_n = static_cast<double>(
+      std::max<size_t>(1, built_n_ + inserts_ - deletes_));
+  f.log10_n = std::log10(current_n);
+  f.dissimilarity = CurrentDissimilarity();
+  f.depth = static_cast<double>(index_->Depth());
+  f.update_ratio =
+      built_n_ > 0
+          ? static_cast<double>(inserts_ + deletes_) / built_n_
+          : 0.0;
+  f.cdf_similarity = CurrentSimilarity();
+  return f;
+}
+
+void UpdateProcessor::MaybeRebuild() {
+  if (!config_.enable_rebuild || predictor_ == nullptr ||
+      !predictor_->trained()) {
+    return;
+  }
+  if (built_n_ > 0 &&
+      static_cast<double>(inserts_ + deletes_) <
+          config_.min_update_ratio * static_cast<double>(built_n_)) {
+    return;
+  }
+  if (!predictor_->ShouldRebuild(CurrentFeatures())) return;
+  const std::vector<Point> all = index_->CollectAll();
+  index_->Build(all);
+  RecordBase(all);
+  ++rebuilds_;
+}
+
+}  // namespace elsi

@@ -1,0 +1,88 @@
+#ifndef ELSI_CORE_UPDATE_PROCESSOR_H_
+#define ELSI_CORE_UPDATE_PROCESSOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/spatial_index.h"
+#include "core/rebuild_predictor.h"
+#include "curve/zorder.h"
+
+namespace elsi {
+
+struct UpdateProcessorConfig {
+  /// Run the rebuild predictor after every f_u updates (Sec. IV-B2).
+  size_t f_u = 512;
+  /// Base-CDF sample size stored at build time (the paper stores the full
+  /// O(n) CDF vector; a bounded sample bounds memory at the same accuracy).
+  size_t cdf_sample = 4096;
+  /// Evaluation grid for the mixture-CDF similarity.
+  size_t eval_points = 512;
+  bool enable_rebuild = true;
+  /// The predictor is only consulted once at least this fraction of the
+  /// built set has been updated since the last (re)build, preventing
+  /// rebuild thrash on persistently skewed data whose dist(Du, D') stays
+  /// high right after a rebuild.
+  double min_update_ratio = 0.02;
+  uint64_t seed = 42;
+};
+
+/// ELSI's update processor (Sec. IV-B2): routes updates to the base index,
+/// maintains the CDF of the built data set and of the updated set D', and
+/// every f_u updates asks the rebuild predictor whether to trigger a full
+/// rebuild through the build API. With `enable_rebuild` false (or no
+/// predictor) it only tracks statistics — the "-F" variants of Fig. 15.
+class UpdateProcessor {
+ public:
+  /// `index` must outlive the processor. `predictor` may be null.
+  UpdateProcessor(SpatialIndex* index, const RebuildPredictor* predictor,
+                  const UpdateProcessorConfig& config = {});
+
+  /// Builds the base index on `data` and records its CDF (the build API).
+  void Build(const std::vector<Point>& data);
+
+  void Insert(const Point& p);
+  bool Remove(const Point& p);
+
+  size_t rebuild_count() const { return rebuilds_; }
+  size_t update_count() const { return inserts_ + deletes_; }
+
+  /// sim(D', D) between the updated and the built key distributions.
+  double CurrentSimilarity() const;
+
+  /// dist(Du, D') of the updated key distribution.
+  double CurrentDissimilarity() const;
+
+  /// The features the predictor last saw (diagnostics).
+  RebuildFeatures CurrentFeatures() const;
+
+  const SpatialIndex& index() const { return *index_; }
+
+ private:
+  double Key(const Point& p) const;
+  void RecordBase(const std::vector<Point>& data);
+  void MaybeRebuild();
+  /// Mixture ECDF of D' = base + inserts - deletes at x.
+  double UpdatedCdf(double x) const;
+  std::vector<double> EvalGrid() const;
+
+  SpatialIndex* index_;
+  const RebuildPredictor* predictor_;
+  UpdateProcessorConfig config_;
+
+  std::unique_ptr<GridQuantizer> quantizer_;
+  std::vector<double> base_sample_;  // Sorted key sample of the built set.
+  size_t built_n_ = 0;
+  mutable std::vector<double> inserted_keys_;  // Sorted lazily.
+  mutable bool inserted_sorted_ = true;
+  mutable std::vector<double> deleted_keys_;
+  mutable bool deleted_sorted_ = true;
+  size_t inserts_ = 0;
+  size_t deletes_ = 0;
+  size_t since_check_ = 0;
+  size_t rebuilds_ = 0;
+};
+
+}  // namespace elsi
+
+#endif  // ELSI_CORE_UPDATE_PROCESSOR_H_

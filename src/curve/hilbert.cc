@@ -1,0 +1,55 @@
+#include "curve/hilbert.h"
+
+#include "common/logging.h"
+
+namespace elsi {
+namespace {
+
+// Rotates/flips a quadrant so the curve orientation is canonical. Standard
+// helper from Hamilton's compact Hilbert description (also on Wikipedia).
+void Rotate(uint64_t side, uint32_t* x, uint32_t* y, uint32_t rx, uint32_t ry) {
+  if (ry == 0) {
+    if (rx == 1) {
+      *x = static_cast<uint32_t>(side - 1 - *x);
+      *y = static_cast<uint32_t>(side - 1 - *y);
+    }
+    const uint32_t t = *x;
+    *x = *y;
+    *y = t;
+  }
+}
+
+}  // namespace
+
+uint64_t HilbertEncode(uint32_t x, uint32_t y, int order) {
+  ELSI_CHECK(order >= 1 && order <= 32) << "order out of range: " << order;
+  uint64_t d = 0;
+  for (int i = order - 1; i >= 0; --i) {
+    const uint64_t s = 1ULL << i;
+    const uint32_t rx = (x & s) ? 1 : 0;
+    const uint32_t ry = (y & s) ? 1 : 0;
+    d += s * s * ((3 * rx) ^ ry);
+    Rotate(s, &x, &y, rx, ry);
+  }
+  return d;
+}
+
+void HilbertDecode(uint64_t h, uint32_t* x, uint32_t* y, int order) {
+  ELSI_CHECK(order >= 1 && order <= 32) << "order out of range: " << order;
+  uint32_t cx = 0;
+  uint32_t cy = 0;
+  uint64_t t = h;
+  for (int i = 0; i < order; ++i) {
+    const uint64_t s = 1ULL << i;
+    const uint32_t rx = static_cast<uint32_t>((t / 2) & 1);
+    const uint32_t ry = static_cast<uint32_t>((t ^ rx) & 1);
+    Rotate(s, &cx, &cy, rx, ry);
+    cx += static_cast<uint32_t>(s * rx);
+    cy += static_cast<uint32_t>(s * ry);
+    t /= 4;
+  }
+  *x = cx;
+  *y = cy;
+}
+
+}  // namespace elsi

@@ -1,0 +1,19 @@
+#ifndef ELSI_CURVE_HILBERT_H_
+#define ELSI_CURVE_HILBERT_H_
+
+#include <cstdint>
+
+namespace elsi {
+
+/// Hilbert-curve index of the cell (x, y) on a 2^order x 2^order grid.
+/// `order` is the number of bits per dimension (1..32); coordinates must be
+/// < 2^order. The Hilbert curve preserves locality better than the Z-curve
+/// and is the ordering used by the HRR bulk-loaded R-tree.
+uint64_t HilbertEncode(uint32_t x, uint32_t y, int order = 32);
+
+/// Inverse of HilbertEncode.
+void HilbertDecode(uint64_t h, uint32_t* x, uint32_t* y, int order = 32);
+
+}  // namespace elsi
+
+#endif  // ELSI_CURVE_HILBERT_H_

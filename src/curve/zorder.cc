@@ -1,0 +1,122 @@
+#include "curve/zorder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace elsi {
+namespace {
+
+// Spreads the 32 bits of `v` to the even bit positions of a 64-bit word.
+uint64_t SpreadBits(uint32_t v) {
+  uint64_t x = v;
+  x = (x | (x << 16)) & 0x0000ffff0000ffffULL;
+  x = (x | (x << 8)) & 0x00ff00ff00ff00ffULL;
+  x = (x | (x << 4)) & 0x0f0f0f0f0f0f0f0fULL;
+  x = (x | (x << 2)) & 0x3333333333333333ULL;
+  x = (x | (x << 1)) & 0x5555555555555555ULL;
+  return x;
+}
+
+// Inverse of SpreadBits: gathers the even bit positions into 32 bits.
+uint32_t GatherBits(uint64_t x) {
+  x &= 0x5555555555555555ULL;
+  x = (x | (x >> 1)) & 0x3333333333333333ULL;
+  x = (x | (x >> 2)) & 0x0f0f0f0f0f0f0f0fULL;
+  x = (x | (x >> 4)) & 0x00ff00ff00ff00ffULL;
+  x = (x | (x >> 8)) & 0x0000ffff0000ffffULL;
+  x = (x | (x >> 16)) & 0x00000000ffffffffULL;
+  return static_cast<uint32_t>(x);
+}
+
+// Mask of every bit belonging to the same dimension as `bit` (0-based from
+// the LSB) that is strictly below `bit`, within an interleaved code.
+uint64_t SameDimLowerMask(int bit) {
+  const uint64_t dim_mask =
+      (bit % 2 == 0) ? 0x5555555555555555ULL : 0xaaaaaaaaaaaaaaaaULL;
+  const uint64_t below = (bit == 0) ? 0 : ((1ULL << bit) - 1);
+  return dim_mask & below;
+}
+
+}  // namespace
+
+uint64_t MortonEncode(uint32_t x, uint32_t y) {
+  return SpreadBits(x) | (SpreadBits(y) << 1);
+}
+
+void MortonDecode(uint64_t code, uint32_t* x, uint32_t* y) {
+  *x = GatherBits(code);
+  *y = GatherBits(code >> 1);
+}
+
+bool ZCodeInBox(uint64_t code, uint64_t zmin, uint64_t zmax) {
+  uint32_t x, y, lx, ly, hx, hy;
+  MortonDecode(code, &x, &y);
+  MortonDecode(zmin, &lx, &ly);
+  MortonDecode(zmax, &hx, &hy);
+  return x >= lx && x <= hx && y >= ly && y <= hy;
+}
+
+uint64_t ZBigmin(uint64_t code, uint64_t zmin, uint64_t zmax) {
+  ELSI_DCHECK(zmin <= zmax);
+  uint64_t bigmin = zmax;  // Fallback; the loop always finds a tighter value
+                           // when `code` is inside [zmin, zmax).
+  for (int bit = 63; bit >= 0; --bit) {
+    const uint64_t mask = 1ULL << bit;
+    const int c = (code & mask) ? 1 : 0;
+    const int lo = (zmin & mask) ? 1 : 0;
+    const int hi = (zmax & mask) ? 1 : 0;
+    const int pattern = (c << 2) | (lo << 1) | hi;
+    switch (pattern) {
+      case 0b000:
+        break;  // All zero at this bit: continue to lower bits.
+      case 0b001: {
+        // code=0, min=0, max=1: the box splits here. Candidate BIGMIN lives
+        // in the upper half: min with this bit forced to 1 and same-dim
+        // lower bits cleared. Continue searching the lower half.
+        const uint64_t lower = SameDimLowerMask(bit);
+        bigmin = (zmin | mask) & ~lower;
+        zmax = (zmax & ~mask) | lower;  // "0111...": top of the lower half.
+        break;
+      }
+      case 0b011:
+        // code=0, min=1: every box code is above `code`; zmin is BIGMIN.
+        return zmin;
+      case 0b100:
+        // code=1, max=0: every box code is below `code`; return the best
+        // candidate recorded so far.
+        return bigmin;
+      case 0b101: {
+        // code=1, min=0, max=1: only the upper half can exceed `code`.
+        const uint64_t lower = SameDimLowerMask(bit);
+        zmin = (zmin | mask) & ~lower;  // "1000...": bottom of the upper half.
+        break;
+      }
+      case 0b111:
+        break;  // All one: continue to lower bits.
+      default:
+        // min bit = 1 with max bit = 0 contradicts zmin <= zmax per
+        // dimension; unreachable for corner-derived codes.
+        ELSI_CHECK(false) << "invalid BIGMIN state at bit " << bit;
+    }
+  }
+  return bigmin;
+}
+
+GridQuantizer::GridQuantizer(const Rect& domain) : domain_(domain) {
+  ELSI_CHECK(!domain.empty()) << "quantizer domain must be non-empty";
+  const double wx = domain.hi_x - domain.lo_x;
+  const double wy = domain.hi_y - domain.lo_y;
+  // Degenerate extents collapse to a single grid line; guard the division.
+  inv_wx_ = wx > 0 ? 1.0 / wx : 0.0;
+  inv_wy_ = wy > 0 ? 1.0 / wy : 0.0;
+}
+
+uint32_t GridQuantizer::Quantize(double v, double lo, double inv_w) {
+  constexpr double kMax = 4294967295.0;  // 2^32 - 1
+  const double t = std::clamp((v - lo) * inv_w, 0.0, 1.0);
+  return static_cast<uint32_t>(t * kMax);
+}
+
+}  // namespace elsi

@@ -1,0 +1,56 @@
+#ifndef ELSI_CURVE_ZORDER_H_
+#define ELSI_CURVE_ZORDER_H_
+
+#include <cstdint>
+
+#include "common/geometry.h"
+
+namespace elsi {
+
+/// Interleaves the bits of two 32-bit coordinates into a 64-bit Morton
+/// (Z-order) code: bit i of x lands at position 2i, bit i of y at 2i + 1.
+uint64_t MortonEncode(uint32_t x, uint32_t y);
+
+/// Inverse of MortonEncode.
+void MortonDecode(uint64_t code, uint32_t* x, uint32_t* y);
+
+/// BIGMIN (Tropf & Herzog, 1981): the smallest Z-code >= `code` whose
+/// decoded point lies inside the query box [zmin, zmax] (both inclusive,
+/// given as Z-codes of the box's low and high corners). Requires
+/// zmin <= code <= zmax and `code` itself decoding *outside* the box;
+/// used to skip false-positive runs during Z-range window scans.
+uint64_t ZBigmin(uint64_t code, uint64_t zmin, uint64_t zmax);
+
+/// True when the point decoded from `code` lies inside the box spanned by
+/// the decoded corners of `zmin` and `zmax`.
+bool ZCodeInBox(uint64_t code, uint64_t zmin, uint64_t zmax);
+
+/// Maps doubles in a fixed domain rectangle onto the 32-bit-per-dimension
+/// integer grid used by the curves. Values outside the domain are clamped,
+/// which keeps insertions of out-of-domain points well defined.
+class GridQuantizer {
+ public:
+  /// `domain` must have positive extent in both dimensions.
+  explicit GridQuantizer(const Rect& domain);
+
+  uint32_t QuantizeX(double x) const { return Quantize(x, domain_.lo_x, inv_wx_); }
+  uint32_t QuantizeY(double y) const { return Quantize(y, domain_.lo_y, inv_wy_); }
+
+  /// Z-code of a point under this quantizer.
+  uint64_t ZCode(const Point& p) const {
+    return MortonEncode(QuantizeX(p.x), QuantizeY(p.y));
+  }
+
+  const Rect& domain() const { return domain_; }
+
+ private:
+  static uint32_t Quantize(double v, double lo, double inv_w);
+
+  Rect domain_;
+  double inv_wx_;
+  double inv_wy_;
+};
+
+}  // namespace elsi
+
+#endif  // ELSI_CURVE_ZORDER_H_

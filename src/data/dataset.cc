@@ -1,0 +1,80 @@
+#include "data/dataset.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace elsi {
+
+bool SaveBinary(const Dataset& data, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  const uint64_t n = data.size();
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  for (const Point& p : data) {
+    out.write(reinterpret_cast<const char*>(&p.x), sizeof(p.x));
+    out.write(reinterpret_cast<const char*>(&p.y), sizeof(p.y));
+    out.write(reinterpret_cast<const char*>(&p.id), sizeof(p.id));
+  }
+  return static_cast<bool>(out);
+}
+
+bool LoadBinary(const std::string& path, Dataset* out) {
+  out->clear();
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!in) return false;
+  out->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    Point p;
+    in.read(reinterpret_cast<char*>(&p.x), sizeof(p.x));
+    in.read(reinterpret_cast<char*>(&p.y), sizeof(p.y));
+    in.read(reinterpret_cast<char*>(&p.id), sizeof(p.id));
+    if (!in) {
+      out->clear();
+      return false;
+    }
+    out->push_back(p);
+  }
+  return true;
+}
+
+bool SaveCsv(const Dataset& data, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "x,y,id\n";
+  char buf[96];
+  for (const Point& p : data) {
+    std::snprintf(buf, sizeof(buf), "%.17g,%.17g,%llu\n", p.x, p.y,
+                  static_cast<unsigned long long>(p.id));
+    out << buf;
+  }
+  return static_cast<bool>(out);
+}
+
+bool LoadCsv(const std::string& path, Dataset* out) {
+  out->clear();
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("x,", 0) == 0) continue;  // Header.
+    std::istringstream ss(line);
+    Point p;
+    char comma1 = 0;
+    char comma2 = 0;
+    if (!(ss >> p.x >> comma1 >> p.y >> comma2 >> p.id) || comma1 != ',' ||
+        comma2 != ',') {
+      out->clear();
+      return false;
+    }
+    out->push_back(p);
+  }
+  return true;
+}
+
+}  // namespace elsi

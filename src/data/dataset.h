@@ -1,0 +1,33 @@
+#ifndef ELSI_DATA_DATASET_H_
+#define ELSI_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace elsi {
+
+/// A data set is simply an owning vector of points; ids are assigned densely
+/// at generation/load time and survive shuffles so deletions can refer to
+/// stable identities.
+using Dataset = std::vector<Point>;
+
+/// Writes `data` as a little-endian binary file (x, y as float64, id as
+/// uint64 per record). Returns false on IO failure.
+bool SaveBinary(const Dataset& data, const std::string& path);
+
+/// Reads a file written by SaveBinary. Returns false on IO failure or a
+/// malformed (truncated) file; `out` is cleared first.
+bool LoadBinary(const std::string& path, Dataset* out);
+
+/// Writes "x,y,id" CSV rows with a header line. Returns false on IO failure.
+bool SaveCsv(const Dataset& data, const std::string& path);
+
+/// Reads CSV produced by SaveCsv (header optional). Returns false on IO
+/// failure or malformed rows; `out` is cleared first.
+bool LoadCsv(const std::string& path, Dataset* out);
+
+}  // namespace elsi
+
+#endif  // ELSI_DATA_DATASET_H_

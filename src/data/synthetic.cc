@@ -1,0 +1,179 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace elsi {
+namespace {
+
+double Clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+// Gaussian-mixture generator shared by the OSM-like and NYC-like families.
+// `centers` clusters with power-law weights; each cluster is an anisotropic
+// Gaussian rotated by a random angle; `background` fraction of points is
+// uniform noise covering the whole square (roads/rivers between cities).
+Dataset GenerateMixture(size_t n, int centers, double weight_alpha,
+                        double sigma_lo, double sigma_hi, double anisotropy,
+                        double background, uint64_t seed) {
+  Rng rng(seed);
+  struct Cluster {
+    double cx, cy, sx, sy, cos_t, sin_t, weight;
+  };
+  std::vector<Cluster> clusters(centers);
+  double total_weight = 0.0;
+  for (int i = 0; i < centers; ++i) {
+    Cluster& c = clusters[i];
+    c.cx = rng.NextDouble(0.05, 0.95);
+    c.cy = rng.NextDouble(0.05, 0.95);
+    const double sigma = rng.NextDouble(sigma_lo, sigma_hi);
+    c.sx = sigma;
+    c.sy = sigma / rng.NextDouble(1.0, anisotropy);
+    const double theta = rng.NextDouble(0.0, M_PI);
+    c.cos_t = std::cos(theta);
+    c.sin_t = std::sin(theta);
+    // Zipf-like weights: a few dominant metropolises, a long tail of towns.
+    c.weight = std::pow(static_cast<double>(i + 1), -weight_alpha);
+    total_weight += c.weight;
+  }
+  std::vector<double> cum(centers);
+  double acc = 0.0;
+  for (int i = 0; i < centers; ++i) {
+    acc += clusters[i].weight / total_weight;
+    cum[i] = acc;
+  }
+
+  Dataset data;
+  data.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Point p;
+    p.id = i;
+    if (rng.NextDouble() < background) {
+      p.x = rng.NextDouble();
+      p.y = rng.NextDouble();
+    } else {
+      const double u = rng.NextDouble();
+      const auto it = std::lower_bound(cum.begin(), cum.end(), u);
+      const Cluster& c = clusters[it - cum.begin()];
+      const double gx = rng.NextGaussian() * c.sx;
+      const double gy = rng.NextGaussian() * c.sy;
+      p.x = Clamp01(c.cx + gx * c.cos_t - gy * c.sin_t);
+      p.y = Clamp01(c.cy + gx * c.sin_t + gy * c.cos_t);
+    }
+    data.push_back(p);
+  }
+  return data;
+}
+
+// TPC-H lineitem's (quantity, shipdate) columns form an integer lattice:
+// quantity is uniform over 1..50, shipdate spans ~7 years with light
+// seasonality and is heavily duplicated. Coordinates are normalised to the
+// unit square but keep their lattice structure (many exact ties).
+Dataset GenerateTpchLike(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  constexpr int kQuantities = 50;
+  constexpr int kDays = 2526;  // 1992-01-01 .. 1998-12-01, per the spec.
+  Dataset data;
+  data.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int q = 1 + static_cast<int>(rng.NextBelow(kQuantities));
+    // Seasonality: order volume swells mid-year; rejection-sample days.
+    int day;
+    for (;;) {
+      day = static_cast<int>(rng.NextBelow(kDays));
+      const double season =
+          0.75 + 0.25 * std::sin(2.0 * M_PI * (day % 365) / 365.0);
+      if (rng.NextDouble() < season) break;
+    }
+    Point p;
+    p.x = static_cast<double>(q) / kQuantities;
+    p.y = static_cast<double>(day) / kDays;
+    p.id = i;
+    data.push_back(p);
+  }
+  return data;
+}
+
+}  // namespace
+
+std::string DatasetKindName(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kUniform:
+      return "Uniform";
+    case DatasetKind::kSkewed:
+      return "Skewed";
+    case DatasetKind::kOsm1:
+      return "OSM1";
+    case DatasetKind::kOsm2:
+      return "OSM2";
+    case DatasetKind::kTpch:
+      return "TPC-H";
+    case DatasetKind::kNyc:
+      return "NYC";
+  }
+  return "?";
+}
+
+Dataset GenerateUniform(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset data;
+  data.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    data.push_back(Point{rng.NextDouble(), rng.NextDouble(), i});
+  }
+  return data;
+}
+
+Dataset GeneratePower(size_t n, double x_power, double y_power, uint64_t seed) {
+  ELSI_CHECK_GE(x_power, 1.0);
+  ELSI_CHECK_GE(y_power, 1.0);
+  Rng rng(seed);
+  Dataset data;
+  data.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    data.push_back(Point{std::pow(rng.NextDouble(), x_power),
+                         std::pow(rng.NextDouble(), y_power), i});
+  }
+  return data;
+}
+
+Dataset GenerateSkewed(size_t n, uint64_t seed, double s) {
+  return GeneratePower(n, 1.0, s, seed);
+}
+
+Dataset GenerateDataset(DatasetKind kind, size_t n, uint64_t seed) {
+  switch (kind) {
+    case DatasetKind::kUniform:
+      return GenerateUniform(n, seed);
+    case DatasetKind::kSkewed:
+      return GenerateSkewed(n, seed);
+    case DatasetKind::kOsm1:
+      // Continental extract: many towns, moderate anisotropy, wide spread.
+      return GenerateMixture(n, /*centers=*/64, /*weight_alpha=*/1.1,
+                             /*sigma_lo=*/0.004, /*sigma_hi=*/0.06,
+                             /*anisotropy=*/3.0, /*background=*/0.10,
+                             seed ^ 0x05a11ULL);
+    case DatasetKind::kOsm2:
+      // Denser extract: population concentrated along coasts -> fewer, larger
+      // clusters and a thinner background.
+      return GenerateMixture(n, /*centers=*/32, /*weight_alpha=*/1.4,
+                             /*sigma_lo=*/0.003, /*sigma_hi=*/0.09,
+                             /*anisotropy=*/5.0, /*background=*/0.06,
+                             seed ^ 0x05a22ULL);
+    case DatasetKind::kTpch:
+      return GenerateTpchLike(n, seed ^ 0x79c4ULL);
+    case DatasetKind::kNyc:
+      // Taxi pickups: a handful of extremely dense, strongly elongated
+      // clusters (avenues) and almost no background.
+      return GenerateMixture(n, /*centers=*/12, /*weight_alpha=*/1.8,
+                             /*sigma_lo=*/0.0015, /*sigma_hi=*/0.02,
+                             /*anisotropy=*/8.0, /*background=*/0.02,
+                             seed ^ 0x0c17cULL);
+  }
+  ELSI_CHECK(false) << "unknown dataset kind";
+  return {};
+}
+
+}  // namespace elsi

@@ -1,0 +1,82 @@
+#include "data/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace elsi {
+
+std::vector<Point> SamplePointQueries(const Dataset& data, size_t m,
+                                      uint64_t seed) {
+  ELSI_CHECK(!data.empty());
+  Rng rng(seed);
+  std::vector<Point> queries;
+  queries.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    queries.push_back(data[rng.NextBelow(data.size())]);
+  }
+  return queries;
+}
+
+std::vector<Rect> SampleWindowQueries(const Dataset& data, size_t m,
+                                      double area_fraction, uint64_t seed) {
+  ELSI_CHECK(!data.empty());
+  ELSI_CHECK_GT(area_fraction, 0.0);
+  Rng rng(seed);
+  const Rect domain = BoundingRect(data);
+  const double side = std::sqrt(domain.Area() * area_fraction);
+  std::vector<Rect> queries;
+  queries.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    const Point& c = data[rng.NextBelow(data.size())];
+    queries.push_back(Rect::Of(c.x - side / 2, c.y - side / 2, c.x + side / 2,
+                               c.y + side / 2));
+  }
+  return queries;
+}
+
+std::vector<Point> SampleKnnQueries(const Dataset& data, size_t m,
+                                    uint64_t seed) {
+  return SamplePointQueries(data, m, seed ^ 0x6b6e6eULL);
+}
+
+std::vector<Point> BruteForceWindow(const Dataset& data, const Rect& w) {
+  std::vector<Point> result;
+  for (const Point& p : data) {
+    if (w.Contains(p)) result.push_back(p);
+  }
+  return result;
+}
+
+std::vector<Point> BruteForceKnn(const Dataset& data, const Point& q,
+                                 size_t k) {
+  std::vector<Point> pts = data;
+  const size_t kk = std::min(k, pts.size());
+  std::partial_sort(pts.begin(), pts.begin() + kk, pts.end(),
+                    [&q](const Point& a, const Point& b) {
+                      const double da = SquaredDistance(a, q);
+                      const double db = SquaredDistance(b, q);
+                      if (da != db) return da < db;
+                      return a.id < b.id;
+                    });
+  pts.resize(kk);
+  return pts;
+}
+
+double Recall(const std::vector<Point>& result,
+              const std::vector<Point>& truth) {
+  if (truth.empty()) return 1.0;
+  std::unordered_set<uint64_t> got;
+  got.reserve(result.size());
+  for (const Point& p : result) got.insert(p.id);
+  size_t hit = 0;
+  for (const Point& p : truth) {
+    if (got.count(p.id)) ++hit;
+  }
+  return static_cast<double>(hit) / truth.size();
+}
+
+}  // namespace elsi

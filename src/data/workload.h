@@ -1,0 +1,40 @@
+#ifndef ELSI_DATA_WORKLOAD_H_
+#define ELSI_DATA_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace elsi {
+
+/// Draws `m` query points from the data set (with replacement), following the
+/// data distribution as the paper's query workloads do.
+std::vector<Point> SamplePointQueries(const Dataset& data, size_t m,
+                                      uint64_t seed);
+
+/// Generates `m` square window queries centred on data-distributed points.
+/// `area_fraction` is the window area as a fraction of the data's bounding
+/// box area (the paper sweeps 0.0006%..0.16%; 0.01% is the default setting).
+std::vector<Rect> SampleWindowQueries(const Dataset& data, size_t m,
+                                      double area_fraction, uint64_t seed);
+
+/// kNN query centres, data-distributed.
+std::vector<Point> SampleKnnQueries(const Dataset& data, size_t m,
+                                    uint64_t seed);
+
+/// Brute-force window query ground truth: every point of `data` inside `w`.
+std::vector<Point> BruteForceWindow(const Dataset& data, const Rect& w);
+
+/// Brute-force kNN ground truth: the k points of `data` closest to `q`
+/// (ties broken by id for determinism), ordered by ascending distance.
+std::vector<Point> BruteForceKnn(const Dataset& data, const Point& q, size_t k);
+
+/// Recall of `result` against ground truth `truth`, matching points by id.
+/// Returns 1.0 when truth is empty.
+double Recall(const std::vector<Point>& result,
+              const std::vector<Point>& truth);
+
+}  // namespace elsi
+
+#endif  // ELSI_DATA_WORKLOAD_H_

@@ -1,0 +1,245 @@
+#include "learned/flood_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace elsi {
+
+FloodIndex::FloodIndex(std::shared_ptr<ModelTrainer> trainer,
+                       const Config& config)
+    : trainer_(std::move(trainer)), config_(config) {
+  ELSI_CHECK(trainer_ != nullptr);
+}
+
+size_t FloodIndex::ColumnOf(double x) const {
+  // Last column whose lower boundary is <= x.
+  const auto it =
+      std::upper_bound(column_x_.begin() + 1, column_x_.end() - 1, x);
+  return static_cast<size_t>(it - column_x_.begin()) - 1;
+}
+
+void FloodIndex::Build(const std::vector<Point>& data) {
+  size_ = data.size();
+  domain_ = data.empty() ? Rect::Of(0, 0, 1, 1) : BoundingRect(data);
+  size_t cols = config_.columns;
+  if (cols == 0) {
+    cols = std::max<size_t>(
+        1, static_cast<size_t>(std::sqrt(
+               static_cast<double>(std::max<size_t>(1, data.size())) /
+               config_.block_capacity)));
+  }
+
+  // Equal-count column boundaries from the x-order; outer boundaries are
+  // infinite so later inserts always land somewhere.
+  std::vector<double> xs(data.size());
+  for (size_t i = 0; i < data.size(); ++i) xs[i] = data[i].x;
+  std::sort(xs.begin(), xs.end());
+  column_x_.assign(cols + 1, 0.0);
+  column_x_.front() = -std::numeric_limits<double>::infinity();
+  column_x_.back() = std::numeric_limits<double>::infinity();
+  for (size_t c = 1; c < cols; ++c) {
+    column_x_[c] = xs.empty() ? static_cast<double>(c) / cols
+                              : xs[c * xs.size() / cols];
+  }
+
+  columns_.clear();
+  columns_.reserve(cols);
+  for (size_t c = 0; c < cols; ++c) {
+    columns_.emplace_back(config_.block_capacity);
+  }
+  for (const Point& p : data) columns_[ColumnOf(p.x)].pts.push_back(p);
+
+  for (Column& column : columns_) {
+    std::sort(column.pts.begin(), column.pts.end(),
+              [](const Point& a, const Point& b) {
+                if (a.y != b.y) return a.y < b.y;
+                return a.id < b.id;
+              });
+    column.ys.resize(column.pts.size());
+    for (size_t i = 0; i < column.pts.size(); ++i) {
+      column.ys[i] = column.pts[i].y;
+    }
+    if (!column.ys.empty()) {
+      // Per-column model over the y-order — the training request ELSI
+      // accelerates.
+      column.model = trainer_->TrainModel(
+          column.pts, column.ys, [](const Point& p) { return p.y; });
+    }
+  }
+}
+
+void FloodIndex::ScanColumn(const Column& c, double y_lo, double y_hi,
+                            const Rect& w, std::vector<Point>* out) const {
+  if (!c.ys.empty() && c.model.trained()) {
+    // Predict-and-scan with an exact lower-bound fix-up (the same pattern
+    // as SegmentedLearnedArray::LowerBound), which also stays correct when
+    // removals have shifted positions since the model was trained.
+    const size_t n = c.ys.size();
+    const auto [lo, hi_pos] = c.model.SearchRange(y_lo, n);
+    size_t pos;
+    if (lo > 0 && c.ys[lo - 1] >= y_lo) {
+      pos = static_cast<size_t>(
+          std::lower_bound(c.ys.begin(), c.ys.end(), y_lo) - c.ys.begin());
+    } else {
+      const size_t window_end = std::min(hi_pos + 1, n);
+      pos = static_cast<size_t>(
+          std::lower_bound(c.ys.begin() + lo, c.ys.begin() + window_end,
+                           y_lo) -
+          c.ys.begin());
+      if (pos == window_end && window_end < n) {
+        pos = static_cast<size_t>(
+            std::lower_bound(c.ys.begin() + window_end, c.ys.end(), y_lo) -
+            c.ys.begin());
+      }
+    }
+    for (; pos < n && c.ys[pos] <= y_hi; ++pos) {
+      if (w.Contains(c.pts[pos])) out->push_back(c.pts[pos]);
+    }
+  }
+  c.overflow.ScanKeyRangeInRect(y_lo, y_hi, w, out);
+}
+
+bool FloodIndex::PointQuery(const Point& q, Point* out) const {
+  if (columns_.empty()) return false;
+  const Column& c = columns_[ColumnOf(q.x)];
+  std::vector<Point> hits;
+  ScanColumn(c, q.y, q.y, Rect::Of(q.x, q.y, q.x, q.y), &hits);
+  if (hits.empty()) return false;
+  if (out != nullptr) *out = hits.front();
+  return true;
+}
+
+std::vector<Point> FloodIndex::WindowQuery(const Rect& w) const {
+  std::vector<Point> result;
+  if (w.empty() || columns_.empty()) return result;
+  const size_t c_lo = ColumnOf(w.lo_x);
+  const size_t c_hi = ColumnOf(w.hi_x);
+  for (size_t c = c_lo; c <= c_hi && c < columns_.size(); ++c) {
+    ScanColumn(columns_[c], w.lo_y, w.hi_y, w, &result);
+  }
+  return result;
+}
+
+std::vector<Point> FloodIndex::KnnQuery(const Point& q, size_t k) const {
+  std::vector<Point> result;
+  if (columns_.empty() || size_ == 0 || k == 0) return result;
+  const double diag = std::hypot(domain_.hi_x - domain_.lo_x,
+                                 domain_.hi_y - domain_.lo_y);
+  double r = config_.knn_radius_factor * diag *
+             std::sqrt(static_cast<double>(k) / std::max<size_t>(1, size_));
+  r = std::max(r, diag * 1e-6);
+  for (;;) {
+    const Rect w = Rect::Of(q.x - r, q.y - r, q.x + r, q.y + r);
+    std::vector<Point> candidates = WindowQuery(w);
+    if (candidates.size() >= k || r > diag) {
+      std::sort(candidates.begin(), candidates.end(),
+                [&q](const Point& a, const Point& b) {
+                  const double da = SquaredDistance(a, q);
+                  const double db = SquaredDistance(b, q);
+                  if (da != db) return da < db;
+                  return a.id < b.id;
+                });
+      if (candidates.size() > k) candidates.resize(k);
+      if (r > diag || (candidates.size() == k &&
+                       SquaredDistance(candidates.back(), q) <= r * r)) {
+        return candidates;
+      }
+    }
+    r *= 2.0;
+  }
+}
+
+void FloodIndex::Insert(const Point& p) {
+  if (columns_.empty()) {
+    Build({p});
+    return;
+  }
+  Column& c = columns_[ColumnOf(p.x)];
+  c.overflow.Insert(p, p.y);
+  ++size_;
+}
+
+bool FloodIndex::Remove(const Point& p) {
+  if (columns_.empty()) return false;
+  Column& c = columns_[ColumnOf(p.x)];
+  if (c.overflow.Erase(p.id, p.y)) {
+    --size_;
+    return true;
+  }
+  const auto range = std::equal_range(c.ys.begin(), c.ys.end(), p.y);
+  for (auto it = range.first; it != range.second; ++it) {
+    const size_t i = static_cast<size_t>(it - c.ys.begin());
+    if (c.pts[i].id == p.id && c.pts[i].x == p.x) {
+      c.pts.erase(c.pts.begin() + i);
+      c.ys.erase(c.ys.begin() + i);
+      --size_;
+      // Positions shifted left by one past i; widen nothing — the model's
+      // SearchRange may now under-cover by up to the number of removals, so
+      // the exact-lower-bound fallback in ScanColumn keeps queries correct.
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t FloodIndex::size() const { return size_; }
+
+std::vector<Point> FloodIndex::CollectAll() const {
+  std::vector<Point> all;
+  all.reserve(size_);
+  for (const Column& c : columns_) {
+    all.insert(all.end(), c.pts.begin(), c.pts.end());
+    for (const Block& b : c.overflow.blocks()) {
+      all.insert(all.end(), b.points.begin(), b.points.end());
+    }
+  }
+  return all;
+}
+
+size_t FloodIndex::TuneColumnCount(const std::vector<Point>& data,
+                                   const std::vector<Rect>& workload,
+                                   std::shared_ptr<ModelTrainer> trainer,
+                                   const Config& config, size_t sample_limit) {
+  ELSI_CHECK(!data.empty());
+  // Evaluate on a sample so tuning stays cheap relative to the final build.
+  std::vector<Point> sample;
+  if (data.size() <= sample_limit) {
+    sample = data;
+  } else {
+    const size_t stride = data.size() / sample_limit;
+    for (size_t i = 0; i < data.size(); i += stride) sample.push_back(data[i]);
+  }
+  const size_t heuristic = std::max<size_t>(
+      1, static_cast<size_t>(std::sqrt(
+             static_cast<double>(sample.size()) / config.block_capacity)));
+  size_t best_cols = heuristic;
+  double best_seconds = std::numeric_limits<double>::infinity();
+  for (double factor : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    const size_t cols = std::max<size_t>(
+        1, static_cast<size_t>(heuristic * factor));
+    Config candidate = config;
+    candidate.columns = cols;
+    FloodIndex index(trainer, candidate);
+    index.Build(sample);
+    Timer timer;
+    size_t sink = 0;
+    for (const Rect& w : workload) sink += index.WindowQuery(w).size();
+    (void)sink;
+    const double seconds = timer.ElapsedSeconds();
+    if (seconds < best_seconds) {
+      best_seconds = seconds;
+      best_cols = cols;
+    }
+  }
+  // Rescale the winning sample grid to the full cardinality.
+  const double scale = std::sqrt(static_cast<double>(data.size()) /
+                                 static_cast<double>(sample.size()));
+  return std::max<size_t>(1, static_cast<size_t>(best_cols * scale));
+}
+
+}  // namespace elsi

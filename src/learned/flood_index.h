@@ -1,0 +1,88 @@
+#ifndef ELSI_LEARNED_FLOOD_INDEX_H_
+#define ELSI_LEARNED_FLOOD_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/spatial_index.h"
+#include "learned/rank_model.h"
+#include "storage/block_store.h"
+
+namespace elsi {
+
+/// A Flood-style query-aware learned index (Nathan et al., SIGMOD 2020) —
+/// the paper's second named future-work target. The 2-D space is cut into
+/// equal-count columns over x (the (d-1)-dimensional grid of Flood with
+/// d = 2); within each column points are sorted by y and indexed by a rank
+/// model. Every per-column model trains through a ModelTrainer, so ELSI
+/// accelerates Flood builds exactly as it does the paper's four base
+/// indices. Queries are exact.
+///
+/// The query-aware part: TuneColumnCount() picks the column count by
+/// evaluating candidate grids against a sample window workload, trading the
+/// number of visited columns (x-overlap) against per-column scan lengths
+/// (y-selectivity) — the essence of Flood's workload-driven layout.
+struct FloodIndexConfig {
+  /// Columns over x. 0 = sqrt(n / block) heuristic at build time.
+  size_t columns = 0;
+  size_t block_capacity = kDefaultBlockCapacity;
+  double knn_radius_factor = 2.0;
+};
+
+class FloodIndex : public SpatialIndex {
+ public:
+  using Config = FloodIndexConfig;
+
+  explicit FloodIndex(std::shared_ptr<ModelTrainer> trainer,
+                      const Config& config = {});
+
+  std::string Name() const override { return "Flood"; }
+  void Build(const std::vector<Point>& data) override;
+  void Insert(const Point& p) override;
+  bool Remove(const Point& p) override;
+  bool PointQuery(const Point& q, Point* out = nullptr) const override;
+  std::vector<Point> WindowQuery(const Rect& w) const override;
+  std::vector<Point> KnnQuery(const Point& q, size_t k) const override;
+  size_t size() const override;
+  std::vector<Point> CollectAll() const override;
+  int Depth() const override { return 1; }
+
+  size_t column_count() const { return columns_.size(); }
+
+  /// Workload-driven layout search: builds candidate grids over a sample of
+  /// `data` and returns the column count with the lowest measured total
+  /// window-query time on `workload`. Candidates are powers of two around
+  /// the sqrt(n/B) heuristic.
+  static size_t TuneColumnCount(const std::vector<Point>& data,
+                                const std::vector<Rect>& workload,
+                                std::shared_ptr<ModelTrainer> trainer,
+                                const Config& config = {},
+                                size_t sample_limit = 20000);
+
+ private:
+  struct Column {
+    std::vector<Point> pts;   // Sorted by y.
+    std::vector<double> ys;   // Parallel, ascending.
+    RankModel model;
+    PagedList overflow;
+
+    explicit Column(size_t block_capacity) : overflow(block_capacity) {}
+  };
+
+  size_t ColumnOf(double x) const;
+  /// Appends base+overflow points of column `c` with y in [lo, hi] inside
+  /// `w` to `out`.
+  void ScanColumn(const Column& c, double y_lo, double y_hi, const Rect& w,
+                  std::vector<Point>* out) const;
+
+  std::shared_ptr<ModelTrainer> trainer_;
+  Config config_;
+  size_t size_ = 0;
+  Rect domain_;
+  std::vector<double> column_x_;  // columns+1 boundaries (outer infinite).
+  std::vector<Column> columns_;
+};
+
+}  // namespace elsi
+
+#endif  // ELSI_LEARNED_FLOOD_INDEX_H_

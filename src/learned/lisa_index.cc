@@ -1,0 +1,265 @@
+#include "learned/lisa_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace elsi {
+
+LisaIndex::LisaIndex(std::shared_ptr<ModelTrainer> trainer,
+                     const Config& config)
+    : trainer_(std::move(trainer)), config_(config) {
+  ELSI_CHECK(trainer_ != nullptr);
+  ELSI_CHECK_GT(config.strips, 0u);
+  ELSI_CHECK_GT(config.cells_per_strip, 0u);
+}
+
+size_t LisaIndex::StripOf(double x) const {
+  // Last strip whose lower boundary is <= x (clamped at the ends).
+  const auto it = std::upper_bound(strip_x_.begin() + 1, strip_x_.end() - 1, x);
+  return static_cast<size_t>(it - strip_x_.begin()) - 1;
+}
+
+size_t LisaIndex::CellOf(size_t strip, double y) const {
+  const std::vector<double>& ys = cell_y_[strip];
+  const auto it = std::upper_bound(ys.begin() + 1, ys.end() - 1, y);
+  return static_cast<size_t>(it - ys.begin()) - 1;
+}
+
+double LisaIndex::KeyAt(size_t strip, double y) const {
+  const size_t j = CellOf(strip, y);
+  const double lo = cell_y_[strip][j];
+  const double hi = cell_y_[strip][j + 1];
+  double offset = hi > lo ? (y - lo) / (hi - lo) : 0.0;
+  offset = std::clamp(offset, 0.0, 1.0 - 1e-12);
+  return static_cast<double>(strip * config_.cells_per_strip + j) + offset;
+}
+
+double LisaIndex::KeyOf(const Point& p) const {
+  ELSI_DCHECK(!strip_x_.empty());
+  return KeyAt(StripOf(p.x), p.y);
+}
+
+void LisaIndex::Build(const std::vector<Point>& data) {
+  size_ = data.size();
+  built_n_ = data.size();
+  domain_ = data.empty() ? Rect::Of(0, 0, 1, 1) : BoundingRect(data);
+  const size_t S = config_.strips;
+  const size_t C = config_.cells_per_strip;
+
+  // Equal-count strip boundaries from the x-order, then equal-count cell
+  // boundaries from each strip's y-order. Outer boundaries are +-infinity so
+  // later inserts always map somewhere.
+  std::vector<double> xs(data.size());
+  for (size_t i = 0; i < data.size(); ++i) xs[i] = data[i].x;
+  std::sort(xs.begin(), xs.end());
+  strip_x_.assign(S + 1, 0.0);
+  strip_x_.front() = -std::numeric_limits<double>::infinity();
+  strip_x_.back() = std::numeric_limits<double>::infinity();
+  for (size_t s = 1; s < S; ++s) {
+    strip_x_[s] = xs.empty() ? static_cast<double>(s) / S
+                             : xs[s * xs.size() / S];
+  }
+
+  cell_y_.assign(S, {});
+  std::vector<std::vector<double>> strip_ys(S);
+  for (const Point& p : data) strip_ys[StripOf(p.x)].push_back(p.y);
+  for (size_t s = 0; s < S; ++s) {
+    std::vector<double>& ys = strip_ys[s];
+    std::sort(ys.begin(), ys.end());
+    std::vector<double>& bounds = cell_y_[s];
+    bounds.assign(C + 1, 0.0);
+    bounds.front() = -std::numeric_limits<double>::infinity();
+    bounds.back() = std::numeric_limits<double>::infinity();
+    for (size_t j = 1; j < C; ++j) {
+      bounds[j] = ys.empty() ? static_cast<double>(j) / C
+                             : ys[j * ys.size() / C];
+    }
+    // Interior boundaries must be finite and non-decreasing for the offset
+    // computation; replace the infinite outer ones with the strip's data
+    // extent when evaluating offsets (handled in KeyOf via clamping).
+    if (!ys.empty()) {
+      bounds.front() = std::min(ys.front(), bounds[1]) - 1.0;
+      bounds.back() = std::max(ys.back(), bounds[C - 1]) + 1.0;
+    } else {
+      bounds.front() = -1.0;
+      bounds.back() = 2.0;
+    }
+  }
+
+  if (data.empty()) {
+    model_ = RankModel();
+    shards_.clear();
+    return;
+  }
+
+  // Map-and-sort, then learn the shard prediction function.
+  std::vector<double> keys(data.size());
+  for (size_t i = 0; i < data.size(); ++i) keys[i] = KeyOf(data[i]);
+  std::vector<size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (keys[a] != keys[b]) return keys[a] < keys[b];
+    return data[a].id < data[b].id;
+  });
+  std::vector<Point> sorted_pts(data.size());
+  std::vector<double> sorted_keys(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    sorted_pts[i] = data[order[i]];
+    sorted_keys[i] = keys[order[i]];
+  }
+  model_ = trainer_->TrainModel(sorted_pts, sorted_keys,
+                                [this](const Point& p) { return KeyOf(p); });
+
+  // Shards are consecutive chunks of the sorted order, stored as pages.
+  const size_t shard_count =
+      (data.size() + config_.shard_size - 1) / config_.shard_size;
+  shards_.assign(shard_count, PagedList(config_.shard_size));
+  for (size_t sh = 0; sh < shard_count; ++sh) {
+    const size_t begin = sh * data.size() / shard_count;
+    const size_t end = (sh + 1) * data.size() / shard_count;
+    const std::vector<Point> chunk(sorted_pts.begin() + begin,
+                                   sorted_pts.begin() + end);
+    const std::vector<double> chunk_keys(sorted_keys.begin() + begin,
+                                         sorted_keys.begin() + end);
+    shards_[sh].BulkLoad(chunk, chunk_keys);
+  }
+}
+
+size_t LisaIndex::PredictedShard(double key) const {
+  if (shards_.empty()) return 0;
+  const double pos = model_.PredictRank(key) * (built_n_ - 1);
+  const size_t sh = static_cast<size_t>(pos * shards_.size() /
+                                        std::max<size_t>(1, built_n_));
+  return std::min(sh, shards_.size() - 1);
+}
+
+std::pair<size_t, size_t> LisaIndex::ShardRange(double lo, double hi) const {
+  if (shards_.empty()) return {0, 0};
+  const double n = static_cast<double>(std::max<size_t>(1, built_n_));
+  const double pos_lo =
+      model_.PredictRank(lo) * (n - 1) - model_.err_l();
+  const double pos_hi =
+      model_.PredictRank(hi) * (n - 1) + model_.err_u();
+  double sh_lo = std::floor(std::max(0.0, pos_lo) * shards_.size() / n);
+  double sh_hi = std::floor(std::max(0.0, pos_hi) * shards_.size() / n);
+  if (sh_lo > sh_hi) std::swap(sh_lo, sh_hi);
+  const size_t a = std::min(static_cast<size_t>(sh_lo), shards_.size() - 1);
+  const size_t b = std::min(static_cast<size_t>(sh_hi), shards_.size() - 1);
+  return {a, b};
+}
+
+void LisaIndex::Insert(const Point& p) {
+  if (strip_x_.empty() || shards_.empty()) {
+    Build({p});
+    return;
+  }
+  // Points are added to pages by their predicted shard id (Sec. II); pages
+  // split as they fill, which skews the structure under skewed insertions.
+  const double key = KeyOf(p);
+  shards_[PredictedShard(key)].Insert(p, key);
+  ++size_;
+}
+
+bool LisaIndex::Remove(const Point& p) {
+  if (shards_.empty()) return false;
+  const double key = KeyOf(p);
+  const auto [lo, hi] = ShardRange(key, key);
+  const size_t pred = PredictedShard(key);
+  // The point is either where the build placed its rank or where an insert
+  // predicted it; cover both.
+  const size_t a = std::min(lo, pred);
+  const size_t b = std::max(hi, pred);
+  for (size_t sh = a; sh <= b; ++sh) {
+    if (shards_[sh].Erase(p.id, key)) {
+      --size_;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool LisaIndex::PointQuery(const Point& q, Point* out) const {
+  if (shards_.empty()) return false;
+  const double key = KeyOf(q);
+  const auto [lo, hi] = ShardRange(key, key);
+  const size_t pred = PredictedShard(key);
+  const size_t a = std::min(lo, pred);
+  const size_t b = std::max(hi, pred);
+  std::vector<Point> hits;
+  for (size_t sh = a; sh <= b; ++sh) {
+    shards_[sh].ScanKeyRange(key, key, &hits);
+  }
+  for (const Point& p : hits) {
+    if (p.x == q.x && p.y == q.y) {
+      if (out != nullptr) *out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Point> LisaIndex::WindowQuery(const Rect& w) const {
+  std::vector<Point> result;
+  if (w.empty() || shards_.empty()) return result;
+  const size_t C = config_.cells_per_strip;
+  const size_t s_lo = StripOf(w.lo_x);
+  const size_t s_hi = StripOf(w.hi_x);
+  for (size_t s = s_lo; s <= s_hi; ++s) {
+    // Mapped interval covering the window's y-range inside this strip: the
+    // mapping is monotone in y within a strip, so the interval endpoints
+    // are the mapped values of the window's y-extremes.
+    const double key_lo = KeyAt(s, w.lo_y);
+    const double key_hi = KeyAt(s, w.hi_y);
+    const auto [a, b] = ShardRange(key_lo, key_hi);
+    for (size_t sh = a; sh <= b && sh < shards_.size(); ++sh) {
+      shards_[sh].ScanKeyRangeInRect(key_lo, key_hi, w, &result);
+    }
+  }
+  return result;
+}
+
+std::vector<Point> LisaIndex::KnnQuery(const Point& q, size_t k) const {
+  std::vector<Point> result;
+  if (shards_.empty() || size_ == 0 || k == 0) return result;
+  const double diag = std::hypot(domain_.hi_x - domain_.lo_x,
+                                 domain_.hi_y - domain_.lo_y);
+  double r = config_.knn_radius_factor * diag *
+             std::sqrt(static_cast<double>(k) /
+                       std::max<size_t>(1, size_));
+  r = std::max(r, diag * 1e-6);
+  for (;;) {
+    const Rect w = Rect::Of(q.x - r, q.y - r, q.x + r, q.y + r);
+    std::vector<Point> candidates = WindowQuery(w);
+    if (candidates.size() >= k || r > diag) {
+      std::sort(candidates.begin(), candidates.end(),
+                [&q](const Point& a, const Point& b) {
+                  const double da = SquaredDistance(a, q);
+                  const double db = SquaredDistance(b, q);
+                  if (da != db) return da < db;
+                  return a.id < b.id;
+                });
+      if (candidates.size() > k) candidates.resize(k);
+      if (r > diag || (candidates.size() == k &&
+                       SquaredDistance(candidates.back(), q) <= r * r)) {
+        return candidates;
+      }
+    }
+    r *= 2.0;
+  }
+}
+
+std::vector<Point> LisaIndex::CollectAll() const {
+  std::vector<Point> all;
+  all.reserve(size_);
+  for (const PagedList& shard : shards_) {
+    for (const Block& b : shard.blocks()) {
+      all.insert(all.end(), b.points.begin(), b.points.end());
+    }
+  }
+  return all;
+}
+
+}  // namespace elsi

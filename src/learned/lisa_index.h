@@ -1,0 +1,76 @@
+#ifndef ELSI_LEARNED_LISA_INDEX_H_
+#define ELSI_LEARNED_LISA_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/spatial_index.h"
+#include "learned/rank_model.h"
+#include "storage/block_store.h"
+
+namespace elsi {
+
+/// LISA (Li et al., SIGMOD 2020): a grid over the data distribution maps
+/// each point to a 1-D value (cell id + Lebesgue-style offset inside the
+/// cell); a learned shard-prediction function maps values to shards, which
+/// are stored as data pages. Following Sec. VII-B1 the shard predictor here
+/// is an FFN rather than LISA's monotone piecewise-linear functions, which
+/// breaks monotonicity and makes window queries approximate — the recall
+/// behaviour Fig. 12(b) reports. Inserts go to pages by predicted shard id,
+/// splitting pages as needed (the skew mechanism of Fig. 15).
+struct LisaIndexConfig {
+  /// Grid resolution: strips (x) x cells-per-strip (y), both equal-count.
+  size_t strips = 32;
+  size_t cells_per_strip = 32;
+  size_t shard_size = kDefaultBlockCapacity;
+  double knn_radius_factor = 2.0;
+};
+
+class LisaIndex : public SpatialIndex {
+ public:
+  using Config = LisaIndexConfig;
+
+  explicit LisaIndex(std::shared_ptr<ModelTrainer> trainer,
+                     const Config& config = {});
+
+  std::string Name() const override { return "LISA"; }
+  void Build(const std::vector<Point>& data) override;
+  void Insert(const Point& p) override;
+  bool Remove(const Point& p) override;
+  bool PointQuery(const Point& q, Point* out = nullptr) const override;
+  std::vector<Point> WindowQuery(const Rect& w) const override;
+  std::vector<Point> KnnQuery(const Point& q, size_t k) const override;
+  size_t size() const override { return size_; }
+
+  /// LISA's mapped value (the map() function): cell id + in-cell offset.
+  double KeyOf(const Point& p) const;
+
+  std::vector<Point> CollectAll() const override;
+  int Depth() const override { return 1; }
+  size_t shard_count() const { return shards_.size(); }
+  const RankModel& model() const { return model_; }
+
+ private:
+  size_t StripOf(double x) const;
+  size_t CellOf(size_t strip, double y) const;
+  /// Mapped value of height y within a given strip.
+  double KeyAt(size_t strip, double y) const;
+  /// Shard range covering mapped values in [lo, hi] via the model's error
+  /// bounds (approximate when the FFN is non-monotone).
+  std::pair<size_t, size_t> ShardRange(double lo, double hi) const;
+  size_t PredictedShard(double key) const;
+
+  std::shared_ptr<ModelTrainer> trainer_;
+  Config config_;
+  Rect domain_;
+  size_t size_ = 0;
+  size_t built_n_ = 0;
+  std::vector<double> strip_x_;              // strips+1 boundaries.
+  std::vector<std::vector<double>> cell_y_;  // per strip: cells+1 boundaries.
+  RankModel model_;
+  std::vector<PagedList> shards_;
+};
+
+}  // namespace elsi
+
+#endif  // ELSI_LEARNED_LISA_INDEX_H_

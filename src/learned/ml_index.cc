@@ -1,0 +1,176 @@
+#include "learned/ml_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "ml/kmeans.h"
+
+namespace elsi {
+
+MlIndex::MlIndex(std::shared_ptr<ModelTrainer> trainer, const Config& config)
+    : trainer_(std::move(trainer)), config_(config) {
+  ELSI_CHECK(trainer_ != nullptr);
+  ELSI_CHECK_GT(config.num_references, 0u);
+}
+
+size_t MlIndex::NearestReference(const Point& p, double* dist) const {
+  size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (size_t j = 0; j < references_.size(); ++j) {
+    const double d = SquaredDistance(p, references_[j]);
+    if (d < best_d) {
+      best_d = d;
+      best = j;
+    }
+  }
+  if (dist != nullptr) *dist = std::sqrt(best_d);
+  return best;
+}
+
+double MlIndex::KeyOf(const Point& p) const {
+  ELSI_DCHECK(!references_.empty());
+  double d = 0.0;
+  const size_t j = NearestReference(p, &d);
+  return static_cast<double>(j) * separation_ + d;
+}
+
+void MlIndex::Build(const std::vector<Point>& data) {
+  if (data.empty()) {
+    references_ = {Point{0.5, 0.5, 0}};
+    partition_radius_.assign(1, 0.0);
+    separation_ = 4.0;
+    array_.Build({}, {}, [this](const Point& p) { return KeyOf(p); },
+                 trainer_.get(), config_.array);
+    return;
+  }
+  // Reference points: k-means over a bounded sample of the data.
+  std::vector<Point> sample;
+  if (data.size() <= config_.kmeans_sample) {
+    sample = data;
+  } else {
+    Rng rng(config_.seed);
+    sample.reserve(config_.kmeans_sample);
+    for (size_t i = 0; i < config_.kmeans_sample; ++i) {
+      sample.push_back(data[rng.NextBelow(data.size())]);
+    }
+  }
+  KMeansOptions km;
+  km.max_iterations = config_.kmeans_iterations;
+  km.seed = config_.seed;
+  references_ = KMeans(sample, config_.num_references, km).centroids;
+
+  const Rect domain = BoundingRect(data);
+  separation_ = 1.01 * std::hypot(domain.hi_x - domain.lo_x,
+                                  domain.hi_y - domain.lo_y) +
+                1e-9;
+
+  partition_radius_.assign(references_.size(), 0.0);
+  std::vector<double> keys(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    double d = 0.0;
+    const size_t j = NearestReference(data[i], &d);
+    partition_radius_[j] = std::max(partition_radius_[j], d);
+    keys[i] = static_cast<double>(j) * separation_ + d;
+  }
+  array_.Build(data, std::move(keys),
+               [this](const Point& p) { return KeyOf(p); }, trainer_.get(),
+               config_.array);
+}
+
+void MlIndex::Insert(const Point& p) {
+  if (references_.empty()) {
+    Build({p});
+    return;
+  }
+  double d = 0.0;
+  const size_t j = NearestReference(p, &d);
+  partition_radius_[j] = std::max(partition_radius_[j], d);
+  array_.Insert(p, static_cast<double>(j) * separation_ + d);
+}
+
+bool MlIndex::Remove(const Point& p) {
+  if (references_.empty()) return false;
+  return array_.Remove(p, KeyOf(p));
+}
+
+bool MlIndex::PointQuery(const Point& q, Point* out) const {
+  if (references_.empty()) return false;
+  return array_.PointQuery(q, KeyOf(q), out);
+}
+
+void MlIndex::RingScan(const Point& center, double r, const Rect& w,
+                       std::vector<Point>* out) const {
+  // Every point within distance r of `center` satisfies, for its own
+  // nearest reference o_j: |dist(p, o_j) - dist(center, o_j)| <= r.
+  for (size_t j = 0; j < references_.size(); ++j) {
+    const double dc = Distance(center, references_[j]);
+    const double lo_d = std::max(0.0, dc - r);
+    if (lo_d > partition_radius_[j]) continue;
+    const double hi_d = std::min(partition_radius_[j], dc + r);
+    const double base = static_cast<double>(j) * separation_;
+    std::vector<Point> ring;
+    array_.ScanKeyRangeInRect(base + lo_d, base + hi_d, w, &ring);
+    for (const Point& p : ring) {
+      if (SquaredDistance(p, center) <= r * r) out->push_back(p);
+    }
+  }
+}
+
+std::vector<Point> MlIndex::WindowQuery(const Rect& w) const {
+  std::vector<Point> result;
+  if (w.empty() || references_.empty() || array_.size() == 0) return result;
+  // Circumscribe the window; ring-scan each partition and filter exactly.
+  const Point center = w.Center();
+  const double r = std::hypot(w.hi_x - w.lo_x, w.hi_y - w.lo_y) / 2.0;
+  std::vector<Point> candidates;
+  RingScan(center, r, w, &candidates);
+  for (const Point& p : candidates) {
+    if (w.Contains(p)) result.push_back(p);
+  }
+  return result;
+}
+
+std::vector<Point> MlIndex::KnnQuery(const Point& q, size_t k) const {
+  std::vector<Point> result;
+  if (references_.empty() || array_.size() == 0 || k == 0) return result;
+  const double n = static_cast<double>(array_.size());
+  double max_radius = 0.0;
+  for (size_t j = 0; j < references_.size(); ++j) {
+    max_radius = std::max(max_radius,
+                          Distance(q, references_[j]) + partition_radius_[j]);
+  }
+  double r = std::max(1e-9, 2.0 * max_radius *
+                                std::sqrt(static_cast<double>(k) / n));
+  const Rect everywhere =
+      Rect::Of(-std::numeric_limits<double>::infinity(),
+               -std::numeric_limits<double>::infinity(),
+               std::numeric_limits<double>::infinity(),
+               std::numeric_limits<double>::infinity());
+  for (;;) {
+    std::vector<Point> candidates;
+    RingScan(q, r, everywhere, &candidates);
+    if (candidates.size() >= k || r >= max_radius) {
+      std::sort(candidates.begin(), candidates.end(),
+                [&q](const Point& a, const Point& b) {
+                  const double da = SquaredDistance(a, q);
+                  const double db = SquaredDistance(b, q);
+                  if (da != db) return da < db;
+                  return a.id < b.id;
+                });
+      if (candidates.size() > k) candidates.resize(k);
+      // Candidates within r are certified complete; accept when the kth
+      // neighbour is inside the ring or nothing more can exist.
+      if (r >= max_radius ||
+          (candidates.size() == k &&
+           SquaredDistance(candidates.back(), q) <= r * r)) {
+        return candidates;
+      }
+    }
+    r *= 2.0;
+  }
+}
+
+}  // namespace elsi

@@ -1,0 +1,70 @@
+#ifndef ELSI_LEARNED_ML_INDEX_H_
+#define ELSI_LEARNED_ML_INDEX_H_
+
+#include <memory>
+
+#include "common/spatial_index.h"
+#include "learned/segmented_array.h"
+
+namespace elsi {
+
+/// The ML-Index (Davitkova et al., EDBT 2020): iDistance mapping + RMI.
+/// Points map to key = j * c + dist(p, o_j), where o_j is the nearest of R
+/// reference points (k-means centres) and c exceeds the domain diameter so
+/// partitions cannot overlap in key space. The sorted keys are indexed by
+/// the shared segmented learned array. Window queries circumscribe the
+/// window with a circle and scan one ring per reference partition (exact
+/// after filtering); kNN expands rings until the kth candidate is certified.
+struct MlIndexConfig {
+  size_t num_references = 32;
+  SegmentedLearnedArray::Config array;
+  uint64_t seed = 42;
+  /// Sample size for the reference-point k-means.
+  size_t kmeans_sample = 20000;
+  int kmeans_iterations = 8;
+};
+
+class MlIndex : public SpatialIndex {
+ public:
+  using Config = MlIndexConfig;
+
+  explicit MlIndex(std::shared_ptr<ModelTrainer> trainer,
+                   const Config& config = {});
+
+  std::string Name() const override { return "ML"; }
+  void Build(const std::vector<Point>& data) override;
+  void Insert(const Point& p) override;
+  bool Remove(const Point& p) override;
+  bool PointQuery(const Point& q, Point* out = nullptr) const override;
+  std::vector<Point> WindowQuery(const Rect& w) const override;
+  std::vector<Point> KnnQuery(const Point& q, size_t k) const override;
+  size_t size() const override { return array_.size(); }
+
+  /// iDistance key (the base index's map() function).
+  double KeyOf(const Point& p) const;
+
+  std::vector<Point> CollectAll() const override {
+    return array_.CollectAll();
+  }
+  const SegmentedLearnedArray& array() const { return array_; }
+  int Depth() const override { return array_.model_depth(); }
+  size_t reference_count() const { return references_.size(); }
+
+ private:
+  size_t NearestReference(const Point& p, double* dist) const;
+  /// Appends all points with distance to `center` in [0, r] that lie inside
+  /// `w` (pass an infinite rect for pure ring scans) to `out`.
+  void RingScan(const Point& center, double r, const Rect& w,
+                std::vector<Point>* out) const;
+
+  std::shared_ptr<ModelTrainer> trainer_;
+  Config config_;
+  std::vector<Point> references_;
+  std::vector<double> partition_radius_;  // Max key distance per reference.
+  double separation_ = 1.0;               // The constant c.
+  SegmentedLearnedArray array_;
+};
+
+}  // namespace elsi
+
+#endif  // ELSI_LEARNED_ML_INDEX_H_

@@ -1,0 +1,113 @@
+#include "learned/rank_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace elsi {
+
+double RankModel::Normalize(double key) const {
+  if (key_hi_ <= key_lo_) return 0.0;
+  return (key - key_lo_) / (key_hi_ - key_lo_);
+}
+
+void RankModel::Train(const std::vector<double>& sorted_train_keys,
+                      double key_lo, double key_hi,
+                      const RankModelConfig& config) {
+  ELSI_CHECK(!sorted_train_keys.empty());
+  ELSI_DCHECK(std::is_sorted(sorted_train_keys.begin(),
+                             sorted_train_keys.end()));
+  key_lo_ = key_lo;
+  key_hi_ = key_hi;
+  if (config.backend == RankModelBackend::kPla) {
+    auto pla = std::make_shared<PiecewiseLinearModel>();
+    pla->Fit(sorted_train_keys, config.pla_epsilon);
+    pla_ = std::move(pla);
+    net_.reset();
+    err_l_ = 0.0;
+    err_u_ = 0.0;
+    return;
+  }
+  const size_t ns = sorted_train_keys.size();
+  Matrix x(ns, 1), y(ns, 1);
+  for (size_t i = 0; i < ns; ++i) {
+    x.At(i, 0) = Normalize(sorted_train_keys[i]);
+    y.At(i, 0) = ns > 1 ? static_cast<double>(i) / (ns - 1) : 0.0;
+  }
+  auto net = std::make_shared<Ffn>(1, config.hidden, 1, config.seed);
+  FfnTrainOptions opts;
+  opts.learning_rate = config.learning_rate;
+  opts.epochs = config.epochs;
+  opts.batch_size = config.batch_size;
+  opts.shuffle_seed = config.seed ^ 0x5eedULL;
+  net->Train(x, y, opts);
+  net_ = std::move(net);
+  pla_.reset();
+  err_l_ = 0.0;
+  err_u_ = 0.0;
+}
+
+void RankModel::AdoptPretrained(const Ffn& net, double key_lo, double key_hi) {
+  auto copy = std::make_shared<Ffn>(net);
+  net_ = std::move(copy);
+  pla_.reset();
+  key_lo_ = key_lo;
+  key_hi_ = key_hi;
+  err_l_ = 0.0;
+  err_u_ = 0.0;
+}
+
+double RankModel::PredictRank(double key) const {
+  ELSI_DCHECK(trained());
+  if (pla_ != nullptr) {
+    const double denom = pla_->n() > 1 ? static_cast<double>(pla_->n() - 1)
+                                       : 1.0;
+    return std::clamp(pla_->PredictPosition(key) / denom, 0.0, 1.0);
+  }
+  const double r = net_->Predict1({Normalize(key)});
+  return std::clamp(r, 0.0, 1.0);
+}
+
+void RankModel::ComputeErrorBounds(
+    const std::vector<double>& sorted_full_keys) {
+  ELSI_CHECK(trained());
+  const size_t n = sorted_full_keys.size();
+  if (n == 0) return;
+  double max_over = 0.0;   // pred_pos - i
+  double max_under = 0.0;  // i - pred_pos
+  for (size_t i = 0; i < n; ++i) {
+    const double pred_pos = PredictRank(sorted_full_keys[i]) * (n - 1);
+    const double diff = pred_pos - static_cast<double>(i);
+    max_over = std::max(max_over, diff);
+    max_under = std::max(max_under, -diff);
+  }
+  err_l_ = std::ceil(max_over);
+  err_u_ = std::ceil(max_under);
+}
+
+std::pair<size_t, size_t> RankModel::SearchRange(double key, size_t n) const {
+  if (n == 0) return {0, 0};
+  const double pred_pos = PredictRank(key) * (n - 1);
+  const double lo = std::floor(pred_pos - err_l_);
+  const double hi = std::ceil(pred_pos + err_u_);
+  const size_t lo_idx = lo <= 0.0 ? 0 : static_cast<size_t>(lo);
+  const size_t hi_idx =
+      hi >= static_cast<double>(n - 1) ? n - 1 : static_cast<size_t>(hi);
+  return {std::min(lo_idx, n - 1), hi_idx};
+}
+
+RankModel DirectTrainer::TrainModel(
+    const std::vector<Point>& sorted_pts,
+    const std::vector<double>& sorted_keys,
+    const std::function<double(const Point&)>& key_fn) {
+  (void)sorted_pts;
+  (void)key_fn;
+  ELSI_CHECK(!sorted_keys.empty());
+  RankModel model;
+  model.Train(sorted_keys, sorted_keys.front(), sorted_keys.back(), config_);
+  model.ComputeErrorBounds(sorted_keys);
+  return model;
+}
+
+}  // namespace elsi

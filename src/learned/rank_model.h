@@ -1,0 +1,127 @@
+#ifndef ELSI_LEARNED_RANK_MODEL_H_
+#define ELSI_LEARNED_RANK_MODEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/geometry.h"
+#include "ml/ffn.h"
+#include "ml/pla.h"
+
+namespace elsi {
+
+/// Model family backing a RankModel. kFfn is the paper's setup; kPla is the
+/// PGM-style piecewise-linear extension the paper's conclusion names as
+/// future work — it fits in one pass with a *provable* +-pla_epsilon
+/// position bound over its training keys.
+enum class RankModelBackend { kFfn, kPla };
+
+/// Hyper-parameters of a single index model. Defaults follow Sec. VII-B1
+/// (FFN, ReLU hidden layer, L2 loss, Adam, lr 0.01); the epoch count is the
+/// knob the benchmarks scale for CPU-only runs.
+struct RankModelConfig {
+  RankModelBackend backend = RankModelBackend::kFfn;
+  std::vector<int> hidden = {16};
+  double learning_rate = 0.01;
+  int epochs = 500;
+  size_t batch_size = 0;
+  /// kPla: maximum position error over the training keys.
+  double pla_epsilon = 64.0;
+  uint64_t seed = 42;
+};
+
+/// An index model M: one FFN mapping a (min-max normalised) 1-D key to a
+/// normalised rank in [0, 1], plus the empirical error bounds that make
+/// predict-and-scan exact (Sec. III). This is the unit ELSI's build
+/// processor trains — on Ds instead of D — for every base index.
+class RankModel {
+ public:
+  RankModel() = default;
+
+  /// Trains on `sorted_train_keys` with implicit targets i/(ns-1). The
+  /// normalisation range [key_lo, key_hi] must come from the FULL data set
+  /// being indexed (Algorithm 1 trains on Ds but predicts over D).
+  void Train(const std::vector<double>& sorted_train_keys, double key_lo,
+             double key_hi, const RankModelConfig& config);
+
+  /// Installs a pre-trained network (the MR method's model reuse path).
+  void AdoptPretrained(const Ffn& net, double key_lo, double key_hi);
+
+  /// Predicted normalised rank, clamped to [0, 1].
+  double PredictRank(double key) const;
+
+  /// Scans the full key set once, recording err_l = max(pred_pos - i) and
+  /// err_u = max(i - pred_pos) in *positions of that set* (Algorithm 1,
+  /// line 6). After this, the true position of any indexed key lies in
+  /// [pred_pos - err_l, pred_pos + err_u].
+  void ComputeErrorBounds(const std::vector<double>& sorted_full_keys);
+
+  /// Position search range [lo, hi] (inclusive) for `key` in a sorted array
+  /// of `n` elements, using the stored error bounds.
+  std::pair<size_t, size_t> SearchRange(double key, size_t n) const;
+
+  bool trained() const { return net_ != nullptr || pla_ != nullptr; }
+  double err_l() const { return err_l_; }
+  double err_u() const { return err_u_; }
+  double key_lo() const { return key_lo_; }
+  double key_hi() const { return key_hi_; }
+  /// FFN backend only (MR's model-reuse path); check backend() first.
+  const Ffn& net() const { return *net_; }
+  RankModelBackend backend() const {
+    return pla_ != nullptr ? RankModelBackend::kPla : RankModelBackend::kFfn;
+  }
+  /// PLA backend only: number of fitted linear segments.
+  size_t pla_segments() const { return pla_ ? pla_->segment_count() : 0; }
+
+ private:
+  double Normalize(double key) const;
+
+  std::shared_ptr<const Ffn> net_;
+  std::shared_ptr<const PiecewiseLinearModel> pla_;
+  double key_lo_ = 0.0;
+  double key_hi_ = 1.0;
+  double err_l_ = 0.0;  // Positions the prediction can overshoot by.
+  double err_u_ = 0.0;  // Positions the prediction can undershoot by.
+};
+
+/// The seam between a base index and ELSI (Fig. 3): every model-training
+/// request of a base index goes through a ModelTrainer. The OG path is
+/// DirectTrainer; ELSI's BuildProcessor implements the same interface but
+/// shrinks the training set first (Algorithm 1).
+class ModelTrainer {
+ public:
+  virtual ~ModelTrainer() = default;
+
+  /// Trains an index model for a partition given its points sorted by mapped
+  /// key and the parallel ascending keys. `key_fn` maps an arbitrary point
+  /// to its key (needed by build methods that synthesise new points, e.g.
+  /// CL and RL). Must also compute error bounds over `sorted_keys`.
+  virtual RankModel TrainModel(
+      const std::vector<Point>& sorted_pts,
+      const std::vector<double>& sorted_keys,
+      const std::function<double(const Point&)>& key_fn) = 0;
+};
+
+/// OG: trains directly on the full partition (no ELSI).
+class DirectTrainer : public ModelTrainer {
+ public:
+  explicit DirectTrainer(const RankModelConfig& config = {})
+      : config_(config) {}
+
+  RankModel TrainModel(
+      const std::vector<Point>& sorted_pts,
+      const std::vector<double>& sorted_keys,
+      const std::function<double(const Point&)>& key_fn) override;
+
+  const RankModelConfig& config() const { return config_; }
+
+ private:
+  RankModelConfig config_;
+};
+
+}  // namespace elsi
+
+#endif  // ELSI_LEARNED_RANK_MODEL_H_

@@ -1,0 +1,381 @@
+#include "learned/rsmi_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+#include "curve/hilbert.h"
+
+namespace elsi {
+
+RsmiIndex::RsmiIndex(std::shared_ptr<ModelTrainer> trainer,
+                     const Config& config)
+    : trainer_(std::move(trainer)), config_(config) {
+  ELSI_CHECK(trainer_ != nullptr);
+  ELSI_CHECK_GE(config.fanout, 2u);
+  ELSI_CHECK(config.hilbert_order >= 4 && config.hilbert_order <= 16);
+  ELSI_CHECK_GT(config.quantiles, 1u);
+}
+
+void RsmiIndex::SetUpMapping(Node* node, const std::vector<Point>& pts) const {
+  node->bounds = BoundingRect(pts);
+  const size_t q = std::min(config_.quantiles, pts.size());
+  std::vector<double> xs(pts.size()), ys(pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    xs[i] = pts[i].x;
+    ys[i] = pts[i].y;
+  }
+  std::sort(xs.begin(), xs.end());
+  std::sort(ys.begin(), ys.end());
+  node->qx.resize(q);
+  node->qy.resize(q);
+  for (size_t i = 0; i < q; ++i) {
+    // Systematic quantile sample of the coordinate distribution: the
+    // approximate rank space of RSMI.
+    const size_t src = i * pts.size() / q;
+    node->qx[i] = xs[src];
+    node->qy[i] = ys[src];
+  }
+}
+
+double RsmiIndex::NodeKey(const Node& node, const Point& p) const {
+  if (node.qx.empty()) return 0.0;
+  const double q = static_cast<double>(node.qx.size());
+  const uint32_t side = (1u << config_.hilbert_order) - 1;
+  const auto rank = [side, q](const std::vector<double>& table, double v) {
+    const size_t r = static_cast<size_t>(
+        std::upper_bound(table.begin(), table.end(), v) - table.begin());
+    return static_cast<uint32_t>(static_cast<double>(r) * side / q);
+  };
+  return static_cast<double>(HilbertEncode(rank(node.qx, p.x),
+                                           rank(node.qy, p.y),
+                                           config_.hilbert_order));
+}
+
+size_t RsmiIndex::RouteChild(const Node& node, double key) const {
+  const double pred = node.model.trained() ? node.model.PredictRank(key) : 0.0;
+  const double f = static_cast<double>(node.children.size());
+  const double c = std::floor(pred * f);
+  if (c <= 0.0) return 0;
+  const size_t idx = static_cast<size_t>(c);
+  return std::min(idx, node.children.size() - 1);
+}
+
+std::unique_ptr<RsmiIndex::Node> RsmiIndex::BuildNode(std::vector<Point> pts,
+                                                      int depth) {
+  auto node = std::make_unique<Node>(config_.block_capacity);
+  SetUpMapping(node.get(), pts);
+  std::vector<double> keys(pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) keys[i] = NodeKey(*node, pts[i]);
+  std::vector<size_t> order(pts.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (keys[a] != keys[b]) return keys[a] < keys[b];
+    return pts[a].id < pts[b].id;
+  });
+  std::vector<Point> sorted_pts(pts.size());
+  std::vector<double> sorted_keys(pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    sorted_pts[i] = pts[order[i]];
+    sorted_keys[i] = keys[order[i]];
+  }
+
+  const auto key_fn = [this, n = node.get()](const Point& p) {
+    return NodeKey(*n, p);
+  };
+  if (pts.size() <= config_.leaf_capacity || depth >= config_.max_depth) {
+    node->is_leaf = true;
+    node->pts = std::move(sorted_pts);
+    node->keys = std::move(sorted_keys);
+    if (!node->keys.empty()) {
+      node->model = trainer_->TrainModel(node->pts, node->keys, key_fn);
+    }
+    return node;
+  }
+
+  node->is_leaf = false;
+  node->model = trainer_->TrainModel(sorted_pts, sorted_keys, key_fn);
+  // Route points to children by the model's prediction — the structure is
+  // data-dependent, as in the original RSMI.
+  std::vector<std::vector<Point>> buckets(config_.fanout);
+  node->children.resize(config_.fanout);  // Sized before RouteChild.
+  size_t max_bucket = 0;
+  for (size_t i = 0; i < sorted_pts.size(); ++i) {
+    const size_t c = RouteChild(*node, sorted_keys[i]);
+    buckets[c].push_back(sorted_pts[i]);
+    max_bucket = std::max(max_bucket, buckets[c].size());
+  }
+  if (max_bucket == sorted_pts.size()) {
+    // Degenerate routing (model collapsed); fall back to rank chunks so the
+    // recursion always makes progress.
+    for (auto& b : buckets) b.clear();
+    const size_t f = config_.fanout;
+    for (size_t i = 0; i < sorted_pts.size(); ++i) {
+      buckets[i * f / sorted_pts.size()].push_back(sorted_pts[i]);
+    }
+  }
+  for (size_t c = 0; c < config_.fanout; ++c) {
+    node->children[c] = BuildNode(std::move(buckets[c]), depth + 1);
+  }
+  return node;
+}
+
+void RsmiIndex::Build(const std::vector<Point>& data) {
+  size_ = data.size();
+  leaf_merges_ = 0;
+  domain_ = data.empty() ? Rect::Of(0, 0, 1, 1) : BoundingRect(data);
+  root_ = BuildNode(data, 1);
+}
+
+RsmiIndex::Node* RsmiIndex::DescendToLeaf(const Point& p) const {
+  Node* node = root_.get();
+  while (!node->is_leaf) {
+    node = node->children[RouteChild(*node, NodeKey(*node, p))].get();
+  }
+  return node;
+}
+
+bool RsmiIndex::PointQuery(const Point& q, Point* out) const {
+  if (root_ == nullptr) return false;
+  const Node* leaf = DescendToLeaf(q);
+  const double key = NodeKey(*leaf, q);
+  if (!leaf->keys.empty() && leaf->model.trained()) {
+    const auto [lo, hi] = leaf->model.SearchRange(key, leaf->keys.size());
+    for (size_t i = lo; i <= hi && i < leaf->keys.size(); ++i) {
+      if (leaf->keys[i] != key) continue;
+      const Point& p = leaf->pts[i];
+      if (p.x == q.x && p.y == q.y && leaf->tombstones.count(p.id) == 0) {
+        if (out != nullptr) *out = p;
+        return true;
+      }
+    }
+  }
+  std::vector<Point> hits;
+  leaf->overflow.ScanKeyRange(key, key, &hits);
+  for (const Point& p : hits) {
+    if (p.x == q.x && p.y == q.y) {
+      if (out != nullptr) *out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+void RsmiIndex::MergeLeafOverflow(Node* leaf) {
+  std::vector<Point> merged = leaf->pts;
+  if (!leaf->tombstones.empty()) {
+    merged.erase(std::remove_if(merged.begin(), merged.end(),
+                                [&](const Point& p) {
+                                  return leaf->tombstones.count(p.id) > 0;
+                                }),
+                 merged.end());
+    leaf->tombstones.clear();
+  }
+  for (const Block& b : leaf->overflow.blocks()) {
+    merged.insert(merged.end(), b.points.begin(), b.points.end());
+  }
+  leaf->overflow = PagedList(config_.block_capacity);
+  std::vector<double> keys(merged.size());
+  for (size_t i = 0; i < merged.size(); ++i) {
+    keys[i] = NodeKey(*leaf, merged[i]);
+  }
+  std::vector<size_t> order(merged.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (keys[a] != keys[b]) return keys[a] < keys[b];
+    return merged[a].id < merged[b].id;
+  });
+  std::vector<Point> sorted_pts(merged.size());
+  std::vector<double> sorted_keys(merged.size());
+  for (size_t i = 0; i < merged.size(); ++i) {
+    sorted_pts[i] = merged[order[i]];
+    sorted_keys[i] = keys[order[i]];
+  }
+  leaf->pts = std::move(sorted_pts);
+  leaf->keys = std::move(sorted_keys);
+  if (!leaf->keys.empty()) {
+    // Local model rebuild — the per-model retraining ELSI accelerates.
+    leaf->model = trainer_->TrainModel(
+        leaf->pts, leaf->keys,
+        [this, leaf](const Point& p) { return NodeKey(*leaf, p); });
+  }
+  ++leaf_merges_;
+}
+
+void RsmiIndex::Insert(const Point& p) {
+  if (root_ == nullptr) {
+    Build({p});
+    return;
+  }
+  Node* leaf = DescendToLeaf(p);
+  leaf->overflow.Insert(p, NodeKey(*leaf, p));
+  ++size_;
+  const size_t threshold = std::max(
+      config_.block_capacity,
+      static_cast<size_t>(config_.merge_fraction * leaf->pts.size()));
+  if (leaf->overflow.size() > threshold) MergeLeafOverflow(leaf);
+}
+
+bool RsmiIndex::Remove(const Point& p) {
+  if (root_ == nullptr) return false;
+  Node* leaf = DescendToLeaf(p);
+  const double key = NodeKey(*leaf, p);
+  if (leaf->overflow.Erase(p.id, key)) {
+    --size_;
+    return true;
+  }
+  const auto range = std::equal_range(leaf->keys.begin(), leaf->keys.end(),
+                                      key);
+  for (auto it = range.first; it != range.second; ++it) {
+    const size_t i = static_cast<size_t>(it - leaf->keys.begin());
+    if (leaf->pts[i].id == p.id && leaf->pts[i].x == p.x &&
+        leaf->pts[i].y == p.y && leaf->tombstones.count(p.id) == 0) {
+      leaf->tombstones.insert(p.id);
+      --size_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void RsmiIndex::WindowQueryNode(const Node* node, const Rect& w,
+                                std::vector<Point>* out) const {
+  // Keys of the window's corners under this node's mapping.
+  const Point corners[4] = {{w.lo_x, w.lo_y, 0},
+                            {w.lo_x, w.hi_y, 0},
+                            {w.hi_x, w.lo_y, 0},
+                            {w.hi_x, w.hi_y, 0}};
+  double klo = std::numeric_limits<double>::infinity();
+  double khi = -std::numeric_limits<double>::infinity();
+  for (const Point& c : corners) {
+    const double k = NodeKey(*node, c);
+    klo = std::min(klo, k);
+    khi = std::max(khi, k);
+  }
+  if (node->is_leaf) {
+    if (!node->keys.empty() && node->model.trained()) {
+      const auto [lo1, hi1] = node->model.SearchRange(klo, node->keys.size());
+      const auto [lo2, hi2] = node->model.SearchRange(khi, node->keys.size());
+      const size_t lo = std::min(lo1, lo2);
+      const size_t hi = std::min(std::max(hi1, hi2), node->keys.size() - 1);
+      for (size_t i = lo; i <= hi; ++i) {
+        const Point& p = node->pts[i];
+        if (w.Contains(p) && node->tombstones.count(p.id) == 0) {
+          out->push_back(p);
+        }
+      }
+    }
+    // Overflow pages are small; scan them fully for inserted points.
+    for (const Block& b : node->overflow.blocks()) {
+      if (!b.mbr.Intersects(w)) continue;
+      for (const Point& p : b.points) {
+        if (w.Contains(p)) out->push_back(p);
+      }
+    }
+    return;
+  }
+  // Route the corner keys and visit the predicted child range with slack.
+  size_t cmin = node->children.size() - 1;
+  size_t cmax = 0;
+  for (const Point& c : corners) {
+    const size_t child = RouteChild(*node, NodeKey(*node, c));
+    cmin = std::min(cmin, child);
+    cmax = std::max(cmax, child);
+  }
+  const int slack = config_.window_slack;
+  const size_t from =
+      cmin > static_cast<size_t>(slack) ? cmin - slack : 0;
+  const size_t to =
+      std::min(node->children.size() - 1, cmax + static_cast<size_t>(slack));
+  for (size_t c = from; c <= to; ++c) {
+    if (node->children[c] != nullptr) {
+      WindowQueryNode(node->children[c].get(), w, out);
+    }
+  }
+}
+
+std::vector<Point> RsmiIndex::WindowQuery(const Rect& w) const {
+  std::vector<Point> result;
+  if (w.empty() || root_ == nullptr || size_ == 0) return result;
+  WindowQueryNode(root_.get(), w, &result);
+  return result;
+}
+
+std::vector<Point> RsmiIndex::KnnQuery(const Point& q, size_t k) const {
+  std::vector<Point> result;
+  if (root_ == nullptr || size_ == 0 || k == 0) return result;
+  const double diag = std::hypot(domain_.hi_x - domain_.lo_x,
+                                 domain_.hi_y - domain_.lo_y);
+  double r = config_.knn_radius_factor * diag *
+             std::sqrt(static_cast<double>(k) /
+                       std::max<size_t>(1, size_));
+  r = std::max(r, diag * 1e-6);
+  for (;;) {
+    const Rect w = Rect::Of(q.x - r, q.y - r, q.x + r, q.y + r);
+    std::vector<Point> candidates = WindowQuery(w);
+    if (candidates.size() >= k || r > diag) {
+      std::sort(candidates.begin(), candidates.end(),
+                [&q](const Point& a, const Point& b) {
+                  const double da = SquaredDistance(a, q);
+                  const double db = SquaredDistance(b, q);
+                  if (da != db) return da < db;
+                  return a.id < b.id;
+                });
+      if (candidates.size() > k) candidates.resize(k);
+      if (r > diag || (candidates.size() == k &&
+                       SquaredDistance(candidates.back(), q) <= r * r)) {
+        return candidates;
+      }
+    }
+    r *= 2.0;
+  }
+}
+
+void RsmiIndex::CollectNode(const Node* node, std::vector<Point>* out) const {
+  if (node == nullptr) return;
+  if (node->is_leaf) {
+    for (const Point& p : node->pts) {
+      if (node->tombstones.count(p.id) == 0) out->push_back(p);
+    }
+    for (const Block& b : node->overflow.blocks()) {
+      out->insert(out->end(), b.points.begin(), b.points.end());
+    }
+    return;
+  }
+  for (const auto& c : node->children) CollectNode(c.get(), out);
+}
+
+std::vector<Point> RsmiIndex::CollectAll() const {
+  std::vector<Point> all;
+  all.reserve(size_);
+  CollectNode(root_.get(), &all);
+  return all;
+}
+
+int RsmiIndex::Depth() const {
+  std::function<int(const Node*)> rec = [&](const Node* node) -> int {
+    if (node == nullptr) return 0;
+    if (node->is_leaf) return 1;
+    int d = 0;
+    for (const auto& c : node->children) d = std::max(d, rec(c.get()));
+    return d + 1;
+  };
+  return rec(root_.get());
+}
+
+size_t RsmiIndex::node_count() const {
+  std::function<size_t(const Node*)> rec = [&](const Node* node) -> size_t {
+    if (node == nullptr) return 0;
+    size_t count = 1;
+    if (!node->is_leaf) {
+      for (const auto& c : node->children) count += rec(c.get());
+    }
+    return count;
+  };
+  return rec(root_.get());
+}
+
+}  // namespace elsi

@@ -1,0 +1,105 @@
+#ifndef ELSI_LEARNED_RSMI_INDEX_H_
+#define ELSI_LEARNED_RSMI_INDEX_H_
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/spatial_index.h"
+#include "learned/rank_model.h"
+#include "storage/block_store.h"
+
+namespace elsi {
+
+/// RSMI (Qi et al., PVLDB 2020): a recursive spatial model index. Each node
+/// maps its points to rank-space Hilbert values (coordinates replaced by
+/// approximate ranks from per-node quantile tables) and trains an FFN over
+/// the sorted order. Internal nodes route points to children by the model's
+/// *prediction* — the structure is data-dependent — and leaves answer
+/// predict-and-scan point queries exactly. Window and kNN queries are
+/// approximate by design (the Hilbert values of a window's corners do not
+/// bound its interior), which is the recall behaviour the paper reports.
+/// Inserts go to per-leaf overflow pages; a leaf locally merges and retrains
+/// when its overflow grows past a fraction of its base (the "local model
+/// rebuild" of Fig. 1/Fig. 16).
+struct RsmiIndexConfig {
+  /// Partitions with at most this many points become leaves.
+  size_t leaf_capacity = 10000;
+  /// Children per internal node.
+  size_t fanout = 16;
+  /// Per-node quantile table resolution (approximate rank space).
+  size_t quantiles = 512;
+  /// Hilbert order (bits per dimension) for node keys.
+  int hilbert_order = 10;
+  /// Merge a leaf's overflow into its base (retraining the leaf model)
+  /// when overflow exceeds this fraction of the base size.
+  double merge_fraction = 0.25;
+  size_t block_capacity = kDefaultBlockCapacity;
+  /// Children visited around the predicted child range in window queries.
+  int window_slack = 1;
+  double knn_radius_factor = 2.0;
+  /// Hard recursion limit (guards degenerate model routings).
+  int max_depth = 12;
+};
+
+class RsmiIndex : public SpatialIndex {
+ public:
+  using Config = RsmiIndexConfig;
+
+  explicit RsmiIndex(std::shared_ptr<ModelTrainer> trainer,
+                     const Config& config = {});
+
+  std::string Name() const override { return "RSMI"; }
+  void Build(const std::vector<Point>& data) override;
+  void Insert(const Point& p) override;
+  bool Remove(const Point& p) override;
+  bool PointQuery(const Point& q, Point* out = nullptr) const override;
+  std::vector<Point> WindowQuery(const Rect& w) const override;
+  std::vector<Point> KnnQuery(const Point& q, size_t k) const override;
+  size_t size() const override { return size_; }
+
+  std::vector<Point> CollectAll() const override;
+  int Depth() const override;  // Levels of models (1 = single leaf).
+  size_t node_count() const;
+  size_t leaf_merge_count() const { return leaf_merges_; }
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    Rect bounds;
+    // Approximate rank space: sorted coordinate quantile tables.
+    std::vector<double> qx;
+    std::vector<double> qy;
+    RankModel model;
+    // Internal.
+    std::vector<std::unique_ptr<Node>> children;
+    // Leaf.
+    std::vector<Point> pts;     // Sorted by key.
+    std::vector<double> keys;   // Parallel, ascending.
+    PagedList overflow;
+    std::unordered_set<uint64_t> tombstones;
+
+    explicit Node(size_t block_capacity) : overflow(block_capacity) {}
+  };
+
+  double NodeKey(const Node& node, const Point& p) const;
+  std::unique_ptr<Node> BuildNode(std::vector<Point> pts, int depth);
+  void SetUpMapping(Node* node, const std::vector<Point>& pts) const;
+  size_t RouteChild(const Node& node, double key) const;
+  Node* DescendToLeaf(const Point& p) const;
+  void MergeLeafOverflow(Node* leaf);
+  void WindowQueryNode(const Node* node, const Rect& w,
+                       std::vector<Point>* out) const;
+  void CollectNode(const Node* node, std::vector<Point>* out) const;
+
+  std::shared_ptr<ModelTrainer> trainer_;
+  Config config_;
+  size_t size_ = 0;
+  size_t leaf_merges_ = 0;
+  Rect domain_;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace elsi
+
+#endif  // ELSI_LEARNED_RSMI_INDEX_H_

@@ -1,0 +1,249 @@
+#include "learned/segmented_array.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace elsi {
+
+void SegmentedLearnedArray::Build(std::vector<Point> pts,
+                                  std::vector<double> keys,
+                                  std::function<double(const Point&)> key_fn,
+                                  ModelTrainer* trainer,
+                                  const Config& config) {
+  ELSI_CHECK_EQ(pts.size(), keys.size());
+  ELSI_CHECK(trainer != nullptr);
+  config_ = config;
+  key_fn_ = std::move(key_fn);
+  tombstones_.clear();
+  inserted_ = 0;
+
+  // Map-and-sort: order points by key (ties by id for determinism).
+  const size_t n = pts.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (keys[a] != keys[b]) return keys[a] < keys[b];
+    return pts[a].id < pts[b].id;
+  });
+  pts_.resize(n);
+  keys_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    pts_[i] = pts[order[i]];
+    keys_[i] = keys[order[i]];
+  }
+
+  const size_t leaf_count =
+      n == 0 ? 1 : (n + config.leaf_target - 1) / config.leaf_target;
+  leaf_start_.assign(leaf_count + 1, 0);
+  for (size_t j = 0; j <= leaf_count; ++j) {
+    leaf_start_[j] = j * n / leaf_count;
+  }
+  leaf_min_key_.assign(leaf_count, 0.0);
+  for (size_t j = 0; j < leaf_count; ++j) {
+    leaf_min_key_[j] = n == 0 ? 0.0 : keys_[leaf_start_[j]];
+  }
+
+  leaves_.assign(leaf_count, RankModel());
+  overflow_.assign(leaf_count, PagedList(config.block_capacity));
+  has_root_ = false;
+  if (n == 0) return;
+
+  if (leaf_count > 1) {
+    root_ = trainer->TrainModel(pts_, keys_, key_fn_);
+    has_root_ = true;
+  }
+  for (size_t j = 0; j < leaf_count; ++j) {
+    const auto [s, e] = LeafRange(j);
+    const std::vector<Point> seg_pts(pts_.begin() + s, pts_.begin() + e);
+    const std::vector<double> seg_keys(keys_.begin() + s, keys_.begin() + e);
+    leaves_[j] = trainer->TrainModel(seg_pts, seg_keys, key_fn_);
+  }
+}
+
+std::pair<size_t, size_t> SegmentedLearnedArray::LeafRange(size_t leaf) const {
+  return {leaf_start_[leaf], leaf_start_[leaf + 1]};
+}
+
+size_t SegmentedLearnedArray::LeafOf(double key) const {
+  const size_t leaf_count = leaves_.size();
+  if (leaf_count <= 1) return 0;
+  // Root model estimates the global position, hence the leaf; a bounded
+  // walk over the leaf min-key fence corrects the dispatch, falling back to
+  // binary search when the prediction is far off.
+  const double pos = root_.PredictRank(key) * (pts_.size() - 1);
+  size_t j = static_cast<size_t>(
+                 std::upper_bound(leaf_start_.begin(), leaf_start_.end(),
+                                  static_cast<size_t>(pos)) -
+                 leaf_start_.begin());
+  j = j == 0 ? 0 : std::min(j - 1, leaf_count - 1);
+  for (int step = 0; step < 4; ++step) {
+    if (j > 0 && key < leaf_min_key_[j]) {
+      --j;
+    } else if (j + 1 < leaf_count && key >= leaf_min_key_[j + 1]) {
+      ++j;
+    } else {
+      return j;
+    }
+  }
+  // Fallback: last leaf whose min key is <= key.
+  const auto it = std::upper_bound(leaf_min_key_.begin(),
+                                   leaf_min_key_.end(), key);
+  if (it == leaf_min_key_.begin()) return 0;
+  return static_cast<size_t>(it - leaf_min_key_.begin()) - 1;
+}
+
+size_t SegmentedLearnedArray::LowerBound(double key) const {
+  const size_t n = pts_.size();
+  if (n == 0) return 0;
+  const size_t j = LeafOf(key);
+  const auto [s, e] = LeafRange(j);
+  const auto [local_lo, local_hi] = leaves_[j].SearchRange(key, e - s);
+  size_t glo = s + local_lo;
+  size_t ghi = std::min(s + local_hi, n - 1);
+  if (glo > 0 && keys_[glo - 1] >= key) {
+    // Predicted range starts too late; exact global search.
+    return static_cast<size_t>(
+        std::lower_bound(keys_.begin(), keys_.end(), key) - keys_.begin());
+  }
+  const auto it = std::lower_bound(keys_.begin() + glo,
+                                   keys_.begin() + ghi + 1, key);
+  if (it == keys_.begin() + ghi + 1 && ghi + 1 < n) {
+    // Range ended before reaching the key; continue on the suffix.
+    return static_cast<size_t>(
+        std::lower_bound(keys_.begin() + ghi + 1, keys_.end(), key) -
+        keys_.begin());
+  }
+  return static_cast<size_t>(it - keys_.begin());
+}
+
+bool SegmentedLearnedArray::PointQuery(const Point& q, double key,
+                                       Point* out) const {
+  const size_t n = pts_.size();
+  for (size_t pos = n == 0 ? 0 : LowerBound(key);
+       pos < n && keys_[pos] == key; ++pos) {
+    const Point& p = pts_[pos];
+    if (p.x == q.x && p.y == q.y && tombstones_.count(p.id) == 0) {
+      if (out != nullptr) *out = p;
+      return true;
+    }
+  }
+  if (inserted_ > 0 && !overflow_.empty()) {
+    std::vector<Point> hits;
+    overflow_[LeafOf(key)].ScanKeyRange(key, key, &hits);
+    for (const Point& p : hits) {
+      if (p.x == q.x && p.y == q.y) {
+        if (out != nullptr) *out = p;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void SegmentedLearnedArray::ScanKeyRange(double lo, double hi,
+                                         std::vector<Point>* out) const {
+  const size_t n = pts_.size();
+  if (n > 0) {
+    for (size_t pos = LowerBound(lo); pos < n && keys_[pos] <= hi; ++pos) {
+      if (tombstones_.count(pts_[pos].id) == 0) out->push_back(pts_[pos]);
+    }
+  }
+  if (inserted_ > 0) {
+    const size_t j_lo = LeafOf(lo);
+    const size_t j_hi = LeafOf(hi);
+    for (size_t j = j_lo; j <= j_hi && j < overflow_.size(); ++j) {
+      overflow_[j].ScanKeyRange(lo, hi, out);
+    }
+  }
+}
+
+void SegmentedLearnedArray::ScanKeyRangeInRect(double lo, double hi,
+                                               const Rect& w,
+                                               std::vector<Point>* out) const {
+  const size_t n = pts_.size();
+  if (n > 0) {
+    for (size_t pos = LowerBound(lo); pos < n && keys_[pos] <= hi; ++pos) {
+      const Point& p = pts_[pos];
+      if (w.Contains(p) && tombstones_.count(p.id) == 0) out->push_back(p);
+    }
+  }
+  if (inserted_ > 0) {
+    const size_t j_lo = LeafOf(lo);
+    const size_t j_hi = LeafOf(hi);
+    for (size_t j = j_lo; j <= j_hi && j < overflow_.size(); ++j) {
+      overflow_[j].ScanKeyRangeInRect(lo, hi, w, out);
+    }
+  }
+}
+
+void SegmentedLearnedArray::ScanOverflowInRect(double lo, double hi,
+                                               const Rect& w,
+                                               std::vector<Point>* out) const {
+  if (inserted_ == 0) return;
+  const size_t j_lo = LeafOf(lo);
+  const size_t j_hi = LeafOf(hi);
+  for (size_t j = j_lo; j <= j_hi && j < overflow_.size(); ++j) {
+    overflow_[j].ScanKeyRangeInRect(lo, hi, w, out);
+  }
+}
+
+void SegmentedLearnedArray::VisitBaseRange(
+    double lo, double hi,
+    const std::function<size_t(size_t, const Point&)>& visitor) const {
+  const size_t n = pts_.size();
+  if (n == 0) return;
+  size_t pos = LowerBound(lo);
+  while (pos < n && keys_[pos] <= hi) {
+    if (tombstones_.count(pts_[pos].id) > 0) {
+      ++pos;
+      continue;
+    }
+    const size_t next = visitor(pos, pts_[pos]);
+    ELSI_DCHECK(next > pos);
+    pos = next;
+  }
+}
+
+void SegmentedLearnedArray::Insert(const Point& p, double key) {
+  if (overflow_.empty()) overflow_.assign(1, PagedList(config_.block_capacity));
+  const size_t j = pts_.empty() ? 0 : LeafOf(key);
+  overflow_[j].Insert(p, key);
+  ++inserted_;
+}
+
+bool SegmentedLearnedArray::Remove(const Point& p, double key) {
+  if (inserted_ > 0 && !overflow_.empty()) {
+    if (overflow_[pts_.empty() ? 0 : LeafOf(key)].Erase(p.id, key)) {
+      --inserted_;
+      return true;
+    }
+  }
+  const size_t n = pts_.size();
+  for (size_t pos = n == 0 ? 0 : LowerBound(key);
+       pos < n && keys_[pos] == key; ++pos) {
+    const Point& base = pts_[pos];
+    if (base.id == p.id && base.x == p.x && base.y == p.y) {
+      return tombstones_.insert(p.id).second;
+    }
+  }
+  return false;
+}
+
+std::vector<Point> SegmentedLearnedArray::CollectAll() const {
+  std::vector<Point> all;
+  all.reserve(size());
+  for (const Point& p : pts_) {
+    if (tombstones_.count(p.id) == 0) all.push_back(p);
+  }
+  for (const PagedList& pages : overflow_) {
+    for (const Block& b : pages.blocks()) {
+      all.insert(all.end(), b.points.begin(), b.points.end());
+    }
+  }
+  return all;
+}
+
+}  // namespace elsi

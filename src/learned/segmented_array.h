@@ -1,0 +1,115 @@
+#ifndef ELSI_LEARNED_SEGMENTED_ARRAY_H_
+#define ELSI_LEARNED_SEGMENTED_ARRAY_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/geometry.h"
+#include "learned/rank_model.h"
+#include "storage/block_store.h"
+
+namespace elsi {
+
+/// The map-and-sort backbone shared by ZM and ML-Index: points sorted by a
+/// 1-D key, cut into contiguous position-quantile segments, a root model
+/// dispatching to segments and one rank model per segment (a two-stage RMI
+/// with contiguous leaves). Every model is trained through a ModelTrainer,
+/// which is where ELSI plugs in.
+///
+/// Updates: inserted points go to per-segment overflow pages (the paper's
+/// "extra data pages per model" used by ML); deletions tombstone base
+/// entries and physically remove overflow entries.
+class SegmentedLearnedArray {
+ public:
+  struct Config {
+    /// Target points per segment; the root model is skipped when a single
+    /// segment suffices.
+    size_t leaf_target = 10000;
+    size_t block_capacity = kDefaultBlockCapacity;
+  };
+
+  SegmentedLearnedArray() = default;
+
+  /// Builds from points and their parallel keys (not necessarily sorted; a
+  /// sort is performed here — the paper's map-and-sort data preparation).
+  void Build(std::vector<Point> pts, std::vector<double> keys,
+             std::function<double(const Point&)> key_fn,
+             ModelTrainer* trainer, const Config& config);
+
+  size_t size() const { return pts_.size() + inserted_ - tombstones_.size(); }
+  bool empty() const { return size() == 0; }
+  size_t base_size() const { return pts_.size(); }
+  size_t segment_count() const { return leaves_.size(); }
+
+  const std::vector<Point>& base_points() const { return pts_; }
+  const std::vector<double>& base_keys() const { return keys_; }
+
+  /// Exact-coordinate point lookup via predict-and-scan.
+  bool PointQuery(const Point& q, double key, Point* out) const;
+
+  /// Appends every base+overflow point with key in [lo, hi] (skipping
+  /// tombstones) that lies inside `w` to `out`.
+  void ScanKeyRangeInRect(double lo, double hi, const Rect& w,
+                          std::vector<Point>* out) const;
+
+  /// As above without the rectangle filter.
+  void ScanKeyRange(double lo, double hi, std::vector<Point>* out) const;
+
+  /// Scans overflow pages only (callers that walk the base with
+  /// VisitBaseRange use this to merge the inserted points).
+  void ScanOverflowInRect(double lo, double hi, const Rect& w,
+                          std::vector<Point>* out) const;
+
+  /// Visits base entries with key in [lo, hi] in key order, passing
+  /// (position, point). The visitor returns the next position to continue
+  /// from (> pos to skip ahead, e.g. BIGMIN); tombstoned entries are not
+  /// visited. Overflow entries are NOT visited (callers merge separately).
+  void VisitBaseRange(double lo, double hi,
+                      const std::function<size_t(size_t, const Point&)>&
+                          visitor) const;
+
+  /// Exact lower-bound position of `key` among base keys, found through the
+  /// learned models with a binary-search fallback.
+  size_t LowerBound(double key) const;
+
+  /// Inserts into the owning segment's overflow pages.
+  void Insert(const Point& p, double key);
+
+  /// Tombstones a base entry or physically removes an overflow entry.
+  bool Remove(const Point& p, double key);
+
+  /// All live points (base minus tombstones plus overflow) — rebuild input.
+  std::vector<Point> CollectAll() const;
+
+  /// Sum of model invocations is proportional to depth: 1 when only leaf
+  /// models exist, 2 with a root dispatcher.
+  int model_depth() const { return leaves_.size() > 1 ? 2 : 1; }
+
+  /// Overflow volume (drives query degradation between rebuilds).
+  size_t overflow_size() const { return inserted_; }
+
+ private:
+  size_t LeafOf(double key) const;
+  std::pair<size_t, size_t> LeafRange(size_t leaf) const;
+
+  std::vector<Point> pts_;
+  std::vector<double> keys_;
+  std::function<double(const Point&)> key_fn_;
+  Config config_;
+
+  RankModel root_;
+  bool has_root_ = false;
+  std::vector<RankModel> leaves_;
+  std::vector<size_t> leaf_start_;  // leaf i covers [leaf_start_[i], leaf_start_[i+1])
+  std::vector<double> leaf_min_key_;
+
+  std::vector<PagedList> overflow_;  // One per segment.
+  size_t inserted_ = 0;
+  std::unordered_set<uint64_t> tombstones_;
+};
+
+}  // namespace elsi
+
+#endif  // ELSI_LEARNED_SEGMENTED_ARRAY_H_

@@ -1,0 +1,132 @@
+#include "learned/zm_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace elsi {
+
+ZmIndex::ZmIndex(std::shared_ptr<ModelTrainer> trainer, const Config& config)
+    : trainer_(std::move(trainer)), config_(config) {
+  ELSI_CHECK(trainer_ != nullptr);
+  ELSI_CHECK(config.bits_per_dim >= 8 && config.bits_per_dim <= 26)
+      << "bits per dim must keep 2b <= 52 for exact double keys";
+  shift_ = 32 - config.bits_per_dim;
+}
+
+uint64_t ZmIndex::CodeOf(const Point& p) const {
+  ELSI_DCHECK(quantizer_ != nullptr);
+  return MortonEncode(quantizer_->QuantizeX(p.x) >> shift_,
+                      quantizer_->QuantizeY(p.y) >> shift_);
+}
+
+double ZmIndex::KeyOf(const Point& p) const {
+  return static_cast<double>(CodeOf(p));
+}
+
+void ZmIndex::Build(const std::vector<Point>& data) {
+  domain_ = data.empty() ? Rect::Of(0, 0, 1, 1) : BoundingRect(data);
+  if (domain_.Area() <= 0.0) {
+    // Degenerate domains (collinear points) still need positive extent.
+    domain_.Extend(Point{domain_.lo_x - 0.5, domain_.lo_y - 0.5, 0});
+    domain_.Extend(Point{domain_.hi_x + 0.5, domain_.hi_y + 0.5, 0});
+  }
+  quantizer_ = std::make_unique<GridQuantizer>(domain_);
+  std::vector<double> keys(data.size());
+  for (size_t i = 0; i < data.size(); ++i) keys[i] = KeyOf(data[i]);
+  array_.Build(
+      data, std::move(keys), [this](const Point& p) { return KeyOf(p); },
+      trainer_.get(), config_.array);
+}
+
+void ZmIndex::Insert(const Point& p) {
+  if (quantizer_ == nullptr) {
+    Build({p});
+    return;
+  }
+  array_.Insert(p, KeyOf(p));
+}
+
+bool ZmIndex::Remove(const Point& p) {
+  if (quantizer_ == nullptr) return false;
+  return array_.Remove(p, KeyOf(p));
+}
+
+bool ZmIndex::PointQuery(const Point& q, Point* out) const {
+  if (quantizer_ == nullptr) return false;
+  return array_.PointQuery(q, KeyOf(q), out);
+}
+
+std::vector<Point> ZmIndex::WindowQuery(const Rect& w) const {
+  std::vector<Point> result;
+  if (w.empty() || quantizer_ == nullptr) return result;
+  const Point lo{std::max(w.lo_x, domain_.lo_x), std::max(w.lo_y, domain_.lo_y),
+                 0};
+  const Point hi{std::min(w.hi_x, domain_.hi_x), std::min(w.hi_y, domain_.hi_y),
+                 0};
+  if (lo.x > hi.x || lo.y > hi.y) {
+    // Window entirely outside the build domain can still hit clamped
+    // overflow inserts; scan the full key range for those.
+    array_.ScanKeyRangeInRect(0.0, KeyOf(Point{domain_.hi_x, domain_.hi_y, 0}),
+                              w, &result);
+    return result;
+  }
+  const uint64_t zmin = CodeOf(lo);
+  const uint64_t zmax = CodeOf(hi);
+  // Predict-and-scan over [z(lo), z(hi)] with BIGMIN jumps: out-of-box runs
+  // are skipped by predicting the position of the next in-box Z-code.
+  array_.VisitBaseRange(
+      static_cast<double>(zmin), static_cast<double>(zmax),
+      [&](size_t pos, const Point& p) -> size_t {
+        const uint64_t code = CodeOf(p);
+        if (ZCodeInBox(code, zmin, zmax)) {
+          if (w.Contains(p)) result.push_back(p);
+          return pos + 1;
+        }
+        if (!config_.use_bigmin) return pos + 1;
+        if (code >= zmax) return pos + array_.base_size();  // Past the box.
+        const uint64_t next = ZBigmin(code, zmin, zmax);
+        const size_t jump = array_.LowerBound(static_cast<double>(next));
+        return jump > pos ? jump : pos + 1;
+      });
+  // Merge inserted points from the overflow pages covering the Z-range.
+  array_.ScanOverflowInRect(static_cast<double>(zmin),
+                            static_cast<double>(zmax), w, &result);
+  return result;
+}
+
+std::vector<Point> ZmIndex::KnnQuery(const Point& q, size_t k) const {
+  std::vector<Point> result;
+  if (quantizer_ == nullptr || array_.size() == 0 || k == 0) return result;
+  const double diag = std::hypot(domain_.hi_x - domain_.lo_x,
+                                 domain_.hi_y - domain_.lo_y);
+  const double n = static_cast<double>(array_.size());
+  double r = config_.knn_radius_factor * diag *
+             std::sqrt(static_cast<double>(k) / std::max(1.0, n));
+  r = std::max(r, diag * 1e-6);
+  for (;;) {
+    const Rect w = Rect::Of(q.x - r, q.y - r, q.x + r, q.y + r);
+    std::vector<Point> candidates = WindowQuery(w);
+    if (candidates.size() >= k || r > diag) {
+      std::sort(candidates.begin(), candidates.end(),
+                [&q](const Point& a, const Point& b) {
+                  const double da = SquaredDistance(a, q);
+                  const double db = SquaredDistance(b, q);
+                  if (da != db) return da < db;
+                  return a.id < b.id;
+                });
+      if (candidates.size() > k) candidates.resize(k);
+      // The square window guarantees correctness only for neighbours within
+      // r; re-expand if the kth distance exceeds the window radius.
+      if (r > diag ||
+          (candidates.size() == k &&
+           SquaredDistance(candidates.back(), q) <= r * r)) {
+        return candidates;
+      }
+    }
+    r *= 2.0;
+  }
+}
+
+}  // namespace elsi

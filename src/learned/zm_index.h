@@ -1,0 +1,71 @@
+#ifndef ELSI_LEARNED_ZM_INDEX_H_
+#define ELSI_LEARNED_ZM_INDEX_H_
+
+#include <memory>
+
+#include "common/spatial_index.h"
+#include "curve/zorder.h"
+#include "learned/segmented_array.h"
+
+namespace elsi {
+
+/// The ZM index (Wang et al., MDM 2019): points are mapped to Z-curve
+/// values, sorted, and indexed by a staged RMI of FFN rank models
+/// (SegmentedLearnedArray). Point and window queries are exact — windows
+/// scan the Z-range [z(lo), z(hi)] with BIGMIN jumps over false-positive
+/// runs — and kNN is answered by expanding windows. Inserts land in
+/// per-segment overflow pages.
+struct ZmIndexConfig {
+  SegmentedLearnedArray::Config array;
+  /// Bits per dimension of the Z-grid. 26 keeps the 2d-bit code exactly
+  /// representable in a double key.
+  int bits_per_dim = 26;
+  /// kNN initial radius multiplier (times the expected k-point radius).
+  double knn_radius_factor = 2.0;
+  /// Skip false-positive Z-runs in window scans via BIGMIN jumps. Disabling
+  /// falls back to a plain filtered scan of [z(lo), z(hi)] — the ablation
+  /// bench_ablation_design measures the difference.
+  bool use_bigmin = true;
+};
+
+class ZmIndex : public SpatialIndex {
+ public:
+  using Config = ZmIndexConfig;
+
+  explicit ZmIndex(std::shared_ptr<ModelTrainer> trainer,
+                   const Config& config = {});
+
+  std::string Name() const override { return "ZM"; }
+  void Build(const std::vector<Point>& data) override;
+  void Insert(const Point& p) override;
+  bool Remove(const Point& p) override;
+  bool PointQuery(const Point& q, Point* out = nullptr) const override;
+  std::vector<Point> WindowQuery(const Rect& w) const override;
+  std::vector<Point> KnnQuery(const Point& q, size_t k) const override;
+  size_t size() const override { return array_.size(); }
+
+  /// The Z-key of a point under the build-time quantizer (the base index's
+  /// map() function in Algorithm 1).
+  double KeyOf(const Point& p) const;
+
+  /// The 2b-bit Z-code (integer form) of a point.
+  uint64_t CodeOf(const Point& p) const;
+
+  std::vector<Point> CollectAll() const override {
+    return array_.CollectAll();
+  }
+  const SegmentedLearnedArray& array() const { return array_; }
+  int Depth() const override { return array_.model_depth(); }
+
+ private:
+  std::shared_ptr<ModelTrainer> trainer_;
+  Config config_;
+  int shift_ = 6;  // 32 - bits_per_dim.
+  std::unique_ptr<GridQuantizer> quantizer_;
+  Rect domain_;
+  SegmentedLearnedArray array_;
+};
+
+}  // namespace elsi
+
+#endif  // ELSI_LEARNED_ZM_INDEX_H_

@@ -1,0 +1,204 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace elsi {
+namespace {
+
+// Small local PRNG step (SplitMix64) for feature subsampling.
+uint64_t NextRand(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double MajorityLabel(const std::vector<double>& y,
+                     const std::vector<size_t>& indices, size_t begin,
+                     size_t end, size_t num_classes) {
+  std::vector<size_t> counts(num_classes, 0);
+  for (size_t i = begin; i < end; ++i) {
+    ++counts[static_cast<size_t>(y[indices[i]])];
+  }
+  return static_cast<double>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+}
+
+double Mean(const std::vector<double>& y, const std::vector<size_t>& indices,
+            size_t begin, size_t end) {
+  double sum = 0.0;
+  for (size_t i = begin; i < end; ++i) sum += y[indices[i]];
+  return sum / static_cast<double>(end - begin);
+}
+
+}  // namespace
+
+void DecisionTree::Fit(const Matrix& x, const std::vector<double>& y,
+                       Task task, const DecisionTreeOptions& options) {
+  ELSI_CHECK_EQ(x.rows(), y.size());
+  ELSI_CHECK_GT(x.rows(), 0u);
+  nodes_.clear();
+  std::vector<size_t> indices(x.rows());
+  std::iota(indices.begin(), indices.end(), 0);
+  uint64_t rng_state = options.seed;
+  BuildNode(x, y, indices, 0, indices.size(), 0, options, task, &rng_state);
+}
+
+int DecisionTree::BuildNode(const Matrix& x, const std::vector<double>& y,
+                            std::vector<size_t>& indices, size_t begin,
+                            size_t end, int depth,
+                            const DecisionTreeOptions& options, Task task,
+                            uint64_t* rng_state) {
+  const size_t n = end - begin;
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+
+  size_t num_classes = 0;
+  if (task == Task::kClassification) {
+    double max_label = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+      ELSI_DCHECK(y[indices[i]] >= 0.0);
+      max_label = std::max(max_label, y[indices[i]]);
+    }
+    num_classes = static_cast<size_t>(max_label) + 1;
+  }
+
+  const double leaf_value =
+      task == Task::kRegression
+          ? Mean(y, indices, begin, end)
+          : MajorityLabel(y, indices, begin, end, num_classes);
+  nodes_[node_id].value = leaf_value;
+
+  // Purity check.
+  bool pure = true;
+  for (size_t i = begin + 1; i < end && pure; ++i) {
+    pure = (y[indices[i]] == y[indices[begin]]);
+  }
+  if (pure || depth >= options.max_depth ||
+      n < 2 * options.min_samples_leaf) {
+    return node_id;
+  }
+
+  // Candidate features (all, or a uniform subset for forests).
+  const int d = static_cast<int>(x.cols());
+  std::vector<int> features(d);
+  std::iota(features.begin(), features.end(), 0);
+  int num_features = d;
+  if (options.max_features > 0 && options.max_features < d) {
+    for (int i = 0; i < options.max_features; ++i) {
+      const int j = i + static_cast<int>(NextRand(rng_state) % (d - i));
+      std::swap(features[i], features[j]);
+    }
+    num_features = options.max_features;
+  }
+
+  double best_score = -std::numeric_limits<double>::infinity();
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  std::vector<size_t> sorted(indices.begin() + begin, indices.begin() + end);
+  for (int fi = 0; fi < num_features; ++fi) {
+    const int f = features[fi];
+    std::sort(sorted.begin(), sorted.end(), [&](size_t a, size_t b) {
+      return x.At(a, f) < x.At(b, f);
+    });
+
+    if (task == Task::kRegression) {
+      // Variance reduction via running sums.
+      double total = 0.0;
+      for (size_t idx : sorted) total += y[idx];
+      double left_sum = 0.0;
+      for (size_t i = 0; i + 1 < n; ++i) {
+        left_sum += y[sorted[i]];
+        const double v = x.At(sorted[i], f);
+        const double v_next = x.At(sorted[i + 1], f);
+        if (v == v_next) continue;
+        const size_t nl = i + 1;
+        const size_t nr = n - nl;
+        if (nl < options.min_samples_leaf || nr < options.min_samples_leaf) {
+          continue;
+        }
+        const double right_sum = total - left_sum;
+        // Maximising sum-of-squared-means is equivalent to minimising the
+        // within-split squared error.
+        const double score =
+            left_sum * left_sum / nl + right_sum * right_sum / nr;
+        if (score > best_score) {
+          best_score = score;
+          best_feature = f;
+          best_threshold = (v + v_next) / 2.0;
+        }
+      }
+    } else {
+      std::vector<double> left_counts(num_classes, 0.0);
+      std::vector<double> total_counts(num_classes, 0.0);
+      for (size_t idx : sorted) {
+        total_counts[static_cast<size_t>(y[idx])] += 1.0;
+      }
+      for (size_t i = 0; i + 1 < n; ++i) {
+        left_counts[static_cast<size_t>(y[sorted[i]])] += 1.0;
+        const double v = x.At(sorted[i], f);
+        const double v_next = x.At(sorted[i + 1], f);
+        if (v == v_next) continue;
+        const size_t nl = i + 1;
+        const size_t nr = n - nl;
+        if (nl < options.min_samples_leaf || nr < options.min_samples_leaf) {
+          continue;
+        }
+        // Negative weighted Gini (higher is better).
+        double gini_l = 1.0;
+        double gini_r = 1.0;
+        for (size_t c = 0; c < num_classes; ++c) {
+          const double pl = left_counts[c] / nl;
+          const double pr = (total_counts[c] - left_counts[c]) / nr;
+          gini_l -= pl * pl;
+          gini_r -= pr * pr;
+        }
+        const double score = -(nl * gini_l + nr * gini_r);
+        if (score > best_score) {
+          best_score = score;
+          best_feature = f;
+          best_threshold = (v + v_next) / 2.0;
+        }
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;  // No valid split found.
+
+  // Stable partition of the node's index range around the threshold.
+  const auto mid = std::stable_partition(
+      indices.begin() + begin, indices.begin() + end, [&](size_t idx) {
+        return x.At(idx, best_feature) <= best_threshold;
+      });
+  const size_t split = static_cast<size_t>(mid - indices.begin());
+  if (split == begin || split == end) return node_id;  // Degenerate.
+
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  const int left = BuildNode(x, y, indices, begin, split, depth + 1, options,
+                             task, rng_state);
+  const int right = BuildNode(x, y, indices, split, end, depth + 1, options,
+                              task, rng_state);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+double DecisionTree::Predict(const std::vector<double>& x) const {
+  ELSI_CHECK(fitted());
+  int node = 0;
+  for (;;) {
+    const Node& nd = nodes_[node];
+    if (nd.feature < 0) return nd.value;
+    node = x[nd.feature] <= nd.threshold ? nd.left : nd.right;
+  }
+}
+
+}  // namespace elsi

@@ -1,0 +1,62 @@
+#ifndef ELSI_ML_DECISION_TREE_H_
+#define ELSI_ML_DECISION_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace elsi {
+
+/// CART options. `max_features` 0 considers every feature at each split;
+/// a positive value samples that many features uniformly per split (used by
+/// the random forest).
+struct DecisionTreeOptions {
+  int max_depth = 8;
+  size_t min_samples_leaf = 2;
+  int max_features = 0;
+  uint64_t seed = 42;
+};
+
+/// CART decision tree supporting both regression (variance reduction,
+/// mean-valued leaves) and classification (Gini impurity, majority leaves).
+/// These are the DTR/DTC baselines of Fig. 6(b) and the base learner of the
+/// random forest.
+class DecisionTree {
+ public:
+  enum class Task { kRegression, kClassification };
+
+  DecisionTree() = default;
+
+  /// Fits on feature matrix `x` (n x d) and targets `y` (length n). For
+  /// classification, targets must be non-negative integer class ids stored
+  /// as doubles.
+  void Fit(const Matrix& x, const std::vector<double>& y, Task task,
+           const DecisionTreeOptions& options = {});
+
+  /// Predicted mean (regression) or class id (classification).
+  double Predict(const std::vector<double>& x) const;
+
+  bool fitted() const { return !nodes_.empty(); }
+  size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int feature = -1;  // -1 marks a leaf.
+    double threshold = 0.0;
+    double value = 0.0;  // Leaf prediction.
+    int left = -1;
+    int right = -1;
+  };
+
+  int BuildNode(const Matrix& x, const std::vector<double>& y,
+                std::vector<size_t>& indices, size_t begin, size_t end,
+                int depth, const DecisionTreeOptions& options, Task task,
+                uint64_t* rng_state);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace elsi
+
+#endif  // ELSI_ML_DECISION_TREE_H_

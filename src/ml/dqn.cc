@@ -1,0 +1,102 @@
+#include "ml/dqn.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace elsi {
+namespace {
+
+uint64_t NextRand(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Dqn::Dqn(const DqnConfig& config)
+    : config_(config),
+      online_(config.state_dim, config.hidden, config.action_count,
+              config.seed),
+      target_(config.state_dim, config.hidden, config.action_count,
+              config.seed),
+      rng_state_(config.seed ^ 0xd9f3ULL) {
+  ELSI_CHECK_GT(config.state_dim, 0);
+  ELSI_CHECK_GT(config.action_count, 0);
+  target_.SetParameters(online_.GetParameters());
+  replay_.reserve(std::min<size_t>(config.replay_capacity, 4096));
+}
+
+int Dqn::BestAction(const std::vector<double>& state) const {
+  const std::vector<double> q = online_.Forward(state);
+  return static_cast<int>(std::max_element(q.begin(), q.end()) - q.begin());
+}
+
+std::vector<double> Dqn::QValues(const std::vector<double>& state) const {
+  return online_.Forward(state);
+}
+
+int Dqn::SelectAction(const std::vector<double>& state, double epsilon) {
+  const double u =
+      static_cast<double>(NextRand(&rng_state_) >> 11) * 0x1.0p-53;
+  if (u < epsilon) {
+    return static_cast<int>(NextRand(&rng_state_) % config_.action_count);
+  }
+  return BestAction(state);
+}
+
+void Dqn::Observe(const std::vector<double>& state, int action, double reward,
+                  const std::vector<double>& next_state, bool done) {
+  Transition t{state, action, reward, next_state, done};
+  if (replay_.size() < config_.replay_capacity) {
+    replay_.push_back(std::move(t));
+  } else {
+    replay_[replay_next_] = std::move(t);
+    replay_next_ = (replay_next_ + 1) % config_.replay_capacity;
+  }
+  ++steps_;
+  if (steps_ % config_.train_every == 0 && !replay_.empty()) {
+    TrainBatch();
+  }
+  if (steps_ % config_.target_sync_every == 0) {
+    target_.SetParameters(online_.GetParameters());
+  }
+}
+
+void Dqn::TrainBatch() {
+  const size_t batch = std::min(config_.batch_size, replay_.size());
+  Matrix x(batch, config_.state_dim);
+  std::vector<const Transition*> sampled(batch);
+  for (size_t i = 0; i < batch; ++i) {
+    sampled[i] = &replay_[NextRand(&rng_state_) % replay_.size()];
+    const std::vector<double>& s = sampled[i]->state;
+    std::copy(s.begin(), s.end(), x.RowPtr(i));
+  }
+
+  // Targets: current online Q with the taken action replaced by the Bellman
+  // backup through the target network.
+  Matrix y = online_.ForwardBatch(x);
+  Matrix next_x(batch, config_.state_dim);
+  for (size_t i = 0; i < batch; ++i) {
+    const std::vector<double>& s = sampled[i]->next_state;
+    std::copy(s.begin(), s.end(), next_x.RowPtr(i));
+  }
+  const Matrix next_q = target_.ForwardBatch(next_x);
+  for (size_t i = 0; i < batch; ++i) {
+    double target = sampled[i]->reward;
+    if (!sampled[i]->done) {
+      double best = next_q.At(i, 0);
+      for (int a = 1; a < config_.action_count; ++a) {
+        best = std::max(best, next_q.At(i, a));
+      }
+      target += config_.gamma * best;
+    }
+    y.At(i, sampled[i]->action) = target;
+  }
+  online_.TrainStep(x, y, config_.learning_rate);
+}
+
+}  // namespace elsi

@@ -1,0 +1,70 @@
+#ifndef ELSI_ML_DQN_H_
+#define ELSI_ML_DQN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/ffn.h"
+
+namespace elsi {
+
+/// Deep Q-network configuration. Defaults mirror the RL build method of the
+/// paper (Sec. V-B2): discount 0.9 and a Q-update every five environment
+/// steps over the recent replay memory.
+struct DqnConfig {
+  int state_dim = 0;
+  int action_count = 0;
+  std::vector<int> hidden = {64};
+  double learning_rate = 1e-3;
+  double gamma = 0.9;
+  size_t replay_capacity = 10000;
+  size_t batch_size = 32;
+  int train_every = 5;
+  int target_sync_every = 50;
+  uint64_t seed = 42;
+};
+
+/// A compact DQN (Mnih et al., 2013) with an experience-replay ring buffer
+/// and a periodically-synchronised target network.
+class Dqn {
+ public:
+  explicit Dqn(const DqnConfig& config);
+
+  /// Epsilon-greedy action selection.
+  int SelectAction(const std::vector<double>& state, double epsilon);
+
+  /// Greedy action (no exploration).
+  int BestAction(const std::vector<double>& state) const;
+
+  /// Records a transition and trains every `train_every` observations.
+  void Observe(const std::vector<double>& state, int action, double reward,
+               const std::vector<double>& next_state, bool done);
+
+  /// Q-values for a state (diagnostics/tests).
+  std::vector<double> QValues(const std::vector<double>& state) const;
+
+  int64_t steps() const { return steps_; }
+
+ private:
+  struct Transition {
+    std::vector<double> state;
+    int action;
+    double reward;
+    std::vector<double> next_state;
+    bool done;
+  };
+
+  void TrainBatch();
+
+  DqnConfig config_;
+  Ffn online_;
+  Ffn target_;
+  std::vector<Transition> replay_;
+  size_t replay_next_ = 0;
+  int64_t steps_ = 0;
+  uint64_t rng_state_;
+};
+
+}  // namespace elsi
+
+#endif  // ELSI_ML_DQN_H_

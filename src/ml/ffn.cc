@@ -1,0 +1,297 @@
+#include "ml/ffn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <istream>
+#include <numeric>
+#include <ostream>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace elsi {
+namespace {
+
+constexpr double kAdamBeta1 = 0.9;
+constexpr double kAdamBeta2 = 0.999;
+constexpr double kAdamEps = 1e-8;
+
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+}  // namespace
+
+Ffn::Ffn(int input_dim, const std::vector<int>& hidden, int output_dim,
+         uint64_t seed, OutputActivation out_act)
+    : input_dim_(input_dim), output_dim_(output_dim), out_act_(out_act) {
+  ELSI_CHECK_GT(input_dim, 0);
+  ELSI_CHECK_GT(output_dim, 0);
+  Rng rng(seed);
+  std::vector<int> dims;
+  dims.push_back(input_dim);
+  for (int h : hidden) {
+    ELSI_CHECK_GT(h, 0);
+    dims.push_back(h);
+  }
+  dims.push_back(output_dim);
+  layers_.resize(dims.size() - 1);
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const int in = dims[l];
+    const int out = dims[l + 1];
+    Layer& layer = layers_[l];
+    layer.w = Matrix(in, out);
+    layer.b.assign(out, 0.0);
+    const double scale = std::sqrt(2.0 / in);  // He initialisation for ReLU.
+    for (size_t i = 0; i < layer.w.data().size(); ++i) {
+      layer.w.data()[i] = rng.NextGaussian() * scale;
+    }
+    layer.mw = Matrix(in, out);
+    layer.vw = Matrix(in, out);
+    layer.mb.assign(out, 0.0);
+    layer.vb.assign(out, 0.0);
+  }
+}
+
+Matrix Ffn::ForwardTraining(const Matrix& x,
+                            std::vector<Matrix>* activations) const {
+  ELSI_CHECK_EQ(x.cols(), static_cast<size_t>(input_dim_));
+  if (activations != nullptr) {
+    activations->clear();
+    activations->push_back(x);
+  }
+  Matrix a = x;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    Matrix z = a.MatMul(layers_[l].w);
+    z.AddRowBroadcast(layers_[l].b);
+    if (l + 1 < layers_.size()) {
+      for (double& v : z.data()) v = v > 0.0 ? v : 0.0;  // ReLU.
+    } else if (out_act_ == OutputActivation::kSigmoid) {
+      for (double& v : z.data()) v = Sigmoid(v);
+    }
+    a = std::move(z);
+    if (activations != nullptr && l + 1 < layers_.size()) {
+      activations->push_back(a);
+    }
+  }
+  return a;
+}
+
+Matrix Ffn::ForwardBatch(const Matrix& x) const {
+  return ForwardTraining(x, nullptr);
+}
+
+std::vector<double> Ffn::Forward(const std::vector<double>& x) const {
+  Matrix row(1, x.size());
+  for (size_t i = 0; i < x.size(); ++i) row.At(0, i) = x[i];
+  const Matrix out = ForwardBatch(row);
+  return {out.data().begin(), out.data().end()};
+}
+
+double Ffn::Predict1(const std::vector<double>& x) const {
+  ELSI_CHECK_EQ(output_dim_, 1);
+  return Forward(x)[0];
+}
+
+double Ffn::BackwardAndStep(const std::vector<Matrix>& activations,
+                            const Matrix& output, const Matrix& y, double lr) {
+  const size_t n = output.rows();
+  ELSI_CHECK_EQ(y.rows(), n);
+  ELSI_CHECK_EQ(y.cols(), output.cols());
+
+  // L2 loss: mean over examples of the squared error summed over outputs.
+  double loss = 0.0;
+  Matrix delta(n, output.cols());
+  for (size_t i = 0; i < output.data().size(); ++i) {
+    const double diff = output.data()[i] - y.data()[i];
+    loss += diff * diff;
+    delta.data()[i] = 2.0 * diff / static_cast<double>(n);
+  }
+  loss /= static_cast<double>(n);
+
+  if (out_act_ == OutputActivation::kSigmoid) {
+    for (size_t i = 0; i < delta.data().size(); ++i) {
+      const double a = output.data()[i];
+      delta.data()[i] *= a * (1.0 - a);
+    }
+  }
+
+  ++adam_t_;
+  const double bc1 = 1.0 - std::pow(kAdamBeta1, static_cast<double>(adam_t_));
+  const double bc2 = 1.0 - std::pow(kAdamBeta2, static_cast<double>(adam_t_));
+
+  for (size_t l = layers_.size(); l-- > 0;) {
+    Layer& layer = layers_[l];
+    const Matrix& a_in = activations[l];
+    const Matrix gw = a_in.TransposedMatMul(delta);
+    const std::vector<double> gb = delta.ColumnSums();
+
+    if (l > 0) {
+      Matrix next_delta = delta.MatMulTransposed(layer.w);
+      // ReLU derivative via the stored post-activation values.
+      const Matrix& a_prev = activations[l];
+      ELSI_CHECK_EQ(next_delta.data().size(), a_prev.data().size());
+      for (size_t i = 0; i < next_delta.data().size(); ++i) {
+        if (a_prev.data()[i] <= 0.0) next_delta.data()[i] = 0.0;
+      }
+      delta = std::move(next_delta);
+    }
+
+    for (size_t i = 0; i < layer.w.data().size(); ++i) {
+      double& m = layer.mw.data()[i];
+      double& v = layer.vw.data()[i];
+      const double g = gw.data()[i];
+      m = kAdamBeta1 * m + (1.0 - kAdamBeta1) * g;
+      v = kAdamBeta2 * v + (1.0 - kAdamBeta2) * g * g;
+      layer.w.data()[i] -= lr * (m / bc1) / (std::sqrt(v / bc2) + kAdamEps);
+    }
+    for (size_t i = 0; i < layer.b.size(); ++i) {
+      double& m = layer.mb[i];
+      double& v = layer.vb[i];
+      const double g = gb[i];
+      m = kAdamBeta1 * m + (1.0 - kAdamBeta1) * g;
+      v = kAdamBeta2 * v + (1.0 - kAdamBeta2) * g * g;
+      layer.b[i] -= lr * (m / bc1) / (std::sqrt(v / bc2) + kAdamEps);
+    }
+  }
+  return loss;
+}
+
+double Ffn::TrainStep(const Matrix& x, const Matrix& y, double learning_rate) {
+  std::vector<Matrix> activations;
+  const Matrix output = ForwardTraining(x, &activations);
+  return BackwardAndStep(activations, output, y, learning_rate);
+}
+
+double Ffn::Train(const Matrix& x, const Matrix& y,
+                  const FfnTrainOptions& opts) {
+  ELSI_CHECK_EQ(x.rows(), y.rows());
+  ELSI_CHECK_GT(x.rows(), 0u);
+  const size_t n = x.rows();
+  const size_t batch = opts.batch_size == 0 ? n : std::min(opts.batch_size, n);
+
+  Rng rng(opts.shuffle_seed);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  double last_loss = 0.0;
+  double best_loss = std::numeric_limits<double>::infinity();
+  int stall = 0;
+  for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    size_t batches = 0;
+    if (batch == n) {
+      epoch_loss = TrainStep(x, y, opts.learning_rate);
+      batches = 1;
+    } else {
+      // Fisher-Yates shuffle, then sequential mini-batches.
+      for (size_t i = n - 1; i > 0; --i) {
+        std::swap(order[i], order[rng.NextBelow(i + 1)]);
+      }
+      for (size_t start = 0; start < n; start += batch) {
+        const size_t len = std::min(batch, n - start);
+        Matrix bx(len, x.cols());
+        Matrix by(len, y.cols());
+        for (size_t r = 0; r < len; ++r) {
+          const size_t src = order[start + r];
+          std::copy(x.RowPtr(src), x.RowPtr(src) + x.cols(), bx.RowPtr(r));
+          std::copy(y.RowPtr(src), y.RowPtr(src) + y.cols(), by.RowPtr(r));
+        }
+        epoch_loss += TrainStep(bx, by, opts.learning_rate);
+        ++batches;
+      }
+    }
+    last_loss = epoch_loss / static_cast<double>(batches);
+    if (opts.early_stop_rel_tol > 0.0) {
+      if (last_loss < best_loss * (1.0 - opts.early_stop_rel_tol)) {
+        best_loss = last_loss;
+        stall = 0;
+      } else if (++stall >= opts.patience) {
+        break;
+      }
+    }
+  }
+  return last_loss;
+}
+
+std::vector<double> Ffn::GetParameters() const {
+  std::vector<double> params;
+  params.reserve(ParameterCount());
+  for (const Layer& layer : layers_) {
+    params.insert(params.end(), layer.w.data().begin(), layer.w.data().end());
+    params.insert(params.end(), layer.b.begin(), layer.b.end());
+  }
+  return params;
+}
+
+void Ffn::SetParameters(const std::vector<double>& params) {
+  ELSI_CHECK_EQ(params.size(), ParameterCount());
+  size_t pos = 0;
+  for (Layer& layer : layers_) {
+    std::copy(params.begin() + pos, params.begin() + pos + layer.w.data().size(),
+              layer.w.data().begin());
+    pos += layer.w.data().size();
+    std::copy(params.begin() + pos, params.begin() + pos + layer.b.size(),
+              layer.b.begin());
+    pos += layer.b.size();
+  }
+}
+
+size_t Ffn::ParameterCount() const {
+  size_t count = 0;
+  for (const Layer& layer : layers_) {
+    count += layer.w.data().size() + layer.b.size();
+  }
+  return count;
+}
+
+std::vector<int> Ffn::HiddenDims() const {
+  std::vector<int> hidden;
+  for (size_t l = 0; l + 1 < layers_.size(); ++l) {
+    hidden.push_back(static_cast<int>(layers_[l].w.cols()));
+  }
+  return hidden;
+}
+
+bool Ffn::Save(std::ostream& out) const {
+  out << "elsi-ffn 1\n";
+  out << input_dim_ << ' ' << output_dim_ << ' '
+      << (out_act_ == OutputActivation::kSigmoid ? 1 : 0) << '\n';
+  const std::vector<int> hidden = HiddenDims();
+  out << hidden.size();
+  for (int h : hidden) out << ' ' << h;
+  out << '\n';
+  out << std::setprecision(17);
+  for (double v : GetParameters()) out << v << '\n';
+  return static_cast<bool>(out);
+}
+
+std::optional<Ffn> Ffn::Load(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != "elsi-ffn" || version != 1) {
+    return std::nullopt;
+  }
+  int input_dim = 0;
+  int output_dim = 0;
+  int sigmoid = 0;
+  size_t hidden_count = 0;
+  if (!(in >> input_dim >> output_dim >> sigmoid >> hidden_count) ||
+      input_dim <= 0 || output_dim <= 0 || hidden_count > 64) {
+    return std::nullopt;
+  }
+  std::vector<int> hidden(hidden_count);
+  for (int& h : hidden) {
+    if (!(in >> h) || h <= 0) return std::nullopt;
+  }
+  Ffn net(input_dim, hidden, output_dim, /*seed=*/0,
+          sigmoid != 0 ? OutputActivation::kSigmoid
+                       : OutputActivation::kLinear);
+  std::vector<double> params(net.ParameterCount());
+  for (double& v : params) {
+    if (!(in >> v)) return std::nullopt;
+  }
+  net.SetParameters(params);
+  return net;
+}
+
+}  // namespace elsi

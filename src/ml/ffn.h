@@ -1,0 +1,104 @@
+#ifndef ELSI_ML_FFN_H_
+#define ELSI_ML_FFN_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace elsi {
+
+/// Output-layer activation. Index models regress ranks (linear); the rebuild
+/// predictor classifies (sigmoid).
+enum class OutputActivation { kLinear, kSigmoid };
+
+/// Training hyper-parameters. Defaults follow the paper's setup (Sec.
+/// VII-B1): ReLU hidden layers, L2 loss, Adam with learning rate 0.01 and
+/// 500 epochs. `batch_size` 0 means full-batch.
+struct FfnTrainOptions {
+  double learning_rate = 0.01;
+  int epochs = 500;
+  size_t batch_size = 0;
+  uint64_t shuffle_seed = 7;
+  /// Stop early when the epoch loss improves by less than this relative
+  /// amount for `patience` consecutive epochs (0 disables).
+  double early_stop_rel_tol = 0.0;
+  int patience = 10;
+};
+
+/// A dense feed-forward network: Linear -> ReLU -> ... -> Linear
+/// [-> Sigmoid]. This is the model class used for every learned component in
+/// the repository: index rank models, the method scorer's cost estimators,
+/// the rebuild predictor, and the DQN's Q-network.
+class Ffn {
+ public:
+  /// Builds a network with He-initialised weights. `hidden` may be empty
+  /// (pure linear model).
+  Ffn(int input_dim, const std::vector<int>& hidden, int output_dim,
+      uint64_t seed, OutputActivation out_act = OutputActivation::kLinear);
+
+  int input_dim() const { return input_dim_; }
+  int output_dim() const { return output_dim_; }
+
+  /// Forward pass for a single example.
+  std::vector<double> Forward(const std::vector<double>& x) const;
+
+  /// Convenience for scalar-output networks.
+  double Predict1(const std::vector<double>& x) const;
+
+  /// Batched forward pass; rows are examples.
+  Matrix ForwardBatch(const Matrix& x) const;
+
+  /// Trains with mean-squared (L2) loss via Adam. Returns the final epoch's
+  /// mean loss. `x` is (n x input_dim), `y` is (n x output_dim).
+  double Train(const Matrix& x, const Matrix& y, const FfnTrainOptions& opts);
+
+  /// One Adam step on the given batch; returns batch mean loss. Exposed for
+  /// the DQN, which interleaves environment steps with single updates.
+  double TrainStep(const Matrix& x, const Matrix& y, double learning_rate);
+
+  /// Flattens all parameters (used to sync the DQN target network and to
+  /// store pre-trained models for the MR pool).
+  std::vector<double> GetParameters() const;
+  void SetParameters(const std::vector<double>& params);
+
+  /// Total parameter count.
+  size_t ParameterCount() const;
+
+  /// Hidden-layer widths (reconstructed from the layer shapes).
+  std::vector<int> HiddenDims() const;
+
+  /// Writes a portable text encoding (architecture + parameters) that
+  /// Load() reads back bit-exactly. Returns false on stream failure.
+  bool Save(std::ostream& out) const;
+
+  /// Reads an encoding written by Save(). Returns nullopt on malformed
+  /// input. Adam state is not persisted (loaded nets resume fresh).
+  static std::optional<Ffn> Load(std::istream& in);
+
+ private:
+  struct Layer {
+    Matrix w;                // in x out
+    std::vector<double> b;   // out
+    // Adam state.
+    Matrix mw, vw;
+    std::vector<double> mb, vb;
+  };
+
+  // Forward keeping activations for backprop.
+  Matrix ForwardTraining(const Matrix& x, std::vector<Matrix>* activations) const;
+  double BackwardAndStep(const std::vector<Matrix>& activations,
+                         const Matrix& output, const Matrix& y, double lr);
+
+  int input_dim_;
+  int output_dim_;
+  OutputActivation out_act_;
+  std::vector<Layer> layers_;
+  int64_t adam_t_ = 0;
+};
+
+}  // namespace elsi
+
+#endif  // ELSI_ML_FFN_H_

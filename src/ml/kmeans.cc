@@ -1,0 +1,147 @@
+#include "ml/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace elsi {
+namespace {
+
+// Index of the centroid closest to p (linear scan; d = 2).
+size_t Nearest(const std::vector<Point>& centroids, const Point& p) {
+  size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < centroids.size(); ++c) {
+    const double d = SquaredDistance(centroids[c], p);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::vector<Point> InitCentroids(const std::vector<Point>& points, size_t k,
+                                 Rng* rng) {
+  // k-means++ (D^2) seeding on a bounded sample: spreads the initial
+  // centroids across the clusters so no blob is left unclaimed, while
+  // keeping the O(k * sample) cost independent of |points|.
+  const size_t sample_size = std::min(points.size(), std::max<size_t>(2 * k,
+                                                                      20000));
+  std::vector<Point> sample;
+  sample.reserve(sample_size);
+  if (sample_size == points.size()) {
+    sample = points;
+  } else {
+    for (size_t i = 0; i < sample_size; ++i) {
+      sample.push_back(points[rng->NextBelow(points.size())]);
+    }
+  }
+
+  std::vector<Point> centroids;
+  centroids.reserve(k);
+  Point first = sample[rng->NextBelow(sample.size())];
+  first.id = 0;
+  centroids.push_back(first);
+  std::vector<double> d2(sample.size());
+  double total = 0.0;
+  for (size_t i = 0; i < sample.size(); ++i) {
+    d2[i] = SquaredDistance(sample[i], centroids[0]);
+    total += d2[i];
+  }
+  while (centroids.size() < k) {
+    Point next;
+    if (total <= 0.0) {
+      next = sample[rng->NextBelow(sample.size())];
+    } else {
+      double target = rng->NextDouble() * total;
+      size_t pick = sample.size() - 1;
+      for (size_t i = 0; i < sample.size(); ++i) {
+        target -= d2[i];
+        if (target <= 0.0) {
+          pick = i;
+          break;
+        }
+      }
+      next = sample[pick];
+    }
+    next.id = centroids.size();
+    centroids.push_back(next);
+    for (size_t i = 0; i < sample.size(); ++i) {
+      const double d = SquaredDistance(sample[i], next);
+      if (d < d2[i]) {
+        total -= d2[i] - d;
+        d2[i] = d;
+      }
+    }
+  }
+  return centroids;
+}
+
+}  // namespace
+
+KMeansResult KMeans(const std::vector<Point>& points, size_t k,
+                    const KMeansOptions& options) {
+  ELSI_CHECK(!points.empty());
+  k = std::min(k, points.size());
+  ELSI_CHECK_GT(k, 0u);
+  Rng rng(options.seed);
+
+  KMeansResult result;
+  result.centroids = InitCentroids(points, k, &rng);
+
+  if (options.batch_size > 0 && options.batch_size < points.size()) {
+    // Mini-batch k-means: per-centroid counts give a decaying step size.
+    std::vector<size_t> counts(k, 1);
+    for (int iter = 0; iter < options.max_iterations; ++iter) {
+      for (size_t b = 0; b < options.batch_size; ++b) {
+        const Point& p = points[rng.NextBelow(points.size())];
+        const size_t c = Nearest(result.centroids, p);
+        const double eta = 1.0 / static_cast<double>(++counts[c]);
+        result.centroids[c].x += eta * (p.x - result.centroids[c].x);
+        result.centroids[c].y += eta * (p.y - result.centroids[c].y);
+      }
+    }
+    return result;
+  }
+
+  // Full Lloyd iterations.
+  result.assignment.assign(points.size(), 0);
+  std::vector<double> sum_x(k), sum_y(k);
+  std::vector<size_t> counts(k);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    bool changed = false;
+    std::fill(sum_x.begin(), sum_x.end(), 0.0);
+    std::fill(sum_y.begin(), sum_y.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0u);
+    for (size_t i = 0; i < points.size(); ++i) {
+      const uint32_t c = static_cast<uint32_t>(Nearest(result.centroids,
+                                                       points[i]));
+      if (c != result.assignment[i]) {
+        result.assignment[i] = c;
+        changed = true;
+      }
+      sum_x[c] += points[i].x;
+      sum_y[c] += points[i].y;
+      ++counts[c];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster from a random point to keep k centroids.
+        const Point& p = points[rng.NextBelow(points.size())];
+        result.centroids[c].x = p.x;
+        result.centroids[c].y = p.y;
+        continue;
+      }
+      result.centroids[c].x = sum_x[c] / counts[c];
+      result.centroids[c].y = sum_y[c] / counts[c];
+    }
+    if (!changed && iter > 0) break;
+  }
+  return result;
+}
+
+}  // namespace elsi

@@ -1,0 +1,37 @@
+#ifndef ELSI_ML_KMEANS_H_
+#define ELSI_ML_KMEANS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace elsi {
+
+struct KMeansOptions {
+  int max_iterations = 10;
+  /// 0 runs full Lloyd iterations over all points (the paper's
+  /// "straightforward implementation"). A positive value switches to
+  /// mini-batch k-means (Sculley, 2010) with that batch size, which the CL
+  /// build method uses when k * n would make full Lloyd impractical; CL
+  /// remains the slowest build method either way (see DESIGN.md).
+  size_t batch_size = 0;
+  uint64_t seed = 42;
+};
+
+struct KMeansResult {
+  std::vector<Point> centroids;  // k points; ids are 0..k-1.
+  /// Cluster index per input point. Empty in mini-batch mode (assignments
+  /// are not materialised there).
+  std::vector<uint32_t> assignment;
+};
+
+/// Lloyd / mini-batch k-means over 2-D points. `k` is clamped to the number
+/// of points; initial centroids are a random sample without replacement.
+KMeansResult KMeans(const std::vector<Point>& points, size_t k,
+                    const KMeansOptions& options);
+
+}  // namespace elsi
+
+#endif  // ELSI_ML_KMEANS_H_

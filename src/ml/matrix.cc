@@ -1,0 +1,82 @@
+#include "ml/matrix.h"
+
+#include "common/logging.h"
+
+namespace elsi {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    ELSI_CHECK_EQ(rows[r].size(), m.cols()) << "ragged row " << r;
+    for (size_t c = 0; c < m.cols(); ++c) m.At(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::MatMul(const Matrix& rhs) const {
+  ELSI_CHECK_EQ(cols_, rhs.rows_);
+  Matrix out(rows_, rhs.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a = RowPtr(i);
+    double* o = out.RowPtr(i);
+    for (size_t k = 0; k < cols_; ++k) {
+      const double aik = a[k];
+      if (aik == 0.0) continue;
+      const double* b = rhs.RowPtr(k);
+      for (size_t j = 0; j < rhs.cols_; ++j) o[j] += aik * b[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::TransposedMatMul(const Matrix& rhs) const {
+  ELSI_CHECK_EQ(rows_, rhs.rows_);
+  Matrix out(cols_, rhs.cols_);
+  for (size_t k = 0; k < rows_; ++k) {
+    const double* a = RowPtr(k);
+    const double* b = rhs.RowPtr(k);
+    for (size_t i = 0; i < cols_; ++i) {
+      const double aki = a[i];
+      if (aki == 0.0) continue;
+      double* o = out.RowPtr(i);
+      for (size_t j = 0; j < rhs.cols_; ++j) o[j] += aki * b[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::MatMulTransposed(const Matrix& rhs) const {
+  ELSI_CHECK_EQ(cols_, rhs.cols_);
+  Matrix out(rows_, rhs.rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a = RowPtr(i);
+    double* o = out.RowPtr(i);
+    for (size_t j = 0; j < rhs.rows_; ++j) {
+      const double* b = rhs.RowPtr(j);
+      double acc = 0.0;
+      for (size_t k = 0; k < cols_; ++k) acc += a[k] * b[k];
+      o[j] = acc;
+    }
+  }
+  return out;
+}
+
+void Matrix::AddRowBroadcast(const std::vector<double>& bias) {
+  ELSI_CHECK_EQ(bias.size(), cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    double* r = RowPtr(i);
+    for (size_t c = 0; c < cols_; ++c) r[c] += bias[c];
+  }
+}
+
+std::vector<double> Matrix::ColumnSums() const {
+  std::vector<double> sums(cols_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* r = RowPtr(i);
+    for (size_t c = 0; c < cols_; ++c) sums[c] += r[c];
+  }
+  return sums;
+}
+
+}  // namespace elsi

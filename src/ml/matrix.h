@@ -1,0 +1,55 @@
+#ifndef ELSI_ML_MATRIX_H_
+#define ELSI_ML_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace elsi {
+
+/// Dense row-major matrix of doubles. Deliberately minimal: just the
+/// storage + kernels the FFN/DQN training loops need. Copyable and movable.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  double* RowPtr(size_t r) { return data_.data() + r * cols_; }
+  const double* RowPtr(size_t r) const { return data_.data() + r * cols_; }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  /// this (m x k) times rhs (k x n) -> (m x n).
+  Matrix MatMul(const Matrix& rhs) const;
+
+  /// this^T (k x m) times rhs (k x n) -> (m x n); avoids materialising the
+  /// transpose in the backward pass.
+  Matrix TransposedMatMul(const Matrix& rhs) const;
+
+  /// this (m x k) times rhs^T (n x k) -> (m x n).
+  Matrix MatMulTransposed(const Matrix& rhs) const;
+
+  /// Adds `bias` (length cols) to every row in place.
+  void AddRowBroadcast(const std::vector<double>& bias);
+
+  /// Sum over rows -> vector of length cols.
+  std::vector<double> ColumnSums() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace elsi
+
+#endif  // ELSI_ML_MATRIX_H_

@@ -1,0 +1,81 @@
+#include "ml/pla.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace elsi {
+
+void PiecewiseLinearModel::Fit(const std::vector<double>& sorted_keys,
+                               double epsilon) {
+  ELSI_CHECK(!sorted_keys.empty());
+  ELSI_CHECK_GE(epsilon, 0.0);
+  ELSI_DCHECK(std::is_sorted(sorted_keys.begin(), sorted_keys.end()));
+  segments_.clear();
+  epsilon_ = epsilon;
+  n_ = sorted_keys.size();
+
+  // Shrinking cone: a segment anchored at (origin_key, origin_pos) stays
+  // feasible while some slope in [slope_lo, slope_hi] puts every point of
+  // the segment within +-epsilon positions.
+  double origin_key = sorted_keys[0];
+  double origin_pos = 0.0;
+  double slope_lo = 0.0;
+  double slope_hi = std::numeric_limits<double>::infinity();
+
+  auto close_segment = [&]() {
+    const double slope =
+        slope_hi == std::numeric_limits<double>::infinity()
+            ? slope_lo
+            : (slope_lo + slope_hi) / 2.0;
+    segments_.push_back({origin_key, slope, origin_pos});
+  };
+
+  double prev_key = origin_key;
+  for (size_t i = 1; i < n_; ++i) {
+    const double key = sorted_keys[i];
+    // Only the first instance of each distinct key constrains the cone; a
+    // single x cannot satisfy several target positions, so later duplicates
+    // are found through the error-bound scan window instead.
+    if (key == prev_key) continue;
+    prev_key = key;
+    const double dx = key - origin_key;
+    const double hi = (static_cast<double>(i) + epsilon - origin_pos) / dx;
+    const double lo = (static_cast<double>(i) - epsilon - origin_pos) / dx;
+    const double new_lo = std::max(slope_lo, lo);
+    const double new_hi = std::min(slope_hi, hi);
+    if (new_lo <= new_hi) {
+      slope_lo = new_lo;
+      slope_hi = new_hi;
+      continue;
+    }
+    // Cone collapsed: emit the segment and restart at this point.
+    close_segment();
+    origin_key = key;
+    origin_pos = static_cast<double>(i);
+    slope_lo = 0.0;
+    slope_hi = std::numeric_limits<double>::infinity();
+  }
+  close_segment();
+}
+
+double PiecewiseLinearModel::PredictPosition(double key) const {
+  ELSI_DCHECK(fitted());
+  // Last segment whose start key is <= key.
+  size_t lo = 0;
+  size_t hi = segments_.size();
+  while (lo + 1 < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (segments_[mid].start_key <= key) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const Segment& s = segments_[lo];
+  const double pos = s.intercept + s.slope * (key - s.start_key);
+  return std::clamp(pos, 0.0, static_cast<double>(n_ - 1));
+}
+
+}  // namespace elsi

@@ -1,0 +1,51 @@
+#ifndef ELSI_ML_PLA_H_
+#define ELSI_ML_PLA_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace elsi {
+
+/// Optimal-in-passes piecewise linear approximation of a monotone (key ->
+/// rank) mapping with a provable error bound, via the shrinking-cone
+/// algorithm used by PGM/FITing-tree-style indices. The paper's conclusion
+/// names PGM-style models with theoretical query error bounds as future
+/// work for learned spatial indices; this backend realises that extension:
+/// a RankModel built on a PLA has |predicted rank - true rank| <= epsilon
+/// *by construction* over its training keys, instead of empirically
+/// measured bounds.
+class PiecewiseLinearModel {
+ public:
+  PiecewiseLinearModel() = default;
+
+  /// Fits segments over (sorted_keys[i] -> i) such that every training key's
+  /// predicted position deviates by at most `epsilon` positions. Duplicate
+  /// keys collapse onto one position (their first occurrence), so the bound
+  /// holds for the first instance of each distinct key.
+  void Fit(const std::vector<double>& sorted_keys, double epsilon);
+
+  bool fitted() const { return !segments_.empty(); }
+  size_t segment_count() const { return segments_.size(); }
+  double epsilon() const { return epsilon_; }
+
+  /// Predicted (fractional, clamped) position of `key` in [0, n-1].
+  double PredictPosition(double key) const;
+
+  /// Training-set size the model was fitted on.
+  size_t n() const { return n_; }
+
+ private:
+  struct Segment {
+    double start_key;
+    double slope;
+    double intercept;  // Predicted position at start_key.
+  };
+
+  std::vector<Segment> segments_;
+  double epsilon_ = 0.0;
+  size_t n_ = 0;
+};
+
+}  // namespace elsi
+
+#endif  // ELSI_ML_PLA_H_

@@ -1,0 +1,65 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace elsi {
+
+void RandomForest::Fit(const Matrix& x, const std::vector<double>& y,
+                       Task task, const RandomForestOptions& options) {
+  ELSI_CHECK_EQ(x.rows(), y.size());
+  ELSI_CHECK_GT(options.num_trees, 0);
+  task_ = task;
+  trees_.clear();
+  trees_.resize(options.num_trees);
+
+  const int d = static_cast<int>(x.cols());
+  DecisionTreeOptions tree_opts;
+  tree_opts.max_depth = options.max_depth;
+  tree_opts.min_samples_leaf = options.min_samples_leaf;
+  tree_opts.max_features =
+      options.max_features > 0
+          ? options.max_features
+          : static_cast<int>(std::ceil(std::sqrt(static_cast<double>(d))));
+
+  Rng rng(options.seed);
+  const size_t n = x.rows();
+  for (int t = 0; t < options.num_trees; ++t) {
+    // Bootstrap resample.
+    Matrix bx(n, x.cols());
+    std::vector<double> by(n);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t src = rng.NextBelow(n);
+      std::copy(x.RowPtr(src), x.RowPtr(src) + x.cols(), bx.RowPtr(i));
+      by[i] = y[src];
+    }
+    tree_opts.seed = rng.NextUint64();
+    trees_[t].Fit(bx, by, task, tree_opts);
+  }
+}
+
+double RandomForest::Predict(const std::vector<double>& x) const {
+  ELSI_CHECK(fitted());
+  if (task_ == Task::kRegression) {
+    double sum = 0.0;
+    for (const DecisionTree& tree : trees_) sum += tree.Predict(x);
+    return sum / static_cast<double>(trees_.size());
+  }
+  std::map<double, int> votes;
+  for (const DecisionTree& tree : trees_) ++votes[tree.Predict(x)];
+  double best_label = 0.0;
+  int best_count = -1;
+  for (const auto& [label, count] : votes) {
+    if (count > best_count) {
+      best_count = count;
+      best_label = label;
+    }
+  }
+  return best_label;
+}
+
+}  // namespace elsi

@@ -1,0 +1,44 @@
+#ifndef ELSI_ML_RANDOM_FOREST_H_
+#define ELSI_ML_RANDOM_FOREST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/decision_tree.h"
+#include "ml/matrix.h"
+
+namespace elsi {
+
+struct RandomForestOptions {
+  int num_trees = 30;
+  int max_depth = 8;
+  size_t min_samples_leaf = 2;
+  /// 0 picks ceil(sqrt(d)) features per split.
+  int max_features = 0;
+  uint64_t seed = 42;
+};
+
+/// Bagged CART ensemble: bootstrap-resampled trees with per-split feature
+/// subsampling. Regression averages tree outputs; classification takes the
+/// majority vote. These are the RFR/RFC baselines of Fig. 6(b).
+class RandomForest {
+ public:
+  using Task = DecisionTree::Task;
+
+  RandomForest() = default;
+
+  void Fit(const Matrix& x, const std::vector<double>& y, Task task,
+           const RandomForestOptions& options = {});
+
+  double Predict(const std::vector<double>& x) const;
+
+  bool fitted() const { return !trees_.empty(); }
+
+ private:
+  std::vector<DecisionTree> trees_;
+  Task task_ = Task::kRegression;
+};
+
+}  // namespace elsi
+
+#endif  // ELSI_ML_RANDOM_FOREST_H_

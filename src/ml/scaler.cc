@@ -1,0 +1,46 @@
+#include "ml/scaler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace elsi {
+
+void MinMaxScaler::Fit(const Matrix& x) {
+  ELSI_CHECK_GT(x.rows(), 0u);
+  mins_.assign(x.cols(), 0.0);
+  inv_ranges_.assign(x.cols(), 0.0);
+  for (size_t c = 0; c < x.cols(); ++c) {
+    double lo = x.At(0, c);
+    double hi = lo;
+    for (size_t r = 1; r < x.rows(); ++r) {
+      lo = std::min(lo, x.At(r, c));
+      hi = std::max(hi, x.At(r, c));
+    }
+    mins_[c] = lo;
+    inv_ranges_[c] = hi > lo ? 1.0 / (hi - lo) : 0.0;
+  }
+}
+
+void MinMaxScaler::Transform(Matrix* x) const {
+  ELSI_CHECK(fitted());
+  ELSI_CHECK_EQ(x->cols(), mins_.size());
+  for (size_t r = 0; r < x->rows(); ++r) {
+    double* row = x->RowPtr(r);
+    for (size_t c = 0; c < x->cols(); ++c) {
+      row[c] = (row[c] - mins_[c]) * inv_ranges_[c];
+    }
+  }
+}
+
+std::vector<double> MinMaxScaler::Transform(const std::vector<double>& x) const {
+  ELSI_CHECK(fitted());
+  ELSI_CHECK_EQ(x.size(), mins_.size());
+  std::vector<double> out(x.size());
+  for (size_t c = 0; c < x.size(); ++c) {
+    out[c] = (x[c] - mins_[c]) * inv_ranges_[c];
+  }
+  return out;
+}
+
+}  // namespace elsi

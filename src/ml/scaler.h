@@ -1,0 +1,34 @@
+#ifndef ELSI_ML_SCALER_H_
+#define ELSI_ML_SCALER_H_
+
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace elsi {
+
+/// Per-column min-max scaling to [0, 1]. Constant columns map to 0. Learned
+/// components fit the scaler on training features and reuse it at inference.
+class MinMaxScaler {
+ public:
+  MinMaxScaler() = default;
+
+  /// Learns column ranges from `x`.
+  void Fit(const Matrix& x);
+
+  /// Scales in place. Requires Fit() with matching column count.
+  void Transform(Matrix* x) const;
+
+  /// Scales one feature vector.
+  std::vector<double> Transform(const std::vector<double>& x) const;
+
+  bool fitted() const { return !mins_.empty(); }
+
+ private:
+  std::vector<double> mins_;
+  std::vector<double> inv_ranges_;
+};
+
+}  // namespace elsi
+
+#endif  // ELSI_ML_SCALER_H_

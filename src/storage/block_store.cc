@@ -1,0 +1,139 @@
+#include "storage/block_store.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace elsi {
+
+PagedList::PagedList(size_t block_capacity) : block_capacity_(block_capacity) {
+  ELSI_CHECK_GE(block_capacity, 2u) << "blocks must hold at least 2 points";
+}
+
+void PagedList::BulkLoad(const std::vector<Point>& sorted_points,
+                         const std::vector<double>& sorted_keys) {
+  ELSI_CHECK_EQ(sorted_points.size(), sorted_keys.size());
+  ELSI_DCHECK(std::is_sorted(sorted_keys.begin(), sorted_keys.end()));
+  blocks_.clear();
+  block_keys_.clear();
+  block_min_key_.clear();
+  size_ = sorted_points.size();
+  for (size_t start = 0; start < sorted_points.size();
+       start += block_capacity_) {
+    const size_t end = std::min(start + block_capacity_, sorted_points.size());
+    Block b;
+    std::vector<double> keys;
+    for (size_t i = start; i < end; ++i) {
+      b.Add(sorted_points[i]);
+      keys.push_back(sorted_keys[i]);
+    }
+    block_min_key_.push_back(keys.front());
+    blocks_.push_back(std::move(b));
+    block_keys_.push_back(std::move(keys));
+  }
+}
+
+size_t PagedList::FindBlock(double key) const {
+  if (blocks_.empty()) return 0;
+  // Last block whose min key is <= key (first block when key underflows).
+  const auto it = std::upper_bound(block_min_key_.begin(),
+                                   block_min_key_.end(), key);
+  if (it == block_min_key_.begin()) return 0;
+  return static_cast<size_t>(it - block_min_key_.begin()) - 1;
+}
+
+void PagedList::Insert(const Point& p, double key) {
+  if (blocks_.empty()) {
+    Block b;
+    b.Add(p);
+    blocks_.push_back(std::move(b));
+    block_keys_.push_back({key});
+    block_min_key_.push_back(key);
+    size_ = 1;
+    return;
+  }
+  size_t bi = FindBlock(key);
+  Block& b = blocks_[bi];
+  std::vector<double>& keys = block_keys_[bi];
+  const auto pos = std::upper_bound(keys.begin(), keys.end(), key);
+  const size_t offset = static_cast<size_t>(pos - keys.begin());
+  keys.insert(pos, key);
+  b.points.insert(b.points.begin() + offset, p);
+  b.mbr.Extend(p);
+  block_min_key_[bi] = keys.front();
+  ++size_;
+
+  if (b.points.size() > block_capacity_) {
+    // Median split: move the upper half into a fresh block after this one.
+    const size_t half = b.points.size() / 2;
+    Block upper;
+    upper.points.assign(b.points.begin() + half, b.points.end());
+    upper.RecomputeMbr();
+    std::vector<double> upper_keys(keys.begin() + half, keys.end());
+    b.points.resize(half);
+    keys.resize(half);
+    b.RecomputeMbr();
+    const double upper_min = upper_keys.front();
+    blocks_.insert(blocks_.begin() + bi + 1, std::move(upper));
+    block_keys_.insert(block_keys_.begin() + bi + 1, std::move(upper_keys));
+    block_min_key_.insert(block_min_key_.begin() + bi + 1, upper_min);
+  }
+}
+
+bool PagedList::Erase(uint64_t id, double key) {
+  if (blocks_.empty()) return false;
+  // The key may straddle adjacent blocks when duplicated; scan forward from
+  // the owning block while its min key does not exceed `key`.
+  for (size_t bi = FindBlock(key); bi < blocks_.size(); ++bi) {
+    if (block_min_key_[bi] > key) break;
+    std::vector<double>& keys = block_keys_[bi];
+    auto lo = std::lower_bound(keys.begin(), keys.end(), key);
+    for (; lo != keys.end() && *lo == key; ++lo) {
+      const size_t offset = static_cast<size_t>(lo - keys.begin());
+      if (blocks_[bi].points[offset].id != id) continue;
+      blocks_[bi].points.erase(blocks_[bi].points.begin() + offset);
+      keys.erase(lo);
+      --size_;
+      if (blocks_[bi].points.empty()) {
+        blocks_.erase(blocks_.begin() + bi);
+        block_keys_.erase(block_keys_.begin() + bi);
+        block_min_key_.erase(block_min_key_.begin() + bi);
+      } else {
+        blocks_[bi].RecomputeMbr();
+        block_min_key_[bi] = keys.front();
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+void PagedList::ScanKeyRange(double lo, double hi,
+                             std::vector<Point>* out) const {
+  for (size_t bi = FindBlock(lo); bi < blocks_.size(); ++bi) {
+    if (block_min_key_[bi] > hi) break;
+    const std::vector<double>& keys = block_keys_[bi];
+    auto it = std::lower_bound(keys.begin(), keys.end(), lo);
+    for (; it != keys.end() && *it <= hi; ++it) {
+      out->push_back(
+          blocks_[bi].points[static_cast<size_t>(it - keys.begin())]);
+    }
+  }
+}
+
+void PagedList::ScanKeyRangeInRect(double lo, double hi, const Rect& w,
+                                   std::vector<Point>* out) const {
+  for (size_t bi = FindBlock(lo); bi < blocks_.size(); ++bi) {
+    if (block_min_key_[bi] > hi) break;
+    if (!blocks_[bi].mbr.Intersects(w)) continue;
+    const std::vector<double>& keys = block_keys_[bi];
+    auto it = std::lower_bound(keys.begin(), keys.end(), lo);
+    for (; it != keys.end() && *it <= hi; ++it) {
+      const Point& p =
+          blocks_[bi].points[static_cast<size_t>(it - keys.begin())];
+      if (w.Contains(p)) out->push_back(p);
+    }
+  }
+}
+
+}  // namespace elsi

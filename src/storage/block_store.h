@@ -1,0 +1,83 @@
+#ifndef ELSI_STORAGE_BLOCK_STORE_H_
+#define ELSI_STORAGE_BLOCK_STORE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace elsi {
+
+/// Default storage block size used throughout the evaluation (Sec. VII-B1).
+inline constexpr size_t kDefaultBlockCapacity = 100;
+
+/// A storage block: up to `capacity` points plus their MBR. Blocks model the
+/// paper's data pages; experiments are in-memory but the block granularity is
+/// what the traditional indices and LISA's shards operate on.
+struct Block {
+  std::vector<Point> points;
+  Rect mbr;
+
+  void Add(const Point& p) {
+    points.push_back(p);
+    mbr.Extend(p);
+  }
+
+  void RecomputeMbr() {
+    mbr = Rect();
+    for (const Point& p : points) mbr.Extend(p);
+  }
+};
+
+/// An ordered sequence of blocks holding points sorted by a 1-D key, with
+/// ordered insertion and median page splits. LISA's shards and ML-Index's
+/// per-model overflow pages are PagedLists; Grid cells hold one per cell.
+class PagedList {
+ public:
+  explicit PagedList(size_t block_capacity = kDefaultBlockCapacity);
+
+  /// Bulk-loads from points pre-sorted by `keys` (parallel arrays). Packs
+  /// blocks to capacity.
+  void BulkLoad(const std::vector<Point>& sorted_points,
+                const std::vector<double>& sorted_keys);
+
+  /// Inserts keeping key order; splits the target block at the median when
+  /// full (creating the page-split cost the update experiments measure).
+  void Insert(const Point& p, double key);
+
+  /// Removes the first point with this id and key. Returns false when the
+  /// (key, id) pair is absent.
+  bool Erase(uint64_t id, double key);
+
+  /// Appends every point with key in [lo, hi] to `out`.
+  void ScanKeyRange(double lo, double hi, std::vector<Point>* out) const;
+
+  /// Appends every point inside `w` whose key lies in [lo, hi] to `out`.
+  void ScanKeyRangeInRect(double lo, double hi, const Rect& w,
+                          std::vector<Point>* out) const;
+
+  size_t size() const { return size_; }
+  size_t block_count() const { return blocks_.size(); }
+  size_t block_capacity() const { return block_capacity_; }
+
+  const std::vector<Block>& blocks() const { return blocks_; }
+  const std::vector<std::vector<double>>& block_keys() const {
+    return block_keys_;
+  }
+
+ private:
+  // Index of the block whose key range should contain `key`.
+  size_t FindBlock(double key) const;
+
+  size_t block_capacity_;
+  size_t size_ = 0;
+  std::vector<Block> blocks_;
+  // Keys parallel to blocks_[i].points, each ascending.
+  std::vector<std::vector<double>> block_keys_;
+  // blocks_[i]'s smallest key; ascending across blocks.
+  std::vector<double> block_min_key_;
+};
+
+}  // namespace elsi
+
+#endif  // ELSI_STORAGE_BLOCK_STORE_H_

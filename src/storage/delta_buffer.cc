@@ -1,0 +1,38 @@
+#include "storage/delta_buffer.h"
+
+namespace elsi {
+
+bool DeltaBuffer::AddDelete(uint64_t id, double key) {
+  // If the point was inserted through this buffer, drop it physically.
+  auto [lo, hi] = inserted_.equal_range(key);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second.id == id) {
+      inserted_.erase(it);
+      return true;
+    }
+  }
+  deleted_.insert(id);
+  return false;
+}
+
+void DeltaBuffer::ScanKeyRange(double lo, double hi,
+                               std::vector<Point>* out) const {
+  for (auto it = inserted_.lower_bound(lo);
+       it != inserted_.end() && it->first <= hi; ++it) {
+    out->push_back(it->second);
+  }
+}
+
+void DeltaBuffer::ScanKeyRangeInRect(double lo, double hi, const Rect& w,
+                                     std::vector<Point>* out) const {
+  for (auto it = inserted_.lower_bound(lo);
+       it != inserted_.end() && it->first <= hi; ++it) {
+    if (w.Contains(it->second)) out->push_back(it->second);
+  }
+}
+
+void DeltaBuffer::CollectInserted(std::vector<Point>* out) const {
+  for (const auto& [key, p] : inserted_) out->push_back(p);
+}
+
+}  // namespace elsi

@@ -1,0 +1,60 @@
+#ifndef ELSI_STORAGE_DELTA_BUFFER_H_
+#define ELSI_STORAGE_DELTA_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace elsi {
+
+/// The update processor's side list (Sec. IV-B2): newly inserted points and
+/// deleted ids kept outside the learned structure. Inserted points are keyed
+/// by the base index's mapped value so point and window queries can range-
+/// scan them; deletions are tracked in an ordered id set (the paper's
+/// "binary tree on the IDs of the updated points").
+class DeltaBuffer {
+ public:
+  DeltaBuffer() = default;
+
+  void AddInsert(const Point& p, double key) {
+    inserted_.emplace(key, p);
+  }
+
+  /// Marks an id deleted. Inserted-then-deleted points are physically
+  /// removed from the side list; returns whether the id was found there.
+  bool AddDelete(uint64_t id, double key);
+
+  bool IsDeleted(uint64_t id) const { return deleted_.count(id) > 0; }
+
+  /// Appends inserted points with key in [lo, hi] to `out`.
+  void ScanKeyRange(double lo, double hi, std::vector<Point>* out) const;
+
+  /// Appends inserted points with key in [lo, hi] inside `w` to `out`.
+  void ScanKeyRangeInRect(double lo, double hi, const Rect& w,
+                          std::vector<Point>* out) const;
+
+  /// Appends all inserted points to `out` (used by full rebuilds).
+  void CollectInserted(std::vector<Point>* out) const;
+
+  const std::set<uint64_t>& deleted_ids() const { return deleted_; }
+
+  size_t inserted_count() const { return inserted_.size(); }
+  size_t deleted_count() const { return deleted_.size(); }
+
+  void Clear() {
+    inserted_.clear();
+    deleted_.clear();
+  }
+
+ private:
+  std::multimap<double, Point> inserted_;
+  std::set<uint64_t> deleted_;
+};
+
+}  // namespace elsi
+
+#endif  // ELSI_STORAGE_DELTA_BUFFER_H_

@@ -1,0 +1,194 @@
+#include "traditional/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace elsi {
+
+GridIndex::GridIndex(size_t block_capacity) : block_capacity_(block_capacity) {
+  ELSI_CHECK_GE(block_capacity, 2u);
+}
+
+int GridIndex::CellX(double x) const {
+  const double w = domain_.hi_x - domain_.lo_x;
+  if (w <= 0.0) return 0;
+  const int c = static_cast<int>((x - domain_.lo_x) / w * side_);
+  return std::clamp(c, 0, side_ - 1);
+}
+
+int GridIndex::CellY(double y) const {
+  const double h = domain_.hi_y - domain_.lo_y;
+  if (h <= 0.0) return 0;
+  const int c = static_cast<int>((y - domain_.lo_y) / h * side_);
+  return std::clamp(c, 0, side_ - 1);
+}
+
+Rect GridIndex::CellRect(int cx, int cy) const {
+  const double w = (domain_.hi_x - domain_.lo_x) / side_;
+  const double h = (domain_.hi_y - domain_.lo_y) / side_;
+  return Rect::Of(domain_.lo_x + cx * w, domain_.lo_y + cy * h,
+                  domain_.lo_x + (cx + 1) * w, domain_.lo_y + (cy + 1) * h);
+}
+
+void GridIndex::InsertIntoCell(Cell& cell, const Point& p) {
+  // Choose the non-full block whose MBR grows least; create one if all full.
+  Block* best = nullptr;
+  double best_growth = std::numeric_limits<double>::infinity();
+  for (Block& b : cell.blocks) {
+    if (b.points.size() >= block_capacity_) continue;
+    Rect grown = b.mbr;
+    grown.Extend(p);
+    const double growth = grown.Area() - b.mbr.Area();
+    if (growth < best_growth) {
+      best_growth = growth;
+      best = &b;
+    }
+  }
+  if (best == nullptr) {
+    cell.blocks.emplace_back();
+    best = &cell.blocks.back();
+  }
+  best->Add(p);
+}
+
+void GridIndex::Build(const std::vector<Point>& data) {
+  size_ = data.size();
+  domain_ = BoundingRect(data);
+  if (data.empty()) {
+    side_ = 1;
+    cells_.assign(1, Cell{});
+    return;
+  }
+  // sqrt(n/B) cells per side (Sec. VII-A), at least 1.
+  side_ = std::max(1, static_cast<int>(std::sqrt(
+                          static_cast<double>(data.size()) /
+                          static_cast<double>(block_capacity_))));
+  cells_.assign(static_cast<size_t>(side_) * side_, Cell{});
+  for (const Point& p : data) {
+    InsertIntoCell(CellAt(CellX(p.x), CellY(p.y)), p);
+  }
+}
+
+void GridIndex::Insert(const Point& p) {
+  if (cells_.empty()) {
+    Build({p});
+    return;
+  }
+  // The grid resolution is fixed at build time; out-of-domain points clamp
+  // into the border cells.
+  InsertIntoCell(CellAt(CellX(p.x), CellY(p.y)), p);
+  ++size_;
+}
+
+bool GridIndex::Remove(const Point& p) {
+  if (cells_.empty()) return false;
+  Cell& cell = CellAt(CellX(p.x), CellY(p.y));
+  for (Block& b : cell.blocks) {
+    if (!b.mbr.Contains(p)) continue;
+    for (size_t i = 0; i < b.points.size(); ++i) {
+      if (b.points[i].id == p.id && b.points[i].x == p.x &&
+          b.points[i].y == p.y) {
+        b.points.erase(b.points.begin() + i);
+        b.RecomputeMbr();
+        --size_;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool GridIndex::PointQuery(const Point& q, Point* out) const {
+  if (cells_.empty()) return false;
+  const Cell& cell = CellAt(CellX(q.x), CellY(q.y));
+  for (const Block& b : cell.blocks) {
+    if (!b.mbr.Contains(q)) continue;
+    for (const Point& p : b.points) {
+      if (p.x == q.x && p.y == q.y) {
+        if (out != nullptr) *out = p;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<Point> GridIndex::WindowQuery(const Rect& w) const {
+  std::vector<Point> result;
+  if (cells_.empty()) return result;
+  const int lx = CellX(std::max(w.lo_x, domain_.lo_x));
+  const int hx = CellX(std::min(w.hi_x, domain_.hi_x));
+  const int ly = CellY(std::max(w.lo_y, domain_.lo_y));
+  const int hy = CellY(std::min(w.hi_y, domain_.hi_y));
+  for (int cy = ly; cy <= hy; ++cy) {
+    for (int cx = lx; cx <= hx; ++cx) {
+      for (const Block& b : CellAt(cx, cy).blocks) {
+        if (!b.mbr.Intersects(w)) continue;
+        if (w.Contains(b.mbr)) {
+          result.insert(result.end(), b.points.begin(), b.points.end());
+        } else {
+          for (const Point& p : b.points) {
+            if (w.Contains(p)) result.push_back(p);
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<Point> GridIndex::KnnQuery(const Point& q, size_t k) const {
+  std::vector<Point> result;
+  if (size_ == 0 || k == 0) return result;
+  // Best-first over non-empty cells by min distance, pruned by the current
+  // k-th candidate distance.
+  using CellEntry = std::pair<double, int>;  // (min dist^2, cell index)
+  std::priority_queue<CellEntry, std::vector<CellEntry>, std::greater<>>
+      frontier;
+  for (int cy = 0; cy < side_; ++cy) {
+    for (int cx = 0; cx < side_; ++cx) {
+      if (CellAt(cx, cy).blocks.empty()) continue;
+      frontier.emplace(CellRect(cx, cy).MinSquaredDistance(q),
+                       cy * side_ + cx);
+    }
+  }
+  using Candidate = std::pair<double, Point>;
+  auto worse = [](const Candidate& a, const Candidate& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second.id < b.second.id;
+  };
+  std::priority_queue<Candidate, std::vector<Candidate>, decltype(worse)>
+      best(worse);
+  while (!frontier.empty()) {
+    const auto [dist, cell_idx] = frontier.top();
+    frontier.pop();
+    if (best.size() == k && dist > best.top().first) break;
+    for (const Block& b : cells_[cell_idx].blocks) {
+      if (best.size() == k && b.mbr.MinSquaredDistance(q) > best.top().first) {
+        continue;
+      }
+      for (const Point& p : b.points) {
+        const double d = SquaredDistance(p, q);
+        if (best.size() < k) {
+          best.emplace(d, p);
+        } else if (d < best.top().first ||
+                   (d == best.top().first && p.id < best.top().second.id)) {
+          best.pop();
+          best.emplace(d, p);
+        }
+      }
+    }
+  }
+  result.resize(best.size());
+  for (size_t i = result.size(); i-- > 0;) {
+    result[i] = best.top().second;
+    best.pop();
+  }
+  return result;
+}
+
+}  // namespace elsi

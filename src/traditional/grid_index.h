@@ -1,0 +1,52 @@
+#ifndef ELSI_TRADITIONAL_GRID_INDEX_H_
+#define ELSI_TRADITIONAL_GRID_INDEX_H_
+
+#include <vector>
+
+#include "common/spatial_index.h"
+#include "storage/block_store.h"
+
+namespace elsi {
+
+/// The grid file competitor (Sec. VII-A): a regular sqrt(n/B) x sqrt(n/B)
+/// grid whose cells each hold an array of MBR-tagged data blocks (the
+/// two-level structure described in Sec. VII-F). Points are stored
+/// cell-wise; inserts go to the cell block whose MBR grows least and split
+/// full blocks, which is what makes Grid slow to build on skewed data (NYC).
+class GridIndex : public SpatialIndex {
+ public:
+  explicit GridIndex(size_t block_capacity = kDefaultBlockCapacity);
+
+  std::string Name() const override { return "Grid"; }
+  void Build(const std::vector<Point>& data) override;
+  void Insert(const Point& p) override;
+  bool Remove(const Point& p) override;
+  bool PointQuery(const Point& q, Point* out = nullptr) const override;
+  std::vector<Point> WindowQuery(const Rect& w) const override;
+  std::vector<Point> KnnQuery(const Point& q, size_t k) const override;
+  size_t size() const override { return size_; }
+
+  int grid_side() const { return side_; }
+
+ private:
+  struct Cell {
+    std::vector<Block> blocks;
+  };
+
+  int CellX(double x) const;
+  int CellY(double y) const;
+  const Cell& CellAt(int cx, int cy) const { return cells_[cy * side_ + cx]; }
+  Cell& CellAt(int cx, int cy) { return cells_[cy * side_ + cx]; }
+  Rect CellRect(int cx, int cy) const;
+  void InsertIntoCell(Cell& cell, const Point& p);
+
+  size_t block_capacity_;
+  size_t size_ = 0;
+  int side_ = 1;
+  Rect domain_;
+  std::vector<Cell> cells_;
+};
+
+}  // namespace elsi
+
+#endif  // ELSI_TRADITIONAL_GRID_INDEX_H_

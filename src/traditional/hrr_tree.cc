@@ -1,0 +1,155 @@
+#include "traditional/hrr_tree.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+#include "curve/hilbert.h"
+
+namespace elsi {
+
+HrrTree::HrrTree(size_t max_entries) : max_entries_(max_entries) {
+  ELSI_CHECK_GE(max_entries, 4u);
+  root_ = std::make_unique<RTreeNode>();
+}
+
+void HrrTree::Build(const std::vector<Point>& data) {
+  size_ = data.size();
+  if (data.empty()) {
+    root_ = std::make_unique<RTreeNode>();
+    return;
+  }
+  const size_t n = data.size();
+  // Rank space: each coordinate replaced by its rank, then scaled onto a
+  // 2^16 grid so the Hilbert order is resolution-independent.
+  std::vector<size_t> by_x(n), by_y(n);
+  std::iota(by_x.begin(), by_x.end(), 0);
+  std::iota(by_y.begin(), by_y.end(), 0);
+  std::sort(by_x.begin(), by_x.end(), [&data](size_t a, size_t b) {
+    if (data[a].x != data[b].x) return data[a].x < data[b].x;
+    return data[a].id < data[b].id;
+  });
+  std::sort(by_y.begin(), by_y.end(), [&data](size_t a, size_t b) {
+    if (data[a].y != data[b].y) return data[a].y < data[b].y;
+    return data[a].id < data[b].id;
+  });
+  std::vector<uint32_t> rank_x(n), rank_y(n);
+  const double scale = n > 1 ? 65535.0 / static_cast<double>(n - 1) : 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    rank_x[by_x[r]] = static_cast<uint32_t>(r * scale);
+    rank_y[by_y[r]] = static_cast<uint32_t>(r * scale);
+  }
+  std::vector<std::pair<uint64_t, size_t>> order(n);
+  for (size_t i = 0; i < n; ++i) {
+    order[i] = {HilbertEncode(rank_x[i], rank_y[i], 16), i};
+  }
+  std::sort(order.begin(), order.end());
+  std::vector<Point> sorted;
+  sorted.reserve(n);
+  for (const auto& [h, i] : order) sorted.push_back(data[i]);
+  root_ = RTreePackLoad(sorted, max_entries_);
+}
+
+std::unique_ptr<RTreeNode> HrrTree::InsertSimple(RTreeNode* node,
+                                                 const Point& p) {
+  node->mbr.Extend(p);
+  if (node->is_leaf) {
+    node->points.push_back(p);
+    if (node->points.size() <= max_entries_) return nullptr;
+    // Middle split along the longer MBR axis.
+    const int axis =
+        (node->mbr.hi_x - node->mbr.lo_x) >= (node->mbr.hi_y - node->mbr.lo_y)
+            ? 0
+            : 1;
+    std::sort(node->points.begin(), node->points.end(),
+              [axis](const Point& a, const Point& b) {
+                return axis == 0 ? a.x < b.x : a.y < b.y;
+              });
+    auto sibling = std::make_unique<RTreeNode>();
+    const size_t half = node->points.size() / 2;
+    sibling->points.assign(node->points.begin() + half, node->points.end());
+    node->points.resize(half);
+    node->RecomputeMbr();
+    sibling->RecomputeMbr();
+    return sibling;
+  }
+  // Least area enlargement, ties by area.
+  RTreeNode* best = nullptr;
+  double best_enl = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+  for (const auto& c : node->children) {
+    Rect grown = c->mbr;
+    grown.Extend(p);
+    const double enl = grown.Area() - c->mbr.Area();
+    const double area = c->mbr.Area();
+    if (enl < best_enl || (enl == best_enl && area < best_area)) {
+      best_enl = enl;
+      best_area = area;
+      best = c.get();
+    }
+  }
+  auto split = InsertSimple(best, p);
+  if (split != nullptr) {
+    node->children.push_back(std::move(split));
+    if (node->children.size() > max_entries_) {
+      // Middle split of children ordered by MBR center on the longer axis.
+      const int axis = (node->mbr.hi_x - node->mbr.lo_x) >=
+                               (node->mbr.hi_y - node->mbr.lo_y)
+                           ? 0
+                           : 1;
+      std::sort(node->children.begin(), node->children.end(),
+                [axis](const auto& a, const auto& b) {
+                  const Point ca = a->mbr.Center();
+                  const Point cb = b->mbr.Center();
+                  return axis == 0 ? ca.x < cb.x : ca.y < cb.y;
+                });
+      auto sibling = std::make_unique<RTreeNode>();
+      sibling->is_leaf = false;
+      const size_t half = node->children.size() / 2;
+      for (size_t i = half; i < node->children.size(); ++i) {
+        sibling->children.push_back(std::move(node->children[i]));
+      }
+      node->children.resize(half);
+      node->RecomputeMbr();
+      sibling->RecomputeMbr();
+      return sibling;
+    }
+  }
+  return nullptr;
+}
+
+void HrrTree::Insert(const Point& p) {
+  auto split = InsertSimple(root_.get(), p);
+  if (split != nullptr) {
+    auto new_root = std::make_unique<RTreeNode>();
+    new_root->is_leaf = false;
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split));
+    new_root->RecomputeMbr();
+    root_ = std::move(new_root);
+  }
+  ++size_;
+}
+
+bool HrrTree::Remove(const Point& p) {
+  if (!RTreeRemove(root_.get(), p)) return false;
+  --size_;
+  return true;
+}
+
+bool HrrTree::PointQuery(const Point& q, Point* out) const {
+  return RTreePointQuery(root_.get(), q, out);
+}
+
+std::vector<Point> HrrTree::WindowQuery(const Rect& w) const {
+  std::vector<Point> result;
+  RTreeWindowQuery(root_.get(), w, &result);
+  return result;
+}
+
+std::vector<Point> HrrTree::KnnQuery(const Point& q, size_t k) const {
+  return RTreeKnnQuery(root_.get(), q, k);
+}
+
+}  // namespace elsi

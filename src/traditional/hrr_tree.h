@@ -1,0 +1,48 @@
+#ifndef ELSI_TRADITIONAL_HRR_TREE_H_
+#define ELSI_TRADITIONAL_HRR_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/spatial_index.h"
+#include "storage/block_store.h"
+#include "traditional/rtree_common.h"
+
+namespace elsi {
+
+/// The HRR competitor (Sec. VII-A): an R-tree bulk-loaded with the rank
+/// space technique and a Hilbert-curve ordering (Qi et al., PVLDB 2018).
+/// Build: each coordinate is replaced by its rank, ranks are placed on a
+/// 2^16 grid, points are sorted by the Hilbert index of their rank-space
+/// cell, and the tree is packed bottom-up with full nodes. Queries use the
+/// shared R-tree machinery; post-build inserts use least-enlargement
+/// placement with a middle split (HRR is a static bulk-loaded structure; a
+/// light insert path is provided for the update experiments).
+class HrrTree : public SpatialIndex {
+ public:
+  explicit HrrTree(size_t max_entries = kDefaultBlockCapacity);
+
+  std::string Name() const override { return "HRR"; }
+  void Build(const std::vector<Point>& data) override;
+  void Insert(const Point& p) override;
+  bool Remove(const Point& p) override;
+  bool PointQuery(const Point& q, Point* out = nullptr) const override;
+  std::vector<Point> WindowQuery(const Rect& w) const override;
+  std::vector<Point> KnnQuery(const Point& q, size_t k) const override;
+  size_t size() const override { return size_; }
+
+  int Height() const { return RTreeHeight(root_.get()); }
+  const RTreeNode* root() const { return root_.get(); }
+  size_t max_entries() const { return max_entries_; }
+
+ private:
+  std::unique_ptr<RTreeNode> InsertSimple(RTreeNode* node, const Point& p);
+
+  size_t max_entries_;
+  size_t size_ = 0;
+  std::unique_ptr<RTreeNode> root_;
+};
+
+}  // namespace elsi
+
+#endif  // ELSI_TRADITIONAL_HRR_TREE_H_

@@ -1,0 +1,272 @@
+#include "traditional/kdb_tree.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace elsi {
+namespace {
+
+double Coord(const Point& p, int axis) { return axis == 0 ? p.x : p.y; }
+
+}  // namespace
+
+KdbTree::KdbTree(size_t block_capacity) : block_capacity_(block_capacity) {
+  ELSI_CHECK_GE(block_capacity, 2u);
+}
+
+namespace {
+
+// Finds a split value on `axis` such that partitioning [begin, end) into
+// (<= split) / (> split) leaves both sides non-empty. The median is tried
+// first; when the median equals the range maximum (heavy duplication, e.g.
+// TPC-H lattice values), the largest value strictly below it is used.
+// Returns false when every point shares the same coordinate on this axis.
+bool ChooseSplit(std::vector<Point>& pts, size_t begin, size_t end, int axis,
+                 double* split, size_t* boundary) {
+  const size_t mid = begin + (end - begin) / 2;
+  std::nth_element(pts.begin() + begin, pts.begin() + mid, pts.begin() + end,
+                   [axis](const Point& a, const Point& b) {
+                     return Coord(a, axis) < Coord(b, axis);
+                   });
+  double v = Coord(pts[mid], axis);
+  auto le = [axis](double value) {
+    return [axis, value](const Point& p) { return Coord(p, axis) <= value; };
+  };
+  auto it = std::partition(pts.begin() + begin, pts.begin() + end, le(v));
+  if (it == pts.begin() + end) {
+    // v is the axis maximum; fall back to the largest value strictly < v.
+    double below = -std::numeric_limits<double>::infinity();
+    bool found = false;
+    for (size_t i = begin; i < end; ++i) {
+      const double c = Coord(pts[i], axis);
+      if (c < v && c > below) {
+        below = c;
+        found = true;
+      }
+    }
+    if (!found) return false;  // Axis fully duplicated.
+    v = below;
+    it = std::partition(pts.begin() + begin, pts.begin() + end, le(v));
+  }
+  *split = v;
+  *boundary = static_cast<size_t>(it - pts.begin());
+  return *boundary > begin && *boundary < end;
+}
+
+}  // namespace
+
+std::unique_ptr<KdbTree::Node> KdbTree::BuildRecursive(std::vector<Point>& pts,
+                                                       size_t begin,
+                                                       size_t end, int depth) {
+  auto node = std::make_unique<Node>();
+  const size_t n = end - begin;
+  if (n <= block_capacity_) {
+    node->points.assign(pts.begin() + begin, pts.begin() + end);
+    return node;
+  }
+  int axis = depth % 2;
+  double split = 0.0;
+  size_t boundary = begin;
+  if (!ChooseSplit(pts, begin, end, axis, &split, &boundary)) {
+    axis = 1 - axis;
+    if (!ChooseSplit(pts, begin, end, axis, &split, &boundary)) {
+      // Fully duplicated points: an oversized leaf is the only option.
+      node->points.assign(pts.begin() + begin, pts.begin() + end);
+      return node;
+    }
+  }
+  node->axis = axis;
+  node->split = split;
+  node->left = BuildRecursive(pts, begin, boundary, depth + 1);
+  node->right = BuildRecursive(pts, boundary, end, depth + 1);
+  return node;
+}
+
+void KdbTree::Build(const std::vector<Point>& data) {
+  size_ = data.size();
+  std::vector<Point> pts = data;
+  if (pts.empty()) {
+    root_ = std::make_unique<Node>();
+    return;
+  }
+  root_ = BuildRecursive(pts, 0, pts.size(), 0);
+}
+
+void KdbTree::SplitLeaf(Node* node, int depth) {
+  std::vector<Point>& pts = node->points;
+  int axis = depth % 2;
+  double split = 0.0;
+  size_t boundary = 0;
+  if (!ChooseSplit(pts, 0, pts.size(), axis, &split, &boundary)) {
+    axis = 1 - axis;
+    if (!ChooseSplit(pts, 0, pts.size(), axis, &split, &boundary)) {
+      return;  // Fully duplicated points; tolerate the oversized leaf.
+    }
+  }
+  auto left = std::make_unique<Node>();
+  auto right = std::make_unique<Node>();
+  left->points.assign(pts.begin(), pts.begin() + boundary);
+  right->points.assign(pts.begin() + boundary, pts.end());
+  node->axis = axis;
+  node->split = split;
+  node->points.clear();
+  node->points.shrink_to_fit();
+  node->left = std::move(left);
+  node->right = std::move(right);
+}
+
+void KdbTree::Insert(const Point& p) {
+  if (root_ == nullptr) root_ = std::make_unique<Node>();
+  Node* node = root_.get();
+  int depth = 0;
+  while (node->axis >= 0) {
+    node = Coord(p, node->axis) <= node->split ? node->left.get()
+                                               : node->right.get();
+    ++depth;
+  }
+  node->points.push_back(p);
+  ++size_;
+  if (node->points.size() > block_capacity_) SplitLeaf(node, depth);
+}
+
+bool KdbTree::Remove(const Point& p) {
+  if (root_ == nullptr) return false;
+  Node* node = root_.get();
+  while (node->axis >= 0) {
+    node = Coord(p, node->axis) <= node->split ? node->left.get()
+                                               : node->right.get();
+  }
+  for (size_t i = 0; i < node->points.size(); ++i) {
+    if (node->points[i].id == p.id && node->points[i].x == p.x &&
+        node->points[i].y == p.y) {
+      node->points.erase(node->points.begin() + i);
+      --size_;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool KdbTree::PointQuery(const Point& q, Point* out) const {
+  if (root_ == nullptr) return false;
+  // Equal coordinates may sit on either side of an equal split; the build
+  // keeps equals on the left, so the descent uses <=.
+  const Node* node = root_.get();
+  while (node->axis >= 0) {
+    node = Coord(q, node->axis) <= node->split ? node->left.get()
+                                               : node->right.get();
+  }
+  for (const Point& p : node->points) {
+    if (p.x == q.x && p.y == q.y) {
+      if (out != nullptr) *out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Point> KdbTree::WindowQuery(const Rect& w) const {
+  std::vector<Point> result;
+  if (root_ == nullptr) return result;
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (node->axis < 0) {
+      for (const Point& p : node->points) {
+        if (w.Contains(p)) result.push_back(p);
+      }
+      continue;
+    }
+    const double lo = node->axis == 0 ? w.lo_x : w.lo_y;
+    const double hi = node->axis == 0 ? w.hi_x : w.hi_y;
+    if (lo <= node->split) stack.push_back(node->left.get());
+    if (hi > node->split) stack.push_back(node->right.get());
+  }
+  return result;
+}
+
+std::vector<Point> KdbTree::KnnQuery(const Point& q, size_t k) const {
+  std::vector<Point> result;
+  if (root_ == nullptr || size_ == 0 || k == 0) return result;
+
+  struct Frontier {
+    double dist;
+    const Node* node;
+    Rect region;
+    bool operator>(const Frontier& other) const { return dist > other.dist; }
+  };
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::priority_queue<Frontier, std::vector<Frontier>, std::greater<>> open;
+  open.push({0.0, root_.get(), Rect::Of(-kInf, -kInf, kInf, kInf)});
+
+  using Candidate = std::pair<double, Point>;
+  auto worse = [](const Candidate& a, const Candidate& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second.id < b.second.id;
+  };
+  std::priority_queue<Candidate, std::vector<Candidate>, decltype(worse)>
+      best(worse);
+
+  while (!open.empty()) {
+    const Frontier f = open.top();
+    open.pop();
+    if (best.size() == k && f.dist > best.top().first) break;
+    if (f.node->axis < 0) {
+      for (const Point& p : f.node->points) {
+        const double d = SquaredDistance(p, q);
+        if (best.size() < k) {
+          best.emplace(d, p);
+        } else if (d < best.top().first ||
+                   (d == best.top().first && p.id < best.top().second.id)) {
+          best.pop();
+          best.emplace(d, p);
+        }
+      }
+      continue;
+    }
+    Rect left = f.region;
+    Rect right = f.region;
+    if (f.node->axis == 0) {
+      left.hi_x = f.node->split;
+      right.lo_x = f.node->split;
+    } else {
+      left.hi_y = f.node->split;
+      right.lo_y = f.node->split;
+    }
+    open.push({left.MinSquaredDistance(q), f.node->left.get(), left});
+    open.push({right.MinSquaredDistance(q), f.node->right.get(), right});
+  }
+
+  result.resize(best.size());
+  for (size_t i = result.size(); i-- > 0;) {
+    result[i] = best.top().second;
+    best.pop();
+  }
+  return result;
+}
+
+int KdbTree::Height() const {
+  if (root_ == nullptr) return 0;
+  struct Item {
+    const Node* node;
+    int depth;
+  };
+  int height = 0;
+  std::vector<Item> stack = {{root_.get(), 1}};
+  while (!stack.empty()) {
+    const Item item = stack.back();
+    stack.pop_back();
+    height = std::max(height, item.depth);
+    if (item.node->axis >= 0) {
+      stack.push_back({item.node->left.get(), item.depth + 1});
+      stack.push_back({item.node->right.get(), item.depth + 1});
+    }
+  }
+  return height;
+}
+
+}  // namespace elsi

@@ -1,0 +1,55 @@
+#ifndef ELSI_TRADITIONAL_KDB_TREE_H_
+#define ELSI_TRADITIONAL_KDB_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/spatial_index.h"
+#include "storage/block_store.h"
+
+namespace elsi {
+
+/// The KDB competitor (Sec. VII-A): a kd-tree over block storage. Internal
+/// nodes split space at the median of the current axis (alternating x/y);
+/// leaves are data blocks of up to B points that split when they overflow.
+/// The on-disk KDB-tree packs internal entries into B-tree pages; in memory
+/// the binary kd skeleton has the same search behaviour (see DESIGN.md).
+class KdbTree : public SpatialIndex {
+ public:
+  explicit KdbTree(size_t block_capacity = kDefaultBlockCapacity);
+
+  std::string Name() const override { return "KDB"; }
+  void Build(const std::vector<Point>& data) override;
+  void Insert(const Point& p) override;
+  bool Remove(const Point& p) override;
+  bool PointQuery(const Point& q, Point* out = nullptr) const override;
+  std::vector<Point> WindowQuery(const Rect& w) const override;
+  std::vector<Point> KnnQuery(const Point& q, size_t k) const override;
+  size_t size() const override { return size_; }
+
+  /// Height of the tree (1 for a single leaf). Exposed for tests.
+  int Height() const;
+
+ private:
+  struct Node {
+    // Internal state: axis 0 splits on x, 1 on y; left holds <= split.
+    int axis = -1;  // -1 marks a leaf.
+    double split = 0.0;
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+    // Leaf state.
+    std::vector<Point> points;
+  };
+
+  std::unique_ptr<Node> BuildRecursive(std::vector<Point>& pts, size_t begin,
+                                       size_t end, int depth);
+  void SplitLeaf(Node* node, int depth);
+
+  size_t block_capacity_;
+  size_t size_ = 0;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace elsi
+
+#endif  // ELSI_TRADITIONAL_KDB_TREE_H_

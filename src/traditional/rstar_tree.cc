@@ -1,0 +1,322 @@
+#include "traditional/rstar_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace elsi {
+namespace {
+
+// R* reinsertion fraction (Beckmann et al. recommend 30%).
+constexpr double kReinsertFraction = 0.3;
+// Overlap enlargement is evaluated only for this many best candidates by
+// area enlargement, bounding ChooseSubtree at O(children * k).
+constexpr size_t kOverlapCandidates = 8;
+
+double Enlargement(const Rect& r, const Point& p) {
+  Rect grown = r;
+  grown.Extend(p);
+  return grown.Area() - r.Area();
+}
+
+// Sum of pairwise overlap between `candidate` (grown by p) and the other
+// children of `node`.
+double OverlapEnlargement(const RTreeNode* node, const RTreeNode* candidate,
+                          const Point& p) {
+  Rect grown = candidate->mbr;
+  grown.Extend(p);
+  double before = 0.0;
+  double after = 0.0;
+  for (const auto& other : node->children) {
+    if (other.get() == candidate) continue;
+    before += candidate->mbr.IntersectionArea(other->mbr);
+    after += grown.IntersectionArea(other->mbr);
+  }
+  return after - before;
+}
+
+// Generic R*-style split of `entries` (rectangles with payload indices):
+// chooses the axis with the smallest margin sum over all legal
+// distributions, then the distribution with the smallest overlap (ties by
+// total area). Returns the boundary index into the sorted order and writes
+// the sorted permutation to `order`.
+struct SplitEntry {
+  Rect mbr;
+  size_t payload;
+};
+
+size_t ChooseSplitBoundary(std::vector<SplitEntry>& entries,
+                           size_t min_entries) {
+  const size_t n = entries.size();
+  ELSI_CHECK_GE(n, 2 * min_entries);
+  double best_margin = std::numeric_limits<double>::infinity();
+  int best_axis = 0;
+  for (int axis = 0; axis < 2; ++axis) {
+    std::sort(entries.begin(), entries.end(),
+              [axis](const SplitEntry& a, const SplitEntry& b) {
+                const double la = axis == 0 ? a.mbr.lo_x : a.mbr.lo_y;
+                const double lb = axis == 0 ? b.mbr.lo_x : b.mbr.lo_y;
+                if (la != lb) return la < lb;
+                const double ha = axis == 0 ? a.mbr.hi_x : a.mbr.hi_y;
+                const double hb = axis == 0 ? b.mbr.hi_x : b.mbr.hi_y;
+                return ha < hb;
+              });
+    // Prefix/suffix bounding boxes.
+    std::vector<Rect> prefix(n), suffix(n);
+    Rect acc;
+    for (size_t i = 0; i < n; ++i) {
+      acc.Extend(entries[i].mbr);
+      prefix[i] = acc;
+    }
+    acc = Rect();
+    for (size_t i = n; i-- > 0;) {
+      acc.Extend(entries[i].mbr);
+      suffix[i] = acc;
+    }
+    double margin = 0.0;
+    for (size_t k = min_entries; k <= n - min_entries; ++k) {
+      margin += prefix[k - 1].Perimeter() + suffix[k].Perimeter();
+    }
+    if (margin < best_margin) {
+      best_margin = margin;
+      best_axis = axis;
+    }
+  }
+  // Re-sort on the chosen axis (the loop above leaves axis 1's order).
+  std::sort(entries.begin(), entries.end(),
+            [best_axis](const SplitEntry& a, const SplitEntry& b) {
+              const double la = best_axis == 0 ? a.mbr.lo_x : a.mbr.lo_y;
+              const double lb = best_axis == 0 ? b.mbr.lo_x : b.mbr.lo_y;
+              if (la != lb) return la < lb;
+              const double ha = best_axis == 0 ? a.mbr.hi_x : a.mbr.hi_y;
+              const double hb = best_axis == 0 ? b.mbr.hi_x : b.mbr.hi_y;
+              return ha < hb;
+            });
+  std::vector<Rect> prefix(n), suffix(n);
+  Rect acc;
+  for (size_t i = 0; i < n; ++i) {
+    acc.Extend(entries[i].mbr);
+    prefix[i] = acc;
+  }
+  acc = Rect();
+  for (size_t i = n; i-- > 0;) {
+    acc.Extend(entries[i].mbr);
+    suffix[i] = acc;
+  }
+  double best_overlap = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+  size_t best_k = min_entries;
+  for (size_t k = min_entries; k <= n - min_entries; ++k) {
+    const double overlap = prefix[k - 1].IntersectionArea(suffix[k]);
+    const double area = prefix[k - 1].Area() + suffix[k].Area();
+    if (overlap < best_overlap ||
+        (overlap == best_overlap && area < best_area)) {
+      best_overlap = overlap;
+      best_area = area;
+      best_k = k;
+    }
+  }
+  return best_k;
+}
+
+}  // namespace
+
+RStarTree::RStarTree(size_t max_entries)
+    : max_entries_(max_entries),
+      min_entries_(std::max<size_t>(2, max_entries * 2 / 5)) {
+  ELSI_CHECK_GE(max_entries, 4u);
+  root_ = std::make_unique<RTreeNode>();
+}
+
+void RStarTree::Build(const std::vector<Point>& data) {
+  root_ = std::make_unique<RTreeNode>();
+  size_ = 0;
+  for (const Point& p : data) Insert(p);
+}
+
+RTreeNode* RStarTree::ChooseSubtree(RTreeNode* node, const Point& p) const {
+  // Children that are leaves: minimise overlap enlargement over the best few
+  // area-enlargement candidates. Otherwise: minimise area enlargement.
+  const bool child_is_leaf = node->children.front()->is_leaf;
+  if (!child_is_leaf) {
+    RTreeNode* best = nullptr;
+    double best_enl = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    for (const auto& c : node->children) {
+      const double enl = Enlargement(c->mbr, p);
+      const double area = c->mbr.Area();
+      if (enl < best_enl || (enl == best_enl && area < best_area)) {
+        best_enl = enl;
+        best_area = area;
+        best = c.get();
+      }
+    }
+    return best;
+  }
+  // Rank children by area enlargement, examine the top few for overlap.
+  std::vector<std::pair<double, RTreeNode*>> ranked;
+  ranked.reserve(node->children.size());
+  for (const auto& c : node->children) {
+    ranked.emplace_back(Enlargement(c->mbr, p), c.get());
+  }
+  const size_t limit = std::min(kOverlapCandidates, ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + limit, ranked.end(),
+                    [](const auto& a, const auto& b) {
+                      return a.first < b.first;
+                    });
+  RTreeNode* best = nullptr;
+  double best_overlap = std::numeric_limits<double>::infinity();
+  double best_enl = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < limit; ++i) {
+    const double overlap = OverlapEnlargement(node, ranked[i].second, p);
+    if (overlap < best_overlap ||
+        (overlap == best_overlap && ranked[i].first < best_enl)) {
+      best_overlap = overlap;
+      best_enl = ranked[i].first;
+      best = ranked[i].second;
+    }
+  }
+  return best;
+}
+
+std::unique_ptr<RTreeNode> RStarTree::SplitLeaf(RTreeNode* node) {
+  std::vector<SplitEntry> entries;
+  entries.reserve(node->points.size());
+  for (size_t i = 0; i < node->points.size(); ++i) {
+    Rect r;
+    r.Extend(node->points[i]);
+    entries.push_back({r, i});
+  }
+  const size_t k = ChooseSplitBoundary(entries, min_entries_);
+  auto sibling = std::make_unique<RTreeNode>();
+  std::vector<Point> keep;
+  keep.reserve(k);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const Point& p = node->points[entries[i].payload];
+    if (i < k) {
+      keep.push_back(p);
+    } else {
+      sibling->points.push_back(p);
+    }
+  }
+  node->points = std::move(keep);
+  node->RecomputeMbr();
+  sibling->RecomputeMbr();
+  return sibling;
+}
+
+std::unique_ptr<RTreeNode> RStarTree::SplitInternal(RTreeNode* node) {
+  std::vector<SplitEntry> entries;
+  entries.reserve(node->children.size());
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    entries.push_back({node->children[i]->mbr, i});
+  }
+  const size_t k = ChooseSplitBoundary(entries, min_entries_);
+  auto sibling = std::make_unique<RTreeNode>();
+  sibling->is_leaf = false;
+  std::vector<std::unique_ptr<RTreeNode>> keep;
+  keep.reserve(k);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    auto& child = node->children[entries[i].payload];
+    if (i < k) {
+      keep.push_back(std::move(child));
+    } else {
+      sibling->children.push_back(std::move(child));
+    }
+  }
+  node->children = std::move(keep);
+  node->RecomputeMbr();
+  sibling->RecomputeMbr();
+  return sibling;
+}
+
+void RStarTree::ForcedReinsert(RTreeNode* leaf, bool* reinsert_done) {
+  *reinsert_done = true;
+  const Point center = leaf->mbr.Center();
+  std::sort(leaf->points.begin(), leaf->points.end(),
+            [&center](const Point& a, const Point& b) {
+              return SquaredDistance(a, center) > SquaredDistance(b, center);
+            });
+  const size_t remove_count = std::max<size_t>(
+      1, static_cast<size_t>(kReinsertFraction * leaf->points.size()));
+  std::vector<Point> evicted(leaf->points.begin(),
+                             leaf->points.begin() + remove_count);
+  leaf->points.erase(leaf->points.begin(),
+                     leaf->points.begin() + remove_count);
+  leaf->RecomputeMbr();
+  // Close reinsert: nearest-first.
+  std::reverse(evicted.begin(), evicted.end());
+  for (const Point& p : evicted) {
+    auto split = InsertRecursive(root_.get(), p, reinsert_done);
+    if (split != nullptr) {
+      auto new_root = std::make_unique<RTreeNode>();
+      new_root->is_leaf = false;
+      new_root->children.push_back(std::move(root_));
+      new_root->children.push_back(std::move(split));
+      new_root->RecomputeMbr();
+      root_ = std::move(new_root);
+    }
+  }
+}
+
+std::unique_ptr<RTreeNode> RStarTree::InsertRecursive(RTreeNode* node,
+                                                      const Point& p,
+                                                      bool* reinsert_done) {
+  node->mbr.Extend(p);
+  if (node->is_leaf) {
+    node->points.push_back(p);
+    if (node->points.size() <= max_entries_) return nullptr;
+    if (!*reinsert_done && node != root_.get()) {
+      ForcedReinsert(node, reinsert_done);
+      return nullptr;
+    }
+    return SplitLeaf(node);
+  }
+  RTreeNode* child = ChooseSubtree(node, p);
+  auto split = InsertRecursive(child, p, reinsert_done);
+  if (split != nullptr) {
+    node->children.push_back(std::move(split));
+    if (node->children.size() > max_entries_) {
+      return SplitInternal(node);
+    }
+  }
+  return nullptr;
+}
+
+void RStarTree::Insert(const Point& p) {
+  bool reinsert_done = false;
+  auto split = InsertRecursive(root_.get(), p, &reinsert_done);
+  if (split != nullptr) {
+    auto new_root = std::make_unique<RTreeNode>();
+    new_root->is_leaf = false;
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split));
+    new_root->RecomputeMbr();
+    root_ = std::move(new_root);
+  }
+  ++size_;
+}
+
+bool RStarTree::Remove(const Point& p) {
+  if (!RTreeRemove(root_.get(), p)) return false;
+  --size_;
+  return true;
+}
+
+bool RStarTree::PointQuery(const Point& q, Point* out) const {
+  return RTreePointQuery(root_.get(), q, out);
+}
+
+std::vector<Point> RStarTree::WindowQuery(const Rect& w) const {
+  std::vector<Point> result;
+  RTreeWindowQuery(root_.get(), w, &result);
+  return result;
+}
+
+std::vector<Point> RStarTree::KnnQuery(const Point& q, size_t k) const {
+  return RTreeKnnQuery(root_.get(), q, k);
+}
+
+}  // namespace elsi

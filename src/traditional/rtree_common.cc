@@ -1,0 +1,194 @@
+#include "traditional/rtree_common.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace elsi {
+
+void RTreeNode::RecomputeMbr() {
+  mbr = Rect();
+  if (is_leaf) {
+    for (const Point& p : points) mbr.Extend(p);
+  } else {
+    for (const auto& c : children) mbr.Extend(c->mbr);
+  }
+}
+
+void RTreeWindowQuery(const RTreeNode* node, const Rect& w,
+                      std::vector<Point>* out) {
+  if (node == nullptr || !node->mbr.Intersects(w)) return;
+  if (node->is_leaf) {
+    if (w.Contains(node->mbr)) {
+      out->insert(out->end(), node->points.begin(), node->points.end());
+      return;
+    }
+    for (const Point& p : node->points) {
+      if (w.Contains(p)) out->push_back(p);
+    }
+    return;
+  }
+  for (const auto& c : node->children) {
+    RTreeWindowQuery(c.get(), w, out);
+  }
+}
+
+bool RTreePointQuery(const RTreeNode* node, const Point& q, Point* out) {
+  if (node == nullptr || !node->mbr.Contains(q)) return false;
+  if (node->is_leaf) {
+    for (const Point& p : node->points) {
+      if (p.x == q.x && p.y == q.y) {
+        if (out != nullptr) *out = p;
+        return true;
+      }
+    }
+    return false;
+  }
+  for (const auto& c : node->children) {
+    if (RTreePointQuery(c.get(), q, out)) return true;
+  }
+  return false;
+}
+
+std::vector<Point> RTreeKnnQuery(const RTreeNode* root, const Point& q,
+                                 size_t k) {
+  std::vector<Point> result;
+  if (root == nullptr || k == 0) return result;
+
+  using Frontier = std::pair<double, const RTreeNode*>;
+  std::priority_queue<Frontier, std::vector<Frontier>, std::greater<>> open;
+  open.emplace(root->mbr.MinSquaredDistance(q), root);
+
+  using Candidate = std::pair<double, Point>;
+  auto worse = [](const Candidate& a, const Candidate& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second.id < b.second.id;
+  };
+  std::priority_queue<Candidate, std::vector<Candidate>, decltype(worse)>
+      best(worse);
+
+  while (!open.empty()) {
+    const auto [dist, node] = open.top();
+    open.pop();
+    if (best.size() == k && dist > best.top().first) break;
+    if (node->is_leaf) {
+      for (const Point& p : node->points) {
+        const double d = SquaredDistance(p, q);
+        if (best.size() < k) {
+          best.emplace(d, p);
+        } else if (d < best.top().first ||
+                   (d == best.top().first && p.id < best.top().second.id)) {
+          best.pop();
+          best.emplace(d, p);
+        }
+      }
+      continue;
+    }
+    for (const auto& c : node->children) {
+      const double d = c->mbr.MinSquaredDistance(q);
+      if (best.size() < k || d <= best.top().first) {
+        open.emplace(d, c.get());
+      }
+    }
+  }
+
+  result.resize(best.size());
+  for (size_t i = result.size(); i-- > 0;) {
+    result[i] = best.top().second;
+    best.pop();
+  }
+  return result;
+}
+
+bool RTreeRemove(RTreeNode* node, const Point& p) {
+  if (node == nullptr || !node->mbr.Contains(p)) return false;
+  if (node->is_leaf) {
+    for (size_t i = 0; i < node->points.size(); ++i) {
+      if (node->points[i].id == p.id && node->points[i].x == p.x &&
+          node->points[i].y == p.y) {
+        node->points.erase(node->points.begin() + i);
+        node->RecomputeMbr();
+        return true;
+      }
+    }
+    return false;
+  }
+  for (auto& c : node->children) {
+    if (RTreeRemove(c.get(), p)) {
+      node->RecomputeMbr();
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t RTreeCount(const RTreeNode* node) {
+  if (node == nullptr) return 0;
+  if (node->is_leaf) return node->points.size();
+  size_t total = 0;
+  for (const auto& c : node->children) total += RTreeCount(c.get());
+  return total;
+}
+
+int RTreeHeight(const RTreeNode* node) {
+  if (node == nullptr) return 0;
+  if (node->is_leaf) return 1;
+  int h = 0;
+  for (const auto& c : node->children) h = std::max(h, RTreeHeight(c.get()));
+  return h + 1;
+}
+
+bool RTreeCheckInvariants(const RTreeNode* node, size_t max_entries) {
+  if (node == nullptr) return true;
+  if (node->is_leaf) {
+    if (node->points.size() > max_entries) return false;
+    for (const Point& p : node->points) {
+      if (!node->mbr.Contains(p)) return false;
+    }
+    return true;
+  }
+  if (node->children.empty() || node->children.size() > max_entries) {
+    return false;
+  }
+  for (const auto& c : node->children) {
+    if (!node->mbr.Contains(c->mbr)) return false;
+    if (!RTreeCheckInvariants(c.get(), max_entries)) return false;
+  }
+  return true;
+}
+
+std::unique_ptr<RTreeNode> RTreePackLoad(const std::vector<Point>& points,
+                                         size_t max_entries) {
+  ELSI_CHECK_GE(max_entries, 2u);
+  // Leaf level.
+  std::vector<std::unique_ptr<RTreeNode>> level;
+  for (size_t start = 0; start < points.size(); start += max_entries) {
+    const size_t end = std::min(start + max_entries, points.size());
+    auto leaf = std::make_unique<RTreeNode>();
+    leaf->points.assign(points.begin() + start, points.begin() + end);
+    leaf->RecomputeMbr();
+    level.push_back(std::move(leaf));
+  }
+  if (level.empty()) {
+    return std::make_unique<RTreeNode>();  // Empty leaf root.
+  }
+  // Upper levels: pack consecutive children until one node remains.
+  while (level.size() > 1) {
+    std::vector<std::unique_ptr<RTreeNode>> next;
+    for (size_t start = 0; start < level.size(); start += max_entries) {
+      const size_t end = std::min(start + max_entries, level.size());
+      auto node = std::make_unique<RTreeNode>();
+      node->is_leaf = false;
+      for (size_t i = start; i < end; ++i) {
+        node->children.push_back(std::move(level[i]));
+      }
+      node->RecomputeMbr();
+      next.push_back(std::move(node));
+    }
+    level = std::move(next);
+  }
+  return std::move(level.front());
+}
+
+}  // namespace elsi

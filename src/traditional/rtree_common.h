@@ -1,0 +1,57 @@
+#ifndef ELSI_TRADITIONAL_RTREE_COMMON_H_
+#define ELSI_TRADITIONAL_RTREE_COMMON_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace elsi {
+
+/// Shared R-tree node used by both R-tree competitors: RR* (insertion-built,
+/// R*-style) and HRR (Hilbert rank-space bulk-loaded). A leaf stores points;
+/// an internal node stores children. `mbr` always covers the contents.
+struct RTreeNode {
+  bool is_leaf = true;
+  Rect mbr;
+  std::vector<Point> points;
+  std::vector<std::unique_ptr<RTreeNode>> children;
+
+  void RecomputeMbr();
+};
+
+/// Window query over an R-tree rooted at `node`; appends hits to `out`.
+void RTreeWindowQuery(const RTreeNode* node, const Rect& w,
+                      std::vector<Point>* out);
+
+/// Exact-coordinate point lookup. Returns true and fills `out` on a hit.
+bool RTreePointQuery(const RTreeNode* node, const Point& q, Point* out);
+
+/// Best-first k-nearest-neighbour search (Hjaltason & Samet).
+std::vector<Point> RTreeKnnQuery(const RTreeNode* root, const Point& q,
+                                 size_t k);
+
+/// Removes the exact point (coordinates + id); recomputes ancestor MBRs on
+/// the deletion path. Underfull nodes are tolerated (no condense phase);
+/// returns true when found.
+bool RTreeRemove(RTreeNode* node, const Point& p);
+
+/// Number of points below `node`.
+size_t RTreeCount(const RTreeNode* node);
+
+/// Tree height (1 for a single leaf).
+int RTreeHeight(const RTreeNode* node);
+
+/// Validates MBR containment invariants recursively (test support).
+bool RTreeCheckInvariants(const RTreeNode* node, size_t max_entries);
+
+/// Bulk-loads a packed R-tree over `points` *in their current order*: leaves
+/// take `max_entries` consecutive points, upper levels take `max_entries`
+/// consecutive children. Used by HRR after Hilbert ordering.
+std::unique_ptr<RTreeNode> RTreePackLoad(const std::vector<Point>& points,
+                                         size_t max_entries);
+
+}  // namespace elsi
+
+#endif  // ELSI_TRADITIONAL_RTREE_COMMON_H_

@@ -1,0 +1,150 @@
+#include "storage/block_store.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace elsi {
+namespace {
+
+// Builds n points with key = x, y = 0.5, id = index, sorted by key.
+void MakeSorted(size_t n, uint64_t seed, std::vector<Point>* pts,
+                std::vector<double>* keys) {
+  Rng rng(seed);
+  keys->resize(n);
+  for (double& k : *keys) k = rng.NextDouble();
+  std::sort(keys->begin(), keys->end());
+  pts->clear();
+  for (size_t i = 0; i < n; ++i) {
+    pts->push_back(Point{(*keys)[i], 0.5, i});
+  }
+}
+
+TEST(PagedListTest, BulkLoadPacksBlocks) {
+  std::vector<Point> pts;
+  std::vector<double> keys;
+  MakeSorted(250, 1, &pts, &keys);
+  PagedList list(100);
+  list.BulkLoad(pts, keys);
+  EXPECT_EQ(list.size(), 250u);
+  EXPECT_EQ(list.block_count(), 3u);
+  EXPECT_EQ(list.blocks()[0].points.size(), 100u);
+  EXPECT_EQ(list.blocks()[2].points.size(), 50u);
+}
+
+TEST(PagedListTest, ScanKeyRangeReturnsExactRange) {
+  std::vector<Point> pts;
+  std::vector<double> keys;
+  MakeSorted(500, 2, &pts, &keys);
+  PagedList list(64);
+  list.BulkLoad(pts, keys);
+  std::vector<Point> out;
+  list.ScanKeyRange(0.25, 0.75, &out);
+  size_t expected = 0;
+  for (double k : keys) {
+    if (k >= 0.25 && k <= 0.75) ++expected;
+  }
+  EXPECT_EQ(out.size(), expected);
+  for (const Point& p : out) {
+    EXPECT_GE(p.x, 0.25);
+    EXPECT_LE(p.x, 0.75);
+  }
+}
+
+TEST(PagedListTest, InsertMaintainsOrderAndSplits) {
+  PagedList list(4);
+  Rng rng(3);
+  std::vector<double> inserted;
+  for (int i = 0; i < 100; ++i) {
+    const double k = rng.NextDouble();
+    list.Insert(Point{k, 0.0, static_cast<uint64_t>(i)}, k);
+    inserted.push_back(k);
+  }
+  EXPECT_EQ(list.size(), 100u);
+  // Every block's keys ascending, block boundaries ascending, capacity held.
+  double prev = -1.0;
+  for (size_t b = 0; b < list.block_count(); ++b) {
+    EXPECT_LE(list.blocks()[b].points.size(), 4u);
+    for (double k : list.block_keys()[b]) {
+      EXPECT_GE(k, prev);
+      prev = k;
+    }
+  }
+  // Full scan returns everything in order.
+  std::vector<Point> out;
+  list.ScanKeyRange(0.0, 1.0, &out);
+  std::sort(inserted.begin(), inserted.end());
+  ASSERT_EQ(out.size(), inserted.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i].x, inserted[i]);
+  }
+}
+
+TEST(PagedListTest, InsertBelowAllKeysGoesToFirstBlock) {
+  std::vector<Point> pts;
+  std::vector<double> keys;
+  MakeSorted(10, 4, &pts, &keys);
+  PagedList list(100);
+  list.BulkLoad(pts, keys);
+  list.Insert(Point{-1.0, 0.0, 999}, -1.0);
+  std::vector<Point> out;
+  list.ScanKeyRange(-2.0, -0.5, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].id, 999u);
+}
+
+TEST(PagedListTest, EraseRemovesMatchingIdOnly) {
+  PagedList list(4);
+  // Duplicate keys with distinct ids.
+  for (uint64_t i = 0; i < 10; ++i) {
+    list.Insert(Point{0.5, 0.0, i}, 0.5);
+  }
+  EXPECT_TRUE(list.Erase(7, 0.5));
+  EXPECT_FALSE(list.Erase(7, 0.5));  // Already gone.
+  EXPECT_EQ(list.size(), 9u);
+  std::vector<Point> out;
+  list.ScanKeyRange(0.5, 0.5, &out);
+  for (const Point& p : out) EXPECT_NE(p.id, 7u);
+}
+
+TEST(PagedListTest, EraseMissingKeyReturnsFalse) {
+  PagedList list(4);
+  list.Insert(Point{0.5, 0.0, 1}, 0.5);
+  EXPECT_FALSE(list.Erase(1, 0.6));
+  EXPECT_FALSE(list.Erase(2, 0.5));
+  EXPECT_EQ(list.size(), 1u);
+}
+
+TEST(PagedListTest, ScanKeyRangeInRectFiltersByRect) {
+  PagedList list(8);
+  for (int i = 0; i < 50; ++i) {
+    const double k = static_cast<double>(i) / 49.0;
+    list.Insert(Point{k, (i % 2 == 0) ? 0.25 : 0.75,
+                      static_cast<uint64_t>(i)}, k);
+  }
+  std::vector<Point> out;
+  const Rect w = Rect::Of(0.0, 0.0, 1.0, 0.5);
+  list.ScanKeyRangeInRect(0.0, 1.0, w, &out);
+  EXPECT_EQ(out.size(), 25u);
+  for (const Point& p : out) EXPECT_LE(p.y, 0.5);
+}
+
+TEST(PagedListTest, MbrTracksContents) {
+  PagedList list(10);
+  list.Insert(Point{0.1, 0.9, 0}, 0.1);
+  list.Insert(Point{0.4, 0.2, 1}, 0.4);
+  const Rect mbr = list.blocks()[0].mbr;
+  EXPECT_DOUBLE_EQ(mbr.lo_x, 0.1);
+  EXPECT_DOUBLE_EQ(mbr.hi_x, 0.4);
+  EXPECT_DOUBLE_EQ(mbr.lo_y, 0.2);
+  EXPECT_DOUBLE_EQ(mbr.hi_y, 0.9);
+}
+
+TEST(PagedListDeathTest, TinyBlockCapacityAborts) {
+  EXPECT_DEATH(PagedList list(1), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace elsi

@@ -1,0 +1,164 @@
+#include "common/cdf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace elsi {
+namespace {
+
+std::vector<double> SortedUniform(size_t n, uint64_t seed, double lo = 0.0,
+                                  double hi = 1.0) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.NextDouble(lo, hi);
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(EmpiricalCdfTest, EvaluatesStepFunction) {
+  EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.Evaluate(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.Evaluate(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.Evaluate(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.Evaluate(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.Evaluate(9.0), 1.0);
+}
+
+TEST(EmpiricalCdfTest, LowerRankCountsStrictlySmaller) {
+  EmpiricalCdf cdf({1.0, 2.0, 2.0, 3.0});
+  EXPECT_EQ(cdf.LowerRank(2.0), 1u);
+  EXPECT_EQ(cdf.LowerRank(0.0), 0u);
+  EXPECT_EQ(cdf.LowerRank(5.0), 4u);
+}
+
+TEST(KsDistanceTest, IdenticalSetsHaveZeroDistance) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(KsDistance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(Similarity(a, a), 1.0);
+}
+
+TEST(KsDistanceTest, DisjointSetsHaveDistanceOne) {
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {10.0, 11.0};
+  EXPECT_DOUBLE_EQ(KsDistance(a, b), 1.0);
+}
+
+TEST(KsDistanceTest, KnownSmallExample) {
+  // F_a jumps at 1, 3; F_b jumps at 2, 4. After value 1: |0.5 - 0| = 0.5.
+  const std::vector<double> a = {1.0, 3.0};
+  const std::vector<double> b = {2.0, 4.0};
+  EXPECT_DOUBLE_EQ(KsDistance(a, b), 0.5);
+}
+
+TEST(KsDistanceTest, HandlesTiesWithoutInflation) {
+  // Identical multisets with duplicates must still be at distance 0.
+  const std::vector<double> a = {1.0, 1.0, 2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(KsDistance(a, a), 0.0);
+}
+
+TEST(KsDistanceTest, IsSymmetric) {
+  const auto a = SortedUniform(100, 1);
+  const auto b = SortedUniform(300, 2);
+  EXPECT_DOUBLE_EQ(KsDistance(a, b), KsDistance(b, a));
+}
+
+TEST(KsDistanceFastTest, MatchesExactWhenSmallSetIsSubsetLike) {
+  // The fast scan evaluates gaps at the small set's jump points only. When
+  // the small set is a systematic sample of the large one, the supremum of
+  // the ECDF gap is attained at (or adjacent to) those jumps, so the two
+  // must agree closely.
+  const auto large = SortedUniform(2000, 3);
+  std::vector<double> small;
+  for (size_t i = 0; i < large.size(); i += 20) small.push_back(large[i]);
+  const double exact = KsDistance(small, large);
+  const double fast = KsDistanceFast(small, large);
+  EXPECT_LE(fast, exact + 1e-12);
+  EXPECT_NEAR(fast, exact, 0.02);
+}
+
+TEST(KsDistanceFastTest, NeverExceedsExact) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    const auto small = SortedUniform(50, seed * 2 + 1);
+    const auto large = SortedUniform(5000, seed * 2 + 2, 0.2, 0.8);
+    EXPECT_LE(KsDistanceFast(small, large),
+              KsDistance(small, large) + 1e-12)
+        << "seed " << seed;
+  }
+}
+
+TEST(KsDistanceFastTest, LowerBoundsWithinSmallSetResolution) {
+  // Restricting the supremum to the small set's jumps can miss at most the
+  // CDF mass between consecutive small-set jumps, which is 1/ns per side.
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    const auto small = SortedUniform(200, seed * 3 + 1);
+    const auto large = SortedUniform(4000, seed * 3 + 2, 0.0, 0.5);
+    const double exact = KsDistance(small, large);
+    const double fast = KsDistanceFast(small, large);
+    EXPECT_GE(fast, exact - 1.0 / 200 - 1e-12) << "seed " << seed;
+  }
+}
+
+TEST(UniformDissimilarityTest, UniformDataIsNearZero) {
+  const auto keys = SortedUniform(20000, 7);
+  EXPECT_LT(UniformDissimilarity(keys), 0.02);
+}
+
+TEST(UniformDissimilarityTest, ConstantAndTinySetsAreZero) {
+  EXPECT_DOUBLE_EQ(UniformDissimilarity({}), 0.0);
+  EXPECT_DOUBLE_EQ(UniformDissimilarity({5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(UniformDissimilarity({5.0, 5.0, 5.0}), 0.0);
+}
+
+TEST(UniformDissimilarityTest, GrowsWithSkew) {
+  Rng rng(11);
+  std::vector<double> mild(20000), heavy(20000);
+  for (size_t i = 0; i < mild.size(); ++i) {
+    const double u = rng.NextDouble();
+    mild[i] = std::pow(u, 2.0);
+    heavy[i] = std::pow(u, 8.0);
+  }
+  std::sort(mild.begin(), mild.end());
+  std::sort(heavy.begin(), heavy.end());
+  const double d_mild = UniformDissimilarity(mild);
+  const double d_heavy = UniformDissimilarity(heavy);
+  EXPECT_GT(d_mild, 0.2);
+  EXPECT_GT(d_heavy, d_mild);
+}
+
+// Analytic check: ECDF of u^2 under the uniform reference on [0,1] has
+// supremum gap at x where x^{1/2} - x is maximal, i.e. x = 1/4, gap 1/4.
+TEST(UniformDissimilarityTest, MatchesAnalyticPowerLawGap) {
+  Rng rng(13);
+  std::vector<double> keys(200000);
+  for (double& k : keys) k = std::pow(rng.NextDouble(), 2.0);
+  std::sort(keys.begin(), keys.end());
+  EXPECT_NEAR(UniformDissimilarity(keys), 0.25, 0.02);
+}
+
+// Property sweep: KS distance is within [0, 1] and satisfies the triangle
+// inequality for arbitrary seeds.
+class KsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KsPropertyTest, RangeAndTriangleInequality) {
+  const uint64_t seed = GetParam();
+  const auto a = SortedUniform(100 + seed * 13 % 400, seed + 1);
+  const auto b = SortedUniform(100 + seed * 29 % 400, seed + 2, 0.1, 1.2);
+  const auto c = SortedUniform(100 + seed * 7 % 400, seed + 3, -0.5, 0.7);
+  const double ab = KsDistance(a, b);
+  const double bc = KsDistance(b, c);
+  const double ac = KsDistance(a, c);
+  EXPECT_GE(ab, 0.0);
+  EXPECT_LE(ab, 1.0);
+  EXPECT_LE(ac, ab + bc + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KsPropertyTest,
+                         ::testing::Range<uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace elsi

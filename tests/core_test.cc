@@ -1,0 +1,442 @@
+// Tests for the ELSI core: method scorer/selector, build processor
+// (Algorithm 1), rebuild predictor, and update processor.
+
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/cdf.h"
+#include "common/random.h"
+#include "core/build_processor.h"
+#include "core/elsi.h"
+#include "core/method_scorer.h"
+#include "core/method_selector.h"
+#include "core/rebuild_predictor.h"
+#include "core/scorer_trainer.h"
+#include "core/update_processor.h"
+#include "curve/zorder.h"
+#include "data/synthetic.h"
+#include "data/workload.h"
+
+namespace elsi {
+namespace {
+
+RankModelConfig FastModel() {
+  RankModelConfig cfg;
+  cfg.hidden = {8};
+  cfg.epochs = 60;
+  cfg.learning_rate = 0.03;
+  return cfg;
+}
+
+BuildProcessorConfig FastProcessorConfig() {
+  BuildProcessorConfig cfg;
+  cfg.model = FastModel();
+  cfg.rl.max_steps = 80;
+  cfg.mr.synthetic_size = 512;
+  return cfg;
+}
+
+// Synthetic scorer samples with a known structure: SP cheap to build,
+// mediocre query; OG expensive to build, best query; others in between and
+// drifting with dissimilarity.
+std::vector<ScorerSample> SyntheticScorerSamples() {
+  std::vector<ScorerSample> samples;
+  for (double log10_n = 3.0; log10_n <= 5.0; log10_n += 0.5) {
+    for (double dissim = 0.0; dissim <= 0.9; dissim += 0.1) {
+      auto add = [&](BuildMethodId m, double b, double q) {
+        samples.push_back({m, log10_n, dissim, b, q});
+      };
+      add(BuildMethodId::kSP, 0.05, 1.05 + 0.3 * dissim);
+      add(BuildMethodId::kCL, 0.9 + 0.2 * dissim, 1.02);
+      add(BuildMethodId::kMR, 0.01, 1.10 + 0.5 * dissim);
+      add(BuildMethodId::kRS, 0.15, 1.00 + 0.05 * dissim);
+      add(BuildMethodId::kRL, 0.20, 1.01);
+      add(BuildMethodId::kOG, 1.0, 1.0);
+    }
+  }
+  return samples;
+}
+
+TEST(MethodScorerTest, LearnsRelativeCostStructure) {
+  MethodScorer scorer;
+  scorer.Train(SyntheticScorerSamples());
+  // MR must be predicted cheapest to build; OG most expensive.
+  const double mr = scorer.PredictBuildCost(BuildMethodId::kMR, 4.0, 0.4);
+  const double og = scorer.PredictBuildCost(BuildMethodId::kOG, 4.0, 0.4);
+  const double cl = scorer.PredictBuildCost(BuildMethodId::kCL, 4.0, 0.4);
+  EXPECT_LT(mr, og);
+  EXPECT_LT(mr, cl);
+  EXPECT_GT(og, 0.5);
+}
+
+TEST(MethodScorerTest, CombinedCostFollowsLambda) {
+  MethodScorer scorer;
+  scorer.Train(SyntheticScorerSamples());
+  // With lambda = 1 only the build cost matters: MR wins. With lambda = 0
+  // only query cost matters: OG/RS-style methods win over MR.
+  const double mr1 = scorer.CombinedCost(BuildMethodId::kMR, 4.0, 0.5, 1.0, 1.0);
+  const double og1 = scorer.CombinedCost(BuildMethodId::kOG, 4.0, 0.5, 1.0, 1.0);
+  EXPECT_LT(mr1, og1);
+  const double mr0 = scorer.CombinedCost(BuildMethodId::kMR, 4.0, 0.5, 0.0, 1.0);
+  const double og0 = scorer.CombinedCost(BuildMethodId::kOG, 4.0, 0.5, 0.0, 1.0);
+  EXPECT_LT(og0, mr0);
+}
+
+TEST(ScorerSelectorTest, PicksLambdaAppropriateMethods) {
+  auto scorer = std::make_shared<MethodScorer>();
+  scorer->Train(SyntheticScorerSamples());
+  const std::vector<BuildMethodId> pool(std::begin(kSelectorPool),
+                                        std::end(kSelectorPool));
+  ScorerSelector build_first(scorer, 1.0, 1.0);
+  EXPECT_EQ(build_first.Choose(pool, 4.0, 0.5), BuildMethodId::kMR);
+  // At lambda = 0 the query-efficient methods (OG 1.00, RS 1.025, RL 1.01
+  // in the synthetic samples) are near-ties; any of them is acceptable, but
+  // the query-costly MR (1.35) and SP (1.20) must not be chosen.
+  ScorerSelector query_first(scorer, 0.0, 1.0);
+  const BuildMethodId picked = query_first.Choose(pool, 4.0, 0.5);
+  EXPECT_TRUE(picked == BuildMethodId::kOG || picked == BuildMethodId::kRS ||
+              picked == BuildMethodId::kRL || picked == BuildMethodId::kCL)
+      << BuildMethodName(picked);
+}
+
+TEST(SelectorTest, FixedSelectorReturnsItsMethod) {
+  FixedSelector fixed(BuildMethodId::kRS);
+  const std::vector<BuildMethodId> pool = {BuildMethodId::kSP,
+                                           BuildMethodId::kRS};
+  EXPECT_EQ(fixed.Choose(pool, 4.0, 0.2), BuildMethodId::kRS);
+}
+
+TEST(SelectorDeathTest, FixedSelectorRejectsInapplicableMethod) {
+  FixedSelector fixed(BuildMethodId::kCL);
+  const std::vector<BuildMethodId> pool = {BuildMethodId::kSP};
+  EXPECT_DEATH(fixed.Choose(pool, 4.0, 0.2), "not applicable");
+}
+
+TEST(SelectorTest, RandomSelectorCoversCandidates) {
+  RandomSelector rand(3);
+  const std::vector<BuildMethodId> pool = {BuildMethodId::kSP,
+                                           BuildMethodId::kMR,
+                                           BuildMethodId::kOG};
+  std::map<BuildMethodId, int> counts;
+  for (int i = 0; i < 300; ++i) ++counts[rand.Choose(pool, 4.0, 0.2)];
+  for (BuildMethodId m : pool) EXPECT_GT(counts[m], 50);
+}
+
+TEST(TreeSelectorTest, RegressionAndClassificationAgreeOnEasyCase) {
+  const auto samples = SyntheticScorerSamples();
+  for (auto model : {TreeSelector::Model::kDecisionTree,
+                     TreeSelector::Model::kRandomForest}) {
+    for (auto mode : {TreeSelector::Mode::kRegression,
+                      TreeSelector::Mode::kClassification}) {
+      TreeSelector selector(model, mode, 1.0, 1.0);
+      selector.Train(samples);
+      const std::vector<BuildMethodId> pool(std::begin(kSelectorPool),
+                                            std::end(kSelectorPool));
+      // With lambda = 1, MR is the unambiguous argmin everywhere.
+      EXPECT_EQ(selector.Choose(pool, 4.0, 0.4), BuildMethodId::kMR)
+          << selector.name();
+    }
+  }
+}
+
+TEST(TreeSelectorTest, NamesMatchPaperLabels) {
+  EXPECT_EQ(TreeSelector(TreeSelector::Model::kRandomForest,
+                         TreeSelector::Mode::kRegression, 0.5, 1.0)
+                .name(),
+            "RFR");
+  EXPECT_EQ(TreeSelector(TreeSelector::Model::kDecisionTree,
+                         TreeSelector::Mode::kClassification, 0.5, 1.0)
+                .name(),
+            "DTC");
+}
+
+// Build processor: every enabled method must produce a model whose error
+// bounds cover every indexed key (the correctness core of Algorithm 1).
+class BuildProcessorMethodTest
+    : public ::testing::TestWithParam<BuildMethodId> {};
+
+TEST_P(BuildProcessorMethodTest, ModelsAreExactUnderAllMethods) {
+  const Dataset data = GenerateDataset(DatasetKind::kOsm1, 6000, 3);
+  const auto quantizer = std::make_shared<GridQuantizer>(BoundingRect(data));
+  const std::function<double(const Point&)> key_fn =
+      [quantizer](const Point& p) {
+        return static_cast<double>(
+            MortonEncode(quantizer->QuantizeX(p.x) >> 6,
+                         quantizer->QuantizeY(p.y) >> 6));
+      };
+  std::vector<double> keys(data.size());
+  for (size_t i = 0; i < data.size(); ++i) keys[i] = key_fn(data[i]);
+  std::vector<Point> pts = data;
+  std::sort(pts.begin(), pts.end(), [&key_fn](const Point& a, const Point& b) {
+    return key_fn(a) < key_fn(b);
+  });
+  std::sort(keys.begin(), keys.end());
+
+  BuildProcessorConfig cfg = FastProcessorConfig();
+  cfg.enabled = {GetParam()};
+  cfg.rs.beta = 200;
+  cfg.cl.clusters = 64;
+  BuildProcessor processor(cfg,
+                           std::make_shared<FixedSelector>(GetParam()));
+  const RankModel model = processor.TrainModel(pts, keys, key_fn);
+  for (size_t i = 0; i < keys.size(); i += 13) {
+    const auto [lo, hi] = model.SearchRange(keys[i], keys.size());
+    EXPECT_GE(i, lo) << BuildMethodName(GetParam());
+    EXPECT_LE(i, hi) << BuildMethodName(GetParam());
+  }
+  ASSERT_EQ(processor.records().size(), 1u);
+  const BuildCallRecord& record = processor.records().front();
+  EXPECT_EQ(record.method, GetParam());
+  EXPECT_EQ(record.n, keys.size());
+  if (GetParam() != BuildMethodId::kOG && GetParam() != BuildMethodId::kMR) {
+    EXPECT_LT(record.training_size, record.n);
+    EXPECT_GT(record.training_size, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, BuildProcessorMethodTest,
+                         ::testing::Values(BuildMethodId::kSP,
+                                           BuildMethodId::kRSP,
+                                           BuildMethodId::kCL,
+                                           BuildMethodId::kMR,
+                                           BuildMethodId::kRS,
+                                           BuildMethodId::kRL,
+                                           BuildMethodId::kOG),
+                         [](const auto& info) {
+                           return BuildMethodName(info.param);
+                         });
+
+TEST(BuildProcessorTest, ShrinksTrainingTimeVsOg) {
+  const Dataset data = GenerateUniform(30000, 7);
+  const std::function<double(const Point&)> key_fn = [](const Point& p) {
+    return p.x;
+  };
+  std::vector<Point> pts = data;
+  std::sort(pts.begin(), pts.end(),
+            [](const Point& a, const Point& b) { return a.x < b.x; });
+  std::vector<double> keys(pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) keys[i] = pts[i].x;
+
+  BuildProcessorConfig cfg = FastProcessorConfig();
+  cfg.model.epochs = 150;
+
+  cfg.enabled = {BuildMethodId::kSP};
+  BuildProcessor sp(cfg, std::make_shared<FixedSelector>(BuildMethodId::kSP));
+  sp.TrainModel(pts, keys, key_fn);
+
+  cfg.enabled = {BuildMethodId::kOG};
+  BuildProcessor og(cfg, std::make_shared<FixedSelector>(BuildMethodId::kOG));
+  og.TrainModel(pts, keys, key_fn);
+
+  EXPECT_LT(sp.records()[0].train_seconds, og.records()[0].train_seconds);
+}
+
+TEST(BuildProcessorTest, DefaultEnabledMethodsHonourLisaRestrictions) {
+  const auto lisa = DefaultEnabledMethods("LISA");
+  EXPECT_EQ(std::count(lisa.begin(), lisa.end(), BuildMethodId::kCL), 0);
+  EXPECT_EQ(std::count(lisa.begin(), lisa.end(), BuildMethodId::kRL), 0);
+  const auto zm = DefaultEnabledMethods("ZM");
+  EXPECT_EQ(std::count(zm.begin(), zm.end(), BuildMethodId::kCL), 1);
+  EXPECT_EQ(std::count(zm.begin(), zm.end(), BuildMethodId::kRL), 1);
+}
+
+TEST(ElsiIntegrationTest, ElsiBuiltIndexAnswersQueriesLikeOg) {
+  const Dataset data = GenerateDataset(DatasetKind::kOsm2, 5000, 9);
+  BuildProcessorConfig cfg = FastProcessorConfig();
+  cfg.enabled = {BuildMethodId::kRS};
+  auto elsi_trainer = std::make_shared<BuildProcessor>(
+      cfg, std::make_shared<FixedSelector>(BuildMethodId::kRS));
+  BaseIndexScale scale;
+  scale.leaf_target = 1000;
+  for (BaseIndexKind kind : kAllBaseIndexKinds) {
+    // LISA admits RS, so RS works across all four indices.
+    auto index = MakeBaseIndex(kind, elsi_trainer, scale);
+    index->Build(data);
+    EXPECT_EQ(index->size(), data.size()) << BaseIndexKindName(kind);
+    for (size_t i = 0; i < data.size(); i += 19) {
+      EXPECT_TRUE(index->PointQuery(data[i]))
+          << BaseIndexKindName(kind) << " at " << i;
+    }
+  }
+}
+
+TEST(RebuildPredictorTest, LearnsSeparableRule) {
+  // Labels depend on update ratio: rebuild iff ratio > 0.3.
+  std::vector<RebuildSample> samples;
+  for (int i = 0; i < 200; ++i) {
+    RebuildSample s;
+    s.features.log10_n = 4.0;
+    s.features.dissimilarity = 0.3;
+    s.features.depth = 2.0;
+    s.features.update_ratio = 0.01 * i;
+    s.features.cdf_similarity = 1.0 - 0.004 * i;
+    s.label = s.features.update_ratio > 0.3 ? 1.0 : 0.0;
+    samples.push_back(s);
+  }
+  RebuildPredictor predictor;
+  predictor.Train(samples);
+  RebuildFeatures low;
+  low.log10_n = 4.0;
+  low.dissimilarity = 0.3;
+  low.depth = 2.0;
+  low.update_ratio = 0.05;
+  low.cdf_similarity = 0.98;
+  EXPECT_FALSE(predictor.ShouldRebuild(low));
+  RebuildFeatures high = low;
+  high.update_ratio = 1.2;
+  high.cdf_similarity = 0.5;
+  EXPECT_TRUE(predictor.ShouldRebuild(high));
+}
+
+TEST(RebuildPredictorTest, SimulatedTrainingDataHasBothLabels) {
+  RebuildTrainerConfig cfg;
+  cfg.base_n = 4000;
+  cfg.datasets = 2;
+  cfg.checkpoints = 6;
+  cfg.queries = 100;
+  const auto samples = GenerateRebuildTrainingData(cfg);
+  EXPECT_EQ(samples.size(), 24u);  // Aged + freshly-rebuilt sample pairs.
+  for (const RebuildSample& s : samples) {
+    EXPECT_GE(s.features.update_ratio, 0.0);
+    EXPECT_LE(s.features.cdf_similarity, 1.0 + 1e-9);
+    EXPECT_TRUE(s.label == 0.0 || s.label == 1.0);
+  }
+}
+
+TEST(UpdateProcessorTest, TracksSimilarityUnderSkewedInserts) {
+  const Dataset base = GenerateUniform(4000, 11);
+  RankModelConfig model = FastModel();
+  auto trainer = std::make_shared<DirectTrainer>(model);
+  ZmIndex::Config zcfg;
+  zcfg.array.leaf_target = 1000;
+  ZmIndex index(trainer, zcfg);
+  UpdateProcessorConfig ucfg;
+  ucfg.enable_rebuild = false;
+  UpdateProcessor processor(&index, nullptr, ucfg);
+  processor.Build(base);
+  EXPECT_NEAR(processor.CurrentSimilarity(), 1.0, 1e-9);
+
+  Rng rng(13);
+  for (int i = 0; i < 4000; ++i) {
+    processor.Insert(Point{0.02 * rng.NextDouble(), 0.02 * rng.NextDouble(),
+                           static_cast<uint64_t>(10000 + i)});
+  }
+  // Half the data now sits in a tiny corner: similarity must drop a lot.
+  EXPECT_LT(processor.CurrentSimilarity(), 0.7);
+  EXPECT_GT(processor.CurrentDissimilarity(), 0.3);
+  EXPECT_EQ(processor.update_count(), 4000u);
+  EXPECT_EQ(processor.rebuild_count(), 0u);
+}
+
+TEST(UpdateProcessorTest, RebuildTriggersAndRestoresSimilarity) {
+  const Dataset base = GenerateUniform(3000, 15);
+  auto trainer = std::make_shared<DirectTrainer>(FastModel());
+  ZmIndex::Config zcfg;
+  zcfg.array.leaf_target = 1000;
+  ZmIndex index(trainer, zcfg);
+
+  // A predictor that always says rebuild once the update ratio is > 0.5.
+  std::vector<RebuildSample> samples;
+  for (int i = 0; i < 100; ++i) {
+    RebuildSample s;
+    s.features.update_ratio = 0.02 * i;
+    s.features.log10_n = 3.5;
+    s.features.depth = 2.0;
+    s.features.dissimilarity = 0.2;
+    s.features.cdf_similarity = 1.0 - 0.005 * i;
+    s.label = s.features.update_ratio > 0.5 ? 1.0 : 0.0;
+    samples.push_back(s);
+  }
+  RebuildPredictor predictor;
+  predictor.Train(samples);
+
+  UpdateProcessorConfig ucfg;
+  ucfg.f_u = 256;
+  UpdateProcessor processor(&index, &predictor, ucfg);
+  processor.Build(base);
+  Rng rng(17);
+  for (int i = 0; i < 4000; ++i) {
+    processor.Insert(Point{0.05 * rng.NextDouble(), 0.05 * rng.NextDouble(),
+                           static_cast<uint64_t>(10000 + i)});
+  }
+  EXPECT_GT(processor.rebuild_count(), 0u);
+  EXPECT_EQ(index.size(), 7000u);
+  // All points remain queryable after rebuilds.
+  EXPECT_TRUE(index.PointQuery(base[123]));
+}
+
+TEST(UpdateProcessorTest, RemoveRoutesThroughIndex) {
+  const Dataset base = GenerateUniform(1000, 19);
+  auto trainer = std::make_shared<DirectTrainer>(FastModel());
+  ZmIndex index(trainer, ZmIndex::Config{});
+  UpdateProcessorConfig ucfg;
+  ucfg.enable_rebuild = false;
+  UpdateProcessor processor(&index, nullptr, ucfg);
+  processor.Build(base);
+  EXPECT_TRUE(processor.Remove(base[5]));
+  EXPECT_FALSE(processor.Remove(base[5]));
+  EXPECT_FALSE(index.PointQuery(base[5]));
+  EXPECT_EQ(processor.update_count(), 1u);
+}
+
+TEST(ScorerTrainerTest, CalibrationHitsTargetDissimilarity) {
+  for (double target : {0.0, 0.3, 0.6}) {
+    const double power = CalibratePowerForDissimilarity(target, 8000, 3);
+    const Dataset data = GeneratePower(8000, power, power, 99);
+    const GridQuantizer q(BoundingRect(data));
+    std::vector<double> keys(data.size());
+    for (size_t i = 0; i < data.size(); ++i) {
+      keys[i] = static_cast<double>(MortonEncode(q.QuantizeX(data[i].x) >> 6,
+                                                 q.QuantizeY(data[i].y) >> 6));
+    }
+    std::sort(keys.begin(), keys.end());
+    EXPECT_NEAR(UniformDissimilarity(keys), target, 0.08) << target;
+  }
+}
+
+TEST(ScorerTrainerTest, EndToEndSelectorBeatsRandomOnGroundTruth) {
+  ScorerTrainerConfig cfg;
+  cfg.log10_min = 3.0;
+  cfg.log10_max = 3.7;
+  cfg.cardinality_levels = 2;
+  cfg.dissimilarities = {0.0, 0.3, 0.6};
+  cfg.queries = 64;
+  cfg.processor = FastProcessorConfig();
+  cfg.processor.rs.beta = 100;
+  cfg.processor.cl.clusters = 32;
+  cfg.processor.rl.max_steps = 60;
+  const ScorerTrainingData data = GenerateScorerTrainingData(cfg);
+  EXPECT_EQ(data.groups.size(), 6u);
+  EXPECT_EQ(data.samples.size(), 6u * cfg.processor.enabled.size());
+
+  // At tiny test scale the cheap methods (SP/MR/RS) tie at microseconds, so
+  // exact-argmin accuracy is noise; the stable property is *regret*: at
+  // lambda = 1 (pure build cost) the selector must never pick a method
+  // whose measured cost is far from the best — i.e. it avoids OG and CL,
+  // whose costs are orders of magnitude higher.
+  auto scorer = std::make_shared<MethodScorer>();
+  scorer->Train(data.samples);
+  const double lambda = 1.0;
+  ScorerSelector selector(scorer, lambda, 1.0);
+  for (const ScorerDatasetGroup& group : data.groups) {
+    std::vector<BuildMethodId> candidates;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (const auto& [method, cost] : group.costs) {
+      candidates.push_back(method);
+      best_cost = std::min(best_cost, cost.first);
+    }
+    const BuildMethodId chosen =
+        selector.Choose(candidates, group.log10_n, group.dissimilarity);
+    const double chosen_cost = group.costs.at(chosen).first;
+    EXPECT_LT(chosen_cost, std::max(10.0 * best_cost, best_cost + 0.2))
+        << "selector picked " << BuildMethodName(chosen)
+        << " with relative build cost " << chosen_cost << " (best "
+        << best_cost << ")";
+  }
+}
+
+}  // namespace
+}  // namespace elsi

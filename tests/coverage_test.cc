@@ -1,0 +1,153 @@
+// Focused tests for paths the main suites exercise only lightly: the w_Q
+// query-frequency knob of Eq. 2, deletion-heavy update tracking, inserts
+// escaping the build-time domain, and MR reuse across shifted key ranges.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/cdf.h"
+#include "common/random.h"
+#include "core/elsi.h"
+#include "curve/zorder.h"
+#include "data/synthetic.h"
+#include "data/workload.h"
+
+namespace elsi {
+namespace {
+
+RankModelConfig FastModel() {
+  RankModelConfig cfg;
+  cfg.hidden = {8};
+  cfg.epochs = 60;
+  cfg.learning_rate = 0.03;
+  return cfg;
+}
+
+TEST(QueryFrequencyTest, LargeWqShiftsSelectionTowardQueryOptimal) {
+  // Synthetic costs where MR is build-cheapest but query-poor.
+  std::vector<ScorerSample> samples;
+  for (double log10_n = 3.0; log10_n <= 5.0; log10_n += 0.5) {
+    for (double dissim = 0.0; dissim <= 0.9; dissim += 0.1) {
+      samples.push_back({BuildMethodId::kMR, log10_n, dissim, 0.01, 2.0});
+      samples.push_back({BuildMethodId::kRS, log10_n, dissim, 0.30, 1.0});
+      samples.push_back({BuildMethodId::kOG, log10_n, dissim, 1.00, 1.0});
+    }
+  }
+  auto scorer = std::make_shared<MethodScorer>();
+  scorer->Train(samples);
+  const std::vector<BuildMethodId> pool = {
+      BuildMethodId::kMR, BuildMethodId::kRS, BuildMethodId::kOG};
+  // At lambda = 0.9 with w_Q = 1 the build term dominates: MR.
+  ScorerSelector build_heavy(scorer, 0.9, 1.0);
+  EXPECT_EQ(build_heavy.Choose(pool, 4.0, 0.4), BuildMethodId::kMR);
+  // Same lambda but w_Q = 50 (queries vastly outnumber builds): the query
+  // term regains weight and RS takes over (Eq. 2).
+  ScorerSelector query_heavy(scorer, 0.9, 50.0);
+  EXPECT_EQ(query_heavy.Choose(pool, 4.0, 0.4), BuildMethodId::kRS);
+}
+
+TEST(UpdateProcessorDeleteTest, DeletionHeavyWorkloadTracksRatioAndSim) {
+  const Dataset base = GenerateDataset(DatasetKind::kSkewed, 4000, 3);
+  auto trainer = std::make_shared<DirectTrainer>(FastModel());
+  ZmIndex index(trainer, ZmIndex::Config{});
+  UpdateProcessorConfig ucfg;
+  ucfg.enable_rebuild = false;
+  UpdateProcessor processor(&index, nullptr, ucfg);
+  processor.Build(base);
+
+  // Delete the dense lower band: the remaining distribution changes a lot.
+  size_t deleted = 0;
+  for (const Point& p : base) {
+    if (p.y < 0.05 && processor.Remove(p)) ++deleted;
+  }
+  ASSERT_GT(deleted, 1000u);
+  EXPECT_EQ(index.size(), base.size() - deleted);
+  const RebuildFeatures f = processor.CurrentFeatures();
+  EXPECT_NEAR(f.update_ratio, static_cast<double>(deleted) / base.size(),
+              1e-9);
+  EXPECT_LT(f.cdf_similarity, 0.95);  // The CDF moved.
+  // Deleted points are gone; survivors remain.
+  for (const Point& p : base) {
+    EXPECT_EQ(index.PointQuery(p), p.y >= 0.05);
+  }
+}
+
+TEST(DomainEscapeTest, InsertsOutsideBuildDomainStayQueryable) {
+  const Dataset base = GenerateUniform(1000, 5);
+  auto trainer = std::make_shared<DirectTrainer>(FastModel());
+  for (BaseIndexKind kind : kAllBaseIndexKinds) {
+    BaseIndexScale scale;
+    scale.leaf_target = 500;
+    auto index = MakeBaseIndex(kind, trainer, scale);
+    index->Build(base);
+    // Points far outside the unit square (the build-time domain).
+    const Point far_out{3.5, -2.0, 777777};
+    index->Insert(far_out);
+    EXPECT_TRUE(index->PointQuery(far_out)) << BaseIndexKindName(kind);
+    EXPECT_TRUE(index->Remove(far_out)) << BaseIndexKindName(kind);
+    EXPECT_FALSE(index->PointQuery(far_out)) << BaseIndexKindName(kind);
+  }
+}
+
+TEST(ModelReuseRangeTest, PoolAdaptsToShiftedAndScaledKeyRanges) {
+  // The same uniform shape over wildly different key ranges must match the
+  // same pool entry (matching is range-normalised).
+  RankModelConfig model = FastModel();
+  ModelReuseConfig cfg;
+  cfg.epsilon = 0.5;
+  cfg.synthetic_size = 512;
+  ModelReuse mr(cfg, model);
+  Rng rng(7);
+  for (const auto& [lo, hi] : std::vector<std::pair<double, double>>{
+           {0.0, 1.0}, {1e6, 2e6}, {-500.0, -100.0}}) {
+    std::vector<double> keys(4000);
+    for (double& k : keys) k = rng.NextDouble(lo, hi);
+    std::sort(keys.begin(), keys.end());
+    EXPECT_LT(mr.BestMatchDistance(keys), 0.1) << lo << ".." << hi;
+    std::vector<Point> pts(keys.size());
+    const std::function<double(const Point&)> key_fn =
+        [](const Point&) { return 0.0; };
+    RankModel reused;
+    ASSERT_TRUE(mr.TryReuseModel(BuildContext{pts, keys, key_fn}, &reused));
+    reused.ComputeErrorBounds(keys);
+    for (size_t i = 0; i < keys.size(); i += 131) {
+      const auto [rlo, rhi] = reused.SearchRange(keys[i], keys.size());
+      EXPECT_GE(i, rlo);
+      EXPECT_LE(i, rhi);
+    }
+  }
+}
+
+TEST(UniformDissimilarityFeatureTest, MatchesBetweenScorerAndProcessor) {
+  // The feature the selector sees at build time must equal the feature the
+  // trainer computed for the same keys — both go through
+  // UniformDissimilarity on the sorted mapped keys.
+  const Dataset data = GenerateDataset(DatasetKind::kSkewed, 5000, 9);
+  const GridQuantizer q(BoundingRect(data));
+  std::vector<double> keys(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    keys[i] = static_cast<double>(MortonEncode(q.QuantizeX(data[i].x) >> 6,
+                                               q.QuantizeY(data[i].y) >> 6));
+  }
+  std::sort(keys.begin(), keys.end());
+  const double feature = UniformDissimilarity(keys);
+  EXPECT_GT(feature, 0.05);
+  EXPECT_LT(feature, 1.0);
+  // Deterministic.
+  EXPECT_DOUBLE_EQ(feature, UniformDissimilarity(keys));
+}
+
+TEST(ZmDomainWindowTest, WindowOutsideDomainFindsClampedInserts) {
+  const Dataset base = GenerateUniform(800, 11);
+  auto trainer = std::make_shared<DirectTrainer>(FastModel());
+  ZmIndex index(trainer, ZmIndex::Config{});
+  index.Build(base);
+  index.Insert(Point{5.0, 5.0, 999});
+  const auto hits = index.WindowQuery(Rect::Of(4.0, 4.0, 6.0, 6.0));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 999u);
+}
+
+}  // namespace
+}  // namespace elsi

@@ -1,0 +1,76 @@
+#include "data/dataset.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace elsi {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(DatasetIoTest, BinaryRoundTrip) {
+  const Dataset data = GenerateUniform(1000, 5);
+  const std::string path = TempPath("elsi_ds_test.bin");
+  ASSERT_TRUE(SaveBinary(data, path));
+  Dataset loaded;
+  ASSERT_TRUE(LoadBinary(path, &loaded));
+  ASSERT_EQ(loaded.size(), data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(loaded[i], data[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, CsvRoundTripPreservesValues) {
+  const Dataset data = GenerateUniform(200, 6);
+  const std::string path = TempPath("elsi_ds_test.csv");
+  ASSERT_TRUE(SaveCsv(data, path));
+  Dataset loaded;
+  ASSERT_TRUE(LoadCsv(path, &loaded));
+  ASSERT_EQ(loaded.size(), data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded[i].x, data[i].x);
+    EXPECT_DOUBLE_EQ(loaded[i].y, data[i].y);
+    EXPECT_EQ(loaded[i].id, data[i].id);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, LoadMissingFileFails) {
+  Dataset out;
+  EXPECT_FALSE(LoadBinary(TempPath("elsi_does_not_exist.bin"), &out));
+  EXPECT_FALSE(LoadCsv(TempPath("elsi_does_not_exist.csv"), &out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(DatasetIoTest, TruncatedBinaryFails) {
+  const Dataset data = GenerateUniform(100, 7);
+  const std::string path = TempPath("elsi_truncated.bin");
+  ASSERT_TRUE(SaveBinary(data, path));
+  // Truncate the file in the middle of a record.
+  std::filesystem::resize_file(path, 100);
+  Dataset loaded;
+  EXPECT_FALSE(LoadBinary(path, &loaded));
+  EXPECT_TRUE(loaded.empty());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, EmptyDatasetRoundTrips) {
+  const Dataset data;
+  const std::string path = TempPath("elsi_empty.bin");
+  ASSERT_TRUE(SaveBinary(data, path));
+  Dataset loaded = GenerateUniform(3, 1);  // Must be cleared by Load.
+  ASSERT_TRUE(LoadBinary(path, &loaded));
+  EXPECT_TRUE(loaded.empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace elsi

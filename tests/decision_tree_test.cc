@@ -1,0 +1,131 @@
+#include "ml/decision_tree.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace elsi {
+namespace {
+
+TEST(DecisionTreeTest, FitsAxisAlignedStepFunction) {
+  // y = 1 when x0 > 0.5 else 0: a depth-1 tree fits exactly.
+  Matrix x(100, 1);
+  std::vector<double> y(100);
+  for (size_t i = 0; i < 100; ++i) {
+    x.At(i, 0) = static_cast<double>(i) / 99.0;
+    y[i] = x.At(i, 0) > 0.5 ? 1.0 : 0.0;
+  }
+  DecisionTree tree;
+  tree.Fit(x, y, DecisionTree::Task::kRegression);
+  EXPECT_NEAR(tree.Predict({0.2}), 0.0, 1e-9);
+  EXPECT_NEAR(tree.Predict({0.9}), 1.0, 1e-9);
+}
+
+TEST(DecisionTreeTest, RegressionApproximatesSmoothFunction) {
+  Rng rng(3);
+  const size_t n = 800;
+  Matrix x(n, 1);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x.At(i, 0) = rng.NextDouble();
+    y[i] = std::sin(4.0 * x.At(i, 0));
+  }
+  DecisionTree tree;
+  DecisionTreeOptions opts;
+  opts.max_depth = 10;
+  tree.Fit(x, y, DecisionTree::Task::kRegression, opts);
+  double mse = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double e = tree.Predict({x.At(i, 0)}) - y[i];
+    mse += e * e;
+  }
+  EXPECT_LT(mse / n, 0.01);
+}
+
+TEST(DecisionTreeTest, ClassificationOnSeparableData) {
+  Rng rng(5);
+  const size_t n = 500;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x.At(i, 0) = rng.NextDouble();
+    x.At(i, 1) = rng.NextDouble();
+    y[i] = (x.At(i, 0) > 0.3 && x.At(i, 1) > 0.6) ? 1.0 : 0.0;
+  }
+  DecisionTree tree;
+  tree.Fit(x, y, DecisionTree::Task::kClassification);
+  int correct = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (tree.Predict({x.At(i, 0), x.At(i, 1)}) == y[i]) ++correct;
+  }
+  EXPECT_GT(correct, static_cast<int>(n * 0.98));
+}
+
+TEST(DecisionTreeTest, MultiClassClassification) {
+  // Three vertical bands -> three classes.
+  Matrix x(300, 1);
+  std::vector<double> y(300);
+  for (size_t i = 0; i < 300; ++i) {
+    x.At(i, 0) = static_cast<double>(i) / 299.0;
+    y[i] = x.At(i, 0) < 0.33 ? 0.0 : (x.At(i, 0) < 0.66 ? 1.0 : 2.0);
+  }
+  DecisionTree tree;
+  tree.Fit(x, y, DecisionTree::Task::kClassification);
+  EXPECT_EQ(tree.Predict({0.1}), 0.0);
+  EXPECT_EQ(tree.Predict({0.5}), 1.0);
+  EXPECT_EQ(tree.Predict({0.9}), 2.0);
+}
+
+TEST(DecisionTreeTest, MaxDepthLimitsTreeSize) {
+  Rng rng(7);
+  Matrix x(200, 1);
+  std::vector<double> y(200);
+  for (size_t i = 0; i < 200; ++i) {
+    x.At(i, 0) = rng.NextDouble();
+    y[i] = rng.NextDouble();
+  }
+  DecisionTree stump;
+  DecisionTreeOptions opts;
+  opts.max_depth = 1;
+  stump.Fit(x, y, DecisionTree::Task::kRegression, opts);
+  EXPECT_LE(stump.node_count(), 3u);  // Root + two leaves.
+}
+
+TEST(DecisionTreeTest, PureNodeBecomesLeaf) {
+  Matrix x(10, 1);
+  std::vector<double> y(10, 5.0);  // Constant target.
+  for (size_t i = 0; i < 10; ++i) x.At(i, 0) = static_cast<double>(i);
+  DecisionTree tree;
+  tree.Fit(x, y, DecisionTree::Task::kRegression);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_DOUBLE_EQ(tree.Predict({3.0}), 5.0);
+}
+
+TEST(DecisionTreeTest, MinSamplesLeafIsRespected) {
+  Matrix x(20, 1);
+  std::vector<double> y(20);
+  for (size_t i = 0; i < 20; ++i) {
+    x.At(i, 0) = static_cast<double>(i);
+    y[i] = static_cast<double>(i % 2);
+  }
+  DecisionTree tree;
+  DecisionTreeOptions opts;
+  opts.min_samples_leaf = 10;
+  opts.max_depth = 10;
+  tree.Fit(x, y, DecisionTree::Task::kRegression, opts);
+  // Only one split (10/10) is possible.
+  EXPECT_LE(tree.node_count(), 3u);
+}
+
+TEST(DecisionTreeDeathTest, MismatchedSizesAbort) {
+  DecisionTree tree;
+  Matrix x(3, 1);
+  std::vector<double> y(2);
+  EXPECT_DEATH(tree.Fit(x, y, DecisionTree::Task::kRegression),
+               "CHECK failed");
+}
+
+}  // namespace
+}  // namespace elsi

@@ -1,0 +1,78 @@
+#include "storage/delta_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace elsi {
+namespace {
+
+TEST(DeltaBufferTest, InsertedPointsAreScannable) {
+  DeltaBuffer buf;
+  buf.AddInsert(Point{0.1, 0.1, 1}, 0.1);
+  buf.AddInsert(Point{0.5, 0.5, 2}, 0.5);
+  buf.AddInsert(Point{0.9, 0.9, 3}, 0.9);
+  std::vector<Point> out;
+  buf.ScanKeyRange(0.2, 0.95, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, 2u);
+  EXPECT_EQ(out[1].id, 3u);
+}
+
+TEST(DeltaBufferTest, ScanInRectAppliesSpatialFilter) {
+  DeltaBuffer buf;
+  buf.AddInsert(Point{0.3, 0.9, 1}, 0.3);
+  buf.AddInsert(Point{0.4, 0.1, 2}, 0.4);
+  std::vector<Point> out;
+  buf.ScanKeyRangeInRect(0.0, 1.0, Rect::Of(0.0, 0.0, 1.0, 0.5), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].id, 2u);
+}
+
+TEST(DeltaBufferTest, DeleteOfInsertedPointRemovesIt) {
+  DeltaBuffer buf;
+  buf.AddInsert(Point{0.5, 0.5, 7}, 0.5);
+  EXPECT_TRUE(buf.AddDelete(7, 0.5));
+  EXPECT_EQ(buf.inserted_count(), 0u);
+  EXPECT_EQ(buf.deleted_count(), 0u);  // Never reached the base index.
+  EXPECT_FALSE(buf.IsDeleted(7));
+}
+
+TEST(DeltaBufferTest, DeleteOfBasePointIsTracked) {
+  DeltaBuffer buf;
+  EXPECT_FALSE(buf.AddDelete(42, 0.3));
+  EXPECT_TRUE(buf.IsDeleted(42));
+  EXPECT_EQ(buf.deleted_count(), 1u);
+}
+
+TEST(DeltaBufferTest, DuplicateKeysDistinguishedById) {
+  DeltaBuffer buf;
+  buf.AddInsert(Point{0.5, 0.1, 1}, 0.5);
+  buf.AddInsert(Point{0.5, 0.2, 2}, 0.5);
+  EXPECT_TRUE(buf.AddDelete(2, 0.5));
+  std::vector<Point> out;
+  buf.ScanKeyRange(0.5, 0.5, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].id, 1u);
+}
+
+TEST(DeltaBufferTest, CollectInsertedGathersAll) {
+  DeltaBuffer buf;
+  for (uint64_t i = 0; i < 10; ++i) {
+    buf.AddInsert(Point{0.1 * i, 0.0, i}, 0.1 * i);
+  }
+  std::vector<Point> out;
+  buf.CollectInserted(&out);
+  EXPECT_EQ(out.size(), 10u);
+}
+
+TEST(DeltaBufferTest, ClearResetsEverything) {
+  DeltaBuffer buf;
+  buf.AddInsert(Point{0.5, 0.5, 1}, 0.5);
+  buf.AddDelete(9, 0.2);
+  buf.Clear();
+  EXPECT_EQ(buf.inserted_count(), 0u);
+  EXPECT_EQ(buf.deleted_count(), 0u);
+  EXPECT_FALSE(buf.IsDeleted(9));
+}
+
+}  // namespace
+}  // namespace elsi

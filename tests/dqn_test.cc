@@ -1,0 +1,105 @@
+#include "ml/dqn.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace elsi {
+namespace {
+
+DqnConfig SmallConfig() {
+  DqnConfig cfg;
+  cfg.state_dim = 2;
+  cfg.action_count = 2;
+  cfg.hidden = {16};
+  cfg.learning_rate = 5e-3;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(DqnTest, QValuesHaveActionCountEntries) {
+  Dqn dqn(SmallConfig());
+  EXPECT_EQ(dqn.QValues({0.0, 1.0}).size(), 2u);
+}
+
+TEST(DqnTest, GreedySelectionPicksArgmaxAction) {
+  Dqn dqn(SmallConfig());
+  const auto q = dqn.QValues({0.5, 0.5});
+  const int best = q[0] >= q[1] ? 0 : 1;
+  EXPECT_EQ(dqn.BestAction({0.5, 0.5}), best);
+  EXPECT_EQ(dqn.SelectAction({0.5, 0.5}, 0.0), best);
+}
+
+TEST(DqnTest, FullyRandomEpsilonExploresBothActions) {
+  Dqn dqn(SmallConfig());
+  int counts[2] = {0, 0};
+  for (int i = 0; i < 200; ++i) {
+    ++counts[dqn.SelectAction({0.0, 0.0}, 1.0)];
+  }
+  EXPECT_GT(counts[0], 20);
+  EXPECT_GT(counts[1], 20);
+}
+
+// A two-state bandit-like MDP: in state (1,0) action 0 yields reward 1,
+// action 1 yields 0 (episode ends either way). The DQN must learn to prefer
+// action 0.
+TEST(DqnTest, LearnsBanditPreference) {
+  DqnConfig cfg = SmallConfig();
+  cfg.train_every = 1;
+  cfg.batch_size = 16;
+  Dqn dqn(cfg);
+  const std::vector<double> s = {1.0, 0.0};
+  const std::vector<double> terminal = {0.0, 0.0};
+  for (int step = 0; step < 600; ++step) {
+    const int a = dqn.SelectAction(s, 0.3);
+    const double reward = a == 0 ? 1.0 : 0.0;
+    dqn.Observe(s, a, reward, terminal, true);
+  }
+  const auto q = dqn.QValues(s);
+  EXPECT_GT(q[0], q[1]);
+  EXPECT_NEAR(q[0], 1.0, 0.35);
+}
+
+// A one-step lookahead chain: s0 -action0-> s1 (reward 0), then s1 gives
+// reward 1 for action 0. With gamma = 0.9 the learned Q(s0, 0) should
+// approach 0.9.
+TEST(DqnTest, PropagatesDiscountedFutureReward) {
+  DqnConfig cfg = SmallConfig();
+  cfg.train_every = 1;
+  cfg.batch_size = 32;
+  cfg.gamma = 0.9;
+  Dqn dqn(cfg);
+  const std::vector<double> s0 = {1.0, 0.0};
+  const std::vector<double> s1 = {0.0, 1.0};
+  for (int episode = 0; episode < 500; ++episode) {
+    dqn.Observe(s0, 0, 0.0, s1, false);
+    dqn.Observe(s1, 0, 1.0, s0, true);
+    // The other action gives nothing anywhere.
+    dqn.Observe(s0, 1, 0.0, s0, true);
+    dqn.Observe(s1, 1, 0.0, s0, true);
+  }
+  const auto q0 = dqn.QValues(s0);
+  const auto q1 = dqn.QValues(s1);
+  EXPECT_NEAR(q1[0], 1.0, 0.4);
+  EXPECT_NEAR(q0[0], 0.9, 0.45);
+  EXPECT_GT(q0[0], q0[1]);
+  EXPECT_GT(q1[0], q1[1]);
+}
+
+TEST(DqnTest, StepCounterTracksObservations) {
+  Dqn dqn(SmallConfig());
+  for (int i = 0; i < 7; ++i) {
+    dqn.Observe({0, 0}, 0, 0.0, {0, 0}, true);
+  }
+  EXPECT_EQ(dqn.steps(), 7);
+}
+
+TEST(DqnDeathTest, InvalidConfigAborts) {
+  DqnConfig cfg;
+  cfg.state_dim = 0;
+  cfg.action_count = 2;
+  EXPECT_DEATH(Dqn dqn(cfg), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace elsi

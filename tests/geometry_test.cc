@@ -1,0 +1,93 @@
+#include "common/geometry.h"
+
+#include <gtest/gtest.h>
+
+namespace elsi {
+namespace {
+
+TEST(PointTest, DistanceIsEuclidean) {
+  const Point a{0.0, 0.0, 1};
+  const Point b{3.0, 4.0, 2};
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(Distance(a, b), 5.0);
+}
+
+TEST(RectTest, DefaultIsEmpty) {
+  Rect r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_DOUBLE_EQ(r.Area(), 0.0);
+  EXPECT_DOUBLE_EQ(r.Perimeter(), 0.0);
+}
+
+TEST(RectTest, ExtendCoversPoints) {
+  Rect r;
+  r.Extend(Point{1.0, 2.0, 0});
+  r.Extend(Point{-1.0, 5.0, 1});
+  EXPECT_FALSE(r.empty());
+  EXPECT_DOUBLE_EQ(r.lo_x, -1.0);
+  EXPECT_DOUBLE_EQ(r.hi_y, 5.0);
+  EXPECT_TRUE(r.Contains(Point{0.0, 3.0, 2}));
+  EXPECT_FALSE(r.Contains(Point{2.0, 3.0, 3}));
+}
+
+TEST(RectTest, ContainsIsClosedOnBoundary) {
+  const Rect r = Rect::Of(0.0, 0.0, 1.0, 1.0);
+  EXPECT_TRUE(r.Contains(Point{0.0, 0.0, 0}));
+  EXPECT_TRUE(r.Contains(Point{1.0, 1.0, 0}));
+  EXPECT_TRUE(r.Contains(Point{1.0, 0.5, 0}));
+}
+
+TEST(RectTest, IntersectsSymmetric) {
+  const Rect a = Rect::Of(0.0, 0.0, 2.0, 2.0);
+  const Rect b = Rect::Of(1.0, 1.0, 3.0, 3.0);
+  const Rect c = Rect::Of(5.0, 5.0, 6.0, 6.0);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  EXPECT_FALSE(a.Intersects(c));
+  // Touching edges count as intersecting (closed rectangles).
+  const Rect d = Rect::Of(2.0, 0.0, 3.0, 2.0);
+  EXPECT_TRUE(a.Intersects(d));
+}
+
+TEST(RectTest, IntersectionArea) {
+  const Rect a = Rect::Of(0.0, 0.0, 2.0, 2.0);
+  const Rect b = Rect::Of(1.0, 1.0, 3.0, 3.0);
+  EXPECT_DOUBLE_EQ(a.IntersectionArea(b), 1.0);
+  const Rect c = Rect::Of(2.0, 2.0, 3.0, 3.0);
+  EXPECT_DOUBLE_EQ(a.IntersectionArea(c), 0.0);  // Touching corner.
+}
+
+TEST(RectTest, ContainsRect) {
+  const Rect outer = Rect::Of(0.0, 0.0, 10.0, 10.0);
+  EXPECT_TRUE(outer.Contains(Rect::Of(1.0, 1.0, 2.0, 2.0)));
+  EXPECT_TRUE(outer.Contains(outer));
+  EXPECT_FALSE(outer.Contains(Rect::Of(5.0, 5.0, 11.0, 6.0)));
+}
+
+TEST(RectTest, MinSquaredDistance) {
+  const Rect r = Rect::Of(0.0, 0.0, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(r.MinSquaredDistance(Point{0.5, 0.5, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(r.MinSquaredDistance(Point{2.0, 0.5, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(r.MinSquaredDistance(Point{2.0, 2.0, 0}), 2.0);
+  EXPECT_DOUBLE_EQ(r.MinSquaredDistance(Point{-3.0, 0.5, 0}), 9.0);
+}
+
+TEST(RectTest, BoundingRectOfPoints) {
+  const std::vector<Point> pts = {{0.5, 0.5, 0}, {0.1, 0.9, 1}, {0.7, 0.2, 2}};
+  const Rect r = BoundingRect(pts);
+  EXPECT_DOUBLE_EQ(r.lo_x, 0.1);
+  EXPECT_DOUBLE_EQ(r.lo_y, 0.2);
+  EXPECT_DOUBLE_EQ(r.hi_x, 0.7);
+  EXPECT_DOUBLE_EQ(r.hi_y, 0.9);
+  for (const Point& p : pts) EXPECT_TRUE(r.Contains(p));
+}
+
+TEST(RectTest, CenterOfRect) {
+  const Rect r = Rect::Of(0.0, 2.0, 4.0, 6.0);
+  const Point c = r.Center();
+  EXPECT_DOUBLE_EQ(c.x, 2.0);
+  EXPECT_DOUBLE_EQ(c.y, 4.0);
+}
+
+}  // namespace
+}  // namespace elsi

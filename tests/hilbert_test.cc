@@ -1,0 +1,84 @@
+#include "curve/hilbert.h"
+
+#include <cstdlib>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace elsi {
+namespace {
+
+TEST(HilbertTest, FirstOrderCurve) {
+  // Order-1 curve visits (0,0) -> (0,1) -> (1,1) -> (1,0).
+  EXPECT_EQ(HilbertEncode(0, 0, 1), 0u);
+  EXPECT_EQ(HilbertEncode(0, 1, 1), 1u);
+  EXPECT_EQ(HilbertEncode(1, 1, 1), 2u);
+  EXPECT_EQ(HilbertEncode(1, 0, 1), 3u);
+}
+
+TEST(HilbertTest, EncodeDecodeRoundTripSmallOrders) {
+  for (int order = 1; order <= 6; ++order) {
+    const uint32_t side = 1u << order;
+    for (uint32_t x = 0; x < side; ++x) {
+      for (uint32_t y = 0; y < side; ++y) {
+        uint32_t rx, ry;
+        HilbertDecode(HilbertEncode(x, y, order), &rx, &ry, order);
+        EXPECT_EQ(rx, x);
+        EXPECT_EQ(ry, y);
+      }
+    }
+  }
+}
+
+TEST(HilbertTest, EncodeDecodeRoundTripFullOrder) {
+  Rng rng(21);
+  for (int i = 0; i < 10000; ++i) {
+    const uint32_t x = static_cast<uint32_t>(rng.NextUint64());
+    const uint32_t y = static_cast<uint32_t>(rng.NextUint64());
+    uint32_t rx, ry;
+    HilbertDecode(HilbertEncode(x, y, 32), &rx, &ry, 32);
+    EXPECT_EQ(rx, x);
+    EXPECT_EQ(ry, y);
+  }
+}
+
+TEST(HilbertTest, IsABijectionOnSmallGrid) {
+  constexpr int kOrder = 5;
+  constexpr uint32_t kSide = 1u << kOrder;
+  std::set<uint64_t> seen;
+  for (uint32_t x = 0; x < kSide; ++x) {
+    for (uint32_t y = 0; y < kSide; ++y) {
+      const uint64_t h = HilbertEncode(x, y, kOrder);
+      EXPECT_LT(h, static_cast<uint64_t>(kSide) * kSide);
+      EXPECT_TRUE(seen.insert(h).second) << "duplicate index " << h;
+    }
+  }
+}
+
+TEST(HilbertTest, ConsecutiveIndicesAreGridNeighbors) {
+  // The defining continuity property of the Hilbert curve: consecutive curve
+  // positions differ by exactly one step in exactly one dimension.
+  constexpr int kOrder = 6;
+  constexpr uint64_t kTotal = 1ULL << (2 * kOrder);
+  uint32_t px, py;
+  HilbertDecode(0, &px, &py, kOrder);
+  for (uint64_t h = 1; h < kTotal; ++h) {
+    uint32_t x, y;
+    HilbertDecode(h, &x, &y, kOrder);
+    const uint32_t dx = x > px ? x - px : px - x;
+    const uint32_t dy = y > py ? y - py : py - y;
+    EXPECT_EQ(dx + dy, 1u) << "discontinuity at h=" << h;
+    px = x;
+    py = y;
+  }
+}
+
+TEST(HilbertDeathTest, RejectsInvalidOrder) {
+  EXPECT_DEATH(HilbertEncode(0, 0, 0), "order out of range");
+  EXPECT_DEATH(HilbertEncode(0, 0, 33), "order out of range");
+}
+
+}  // namespace
+}  // namespace elsi

@@ -1,0 +1,222 @@
+// End-to-end integration: ELSI (selector + build processor) driving all
+// four base indices, update processing with rebuilds on learned indices,
+// and learned-vs-traditional result equivalence.
+
+#include <map>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "core/elsi.h"
+#include "data/synthetic.h"
+#include "data/workload.h"
+#include "traditional/rstar_tree.h"
+
+namespace elsi {
+namespace {
+
+RankModelConfig FastModel() {
+  RankModelConfig cfg;
+  cfg.hidden = {8};
+  cfg.epochs = 60;
+  cfg.learning_rate = 0.03;
+  return cfg;
+}
+
+BuildProcessorConfig FastProcessorConfig() {
+  BuildProcessorConfig cfg;
+  cfg.model = FastModel();
+  cfg.rl.max_steps = 60;
+  cfg.mr.synthetic_size = 512;
+  cfg.rs.beta = 200;
+  cfg.cl.clusters = 50;
+  cfg.sp.rho = 0.02;
+  return cfg;
+}
+
+// A scorer with the qualitative cost structure the real measurements
+// produce, good enough to drive a ScorerSelector in integration tests.
+std::shared_ptr<MethodScorer> CannedScorer() {
+  std::vector<ScorerSample> samples;
+  for (double log10_n = 3.0; log10_n <= 6.0; log10_n += 0.5) {
+    for (double dissim = 0.0; dissim <= 0.9; dissim += 0.15) {
+      auto add = [&](BuildMethodId m, double b, double q) {
+        samples.push_back({m, log10_n, dissim, b, q});
+      };
+      add(BuildMethodId::kSP, 0.05, 1.04 + 0.2 * dissim);
+      add(BuildMethodId::kCL, 0.8, 1.02);
+      add(BuildMethodId::kMR, 0.01, 1.08 + 0.4 * dissim);
+      add(BuildMethodId::kRS, 0.12, 1.00);
+      add(BuildMethodId::kRL, 0.25, 1.01);
+      add(BuildMethodId::kOG, 1.0, 1.0);
+    }
+  }
+  auto scorer = std::make_shared<MethodScorer>();
+  scorer->Train(samples);
+  return scorer;
+}
+
+class ElsiEndToEndTest : public ::testing::TestWithParam<BaseIndexKind> {};
+
+TEST_P(ElsiEndToEndTest, SelectorDrivenBuildServesAllQueryTypes) {
+  const BaseIndexKind kind = GetParam();
+  const Dataset data = GenerateDataset(DatasetKind::kOsm1, 4000, 21);
+
+  auto selector = std::make_shared<ScorerSelector>(CannedScorer(), 0.8, 1.0);
+  auto processor = MakeElsiProcessor(kind, FastProcessorConfig(), selector);
+  BaseIndexScale scale;
+  scale.leaf_target = 1000;
+  auto index = MakeBaseIndex(kind, processor, scale);
+  index->Build(data);
+
+  // The processor actually ran (at least one model-training request) and
+  // selected only enabled methods.
+  EXPECT_FALSE(processor->records().empty());
+  for (const BuildCallRecord& record : processor->records()) {
+    EXPECT_TRUE(std::find(processor->enabled().begin(),
+                          processor->enabled().end(), record.method) !=
+                processor->enabled().end());
+  }
+
+  // Point queries are exact.
+  for (size_t i = 0; i < data.size(); i += 11) {
+    EXPECT_TRUE(index->PointQuery(data[i])) << BaseIndexKindName(kind);
+  }
+  // Window queries: no false positives and usable recall.
+  const auto windows = SampleWindowQueries(data, 10, 0.005, 3);
+  double recall_sum = 0.0;
+  for (const Rect& w : windows) {
+    const auto result = index->WindowQuery(w);
+    for (const Point& p : result) EXPECT_TRUE(w.Contains(p));
+    recall_sum += Recall(result, BruteForceWindow(data, w));
+  }
+  EXPECT_GT(recall_sum / windows.size(), 0.85) << BaseIndexKindName(kind);
+  // kNN returns k points near the query.
+  const auto knn = index->KnnQuery(data[7], 10);
+  EXPECT_EQ(knn.size(), 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBaseIndices, ElsiEndToEndTest,
+                         ::testing::ValuesIn(kAllBaseIndexKinds),
+                         [](const auto& info) {
+                           return BaseIndexKindName(info.param);
+                         });
+
+TEST(ElsiEndToEndTest, ElsiBuildIsFasterThanOgAtScale) {
+  const Dataset data = GenerateDataset(DatasetKind::kOsm1, 60000, 23);
+  BaseIndexScale scale;
+  scale.leaf_target = 15000;
+
+  BuildProcessorConfig cfg = FastProcessorConfig();
+  cfg.model.epochs = 200;
+  cfg.sp.rho = 0.01;
+
+  Timer og_timer;
+  auto og_index = MakeBaseIndex(
+      BaseIndexKind::kZM,
+      std::make_shared<DirectTrainer>(cfg.model), scale);
+  og_index->Build(data);
+  const double og_seconds = og_timer.ElapsedSeconds();
+
+  cfg.enabled = {BuildMethodId::kSP};
+  auto processor = std::make_shared<BuildProcessor>(
+      cfg, std::make_shared<FixedSelector>(BuildMethodId::kSP));
+  Timer elsi_timer;
+  auto elsi_index = MakeBaseIndex(BaseIndexKind::kZM, processor, scale);
+  elsi_index->Build(data);
+  const double elsi_seconds = elsi_timer.ElapsedSeconds();
+
+  EXPECT_LT(elsi_seconds, og_seconds / 2.0)
+      << "ELSI " << elsi_seconds << "s vs OG " << og_seconds << "s";
+
+  // And the query behaviour matches.
+  for (size_t i = 0; i < data.size(); i += 211) {
+    EXPECT_TRUE(elsi_index->PointQuery(data[i]));
+  }
+}
+
+class UpdateIntegrationTest : public ::testing::TestWithParam<BaseIndexKind> {
+};
+
+TEST_P(UpdateIntegrationTest, RebuildKeepsIndexConsistent) {
+  const BaseIndexKind kind = GetParam();
+  const Dataset base = GenerateDataset(DatasetKind::kOsm1, 2500, 29);
+
+  auto processor = MakeElsiProcessor(
+      kind, FastProcessorConfig(),
+      std::make_shared<FixedSelector>(BuildMethodId::kSP));
+  BaseIndexScale scale;
+  scale.leaf_target = 800;
+  auto index = MakeBaseIndex(kind, processor, scale);
+
+  // Aggressive always-rebuild predictor exercises the full rebuild path.
+  std::vector<RebuildSample> samples;
+  for (int i = 0; i < 40; ++i) {
+    RebuildSample s;
+    s.features.update_ratio = 0.05 * i;
+    s.features.log10_n = 3.5;
+    s.features.cdf_similarity = 1.0 - 0.01 * i;
+    s.label = s.features.update_ratio > 0.2 ? 1.0 : 0.0;
+    samples.push_back(s);
+  }
+  RebuildPredictor predictor;
+  predictor.Train(samples);
+
+  UpdateProcessorConfig ucfg;
+  ucfg.f_u = 500;
+  UpdateProcessor updates(index.get(), &predictor, ucfg);
+  updates.Build(base);
+
+  Rng rng(31);
+  for (int i = 0; i < 2000; ++i) {
+    updates.Insert(Point{0.1 * rng.NextDouble(), 0.1 * rng.NextDouble(),
+                         static_cast<uint64_t>(50000 + i)});
+  }
+  EXPECT_GT(updates.rebuild_count(), 0u) << BaseIndexKindName(kind);
+  EXPECT_EQ(index->size(), 4500u) << BaseIndexKindName(kind);
+  // Base and inserted points both remain queryable after rebuilds.
+  for (size_t i = 0; i < base.size(); i += 37) {
+    EXPECT_TRUE(index->PointQuery(base[i]))
+        << BaseIndexKindName(kind) << " base " << i;
+  }
+  const auto everything = index->CollectAll();
+  EXPECT_EQ(everything.size(), 4500u) << BaseIndexKindName(kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBaseIndices, UpdateIntegrationTest,
+                         ::testing::ValuesIn(kAllBaseIndexKinds),
+                         [](const auto& info) {
+                           return BaseIndexKindName(info.param);
+                         });
+
+TEST(CrossIndexConsistencyTest, LearnedAndTraditionalAgreeOnExactQueries) {
+  // ZM/ML (exact learned) must return identical window results to RR*.
+  const Dataset data = GenerateDataset(DatasetKind::kOsm2, 3000, 33);
+  RStarTree rstar(32);
+  rstar.Build(data);
+
+  auto trainer = std::make_shared<DirectTrainer>(FastModel());
+  BaseIndexScale scale;
+  scale.leaf_target = 800;
+  for (BaseIndexKind kind : {BaseIndexKind::kZM, BaseIndexKind::kML}) {
+    auto learned = MakeBaseIndex(kind, trainer, scale);
+    learned->Build(data);
+    const auto windows = SampleWindowQueries(data, 12, 0.003, 35);
+    for (const Rect& w : windows) {
+      auto a = rstar.WindowQuery(w);
+      auto b = learned->WindowQuery(w);
+      auto ids = [](std::vector<Point> pts) {
+        std::vector<uint64_t> out;
+        for (const Point& p : pts) out.push_back(p.id);
+        std::sort(out.begin(), out.end());
+        return out;
+      };
+      EXPECT_EQ(ids(a), ids(b)) << BaseIndexKindName(kind);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace elsi

@@ -1,0 +1,106 @@
+#include "ml/kmeans.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/synthetic.h"
+
+namespace elsi {
+namespace {
+
+// Four well-separated blobs; k = 4 must recover one centroid near each.
+std::vector<Point> FourBlobs(size_t per_blob, uint64_t seed) {
+  Rng rng(seed);
+  const double centers[4][2] = {{0.2, 0.2}, {0.2, 0.8}, {0.8, 0.2}, {0.8, 0.8}};
+  std::vector<Point> pts;
+  for (int b = 0; b < 4; ++b) {
+    for (size_t i = 0; i < per_blob; ++i) {
+      pts.push_back(Point{centers[b][0] + 0.02 * rng.NextGaussian(),
+                          centers[b][1] + 0.02 * rng.NextGaussian(),
+                          pts.size()});
+    }
+  }
+  return pts;
+}
+
+TEST(KMeansTest, RecoversWellSeparatedBlobs) {
+  const auto pts = FourBlobs(200, 3);
+  const KMeansResult result = KMeans(pts, 4, {});
+  ASSERT_EQ(result.centroids.size(), 4u);
+  const double expected[4][2] = {
+      {0.2, 0.2}, {0.2, 0.8}, {0.8, 0.2}, {0.8, 0.8}};
+  for (const auto& e : expected) {
+    double best = 1e9;
+    for (const Point& c : result.centroids) {
+      best = std::min(best, std::hypot(c.x - e[0], c.y - e[1]));
+    }
+    EXPECT_LT(best, 0.05) << "no centroid near (" << e[0] << "," << e[1] << ")";
+  }
+}
+
+TEST(KMeansTest, AssignmentMapsToNearestCentroid) {
+  const auto pts = FourBlobs(50, 5);
+  const KMeansResult result = KMeans(pts, 4, {});
+  ASSERT_EQ(result.assignment.size(), pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    const double assigned =
+        SquaredDistance(pts[i], result.centroids[result.assignment[i]]);
+    for (const Point& c : result.centroids) {
+      EXPECT_LE(assigned, SquaredDistance(pts[i], c) + 1e-12);
+    }
+  }
+}
+
+TEST(KMeansTest, ClampsKToPointCount) {
+  const std::vector<Point> pts = {{0.1, 0.1, 0}, {0.9, 0.9, 1}};
+  const KMeansResult result = KMeans(pts, 10, {});
+  EXPECT_EQ(result.centroids.size(), 2u);
+}
+
+TEST(KMeansTest, CentroidIdsAreClusterIndices) {
+  const auto pts = FourBlobs(30, 7);
+  const KMeansResult result = KMeans(pts, 4, {});
+  for (size_t c = 0; c < result.centroids.size(); ++c) {
+    EXPECT_EQ(result.centroids[c].id, c);
+  }
+}
+
+TEST(KMeansTest, MiniBatchApproximatesFullLloyd) {
+  const auto pts = FourBlobs(500, 9);
+  KMeansOptions mb;
+  mb.batch_size = 200;
+  mb.max_iterations = 30;
+  const KMeansResult result = KMeans(pts, 4, mb);
+  ASSERT_EQ(result.centroids.size(), 4u);
+  EXPECT_TRUE(result.assignment.empty());  // Not materialised in mini-batch.
+  const double expected[4][2] = {
+      {0.2, 0.2}, {0.2, 0.8}, {0.8, 0.2}, {0.8, 0.8}};
+  for (const auto& e : expected) {
+    double best = 1e9;
+    for (const Point& c : result.centroids) {
+      best = std::min(best, std::hypot(c.x - e[0], c.y - e[1]));
+    }
+    EXPECT_LT(best, 0.1);
+  }
+}
+
+TEST(KMeansTest, DeterministicInSeed) {
+  const Dataset data = GenerateDataset(DatasetKind::kOsm1, 2000, 1);
+  KMeansOptions opts;
+  opts.seed = 17;
+  const auto a = KMeans(data, 16, opts);
+  const auto b = KMeans(data, 16, opts);
+  for (size_t i = 0; i < a.centroids.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.centroids[i].x, b.centroids[i].x);
+    EXPECT_DOUBLE_EQ(a.centroids[i].y, b.centroids[i].y);
+  }
+}
+
+TEST(KMeansDeathTest, EmptyInputAborts) {
+  EXPECT_DEATH(KMeans({}, 3, {}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace elsi

@@ -1,0 +1,405 @@
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/spatial_index.h"
+#include "data/synthetic.h"
+#include "data/workload.h"
+#include "learned/lisa_index.h"
+#include "learned/ml_index.h"
+#include "learned/rank_model.h"
+#include "learned/rsmi_index.h"
+#include "learned/segmented_array.h"
+#include "learned/zm_index.h"
+
+namespace elsi {
+namespace {
+
+// Small, fast model configuration for tests.
+RankModelConfig TestModelConfig() {
+  RankModelConfig cfg;
+  cfg.hidden = {8};
+  cfg.epochs = 80;
+  cfg.learning_rate = 0.03;
+  return cfg;
+}
+
+std::shared_ptr<ModelTrainer> TestTrainer() {
+  return std::make_shared<DirectTrainer>(TestModelConfig());
+}
+
+std::unique_ptr<SpatialIndex> MakeIndex(const std::string& name) {
+  auto trainer = TestTrainer();
+  if (name == "ZM") {
+    ZmIndex::Config cfg;
+    cfg.array.leaf_target = 500;
+    return std::make_unique<ZmIndex>(trainer, cfg);
+  }
+  if (name == "ML") {
+    MlIndex::Config cfg;
+    cfg.array.leaf_target = 500;
+    cfg.num_references = 8;
+    return std::make_unique<MlIndex>(trainer, cfg);
+  }
+  if (name == "RSMI") {
+    RsmiIndex::Config cfg;
+    cfg.leaf_capacity = 400;
+    cfg.fanout = 4;
+    return std::make_unique<RsmiIndex>(trainer, cfg);
+  }
+  LisaIndex::Config cfg;
+  cfg.strips = 8;
+  cfg.cells_per_strip = 8;
+  return std::make_unique<LisaIndex>(trainer, cfg);
+}
+
+const char* kAllLearned[] = {"ZM", "ML", "RSMI", "LISA"};
+
+class LearnedIndexTest
+    : public ::testing::TestWithParam<std::tuple<const char*, DatasetKind>> {
+ protected:
+  std::string IndexName() const { return std::get<0>(GetParam()); }
+  Dataset MakeData(size_t n) const {
+    return GenerateDataset(std::get<1>(GetParam()), n, 77);
+  }
+};
+
+TEST_P(LearnedIndexTest, PointQueriesAreExact) {
+  const Dataset data = MakeData(2000);
+  auto index = MakeIndex(IndexName());
+  index->Build(data);
+  EXPECT_EQ(index->size(), data.size());
+  for (size_t i = 0; i < data.size(); i += 3) {
+    EXPECT_TRUE(index->PointQuery(data[i])) << IndexName() << " missed " << i;
+  }
+  EXPECT_FALSE(index->PointQuery(Point{-3.0, -3.0, 0}));
+}
+
+TEST_P(LearnedIndexTest, WindowQueriesAreExactOrHighRecallSupersetFree) {
+  const Dataset data = MakeData(3000);
+  auto index = MakeIndex(IndexName());
+  index->Build(data);
+  const auto windows = SampleWindowQueries(data, 15, 0.004, 5);
+  const bool exact = IndexName() == "ZM" || IndexName() == "ML";
+  double recall_sum = 0.0;
+  size_t windows_with_truth = 0;
+  for (const Rect& w : windows) {
+    const auto truth = BruteForceWindow(data, w);
+    const auto result = index->WindowQuery(w);
+    // No false positives, ever: every reported point is inside the window.
+    for (const Point& p : result) {
+      EXPECT_TRUE(w.Contains(p)) << IndexName();
+    }
+    // No duplicates.
+    std::vector<uint64_t> ids;
+    for (const Point& p : result) ids.push_back(p.id);
+    std::sort(ids.begin(), ids.end());
+    EXPECT_TRUE(std::adjacent_find(ids.begin(), ids.end()) == ids.end())
+        << IndexName() << " returned duplicates";
+    const double recall = Recall(result, truth);
+    if (exact) {
+      EXPECT_DOUBLE_EQ(recall, 1.0) << IndexName();
+    }
+    if (!truth.empty()) {
+      recall_sum += recall;
+      ++windows_with_truth;
+    }
+  }
+  if (!exact && windows_with_truth > 0) {
+    // RSMI / LISA are approximate but must stay above the paper's ~90%.
+    EXPECT_GT(recall_sum / windows_with_truth, 0.85) << IndexName();
+  }
+}
+
+TEST_P(LearnedIndexTest, KnnFindsNearPoints) {
+  const Dataset data = MakeData(3000);
+  auto index = MakeIndex(IndexName());
+  index->Build(data);
+  const auto queries = SampleKnnQueries(data, 8, 3);
+  const bool exact = IndexName() == "ZM" || IndexName() == "ML";
+  double recall_sum = 0.0;
+  for (const Point& q : queries) {
+    const auto truth = BruteForceKnn(data, q, 25);
+    const auto result = index->KnnQuery(q, 25);
+    EXPECT_LE(result.size(), 25u);
+    if (exact) {
+      ASSERT_EQ(result.size(), truth.size()) << IndexName();
+      for (size_t i = 0; i < truth.size(); ++i) {
+        EXPECT_DOUBLE_EQ(SquaredDistance(result[i], q),
+                         SquaredDistance(truth[i], q))
+            << IndexName() << " rank " << i;
+      }
+    }
+    recall_sum += Recall(result, truth);
+  }
+  EXPECT_GT(recall_sum / queries.size(), exact ? 0.999 : 0.80) << IndexName();
+}
+
+TEST_P(LearnedIndexTest, InsertedPointsAreQueryable) {
+  const Dataset data = MakeData(1500);
+  auto index = MakeIndex(IndexName());
+  index->Build(data);
+  const Dataset extra = GenerateSkewed(300, 11);
+  for (Point p : extra) {
+    p.id += 100000;
+    index->Insert(p);
+  }
+  EXPECT_EQ(index->size(), data.size() + extra.size());
+  for (size_t i = 0; i < extra.size(); i += 5) {
+    Point p = extra[i];
+    p.id += 100000;
+    EXPECT_TRUE(index->PointQuery(p)) << IndexName();
+  }
+  // Old points remain queryable.
+  for (size_t i = 0; i < data.size(); i += 17) {
+    EXPECT_TRUE(index->PointQuery(data[i])) << IndexName();
+  }
+}
+
+TEST_P(LearnedIndexTest, RemoveDropsPointsExactly) {
+  const Dataset data = MakeData(1000);
+  auto index = MakeIndex(IndexName());
+  index->Build(data);
+  for (size_t i = 0; i < data.size(); i += 2) {
+    EXPECT_TRUE(index->Remove(data[i])) << IndexName() << " at " << i;
+  }
+  EXPECT_EQ(index->size(), data.size() / 2);
+  // With duplicated coordinates (TPC-H lattice), a removed point's
+  // coordinates may legitimately remain findable via a kept twin; only
+  // assert absence when no kept point shares the coordinates.
+  std::set<std::pair<double, double>> kept_coords;
+  for (size_t i = 1; i < data.size(); i += 2) {
+    kept_coords.emplace(data[i].x, data[i].y);
+  }
+  for (size_t i = 0; i < data.size(); ++i) {
+    const bool expect_hit =
+        i % 2 == 1 || kept_coords.count({data[i].x, data[i].y}) > 0;
+    EXPECT_EQ(index->PointQuery(data[i]), expect_hit)
+        << IndexName() << " at " << i;
+  }
+  EXPECT_FALSE(index->Remove(data[0])) << IndexName();
+}
+
+TEST_P(LearnedIndexTest, InsertThenRemoveRoundTrip) {
+  const Dataset data = MakeData(800);
+  auto index = MakeIndex(IndexName());
+  index->Build(data);
+  Point p{0.31337, 0.8086, 424242};
+  index->Insert(p);
+  EXPECT_TRUE(index->PointQuery(p)) << IndexName();
+  EXPECT_TRUE(index->Remove(p)) << IndexName();
+  EXPECT_FALSE(index->PointQuery(p)) << IndexName();
+  EXPECT_EQ(index->size(), data.size());
+}
+
+TEST_P(LearnedIndexTest, EmptyBuildIsSafe) {
+  auto index = MakeIndex(IndexName());
+  index->Build({});
+  EXPECT_EQ(index->size(), 0u);
+  EXPECT_FALSE(index->PointQuery(Point{0.5, 0.5, 0}));
+  EXPECT_TRUE(index->WindowQuery(Rect::Of(0, 0, 1, 1)).empty());
+  EXPECT_TRUE(index->KnnQuery(Point{0.5, 0.5, 0}, 3).empty());
+}
+
+TEST_P(LearnedIndexTest, DuplicateCoordinatesSupported) {
+  Dataset data;
+  for (size_t i = 0; i < 300; ++i) data.push_back(Point{0.25, 0.75, i});
+  for (size_t i = 300; i < 600; ++i) {
+    data.push_back(Point{0.5 + 1e-4 * (i - 300), 0.5, i});
+  }
+  auto index = MakeIndex(IndexName());
+  index->Build(data);
+  EXPECT_TRUE(index->PointQuery(Point{0.25, 0.75, 0}));
+  const auto hits = index->WindowQuery(Rect::Of(0.2, 0.7, 0.3, 0.8));
+  EXPECT_EQ(hits.size(), 300u) << IndexName();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIndexDistributions, LearnedIndexTest,
+    ::testing::Combine(::testing::ValuesIn(kAllLearned),
+                       ::testing::Values(DatasetKind::kUniform,
+                                         DatasetKind::kSkewed,
+                                         DatasetKind::kOsm1,
+                                         DatasetKind::kTpch)),
+    [](const auto& info) {
+      std::string n = std::string(std::get<0>(info.param)) + "_" +
+                      DatasetKindName(std::get<1>(info.param));
+      n.erase(std::remove_if(n.begin(), n.end(),
+                             [](char c) { return !std::isalnum(c) && c != '_'; }),
+              n.end());
+      return n;
+    });
+
+TEST(RankModelTest, ErrorBoundsCoverEveryKey) {
+  Dataset data = GenerateSkewed(4000, 5);
+  std::vector<double> keys(data.size());
+  for (size_t i = 0; i < data.size(); ++i) keys[i] = data[i].y;
+  std::sort(keys.begin(), keys.end());
+  RankModel model;
+  model.Train(keys, keys.front(), keys.back(), TestModelConfig());
+  model.ComputeErrorBounds(keys);
+  for (size_t i = 0; i < keys.size(); i += 7) {
+    const auto [lo, hi] = model.SearchRange(keys[i], keys.size());
+    EXPECT_GE(i, lo);
+    EXPECT_LE(i, hi);
+  }
+}
+
+TEST(RankModelTest, TrainingOnSubsetStillBoundsFullSet) {
+  // The ELSI premise: error bounds computed over the full set remain valid
+  // even when the model was trained on a small subset.
+  Dataset data = GenerateDataset(DatasetKind::kOsm1, 6000, 7);
+  std::vector<double> keys(data.size());
+  for (size_t i = 0; i < data.size(); ++i) keys[i] = data[i].x;
+  std::sort(keys.begin(), keys.end());
+  std::vector<double> subset;
+  for (size_t i = 0; i < keys.size(); i += 20) subset.push_back(keys[i]);
+  RankModel model;
+  model.Train(subset, keys.front(), keys.back(), TestModelConfig());
+  model.ComputeErrorBounds(keys);
+  for (size_t i = 0; i < keys.size(); i += 11) {
+    const auto [lo, hi] = model.SearchRange(keys[i], keys.size());
+    EXPECT_GE(i, lo);
+    EXPECT_LE(i, hi);
+  }
+}
+
+TEST(RankModelTest, PretrainedAdoptionPredicts) {
+  RankModelConfig cfg = TestModelConfig();
+  std::vector<double> keys(512);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = static_cast<double>(i) / (keys.size() - 1);
+  }
+  RankModel original;
+  original.Train(keys, 0.0, 1.0, cfg);
+  RankModel adopted;
+  adopted.AdoptPretrained(original.net(), 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(adopted.PredictRank(0.37), original.PredictRank(0.37));
+}
+
+TEST(SegmentedArrayTest, SegmentsAreContiguousQuantiles) {
+  Dataset data = GenerateUniform(2000, 9);
+  std::vector<double> keys(data.size());
+  for (size_t i = 0; i < data.size(); ++i) keys[i] = data[i].x;
+  SegmentedLearnedArray array;
+  SegmentedLearnedArray::Config cfg;
+  cfg.leaf_target = 300;
+  auto trainer = TestTrainer();
+  array.Build(data, keys, [](const Point& p) { return p.x; }, trainer.get(),
+              cfg);
+  EXPECT_EQ(array.segment_count(), 7u);  // ceil(2000 / 300).
+  EXPECT_EQ(array.model_depth(), 2);
+  // Base keys are globally sorted.
+  const auto& sorted = array.base_keys();
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+}
+
+TEST(SegmentedArrayTest, LowerBoundMatchesStdLowerBound) {
+  Dataset data = GenerateDataset(DatasetKind::kNyc, 3000, 11);
+  std::vector<double> keys(data.size());
+  for (size_t i = 0; i < data.size(); ++i) keys[i] = data[i].y;
+  SegmentedLearnedArray array;
+  SegmentedLearnedArray::Config cfg;
+  cfg.leaf_target = 250;
+  auto trainer = TestTrainer();
+  array.Build(data, keys, [](const Point& p) { return p.y; }, trainer.get(),
+              cfg);
+  const auto& sorted = array.base_keys();
+  for (double probe :
+       {0.0, 0.1, 0.25, 0.333, 0.5, 0.75, 0.9, 1.0, -1.0, 2.0}) {
+    const size_t expected = static_cast<size_t>(
+        std::lower_bound(sorted.begin(), sorted.end(), probe) -
+        sorted.begin());
+    EXPECT_EQ(array.LowerBound(probe), expected) << "probe " << probe;
+  }
+  // Every indexed key finds its own first occurrence.
+  for (size_t i = 0; i < sorted.size(); i += 13) {
+    const size_t lb = array.LowerBound(sorted[i]);
+    EXPECT_LE(lb, i);
+    EXPECT_DOUBLE_EQ(sorted[lb], sorted[i]);
+  }
+}
+
+TEST(RsmiIndexTest, StructureIsRecursive) {
+  RsmiIndex::Config cfg;
+  cfg.leaf_capacity = 200;
+  cfg.fanout = 4;
+  RsmiIndex index(TestTrainer(), cfg);
+  index.Build(GenerateDataset(DatasetKind::kOsm1, 3000, 13));
+  EXPECT_GE(index.Depth(), 2);
+  EXPECT_GT(index.node_count(), 4u);
+}
+
+TEST(RsmiIndexTest, OverflowMergeRetrainsLocally) {
+  RsmiIndex::Config cfg;
+  cfg.leaf_capacity = 500;
+  cfg.fanout = 4;
+  cfg.block_capacity = 16;
+  cfg.merge_fraction = 0.10;
+  RsmiIndex index(TestTrainer(), cfg);
+  index.Build(GenerateUniform(1000, 15));
+  // Skewed inserts into a corner leaf force local merges.
+  Rng rng(17);
+  for (int i = 0; i < 400; ++i) {
+    index.Insert(Point{0.01 * rng.NextDouble(), 0.01 * rng.NextDouble(),
+                       static_cast<uint64_t>(100000 + i)});
+  }
+  EXPECT_GT(index.leaf_merge_count(), 0u);
+  EXPECT_EQ(index.size(), 1400u);
+  EXPECT_EQ(index.CollectAll().size(), 1400u);
+}
+
+TEST(LisaIndexTest, ShardCountMatchesConfiguration) {
+  LisaIndex::Config cfg;
+  cfg.shard_size = 50;
+  LisaIndex index(TestTrainer(), cfg);
+  index.Build(GenerateUniform(1000, 19));
+  EXPECT_EQ(index.shard_count(), 20u);
+}
+
+TEST(LisaIndexTest, InsertSplitsPagesUnderSkew) {
+  LisaIndex::Config cfg;
+  cfg.shard_size = 20;
+  cfg.strips = 4;
+  cfg.cells_per_strip = 4;
+  LisaIndex index(TestTrainer(), cfg);
+  index.Build(GenerateUniform(400, 21));
+  Rng rng(23);
+  for (int i = 0; i < 500; ++i) {
+    index.Insert(Point{rng.NextDouble() * 0.05, rng.NextDouble() * 0.05,
+                       static_cast<uint64_t>(50000 + i)});
+  }
+  EXPECT_EQ(index.size(), 900u);
+  EXPECT_EQ(index.CollectAll().size(), 900u);
+}
+
+TEST(ZmIndexTest, CollectAllRoundTrips) {
+  ZmIndex::Config cfg;
+  cfg.array.leaf_target = 400;
+  ZmIndex index(TestTrainer(), cfg);
+  const Dataset data = GenerateDataset(DatasetKind::kOsm2, 1500, 25);
+  index.Build(data);
+  auto all = index.CollectAll();
+  EXPECT_EQ(all.size(), data.size());
+}
+
+TEST(MlIndexTest, KeySpacePartitionsAreSeparated) {
+  MlIndex::Config cfg;
+  cfg.num_references = 4;
+  MlIndex index(TestTrainer(), cfg);
+  const Dataset data = GenerateUniform(1000, 27);
+  index.Build(data);
+  // Keys of points in different partitions occupy disjoint bands.
+  for (const Point& p : data) {
+    const double key = index.KeyOf(p);
+    EXPECT_GE(key, 0.0);
+    EXPECT_LT(key, 4.0 * 2.0);  // num_refs * separation upper bound.
+  }
+}
+
+}  // namespace
+}  // namespace elsi

@@ -1,0 +1,29 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace elsi {
+namespace {
+
+TEST(LoggingTest, PassingChecksDoNotAbort) {
+  ELSI_CHECK(true) << "never shown";
+  ELSI_CHECK_EQ(1, 1);
+  ELSI_CHECK_NE(1, 2);
+  ELSI_CHECK_LT(1, 2);
+  ELSI_CHECK_LE(2, 2);
+  ELSI_CHECK_GT(3, 2);
+  ELSI_CHECK_GE(3, 3);
+  ELSI_DCHECK(true);
+  SUCCEED();
+}
+
+TEST(LoggingDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH({ ELSI_CHECK(false) << "boom"; }, "CHECK failed");
+}
+
+TEST(LoggingDeathTest, FailingCheckEqPrintsCondition) {
+  EXPECT_DEATH({ ELSI_CHECK_EQ(1, 2) << "values differ"; }, "values differ");
+}
+
+}  // namespace
+}  // namespace elsi

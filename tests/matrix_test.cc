@@ -1,0 +1,68 @@
+#include "ml/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace elsi {
+namespace {
+
+TEST(MatrixTest, FromRowsAndAccess) {
+  const Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 6.0);
+}
+
+TEST(MatrixTest, MatMulKnownValues) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  const Matrix c = a.MatMul(b);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 50.0);
+}
+
+TEST(MatrixTest, TransposedMatMulEqualsExplicitTranspose) {
+  const Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});  // 2x3
+  const Matrix b = Matrix::FromRows({{1, 0}, {0, 1}});        // 2x2
+  const Matrix c = a.TransposedMatMul(b);                     // 3x2 = a^T b
+  EXPECT_EQ(c.rows(), 3u);
+  EXPECT_EQ(c.cols(), 2u);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(c.At(2, 0), 3.0);
+  EXPECT_DOUBLE_EQ(c.At(2, 1), 6.0);
+}
+
+TEST(MatrixTest, MatMulTransposedEqualsExplicitTranspose) {
+  const Matrix a = Matrix::FromRows({{1, 2, 3}});       // 1x3
+  const Matrix b = Matrix::FromRows({{4, 5, 6}, {1, 1, 1}});  // 2x3
+  const Matrix c = a.MatMulTransposed(b);               // 1x2 = a b^T
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 32.0);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 6.0);
+}
+
+TEST(MatrixTest, AddRowBroadcast) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  m.AddRowBroadcast({10, 20});
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 11.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 24.0);
+}
+
+TEST(MatrixTest, ColumnSums) {
+  const Matrix m = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  const auto sums = m.ColumnSums();
+  ASSERT_EQ(sums.size(), 2u);
+  EXPECT_DOUBLE_EQ(sums[0], 9.0);
+  EXPECT_DOUBLE_EQ(sums[1], 12.0);
+}
+
+TEST(MatrixDeathTest, MatMulDimensionMismatchAborts) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_DEATH(a.MatMul(b), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace elsi

@@ -1,0 +1,319 @@
+// Unit tests for the six training-set construction methods (Sec. V).
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/cdf.h"
+#include "core/methods/clustering.h"
+#include "core/methods/model_reuse.h"
+#include "core/methods/reinforcement.h"
+#include "core/methods/representative_set.h"
+#include "core/methods/sampling.h"
+#include "curve/zorder.h"
+#include "data/synthetic.h"
+
+namespace elsi {
+namespace {
+
+// A ready-to-use build context: OSM1-style points keyed and sorted by
+// Z-order value.
+struct ContextFixture {
+  std::vector<Point> pts;
+  std::vector<double> keys;
+  std::function<double(const Point&)> key_fn;
+
+  explicit ContextFixture(size_t n, DatasetKind kind = DatasetKind::kOsm1,
+                          uint64_t seed = 5) {
+    Dataset data = GenerateDataset(kind, n, seed);
+    auto quantizer =
+        std::make_shared<GridQuantizer>(BoundingRect(data));
+    key_fn = [quantizer](const Point& p) {
+      return static_cast<double>(
+          MortonEncode(quantizer->QuantizeX(p.x) >> 6,
+                       quantizer->QuantizeY(p.y) >> 6));
+    };
+    keys.resize(data.size());
+    for (size_t i = 0; i < data.size(); ++i) keys[i] = key_fn(data[i]);
+    std::vector<size_t> order(data.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [this](size_t a, size_t b) { return keys[a] < keys[b]; });
+    pts.resize(data.size());
+    std::vector<double> sorted(data.size());
+    for (size_t i = 0; i < data.size(); ++i) {
+      pts[i] = data[order[i]];
+      sorted[i] = keys[order[i]];
+    }
+    keys = std::move(sorted);
+  }
+
+  BuildContext ctx() const { return BuildContext{pts, keys, key_fn}; }
+};
+
+TEST(SystematicSamplingTest, SampleSizeMatchesRate) {
+  ContextFixture f(10000);
+  SamplingConfig cfg;
+  cfg.rho = 0.01;
+  SystematicSampling sp(cfg);
+  const auto keys = sp.ComputeTrainingSet(f.ctx());
+  EXPECT_NEAR(static_cast<double>(keys.size()), 100.0, 10.0);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST(SystematicSamplingTest, BoundedRankGap) {
+  // The defining property: every point is within floor(1/rho)-1 ranks of a
+  // sampled point.
+  ContextFixture f(5000);
+  SamplingConfig cfg;
+  cfg.rho = 0.02;  // stride 50.
+  SystematicSampling sp(cfg);
+  const auto sample = sp.ComputeTrainingSet(f.ctx());
+  // Systematic: sampled ranks are 0, s, 2s, ...; max gap to nearest is s-1.
+  const size_t stride = f.keys.size() / sample.size();
+  EXPECT_LE(stride, 50u);
+}
+
+TEST(SystematicSamplingTest, MinSizeFloorForTinyPartitions) {
+  ContextFixture f(200);
+  SamplingConfig cfg;
+  cfg.rho = 0.0001;  // Would be 0 points.
+  cfg.min_size = 64;
+  SystematicSampling sp(cfg);
+  const auto keys = sp.ComputeTrainingSet(f.ctx());
+  EXPECT_GE(keys.size(), 64u);
+}
+
+TEST(SamplingComparisonTest, SystematicHasSmallerKsDistanceThanRandom) {
+  // The paper's Fig. 7 observation: SP's Ds tracks D's CDF tighter than
+  // RSP's at the same rate.
+  ContextFixture f(20000, DatasetKind::kSkewed);
+  SamplingConfig cfg;
+  cfg.rho = 0.005;
+  SystematicSampling sp(cfg);
+  RandomSampling rsp(cfg, 7);
+  const auto sp_keys = sp.ComputeTrainingSet(f.ctx());
+  const auto rsp_keys = rsp.ComputeTrainingSet(f.ctx());
+  const double d_sp = KsDistanceFast(sp_keys, f.keys);
+  const double d_rsp = KsDistanceFast(rsp_keys, f.keys);
+  EXPECT_LT(d_sp, d_rsp);
+  EXPECT_LT(d_sp, 0.02);
+}
+
+TEST(ClusteringMethodTest, ProducesRequestedCentroidCount) {
+  ContextFixture f(3000);
+  ClusteringConfig cfg;
+  cfg.clusters = 50;
+  ClusteringMethod cl(cfg);
+  const auto keys = cl.ComputeTrainingSet(f.ctx());
+  EXPECT_EQ(keys.size(), 50u);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST(ClusteringMethodTest, CentroidKeysApproximateDistribution) {
+  ContextFixture f(20000, DatasetKind::kOsm1);
+  ClusteringConfig cfg;
+  cfg.clusters = 200;
+  ClusteringMethod cl(cfg);
+  const auto keys = cl.ComputeTrainingSet(f.ctx());
+  EXPECT_LT(KsDistanceFast(keys, f.keys), 0.25);
+}
+
+TEST(ClusteringMethodTest, SwitchesToMiniBatchOverBudget) {
+  ContextFixture f(5000);
+  ClusteringConfig cfg;
+  cfg.clusters = 100;
+  cfg.lloyd_budget = 1000;  // Force mini-batch.
+  ClusteringMethod cl(cfg);
+  const auto keys = cl.ComputeTrainingSet(f.ctx());
+  EXPECT_EQ(keys.size(), 100u);
+}
+
+TEST(RepresentativeSetTest, CellSizesRespectBeta) {
+  ContextFixture f(8000);
+  RepresentativeSetConfig cfg;
+  cfg.beta = 500;
+  RepresentativeSet rs(cfg);
+  const auto keys = rs.ComputeTrainingSet(f.ctx());
+  // At least n / beta cells, at most ~4x that (quadtree slack).
+  EXPECT_GE(keys.size(), 8000u / 500);
+  EXPECT_LE(keys.size(), 4 * (8000u / 500) * 4);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST(RepresentativeSetTest, MediansAreRealKeys) {
+  ContextFixture f(2000);
+  RepresentativeSetConfig cfg;
+  cfg.beta = 100;
+  RepresentativeSet rs(cfg);
+  const auto keys = rs.ComputeTrainingSet(f.ctx());
+  for (double k : keys) {
+    EXPECT_TRUE(std::binary_search(f.keys.begin(), f.keys.end(), k))
+        << "RS produced a key not in D";
+  }
+}
+
+TEST(RepresentativeSetTest, ApproximatesCdfWell) {
+  ContextFixture f(20000, DatasetKind::kNyc);
+  RepresentativeSetConfig cfg;
+  cfg.beta = 200;
+  RepresentativeSet rs(cfg);
+  const auto keys = rs.ComputeTrainingSet(f.ctx());
+  EXPECT_LT(KsDistanceFast(keys, f.keys), 0.15);
+}
+
+TEST(RepresentativeSetTest, SurvivesFullyDuplicatedPoints) {
+  std::vector<Point> pts(500, Point{0.5, 0.5, 0});
+  for (size_t i = 0; i < pts.size(); ++i) pts[i].id = i;
+  std::vector<double> keys(500, 42.0);
+  const std::function<double(const Point&)> key_fn =
+      [](const Point&) { return 42.0; };
+  RepresentativeSetConfig cfg;
+  cfg.beta = 50;
+  RepresentativeSet rs(cfg);
+  const auto out = rs.ComputeTrainingSet(BuildContext{pts, keys, key_fn});
+  EXPECT_FALSE(out.empty());  // Depth cap turns the cell into one median.
+}
+
+TEST(ModelReuseTest, PoolSizeGrowsAsEpsilonShrinks) {
+  RankModelConfig model;
+  model.hidden = {8};
+  model.epochs = 30;
+  ModelReuseConfig coarse;
+  coarse.epsilon = 0.5;
+  ModelReuseConfig fine;
+  fine.epsilon = 0.1;
+  ModelReuse mr_coarse(coarse, model);
+  ModelReuse mr_fine(fine, model);
+  EXPECT_GT(mr_fine.pool_size(), mr_coarse.pool_size());
+}
+
+TEST(ModelReuseTest, ReusesModelForMatchingDistribution) {
+  // Uniform keys match the pool's a=1 entry at distance ~0.
+  ContextFixture f(5000, DatasetKind::kUniform);
+  RankModelConfig model;
+  model.hidden = {8};
+  model.epochs = 60;
+  ModelReuseConfig cfg;
+  cfg.epsilon = 0.5;
+  ModelReuse mr(cfg, model);
+  EXPECT_LT(mr.BestMatchDistance(f.keys), 0.1);
+  RankModel reused;
+  EXPECT_TRUE(mr.TryReuseModel(f.ctx(), &reused));
+  EXPECT_TRUE(reused.trained());
+  // Error bounds over the real keys make the reused model exact.
+  reused.ComputeErrorBounds(f.keys);
+  for (size_t i = 0; i < f.keys.size(); i += 97) {
+    const auto [lo, hi] = reused.SearchRange(f.keys[i], f.keys.size());
+    EXPECT_GE(i, lo);
+    EXPECT_LE(i, hi);
+  }
+}
+
+TEST(ModelReuseTest, RejectsWhenNothingIsCloseEnough) {
+  // An extreme two-cluster key distribution is far from every power CDF.
+  std::vector<Point> pts;
+  std::vector<double> keys;
+  for (size_t i = 0; i < 500; ++i) {
+    keys.push_back(i < 250 ? 0.0001 * i : 1000.0 + 0.0001 * i);
+  }
+  pts.resize(keys.size());
+  const std::function<double(const Point&)> key_fn =
+      [](const Point&) { return 0.0; };
+  RankModelConfig model;
+  model.hidden = {8};
+  model.epochs = 30;
+  ModelReuseConfig cfg;
+  cfg.epsilon = 0.05;
+  ModelReuse mr(cfg, model);
+  RankModel reused;
+  EXPECT_FALSE(mr.TryReuseModel(BuildContext{pts, keys, key_fn}, &reused));
+  // Fallback training set still works.
+  const auto fallback =
+      mr.ComputeTrainingSet(BuildContext{pts, keys, key_fn});
+  EXPECT_FALSE(fallback.empty());
+}
+
+TEST(ReinforcementMethodTest, TrainingSetIsBoundedByGrid) {
+  ContextFixture f(4000, DatasetKind::kSkewed);
+  ReinforcementConfig cfg;
+  cfg.eta = 8;
+  cfg.max_steps = 120;
+  ReinforcementMethod rl(cfg);
+  const auto keys = rl.ComputeTrainingSet(f.ctx());
+  EXPECT_FALSE(keys.empty());
+  EXPECT_LE(keys.size(), 64u);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST(ReinforcementMethodTest, SearchImprovesOverInitialUniformState) {
+  // dist(Ds, D) after the search must beat the all-cells-on start state.
+  ContextFixture f(6000, DatasetKind::kNyc);
+  ReinforcementConfig cfg;
+  cfg.eta = 8;
+  cfg.max_steps = 250;
+  cfg.seed = 11;
+  ReinforcementMethod rl(cfg);
+
+  // Distance of the initial (uniform) state.
+  const Rect bounds = BoundingRect(f.pts);
+  std::vector<double> initial;
+  for (int cy = 0; cy < 8; ++cy) {
+    for (int cx = 0; cx < 8; ++cx) {
+      const Point center{
+          bounds.lo_x + (cx + 0.5) * (bounds.hi_x - bounds.lo_x) / 8,
+          bounds.lo_y + (cy + 0.5) * (bounds.hi_y - bounds.lo_y) / 8, 0};
+      initial.push_back(f.key_fn(center));
+    }
+  }
+  std::sort(initial.begin(), initial.end());
+  const double initial_dist = KsDistanceFast(initial, f.keys);
+
+  rl.ComputeTrainingSet(f.ctx());
+  EXPECT_LT(rl.last_distance(), initial_dist);
+  EXPECT_GT(rl.last_steps(), 0);
+}
+
+TEST(ReinforcementMethodTest, EmptyInputYieldsEmptySet) {
+  std::vector<Point> pts;
+  std::vector<double> keys;
+  const std::function<double(const Point&)> key_fn =
+      [](const Point&) { return 0.0; };
+  ReinforcementMethod rl;
+  EXPECT_TRUE(rl.ComputeTrainingSet(BuildContext{pts, keys, key_fn}).empty());
+}
+
+// RS trades a little CDF fidelity (one median per cell regardless of cell
+// mass) for original-space coverage: every point of D shares a cell with a
+// representative. Check both properties: bounded KS distance AND spatial
+// coverage that plain SP lacks on skewed data.
+TEST(MethodQualityTest, RsCombinesCdfFidelityWithSpatialCoverage) {
+  ContextFixture f(30000, DatasetKind::kNyc, 9);
+  RepresentativeSetConfig rs_cfg;
+  rs_cfg.beta = 300;  // ~100+ cells.
+  RepresentativeSet rs(rs_cfg);
+  const auto rs_keys = rs.ComputeTrainingSet(f.ctx());
+  EXPECT_LT(KsDistanceFast(rs_keys, f.keys), 0.15);
+
+  SamplingConfig sp_cfg;
+  sp_cfg.rho = static_cast<double>(rs_keys.size()) / f.keys.size();
+  SystematicSampling sp(sp_cfg);
+  const auto sp_keys = sp.ComputeTrainingSet(f.ctx());
+
+  // Spatial coverage: the largest key-space gap between consecutive
+  // representatives, normalised by the key range. RS's quadtree guarantees
+  // a representative near every point; SP can leave sparse regions empty.
+  auto max_gap = [&](const std::vector<double>& keys) {
+    double gap = 0.0;
+    for (size_t i = 1; i < keys.size(); ++i) {
+      gap = std::max(gap, keys[i] - keys[i - 1]);
+    }
+    return gap / (f.keys.back() - f.keys.front());
+  };
+  EXPECT_LE(max_gap(rs_keys), max_gap(sp_keys) + 1e-12);
+}
+
+}  // namespace
+}  // namespace elsi

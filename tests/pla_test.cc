@@ -1,0 +1,176 @@
+// Tests for the PGM-style piecewise-linear model backend (the paper's
+// named future-work extension): provable error bounds, segment behaviour,
+// and end-to-end use as a RankModel backend inside a learned index.
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/elsi.h"
+#include "data/synthetic.h"
+#include "learned/rank_model.h"
+#include "ml/pla.h"
+
+namespace elsi {
+namespace {
+
+std::vector<double> SortedKeys(size_t n, uint64_t seed, double power = 1.0) {
+  Rng rng(seed);
+  std::vector<double> keys(n);
+  for (double& k : keys) k = std::pow(rng.NextDouble(), power);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+TEST(PlaTest, LinearDataNeedsOneSegment) {
+  std::vector<double> keys(1000);
+  for (size_t i = 0; i < keys.size(); ++i) keys[i] = 3.0 * i + 7.0;
+  PiecewiseLinearModel pla;
+  pla.Fit(keys, 0.5);
+  EXPECT_EQ(pla.segment_count(), 1u);
+  for (size_t i = 0; i < keys.size(); i += 97) {
+    EXPECT_NEAR(pla.PredictPosition(keys[i]), static_cast<double>(i), 0.5);
+  }
+}
+
+TEST(PlaTest, ErrorBoundHoldsByConstruction) {
+  for (double power : {1.0, 4.0, 12.0}) {
+    const auto keys = SortedKeys(20000, 3, power);
+    for (double eps : {4.0, 32.0, 256.0}) {
+      PiecewiseLinearModel pla;
+      pla.Fit(keys, eps);
+      double max_err = 0.0;
+      size_t i = 0;
+      while (i < keys.size()) {
+        // The bound is stated for the first instance of each distinct key.
+        const double err =
+            std::fabs(pla.PredictPosition(keys[i]) - static_cast<double>(i));
+        max_err = std::max(max_err, err);
+        const double key = keys[i];
+        while (i < keys.size() && keys[i] == key) ++i;
+      }
+      EXPECT_LE(max_err, eps + 1e-6)
+          << "power " << power << " eps " << eps;
+    }
+  }
+}
+
+TEST(PlaTest, SegmentCountShrinksWithEpsilon) {
+  const auto keys = SortedKeys(20000, 5, 8.0);
+  PiecewiseLinearModel tight, loose;
+  tight.Fit(keys, 4.0);
+  loose.Fit(keys, 256.0);
+  EXPECT_GT(tight.segment_count(), loose.segment_count());
+  EXPECT_GE(loose.segment_count(), 1u);
+}
+
+TEST(PlaTest, HandlesMassiveDuplication) {
+  // TPC-H-like lattice: 50 distinct values, 400 copies each.
+  std::vector<double> keys;
+  for (int v = 0; v < 50; ++v) {
+    for (int c = 0; c < 400; ++c) keys.push_back(static_cast<double>(v));
+  }
+  PiecewiseLinearModel pla;
+  pla.Fit(keys, 8.0);
+  // Predictions for each distinct value stay near its first position.
+  for (int v = 0; v < 50; ++v) {
+    EXPECT_NEAR(pla.PredictPosition(static_cast<double>(v)), v * 400.0, 8.0);
+  }
+}
+
+TEST(PlaTest, SinglePointFits) {
+  PiecewiseLinearModel pla;
+  pla.Fit({5.0}, 1.0);
+  EXPECT_EQ(pla.segment_count(), 1u);
+  EXPECT_DOUBLE_EQ(pla.PredictPosition(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(pla.PredictPosition(100.0), 0.0);  // Clamped.
+}
+
+TEST(RankModelPlaTest, BackendTrainsAndBoundsFullSet) {
+  const auto keys = SortedKeys(10000, 7, 6.0);
+  RankModelConfig cfg;
+  cfg.backend = RankModelBackend::kPla;
+  cfg.pla_epsilon = 32.0;
+  RankModel model;
+  model.Train(keys, keys.front(), keys.back(), cfg);
+  EXPECT_EQ(model.backend(), RankModelBackend::kPla);
+  EXPECT_GE(model.pla_segments(), 1u);
+  model.ComputeErrorBounds(keys);
+  // Trained on the full set: the measured bounds cannot exceed epsilon by
+  // more than rounding.
+  EXPECT_LE(model.err_l() + model.err_u(), 2 * 32.0 + 2.0);
+  for (size_t i = 0; i < keys.size(); i += 111) {
+    const auto [lo, hi] = model.SearchRange(keys[i], keys.size());
+    EXPECT_GE(i, lo);
+    EXPECT_LE(i, hi);
+  }
+}
+
+TEST(RankModelPlaTest, SubsetTrainingStillExactViaMeasuredBounds) {
+  // The ELSI pattern with the PLA backend: fit on Ds, bound over D.
+  const auto keys = SortedKeys(20000, 9, 4.0);
+  std::vector<double> subset;
+  for (size_t i = 0; i < keys.size(); i += 40) subset.push_back(keys[i]);
+  RankModelConfig cfg;
+  cfg.backend = RankModelBackend::kPla;
+  cfg.pla_epsilon = 8.0;
+  RankModel model;
+  model.Train(subset, keys.front(), keys.back(), cfg);
+  model.ComputeErrorBounds(keys);
+  for (size_t i = 0; i < keys.size(); i += 203) {
+    const auto [lo, hi] = model.SearchRange(keys[i], keys.size());
+    EXPECT_GE(i, lo);
+    EXPECT_LE(i, hi);
+  }
+}
+
+TEST(RankModelPlaTest, WorksAsZmIndexBackendEndToEnd) {
+  RankModelConfig cfg;
+  cfg.backend = RankModelBackend::kPla;
+  cfg.pla_epsilon = 16.0;
+  auto trainer = std::make_shared<DirectTrainer>(cfg);
+  ZmIndex::Config zcfg;
+  zcfg.array.leaf_target = 1500;
+  ZmIndex index(trainer, zcfg);
+  const Dataset data = GenerateDataset(DatasetKind::kNyc, 5000, 11);
+  index.Build(data);
+  for (size_t i = 0; i < data.size(); i += 7) {
+    EXPECT_TRUE(index.PointQuery(data[i])) << i;
+  }
+  const Rect w = Rect::Of(0.2, 0.2, 0.4, 0.4);
+  const auto hits = index.WindowQuery(w);
+  size_t expected = 0;
+  for (const Point& p : data) {
+    if (w.Contains(p)) ++expected;
+  }
+  EXPECT_EQ(hits.size(), expected);
+}
+
+TEST(RankModelPlaTest, PlaWorksThroughElsiBuildProcessor) {
+  // PLA backend composed with ELSI's training-set shrinking (RS method).
+  const Dataset data = GenerateDataset(DatasetKind::kOsm1, 6000, 13);
+  BuildProcessorConfig cfg;
+  cfg.model.backend = RankModelBackend::kPla;
+  cfg.model.pla_epsilon = 8.0;
+  cfg.rs.beta = 100;
+  cfg.enabled = {BuildMethodId::kRS};
+  auto processor = std::make_shared<BuildProcessor>(
+      cfg, std::make_shared<FixedSelector>(BuildMethodId::kRS));
+  ZmIndex::Config zcfg;
+  zcfg.array.leaf_target = 2000;
+  ZmIndex index(processor, zcfg);
+  index.Build(data);
+  for (size_t i = 0; i < data.size(); i += 13) {
+    EXPECT_TRUE(index.PointQuery(data[i])) << i;
+  }
+}
+
+TEST(PlaDeathTest, EmptyInputAborts) {
+  PiecewiseLinearModel pla;
+  EXPECT_DEATH(pla.Fit({}, 1.0), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace elsi

@@ -1,0 +1,245 @@
+// Randomized differential tests: every index (traditional and learned) is
+// driven through random interleavings of inserts, removals, and the three
+// query types, and checked against a naive reference model. These sweep
+// broader state spaces than the unit tests and pin down update/query
+// interaction bugs.
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/spatial_index.h"
+#include "core/elsi.h"
+#include "data/synthetic.h"
+#include "data/workload.h"
+#include "traditional/grid_index.h"
+#include "traditional/hrr_tree.h"
+#include "traditional/kdb_tree.h"
+#include "traditional/rstar_tree.h"
+
+namespace elsi {
+namespace {
+
+RankModelConfig FastModel() {
+  RankModelConfig cfg;
+  cfg.hidden = {8};
+  cfg.epochs = 50;
+  cfg.learning_rate = 0.03;
+  return cfg;
+}
+
+std::unique_ptr<SpatialIndex> MakeAnyIndex(const std::string& name) {
+  if (name == "Grid") return std::make_unique<GridIndex>(16);
+  if (name == "KDB") return std::make_unique<KdbTree>(16);
+  if (name == "HRR") return std::make_unique<HrrTree>(16);
+  if (name == "RR*") return std::make_unique<RStarTree>(16);
+  auto trainer = std::make_shared<DirectTrainer>(FastModel());
+  BaseIndexScale scale;
+  scale.leaf_target = 400;
+  for (BaseIndexKind kind : kAllBaseIndexKinds) {
+    if (BaseIndexKindName(kind) == name) {
+      return MakeBaseIndex(kind, trainer, scale);
+    }
+  }
+  ADD_FAILURE() << "unknown index " << name;
+  return nullptr;
+}
+
+// A naive reference: flat vector with linear scans.
+class ReferenceModel {
+ public:
+  void Build(const Dataset& data) { pts_ = data; }
+  void Insert(const Point& p) { pts_.push_back(p); }
+  bool Remove(const Point& p) {
+    for (size_t i = 0; i < pts_.size(); ++i) {
+      if (pts_[i].id == p.id && pts_[i].x == p.x && pts_[i].y == p.y) {
+        pts_.erase(pts_.begin() + i);
+        return true;
+      }
+    }
+    return false;
+  }
+  bool Contains(const Point& q) const {
+    for (const Point& p : pts_) {
+      if (p.x == q.x && p.y == q.y) return true;
+    }
+    return false;
+  }
+  const Dataset& points() const { return pts_; }
+
+ private:
+  Dataset pts_;
+};
+
+struct FuzzCase {
+  std::string index;
+  uint64_t seed;
+  bool exact_windows;  // ZM/ML/traditional return exact window results.
+};
+
+class IndexFuzzTest : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(IndexFuzzTest, RandomMixedWorkloadMatchesReference) {
+  const FuzzCase& fuzz = GetParam();
+  Rng rng(fuzz.seed);
+  const Dataset initial =
+      GenerateDataset(DatasetKind::kOsm1, 600, fuzz.seed + 1);
+  auto index = MakeAnyIndex(fuzz.index);
+  ASSERT_NE(index, nullptr);
+  index->Build(initial);
+  ReferenceModel reference;
+  reference.Build(initial);
+  uint64_t next_id = 10000;
+
+  for (int step = 0; step < 400; ++step) {
+    const double op = rng.NextDouble();
+    if (op < 0.4) {
+      // Insert, sometimes into a hot corner, sometimes uniform.
+      const bool hot = rng.NextBernoulli(0.5);
+      const Point p{hot ? 0.05 * rng.NextDouble() : rng.NextDouble(),
+                    hot ? 0.05 * rng.NextDouble() : rng.NextDouble(),
+                    next_id++};
+      index->Insert(p);
+      reference.Insert(p);
+    } else if (op < 0.55 && !reference.points().empty()) {
+      // Remove an existing point.
+      const Point victim =
+          reference.points()[rng.NextBelow(reference.points().size())];
+      EXPECT_TRUE(index->Remove(victim)) << fuzz.index << " step " << step;
+      reference.Remove(victim);
+    } else if (op < 0.6) {
+      // Remove a non-existent point must fail on both.
+      const Point ghost{rng.NextDouble() + 2.0, rng.NextDouble() + 2.0,
+                        next_id++};
+      EXPECT_FALSE(index->Remove(ghost)) << fuzz.index;
+    } else if (op < 0.8 && !reference.points().empty()) {
+      // Point query for an existing point.
+      const Point probe =
+          reference.points()[rng.NextBelow(reference.points().size())];
+      EXPECT_TRUE(index->PointQuery(probe))
+          << fuzz.index << " step " << step << " id " << probe.id;
+    } else if (op < 0.9) {
+      // Window query: never a false positive; exact indices match counts.
+      const double cx = rng.NextDouble();
+      const double cy = rng.NextDouble();
+      const double half = 0.02 + 0.05 * rng.NextDouble();
+      const Rect w = Rect::Of(cx - half, cy - half, cx + half, cy + half);
+      const auto result = index->WindowQuery(w);
+      for (const Point& p : result) {
+        EXPECT_TRUE(w.Contains(p)) << fuzz.index;
+      }
+      const auto truth = BruteForceWindow(reference.points(), w);
+      if (fuzz.exact_windows) {
+        EXPECT_EQ(result.size(), truth.size()) << fuzz.index << " step "
+                                               << step;
+      } else {
+        EXPECT_LE(result.size(), truth.size()) << fuzz.index;
+      }
+    } else {
+      // Size stays in lockstep.
+      EXPECT_EQ(index->size(), reference.points().size())
+          << fuzz.index << " step " << step;
+    }
+  }
+  EXPECT_EQ(index->size(), reference.points().size()) << fuzz.index;
+}
+
+std::vector<FuzzCase> FuzzCases() {
+  std::vector<FuzzCase> cases;
+  for (const char* name : {"Grid", "KDB", "HRR", "RR*", "ZM", "ML"}) {
+    for (uint64_t seed : {1ull, 2ull}) {
+      cases.push_back({name, seed, true});
+    }
+  }
+  for (const char* name : {"RSMI", "LISA"}) {
+    for (uint64_t seed : {1ull, 2ull}) {
+      cases.push_back({name, seed, false});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIndices, IndexFuzzTest,
+                         ::testing::ValuesIn(FuzzCases()),
+                         [](const auto& info) {
+                           std::string n = info.param.index + "_s" +
+                                           std::to_string(info.param.seed);
+                           std::replace(n.begin(), n.end(), '*', 'S');
+                           return n;
+                         });
+
+// kNN differential sweep across the exact indices: distances must match the
+// brute-force answer for every k in a range.
+class KnnSweepTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(KnnSweepTest, DistancesMatchBruteForceAcrossK) {
+  const Dataset data = GenerateDataset(DatasetKind::kOsm2, 1500, 5);
+  auto index = MakeAnyIndex(GetParam());
+  index->Build(data);
+  Rng rng(17);
+  for (size_t k : {1u, 2u, 5u, 17u, 64u}) {
+    const Point q = data[rng.NextBelow(data.size())];
+    const auto truth = BruteForceKnn(data, q, k);
+    const auto result = index->KnnQuery(q, k);
+    ASSERT_EQ(result.size(), truth.size()) << GetParam() << " k=" << k;
+    for (size_t i = 0; i < truth.size(); ++i) {
+      EXPECT_DOUBLE_EQ(SquaredDistance(result[i], q),
+                       SquaredDistance(truth[i], q))
+          << GetParam() << " k=" << k << " rank " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ExactIndices, KnnSweepTest,
+                         ::testing::Values("Grid", "KDB", "HRR", "RR*", "ZM",
+                                           "ML"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           std::replace(n.begin(), n.end(), '*', 'S');
+                           return n;
+                         });
+
+// Window-corner edge cases: windows degenerate to lines/points, windows
+// covering everything, and windows fully outside the domain.
+class WindowEdgeCaseTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WindowEdgeCaseTest, DegenerateWindows) {
+  const Dataset data = GenerateDataset(DatasetKind::kTpch, 1200, 9);
+  auto index = MakeAnyIndex(GetParam());
+  index->Build(data);
+
+  // Zero-area window exactly on a point: must include it (closed rect).
+  const Point& p = data[37];
+  const Rect on_point = Rect::Of(p.x, p.y, p.x, p.y);
+  const auto hits = index->WindowQuery(on_point);
+  bool found = false;
+  for (const Point& h : hits) found |= (h.id == p.id);
+  EXPECT_TRUE(found) << GetParam();
+
+  // Whole-domain window returns everything (exact indices).
+  const auto all = index->WindowQuery(Rect::Of(-1, -1, 2, 2));
+  EXPECT_EQ(all.size(), data.size()) << GetParam();
+
+  // Outside window returns nothing.
+  EXPECT_TRUE(index->WindowQuery(Rect::Of(5, 5, 6, 6)).empty()) << GetParam();
+
+  // Inverted (empty) rectangle returns nothing.
+  Rect inverted;
+  EXPECT_TRUE(index->WindowQuery(inverted).empty()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(ExactIndices, WindowEdgeCaseTest,
+                         ::testing::Values("Grid", "KDB", "HRR", "RR*", "ZM",
+                                           "ML"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           std::replace(n.begin(), n.end(), '*', 'S');
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace elsi

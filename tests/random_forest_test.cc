@@ -1,0 +1,101 @@
+#include "ml/random_forest.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace elsi {
+namespace {
+
+TEST(RandomForestTest, RegressionBeatsNoise) {
+  Rng rng(3);
+  const size_t n = 600;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x.At(i, 0) = rng.NextDouble();
+    x.At(i, 1) = rng.NextDouble();
+    y[i] = 2.0 * x.At(i, 0) - x.At(i, 1) + 0.05 * rng.NextGaussian();
+  }
+  RandomForest forest;
+  RandomForestOptions opts;
+  opts.num_trees = 20;
+  forest.Fit(x, y, RandomForest::Task::kRegression, opts);
+  double mse = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double e = forest.Predict({x.At(i, 0), x.At(i, 1)}) - y[i];
+    mse += e * e;
+  }
+  EXPECT_LT(mse / n, 0.05);
+}
+
+TEST(RandomForestTest, ClassificationMajorityVote) {
+  Rng rng(5);
+  const size_t n = 500;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x.At(i, 0) = rng.NextDouble();
+    x.At(i, 1) = rng.NextDouble();
+    y[i] = (x.At(i, 0) + x.At(i, 1) > 1.0) ? 1.0 : 0.0;
+  }
+  RandomForest forest;
+  RandomForestOptions opts;
+  opts.num_trees = 15;
+  forest.Fit(x, y, RandomForest::Task::kClassification, opts);
+  int correct = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (forest.Predict({x.At(i, 0), x.At(i, 1)}) == y[i]) ++correct;
+  }
+  EXPECT_GT(correct, static_cast<int>(n * 0.92));
+}
+
+TEST(RandomForestTest, ClassificationOutputsAreValidLabels) {
+  Rng rng(7);
+  Matrix x(90, 1);
+  std::vector<double> y(90);
+  for (size_t i = 0; i < 90; ++i) {
+    x.At(i, 0) = rng.NextDouble();
+    y[i] = static_cast<double>(i % 3);
+  }
+  RandomForest forest;
+  forest.Fit(x, y, RandomForest::Task::kClassification);
+  for (int i = 0; i < 50; ++i) {
+    const double p = forest.Predict({rng.NextDouble()});
+    EXPECT_TRUE(p == 0.0 || p == 1.0 || p == 2.0);
+  }
+}
+
+TEST(RandomForestTest, DeterministicInSeed) {
+  Rng rng(9);
+  Matrix x(100, 1);
+  std::vector<double> y(100);
+  for (size_t i = 0; i < 100; ++i) {
+    x.At(i, 0) = rng.NextDouble();
+    y[i] = x.At(i, 0) * 2.0;
+  }
+  RandomForest a, b;
+  RandomForestOptions opts;
+  opts.seed = 11;
+  a.Fit(x, y, RandomForest::Task::kRegression, opts);
+  b.Fit(x, y, RandomForest::Task::kRegression, opts);
+  for (int i = 0; i < 20; ++i) {
+    const double xv = static_cast<double>(i) / 19.0;
+    EXPECT_DOUBLE_EQ(a.Predict({xv}), b.Predict({xv}));
+  }
+}
+
+TEST(RandomForestDeathTest, ZeroTreesAborts) {
+  RandomForest forest;
+  Matrix x(2, 1);
+  std::vector<double> y(2);
+  RandomForestOptions opts;
+  opts.num_trees = 0;
+  EXPECT_DEATH(forest.Fit(x, y, RandomForest::Task::kRegression, opts),
+               "CHECK failed");
+}
+
+}  // namespace
+}  // namespace elsi

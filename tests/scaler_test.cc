@@ -1,0 +1,53 @@
+#include "ml/scaler.h"
+
+#include <gtest/gtest.h>
+
+namespace elsi {
+namespace {
+
+TEST(MinMaxScalerTest, ScalesColumnsToUnitInterval) {
+  Matrix x = Matrix::FromRows({{0, 10}, {5, 20}, {10, 30}});
+  MinMaxScaler scaler;
+  scaler.Fit(x);
+  scaler.Transform(&x);
+  EXPECT_DOUBLE_EQ(x.At(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(x.At(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(x.At(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(x.At(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(x.At(2, 1), 1.0);
+}
+
+TEST(MinMaxScalerTest, ConstantColumnMapsToZero) {
+  Matrix x = Matrix::FromRows({{3, 1}, {3, 2}});
+  MinMaxScaler scaler;
+  scaler.Fit(x);
+  scaler.Transform(&x);
+  EXPECT_DOUBLE_EQ(x.At(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(x.At(1, 0), 0.0);
+}
+
+TEST(MinMaxScalerTest, VectorTransformMatchesMatrixTransform) {
+  Matrix x = Matrix::FromRows({{-1, 0}, {1, 4}});
+  MinMaxScaler scaler;
+  scaler.Fit(x);
+  const auto v = scaler.Transform(std::vector<double>{0.0, 2.0});
+  EXPECT_DOUBLE_EQ(v[0], 0.5);
+  EXPECT_DOUBLE_EQ(v[1], 0.5);
+}
+
+TEST(MinMaxScalerTest, OutOfRangeValuesExtrapolate) {
+  Matrix x = Matrix::FromRows({{0.0}, {1.0}});
+  MinMaxScaler scaler;
+  scaler.Fit(x);
+  EXPECT_DOUBLE_EQ(scaler.Transform(std::vector<double>{2.0})[0], 2.0);
+  EXPECT_DOUBLE_EQ(scaler.Transform(std::vector<double>{-1.0})[0], -1.0);
+}
+
+TEST(MinMaxScalerDeathTest, TransformBeforeFitAborts) {
+  MinMaxScaler scaler;
+  Matrix x(1, 1);
+  EXPECT_DEATH(scaler.Transform(&x), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace elsi

@@ -1,0 +1,126 @@
+// Serialization round-trips: FFN, method scorer, rebuild predictor.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/method_scorer.h"
+#include "core/rebuild_predictor.h"
+#include "ml/ffn.h"
+
+namespace elsi {
+namespace {
+
+TEST(FfnSerializationTest, RoundTripPreservesPredictions) {
+  Ffn net(3, {8, 4}, 2, 7);
+  // Train a little so the parameters are non-trivial.
+  Matrix x(32, 3), y(32, 2);
+  Rng rng(5);
+  for (size_t i = 0; i < 32; ++i) {
+    for (size_t c = 0; c < 3; ++c) x.At(i, c) = rng.NextDouble();
+    y.At(i, 0) = x.At(i, 0) + x.At(i, 1);
+    y.At(i, 1) = x.At(i, 2);
+  }
+  FfnTrainOptions opts;
+  opts.epochs = 50;
+  net.Train(x, y, opts);
+
+  std::stringstream stream;
+  ASSERT_TRUE(net.Save(stream));
+  const auto loaded = Ffn::Load(stream);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->input_dim(), 3);
+  EXPECT_EQ(loaded->output_dim(), 2);
+  EXPECT_EQ(loaded->HiddenDims(), (std::vector<int>{8, 4}));
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<double> probe = {rng.NextDouble(), rng.NextDouble(),
+                                       rng.NextDouble()};
+    EXPECT_EQ(net.Forward(probe), loaded->Forward(probe));
+  }
+}
+
+TEST(FfnSerializationTest, SigmoidFlagSurvives) {
+  Ffn net(2, {4}, 1, 3, OutputActivation::kSigmoid);
+  std::stringstream stream;
+  ASSERT_TRUE(net.Save(stream));
+  const auto loaded = Ffn::Load(stream);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(net.Predict1({0.3, -0.9}), loaded->Predict1({0.3, -0.9}));
+  // Sigmoid output stays bounded after reload.
+  EXPECT_GE(loaded->Predict1({100.0, 100.0}), 0.0);
+  EXPECT_LE(loaded->Predict1({100.0, 100.0}), 1.0);
+}
+
+TEST(FfnSerializationTest, RejectsGarbage) {
+  std::stringstream bad("not-a-network 1\n");
+  EXPECT_FALSE(Ffn::Load(bad).has_value());
+  std::stringstream truncated("elsi-ffn 1\n3 1 0\n1 8\n0.5\n");
+  EXPECT_FALSE(Ffn::Load(truncated).has_value());
+  std::stringstream wrong_version("elsi-ffn 2\n3 1 0\n0\n");
+  EXPECT_FALSE(Ffn::Load(wrong_version).has_value());
+}
+
+TEST(MethodScorerSerializationTest, RoundTripPreservesScores) {
+  std::vector<ScorerSample> samples;
+  for (double d = 0.0; d <= 0.9; d += 0.1) {
+    samples.push_back({BuildMethodId::kSP, 4.0, d, 0.05, 1.1});
+    samples.push_back({BuildMethodId::kOG, 4.0, d, 1.0, 1.0});
+    samples.push_back({BuildMethodId::kMR, 4.0, d, 0.01, 1.2});
+  }
+  MethodScorer scorer;
+  scorer.Train(samples);
+  std::stringstream stream;
+  ASSERT_TRUE(scorer.Save(stream));
+  MethodScorer loaded;
+  ASSERT_TRUE(loaded.Load(stream));
+  ASSERT_TRUE(loaded.trained());
+  for (BuildMethodId m :
+       {BuildMethodId::kSP, BuildMethodId::kOG, BuildMethodId::kMR}) {
+    EXPECT_EQ(scorer.PredictBuildCost(m, 4.0, 0.4),
+              loaded.PredictBuildCost(m, 4.0, 0.4));
+    EXPECT_EQ(scorer.PredictQueryCost(m, 4.0, 0.4),
+              loaded.PredictQueryCost(m, 4.0, 0.4));
+  }
+}
+
+TEST(MethodScorerSerializationTest, UntrainedSaveFails) {
+  MethodScorer scorer;
+  std::stringstream stream;
+  EXPECT_FALSE(scorer.Save(stream));
+}
+
+TEST(RebuildPredictorSerializationTest, RoundTripPreservesDecisions) {
+  std::vector<RebuildSample> samples;
+  for (int i = 0; i < 60; ++i) {
+    RebuildSample s;
+    s.features.update_ratio = 0.03 * i;
+    s.features.log10_n = 4.0;
+    s.features.cdf_similarity = 1.0 - 0.01 * i;
+    s.label = s.features.update_ratio > 0.6 ? 1.0 : 0.0;
+    samples.push_back(s);
+  }
+  RebuildPredictor predictor;
+  predictor.Train(samples);
+  std::stringstream stream;
+  ASSERT_TRUE(predictor.Save(stream));
+  RebuildPredictor loaded;
+  ASSERT_TRUE(loaded.Load(stream));
+  RebuildFeatures f;
+  f.log10_n = 4.0;
+  f.update_ratio = 1.5;
+  f.cdf_similarity = 0.4;
+  EXPECT_EQ(predictor.PredictScore(f), loaded.PredictScore(f));
+  EXPECT_EQ(predictor.ShouldRebuild(f), loaded.ShouldRebuild(f));
+}
+
+TEST(RebuildPredictorSerializationTest, RejectsWrongInputDim) {
+  Ffn net(3, {4}, 1, 1);  // Wrong input dim (predictor expects 5).
+  std::stringstream stream;
+  ASSERT_TRUE(net.Save(stream));
+  RebuildPredictor predictor;
+  EXPECT_FALSE(predictor.Load(stream));
+}
+
+}  // namespace
+}  // namespace elsi

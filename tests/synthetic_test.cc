@@ -1,0 +1,144 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/cdf.h"
+#include "curve/zorder.h"
+
+namespace elsi {
+namespace {
+
+// Every generator must produce n points inside the unit square with dense,
+// unique ids, deterministically in the seed.
+class GeneratorContractTest : public ::testing::TestWithParam<DatasetKind> {};
+
+TEST_P(GeneratorContractTest, PointsInUnitSquareWithDenseIds) {
+  const Dataset data = GenerateDataset(GetParam(), 5000, 42);
+  ASSERT_EQ(data.size(), 5000u);
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_GE(data[i].x, 0.0);
+    EXPECT_LE(data[i].x, 1.0);
+    EXPECT_GE(data[i].y, 0.0);
+    EXPECT_LE(data[i].y, 1.0);
+    EXPECT_EQ(data[i].id, i);
+  }
+}
+
+TEST_P(GeneratorContractTest, DeterministicInSeed) {
+  const Dataset a = GenerateDataset(GetParam(), 1000, 7);
+  const Dataset b = GenerateDataset(GetParam(), 1000, 7);
+  const Dataset c = GenerateDataset(GetParam(), 1000, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, GeneratorContractTest,
+                         ::testing::ValuesIn(kAllDatasetKinds),
+                         [](const auto& info) {
+                           std::string n = DatasetKindName(info.param);
+                           n.erase(std::remove(n.begin(), n.end(), '-'),
+                                   n.end());
+                           return n;
+                         });
+
+// Z-key dissimilarity from uniform orders the families as the paper's
+// narrative expects: Uniform lowest; clustered/skewed families clearly higher.
+TEST(SyntheticDistributionTest, UniformHasLowestZKeyDissimilarity) {
+  const GridQuantizer q(Rect::Of(0.0, 0.0, 1.0, 1.0));
+  auto zdissim = [&q](DatasetKind kind) {
+    const Dataset data = GenerateDataset(kind, 20000, 3);
+    std::vector<double> keys(data.size());
+    for (size_t i = 0; i < data.size(); ++i) {
+      keys[i] = static_cast<double>(q.ZCode(data[i]));
+    }
+    std::sort(keys.begin(), keys.end());
+    return UniformDissimilarity(keys);
+  };
+  const double uniform = zdissim(DatasetKind::kUniform);
+  for (DatasetKind kind :
+       {DatasetKind::kSkewed, DatasetKind::kOsm1, DatasetKind::kOsm2,
+        DatasetKind::kNyc}) {
+    EXPECT_GT(zdissim(kind), uniform + 0.05)
+        << DatasetKindName(kind) << " should be more skewed than Uniform";
+  }
+}
+
+TEST(SyntheticDistributionTest, SkewedMatchesPowerLawConstruction) {
+  // Skewed replaces y by y^4 of a uniform draw: its y-values follow
+  // P(Y <= t) = t^{1/4}. Check the quartiles.
+  const Dataset data = GenerateSkewed(50000, 11);
+  std::vector<double> ys(data.size());
+  for (size_t i = 0; i < data.size(); ++i) ys[i] = data[i].y;
+  std::sort(ys.begin(), ys.end());
+  // Median of Y: t with t^{1/4} = 0.5 -> t = 0.0625.
+  EXPECT_NEAR(ys[ys.size() / 2], 0.0625, 0.01);
+  // x stays uniform: median ~ 0.5.
+  std::vector<double> xs(data.size());
+  for (size_t i = 0; i < data.size(); ++i) xs[i] = data[i].x;
+  std::sort(xs.begin(), xs.end());
+  EXPECT_NEAR(xs[xs.size() / 2], 0.5, 0.02);
+}
+
+TEST(SyntheticDistributionTest, TpchIsLatticeValued) {
+  const Dataset data = GenerateDataset(DatasetKind::kTpch, 10000, 5);
+  for (const Point& p : data) {
+    // x = q/50 for integer q in [1, 50].
+    const double q = p.x * 50.0;
+    EXPECT_NEAR(q, std::round(q), 1e-9);
+    EXPECT_GE(q, 1.0);
+    EXPECT_LE(q, 50.0);
+  }
+  // Heavy duplication: far fewer distinct x than points.
+  std::vector<double> xs;
+  for (const Point& p : data) xs.push_back(p.x);
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  EXPECT_LE(xs.size(), 50u);
+}
+
+TEST(SyntheticDistributionTest, NycIsMoreConcentratedThanOsm) {
+  // NYC's densest 1% of grid cells should hold a larger point share than
+  // OSM1's, reflecting the Manhattan effect called out in Sec. VII-F.
+  auto top_cell_share = [](DatasetKind kind) {
+    const Dataset data = GenerateDataset(kind, 50000, 9);
+    constexpr int kGrid = 64;
+    std::vector<int> cells(kGrid * kGrid, 0);
+    for (const Point& p : data) {
+      const int cx = std::min(kGrid - 1, static_cast<int>(p.x * kGrid));
+      const int cy = std::min(kGrid - 1, static_cast<int>(p.y * kGrid));
+      ++cells[cy * kGrid + cx];
+    }
+    std::sort(cells.begin(), cells.end(), std::greater<int>());
+    const size_t top = cells.size() / 100;
+    double share = 0;
+    for (size_t i = 0; i < top; ++i) share += cells[i];
+    return share / data.size();
+  };
+  EXPECT_GT(top_cell_share(DatasetKind::kNyc),
+            top_cell_share(DatasetKind::kOsm1));
+}
+
+TEST(GeneratePowerTest, PowerOneIsUniform) {
+  const Dataset a = GeneratePower(1000, 1.0, 1.0, 3);
+  const Dataset b = GenerateUniform(1000, 3);
+  EXPECT_EQ(a, b);
+}
+
+TEST(GeneratePowerTest, HigherPowerIncreasesSkew) {
+  auto dissim_y = [](double power) {
+    const Dataset data = GeneratePower(30000, 1.0, power, 5);
+    std::vector<double> ys(data.size());
+    for (size_t i = 0; i < data.size(); ++i) ys[i] = data[i].y;
+    std::sort(ys.begin(), ys.end());
+    return UniformDissimilarity(ys);
+  };
+  EXPECT_LT(dissim_y(1.0), 0.02);
+  EXPECT_LT(dissim_y(2.0), dissim_y(4.0));
+  EXPECT_LT(dissim_y(4.0), dissim_y(8.0));
+}
+
+}  // namespace
+}  // namespace elsi

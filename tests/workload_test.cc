@@ -1,0 +1,104 @@
+#include "data/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace elsi {
+namespace {
+
+TEST(WorkloadTest, PointQueriesComeFromData) {
+  const Dataset data = GenerateUniform(1000, 1);
+  const auto queries = SamplePointQueries(data, 200, 2);
+  ASSERT_EQ(queries.size(), 200u);
+  for (const Point& q : queries) {
+    EXPECT_LT(q.id, data.size());
+    EXPECT_EQ(data[q.id], q);
+  }
+}
+
+TEST(WorkloadTest, WindowQueriesHaveRequestedArea) {
+  const Dataset data = GenerateUniform(1000, 3);
+  const double frac = 0.0001;  // The paper's default 0.01% of the space.
+  const auto windows = SampleWindowQueries(data, 50, frac, 4);
+  const double domain_area = BoundingRect(data).Area();
+  for (const Rect& w : windows) {
+    EXPECT_NEAR(w.Area(), domain_area * frac, domain_area * frac * 1e-9);
+  }
+}
+
+TEST(WorkloadTest, WindowQueriesFollowDataDistribution) {
+  // On Skewed data most windows should sit in the dense lower band.
+  const Dataset data = GenerateSkewed(20000, 5);
+  const auto windows = SampleWindowQueries(data, 400, 0.0001, 6);
+  int low = 0;
+  for (const Rect& w : windows) {
+    if (w.Center().y < 0.2) ++low;
+  }
+  EXPECT_GT(low, 200);  // >50% in the band holding ~67% of the mass.
+}
+
+TEST(WorkloadTest, DeterministicInSeed) {
+  const Dataset data = GenerateUniform(500, 7);
+  EXPECT_EQ(SamplePointQueries(data, 10, 1), SamplePointQueries(data, 10, 1));
+  const auto w1 = SampleWindowQueries(data, 10, 0.001, 2);
+  const auto w2 = SampleWindowQueries(data, 10, 0.001, 2);
+  for (size_t i = 0; i < w1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(w1[i].lo_x, w2[i].lo_x);
+    EXPECT_DOUBLE_EQ(w1[i].hi_y, w2[i].hi_y);
+  }
+}
+
+TEST(BruteForceTest, WindowReturnsExactlyContainedPoints) {
+  const Dataset data = GenerateUniform(5000, 9);
+  const Rect w = Rect::Of(0.25, 0.25, 0.5, 0.5);
+  const auto result = BruteForceWindow(data, w);
+  size_t expected = 0;
+  for (const Point& p : data) {
+    if (w.Contains(p)) ++expected;
+  }
+  EXPECT_EQ(result.size(), expected);
+  for (const Point& p : result) EXPECT_TRUE(w.Contains(p));
+}
+
+TEST(BruteForceTest, KnnReturnsClosestInOrder) {
+  const Dataset data = GenerateUniform(2000, 11);
+  const Point q{0.5, 0.5, 0};
+  const auto knn = BruteForceKnn(data, q, 25);
+  ASSERT_EQ(knn.size(), 25u);
+  for (size_t i = 1; i < knn.size(); ++i) {
+    EXPECT_LE(SquaredDistance(knn[i - 1], q), SquaredDistance(knn[i], q));
+  }
+  // No non-member may be closer than the k-th member.
+  const double worst = SquaredDistance(knn.back(), q);
+  std::vector<uint64_t> ids;
+  for (const Point& p : knn) ids.push_back(p.id);
+  std::sort(ids.begin(), ids.end());
+  for (const Point& p : data) {
+    if (std::binary_search(ids.begin(), ids.end(), p.id)) continue;
+    EXPECT_GE(SquaredDistance(p, q), worst);
+  }
+}
+
+TEST(BruteForceTest, KnnClampsToDatasetSize) {
+  const Dataset data = GenerateUniform(10, 13);
+  EXPECT_EQ(BruteForceKnn(data, Point{0.1, 0.1, 0}, 100).size(), 10u);
+}
+
+TEST(RecallTest, ComputesFractionOfTruthFound) {
+  const std::vector<Point> truth = {{0, 0, 1}, {0, 0, 2}, {0, 0, 3}, {0, 0, 4}};
+  const std::vector<Point> half = {{0, 0, 1}, {0, 0, 3}, {0, 0, 99}};
+  EXPECT_DOUBLE_EQ(Recall(half, truth), 0.5);
+  EXPECT_DOUBLE_EQ(Recall(truth, truth), 1.0);
+  EXPECT_DOUBLE_EQ(Recall({}, truth), 0.0);
+}
+
+TEST(RecallTest, EmptyTruthIsPerfectRecall) {
+  EXPECT_DOUBLE_EQ(Recall({{0, 0, 1}}, {}), 1.0);
+}
+
+}  // namespace
+}  // namespace elsi

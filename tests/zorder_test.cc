@@ -1,0 +1,124 @@
+#include "curve/zorder.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace elsi {
+namespace {
+
+TEST(MortonTest, EncodeDecodeRoundTrip) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const uint32_t x = static_cast<uint32_t>(rng.NextUint64());
+    const uint32_t y = static_cast<uint32_t>(rng.NextUint64());
+    uint32_t rx, ry;
+    MortonDecode(MortonEncode(x, y), &rx, &ry);
+    EXPECT_EQ(rx, x);
+    EXPECT_EQ(ry, y);
+  }
+}
+
+TEST(MortonTest, KnownSmallValues) {
+  EXPECT_EQ(MortonEncode(0, 0), 0u);
+  EXPECT_EQ(MortonEncode(1, 0), 1u);
+  EXPECT_EQ(MortonEncode(0, 1), 2u);
+  EXPECT_EQ(MortonEncode(1, 1), 3u);
+  EXPECT_EQ(MortonEncode(2, 0), 4u);
+  EXPECT_EQ(MortonEncode(2, 3), 14u);
+}
+
+TEST(MortonTest, MonotoneInEachCoordinate) {
+  // Fixing one coordinate, the Z-code grows with the other. This property
+  // justifies the [z(lo), z(hi)] window-scan range used by ZM.
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const uint32_t x = static_cast<uint32_t>(rng.NextUint64()) / 2;
+    const uint32_t y = static_cast<uint32_t>(rng.NextUint64()) / 2;
+    EXPECT_LT(MortonEncode(x, y), MortonEncode(x + 1, y));
+    EXPECT_LT(MortonEncode(x, y), MortonEncode(x, y + 1));
+  }
+}
+
+TEST(ZCodeInBoxTest, MatchesCoordinateTest) {
+  const uint64_t zmin = MortonEncode(2, 3);
+  const uint64_t zmax = MortonEncode(10, 12);
+  EXPECT_TRUE(ZCodeInBox(MortonEncode(5, 7), zmin, zmax));
+  EXPECT_TRUE(ZCodeInBox(MortonEncode(2, 3), zmin, zmax));
+  EXPECT_TRUE(ZCodeInBox(MortonEncode(10, 12), zmin, zmax));
+  EXPECT_FALSE(ZCodeInBox(MortonEncode(1, 7), zmin, zmax));
+  EXPECT_FALSE(ZCodeInBox(MortonEncode(5, 13), zmin, zmax));
+}
+
+// BIGMIN correctness against brute force on a small grid: for any query box
+// and any z-value inside [zmin, zmax] decoding outside the box, BIGMIN must
+// equal the smallest in-box Z-code >= z.
+TEST(ZBigminTest, MatchesBruteForceOnSmallGrid) {
+  constexpr uint32_t kSide = 16;
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    uint32_t lx = static_cast<uint32_t>(rng.NextBelow(kSide));
+    uint32_t hx = static_cast<uint32_t>(rng.NextBelow(kSide));
+    uint32_t ly = static_cast<uint32_t>(rng.NextBelow(kSide));
+    uint32_t hy = static_cast<uint32_t>(rng.NextBelow(kSide));
+    if (lx > hx) std::swap(lx, hx);
+    if (ly > hy) std::swap(ly, hy);
+    const uint64_t zmin = MortonEncode(lx, ly);
+    const uint64_t zmax = MortonEncode(hx, hy);
+    for (uint64_t z = zmin; z <= zmax; ++z) {
+      if (ZCodeInBox(z, zmin, zmax)) continue;
+      uint64_t expected = zmax + 1;
+      for (uint64_t c = z + 1; c <= zmax; ++c) {
+        if (ZCodeInBox(c, zmin, zmax)) {
+          expected = c;
+          break;
+        }
+      }
+      if (expected > zmax) continue;  // No successor in box.
+      EXPECT_EQ(ZBigmin(z, zmin, zmax), expected)
+          << "z=" << z << " box=(" << lx << "," << ly << ")-(" << hx << ","
+          << hy << ")";
+    }
+  }
+}
+
+TEST(GridQuantizerTest, MapsDomainCornersToGridCorners) {
+  const GridQuantizer q(Rect::Of(0.0, 0.0, 1.0, 1.0));
+  EXPECT_EQ(q.QuantizeX(0.0), 0u);
+  EXPECT_EQ(q.QuantizeY(0.0), 0u);
+  EXPECT_EQ(q.QuantizeX(1.0), 4294967295u);
+  EXPECT_EQ(q.QuantizeY(1.0), 4294967295u);
+}
+
+TEST(GridQuantizerTest, ClampsOutOfDomainValues) {
+  const GridQuantizer q(Rect::Of(0.0, 0.0, 1.0, 1.0));
+  EXPECT_EQ(q.QuantizeX(-5.0), 0u);
+  EXPECT_EQ(q.QuantizeX(7.0), 4294967295u);
+}
+
+TEST(GridQuantizerTest, PreservesOrder) {
+  const GridQuantizer q(Rect::Of(-10.0, 5.0, 10.0, 25.0));
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double a = rng.NextDouble(-10.0, 10.0);
+    const double b = rng.NextDouble(-10.0, 10.0);
+    if (a < b) {
+      EXPECT_LE(q.QuantizeX(a), q.QuantizeX(b));
+    }
+  }
+}
+
+TEST(GridQuantizerTest, ZCodeConsistentWithManualEncode) {
+  const GridQuantizer q(Rect::Of(0.0, 0.0, 1.0, 1.0));
+  const Point p{0.25, 0.75, 0};
+  EXPECT_EQ(q.ZCode(p), MortonEncode(q.QuantizeX(0.25), q.QuantizeY(0.75)));
+}
+
+TEST(GridQuantizerTest, DegenerateExtentCollapsesToZero) {
+  const GridQuantizer q(Rect::Of(3.0, 0.0, 3.0, 1.0));
+  EXPECT_EQ(q.QuantizeX(3.0), 0u);
+  EXPECT_EQ(q.QuantizeX(100.0), 0u);
+}
+
+}  // namespace
+}  // namespace elsi

@@ -1,0 +1,245 @@
+// elsi_cli — command-line driver for the library.
+//
+// Subcommands:
+//   generate  --kind <uniform|skewed|osm1|osm2|tpch|nyc> --n <count>
+//             [--seed S] --out <file.csv|file.bin>
+//   bench     --input <file.csv|file.bin> --index <zm|ml|rsmi|lisa|flood>
+//             [--method <sp|cl|mr|rs|rl|og>] [--epochs E] [--seed S]
+//             [--queries Q] [--window-frac F] [--knn K]
+//
+// `bench` builds the chosen index (through ELSI's build processor unless
+// --method og) and reports build time plus point/window/kNN query timings
+// and recall against brute force on a sample.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/timer.h"
+#include "core/elsi.h"
+#include "data/dataset.h"
+#include "data/synthetic.h"
+#include "data/workload.h"
+#include "learned/flood_index.h"
+
+namespace elsi {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  elsi_cli generate --kind <uniform|skewed|osm1|osm2|tpch|nyc>\n"
+      "                    --n <count> [--seed S] --out <file.csv|file.bin>\n"
+      "  elsi_cli bench    --input <file.csv|file.bin>\n"
+      "                    --index <zm|ml|rsmi|lisa|flood>\n"
+      "                    [--method <sp|cl|mr|rs|rl|og>] [--epochs E]\n"
+      "                    [--seed S] [--queries Q] [--window-frac F]\n"
+      "                    [--knn K]\n");
+  return 2;
+}
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              int start) {
+  std::map<std::string, std::string> flags;
+  for (int i = start; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) return {};
+    flags[argv[i] + 2] = argv[i + 1];
+  }
+  return flags;
+}
+
+std::string FlagOr(const std::map<std::string, std::string>& flags,
+                   const std::string& name, const std::string& fallback) {
+  const auto it = flags.find(name);
+  return it == flags.end() ? fallback : it->second;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+int RunGenerate(const std::map<std::string, std::string>& flags) {
+  const std::string kind_name = FlagOr(flags, "kind", "");
+  const std::string out = FlagOr(flags, "out", "");
+  const size_t n = std::strtoull(FlagOr(flags, "n", "0").c_str(), nullptr, 10);
+  const uint64_t seed =
+      std::strtoull(FlagOr(flags, "seed", "42").c_str(), nullptr, 10);
+  if (kind_name.empty() || out.empty() || n == 0) return Usage();
+
+  const std::map<std::string, DatasetKind> kinds = {
+      {"uniform", DatasetKind::kUniform}, {"skewed", DatasetKind::kSkewed},
+      {"osm1", DatasetKind::kOsm1},       {"osm2", DatasetKind::kOsm2},
+      {"tpch", DatasetKind::kTpch},       {"nyc", DatasetKind::kNyc}};
+  const auto it = kinds.find(kind_name);
+  if (it == kinds.end()) {
+    std::fprintf(stderr, "unknown kind '%s'\n", kind_name.c_str());
+    return 2;
+  }
+  const Dataset data = GenerateDataset(it->second, n, seed);
+  const bool ok = EndsWith(out, ".bin") ? SaveBinary(data, out)
+                                        : SaveCsv(data, out);
+  if (!ok) {
+    std::fprintf(stderr, "failed to write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu %s points to %s\n", data.size(), kind_name.c_str(),
+              out.c_str());
+  return 0;
+}
+
+int RunBench(const std::map<std::string, std::string>& flags) {
+  const std::string input = FlagOr(flags, "input", "");
+  const std::string index_name = FlagOr(flags, "index", "zm");
+  const std::string method_name = FlagOr(flags, "method", "rs");
+  if (input.empty()) return Usage();
+  const uint64_t seed =
+      std::strtoull(FlagOr(flags, "seed", "42").c_str(), nullptr, 10);
+  const int epochs = std::atoi(FlagOr(flags, "epochs", "120").c_str());
+  const size_t queries =
+      std::strtoull(FlagOr(flags, "queries", "2000").c_str(), nullptr, 10);
+  const double window_frac =
+      std::atof(FlagOr(flags, "window-frac", "0.0001").c_str());
+  const size_t k =
+      std::strtoull(FlagOr(flags, "knn", "25").c_str(), nullptr, 10);
+
+  Dataset data;
+  const bool loaded = EndsWith(input, ".bin") ? LoadBinary(input, &data)
+                                              : LoadCsv(input, &data);
+  if (!loaded || data.empty()) {
+    std::fprintf(stderr, "failed to load points from %s\n", input.c_str());
+    return 1;
+  }
+  std::printf("loaded %zu points from %s\n", data.size(), input.c_str());
+
+  // Assemble the trainer: OG (direct) or ELSI with a fixed method.
+  BuildProcessorConfig cfg;
+  cfg.model.epochs = epochs;
+  cfg.model.seed = seed;
+  cfg.seed = seed;
+  cfg.rs.beta = std::max<size_t>(64, data.size() / 100);
+  cfg.sp.rho = 0.005;
+  const std::map<std::string, BuildMethodId> methods = {
+      {"sp", BuildMethodId::kSP}, {"cl", BuildMethodId::kCL},
+      {"mr", BuildMethodId::kMR}, {"rs", BuildMethodId::kRS},
+      {"rl", BuildMethodId::kRL}, {"og", BuildMethodId::kOG}};
+  const auto mit = methods.find(method_name);
+  if (mit == methods.end()) {
+    std::fprintf(stderr, "unknown method '%s'\n", method_name.c_str());
+    return 2;
+  }
+  std::shared_ptr<ModelTrainer> trainer;
+  std::shared_ptr<BuildProcessor> processor;
+  if (mit->second == BuildMethodId::kOG) {
+    trainer = std::make_shared<DirectTrainer>(cfg.model);
+  } else {
+    cfg.enabled = {mit->second};
+    processor = std::make_shared<BuildProcessor>(
+        cfg, std::make_shared<FixedSelector>(mit->second));
+    trainer = processor;
+  }
+
+  // Assemble the index.
+  std::unique_ptr<SpatialIndex> index;
+  BaseIndexScale scale;
+  scale.leaf_target = std::max<size_t>(5000, data.size() / 8);
+  if (index_name == "flood") {
+    index = std::make_unique<FloodIndex>(trainer);
+  } else {
+    const std::map<std::string, BaseIndexKind> kinds = {
+        {"zm", BaseIndexKind::kZM},
+        {"ml", BaseIndexKind::kML},
+        {"rsmi", BaseIndexKind::kRSMI},
+        {"lisa", BaseIndexKind::kLISA}};
+    const auto iit = kinds.find(index_name);
+    if (iit == kinds.end()) {
+      std::fprintf(stderr, "unknown index '%s'\n", index_name.c_str());
+      return 2;
+    }
+    if (iit->second == BaseIndexKind::kLISA &&
+        (mit->second == BuildMethodId::kCL ||
+         mit->second == BuildMethodId::kRL)) {
+      std::fprintf(stderr, "CL/RL do not apply to LISA (see DESIGN.md)\n");
+      return 2;
+    }
+    index = MakeBaseIndex(iit->second, trainer, scale);
+  }
+
+  Timer build_timer;
+  index->Build(data);
+  std::printf("built %s via %s in %.3f s",
+              index->Name().c_str(),
+              mit->second == BuildMethodId::kOG
+                  ? "OG (direct training)"
+                  : ("ELSI/" + method_name).c_str(),
+              build_timer.ElapsedSeconds());
+  if (processor != nullptr) {
+    size_t models = processor->records().size();
+    size_t ds = 0;
+    for (const auto& r : processor->records()) ds += r.training_size;
+    std::printf(" (%zu models, total |Ds| = %zu)", models, ds);
+  }
+  std::printf("\n");
+
+  // Queries.
+  const auto point_probes = SamplePointQueries(data, queries, seed + 1);
+  Timer point_timer;
+  size_t found = 0;
+  for (const Point& q : point_probes) {
+    if (index->PointQuery(q)) ++found;
+  }
+  std::printf("point queries:  %.2f us avg (%zu/%zu found)\n",
+              point_timer.ElapsedMicros() / point_probes.size(), found,
+              point_probes.size());
+
+  const size_t window_count = std::min<size_t>(queries, 300);
+  const auto windows =
+      SampleWindowQueries(data, window_count, window_frac, seed + 2);
+  Timer window_timer;
+  size_t window_hits = 0;
+  for (const Rect& w : windows) window_hits += index->WindowQuery(w).size();
+  const double window_micros = window_timer.ElapsedMicros() / windows.size();
+  double recall_sum = 0.0;
+  size_t counted = 0;
+  for (const Rect& w : windows) {
+    const auto truth = BruteForceWindow(data, w);
+    if (truth.empty()) continue;
+    recall_sum += Recall(index->WindowQuery(w), truth);
+    ++counted;
+  }
+  std::printf("window queries: %.2f us avg, %.1f results avg, recall %.3f\n",
+              window_micros,
+              static_cast<double>(window_hits) / windows.size(),
+              counted > 0 ? recall_sum / counted : 1.0);
+
+  const size_t knn_count = std::min<size_t>(queries, 200);
+  const auto knn_probes = SampleKnnQueries(data, knn_count, seed + 3);
+  Timer knn_timer;
+  for (const Point& q : knn_probes) index->KnnQuery(q, k);
+  double knn_recall = 0.0;
+  for (const Point& q : knn_probes) {
+    knn_recall += Recall(index->KnnQuery(q, k), BruteForceKnn(data, q, k));
+  }
+  std::printf("kNN queries:    %.2f us avg (k = %zu), recall %.3f\n",
+              knn_timer.ElapsedMicros() / knn_probes.size(), k,
+              knn_recall / knn_probes.size());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const auto flags = ParseFlags(argc, argv, 2);
+  if (command == "generate") return RunGenerate(flags);
+  if (command == "bench") return RunBench(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace elsi
+
+int main(int argc, char** argv) { return elsi::Main(argc, argv); }
