@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_pareto"
+  "../bench/bench_fig07_pareto.pdb"
+  "CMakeFiles/bench_fig07_pareto.dir/bench_fig07_pareto.cc.o"
+  "CMakeFiles/bench_fig07_pareto.dir/bench_fig07_pareto.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

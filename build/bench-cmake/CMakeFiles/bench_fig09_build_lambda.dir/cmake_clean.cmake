@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_build_lambda"
+  "../bench/bench_fig09_build_lambda.pdb"
+  "CMakeFiles/bench_fig09_build_lambda.dir/bench_fig09_build_lambda.cc.o"
+  "CMakeFiles/bench_fig09_build_lambda.dir/bench_fig09_build_lambda.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_build_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig11_point_lambda.cc" "bench-cmake/CMakeFiles/bench_fig11_point_lambda.dir/bench_fig11_point_lambda.cc.o" "gcc" "bench-cmake/CMakeFiles/bench_fig11_point_lambda.dir/bench_fig11_point_lambda.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-cmake/CMakeFiles/elsi_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elsi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elsi_learned.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elsi_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elsi_traditional.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elsi_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elsi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_knn"
+  "../bench/bench_fig14_knn.pdb"
+  "CMakeFiles/bench_fig14_knn.dir/bench_fig14_knn.cc.o"
+  "CMakeFiles/bench_fig14_knn.dir/bench_fig14_knn.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab1_cost_decomposition"
+  "../bench/bench_tab1_cost_decomposition.pdb"
+  "CMakeFiles/bench_tab1_cost_decomposition.dir/bench_tab1_cost_decomposition.cc.o"
+  "CMakeFiles/bench_tab1_cost_decomposition.dir/bench_tab1_cost_decomposition.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_cost_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elsi_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/elsi_bench_util.dir/bench_util.cc.o.d"
+  "libelsi_bench_util.a"
+  "libelsi_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elsi_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

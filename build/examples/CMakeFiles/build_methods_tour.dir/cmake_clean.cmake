@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/build_methods_tour.dir/build_methods_tour.cpp.o"
+  "CMakeFiles/build_methods_tour.dir/build_methods_tour.cpp.o.d"
+  "build_methods_tour"
+  "build_methods_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/build_methods_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selector_tour.dir/selector_tour.cpp.o"
+  "CMakeFiles/selector_tour.dir/selector_tour.cpp.o.d"
+  "selector_tour"
+  "selector_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selector_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxi_updates.dir/taxi_updates.cpp.o"
+  "CMakeFiles/taxi_updates.dir/taxi_updates.cpp.o.d"
+  "taxi_updates"
+  "taxi_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxi_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/cdf.cc" "src/CMakeFiles/elsi_common.dir/common/cdf.cc.o" "gcc" "src/CMakeFiles/elsi_common.dir/common/cdf.cc.o.d"
+  "/root/repo/src/common/geometry.cc" "src/CMakeFiles/elsi_common.dir/common/geometry.cc.o" "gcc" "src/CMakeFiles/elsi_common.dir/common/geometry.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/elsi_common.dir/common/random.cc.o" "gcc" "src/CMakeFiles/elsi_common.dir/common/random.cc.o.d"
+  "/root/repo/src/curve/hilbert.cc" "src/CMakeFiles/elsi_common.dir/curve/hilbert.cc.o" "gcc" "src/CMakeFiles/elsi_common.dir/curve/hilbert.cc.o.d"
+  "/root/repo/src/curve/zorder.cc" "src/CMakeFiles/elsi_common.dir/curve/zorder.cc.o" "gcc" "src/CMakeFiles/elsi_common.dir/curve/zorder.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/elsi_common.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/elsi_common.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/elsi_common.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/elsi_common.dir/data/synthetic.cc.o.d"
+  "/root/repo/src/data/workload.cc" "src/CMakeFiles/elsi_common.dir/data/workload.cc.o" "gcc" "src/CMakeFiles/elsi_common.dir/data/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elsi_common.dir/common/cdf.cc.o"
+  "CMakeFiles/elsi_common.dir/common/cdf.cc.o.d"
+  "CMakeFiles/elsi_common.dir/common/geometry.cc.o"
+  "CMakeFiles/elsi_common.dir/common/geometry.cc.o.d"
+  "CMakeFiles/elsi_common.dir/common/random.cc.o"
+  "CMakeFiles/elsi_common.dir/common/random.cc.o.d"
+  "CMakeFiles/elsi_common.dir/curve/hilbert.cc.o"
+  "CMakeFiles/elsi_common.dir/curve/hilbert.cc.o.d"
+  "CMakeFiles/elsi_common.dir/curve/zorder.cc.o"
+  "CMakeFiles/elsi_common.dir/curve/zorder.cc.o.d"
+  "CMakeFiles/elsi_common.dir/data/dataset.cc.o"
+  "CMakeFiles/elsi_common.dir/data/dataset.cc.o.d"
+  "CMakeFiles/elsi_common.dir/data/synthetic.cc.o"
+  "CMakeFiles/elsi_common.dir/data/synthetic.cc.o.d"
+  "CMakeFiles/elsi_common.dir/data/workload.cc.o"
+  "CMakeFiles/elsi_common.dir/data/workload.cc.o.d"
+  "libelsi_common.a"
+  "libelsi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elsi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/build_processor.cc" "src/CMakeFiles/elsi_core.dir/core/build_processor.cc.o" "gcc" "src/CMakeFiles/elsi_core.dir/core/build_processor.cc.o.d"
+  "/root/repo/src/core/method_scorer.cc" "src/CMakeFiles/elsi_core.dir/core/method_scorer.cc.o" "gcc" "src/CMakeFiles/elsi_core.dir/core/method_scorer.cc.o.d"
+  "/root/repo/src/core/method_selector.cc" "src/CMakeFiles/elsi_core.dir/core/method_selector.cc.o" "gcc" "src/CMakeFiles/elsi_core.dir/core/method_selector.cc.o.d"
+  "/root/repo/src/core/methods/clustering.cc" "src/CMakeFiles/elsi_core.dir/core/methods/clustering.cc.o" "gcc" "src/CMakeFiles/elsi_core.dir/core/methods/clustering.cc.o.d"
+  "/root/repo/src/core/methods/model_reuse.cc" "src/CMakeFiles/elsi_core.dir/core/methods/model_reuse.cc.o" "gcc" "src/CMakeFiles/elsi_core.dir/core/methods/model_reuse.cc.o.d"
+  "/root/repo/src/core/methods/reinforcement.cc" "src/CMakeFiles/elsi_core.dir/core/methods/reinforcement.cc.o" "gcc" "src/CMakeFiles/elsi_core.dir/core/methods/reinforcement.cc.o.d"
+  "/root/repo/src/core/methods/representative_set.cc" "src/CMakeFiles/elsi_core.dir/core/methods/representative_set.cc.o" "gcc" "src/CMakeFiles/elsi_core.dir/core/methods/representative_set.cc.o.d"
+  "/root/repo/src/core/methods/sampling.cc" "src/CMakeFiles/elsi_core.dir/core/methods/sampling.cc.o" "gcc" "src/CMakeFiles/elsi_core.dir/core/methods/sampling.cc.o.d"
+  "/root/repo/src/core/rebuild_predictor.cc" "src/CMakeFiles/elsi_core.dir/core/rebuild_predictor.cc.o" "gcc" "src/CMakeFiles/elsi_core.dir/core/rebuild_predictor.cc.o.d"
+  "/root/repo/src/core/scorer_trainer.cc" "src/CMakeFiles/elsi_core.dir/core/scorer_trainer.cc.o" "gcc" "src/CMakeFiles/elsi_core.dir/core/scorer_trainer.cc.o.d"
+  "/root/repo/src/core/update_processor.cc" "src/CMakeFiles/elsi_core.dir/core/update_processor.cc.o" "gcc" "src/CMakeFiles/elsi_core.dir/core/update_processor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/elsi_learned.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elsi_traditional.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elsi_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elsi_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elsi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elsi_core.dir/core/build_processor.cc.o"
+  "CMakeFiles/elsi_core.dir/core/build_processor.cc.o.d"
+  "CMakeFiles/elsi_core.dir/core/method_scorer.cc.o"
+  "CMakeFiles/elsi_core.dir/core/method_scorer.cc.o.d"
+  "CMakeFiles/elsi_core.dir/core/method_selector.cc.o"
+  "CMakeFiles/elsi_core.dir/core/method_selector.cc.o.d"
+  "CMakeFiles/elsi_core.dir/core/methods/clustering.cc.o"
+  "CMakeFiles/elsi_core.dir/core/methods/clustering.cc.o.d"
+  "CMakeFiles/elsi_core.dir/core/methods/model_reuse.cc.o"
+  "CMakeFiles/elsi_core.dir/core/methods/model_reuse.cc.o.d"
+  "CMakeFiles/elsi_core.dir/core/methods/reinforcement.cc.o"
+  "CMakeFiles/elsi_core.dir/core/methods/reinforcement.cc.o.d"
+  "CMakeFiles/elsi_core.dir/core/methods/representative_set.cc.o"
+  "CMakeFiles/elsi_core.dir/core/methods/representative_set.cc.o.d"
+  "CMakeFiles/elsi_core.dir/core/methods/sampling.cc.o"
+  "CMakeFiles/elsi_core.dir/core/methods/sampling.cc.o.d"
+  "CMakeFiles/elsi_core.dir/core/rebuild_predictor.cc.o"
+  "CMakeFiles/elsi_core.dir/core/rebuild_predictor.cc.o.d"
+  "CMakeFiles/elsi_core.dir/core/scorer_trainer.cc.o"
+  "CMakeFiles/elsi_core.dir/core/scorer_trainer.cc.o.d"
+  "CMakeFiles/elsi_core.dir/core/update_processor.cc.o"
+  "CMakeFiles/elsi_core.dir/core/update_processor.cc.o.d"
+  "libelsi_core.a"
+  "libelsi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elsi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/learned/flood_index.cc" "src/CMakeFiles/elsi_learned.dir/learned/flood_index.cc.o" "gcc" "src/CMakeFiles/elsi_learned.dir/learned/flood_index.cc.o.d"
+  "/root/repo/src/learned/lisa_index.cc" "src/CMakeFiles/elsi_learned.dir/learned/lisa_index.cc.o" "gcc" "src/CMakeFiles/elsi_learned.dir/learned/lisa_index.cc.o.d"
+  "/root/repo/src/learned/ml_index.cc" "src/CMakeFiles/elsi_learned.dir/learned/ml_index.cc.o" "gcc" "src/CMakeFiles/elsi_learned.dir/learned/ml_index.cc.o.d"
+  "/root/repo/src/learned/rank_model.cc" "src/CMakeFiles/elsi_learned.dir/learned/rank_model.cc.o" "gcc" "src/CMakeFiles/elsi_learned.dir/learned/rank_model.cc.o.d"
+  "/root/repo/src/learned/rsmi_index.cc" "src/CMakeFiles/elsi_learned.dir/learned/rsmi_index.cc.o" "gcc" "src/CMakeFiles/elsi_learned.dir/learned/rsmi_index.cc.o.d"
+  "/root/repo/src/learned/segmented_array.cc" "src/CMakeFiles/elsi_learned.dir/learned/segmented_array.cc.o" "gcc" "src/CMakeFiles/elsi_learned.dir/learned/segmented_array.cc.o.d"
+  "/root/repo/src/learned/zm_index.cc" "src/CMakeFiles/elsi_learned.dir/learned/zm_index.cc.o" "gcc" "src/CMakeFiles/elsi_learned.dir/learned/zm_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/elsi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elsi_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elsi_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elsi_learned.dir/learned/flood_index.cc.o"
+  "CMakeFiles/elsi_learned.dir/learned/flood_index.cc.o.d"
+  "CMakeFiles/elsi_learned.dir/learned/lisa_index.cc.o"
+  "CMakeFiles/elsi_learned.dir/learned/lisa_index.cc.o.d"
+  "CMakeFiles/elsi_learned.dir/learned/ml_index.cc.o"
+  "CMakeFiles/elsi_learned.dir/learned/ml_index.cc.o.d"
+  "CMakeFiles/elsi_learned.dir/learned/rank_model.cc.o"
+  "CMakeFiles/elsi_learned.dir/learned/rank_model.cc.o.d"
+  "CMakeFiles/elsi_learned.dir/learned/rsmi_index.cc.o"
+  "CMakeFiles/elsi_learned.dir/learned/rsmi_index.cc.o.d"
+  "CMakeFiles/elsi_learned.dir/learned/segmented_array.cc.o"
+  "CMakeFiles/elsi_learned.dir/learned/segmented_array.cc.o.d"
+  "CMakeFiles/elsi_learned.dir/learned/zm_index.cc.o"
+  "CMakeFiles/elsi_learned.dir/learned/zm_index.cc.o.d"
+  "libelsi_learned.a"
+  "libelsi_learned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elsi_learned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

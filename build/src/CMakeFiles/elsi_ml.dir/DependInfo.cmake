@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/decision_tree.cc" "src/CMakeFiles/elsi_ml.dir/ml/decision_tree.cc.o" "gcc" "src/CMakeFiles/elsi_ml.dir/ml/decision_tree.cc.o.d"
+  "/root/repo/src/ml/dqn.cc" "src/CMakeFiles/elsi_ml.dir/ml/dqn.cc.o" "gcc" "src/CMakeFiles/elsi_ml.dir/ml/dqn.cc.o.d"
+  "/root/repo/src/ml/ffn.cc" "src/CMakeFiles/elsi_ml.dir/ml/ffn.cc.o" "gcc" "src/CMakeFiles/elsi_ml.dir/ml/ffn.cc.o.d"
+  "/root/repo/src/ml/kmeans.cc" "src/CMakeFiles/elsi_ml.dir/ml/kmeans.cc.o" "gcc" "src/CMakeFiles/elsi_ml.dir/ml/kmeans.cc.o.d"
+  "/root/repo/src/ml/matrix.cc" "src/CMakeFiles/elsi_ml.dir/ml/matrix.cc.o" "gcc" "src/CMakeFiles/elsi_ml.dir/ml/matrix.cc.o.d"
+  "/root/repo/src/ml/pla.cc" "src/CMakeFiles/elsi_ml.dir/ml/pla.cc.o" "gcc" "src/CMakeFiles/elsi_ml.dir/ml/pla.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/CMakeFiles/elsi_ml.dir/ml/random_forest.cc.o" "gcc" "src/CMakeFiles/elsi_ml.dir/ml/random_forest.cc.o.d"
+  "/root/repo/src/ml/scaler.cc" "src/CMakeFiles/elsi_ml.dir/ml/scaler.cc.o" "gcc" "src/CMakeFiles/elsi_ml.dir/ml/scaler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/elsi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elsi_ml.dir/ml/decision_tree.cc.o"
+  "CMakeFiles/elsi_ml.dir/ml/decision_tree.cc.o.d"
+  "CMakeFiles/elsi_ml.dir/ml/dqn.cc.o"
+  "CMakeFiles/elsi_ml.dir/ml/dqn.cc.o.d"
+  "CMakeFiles/elsi_ml.dir/ml/ffn.cc.o"
+  "CMakeFiles/elsi_ml.dir/ml/ffn.cc.o.d"
+  "CMakeFiles/elsi_ml.dir/ml/kmeans.cc.o"
+  "CMakeFiles/elsi_ml.dir/ml/kmeans.cc.o.d"
+  "CMakeFiles/elsi_ml.dir/ml/matrix.cc.o"
+  "CMakeFiles/elsi_ml.dir/ml/matrix.cc.o.d"
+  "CMakeFiles/elsi_ml.dir/ml/pla.cc.o"
+  "CMakeFiles/elsi_ml.dir/ml/pla.cc.o.d"
+  "CMakeFiles/elsi_ml.dir/ml/random_forest.cc.o"
+  "CMakeFiles/elsi_ml.dir/ml/random_forest.cc.o.d"
+  "CMakeFiles/elsi_ml.dir/ml/scaler.cc.o"
+  "CMakeFiles/elsi_ml.dir/ml/scaler.cc.o.d"
+  "libelsi_ml.a"
+  "libelsi_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elsi_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elsi_storage.dir/storage/block_store.cc.o"
+  "CMakeFiles/elsi_storage.dir/storage/block_store.cc.o.d"
+  "CMakeFiles/elsi_storage.dir/storage/delta_buffer.cc.o"
+  "CMakeFiles/elsi_storage.dir/storage/delta_buffer.cc.o.d"
+  "libelsi_storage.a"
+  "libelsi_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elsi_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

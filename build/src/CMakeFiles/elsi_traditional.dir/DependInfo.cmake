@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traditional/grid_index.cc" "src/CMakeFiles/elsi_traditional.dir/traditional/grid_index.cc.o" "gcc" "src/CMakeFiles/elsi_traditional.dir/traditional/grid_index.cc.o.d"
+  "/root/repo/src/traditional/hrr_tree.cc" "src/CMakeFiles/elsi_traditional.dir/traditional/hrr_tree.cc.o" "gcc" "src/CMakeFiles/elsi_traditional.dir/traditional/hrr_tree.cc.o.d"
+  "/root/repo/src/traditional/kdb_tree.cc" "src/CMakeFiles/elsi_traditional.dir/traditional/kdb_tree.cc.o" "gcc" "src/CMakeFiles/elsi_traditional.dir/traditional/kdb_tree.cc.o.d"
+  "/root/repo/src/traditional/rstar_tree.cc" "src/CMakeFiles/elsi_traditional.dir/traditional/rstar_tree.cc.o" "gcc" "src/CMakeFiles/elsi_traditional.dir/traditional/rstar_tree.cc.o.d"
+  "/root/repo/src/traditional/rtree_common.cc" "src/CMakeFiles/elsi_traditional.dir/traditional/rtree_common.cc.o" "gcc" "src/CMakeFiles/elsi_traditional.dir/traditional/rtree_common.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/elsi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elsi_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

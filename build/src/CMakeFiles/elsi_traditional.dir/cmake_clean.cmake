@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elsi_traditional.dir/traditional/grid_index.cc.o"
+  "CMakeFiles/elsi_traditional.dir/traditional/grid_index.cc.o.d"
+  "CMakeFiles/elsi_traditional.dir/traditional/hrr_tree.cc.o"
+  "CMakeFiles/elsi_traditional.dir/traditional/hrr_tree.cc.o.d"
+  "CMakeFiles/elsi_traditional.dir/traditional/kdb_tree.cc.o"
+  "CMakeFiles/elsi_traditional.dir/traditional/kdb_tree.cc.o.d"
+  "CMakeFiles/elsi_traditional.dir/traditional/rstar_tree.cc.o"
+  "CMakeFiles/elsi_traditional.dir/traditional/rstar_tree.cc.o.d"
+  "CMakeFiles/elsi_traditional.dir/traditional/rtree_common.cc.o"
+  "CMakeFiles/elsi_traditional.dir/traditional/rtree_common.cc.o.d"
+  "libelsi_traditional.a"
+  "libelsi_traditional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elsi_traditional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

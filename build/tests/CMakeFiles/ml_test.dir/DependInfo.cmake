@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/decision_tree_test.cc" "tests/CMakeFiles/ml_test.dir/decision_tree_test.cc.o" "gcc" "tests/CMakeFiles/ml_test.dir/decision_tree_test.cc.o.d"
+  "/root/repo/tests/dqn_test.cc" "tests/CMakeFiles/ml_test.dir/dqn_test.cc.o" "gcc" "tests/CMakeFiles/ml_test.dir/dqn_test.cc.o.d"
+  "/root/repo/tests/ffn_test.cc" "tests/CMakeFiles/ml_test.dir/ffn_test.cc.o" "gcc" "tests/CMakeFiles/ml_test.dir/ffn_test.cc.o.d"
+  "/root/repo/tests/kmeans_test.cc" "tests/CMakeFiles/ml_test.dir/kmeans_test.cc.o" "gcc" "tests/CMakeFiles/ml_test.dir/kmeans_test.cc.o.d"
+  "/root/repo/tests/matrix_test.cc" "tests/CMakeFiles/ml_test.dir/matrix_test.cc.o" "gcc" "tests/CMakeFiles/ml_test.dir/matrix_test.cc.o.d"
+  "/root/repo/tests/pla_test.cc" "tests/CMakeFiles/ml_test.dir/pla_test.cc.o" "gcc" "tests/CMakeFiles/ml_test.dir/pla_test.cc.o.d"
+  "/root/repo/tests/random_forest_test.cc" "tests/CMakeFiles/ml_test.dir/random_forest_test.cc.o" "gcc" "tests/CMakeFiles/ml_test.dir/random_forest_test.cc.o.d"
+  "/root/repo/tests/scaler_test.cc" "tests/CMakeFiles/ml_test.dir/scaler_test.cc.o" "gcc" "tests/CMakeFiles/ml_test.dir/scaler_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/elsi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elsi_learned.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elsi_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elsi_traditional.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elsi_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elsi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_test.dir/decision_tree_test.cc.o"
+  "CMakeFiles/ml_test.dir/decision_tree_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/dqn_test.cc.o"
+  "CMakeFiles/ml_test.dir/dqn_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/ffn_test.cc.o"
+  "CMakeFiles/ml_test.dir/ffn_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/kmeans_test.cc.o"
+  "CMakeFiles/ml_test.dir/kmeans_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/matrix_test.cc.o"
+  "CMakeFiles/ml_test.dir/matrix_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/pla_test.cc.o"
+  "CMakeFiles/ml_test.dir/pla_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/random_forest_test.cc.o"
+  "CMakeFiles/ml_test.dir/random_forest_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/scaler_test.cc.o"
+  "CMakeFiles/ml_test.dir/scaler_test.cc.o.d"
+  "ml_test"
+  "ml_test.pdb"
+  "ml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

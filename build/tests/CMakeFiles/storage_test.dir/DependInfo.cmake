@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/block_store_test.cc" "tests/CMakeFiles/storage_test.dir/block_store_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/block_store_test.cc.o.d"
+  "/root/repo/tests/delta_buffer_test.cc" "tests/CMakeFiles/storage_test.dir/delta_buffer_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/delta_buffer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/elsi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elsi_learned.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elsi_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elsi_traditional.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elsi_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/elsi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elsi_cli.dir/elsi_cli.cc.o"
+  "CMakeFiles/elsi_cli.dir/elsi_cli.cc.o.d"
+  "elsi_cli"
+  "elsi_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elsi_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
