@@ -139,7 +139,8 @@ void Run() {
 }  // namespace bench
 }  // namespace elsi
 
-int main() {
+int main(int argc, char** argv) {
+  elsi::bench::InitBenchThreads(argc, argv);
   elsi::bench::Run();
   return 0;
 }

@@ -1,16 +1,24 @@
 // Micro-benchmarks for the substrate kernels behind the Sec. VI cost terms:
 // curve encoding (data preparation), KS distance (method extras), and FFN
-// inference/training (T(n) and M(n)).
+// inference/training (T(n) and M(n)) — plus a thread-scaling sweep of the
+// parallel build pipeline. Results are mirrored to BENCH_parallel_build.json
+// (google-benchmark JSON) for the scaling plots.
 
 #include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "common/cdf.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "curve/hilbert.h"
 #include "curve/zorder.h"
+#include "data/synthetic.h"
+#include "learned/zm_index.h"
 #include "ml/ffn.h"
 
 namespace elsi {
@@ -101,7 +109,79 @@ void BM_FfnTrainEpoch(benchmark::State& state) {
 }
 BENCHMARK(BM_FfnTrainEpoch)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
 
+// --- parallel build thread scaling ---------------------------------------
+//
+// Full ZM build (key mapping + per-segment FFN training) on a dedicated
+// pool of 1/2/4/8 workers. The build is bit-identical for every pool size
+// (partition-derived model seeds), so the sweep isolates wall-clock scaling
+// of the build pipeline. Dataset size defaults to 1M points; override with
+// ELSI_SCALING_N for quick runs.
+
+size_t ScalingN() {
+  const char* value = std::getenv("ELSI_SCALING_N");
+  if (value != nullptr && std::atoll(value) > 0) {
+    return static_cast<size_t>(std::atoll(value));
+  }
+  return 1u << 20;
+}
+
+const Dataset& ScalingDataset() {
+  static const Dataset* data =
+      new Dataset(GenerateDataset(DatasetKind::kOsm1, ScalingN(), 42));
+  return *data;
+}
+
+void BM_ParallelBuildZm(benchmark::State& state) {
+  const Dataset& data = ScalingDataset();
+  RankModelConfig model_cfg;
+  model_cfg.hidden = {16};
+  model_cfg.epochs = 40;
+  model_cfg.seed = 42;
+  for (auto _ : state) {
+    ThreadPool pool(static_cast<size_t>(state.range(0)));
+    ZmIndex::Config cfg;
+    cfg.array.leaf_target = std::max<size_t>(5000, data.size() / 64);
+    cfg.array.pool = &pool;
+    ZmIndex index(std::make_shared<DirectTrainer>(model_cfg), cfg);
+    index.Build(data);
+    benchmark::DoNotOptimize(index.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ParallelBuildZm)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->UseRealTime();
+
 }  // namespace
 }  // namespace elsi
 
-BENCHMARK_MAIN();
+// Custom main: mirror every result (the scaling sweep in particular) into
+// BENCH_parallel_build.json unless the caller picked their own output file.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) has_out = true;
+  }
+  static char out_flag[] = "--benchmark_out=BENCH_parallel_build.json";
+  static char fmt_flag[] = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.insert(args.begin() + 1, fmt_flag);
+    args.insert(args.begin() + 1, out_flag);
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "data/workload.h"
 #include "traditional/grid_index.h"
@@ -40,6 +41,19 @@ size_t BenchN() {
 }
 
 uint64_t BenchSeed() { return EnvSize("ELSI_BENCH_SEED", 42); }
+
+void InitBenchThreads(int argc, char** argv) {
+  size_t threads = EnvSize("ELSI_BENCH_THREADS", 0);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<size_t>(std::atoll(argv[i + 1]));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = static_cast<size_t>(std::atoll(arg.c_str() + 10));
+    }
+  }
+  if (threads > 0) ThreadPool::SetGlobalThreads(threads);
+}
 
 RankModelConfig BenchModelConfig() {
   RankModelConfig cfg;
@@ -370,9 +384,11 @@ std::string FormatRatio(double value) {
 void PrintBanner(const std::string& name, const std::string& paper_ref) {
   std::printf("==============================================================\n");
   std::printf("%s — reproduces %s\n", name.c_str(), paper_ref.c_str());
-  std::printf("n = %zu, seed = %llu%s (ELSI_BENCH_N / ELSI_BENCH_FULL=1 to scale)\n",
-              BenchN(), static_cast<unsigned long long>(BenchSeed()),
-              FullMode() ? ", FULL mode" : "");
+  std::printf(
+      "n = %zu, seed = %llu, threads = %zu%s (ELSI_BENCH_N / "
+      "ELSI_BENCH_FULL=1 / --threads to scale)\n",
+      BenchN(), static_cast<unsigned long long>(BenchSeed()),
+      ThreadPool::Global().thread_count(), FullMode() ? ", FULL mode" : "");
   std::printf("==============================================================\n");
 }
 

@@ -25,6 +25,13 @@ bool FullMode();
 /// Global deterministic bench seed (override with ELSI_BENCH_SEED).
 uint64_t BenchSeed();
 
+/// Applies the worker-thread knob to the global pool: the `--threads N`
+/// (or `--threads=N`) flag when present, else ELSI_BENCH_THREADS, else the
+/// hardware default. Call first thing in every bench main; builds are
+/// bit-identical across thread counts (see DESIGN.md), so this trades
+/// wall-clock only.
+void InitBenchThreads(int argc, char** argv);
+
 /// FFN settings used by every learned index in the benches (the paper's
 /// 500-epoch GPU setting scaled for CPU; override epochs with
 /// ELSI_BENCH_EPOCHS).

@@ -1,0 +1,175 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace elsi {
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads == 0) threads = DefaultThreadCount();
+  const size_t workers = threads - 1;  // The caller is the threads-th lane.
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  // Raw-submitted tasks that no worker picked up still have owners waiting
+  // on futures; drain them inline.
+  while (RunPendingTask()) {
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+bool ThreadPool::RunPendingTask() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end,
+                             const std::function<void(size_t)>& body) {
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  const size_t lanes = std::min(thread_count(), n);
+  if (lanes <= 1) {
+    for (size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  TaskGroup group(this);
+  for (size_t lane = 0; lane < lanes; ++lane) {
+    const size_t lo = begin + lane * n / lanes;
+    const size_t hi = begin + (lane + 1) * n / lanes;
+    group.Run([&body, lo, hi] {
+      for (size_t i = lo; i < hi; ++i) body(i);
+    });
+  }
+  group.Wait();
+}
+
+size_t ThreadPool::DefaultThreadCount() {
+  if (const char* env = std::getenv("ELSI_THREADS")) {
+    const long long parsed = std::atoll(env);
+    if (parsed > 0) return static_cast<size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+namespace {
+
+std::unique_ptr<ThreadPool>& GlobalPoolSlot() {
+  // Leaked on exit so tasks raw-submitted from static destructors (none
+  // today) can never touch a destroyed pool.
+  static auto* slot = new std::unique_ptr<ThreadPool>();
+  return *slot;
+}
+
+std::mutex& GlobalPoolMutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::Global() {
+  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  auto& slot = GlobalPoolSlot();
+  if (slot == nullptr) slot = std::make_unique<ThreadPool>();
+  return *slot;
+}
+
+void ThreadPool::SetGlobalThreads(size_t threads) {
+  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  auto& slot = GlobalPoolSlot();
+  slot.reset();  // Join the old pool before the new one exists.
+  slot = std::make_unique<ThreadPool>(threads == 0 ? 1 : threads);
+}
+
+void TaskGroup::RunTracked(const std::function<void()>& fn) {
+  std::exception_ptr error;
+  try {
+    fn();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (error != nullptr && first_error_ == nullptr) first_error_ = error;
+  if (--pending_ == 0) done_.notify_all();
+}
+
+void TaskGroup::Run(std::function<void()> fn) {
+  if (pool_ == nullptr || pool_->thread_count() <= 1) {
+    // Serial mode: run inline, but keep the exception contract of Wait().
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++pending_;
+    }
+    RunTracked(fn);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pending_;
+  }
+  auto shared_fn = std::make_shared<std::function<void()>>(std::move(fn));
+  pool_->Submit([this, shared_fn] { RunTracked(*shared_fn); });
+}
+
+void TaskGroup::Wait() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (pending_ == 0) break;
+    }
+    // Help: run queued tasks (ours or anyone's) instead of blocking. A
+    // thread only sleeps when none of its tasks are queued — they are all
+    // running on other threads, whose completion does not depend on us.
+    if (pool_ != nullptr && pool_->RunPendingTask()) continue;
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [this] { return pending_ == 0; });
+    break;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (first_error_ != nullptr) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace elsi

@@ -1,0 +1,135 @@
+#ifndef ELSI_COMMON_THREAD_POOL_H_
+#define ELSI_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace elsi {
+
+/// Fixed-size worker pool shared by every parallel build path in the
+/// repository. A pool of "n threads" spawns n-1 workers: the thread that
+/// waits on a TaskGroup (or calls ParallelFor) participates by executing
+/// queued tasks itself, so n == 1 means zero workers and fully inline
+/// execution — byte-for-byte the old serial path with no queue traffic.
+///
+/// Waiting helps: TaskGroup::Wait() drains queued tasks while its own are
+/// outstanding, so tasks may themselves fan out on the same pool (RSMI's
+/// recursive build) without deadlocking — a thread only sleeps when none of
+/// its group's tasks are queued, i.e. they are all running on other threads.
+///
+/// Determinism contract: the pool makes no ordering guarantees, so callers
+/// must make every task's result a pure function of its inputs (ELSI build
+/// paths derive per-partition RNG seeds from partition content, never from
+/// submission order). Under that contract, results are bit-identical for any
+/// thread count.
+class ThreadPool {
+ public:
+  /// `threads` is the total concurrency including the caller; 0 picks
+  /// DefaultThreadCount(). One thread means no workers (inline execution).
+  explicit ThreadPool(size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency (workers + the participating caller); >= 1.
+  size_t thread_count() const { return workers_.size() + 1; }
+
+  /// Enqueues a task. Prefer TaskGroup/ParallelFor, which add completion
+  /// tracking; raw submissions are only joined by the destructor.
+  void Submit(std::function<void()> task);
+
+  /// Futures-based submission for callers that want a task's value.
+  template <typename F>
+  auto SubmitFuture(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    Submit([task]() { (*task)(); });
+    return result;
+  }
+
+  /// Runs one queued task on the calling thread if any is pending. Returns
+  /// false when the queue was empty. This is the "helping" primitive used by
+  /// TaskGroup::Wait.
+  bool RunPendingTask();
+
+  /// Calls `body(i)` for every i in [begin, end), distributing contiguous
+  /// chunks over the pool and blocking until all complete. The calling
+  /// thread participates. Chunking never affects results for bodies that
+  /// write only index-i state.
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& body);
+
+  /// ELSI_THREADS env var when set, else std::thread::hardware_concurrency.
+  static size_t DefaultThreadCount();
+
+  /// The process-wide shared pool. Sized by SetGlobalThreads (or
+  /// DefaultThreadCount on first use). Never destroyed before exit.
+  static ThreadPool& Global();
+
+  /// Resizes the global pool (drains it first). The benchmark harness's
+  /// --threads N knob and tests use this; not safe to call while builds are
+  /// in flight on the global pool.
+  static void SetGlobalThreads(size_t threads);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Tracks a set of tasks submitted to a pool and joins them. One group per
+/// fan-out site; groups nest freely (a task may create its own group on the
+/// same pool). The first task exception is captured and rethrown from
+/// Wait().
+class TaskGroup {
+ public:
+  /// `pool` may be null: tasks then run inline in Run() (serial mode).
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+  ~TaskGroup() {
+    try {
+      Wait();
+    } catch (...) {
+      // Wait() was not called after the last Run(); the exception has
+      // nowhere to go from a destructor.
+    }
+  }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Submits `fn`; runs it inline when the pool has no workers.
+  void Run(std::function<void()> fn);
+
+  /// Blocks until every submitted task finished, executing queued pool tasks
+  /// on this thread while waiting. Rethrows the first captured exception.
+  void Wait();
+
+ private:
+  void RunTracked(const std::function<void()>& fn);
+
+  ThreadPool* pool_;
+  std::mutex mutex_;
+  std::condition_variable done_;
+  size_t pending_ = 0;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace elsi
+
+#endif  // ELSI_COMMON_THREAD_POOL_H_

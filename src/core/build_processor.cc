@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/cdf.h"
 #include "common/logging.h"
+#include "common/random.h"
 #include "common/timer.h"
 
 namespace elsi {
@@ -38,6 +40,21 @@ BuildMethod* BuildProcessor::MethodFor(BuildMethodId id) {
   return it->second.get();
 }
 
+uint64_t BuildProcessor::PartitionSeed(
+    const std::vector<double>& sorted_keys) const {
+  const auto bits = [](double d) {
+    uint64_t u = 0;
+    std::memcpy(&u, &d, sizeof(u));
+    return u;
+  };
+  SplitMix64 mix(config_.seed ^
+                 (sorted_keys.size() * 0x9e3779b97f4a7c15ULL));
+  uint64_t h = mix.Next() ^ bits(sorted_keys.front());
+  h = SplitMix64(h).Next() ^ bits(sorted_keys.back());
+  h = SplitMix64(h).Next() ^ bits(sorted_keys[sorted_keys.size() / 2]);
+  return SplitMix64(h).Next();
+}
+
 RankModel BuildProcessor::TrainModel(
     const std::vector<Point>& sorted_pts,
     const std::vector<double>& sorted_keys,
@@ -53,6 +70,7 @@ RankModel BuildProcessor::TrainModel(
   if (selector_ != nullptr) {
     const double log10_n = std::log10(static_cast<double>(record.n));
     const double dissim = UniformDissimilarity(sorted_keys);
+    std::lock_guard<std::mutex> lock(selector_mutex_);
     method = selector_->Choose(config_.enabled, log10_n, dissim);
   }
   record.select_seconds = select_timer.ElapsedSeconds();
@@ -61,7 +79,7 @@ RankModel BuildProcessor::TrainModel(
   const BuildContext ctx{sorted_pts, sorted_keys, key_fn};
   RankModel model;
   RankModelConfig model_cfg = config_.model;
-  model_cfg.seed = config_.seed ^ (records_.size() * 0x9e3779b9ULL);
+  model_cfg.seed = PartitionSeed(sorted_keys);
 
   Timer extra_timer;
   bool reused = false;
@@ -102,17 +120,22 @@ RankModel BuildProcessor::TrainModel(
   record.bounds_seconds = bounds_timer.ElapsedSeconds();
   record.error_magnitude = model.err_l() + model.err_u();
 
-  records_.push_back(record);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    records_.push_back(record);
+  }
   return model;
 }
 
 double BuildProcessor::TotalTrainSeconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   double total = 0.0;
   for (const BuildCallRecord& r : records_) total += r.train_seconds;
   return total;
 }
 
 double BuildProcessor::TotalExtraSeconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   double total = 0.0;
   for (const BuildCallRecord& r : records_) {
     total += r.extra_seconds + r.select_seconds;

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/build_method.h"
@@ -53,6 +54,12 @@ struct BuildCallRecord {
 /// engineers the reduced training set Ds, trains the model on Ds, and
 /// computes error bounds over the full partition. Implements ModelTrainer,
 /// so any map-and-sort/predict-and-scan index runs on it unmodified.
+///
+/// Thread safety: TrainModel may be called concurrently from worker-pool
+/// tasks (the parallel build path). Per-model RNG seeds are derived from
+/// partition content, never from call order, so concurrent builds produce
+/// bit-identical models to the serial path; record accumulation is guarded
+/// by a mutex (records() order may vary across runs, totals do not).
 class BuildProcessor : public ModelTrainer {
  public:
   /// `selector` may be null: the processor then always picks the first
@@ -65,8 +72,17 @@ class BuildProcessor : public ModelTrainer {
       const std::vector<double>& sorted_keys,
       const std::function<double(const Point&)>& key_fn) override;
 
-  const std::vector<BuildCallRecord>& records() const { return records_; }
-  void ClearRecords() { records_.clear(); }
+  /// Snapshot of the per-call instrumentation. Records land in completion
+  /// order, which is nondeterministic under a multi-thread pool; sort by a
+  /// content field before comparing runs.
+  std::vector<BuildCallRecord> records() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return records_;
+  }
+  void ClearRecords() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    records_.clear();
+  }
 
   /// Totals across records (Table I rows).
   double TotalTrainSeconds() const;
@@ -82,9 +98,17 @@ class BuildProcessor : public ModelTrainer {
  private:
   BuildMethod* MethodFor(BuildMethodId id);
 
+  /// Order-independent per-partition model seed: a hash of the partition's
+  /// cardinality and key extremes mixed with the processor seed, so the
+  /// serial and every parallel schedule train bit-identical models.
+  uint64_t PartitionSeed(const std::vector<double>& sorted_keys) const;
+
   BuildProcessorConfig config_;
   std::shared_ptr<MethodSelector> selector_;
   std::map<BuildMethodId, std::unique_ptr<BuildMethod>> methods_;
+
+  mutable std::mutex mutex_;          // Guards records_.
+  std::mutex selector_mutex_;         // Selectors may be stateful (Rand).
   std::vector<BuildCallRecord> records_;
 };
 

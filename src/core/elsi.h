@@ -46,6 +46,9 @@ inline std::string BaseIndexKindName(BaseIndexKind kind) {
 struct BaseIndexScale {
   size_t leaf_target = 10000;
   size_t block_capacity = kDefaultBlockCapacity;
+  /// Worker pool used by the index's build path; null means
+  /// ThreadPool::Global().
+  ThreadPool* pool = nullptr;
 };
 
 /// Builds a base index wired to `trainer`. Pass a DirectTrainer for the
@@ -58,23 +61,27 @@ inline std::unique_ptr<SpatialIndex> MakeBaseIndex(
       ZmIndex::Config cfg;
       cfg.array.leaf_target = scale.leaf_target;
       cfg.array.block_capacity = scale.block_capacity;
+      cfg.array.pool = scale.pool;
       return std::make_unique<ZmIndex>(std::move(trainer), cfg);
     }
     case BaseIndexKind::kML: {
       MlIndex::Config cfg;
       cfg.array.leaf_target = scale.leaf_target;
       cfg.array.block_capacity = scale.block_capacity;
+      cfg.array.pool = scale.pool;
       return std::make_unique<MlIndex>(std::move(trainer), cfg);
     }
     case BaseIndexKind::kRSMI: {
       RsmiIndex::Config cfg;
       cfg.leaf_capacity = scale.leaf_target;
       cfg.block_capacity = scale.block_capacity;
+      cfg.pool = scale.pool;
       return std::make_unique<RsmiIndex>(std::move(trainer), cfg);
     }
     case BaseIndexKind::kLISA: {
       LisaIndex::Config cfg;
       cfg.shard_size = scale.block_capacity;
+      cfg.pool = scale.pool;
       return std::make_unique<LisaIndex>(std::move(trainer), cfg);
     }
   }

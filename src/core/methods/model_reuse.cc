@@ -15,38 +15,38 @@ ModelReuse::ModelReuse(const ModelReuseConfig& config,
 }
 
 void ModelReuse::EnsurePool() {
-  if (pool_ready_) return;
-  pool_ready_ = true;
-  // Power-law CDF families F(x) = x^a and its mirror 1 - (1-x)^a. The KS
-  // distance between consecutive exponents grows with their ratio, so a
-  // geometric exponent grid with ratio ~ (1 + 2 eps) tiles the family at
-  // resolution eps. a = 1 (uniform) is shared by both families.
-  std::vector<double> exponents;
-  const double ratio = 1.0 + 2.0 * config_.epsilon;
-  for (double a = 1.0; a <= config_.max_exponent; a *= ratio) {
-    exponents.push_back(a);
-  }
-  const size_t ns = config_.synthetic_size;
-  uint64_t seed = 0x90de1ULL;
-  auto add_entry = [&](bool mirrored, double a) {
-    PoolEntry entry;
-    entry.keys.resize(ns);
-    for (size_t i = 0; i < ns; ++i) {
-      // Inverse-transform points of the synthetic CDF.
-      const double u = (static_cast<double>(i) + 0.5) / ns;
-      entry.keys[i] = mirrored ? 1.0 - std::pow(1.0 - u, 1.0 / a)
-                               : std::pow(u, 1.0 / a);
+  std::call_once(pool_once_, [this] {
+    // Power-law CDF families F(x) = x^a and its mirror 1 - (1-x)^a. The KS
+    // distance between consecutive exponents grows with their ratio, so a
+    // geometric exponent grid with ratio ~ (1 + 2 eps) tiles the family at
+    // resolution eps. a = 1 (uniform) is shared by both families.
+    std::vector<double> exponents;
+    const double ratio = 1.0 + 2.0 * config_.epsilon;
+    for (double a = 1.0; a <= config_.max_exponent; a *= ratio) {
+      exponents.push_back(a);
     }
-    std::sort(entry.keys.begin(), entry.keys.end());
-    RankModelConfig cfg = model_config_;
-    cfg.seed = seed++;
-    entry.model.Train(entry.keys, 0.0, 1.0, cfg);
-    pool_.push_back(std::move(entry));
-  };
-  for (double a : exponents) add_entry(false, a);
-  for (double a : exponents) {
-    if (a > 1.0) add_entry(true, a);
-  }
+    const size_t ns = config_.synthetic_size;
+    uint64_t seed = 0x90de1ULL;
+    auto add_entry = [&](bool mirrored, double a) {
+      PoolEntry entry;
+      entry.keys.resize(ns);
+      for (size_t i = 0; i < ns; ++i) {
+        // Inverse-transform points of the synthetic CDF.
+        const double u = (static_cast<double>(i) + 0.5) / ns;
+        entry.keys[i] = mirrored ? 1.0 - std::pow(1.0 - u, 1.0 / a)
+                                 : std::pow(u, 1.0 / a);
+      }
+      std::sort(entry.keys.begin(), entry.keys.end());
+      RankModelConfig cfg = model_config_;
+      cfg.seed = seed++;
+      entry.model.Train(entry.keys, 0.0, 1.0, cfg);
+      pool_.push_back(std::move(entry));
+    };
+    for (double a : exponents) add_entry(false, a);
+    for (double a : exponents) {
+      if (a > 1.0) add_entry(true, a);
+    }
+  });
 }
 
 size_t ModelReuse::pool_size() {

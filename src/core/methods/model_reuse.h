@@ -2,6 +2,7 @@
 #define ELSI_CORE_METHODS_MODEL_REUSE_H_
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/build_method.h"
@@ -51,12 +52,14 @@ class ModelReuse : public BuildMethod {
     RankModel model;
   };
 
+  /// Thread-safe lazy pool construction (std::call_once); after it returns
+  /// the pool is immutable, so concurrent FindBestEntry reads need no lock.
   void EnsurePool();
   int FindBestEntry(const std::vector<double>& sorted_keys, double* dist);
 
   ModelReuseConfig config_;
   RankModelConfig model_config_;
-  bool pool_ready_ = false;
+  std::once_flag pool_once_;
   std::vector<PoolEntry> pool_;
 };
 

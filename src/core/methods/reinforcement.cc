@@ -99,8 +99,11 @@ std::vector<double> ReinforcementMethod::ComputeTrainingSet(
   }
 
   state = best_state;
-  last_distance_ = best_dist;
-  last_steps_ = step;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    last_distance_ = best_dist;
+    last_steps_ = step;
+  }
   return active_keys();
 }
 

@@ -2,6 +2,7 @@
 #define ELSI_CORE_METHODS_REINFORCEMENT_H_
 
 #include <cstdint>
+#include <mutex>
 
 #include "core/build_method.h"
 
@@ -41,12 +42,20 @@ class ReinforcementMethod : public BuildMethod {
   BuildMethodId id() const override { return BuildMethodId::kRL; }
   std::vector<double> ComputeTrainingSet(const BuildContext& ctx) override;
 
-  /// dist(Ds, D) of the last computed training set (diagnostics).
-  double last_distance() const { return last_distance_; }
-  int last_steps() const { return last_steps_; }
+  /// dist(Ds, D) of the last computed training set (diagnostics). Under a
+  /// multi-thread build "last" means "most recently completed".
+  double last_distance() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return last_distance_;
+  }
+  int last_steps() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return last_steps_;
+  }
 
  private:
   ReinforcementConfig config_;
+  mutable std::mutex mutex_;  // Guards the diagnostics below.
   double last_distance_ = 1.0;
   int last_steps_ = 0;
 };

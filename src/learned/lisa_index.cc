@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace elsi {
 
@@ -66,7 +67,11 @@ void LisaIndex::Build(const std::vector<Point>& data) {
   cell_y_.assign(S, {});
   std::vector<std::vector<double>> strip_ys(S);
   for (const Point& p : data) strip_ys[StripOf(p.x)].push_back(p.y);
-  for (size_t s = 0; s < S; ++s) {
+  // Strips are independent: sort each strip's y-values and fit its cell
+  // boundaries on the pool.
+  ThreadPool* pool =
+      config_.pool != nullptr ? config_.pool : &ThreadPool::Global();
+  pool->ParallelFor(0, S, [&](size_t s) {
     std::vector<double>& ys = strip_ys[s];
     std::sort(ys.begin(), ys.end());
     std::vector<double>& bounds = cell_y_[s];
@@ -87,7 +92,7 @@ void LisaIndex::Build(const std::vector<Point>& data) {
       bounds.front() = -1.0;
       bounds.back() = 2.0;
     }
-  }
+  });
 
   if (data.empty()) {
     model_ = RankModel();
@@ -95,9 +100,11 @@ void LisaIndex::Build(const std::vector<Point>& data) {
     return;
   }
 
-  // Map-and-sort, then learn the shard prediction function.
+  // Map-and-sort, then learn the shard prediction function. The mapped
+  // value of each point is independent of the others.
   std::vector<double> keys(data.size());
-  for (size_t i = 0; i < data.size(); ++i) keys[i] = KeyOf(data[i]);
+  pool->ParallelFor(0, data.size(),
+                    [&](size_t i) { keys[i] = KeyOf(data[i]); });
   std::vector<size_t> order(data.size());
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
@@ -117,7 +124,7 @@ void LisaIndex::Build(const std::vector<Point>& data) {
   const size_t shard_count =
       (data.size() + config_.shard_size - 1) / config_.shard_size;
   shards_.assign(shard_count, PagedList(config_.shard_size));
-  for (size_t sh = 0; sh < shard_count; ++sh) {
+  pool->ParallelFor(0, shard_count, [&](size_t sh) {
     const size_t begin = sh * data.size() / shard_count;
     const size_t end = (sh + 1) * data.size() / shard_count;
     const std::vector<Point> chunk(sorted_pts.begin() + begin,
@@ -125,7 +132,7 @@ void LisaIndex::Build(const std::vector<Point>& data) {
     const std::vector<double> chunk_keys(sorted_keys.begin() + begin,
                                          sorted_keys.begin() + end);
     shards_[sh].BulkLoad(chunk, chunk_keys);
-  }
+  });
 }
 
 size_t LisaIndex::PredictedShard(double key) const {

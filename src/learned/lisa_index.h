@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/spatial_index.h"
+#include "common/thread_pool.h"
 #include "learned/rank_model.h"
 #include "storage/block_store.h"
 
@@ -24,6 +25,9 @@ struct LisaIndexConfig {
   size_t cells_per_strip = 32;
   size_t shard_size = kDefaultBlockCapacity;
   double knn_radius_factor = 2.0;
+  /// Worker pool for per-strip boundary fitting, key mapping and shard
+  /// loading; null means ThreadPool::Global().
+  ThreadPool* pool = nullptr;
 };
 
 class LisaIndex : public SpatialIndex {

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "ml/kmeans.h"
 
 namespace elsi {
@@ -67,13 +68,39 @@ void MlIndex::Build(const std::vector<Point>& data) {
                                   domain.hi_y - domain.lo_y) +
                 1e-9;
 
+  // The iDistance mapping is the dominant O(n * R) data-preparation cost;
+  // chunk it over the pool with per-lane radius accumulators merged by max
+  // afterwards (max is order-independent, so lane count cannot change the
+  // result).
   partition_radius_.assign(references_.size(), 0.0);
   std::vector<double> keys(data.size());
-  for (size_t i = 0; i < data.size(); ++i) {
-    double d = 0.0;
-    const size_t j = NearestReference(data[i], &d);
-    partition_radius_[j] = std::max(partition_radius_[j], d);
-    keys[i] = static_cast<double>(j) * separation_ + d;
+  ThreadPool* pool = config_.array.pool != nullptr ? config_.array.pool
+                                                   : &ThreadPool::Global();
+  const size_t lanes =
+      std::max<size_t>(1, std::min(pool->thread_count(), data.size()));
+  std::vector<std::vector<double>> lane_radius(
+      lanes, std::vector<double>(references_.size(), 0.0));
+  {
+    TaskGroup group(pool);
+    for (size_t lane = 0; lane < lanes; ++lane) {
+      const size_t lo = lane * data.size() / lanes;
+      const size_t hi = (lane + 1) * data.size() / lanes;
+      group.Run([this, &data, &keys, &lane_radius, lane, lo, hi] {
+        std::vector<double>& radius = lane_radius[lane];
+        for (size_t i = lo; i < hi; ++i) {
+          double d = 0.0;
+          const size_t j = NearestReference(data[i], &d);
+          radius[j] = std::max(radius[j], d);
+          keys[i] = static_cast<double>(j) * separation_ + d;
+        }
+      });
+    }
+    group.Wait();
+  }
+  for (const std::vector<double>& radius : lane_radius) {
+    for (size_t j = 0; j < radius.size(); ++j) {
+      partition_radius_[j] = std::max(partition_radius_[j], radius[j]);
+    }
   }
   array_.Build(data, std::move(keys),
                [this](const Point& p) { return KeyOf(p); }, trainer_.get(),

@@ -91,6 +91,13 @@ class RankModel {
 /// request of a base index goes through a ModelTrainer. The OG path is
 /// DirectTrainer; ELSI's BuildProcessor implements the same interface but
 /// shrinks the training set first (Algorithm 1).
+///
+/// Thread-safety contract: base indices submit independent partitions as
+/// worker-pool tasks, so TrainModel MUST be safe to call concurrently and
+/// MUST derive any randomness from the partition's content (or a fixed
+/// seed), never from call order or shared mutable counters — that is what
+/// makes a parallel build bit-identical to the serial one. DirectTrainer is
+/// stateless; BuildProcessor locks its instrumentation internally.
 class ModelTrainer {
  public:
   virtual ~ModelTrainer() = default;

@@ -117,9 +117,18 @@ std::unique_ptr<RsmiIndex::Node> RsmiIndex::BuildNode(std::vector<Point> pts,
       buckets[i * f / sorted_pts.size()].push_back(sorted_pts[i]);
     }
   }
+  // Sibling subtrees are independent: fan them out on the pool. Nested
+  // TaskGroups are safe because Wait() helps run queued tasks instead of
+  // blocking, and each task writes only its own children slot.
+  ThreadPool* pool =
+      config_.pool != nullptr ? config_.pool : &ThreadPool::Global();
+  TaskGroup group(pool);
   for (size_t c = 0; c < config_.fanout; ++c) {
-    node->children[c] = BuildNode(std::move(buckets[c]), depth + 1);
+    group.Run([this, node_ptr = node.get(), &buckets, c, depth] {
+      node_ptr->children[c] = BuildNode(std::move(buckets[c]), depth + 1);
+    });
   }
+  group.Wait();
   return node;
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/spatial_index.h"
+#include "common/thread_pool.h"
 #include "learned/rank_model.h"
 #include "storage/block_store.h"
 
@@ -40,6 +41,11 @@ struct RsmiIndexConfig {
   double knn_radius_factor = 2.0;
   /// Hard recursion limit (guards degenerate model routings).
   int max_depth = 12;
+  /// Worker pool for sibling-subtree builds; null means
+  /// ThreadPool::Global(). The tree is data-dependent but every routing
+  /// decision derives from trained models whose seeds are partition-derived,
+  /// so the structure is identical for any pool size.
+  ThreadPool* pool = nullptr;
 };
 
 class RsmiIndex : public SpatialIndex {

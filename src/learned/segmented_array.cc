@@ -55,12 +55,22 @@ void SegmentedLearnedArray::Build(std::vector<Point> pts,
     root_ = trainer->TrainModel(pts_, keys_, key_fn_);
     has_root_ = true;
   }
+  // Per-segment models are independent training requests; submit them to
+  // the pool. Each task writes only its own leaves_ slot and every seed is
+  // partition-derived, so any schedule yields the serial result.
+  ThreadPool* pool = config.pool != nullptr ? config.pool
+                                            : &ThreadPool::Global();
+  TaskGroup group(pool);
   for (size_t j = 0; j < leaf_count; ++j) {
-    const auto [s, e] = LeafRange(j);
-    const std::vector<Point> seg_pts(pts_.begin() + s, pts_.begin() + e);
-    const std::vector<double> seg_keys(keys_.begin() + s, keys_.begin() + e);
-    leaves_[j] = trainer->TrainModel(seg_pts, seg_keys, key_fn_);
+    group.Run([this, trainer, j] {
+      const auto [s, e] = LeafRange(j);
+      const std::vector<Point> seg_pts(pts_.begin() + s, pts_.begin() + e);
+      const std::vector<double> seg_keys(keys_.begin() + s,
+                                         keys_.begin() + e);
+      leaves_[j] = trainer->TrainModel(seg_pts, seg_keys, key_fn_);
+    });
   }
+  group.Wait();
 }
 
 std::pair<size_t, size_t> SegmentedLearnedArray::LeafRange(size_t leaf) const {

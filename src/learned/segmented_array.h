@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/geometry.h"
+#include "common/thread_pool.h"
 #include "learned/rank_model.h"
 #include "storage/block_store.h"
 
@@ -28,6 +29,10 @@ class SegmentedLearnedArray {
     /// segment suffices.
     size_t leaf_target = 10000;
     size_t block_capacity = kDefaultBlockCapacity;
+    /// Worker pool for per-segment model training; null means
+    /// ThreadPool::Global(). Training is bit-identical for any pool size
+    /// (see the ModelTrainer thread-safety contract).
+    ThreadPool* pool = nullptr;
   };
 
   SegmentedLearnedArray() = default;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace elsi {
 
@@ -34,7 +35,12 @@ void ZmIndex::Build(const std::vector<Point>& data) {
   }
   quantizer_ = std::make_unique<GridQuantizer>(domain_);
   std::vector<double> keys(data.size());
-  for (size_t i = 0; i < data.size(); ++i) keys[i] = KeyOf(data[i]);
+  // Z-codes are independent per point: map them on the pool (the paper's
+  // "data preparation" cost term).
+  ThreadPool* pool = config_.array.pool != nullptr ? config_.array.pool
+                                                   : &ThreadPool::Global();
+  pool->ParallelFor(0, data.size(),
+                    [&](size_t i) { keys[i] = KeyOf(data[i]); });
   array_.Build(
       data, std::move(keys), [this](const Point& p) { return KeyOf(p); },
       trainer_.get(), config_.array);

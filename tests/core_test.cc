@@ -188,7 +188,7 @@ TEST_P(BuildProcessorMethodTest, ModelsAreExactUnderAllMethods) {
     EXPECT_LE(i, hi) << BuildMethodName(GetParam());
   }
   ASSERT_EQ(processor.records().size(), 1u);
-  const BuildCallRecord& record = processor.records().front();
+  const BuildCallRecord record = processor.records().front();
   EXPECT_EQ(record.method, GetParam());
   EXPECT_EQ(record.n, keys.size());
   if (GetParam() != BuildMethodId::kOG && GetParam() != BuildMethodId::kMR) {

@@ -1,0 +1,183 @@
+// Parallel build pipeline tests: (1) golden determinism — building ZM/ML on
+// a worker pool must produce bit-identical models (error bounds) and answers
+// (point/window/kNN) to the serial build, for the same seed; (2) a stress
+// test hammering concurrent builds of all four base index kinds through one
+// shared BuildProcessor on one pool, with nested fan-out inside each build.
+
+#include <algorithm>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "core/elsi.h"
+#include "data/synthetic.h"
+#include "data/workload.h"
+
+namespace elsi {
+namespace {
+
+BuildProcessorConfig TestProcessorConfig(size_t n) {
+  BuildProcessorConfig cfg;
+  cfg.model.hidden = {8};
+  cfg.model.epochs = 30;
+  cfg.model.learning_rate = 0.03;
+  cfg.seed = 42;
+  cfg.sp.rho = 0.005;
+  cfg.rs.beta = std::max<size_t>(64, n / 100);
+  return cfg;
+}
+
+struct BuildOutcome {
+  std::vector<BuildCallRecord> records;  // Sorted by content.
+  std::vector<bool> point_found;
+  std::vector<std::vector<uint64_t>> window_ids;  // Sorted per window.
+  std::vector<std::vector<uint64_t>> knn_ids;
+};
+
+// Builds `kind` over `data` on a dedicated pool of `threads` and probes it
+// with a fixed workload. Everything returned is content only (no timings),
+// with order-normalised records, so two outcomes can be compared exactly.
+BuildOutcome BuildAndProbe(BaseIndexKind kind, const Dataset& data,
+                           size_t threads) {
+  ThreadPool pool(threads);
+  auto processor = std::make_shared<BuildProcessor>(
+      TestProcessorConfig(data.size()),
+      std::make_shared<FixedSelector>(BuildMethodId::kSP));
+  BaseIndexScale scale;
+  scale.leaf_target = 5000;
+  scale.pool = &pool;
+  auto index = MakeBaseIndex(kind, processor, scale);
+  index->Build(data);
+
+  BuildOutcome out;
+  out.records = processor->records();
+  std::sort(out.records.begin(), out.records.end(),
+            [](const BuildCallRecord& a, const BuildCallRecord& b) {
+              return std::tie(a.n, a.training_size, a.error_magnitude) <
+                     std::tie(b.n, b.training_size, b.error_magnitude);
+            });
+
+  const auto probes = SamplePointQueries(data, 300, 7);
+  for (const Point& q : probes) out.point_found.push_back(index->PointQuery(q));
+
+  const auto windows = SampleWindowQueries(data, 40, 0.001, 8);
+  for (const Rect& w : windows) {
+    std::vector<uint64_t> ids;
+    for (const Point& p : index->WindowQuery(w)) ids.push_back(p.id);
+    std::sort(ids.begin(), ids.end());
+    out.window_ids.push_back(std::move(ids));
+  }
+
+  const auto knn_probes = SampleKnnQueries(data, 30, 9);
+  for (const Point& q : knn_probes) {
+    std::vector<uint64_t> ids;
+    for (const Point& p : index->KnnQuery(q, 10)) ids.push_back(p.id);
+    out.knn_ids.push_back(std::move(ids));
+  }
+  return out;
+}
+
+class ParallelDeterminismTest
+    : public ::testing::TestWithParam<BaseIndexKind> {};
+
+TEST_P(ParallelDeterminismTest, EightThreadBuildMatchesSerialExactly) {
+  const Dataset data = GenerateDataset(DatasetKind::kOsm1, 100000, 42);
+  const BuildOutcome serial = BuildAndProbe(GetParam(), data, 1);
+  const BuildOutcome parallel = BuildAndProbe(GetParam(), data, 8);
+
+  // Same trained models: the per-call instrumentation (partition size,
+  // |Ds|, error bounds) must agree record-for-record after the
+  // content-order sort.
+  ASSERT_EQ(serial.records.size(), parallel.records.size());
+  for (size_t i = 0; i < serial.records.size(); ++i) {
+    EXPECT_EQ(serial.records[i].method, parallel.records[i].method) << i;
+    EXPECT_EQ(serial.records[i].n, parallel.records[i].n) << i;
+    EXPECT_EQ(serial.records[i].training_size, parallel.records[i].training_size)
+        << i;
+    EXPECT_DOUBLE_EQ(serial.records[i].error_magnitude,
+                     parallel.records[i].error_magnitude)
+        << "record " << i << ": parallel build trained a different model";
+  }
+
+  // Same answers, query for query.
+  EXPECT_EQ(serial.point_found, parallel.point_found);
+  EXPECT_EQ(serial.window_ids, parallel.window_ids);
+  EXPECT_EQ(serial.knn_ids, parallel.knn_ids);
+}
+
+INSTANTIATE_TEST_SUITE_P(ZmMl, ParallelDeterminismTest,
+                         ::testing::Values(BaseIndexKind::kZM,
+                                           BaseIndexKind::kML),
+                         [](const auto& info) {
+                           return BaseIndexKindName(info.param);
+                         });
+
+// Concurrent builds of all four kinds on one pool, all funnelled through a
+// single shared BuildProcessor (record accumulation, selector calls and the
+// MR model pool are hit from many threads at once). Each inner build fans
+// out on the same pool, exercising nested TaskGroups.
+TEST(ParallelBuildStressTest, ConcurrentBuildsAcrossAllKindsStayCorrect) {
+  ThreadPool pool(8);
+  const size_t n = 8000;
+  auto processor = std::make_shared<BuildProcessor>(
+      TestProcessorConfig(n),
+      std::make_shared<FixedSelector>(BuildMethodId::kRS));
+
+  struct Job {
+    BaseIndexKind kind;
+    Dataset data;
+    std::unique_ptr<SpatialIndex> index;
+  };
+  std::vector<Job> jobs;
+  uint64_t seed = 100;
+  for (BaseIndexKind kind : kAllBaseIndexKinds) {
+    for (int rep = 0; rep < 2; ++rep) {
+      Job job;
+      job.kind = kind;
+      job.data = GenerateDataset(DatasetKind::kSkewed, n, seed++);
+      BaseIndexScale scale;
+      scale.leaf_target = 2000;
+      scale.pool = &pool;
+      job.index = MakeBaseIndex(kind, processor, scale);
+      jobs.push_back(std::move(job));
+    }
+  }
+
+  TaskGroup group(&pool);
+  for (Job& job : jobs) {
+    group.Run([&job] { job.index->Build(job.data); });
+  }
+  group.Wait();
+
+  for (const Job& job : jobs) {
+    const std::string label = BaseIndexKindName(job.kind);
+    EXPECT_EQ(job.index->size(), job.data.size()) << label;
+    // Every built point must be findable, whatever thread built the index.
+    for (size_t i = 0; i < job.data.size(); i += 97) {
+      EXPECT_TRUE(job.index->PointQuery(job.data[i]))
+          << label << " lost point " << job.data[i].id;
+    }
+    // Window queries never produce false positives.
+    const auto windows = SampleWindowQueries(job.data, 10, 0.001, 3);
+    for (const Rect& w : windows) {
+      for (const Point& p : job.index->WindowQuery(w)) {
+        EXPECT_TRUE(w.Contains(p)) << label;
+      }
+    }
+  }
+
+  // The shared processor saw every training request exactly once.
+  const auto records = processor->records();
+  EXPECT_FALSE(records.empty());
+  for (const BuildCallRecord& r : records) {
+    EXPECT_GT(r.n, 0u);
+    EXPECT_EQ(r.method, BuildMethodId::kRS);
+  }
+  EXPECT_GT(processor->TotalTrainSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace elsi

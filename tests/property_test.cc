@@ -13,6 +13,7 @@
 
 #include "common/random.h"
 #include "common/spatial_index.h"
+#include "common/thread_pool.h"
 #include "core/elsi.h"
 #include "data/synthetic.h"
 #include "data/workload.h"
@@ -240,6 +241,71 @@ INSTANTIATE_TEST_SUITE_P(ExactIndices, WindowEdgeCaseTest,
                            std::replace(n.begin(), n.end(), '*', 'S');
                            return n;
                          });
+
+// Per-build-method differential sweep on the worker pool: for every method
+// in the default BuildProcessorConfig::enabled set, a ZM index is built
+// through the processor while its per-segment training requests run as pool
+// tasks, then checked against brute force (exact windows, exact kNN
+// distances). A correctness bug in any method's concurrent training path
+// surfaces as a wrong query answer here.
+class BuildMethodOracleTest : public ::testing::TestWithParam<BuildMethodId> {
+};
+
+TEST_P(BuildMethodOracleTest, PooledBuildMatchesBruteForce) {
+  const BuildMethodId method = GetParam();
+  ThreadPool pool(4);
+  for (uint64_t seed : {11ull, 12ull}) {
+    const Dataset data = GenerateDataset(
+        seed % 2 == 0 ? DatasetKind::kSkewed : DatasetKind::kOsm2, 1200,
+        seed);
+    BuildProcessorConfig cfg;
+    cfg.model = FastModel();
+    cfg.seed = seed;
+    cfg.enabled = {method};
+    cfg.rs.beta = 128;
+    cfg.rl.max_steps = 60;  // Keep the RL episode short.
+    auto processor = std::make_shared<BuildProcessor>(
+        cfg, std::make_shared<FixedSelector>(method));
+    BaseIndexScale scale;
+    scale.leaf_target = 300;  // Several segments -> several pool tasks.
+    scale.pool = &pool;
+    auto index = MakeBaseIndex(BaseIndexKind::kZM, processor, scale);
+    index->Build(data);
+    EXPECT_FALSE(processor->records().empty());
+
+    Rng rng(seed + 1);
+    for (int i = 0; i < 25; ++i) {
+      const double cx = rng.NextDouble();
+      const double cy = rng.NextDouble();
+      const double half = 0.01 + 0.08 * rng.NextDouble();
+      const Rect w = Rect::Of(cx - half, cy - half, cx + half, cy + half);
+      const auto result = index->WindowQuery(w);
+      const auto truth = BruteForceWindow(data, w);
+      EXPECT_EQ(result.size(), truth.size())
+          << BuildMethodName(method) << " window " << i << " seed " << seed;
+      for (const Point& p : result) {
+        EXPECT_TRUE(w.Contains(p)) << BuildMethodName(method);
+      }
+    }
+    for (size_t k : {1u, 8u, 32u}) {
+      const Point q = data[rng.NextBelow(data.size())];
+      const auto truth = BruteForceKnn(data, q, k);
+      const auto result = index->KnnQuery(q, k);
+      ASSERT_EQ(result.size(), truth.size())
+          << BuildMethodName(method) << " k=" << k;
+      for (size_t i = 0; i < truth.size(); ++i) {
+        EXPECT_DOUBLE_EQ(SquaredDistance(result[i], q),
+                         SquaredDistance(truth[i], q))
+            << BuildMethodName(method) << " k=" << k << " rank " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, BuildMethodOracleTest,
+    ::testing::ValuesIn(BuildProcessorConfig{}.enabled),
+    [](const auto& info) { return BuildMethodName(info.param); });
 
 }  // namespace
 }  // namespace elsi

@@ -1,0 +1,150 @@
+// Unit tests for the shared worker pool: basic execution, futures,
+// ParallelFor coverage, nested fan-out (the helping-wait guarantee RSMI's
+// recursive build relies on), exception propagation and global pool sizing.
+
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace elsi {
+namespace {
+
+TEST(ThreadPoolTest, SingleThreadPoolHasNoWorkers) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  // With no workers, TaskGroup::Run executes inline and in order.
+  std::vector<int> order;
+  TaskGroup group(&pool);
+  for (int i = 0; i < 4; ++i) {
+    group.Run([&order, i] { order.push_back(i); });
+  }
+  group.Wait();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::atomic<int> count{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 100; ++i) {
+    group.Run([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  group.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusableAfterCompletion) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  TaskGroup group(&pool);
+  group.Run([&count] { ++count; });
+  group.Wait();
+  group.Run([&count] { ++count; });
+  group.Wait();
+  group.Wait();  // Idempotent with nothing pending.
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPoolTest, SubmitFutureReturnsValue) {
+  ThreadPool pool(2);
+  auto fut = pool.SubmitFuture([] { return 7 * 6; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  for (size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    std::vector<int> hits(1000, 0);
+    pool.ParallelFor(0, hits.size(), [&](size_t i) { ++hits[i]; });
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000)
+        << "threads = " << threads;
+    for (size_t i = 0; i < hits.size(); ++i) {
+      ASSERT_EQ(hits[i], 1) << "index " << i << ", threads " << threads;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyAndTinyRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(5, 5, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> atomic_calls{0};
+  pool.ParallelFor(0, 2, [&](size_t) { ++atomic_calls; });
+  EXPECT_EQ(atomic_calls.load(), 2);
+}
+
+// Recursive fan-out on one pool: a task spawns its own TaskGroup. The
+// helping Wait() must keep every level making progress even when the
+// recursion depth exceeds the worker count.
+TEST(ThreadPoolTest, NestedGroupsDoNotDeadlock) {
+  ThreadPool pool(2);  // 1 worker: stresses the helping path.
+  std::atomic<int> leaves{0};
+  std::function<void(int)> recurse = [&](int depth) {
+    if (depth == 0) {
+      leaves.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    TaskGroup group(&pool);
+    for (int c = 0; c < 3; ++c) {
+      group.Run([&recurse, depth] { recurse(depth - 1); });
+    }
+    group.Wait();
+  };
+  recurse(5);
+  EXPECT_EQ(leaves.load(), 3 * 3 * 3 * 3 * 3);
+}
+
+TEST(ThreadPoolTest, TaskExceptionPropagatesFromWait) {
+  ThreadPool pool(4);
+  TaskGroup group(&pool);
+  for (int i = 0; i < 8; ++i) {
+    group.Run([i] {
+      if (i == 5) throw std::runtime_error("task failed");
+    });
+  }
+  EXPECT_THROW(group.Wait(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, NullPoolGroupRunsInline) {
+  TaskGroup group(nullptr);
+  int runs = 0;
+  group.Run([&runs] { ++runs; });
+  group.Run([&runs] { ++runs; });
+  group.Wait();
+  EXPECT_EQ(runs, 2);
+}
+
+TEST(ThreadPoolTest, RunPendingTaskReportsEmptyQueue) {
+  ThreadPool pool(1);  // No workers, nothing ever queued by TaskGroup.
+  EXPECT_FALSE(pool.RunPendingTask());
+}
+
+TEST(ThreadPoolTest, GlobalPoolResizes) {
+  const size_t original = ThreadPool::Global().thread_count();
+  ThreadPool::SetGlobalThreads(3);
+  EXPECT_EQ(ThreadPool::Global().thread_count(), 3u);
+  ThreadPool::SetGlobalThreads(1);
+  EXPECT_EQ(ThreadPool::Global().thread_count(), 1u);
+  ThreadPool::SetGlobalThreads(original);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsRawSubmissions) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // Destructor joins the worker and drains any leftovers inline.
+  EXPECT_EQ(count.load(), 50);
+}
+
+}  // namespace
+}  // namespace elsi

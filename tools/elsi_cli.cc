@@ -5,7 +5,7 @@
 //             [--seed S] --out <file.csv|file.bin>
 //   bench     --input <file.csv|file.bin> --index <zm|ml|rsmi|lisa|flood>
 //             [--method <sp|cl|mr|rs|rl|og>] [--epochs E] [--seed S]
-//             [--queries Q] [--window-frac F] [--knn K]
+//             [--queries Q] [--window-frac F] [--knn K] [--threads T]
 //
 // `bench` builds the chosen index (through ELSI's build processor unless
 // --method og) and reports build time plus point/window/kNN query timings
@@ -18,6 +18,7 @@
 #include <memory>
 #include <string>
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/elsi.h"
 #include "data/dataset.h"
@@ -38,7 +39,7 @@ int Usage() {
       "                    --index <zm|ml|rsmi|lisa|flood>\n"
       "                    [--method <sp|cl|mr|rs|rl|og>] [--epochs E]\n"
       "                    [--seed S] [--queries Q] [--window-frac F]\n"
-      "                    [--knn K]\n");
+      "                    [--knn K] [--threads T]\n");
   return 2;
 }
 
@@ -106,6 +107,12 @@ int RunBench(const std::map<std::string, std::string>& flags) {
       std::atof(FlagOr(flags, "window-frac", "0.0001").c_str());
   const size_t k =
       std::strtoull(FlagOr(flags, "knn", "25").c_str(), nullptr, 10);
+  const size_t threads =
+      std::strtoull(FlagOr(flags, "threads", "0").c_str(), nullptr, 10);
+  // Builds are bit-identical across thread counts (partition-derived model
+  // seeds); the knob only changes wall-clock.
+  if (threads > 0) ThreadPool::SetGlobalThreads(threads);
+  std::printf("worker threads: %zu\n", ThreadPool::Global().thread_count());
 
   Dataset data;
   const bool loaded = EndsWith(input, ".bin") ? LoadBinary(input, &data)
