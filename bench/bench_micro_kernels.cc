@@ -3,8 +3,16 @@
 // inference/training (T(n) and M(n)) — plus a thread-scaling sweep of the
 // parallel build pipeline. Results are mirrored to BENCH_parallel_build.json
 // (google-benchmark JSON) for the scaling plots.
+//
+// After the google-benchmark suite, a custom sweep of the batched query path
+// runs: tiled-vs-naive GEMM over representative shapes, and ZM point/window
+// query throughput for the serial per-query loop vs batch-256 chunks on
+// 1/2/4/8 worker threads. Results land in BENCH_query_path.json. Scale the
+// query-path dataset with ELSI_QUERY_PATH_N (default 1,048,576 points).
 
 #include <algorithm>
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
@@ -15,11 +23,14 @@
 #include "common/cdf.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
+#include "common/timer.h"
 #include "curve/hilbert.h"
 #include "curve/zorder.h"
 #include "data/synthetic.h"
+#include "data/workload.h"
 #include "learned/zm_index.h"
 #include "ml/ffn.h"
+#include "ml/matrix.h"
 
 namespace elsi {
 namespace {
@@ -159,6 +170,243 @@ BENCHMARK(BM_ParallelBuildZm)
     ->Iterations(1)
     ->UseRealTime();
 
+// --- batched query path sweep --------------------------------------------
+//
+// Hand-rolled (Timer-based) so the output is one compact JSON document the
+// CI perf-smoke step can archive, independent of google-benchmark's report
+// format. Every row is also printed as a human-readable line.
+
+size_t QueryPathN() {
+  const char* value = std::getenv("ELSI_QUERY_PATH_N");
+  if (value != nullptr && std::atoll(value) > 0) {
+    return static_cast<size_t>(std::atoll(value));
+  }
+  return 1u << 20;
+}
+
+// Reference GEMM: the straightforward triple loop the tiled kernels in
+// ml/matrix.cc replaced. Kept here (not in the library) purely as the
+// baseline for the speedup column.
+void NaiveGemmNN(const double* a, const double* b, double* c, size_t m,
+                 size_t k, size_t n) {
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (size_t kk = 0; kk < k; ++kk) acc += a[i * k + kk] * b[kk * n + j];
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+struct GemmRow {
+  size_t m, k, n;
+  double naive_ns;
+  double tiled_ns;
+};
+
+// Times one GEMM variant: repeats until ~20ms of work has accumulated and
+// returns ns per call.
+template <typename Fn>
+double TimeGemm(const Fn& fn) {
+  size_t reps = 1;
+  for (;;) {
+    Timer timer;
+    for (size_t r = 0; r < reps; ++r) fn();
+    const double micros = timer.ElapsedMicros();
+    if (micros >= 20000.0 || reps >= (1u << 22)) {
+      return micros * 1000.0 / static_cast<double>(reps);
+    }
+    reps *= 4;
+  }
+}
+
+std::vector<GemmRow> SweepGemmShapes() {
+  // Inference-shaped (skinny) and training-shaped (square-ish) products,
+  // plus deliberately odd dimensions that exercise the edge kernels.
+  const size_t shapes[][3] = {{1, 1, 16},    {1, 16, 16},   {1, 16, 1},
+                              {256, 1, 16},  {256, 16, 16}, {256, 16, 1},
+                              {512, 64, 64}, {128, 128, 128}, {37, 19, 53}};
+  std::vector<GemmRow> rows;
+  Rng rng(11);
+  for (const auto& s : shapes) {
+    const size_t m = s[0], k = s[1], n = s[2];
+    std::vector<double> a(m * k), b(k * n), c(m * n);
+    for (double& v : a) v = rng.NextDouble() - 0.5;
+    for (double& v : b) v = rng.NextDouble() - 0.5;
+    GemmRow row;
+    row.m = m;
+    row.k = k;
+    row.n = n;
+    row.naive_ns = TimeGemm([&] {
+      NaiveGemmNN(a.data(), b.data(), c.data(), m, k, n);
+      benchmark::DoNotOptimize(c.data());
+    });
+    row.tiled_ns = TimeGemm([&] {
+      GemmNN(a.data(), b.data(), c.data(), m, k, n);
+      benchmark::DoNotOptimize(c.data());
+    });
+    std::printf("gemm %4zux%3zux%3zu: naive %10.1f ns  tiled %10.1f ns  "
+                "speedup %.2fx\n",
+                m, k, n, row.naive_ns, row.tiled_ns,
+                row.naive_ns / row.tiled_ns);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+struct QueryRow {
+  std::string query;  // "point" | "window"
+  size_t batch;       // 0 = serial per-query loop.
+  size_t threads;
+  double avg_us;
+  double checksum;  // Hits (point) / total results (window) — sanity only.
+};
+
+std::vector<QueryRow> SweepQueryPath() {
+  const size_t n = QueryPathN();
+  const Dataset data = GenerateDataset(DatasetKind::kOsm1, n, 42);
+  RankModelConfig model_cfg;
+  model_cfg.hidden = {16};
+  model_cfg.epochs = 40;
+  model_cfg.seed = 42;
+  ZmIndex::Config cfg;
+  cfg.array.leaf_target = std::max<size_t>(5000, n / 64);
+  ZmIndex index(std::make_shared<DirectTrainer>(model_cfg), cfg);
+  index.Build(data);
+
+  const auto probes = SamplePointQueries(data, 4096, 43);
+  const auto windows = SampleWindowQueries(data, 256, 0.0001, 44);
+  const size_t kBatch = 256;
+  std::vector<QueryRow> rows;
+
+  const auto report = [&rows](const std::string& query, size_t batch,
+                              size_t threads, double total_micros, size_t m,
+                              double checksum) {
+    QueryRow row;
+    row.query = query;
+    row.batch = batch;
+    row.threads = threads;
+    row.avg_us = total_micros / static_cast<double>(m);
+    row.checksum = checksum;
+    std::printf("%s query: batch %3zu threads %zu: %8.3f us avg "
+                "(checksum %.0f)\n",
+                query.c_str(), batch, threads, row.avg_us, checksum);
+    rows.push_back(row);
+  };
+
+  // Every row is the best of kReps runs (min is the usual noise filter for
+  // microbenchmarks), and an untimed pass precedes each timed section so the
+  // serial and batched paths are both measured warm — the first pass over a
+  // cold index pays the key/point page-in cost whichever path runs first.
+  const size_t kReps = 5;
+  const auto best_of = [kReps](const auto& fn) {
+    double best = 0.0;
+    for (size_t rep = 0; rep < kReps; ++rep) {
+      Timer timer;
+      fn();
+      const double micros = timer.ElapsedMicros();
+      if (rep == 0 || micros < best) best = micros;
+    }
+    return best;
+  };
+
+  // Point queries: serial loop, then batch-256 chunks on 1/2/4/8 threads.
+  {
+    size_t found = 0;
+    const auto run = [&] {
+      found = 0;
+      for (const Point& q : probes) {
+        if (index.PointQuery(q)) ++found;
+      }
+    };
+    run();  // warm-up
+    report("point", 0, 1, best_of(run), probes.size(),
+           static_cast<double>(found));
+  }
+  for (const size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    BatchQueryOptions opts;
+    opts.pool = &pool;
+    opts.chunk = kBatch;
+    std::vector<uint8_t> hit(probes.size(), 0);
+    std::vector<Point> payload(probes.size());
+    const auto run = [&] { index.PointQueryBatch(probes, hit, payload, opts); };
+    run();  // warm-up (also grows the per-thread scratch buffers)
+    const double micros = best_of(run);
+    size_t found = 0;
+    for (const uint8_t h : hit) found += h;
+    report("point", kBatch, threads, micros, probes.size(),
+           static_cast<double>(found));
+  }
+
+  // Window queries: same sweep.
+  {
+    size_t hits = 0;
+    const auto run = [&] {
+      hits = 0;
+      for (const Rect& w : windows) hits += index.WindowQuery(w).size();
+    };
+    run();  // warm-up
+    report("window", 0, 1, best_of(run), windows.size(),
+           static_cast<double>(hits));
+  }
+  for (const size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    BatchQueryOptions opts;
+    opts.pool = &pool;
+    opts.chunk = kBatch;
+    std::vector<std::vector<Point>> results(windows.size());
+    const auto run = [&] { index.WindowQueryBatch(windows, results, opts); };
+    run();  // warm-up
+    const double micros = best_of(run);
+    size_t hits = 0;
+    for (const auto& r : results) hits += r.size();
+    report("window", kBatch, threads, micros, windows.size(),
+           static_cast<double>(hits));
+  }
+  return rows;
+}
+
+void WriteQueryPathJson(const std::string& path,
+                        const std::vector<GemmRow>& gemm,
+                        const std::vector<QueryRow>& queries, size_t n) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"dataset_n\": %zu,\n  \"gemm\": [\n", n);
+  for (size_t i = 0; i < gemm.size(); ++i) {
+    const GemmRow& r = gemm[i];
+    std::fprintf(f,
+                 "    {\"m\": %zu, \"k\": %zu, \"n\": %zu, "
+                 "\"naive_ns\": %.1f, \"tiled_ns\": %.1f, "
+                 "\"speedup\": %.3f}%s\n",
+                 r.m, r.k, r.n, r.naive_ns, r.tiled_ns,
+                 r.naive_ns / r.tiled_ns, i + 1 < gemm.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"queries\": [\n");
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const QueryRow& r = queries[i];
+    std::fprintf(f,
+                 "    {\"query\": \"%s\", \"batch\": %zu, \"threads\": %zu, "
+                 "\"avg_us\": %.3f, \"checksum\": %.0f}%s\n",
+                 r.query.c_str(), r.batch, r.threads, r.avg_us, r.checksum,
+                 i + 1 < queries.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+void RunQueryPathSweep() {
+  std::printf("\n--- batched query path sweep (ZM, n = %zu) ---\n",
+              QueryPathN());
+  const auto gemm = SweepGemmShapes();
+  const auto queries = SweepQueryPath();
+  WriteQueryPathJson("BENCH_query_path.json", gemm, queries, QueryPathN());
+}
+
 }  // namespace
 }  // namespace elsi
 
@@ -183,5 +431,6 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  elsi::RunQueryPathSweep();
   return 0;
 }

@@ -42,18 +42,29 @@ size_t BenchN() {
 
 uint64_t BenchSeed() { return EnvSize("ELSI_BENCH_SEED", 42); }
 
+namespace {
+size_t g_bench_batch = 0;
+}  // namespace
+
 void InitBenchThreads(int argc, char** argv) {
   size_t threads = EnvSize("ELSI_BENCH_THREADS", 0);
+  g_bench_batch = EnvSize("ELSI_BENCH_BATCH", 0);
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--threads" && i + 1 < argc) {
       threads = static_cast<size_t>(std::atoll(argv[i + 1]));
     } else if (arg.rfind("--threads=", 0) == 0) {
       threads = static_cast<size_t>(std::atoll(arg.c_str() + 10));
+    } else if (arg == "--batch" && i + 1 < argc) {
+      g_bench_batch = static_cast<size_t>(std::atoll(argv[i + 1]));
+    } else if (arg.rfind("--batch=", 0) == 0) {
+      g_bench_batch = static_cast<size_t>(std::atoll(arg.c_str() + 8));
     }
   }
   if (threads > 0) ThreadPool::SetGlobalThreads(threads);
 }
+
+size_t BenchBatch() { return g_bench_batch; }
 
 RankModelConfig BenchModelConfig() {
   RankModelConfig cfg;
@@ -261,12 +272,26 @@ double MeasureBuildSeconds(SpatialIndex* index, const Dataset& data) {
 
 double MeasurePointQueryMicros(const SpatialIndex& index,
                                const std::vector<Point>& queries) {
-  Timer timer;
+  const size_t batch = BenchBatch();
   size_t found = 0;
-  for (const Point& q : queries) {
-    if (index.PointQuery(q)) ++found;
+  double micros = 0.0;
+  if (batch > 0) {
+    BatchQueryOptions opts;
+    opts.pool = &ThreadPool::Global();
+    opts.chunk = batch;
+    std::vector<uint8_t> hit(queries.size());
+    std::vector<Point> out(queries.size());
+    Timer timer;
+    index.PointQueryBatch(queries, hit, out, opts);
+    micros = timer.ElapsedMicros() / std::max<size_t>(1, queries.size());
+    for (const uint8_t h : hit) found += h;
+  } else {
+    Timer timer;
+    for (const Point& q : queries) {
+      if (index.PointQuery(q)) ++found;
+    }
+    micros = timer.ElapsedMicros() / std::max<size_t>(1, queries.size());
   }
-  const double micros = timer.ElapsedMicros() / std::max<size_t>(1, queries.size());
   if (found < queries.size() * 95 / 100) {
     std::fprintf(stderr, "[bench] WARNING: %s found only %zu/%zu points\n",
                  index.Name().c_str(), found, queries.size());
@@ -294,10 +319,19 @@ std::vector<std::vector<Point>> KnnTruths(const Dataset& data,
 std::pair<double, double> MeasureWindowQuery(
     const SpatialIndex& index, const std::vector<Rect>& windows,
     const std::vector<std::vector<Point>>& truths) {
+  const size_t batch = BenchBatch();
+  std::vector<std::vector<Point>> results(windows.size());
   Timer timer;
-  std::vector<std::vector<Point>> results;
-  results.reserve(windows.size());
-  for (const Rect& w : windows) results.push_back(index.WindowQuery(w));
+  if (batch > 0) {
+    BatchQueryOptions opts;
+    opts.pool = &ThreadPool::Global();
+    opts.chunk = batch;
+    index.WindowQueryBatch(windows, results, opts);
+  } else {
+    for (size_t i = 0; i < windows.size(); ++i) {
+      results[i] = index.WindowQuery(windows[i]);
+    }
+  }
   const double micros =
       timer.ElapsedMicros() / std::max<size_t>(1, windows.size());
   double recall_sum = 0.0;
@@ -313,10 +347,19 @@ std::pair<double, double> MeasureWindowQuery(
 std::pair<double, double> MeasureKnnQuery(
     const SpatialIndex& index, const std::vector<Point>& queries, size_t k,
     const std::vector<std::vector<Point>>& truths) {
+  const size_t batch = BenchBatch();
+  std::vector<std::vector<Point>> results(queries.size());
   Timer timer;
-  std::vector<std::vector<Point>> results;
-  results.reserve(queries.size());
-  for (const Point& q : queries) results.push_back(index.KnnQuery(q, k));
+  if (batch > 0) {
+    BatchQueryOptions opts;
+    opts.pool = &ThreadPool::Global();
+    opts.chunk = batch;
+    index.KnnQueryBatch(queries, k, results, opts);
+  } else {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      results[i] = index.KnnQuery(queries[i], k);
+    }
+  }
   const double micros =
       timer.ElapsedMicros() / std::max<size_t>(1, queries.size());
   double recall_sum = 0.0;

@@ -29,8 +29,16 @@ uint64_t BenchSeed();
 /// (or `--threads=N`) flag when present, else ELSI_BENCH_THREADS, else the
 /// hardware default. Call first thing in every bench main; builds are
 /// bit-identical across thread counts (see DESIGN.md), so this trades
-/// wall-clock only.
+/// wall-clock only. Also records the `--batch N` (or `--batch=N`,
+/// ELSI_BENCH_BATCH) knob read back by BenchBatch().
 void InitBenchThreads(int argc, char** argv);
+
+/// Query batch size from `--batch N` / ELSI_BENCH_BATCH; 0 (the default)
+/// keeps the serial per-query measurement loops. When > 0 the Measure*
+/// helpers below route through the batched query path (PointQueryBatch et
+/// al.) with this chunk size on the global pool — answers are identical to
+/// the serial loop (see DESIGN.md "Batched predict-and-scan").
+size_t BenchBatch();
 
 /// FFN settings used by every learned index in the benches (the paper's
 /// 500-epoch GPU setting scaled for CPU; override epochs with

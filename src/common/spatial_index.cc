@@ -1,0 +1,58 @@
+#include "common/spatial_index.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace elsi {
+
+void ForEachQueryChunk(size_t n, const BatchQueryOptions& opts,
+                       const std::function<void(size_t, size_t)>& body) {
+  const size_t chunk = std::max<size_t>(1, opts.chunk);
+  if (opts.pool == nullptr || n <= chunk) {
+    for (size_t begin = 0; begin < n; begin += chunk) {
+      body(begin, std::min(n, begin + chunk));
+    }
+    return;
+  }
+  TaskGroup group(opts.pool);
+  for (size_t begin = 0; begin < n; begin += chunk) {
+    const size_t end = std::min(n, begin + chunk);
+    group.Run([&body, begin, end] { body(begin, end); });
+  }
+  group.Wait();
+}
+
+void SpatialIndex::PointQueryBatch(std::span<const Point> qs,
+                                   std::span<uint8_t> hit,
+                                   std::span<Point> out,
+                                   const BatchQueryOptions& opts) const {
+  ELSI_CHECK_EQ(hit.size(), qs.size());
+  ELSI_CHECK_EQ(out.size(), qs.size());
+  ForEachQueryChunk(qs.size(), opts, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      hit[i] = PointQuery(qs[i], &out[i]) ? 1 : 0;
+    }
+  });
+}
+
+void SpatialIndex::WindowQueryBatch(std::span<const Rect> ws,
+                                    std::span<std::vector<Point>> out,
+                                    const BatchQueryOptions& opts) const {
+  ELSI_CHECK_EQ(out.size(), ws.size());
+  ForEachQueryChunk(ws.size(), opts, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) out[i] = WindowQuery(ws[i]);
+  });
+}
+
+void SpatialIndex::KnnQueryBatch(std::span<const Point> qs, size_t k,
+                                 std::span<std::vector<Point>> out,
+                                 const BatchQueryOptions& opts) const {
+  ELSI_CHECK_EQ(out.size(), qs.size());
+  ForEachQueryChunk(qs.size(), opts, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) out[i] = KnnQuery(qs[i], k);
+  });
+}
+
+}  // namespace elsi

@@ -2,13 +2,36 @@
 #define ELSI_COMMON_SPATIAL_INDEX_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <limits>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/geometry.h"
 
 namespace elsi {
+
+class ThreadPool;
+
+/// Options for the batched query entry points. Chunk boundaries depend only
+/// on `chunk` (never on the pool size), and each chunk writes a disjoint
+/// slice of the output spans, so batched results are identical for every
+/// worker count — including pool == nullptr (serial).
+struct BatchQueryOptions {
+  /// Pool to spread chunks over; nullptr runs the batch on the caller.
+  ThreadPool* pool = nullptr;
+  /// Queries per chunk; one chunk is one model GEMM + one scan pass.
+  size_t chunk = 256;
+};
+
+/// Runs body(begin, end) for fixed-size chunks of [0, n). Chunk boundaries
+/// depend only on opts.chunk (never the pool size); with a pool, chunks run
+/// concurrently. Bodies that write only their own [begin, end) output slots
+/// therefore produce identical results at every thread count.
+void ForEachQueryChunk(size_t n, const BatchQueryOptions& opts,
+                       const std::function<void(size_t, size_t)>& body);
 
 /// Common interface implemented by every index in the repository — the four
 /// traditional competitors (Grid, KDB, HRR, RR*) and the four learned base
@@ -51,6 +74,27 @@ class SpatialIndex {
 
   /// Number of points currently indexed.
   virtual size_t size() const = 0;
+
+  /// Batched point lookup: answers qs[i] into hit[i]/out[i]. `hit` and
+  /// `out` must match qs.size(); out[i] is untouched when hit[i] == 0.
+  /// Answers equal a serial PointQuery loop in the same order at every
+  /// thread count. The base implementation chunks the scalar query over
+  /// opts.pool; learned indices override it to push each chunk's keys
+  /// through one model GEMM before scanning.
+  virtual void PointQueryBatch(std::span<const Point> qs,
+                               std::span<uint8_t> hit, std::span<Point> out,
+                               const BatchQueryOptions& opts = {}) const;
+
+  /// Batched window query: out[i] receives WindowQuery(ws[i]) — same
+  /// points, same order, at every thread count.
+  virtual void WindowQueryBatch(std::span<const Rect> ws,
+                                std::span<std::vector<Point>> out,
+                                const BatchQueryOptions& opts = {}) const;
+
+  /// Batched k-NN: out[i] receives KnnQuery(qs[i], k).
+  virtual void KnnQueryBatch(std::span<const Point> qs, size_t k,
+                             std::span<std::vector<Point>> out,
+                             const BatchQueryOptions& opts = {}) const;
 
   /// Every indexed point (the input to a full rebuild). The default scans
   /// an unbounded window; indices with cheaper enumerations override it.

@@ -137,7 +137,12 @@ void LisaIndex::Build(const std::vector<Point>& data) {
 
 size_t LisaIndex::PredictedShard(double key) const {
   if (shards_.empty()) return 0;
-  const double pos = model_.PredictRank(key) * (built_n_ - 1);
+  return PredictedShardFromRank(model_.PredictRank(key));
+}
+
+size_t LisaIndex::PredictedShardFromRank(double rank) const {
+  if (shards_.empty()) return 0;
+  const double pos = rank * (built_n_ - 1);
   const size_t sh = static_cast<size_t>(pos * shards_.size() /
                                         std::max<size_t>(1, built_n_));
   return std::min(sh, shards_.size() - 1);
@@ -145,11 +150,15 @@ size_t LisaIndex::PredictedShard(double key) const {
 
 std::pair<size_t, size_t> LisaIndex::ShardRange(double lo, double hi) const {
   if (shards_.empty()) return {0, 0};
+  return ShardRangeFromRanks(model_.PredictRank(lo), model_.PredictRank(hi));
+}
+
+std::pair<size_t, size_t> LisaIndex::ShardRangeFromRanks(
+    double rank_lo, double rank_hi) const {
+  if (shards_.empty()) return {0, 0};
   const double n = static_cast<double>(std::max<size_t>(1, built_n_));
-  const double pos_lo =
-      model_.PredictRank(lo) * (n - 1) - model_.err_l();
-  const double pos_hi =
-      model_.PredictRank(hi) * (n - 1) + model_.err_u();
+  const double pos_lo = rank_lo * (n - 1) - model_.err_l();
+  const double pos_hi = rank_hi * (n - 1) + model_.err_u();
   double sh_lo = std::floor(std::max(0.0, pos_lo) * shards_.size() / n);
   double sh_hi = std::floor(std::max(0.0, pos_hi) * shards_.size() / n);
   if (sh_lo > sh_hi) std::swap(sh_lo, sh_hi);
@@ -211,7 +220,6 @@ bool LisaIndex::PointQuery(const Point& q, Point* out) const {
 std::vector<Point> LisaIndex::WindowQuery(const Rect& w) const {
   std::vector<Point> result;
   if (w.empty() || shards_.empty()) return result;
-  const size_t C = config_.cells_per_strip;
   const size_t s_lo = StripOf(w.lo_x);
   const size_t s_hi = StripOf(w.hi_x);
   for (size_t s = s_lo; s <= s_hi; ++s) {
@@ -226,6 +234,86 @@ std::vector<Point> LisaIndex::WindowQuery(const Rect& w) const {
     }
   }
   return result;
+}
+
+void LisaIndex::PointQueryBatch(std::span<const Point> qs,
+                                std::span<uint8_t> hit, std::span<Point> out,
+                                const BatchQueryOptions& opts) const {
+  ELSI_CHECK_EQ(hit.size(), qs.size());
+  ELSI_CHECK_EQ(out.size(), qs.size());
+  if (shards_.empty()) {
+    std::fill(hit.begin(), hit.end(), 0);
+    return;
+  }
+  ForEachQueryChunk(qs.size(), opts, [&](size_t begin, size_t end) {
+    const size_t len = end - begin;
+    std::vector<double> keys(len);
+    for (size_t i = 0; i < len; ++i) keys[i] = KeyOf(qs[begin + i]);
+    // One GEMM gives each key's rank; the serial path evaluates the model
+    // three times per query (ShardRange twice + PredictedShard) on the
+    // same key, so the ranks — and the shard windows below — are identical.
+    std::vector<double> ranks(len);
+    model_.PredictRanks(keys.data(), len, ranks.data());
+    std::vector<Point> hits;
+    for (size_t i = 0; i < len; ++i) {
+      const auto [lo, hi] = ShardRangeFromRanks(ranks[i], ranks[i]);
+      const size_t pred = PredictedShardFromRank(ranks[i]);
+      const size_t a = std::min(lo, pred);
+      const size_t b = std::max(hi, pred);
+      hits.clear();
+      for (size_t sh = a; sh <= b; ++sh) {
+        shards_[sh].ScanKeyRange(keys[i], keys[i], &hits);
+      }
+      hit[begin + i] = 0;
+      for (const Point& p : hits) {
+        if (p.x == qs[begin + i].x && p.y == qs[begin + i].y) {
+          out[begin + i] = p;
+          hit[begin + i] = 1;
+          break;
+        }
+      }
+    }
+  });
+}
+
+void LisaIndex::WindowQueryBatch(std::span<const Rect> ws,
+                                 std::span<std::vector<Point>> out,
+                                 const BatchQueryOptions& opts) const {
+  ELSI_CHECK_EQ(out.size(), ws.size());
+  ForEachQueryChunk(ws.size(), opts, [&](size_t begin, size_t end) {
+    // Flatten every (window, strip) interval in the chunk, run one GEMM
+    // over all interval endpoints, then scan in the serial order.
+    struct Interval {
+      size_t w;  // chunk-local window index
+      double key_lo, key_hi;
+    };
+    std::vector<Interval> intervals;
+    for (size_t i = begin; i < end; ++i) {
+      out[i].clear();
+      if (ws[i].empty() || shards_.empty()) continue;
+      const size_t s_lo = StripOf(ws[i].lo_x);
+      const size_t s_hi = StripOf(ws[i].hi_x);
+      for (size_t s = s_lo; s <= s_hi; ++s) {
+        intervals.push_back(
+            {i - begin, KeyAt(s, ws[i].lo_y), KeyAt(s, ws[i].hi_y)});
+      }
+    }
+    std::vector<double> endpoints(intervals.size() * 2);
+    for (size_t t = 0; t < intervals.size(); ++t) {
+      endpoints[2 * t] = intervals[t].key_lo;
+      endpoints[2 * t + 1] = intervals[t].key_hi;
+    }
+    std::vector<double> ranks(endpoints.size());
+    model_.PredictRanks(endpoints.data(), endpoints.size(), ranks.data());
+    for (size_t t = 0; t < intervals.size(); ++t) {
+      const Interval& iv = intervals[t];
+      const auto [a, b] = ShardRangeFromRanks(ranks[2 * t], ranks[2 * t + 1]);
+      for (size_t sh = a; sh <= b && sh < shards_.size(); ++sh) {
+        shards_[sh].ScanKeyRangeInRect(iv.key_lo, iv.key_hi,
+                                       ws[begin + iv.w], &out[begin + iv.w]);
+      }
+    }
+  });
 }
 
 std::vector<Point> LisaIndex::KnnQuery(const Point& q, size_t k) const {

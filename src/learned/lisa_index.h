@@ -46,6 +46,17 @@ class LisaIndex : public SpatialIndex {
   std::vector<Point> KnnQuery(const Point& q, size_t k) const override;
   size_t size() const override { return size_; }
 
+  /// Batched predict-and-scan: one shard-predictor GEMM per chunk covers
+  /// every key (point queries) or strip interval endpoint (window queries).
+  /// Shard ranges derived from the batched ranks are bit-identical to the
+  /// serial ones, so results match the scalar loop exactly.
+  void PointQueryBatch(std::span<const Point> qs, std::span<uint8_t> hit,
+                       std::span<Point> out,
+                       const BatchQueryOptions& opts = {}) const override;
+  void WindowQueryBatch(std::span<const Rect> ws,
+                        std::span<std::vector<Point>> out,
+                        const BatchQueryOptions& opts = {}) const override;
+
   /// LISA's mapped value (the map() function): cell id + in-cell offset.
   double KeyOf(const Point& p) const;
 
@@ -63,6 +74,11 @@ class LisaIndex : public SpatialIndex {
   /// bounds (approximate when the FFN is non-monotone).
   std::pair<size_t, size_t> ShardRange(double lo, double hi) const;
   size_t PredictedShard(double key) const;
+  /// The same computations given already-predicted ranks (the batched query
+  /// paths run one PredictRanks GEMM, then these per query).
+  std::pair<size_t, size_t> ShardRangeFromRanks(double rank_lo,
+                                                double rank_hi) const;
+  size_t PredictedShardFromRank(double rank) const;
 
   std::shared_ptr<ModelTrainer> trainer_;
   Config config_;

@@ -128,6 +128,24 @@ bool MlIndex::PointQuery(const Point& q, Point* out) const {
   return array_.PointQuery(q, KeyOf(q), out);
 }
 
+void MlIndex::PointQueryBatch(std::span<const Point> qs,
+                              std::span<uint8_t> hit, std::span<Point> out,
+                              const BatchQueryOptions& opts) const {
+  ELSI_CHECK_EQ(hit.size(), qs.size());
+  ELSI_CHECK_EQ(out.size(), qs.size());
+  if (references_.empty()) {
+    std::fill(hit.begin(), hit.end(), 0);
+    return;
+  }
+  ForEachQueryChunk(qs.size(), opts, [&](size_t begin, size_t end) {
+    const size_t len = end - begin;
+    std::vector<double> keys(len);
+    for (size_t i = 0; i < len; ++i) keys[i] = KeyOf(qs[begin + i]);
+    array_.PointQueryBatch(qs.data() + begin, keys.data(), len,
+                           hit.data() + begin, out.data() + begin);
+  });
+}
+
 void MlIndex::RingScan(const Point& center, double r, const Rect& w,
                        std::vector<Point>* out) const {
   // Every point within distance r of `center` satisfies, for its own

@@ -40,6 +40,14 @@ class MlIndex : public SpatialIndex {
   std::vector<Point> KnnQuery(const Point& q, size_t k) const override;
   size_t size() const override { return array_.size(); }
 
+  /// Batched point lookup: each chunk's iDistance keys run through the rank
+  /// models as single GEMMs; results match the serial loop bit for bit.
+  /// (Window/kNN batches use the chunked scalar default — ring scans have
+  /// no shared inference to batch.)
+  void PointQueryBatch(std::span<const Point> qs, std::span<uint8_t> hit,
+                       std::span<Point> out,
+                       const BatchQueryOptions& opts = {}) const override;
+
   /// iDistance key (the base index's map() function).
   double KeyOf(const Point& p) const;
 

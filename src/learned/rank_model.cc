@@ -65,8 +65,31 @@ double RankModel::PredictRank(double key) const {
                                        : 1.0;
     return std::clamp(pla_->PredictPosition(key) / denom, 0.0, 1.0);
   }
-  const double r = net_->Predict1({Normalize(key)});
+  const double r = net_->PredictScalar(Normalize(key));
   return std::clamp(r, 0.0, 1.0);
+}
+
+void RankModel::PredictRanks(const double* keys, size_t n,
+                             double* ranks) const {
+  ELSI_DCHECK(trained());
+  if (n == 0) return;
+  if (pla_ != nullptr) {
+    for (size_t i = 0; i < n; ++i) ranks[i] = PredictRank(keys[i]);
+    return;
+  }
+  // Allocation-free batched inference: normalised keys go straight through
+  // ForwardBatchInto on per-thread scratch. Bit-identical to the Matrix
+  // ForwardBatch path (same kernels, same order).
+  static thread_local InferenceScratch scratch;
+  static thread_local std::vector<double> norm;
+  static thread_local std::vector<double> raw;
+  if (norm.size() < n) norm.resize(n);
+  if (raw.size() < n) raw.resize(n);
+  for (size_t i = 0; i < n; ++i) norm[i] = Normalize(keys[i]);
+  net_->ForwardBatchInto(norm.data(), n, &scratch, raw.data());
+  for (size_t i = 0; i < n; ++i) {
+    ranks[i] = std::clamp(raw[i], 0.0, 1.0);
+  }
 }
 
 void RankModel::ComputeErrorBounds(
@@ -88,7 +111,13 @@ void RankModel::ComputeErrorBounds(
 
 std::pair<size_t, size_t> RankModel::SearchRange(double key, size_t n) const {
   if (n == 0) return {0, 0};
-  const double pred_pos = PredictRank(key) * (n - 1);
+  return SearchRangeFromRank(PredictRank(key), n);
+}
+
+std::pair<size_t, size_t> RankModel::SearchRangeFromRank(double rank,
+                                                         size_t n) const {
+  if (n == 0) return {0, 0};
+  const double pred_pos = rank * (n - 1);
   const double lo = std::floor(pred_pos - err_l_);
   const double hi = std::ceil(pred_pos + err_u_);
   const size_t lo_idx = lo <= 0.0 ? 0 : static_cast<size_t>(lo);

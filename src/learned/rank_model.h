@@ -53,6 +53,11 @@ class RankModel {
   /// Predicted normalised rank, clamped to [0, 1].
   double PredictRank(double key) const;
 
+  /// Batched PredictRank: fills ranks[i] for keys[i], i in [0, n). The FFN
+  /// backend pushes all keys through one ForwardBatch GEMM; ranks[i] is
+  /// bit-identical to PredictRank(keys[i]) (kernel invariant, ml/matrix.h).
+  void PredictRanks(const double* keys, size_t n, double* ranks) const;
+
   /// Scans the full key set once, recording err_l = max(pred_pos - i) and
   /// err_u = max(i - pred_pos) in *positions of that set* (Algorithm 1,
   /// line 6). After this, the true position of any indexed key lies in
@@ -62,6 +67,10 @@ class RankModel {
   /// Position search range [lo, hi] (inclusive) for `key` in a sorted array
   /// of `n` elements, using the stored error bounds.
   std::pair<size_t, size_t> SearchRange(double key, size_t n) const;
+
+  /// SearchRange for a rank already computed (the batched query paths call
+  /// PredictRanks once, then this per query).
+  std::pair<size_t, size_t> SearchRangeFromRank(double rank, size_t n) const;
 
   bool trained() const { return net_ != nullptr || pla_ != nullptr; }
   double err_l() const { return err_l_; }

@@ -5,6 +5,7 @@
 #include <functional>
 #include <limits>
 #include <numeric>
+#include <unordered_map>
 
 #include "common/logging.h"
 #include "curve/hilbert.h"
@@ -56,9 +57,13 @@ double RsmiIndex::NodeKey(const Node& node, const Point& p) const {
 }
 
 size_t RsmiIndex::RouteChild(const Node& node, double key) const {
-  const double pred = node.model.trained() ? node.model.PredictRank(key) : 0.0;
+  return RouteChildFromRank(
+      node, node.model.trained() ? node.model.PredictRank(key) : 0.0);
+}
+
+size_t RsmiIndex::RouteChildFromRank(const Node& node, double rank) const {
   const double f = static_cast<double>(node.children.size());
-  const double c = std::floor(pred * f);
+  const double c = std::floor(rank * f);
   if (c <= 0.0) return 0;
   const size_t idx = static_cast<size_t>(c);
   return std::min(idx, node.children.size() - 1);
@@ -171,6 +176,101 @@ bool RsmiIndex::PointQuery(const Point& q, Point* out) const {
     }
   }
   return false;
+}
+
+void RsmiIndex::AnswerLeafBatch(const Node& leaf,
+                                const std::vector<size_t>& q_idx,
+                                const std::vector<double>& keys,
+                                std::span<const Point> qs,
+                                std::span<uint8_t> hit,
+                                std::span<Point> out) const {
+  const bool use_model = !leaf.keys.empty() && leaf.model.trained();
+  std::vector<double> ranks;
+  if (use_model) {
+    ranks.resize(keys.size());
+    leaf.model.PredictRanks(keys.data(), keys.size(), ranks.data());
+  }
+  std::vector<Point> overflow_hits;
+  for (size_t t = 0; t < q_idx.size(); ++t) {
+    const size_t qi = q_idx[t];
+    const Point& q = qs[qi];
+    hit[qi] = 0;
+    if (use_model) {
+      const auto [lo, hi] =
+          leaf.model.SearchRangeFromRank(ranks[t], leaf.keys.size());
+      for (size_t i = lo; i <= hi && i < leaf.keys.size(); ++i) {
+        if (leaf.keys[i] != keys[t]) continue;
+        const Point& p = leaf.pts[i];
+        if (p.x == q.x && p.y == q.y && leaf.tombstones.count(p.id) == 0) {
+          out[qi] = p;
+          hit[qi] = 1;
+          break;
+        }
+      }
+    }
+    if (hit[qi] == 0) {
+      overflow_hits.clear();
+      leaf.overflow.ScanKeyRange(keys[t], keys[t], &overflow_hits);
+      for (const Point& p : overflow_hits) {
+        if (p.x == q.x && p.y == q.y) {
+          out[qi] = p;
+          hit[qi] = 1;
+          break;
+        }
+      }
+    }
+  }
+}
+
+void RsmiIndex::PointQueryBatch(std::span<const Point> qs,
+                                std::span<uint8_t> hit, std::span<Point> out,
+                                const BatchQueryOptions& opts) const {
+  ELSI_CHECK_EQ(hit.size(), qs.size());
+  ELSI_CHECK_EQ(out.size(), qs.size());
+  if (root_ == nullptr) {
+    std::fill(hit.begin(), hit.end(), 0);
+    return;
+  }
+  ForEachQueryChunk(qs.size(), opts, [&](size_t begin, size_t end) {
+    // Level-synchronous descent: queries that sit at the same node share
+    // one routing GEMM per level, regrouping by routed child each round.
+    struct Group {
+      const Node* node;
+      std::vector<size_t> q;  // Global query indices at this node.
+    };
+    std::vector<Group> frontier(1);
+    frontier[0].node = root_.get();
+    frontier[0].q.resize(end - begin);
+    std::iota(frontier[0].q.begin(), frontier[0].q.end(), begin);
+    std::vector<double> keys;
+    std::vector<double> ranks;
+    while (!frontier.empty()) {
+      std::vector<Group> next;
+      std::unordered_map<const Node*, size_t> slot;
+      for (const Group& g : frontier) {
+        keys.resize(g.q.size());
+        for (size_t t = 0; t < g.q.size(); ++t) {
+          keys[t] = NodeKey(*g.node, qs[g.q[t]]);
+        }
+        if (g.node->is_leaf) {
+          AnswerLeafBatch(*g.node, g.q, keys, qs, hit, out);
+          continue;
+        }
+        ranks.assign(g.q.size(), 0.0);  // Untrained models route to 0.
+        if (g.node->model.trained()) {
+          g.node->model.PredictRanks(keys.data(), keys.size(), ranks.data());
+        }
+        for (size_t t = 0; t < g.q.size(); ++t) {
+          const Node* child =
+              g.node->children[RouteChildFromRank(*g.node, ranks[t])].get();
+          const auto [it, inserted] = slot.try_emplace(child, next.size());
+          if (inserted) next.push_back({child, {}});
+          next[it->second].q.push_back(g.q[t]);
+        }
+      }
+      frontier = std::move(next);
+    }
+  });
 }
 
 void RsmiIndex::MergeLeafOverflow(Node* leaf) {

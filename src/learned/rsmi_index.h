@@ -64,6 +64,16 @@ class RsmiIndex : public SpatialIndex {
   std::vector<Point> KnnQuery(const Point& q, size_t k) const override;
   size_t size() const override { return size_; }
 
+  /// Batched point lookup via level-synchronous descent: all queries of a
+  /// chunk that sit at the same node run that node's routing model as one
+  /// GEMM, and leaf models batch the same way. Identical results to the
+  /// serial loop (routing ranks are bit-identical; see ml/matrix.h).
+  /// Window/kNN batches use the chunked scalar default — the recursive
+  /// corner-key walk has little shared inference to batch.
+  void PointQueryBatch(std::span<const Point> qs, std::span<uint8_t> hit,
+                       std::span<Point> out,
+                       const BatchQueryOptions& opts = {}) const override;
+
   std::vector<Point> CollectAll() const override;
   int Depth() const override;  // Levels of models (1 = single leaf).
   size_t node_count() const;
@@ -92,7 +102,16 @@ class RsmiIndex : public SpatialIndex {
   std::unique_ptr<Node> BuildNode(std::vector<Point> pts, int depth);
   void SetUpMapping(Node* node, const std::vector<Point>& pts) const;
   size_t RouteChild(const Node& node, double key) const;
+  /// RouteChild given the routing model's already-computed rank (0.0 when
+  /// the model is untrained, matching RouteChild).
+  size_t RouteChildFromRank(const Node& node, double rank) const;
   Node* DescendToLeaf(const Point& p) const;
+  /// Leaf stage of PointQueryBatch: answers queries q_idx (with their node
+  /// keys precomputed) against one leaf, batching the leaf model.
+  void AnswerLeafBatch(const Node& leaf, const std::vector<size_t>& q_idx,
+                       const std::vector<double>& keys,
+                       std::span<const Point> qs, std::span<uint8_t> hit,
+                       std::span<Point> out) const;
   void MergeLeafOverflow(Node* leaf);
   void WindowQueryNode(const Node* node, const Rect& w,
                        std::vector<Point>* out) const;

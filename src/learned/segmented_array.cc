@@ -7,6 +7,54 @@
 #include "common/logging.h"
 
 namespace elsi {
+namespace {
+
+/// One in-flight exact lower-bound search: `lo`/`len` delimit the remaining
+/// half-open range, `key` is the probe. `lo` converges to
+/// std::lower_bound(keys + lo0, keys + lo0 + len0, key) - keys.
+struct SearchState {
+  size_t lo;
+  size_t len;
+  double key;
+};
+
+/// Level-synchronous exact lower_bound over many ranges at once: every
+/// active search advances one probe per round and prefetches its next
+/// midpoint, so the cache misses of a whole chunk overlap instead of
+/// serialising (memory-level parallelism — the reason batched search beats
+/// a per-query loop whose probes miss one at a time). The range update is
+/// branchless (cmov), sidestepping the ~50% mispredict a comparison-driven
+/// binary search pays per probe. `work` holds the indices of the `active`
+/// still-unfinished searches (caller filters out len == 0 entries and
+/// chooses the order — leaf-sorted order keeps consecutive searches on
+/// neighbouring pages). Each search performs the standard lower-bound
+/// halving independently, so states[i].lo ends at exactly the position
+/// serial std::lower_bound returns.
+void BatchedLowerBound(const double* keys, SearchState* states, size_t* work,
+                       size_t active) {
+  for (size_t t = 0; t < active; ++t) {
+    const SearchState& s = states[work[t]];
+    __builtin_prefetch(&keys[s.lo + s.len / 2]);
+  }
+  while (active > 0) {
+    size_t next = 0;
+    for (size_t t = 0; t < active; ++t) {
+      SearchState& s = states[work[t]];
+      const size_t half = s.len / 2;
+      const size_t mid = s.lo + half;
+      const bool right = keys[mid] < s.key;
+      s.lo = right ? mid + 1 : s.lo;
+      s.len = right ? s.len - half - 1 : half;
+      if (s.len > 0) {
+        work[next++] = work[t];  // In-place compaction: next <= t.
+        __builtin_prefetch(&keys[s.lo + s.len / 2]);
+      }
+    }
+    active = next;
+  }
+}
+
+}  // namespace
 
 void SegmentedLearnedArray::Build(std::vector<Point> pts,
                                   std::vector<double> keys,
@@ -34,6 +82,8 @@ void SegmentedLearnedArray::Build(std::vector<Point> pts,
     pts_[i] = pts[order[i]];
     keys_[i] = keys[order[i]];
   }
+  sample_.clear();
+  for (size_t i = 0; i < n; i += kSampleStride) sample_.push_back(keys_[i]);
 
   const size_t leaf_count =
       n == 0 ? 1 : (n + config.leaf_target - 1) / config.leaf_target;
@@ -78,17 +128,23 @@ std::pair<size_t, size_t> SegmentedLearnedArray::LeafRange(size_t leaf) const {
 }
 
 size_t SegmentedLearnedArray::LeafOf(double key) const {
+  if (leaves_.size() <= 1) return 0;
+  return LeafFromRootRank(key, root_.PredictRank(key));
+}
+
+size_t SegmentedLearnedArray::LeafFromRootRank(double key, double rank) const {
   const size_t leaf_count = leaves_.size();
   if (leaf_count <= 1) return 0;
   // Root model estimates the global position, hence the leaf; a bounded
   // walk over the leaf min-key fence corrects the dispatch, falling back to
-  // binary search when the prediction is far off.
-  const double pos = root_.PredictRank(key) * (pts_.size() - 1);
-  size_t j = static_cast<size_t>(
-                 std::upper_bound(leaf_start_.begin(), leaf_start_.end(),
-                                  static_cast<size_t>(pos)) -
-                 leaf_start_.begin());
-  j = j == 0 ? 0 : std::min(j - 1, leaf_count - 1);
+  // binary search when the prediction is far off. The initial guess inverts
+  // leaf_start_[j] = j * n / leaf_count arithmetically (last j with
+  // leaf_start_[j] <= pos) — it is only a starting point; the min-key walk
+  // below decides the leaf.
+  const double pos = rank * (pts_.size() - 1);
+  const size_t p = static_cast<size_t>(pos);
+  size_t j = std::min(((p + 1) * leaf_count - 1) / pts_.size(),
+                      leaf_count - 1);
   for (int step = 0; step < 4; ++step) {
     if (j > 0 && key < leaf_min_key_[j]) {
       --j;
@@ -109,8 +165,15 @@ size_t SegmentedLearnedArray::LowerBound(double key) const {
   const size_t n = pts_.size();
   if (n == 0) return 0;
   const size_t j = LeafOf(key);
-  const auto [s, e] = LeafRange(j);
-  const auto [local_lo, local_hi] = leaves_[j].SearchRange(key, e - s);
+  return LowerBoundInLeaf(key, j, leaves_[j].PredictRank(key));
+}
+
+size_t SegmentedLearnedArray::LowerBoundInLeaf(double key, size_t leaf,
+                                               double leaf_rank) const {
+  const size_t n = pts_.size();
+  const auto [s, e] = LeafRange(leaf);
+  const auto [local_lo, local_hi] =
+      leaves_[leaf].SearchRangeFromRank(leaf_rank, e - s);
   size_t glo = s + local_lo;
   size_t ghi = std::min(s + local_hi, n - 1);
   if (glo > 0 && keys_[glo - 1] >= key) {
@@ -127,6 +190,218 @@ size_t SegmentedLearnedArray::LowerBound(double key) const {
         keys_.begin());
   }
   return static_cast<size_t>(it - keys_.begin());
+}
+
+void SegmentedLearnedArray::LowerBoundBatch(const double* keys, size_t n,
+                                            size_t* leaf, size_t* lb) const {
+  if (n == 0) return;
+  if (pts_.empty()) {
+    for (size_t i = 0; i < n; ++i) {
+      leaf[i] = 0;
+      lb[i] = 0;
+    }
+    return;
+  }
+  const size_t nb = pts_.size();
+  // Leaf dispatch. The serial path asks the root model for a starting guess
+  // and corrects it with the min-key fence walk, which always lands on the
+  // unique leaf with min_key[j] <= key < min_key[j+1] — i.e. the leaf is an
+  // exact function of the key alone. The batch computes that function
+  // directly: a branchless upper bound over the min-key fence (a few
+  // hundred bytes, L1-resident across the chunk), skipping the root GEMM
+  // the guess would cost. Results are identical by construction.
+  const size_t leaf_count = leaves_.size();
+  const double* fence = leaf_min_key_.data();
+  // Group the batch by owning segment (stable counting sort) so each
+  // segment model runs one GEMM; the histogram is built in the same pass as
+  // the dispatch. Row independence makes the grouping invisible in the
+  // results.
+  static thread_local std::vector<size_t> offset;
+  static thread_local std::vector<size_t> idx;
+  offset.assign(leaf_count + 1, 0);
+  if (idx.size() < n) idx.resize(n);
+  // Four dispatches run interleaved: this upper-bound formulation shrinks
+  // the range by `half` on BOTH branch outcomes, so every lane shares one
+  // deterministic length schedule and the four dependent probe chains
+  // overlap their fence-load latencies. Each lane computes the exact
+  // upper bound (count of fence entries <= key), same as the scalar tail.
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double k0 = keys[i], k1 = keys[i + 1];
+    const double k2 = keys[i + 2], k3 = keys[i + 3];
+    size_t l0 = 0, l1 = 0, l2 = 0, l3 = 0;
+    for (size_t len = leaf_count; len > 1;) {
+      const size_t half = len / 2;
+      len -= half;
+      l0 += fence[l0 + half - 1] <= k0 ? half : 0;
+      l1 += fence[l1 + half - 1] <= k1 ? half : 0;
+      l2 += fence[l2 + half - 1] <= k2 ? half : 0;
+      l3 += fence[l3 + half - 1] <= k3 ? half : 0;
+    }
+    l0 += fence[l0] <= k0 ? 1 : 0;
+    l1 += fence[l1] <= k1 ? 1 : 0;
+    l2 += fence[l2] <= k2 ? 1 : 0;
+    l3 += fence[l3] <= k3 ? 1 : 0;
+    leaf[i] = l0 == 0 ? 0 : l0 - 1;
+    leaf[i + 1] = l1 == 0 ? 0 : l1 - 1;
+    leaf[i + 2] = l2 == 0 ? 0 : l2 - 1;
+    leaf[i + 3] = l3 == 0 ? 0 : l3 - 1;
+    ++offset[leaf[i] + 1];
+    ++offset[leaf[i + 1] + 1];
+    ++offset[leaf[i + 2] + 1];
+    ++offset[leaf[i + 3] + 1];
+  }
+  for (; i < n; ++i) {
+    size_t lo = 0;
+    for (size_t len = leaf_count; len > 1;) {
+      const size_t half = len / 2;
+      len -= half;
+      lo += fence[lo + half - 1] <= keys[i] ? half : 0;
+    }
+    lo += fence[lo] <= keys[i] ? 1 : 0;
+    leaf[i] = lo == 0 ? 0 : lo - 1;
+    ++offset[leaf[i] + 1];
+  }
+  for (size_t j = 0; j < leaf_count; ++j) offset[j + 1] += offset[j];
+  for (size_t i = 0; i < n; ++i) idx[offset[leaf[i]]++] = i;
+  // offset[j] now ends each group: group j occupies [offset[j-1], offset[j]).
+  static thread_local std::vector<double> seg_keys;
+  static thread_local std::vector<double> seg_ranks;
+  static thread_local std::vector<SearchState> states;
+  static thread_local std::vector<size_t> wlo_of;
+  static thread_local std::vector<size_t> whi_of;
+  if (seg_keys.size() < n) seg_keys.resize(n);
+  if (seg_ranks.size() < n) seg_ranks.resize(n);
+  if (states.size() < n) states.resize(n);
+  if (wlo_of.size() < n) wlo_of.resize(n);
+  if (whi_of.size() < n) whi_of.resize(n);
+  constexpr size_t kS = kSampleStride;
+  for (size_t j = 0, a = 0; j < leaf_count; ++j) {
+    const size_t b = offset[j];
+    if (a == b) continue;
+    for (size_t t = a; t < b; ++t) seg_keys[t - a] = keys[idx[t]];
+    leaves_[j].PredictRanks(seg_keys.data(), b - a, seg_ranks.data());
+    const auto [s, e] = LeafRange(j);
+    for (size_t t = a; t < b; ++t) {
+      // Predicted window in global positions, half-open (never empty:
+      // llo <= lhi and both lie inside the leaf).
+      const auto [llo, lhi] =
+          leaves_[j].SearchRangeFromRank(seg_ranks[t - a], e - s);
+      const size_t wlo = s + llo;
+      const size_t whi = std::min(s + lhi, nb - 1) + 1;
+      // First search level: the sampled keys strictly inside the window,
+      // sample_[t] = keys_[t * kS] for t in [ta, tb). The model window
+      // restricts the sample range (fewer rounds), not correctness.
+      const size_t ta = wlo / kS + 1;
+      const size_t tb = std::max(ta, (whi - 1) / kS + 1);
+      states[idx[t]] = {ta, tb - ta, keys[idx[t]]};
+      wlo_of[idx[t]] = wlo;
+      whi_of[idx[t]] = whi;
+    }
+    a = b;
+  }
+  // Two software-pipelined passes resolve every search within its predicted
+  // window, walking searches in leaf-sorted order so neighbouring searches
+  // touch neighbouring pages. Pass 1 binary-searches the sampled level —
+  // ~1.5% the base array's size, so a chunk's probes keep it cache-hot —
+  // which pins each answer inside one kS-slot stride of the base array.
+  // Pass 2 finishes inside that stride (a couple of cold lines per query
+  // instead of a full binary search's worth). After pass 2, states[i].lo is
+  // exactly the lower bound over [wlo, whi): sample_[t0] >= key bounds the
+  // answer above by t0 * kS, and sample_[t0 - 1] < key bounds it below by
+  // (t0 - 1) * kS + 1, with the window edges taking over when t0 lands on
+  // either end of the sample range. The window is itself only a hint: a
+  // result landing on ITS edge is the one case where the true lower bound
+  // may lie outside, and the corrections below re-search the prefix/suffix
+  // exactly then — the same two escapes the serial LowerBoundInLeaf takes,
+  // except the serial path pays two boundary-key probes per query up front
+  // while this pays only on the (rare) edge landings.
+  static thread_local std::vector<size_t> work;
+  if (work.size() < n) work.resize(n);
+  size_t active = 0;
+  for (size_t t = 0; t < n; ++t) {
+    const size_t q = idx[t];
+    if (states[q].len > 0) work[active++] = q;
+  }
+  BatchedLowerBound(sample_.data(), states.data(), work.data(), active);
+  active = 0;
+  for (size_t t = 0; t < n; ++t) {
+    const size_t q = idx[t];
+    const size_t ta = wlo_of[q] / kS + 1;
+    const size_t tb = std::max(ta, (whi_of[q] - 1) / kS + 1);
+    const size_t t0 = states[q].lo;  // In [ta, tb]; == ta when range empty.
+    const size_t lo2 = t0 == ta ? wlo_of[q] : (t0 - 1) * kS + 1;
+    const size_t hi2 = t0 == tb ? whi_of[q] : t0 * kS + 1;
+    states[q].lo = lo2;
+    states[q].len = hi2 - lo2;
+    // hi2 == lo2 happens when the last in-window sample already proves the
+    // answer is whi (stride boundary): nothing left to search.
+    if (hi2 > lo2) work[active++] = q;
+  }
+  BatchedLowerBound(keys_.data(), states.data(), work.data(), active);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t pos = states[i].lo;
+    const double key = states[i].key;
+    if (pos == wlo_of[i] && pos > 0 && keys_[pos - 1] >= key) {
+      // Landed on the lower edge and the key just below it is not smaller:
+      // the window started too late, and the answer is the exact prefix
+      // lower bound.
+      lb[i] = static_cast<size_t>(
+          std::lower_bound(keys_.begin(), keys_.begin() + pos, key) -
+          keys_.begin());
+    } else if (pos == whi_of[i] && pos < nb && keys_[pos] < key) {
+      // Landed past the upper edge (every window key is < key) and the next
+      // key is still smaller: the window ended too early; continue on the
+      // suffix.
+      lb[i] = static_cast<size_t>(
+          std::lower_bound(keys_.begin() + pos, keys_.end(), key) -
+          keys_.begin());
+    } else {
+      lb[i] = pos;
+    }
+  }
+}
+
+void SegmentedLearnedArray::PointQueryBatch(const Point* qs,
+                                            const double* keys, size_t n,
+                                            uint8_t* hit, Point* out) const {
+  if (n == 0) return;
+  const size_t nb = pts_.size();
+  static thread_local std::vector<size_t> leaf;
+  static thread_local std::vector<size_t> lb;
+  if (leaf.size() < n) leaf.resize(n);
+  if (lb.size() < n) lb.resize(n);
+  LowerBoundBatch(keys, n, leaf.data(), lb.data());
+  // Overlap the scan phase's base-array misses across the whole chunk.
+  for (size_t i = 0; i < n; ++i) {
+    if (lb[i] < nb) {
+      __builtin_prefetch(&keys_[lb[i]]);
+      __builtin_prefetch(&pts_[lb[i]]);
+    }
+  }
+  std::vector<Point> overflow_hits;
+  for (size_t i = 0; i < n; ++i) {
+    hit[i] = 0;
+    for (size_t pos = lb[i]; pos < nb && keys_[pos] == keys[i]; ++pos) {
+      const Point& p = pts_[pos];
+      if (p.x == qs[i].x && p.y == qs[i].y && tombstones_.count(p.id) == 0) {
+        out[i] = p;
+        hit[i] = 1;
+        break;
+      }
+    }
+    if (hit[i] == 0 && inserted_ > 0 && !overflow_.empty()) {
+      overflow_hits.clear();
+      overflow_[leaf[i]].ScanKeyRange(keys[i], keys[i], &overflow_hits);
+      for (const Point& p : overflow_hits) {
+        if (p.x == qs[i].x && p.y == qs[i].y) {
+          out[i] = p;
+          hit[i] = 1;
+          break;
+        }
+      }
+    }
+  }
 }
 
 bool SegmentedLearnedArray::PointQuery(const Point& q, double key,
@@ -203,9 +478,16 @@ void SegmentedLearnedArray::ScanOverflowInRect(double lo, double hi,
 void SegmentedLearnedArray::VisitBaseRange(
     double lo, double hi,
     const std::function<size_t(size_t, const Point&)>& visitor) const {
+  if (pts_.empty()) return;
+  VisitBaseRangeFrom(LowerBound(lo), hi, visitor);
+}
+
+void SegmentedLearnedArray::VisitBaseRangeFrom(
+    size_t start, double hi,
+    const std::function<size_t(size_t, const Point&)>& visitor) const {
   const size_t n = pts_.size();
   if (n == 0) return;
-  size_t pos = LowerBound(lo);
+  size_t pos = start;
   while (pos < n && keys_[pos] <= hi) {
     if (tombstones_.count(pts_[pos].id) > 0) {
       ++pos;

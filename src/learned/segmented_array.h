@@ -75,9 +75,29 @@ class SegmentedLearnedArray {
                       const std::function<size_t(size_t, const Point&)>&
                           visitor) const;
 
+  /// VisitBaseRange starting from an already-computed position (the batched
+  /// window path precomputes LowerBound(lo) for a whole batch at once).
+  void VisitBaseRangeFrom(size_t start, double hi,
+                          const std::function<size_t(size_t, const Point&)>&
+                              visitor) const;
+
   /// Exact lower-bound position of `key` among base keys, found through the
   /// learned models with a binary-search fallback.
   size_t LowerBound(double key) const;
+
+  /// Batched LowerBound: fills leaf[i] (owning segment) and lb[i]
+  /// (lower-bound position) for each keys[i]. One root-model GEMM covers
+  /// the whole batch and one leaf-model GEMM covers each distinct segment,
+  /// but every output is bit-identical to the serial LeafOf/LowerBound
+  /// (GEMM rows are position-independent; see ml/matrix.h).
+  void LowerBoundBatch(const double* keys, size_t n, size_t* leaf,
+                       size_t* lb) const;
+
+  /// Batched PointQuery: answers (qs[i], keys[i]) into hit[i]/out[i], with
+  /// model inference batched via LowerBoundBatch. Identical results to a
+  /// serial PointQuery loop.
+  void PointQueryBatch(const Point* qs, const double* keys, size_t n,
+                       uint8_t* hit, Point* out) const;
 
   /// Inserts into the owning segment's overflow pages.
   void Insert(const Point& p, double key);
@@ -96,11 +116,26 @@ class SegmentedLearnedArray {
   size_t overflow_size() const { return inserted_; }
 
  private:
+  /// Stride of the sampled key level used by LowerBoundBatch. 64 keeps the
+  /// sample at n/64 entries (cache-resident across a chunk) while the final
+  /// per-query search spans at most 65 base slots (~2 cold lines).
+  static constexpr size_t kSampleStride = 64;
+
   size_t LeafOf(double key) const;
+  /// Fence-walk leaf dispatch given the root model's already-computed rank.
+  size_t LeafFromRootRank(double key, double rank) const;
+  /// LowerBound given the owning leaf and its model's already-computed rank.
+  size_t LowerBoundInLeaf(double key, size_t leaf, double leaf_rank) const;
   std::pair<size_t, size_t> LeafRange(size_t leaf) const;
 
   std::vector<Point> pts_;
   std::vector<double> keys_;
+  /// Every kSampleStride-th key (sample_[t] = keys_[t * kSampleStride]).
+  /// The batched search routes through this hot ~1.5%-sized level first and
+  /// finishes inside one stride of the base array, so each query pays a
+  /// couple of cold cache lines instead of a full binary search's worth.
+  /// Read-only after Build (updates land in overflow pages, never keys_).
+  std::vector<double> sample_;
   std::function<double(const Point&)> key_fn_;
   Config config_;
 

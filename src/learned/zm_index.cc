@@ -80,10 +80,18 @@ std::vector<Point> ZmIndex::WindowQuery(const Rect& w) const {
   }
   const uint64_t zmin = CodeOf(lo);
   const uint64_t zmax = CodeOf(hi);
+  return WindowScanFrom(w, zmin, zmax,
+                        array_.LowerBound(static_cast<double>(zmin)));
+}
+
+std::vector<Point> ZmIndex::WindowScanFrom(const Rect& w, uint64_t zmin,
+                                           uint64_t zmax,
+                                           size_t start) const {
+  std::vector<Point> result;
   // Predict-and-scan over [z(lo), z(hi)] with BIGMIN jumps: out-of-box runs
   // are skipped by predicting the position of the next in-box Z-code.
-  array_.VisitBaseRange(
-      static_cast<double>(zmin), static_cast<double>(zmax),
+  array_.VisitBaseRangeFrom(
+      start, static_cast<double>(zmax),
       [&](size_t pos, const Point& p) -> size_t {
         const uint64_t code = CodeOf(p);
         if (ZCodeInBox(code, zmin, zmax)) {
@@ -100,6 +108,69 @@ std::vector<Point> ZmIndex::WindowQuery(const Rect& w) const {
   array_.ScanOverflowInRect(static_cast<double>(zmin),
                             static_cast<double>(zmax), w, &result);
   return result;
+}
+
+void ZmIndex::PointQueryBatch(std::span<const Point> qs,
+                              std::span<uint8_t> hit, std::span<Point> out,
+                              const BatchQueryOptions& opts) const {
+  ELSI_CHECK_EQ(hit.size(), qs.size());
+  ELSI_CHECK_EQ(out.size(), qs.size());
+  if (quantizer_ == nullptr) {
+    std::fill(hit.begin(), hit.end(), 0);
+    return;
+  }
+  ForEachQueryChunk(qs.size(), opts, [&](size_t begin, size_t end) {
+    const size_t len = end - begin;
+    std::vector<double> keys(len);
+    for (size_t i = 0; i < len; ++i) keys[i] = KeyOf(qs[begin + i]);
+    array_.PointQueryBatch(qs.data() + begin, keys.data(), len,
+                           hit.data() + begin, out.data() + begin);
+  });
+}
+
+void ZmIndex::WindowQueryBatch(std::span<const Rect> ws,
+                               std::span<std::vector<Point>> out,
+                               const BatchQueryOptions& opts) const {
+  ELSI_CHECK_EQ(out.size(), ws.size());
+  ForEachQueryChunk(ws.size(), opts, [&](size_t begin, size_t end) {
+    const size_t len = end - begin;
+    // Precompute each window's Z-range; the start positions of every
+    // regular window in the chunk come from one LowerBoundBatch (degenerate
+    // windows keep the scalar path).
+    std::vector<uint64_t> zmin(len), zmax(len);
+    std::vector<double> zmin_keys;
+    std::vector<size_t> regular;
+    zmin_keys.reserve(len);
+    regular.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      const Rect& w = ws[begin + i];
+      if (w.empty() || quantizer_ == nullptr) {
+        out[begin + i] = WindowQuery(w);
+        continue;
+      }
+      const Point lo{std::max(w.lo_x, domain_.lo_x),
+                     std::max(w.lo_y, domain_.lo_y), 0};
+      const Point hi{std::min(w.hi_x, domain_.hi_x),
+                     std::min(w.hi_y, domain_.hi_y), 0};
+      if (lo.x > hi.x || lo.y > hi.y) {
+        out[begin + i] = WindowQuery(w);
+        continue;
+      }
+      zmin[i] = CodeOf(lo);
+      zmax[i] = CodeOf(hi);
+      zmin_keys.push_back(static_cast<double>(zmin[i]));
+      regular.push_back(i);
+    }
+    std::vector<size_t> leaf(regular.size());
+    std::vector<size_t> start(regular.size());
+    array_.LowerBoundBatch(zmin_keys.data(), regular.size(), leaf.data(),
+                           start.data());
+    for (size_t t = 0; t < regular.size(); ++t) {
+      const size_t i = regular[t];
+      out[begin + i] =
+          WindowScanFrom(ws[begin + i], zmin[i], zmax[i], start[t]);
+    }
+  });
 }
 
 std::vector<Point> ZmIndex::KnnQuery(const Point& q, size_t k) const {

@@ -44,6 +44,16 @@ class ZmIndex : public SpatialIndex {
   std::vector<Point> KnnQuery(const Point& q, size_t k) const override;
   size_t size() const override { return array_.size(); }
 
+  /// Batched predict-and-scan: each chunk's Z-keys go through the rank
+  /// models as single GEMMs (SegmentedLearnedArray::PointQueryBatch /
+  /// LowerBoundBatch); answers match the serial loop bit for bit.
+  void PointQueryBatch(std::span<const Point> qs, std::span<uint8_t> hit,
+                       std::span<Point> out,
+                       const BatchQueryOptions& opts = {}) const override;
+  void WindowQueryBatch(std::span<const Rect> ws,
+                        std::span<std::vector<Point>> out,
+                        const BatchQueryOptions& opts = {}) const override;
+
   /// The Z-key of a point under the build-time quantizer (the base index's
   /// map() function in Algorithm 1).
   double KeyOf(const Point& p) const;
@@ -58,6 +68,11 @@ class ZmIndex : public SpatialIndex {
   int Depth() const override { return array_.model_depth(); }
 
  private:
+  // Predict-and-scan body of WindowQuery given the window's Z-range and the
+  // already-computed start position (LowerBound of zmin).
+  std::vector<Point> WindowScanFrom(const Rect& w, uint64_t zmin,
+                                    uint64_t zmax, size_t start) const;
+
   std::shared_ptr<ModelTrainer> trainer_;
   Config config_;
   int shift_ = 6;  // 32 - bits_per_dim.

@@ -50,41 +50,100 @@ Ffn::Ffn(int input_dim, const std::vector<int>& hidden, int output_dim,
     layer.mb.assign(out, 0.0);
     layer.vb.assign(out, 0.0);
   }
+  for (int d : dims) {
+    max_width_ = std::max(max_width_, static_cast<size_t>(d));
+  }
 }
 
 Matrix Ffn::ForwardTraining(const Matrix& x,
-                            std::vector<Matrix>* activations) const {
+                            std::vector<Matrix>* hidden) const {
   ELSI_CHECK_EQ(x.cols(), static_cast<size_t>(input_dim_));
-  if (activations != nullptr) {
-    activations->clear();
-    activations->push_back(x);
+  if (hidden != nullptr) {
+    hidden->clear();
+    // Reserve so &hidden->back() stays valid while `a` points into it.
+    hidden->reserve(layers_.size() - 1);
   }
-  Matrix a = x;
+  const Matrix* a = &x;
+  Matrix out;
   for (size_t l = 0; l < layers_.size(); ++l) {
-    Matrix z = a.MatMul(layers_[l].w);
+    Matrix z = a->MatMul(layers_[l].w);
     z.AddRowBroadcast(layers_[l].b);
     if (l + 1 < layers_.size()) {
       for (double& v : z.data()) v = v > 0.0 ? v : 0.0;  // ReLU.
-    } else if (out_act_ == OutputActivation::kSigmoid) {
-      for (double& v : z.data()) v = Sigmoid(v);
-    }
-    a = std::move(z);
-    if (activations != nullptr && l + 1 < layers_.size()) {
-      activations->push_back(a);
+      if (hidden != nullptr) {
+        hidden->push_back(std::move(z));
+        a = &hidden->back();
+      } else {
+        out = std::move(z);
+        a = &out;
+      }
+    } else {
+      if (out_act_ == OutputActivation::kSigmoid) {
+        for (double& v : z.data()) v = Sigmoid(v);
+      }
+      out = std::move(z);
     }
   }
-  return a;
+  return out;
 }
 
 Matrix Ffn::ForwardBatch(const Matrix& x) const {
   return ForwardTraining(x, nullptr);
 }
 
+void Ffn::ForwardInto(const double* x, InferenceScratch* scratch,
+                      double* out) const {
+  ForwardBatchInto(x, 1, scratch, out);
+}
+
+void Ffn::ForwardBatchInto(const double* x, size_t n,
+                           InferenceScratch* scratch, double* out) const {
+  if (n == 0) return;
+  const size_t cap = n * max_width_;
+  if (scratch->ping.size() < cap) scratch->ping.resize(cap);
+  if (scratch->pong.size() < cap) scratch->pong.resize(cap);
+  const double* a = x;
+  size_t in_dim = static_cast<size_t>(input_dim_);
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    const size_t out_dim = layer.w.cols();
+    const bool last = l + 1 == layers_.size();
+    double* z = last ? out
+                     : ((l & 1) == 0 ? scratch->ping : scratch->pong).data();
+    // Same element order as the Matrix path: ascending-k GEMM, then the
+    // row-broadcast bias, then the activation.
+    GemmNN(a, layer.w.data().data(), z, n, in_dim, out_dim);
+    const double* bias = layer.b.data();
+    for (size_t r = 0; r < n; ++r) {
+      double* zr = z + r * out_dim;
+      for (size_t j = 0; j < out_dim; ++j) zr[j] += bias[j];
+    }
+    const size_t total = n * out_dim;
+    if (!last) {
+      for (size_t i = 0; i < total; ++i) z[i] = z[i] > 0.0 ? z[i] : 0.0;
+    } else if (out_act_ == OutputActivation::kSigmoid) {
+      for (size_t i = 0; i < total; ++i) z[i] = Sigmoid(z[i]);
+    }
+    a = z;
+    in_dim = out_dim;
+  }
+}
+
+double Ffn::PredictScalar(double x) const {
+  ELSI_CHECK_EQ(input_dim_, 1);
+  ELSI_CHECK_EQ(output_dim_, 1);
+  static thread_local InferenceScratch scratch;
+  double out = 0.0;
+  ForwardInto(&x, &scratch, &out);
+  return out;
+}
+
 std::vector<double> Ffn::Forward(const std::vector<double>& x) const {
-  Matrix row(1, x.size());
-  for (size_t i = 0; i < x.size(); ++i) row.At(0, i) = x[i];
-  const Matrix out = ForwardBatch(row);
-  return {out.data().begin(), out.data().end()};
+  ELSI_CHECK_EQ(x.size(), static_cast<size_t>(input_dim_));
+  static thread_local InferenceScratch scratch;
+  std::vector<double> out(static_cast<size_t>(output_dim_));
+  ForwardInto(x.data(), &scratch, out.data());
+  return out;
 }
 
 double Ffn::Predict1(const std::vector<double>& x) const {
@@ -92,7 +151,7 @@ double Ffn::Predict1(const std::vector<double>& x) const {
   return Forward(x)[0];
 }
 
-double Ffn::BackwardAndStep(const std::vector<Matrix>& activations,
+double Ffn::BackwardAndStep(const Matrix& x, const std::vector<Matrix>& hidden,
                             const Matrix& output, const Matrix& y, double lr) {
   const size_t n = output.rows();
   ELSI_CHECK_EQ(y.rows(), n);
@@ -121,14 +180,14 @@ double Ffn::BackwardAndStep(const std::vector<Matrix>& activations,
 
   for (size_t l = layers_.size(); l-- > 0;) {
     Layer& layer = layers_[l];
-    const Matrix& a_in = activations[l];
+    const Matrix& a_in = l == 0 ? x : hidden[l - 1];
     const Matrix gw = a_in.TransposedMatMul(delta);
     const std::vector<double> gb = delta.ColumnSums();
 
     if (l > 0) {
       Matrix next_delta = delta.MatMulTransposed(layer.w);
       // ReLU derivative via the stored post-activation values.
-      const Matrix& a_prev = activations[l];
+      const Matrix& a_prev = hidden[l - 1];
       ELSI_CHECK_EQ(next_delta.data().size(), a_prev.data().size());
       for (size_t i = 0; i < next_delta.data().size(); ++i) {
         if (a_prev.data()[i] <= 0.0) next_delta.data()[i] = 0.0;
@@ -157,9 +216,9 @@ double Ffn::BackwardAndStep(const std::vector<Matrix>& activations,
 }
 
 double Ffn::TrainStep(const Matrix& x, const Matrix& y, double learning_rate) {
-  std::vector<Matrix> activations;
-  const Matrix output = ForwardTraining(x, &activations);
-  return BackwardAndStep(activations, output, y, learning_rate);
+  std::vector<Matrix> hidden;
+  const Matrix output = ForwardTraining(x, &hidden);
+  return BackwardAndStep(x, hidden, output, y, learning_rate);
 }
 
 double Ffn::Train(const Matrix& x, const Matrix& y,

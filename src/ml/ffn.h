@@ -28,6 +28,16 @@ struct FfnTrainOptions {
   int patience = 10;
 };
 
+/// Preallocated ping-pong buffers for the allocation-free single-example
+/// inference path (Ffn::ForwardInto). Grows to the widest layer of whatever
+/// networks it is used with and never shrinks, so steady-state queries do no
+/// heap work. Not thread-safe: use one scratch per thread (Forward/Predict1
+/// keep a `thread_local` one internally).
+struct InferenceScratch {
+  std::vector<double> ping;
+  std::vector<double> pong;
+};
+
 /// A dense feed-forward network: Linear -> ReLU -> ... -> Linear
 /// [-> Sigmoid]. This is the model class used for every learned component in
 /// the repository: index rank models, the method scorer's cost estimators,
@@ -48,7 +58,27 @@ class Ffn {
   /// Convenience for scalar-output networks.
   double Predict1(const std::vector<double>& x) const;
 
-  /// Batched forward pass; rows are examples.
+  /// Allocation-free forward pass for a single example: reads `input_dim()`
+  /// values from `x`, writes `output_dim()` values to `out`, and uses only
+  /// the scratch's preallocated buffers once they have grown to this
+  /// network's widest layer. Bit-identical to Forward() and to the matching
+  /// row of ForwardBatch() (see the kernel invariant in ml/matrix.h).
+  void ForwardInto(const double* x, InferenceScratch* scratch,
+                   double* out) const;
+
+  /// Allocation-free batched forward pass: `x` is row-major (n x
+  /// input_dim()), `out` is (n x output_dim()). Row i is bit-identical to
+  /// ForwardInto(row i) and to ForwardBatch(x) — same GEMM kernels, same
+  /// bias-then-activation order — with no Matrix allocations.
+  void ForwardBatchInto(const double* x, size_t n, InferenceScratch* scratch,
+                        double* out) const;
+
+  /// Predict1 for 1-input scalar networks on the allocation-free path,
+  /// using a per-thread scratch. This is the per-query inference hot path.
+  double PredictScalar(double x) const;
+
+  /// Batched forward pass; rows are examples. Row i of the result is
+  /// bit-identical to Forward(row i).
   Matrix ForwardBatch(const Matrix& x) const;
 
   /// Trains with mean-squared (L2) loss via Adam. Returns the final epoch's
@@ -87,15 +117,17 @@ class Ffn {
     std::vector<double> mb, vb;
   };
 
-  // Forward keeping activations for backprop.
-  Matrix ForwardTraining(const Matrix& x, std::vector<Matrix>* activations) const;
-  double BackwardAndStep(const std::vector<Matrix>& activations,
+  // Forward keeping the post-ReLU hidden activations for backprop (the
+  // input matrix is not copied; the backward pass takes it by reference).
+  Matrix ForwardTraining(const Matrix& x, std::vector<Matrix>* hidden) const;
+  double BackwardAndStep(const Matrix& x, const std::vector<Matrix>& hidden,
                          const Matrix& output, const Matrix& y, double lr);
 
   int input_dim_;
   int output_dim_;
   OutputActivation out_act_;
   std::vector<Layer> layers_;
+  size_t max_width_ = 0;  // widest layer input/output, for scratch sizing
   int64_t adam_t_ = 0;
 };
 

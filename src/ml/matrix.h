@@ -6,6 +6,27 @@
 
 namespace elsi {
 
+/// Raw row-major GEMM kernels behind Matrix and the FFN inference scratch
+/// path. All kernels are register-tiled but keep one invariant: every output
+/// element is the plain ascending-k sum of its products, computed
+/// independently of every other element. Tiling therefore never changes a
+/// result bit, and — the property the batched query path relies on — row i
+/// of a batched product is bit-identical to the product of row i alone.
+
+/// c (m x n) = a (m x k) * b (k x n). `c` is overwritten.
+void GemmNN(const double* a, const double* b, double* c, size_t m, size_t k,
+            size_t n);
+
+/// c (m x n) = a^T * b where a is (k x m) and b is (k x n). `c` is
+/// overwritten. Avoids materialising the transpose in the backward pass.
+void GemmTN(const double* a, const double* b, double* c, size_t m, size_t k,
+            size_t n);
+
+/// c (m x n) = a * b^T where a is (m x k) and b is (n x k). `c` is
+/// overwritten.
+void GemmNT(const double* a, const double* b, double* c, size_t m, size_t k,
+            size_t n);
+
 /// Dense row-major matrix of doubles. Deliberately minimal: just the
 /// storage + kernels the FFN/DQN training loops need. Copyable and movable.
 class Matrix {

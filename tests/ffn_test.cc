@@ -1,6 +1,7 @@
 #include "ml/ffn.h"
 
 #include <cmath>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -8,6 +9,67 @@
 
 namespace elsi {
 namespace {
+
+// All four inference entry points — Forward, ForwardInto, ForwardBatch, and
+// ForwardBatchInto — run the same kernels in the same order, so they must
+// agree bit for bit, trained or not, for every architecture and activation.
+TEST(FfnTest, InferencePathsAgreeBitExactly) {
+  Rng rng(99);
+  const std::vector<int> hiddens[] = {{}, {8}, {16, 8}};
+  for (const auto& hidden : hiddens) {
+    for (const auto act : {OutputActivation::kLinear,
+                           OutputActivation::kSigmoid}) {
+      Ffn net(2, hidden, 3, 77, act);
+      const size_t n = 13;
+      std::vector<double> xs(n * 2);
+      for (double& v : xs) v = rng.NextDouble() * 2.0 - 1.0;
+      Matrix xm(n, 2);
+      for (size_t i = 0; i < n * 2; ++i) xm.data()[i] = xs[i];
+
+      const Matrix batch = net.ForwardBatch(xm);
+      InferenceScratch scratch;
+      std::vector<double> batch_into(n * 3);
+      net.ForwardBatchInto(xs.data(), n, &scratch, batch_into.data());
+      for (size_t i = 0; i < n; ++i) {
+        const auto fwd = net.Forward({xs[2 * i], xs[2 * i + 1]});
+        double into[3];
+        net.ForwardInto(xs.data() + 2 * i, &scratch, into);
+        for (size_t j = 0; j < 3; ++j) {
+          ASSERT_EQ(fwd[j], batch.At(i, j)) << "row " << i;
+          ASSERT_EQ(fwd[j], into[j]) << "row " << i;
+          ASSERT_EQ(fwd[j], batch_into[i * 3 + j]) << "row " << i;
+        }
+      }
+    }
+  }
+}
+
+// The hot path: PredictScalar on 1-in/1-out networks equals Forward.
+TEST(FfnTest, PredictScalarMatchesForwardBitExactly) {
+  Ffn net(1, {16}, 1, 5);
+  Rng rng(6);
+  for (int i = 0; i < 50; ++i) {
+    const double x = rng.NextDouble();
+    ASSERT_EQ(net.PredictScalar(x), net.Forward({x})[0]);
+  }
+}
+
+// Scratch buffers grow to the widest layer seen and are reusable across
+// networks of different widths without perturbing results.
+TEST(FfnTest, ScratchIsReusableAcrossNetworks) {
+  const Ffn wide(1, {32, 32}, 1, 3);
+  const Ffn narrow(1, {4}, 1, 4);
+  InferenceScratch scratch;
+  const double x = 0.625;
+  double out_wide = 0.0, out_narrow = 0.0;
+  wide.ForwardInto(&x, &scratch, &out_wide);
+  narrow.ForwardInto(&x, &scratch, &out_narrow);
+  EXPECT_EQ(out_wide, wide.Forward({x})[0]);
+  EXPECT_EQ(out_narrow, narrow.Forward({x})[0]);
+  // Using the grown scratch again on the wide net stays exact.
+  wide.ForwardInto(&x, &scratch, &out_wide);
+  EXPECT_EQ(out_wide, wide.Forward({x})[0]);
+}
 
 TEST(FfnTest, OutputShapeMatchesConfiguration) {
   const Ffn net(3, {8, 4}, 2, 1);

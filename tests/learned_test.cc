@@ -324,6 +324,40 @@ TEST(SegmentedArrayTest, LowerBoundMatchesStdLowerBound) {
   }
 }
 
+TEST(SegmentedArrayTest, LowerBoundBatchMatchesSerialExactly) {
+  Dataset data = GenerateDataset(DatasetKind::kSkewed, 4000, 23);
+  std::vector<double> keys(data.size());
+  for (size_t i = 0; i < data.size(); ++i) keys[i] = data[i].x;
+  SegmentedLearnedArray array;
+  SegmentedLearnedArray::Config cfg;
+  cfg.leaf_target = 300;
+  auto trainer = TestTrainer();
+  array.Build(data, keys, [](const Point& p) { return p.x; }, trainer.get(),
+              cfg);
+  // Probes: every stored key (duplicates included), midpoints between
+  // neighbours, and both out-of-range sides — the windowed search's edge
+  // corrections all fire somewhere in here.
+  const auto& sorted = array.base_keys();
+  std::vector<double> probes;
+  for (size_t i = 0; i < sorted.size(); i += 3) {
+    probes.push_back(sorted[i]);
+    if (i + 1 < sorted.size()) {
+      probes.push_back((sorted[i] + sorted[i + 1]) / 2.0);
+    }
+  }
+  probes.push_back(sorted.front() - 1.0);
+  probes.push_back(sorted.back() + 1.0);
+  std::vector<size_t> leaf(probes.size()), lb(probes.size());
+  array.LowerBoundBatch(probes.data(), probes.size(), leaf.data(), lb.data());
+  for (size_t i = 0; i < probes.size(); ++i) {
+    ASSERT_EQ(lb[i], array.LowerBound(probes[i])) << "probe " << i;
+    const size_t expected = static_cast<size_t>(
+        std::lower_bound(sorted.begin(), sorted.end(), probes[i]) -
+        sorted.begin());
+    ASSERT_EQ(lb[i], expected) << "probe " << i;
+  }
+}
+
 TEST(RsmiIndexTest, StructureIsRecursive) {
   RsmiIndex::Config cfg;
   cfg.leaf_capacity = 200;

@@ -1,9 +1,123 @@
 #include "ml/matrix.h"
 
+#include <cstddef>
+#include <vector>
+
 #include <gtest/gtest.h>
+
+#include "common/random.h"
 
 namespace elsi {
 namespace {
+
+// Reference triple loops with plain ascending-k accumulation — the exact
+// sum order the tiled kernels promise to preserve (see ml/matrix.h).
+void RefNN(const double* a, const double* b, double* c, size_t m, size_t k,
+           size_t n) {
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (size_t kk = 0; kk < k; ++kk) acc += a[i * k + kk] * b[kk * n + j];
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+void RefTN(const double* a, const double* b, double* c, size_t m, size_t k,
+           size_t n) {
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (size_t kk = 0; kk < k; ++kk) acc += a[kk * m + i] * b[kk * n + j];
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+void RefNT(const double* a, const double* b, double* c, size_t m, size_t k,
+           size_t n) {
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (size_t kk = 0; kk < k; ++kk) acc += a[i * k + kk] * b[j * k + kk];
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+std::vector<double> RandomVec(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.NextDouble() * 2.0 - 1.0;
+  return v;
+}
+
+// Shapes chosen to hit every dispatch path: full tiles only, edge rows, edge
+// columns (each specialised count), degenerate k = 1 / n = 1 / m = 1 fast
+// paths, and sizes with no full tile at all.
+constexpr size_t kOddShapes[][3] = {
+    {1, 1, 1},  {1, 1, 16},  {1, 16, 1},   {1, 16, 16}, {4, 8, 8},
+    {5, 3, 9},  {8, 16, 24}, {3, 1, 7},    {7, 2, 1},   {2, 5, 3},
+    {13, 7, 5}, {16, 1, 1},  {33, 17, 31}, {6, 4, 2},   {9, 9, 9}};
+
+TEST(GemmTest, TiledNNMatchesReferenceBitExactly) {
+  for (const auto& s : kOddShapes) {
+    const size_t m = s[0], k = s[1], n = s[2];
+    const auto a = RandomVec(m * k, 101 + m);
+    const auto b = RandomVec(k * n, 202 + n);
+    std::vector<double> want(m * n), got(m * n);
+    RefNN(a.data(), b.data(), want.data(), m, k, n);
+    GemmNN(a.data(), b.data(), got.data(), m, k, n);
+    for (size_t i = 0; i < m * n; ++i) {
+      ASSERT_EQ(want[i], got[i]) << m << "x" << k << "x" << n << " at " << i;
+    }
+  }
+}
+
+TEST(GemmTest, TiledTNMatchesReferenceBitExactly) {
+  for (const auto& s : kOddShapes) {
+    const size_t m = s[0], k = s[1], n = s[2];
+    const auto a = RandomVec(k * m, 303 + m);
+    const auto b = RandomVec(k * n, 404 + n);
+    std::vector<double> want(m * n), got(m * n);
+    RefTN(a.data(), b.data(), want.data(), m, k, n);
+    GemmTN(a.data(), b.data(), got.data(), m, k, n);
+    for (size_t i = 0; i < m * n; ++i) {
+      ASSERT_EQ(want[i], got[i]) << m << "x" << k << "x" << n << " at " << i;
+    }
+  }
+}
+
+TEST(GemmTest, TiledNTMatchesReferenceBitExactly) {
+  for (const auto& s : kOddShapes) {
+    const size_t m = s[0], k = s[1], n = s[2];
+    const auto a = RandomVec(m * k, 505 + m);
+    const auto b = RandomVec(n * k, 606 + n);
+    std::vector<double> want(m * n), got(m * n);
+    RefNT(a.data(), b.data(), want.data(), m, k, n);
+    GemmNT(a.data(), b.data(), got.data(), m, k, n);
+    for (size_t i = 0; i < m * n; ++i) {
+      ASSERT_EQ(want[i], got[i]) << m << "x" << k << "x" << n << " at " << i;
+    }
+  }
+}
+
+// The property the batched query path relies on: row i of a batched product
+// equals the product of row i alone, bit for bit, because every output
+// element's sum is independent of the tiling.
+TEST(GemmTest, BatchedRowsMatchSingleRowProductsBitExactly) {
+  const size_t m = 37, k = 16, n = 16;
+  const auto a = RandomVec(m * k, 7);
+  const auto b = RandomVec(k * n, 8);
+  std::vector<double> batched(m * n), single(n);
+  GemmNN(a.data(), b.data(), batched.data(), m, k, n);
+  for (size_t i = 0; i < m; ++i) {
+    GemmNN(a.data() + i * k, b.data(), single.data(), 1, k, n);
+    for (size_t j = 0; j < n; ++j) {
+      ASSERT_EQ(batched[i * n + j], single[j]) << "row " << i << " col " << j;
+    }
+  }
+}
 
 TEST(MatrixTest, FromRowsAndAccess) {
   const Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});

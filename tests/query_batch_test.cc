@@ -1,0 +1,224 @@
+// Batched query path tests: the batched entry points on every learned index
+// must return exactly what a serial per-query loop returns — same hits, same
+// points, same order — for every chunk size and worker count, before and
+// after mutations. This is the contract that lets the harness route
+// benchmarks through PointQueryBatch/WindowQueryBatch behind a --batch knob
+// without changing any measured answer.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/spatial_index.h"
+#include "common/thread_pool.h"
+#include "data/synthetic.h"
+#include "data/workload.h"
+#include "learned/lisa_index.h"
+#include "learned/ml_index.h"
+#include "learned/rank_model.h"
+#include "learned/rsmi_index.h"
+#include "learned/zm_index.h"
+
+namespace elsi {
+namespace {
+
+RankModelConfig TestModelConfig() {
+  RankModelConfig cfg;
+  cfg.hidden = {8};
+  cfg.epochs = 60;
+  cfg.learning_rate = 0.03;
+  return cfg;
+}
+
+std::unique_ptr<SpatialIndex> MakeIndex(const std::string& name) {
+  auto trainer = std::make_shared<DirectTrainer>(TestModelConfig());
+  if (name == "ZM") {
+    ZmIndex::Config cfg;
+    cfg.array.leaf_target = 400;
+    return std::make_unique<ZmIndex>(trainer, cfg);
+  }
+  if (name == "ML") {
+    MlIndex::Config cfg;
+    cfg.array.leaf_target = 400;
+    cfg.num_references = 8;
+    return std::make_unique<MlIndex>(trainer, cfg);
+  }
+  if (name == "RSMI") {
+    RsmiIndex::Config cfg;
+    cfg.leaf_capacity = 300;
+    cfg.fanout = 4;
+    return std::make_unique<RsmiIndex>(trainer, cfg);
+  }
+  LisaIndex::Config cfg;
+  cfg.strips = 8;
+  cfg.cells_per_strip = 8;
+  return std::make_unique<LisaIndex>(trainer, cfg);
+}
+
+// Probe set mixing present points with guaranteed misses.
+std::vector<Point> MakeProbes(const Dataset& data) {
+  std::vector<Point> probes = SamplePointQueries(data, 400, 9);
+  for (int i = 0; i < 50; ++i) {
+    probes.push_back(Point{-5.0 - i * 0.01, -5.0 - i * 0.02,
+                           static_cast<uint64_t>(1u << 30) + i});
+  }
+  return probes;
+}
+
+void ExpectPointBatchMatchesSerial(const SpatialIndex& index,
+                                   const std::vector<Point>& probes,
+                                   const BatchQueryOptions& opts,
+                                   const std::string& label) {
+  std::vector<uint8_t> hit(probes.size(), 2);  // Poisoned.
+  std::vector<Point> out(probes.size());
+  index.PointQueryBatch(probes, hit, out, opts);
+  for (size_t i = 0; i < probes.size(); ++i) {
+    Point want{};
+    const bool found = index.PointQuery(probes[i], &want);
+    ASSERT_EQ(hit[i], found ? 1 : 0) << label << " probe " << i;
+    if (found) {
+      EXPECT_EQ(out[i].id, want.id) << label << " probe " << i;
+      EXPECT_EQ(out[i].x, want.x) << label << " probe " << i;
+      EXPECT_EQ(out[i].y, want.y) << label << " probe " << i;
+    }
+  }
+}
+
+void ExpectWindowBatchMatchesSerial(const SpatialIndex& index,
+                                    const std::vector<Rect>& windows,
+                                    const BatchQueryOptions& opts,
+                                    const std::string& label) {
+  std::vector<std::vector<Point>> results(windows.size());
+  index.WindowQueryBatch(windows, results, opts);
+  for (size_t i = 0; i < windows.size(); ++i) {
+    const auto want = index.WindowQuery(windows[i]);
+    ASSERT_EQ(results[i].size(), want.size()) << label << " window " << i;
+    for (size_t j = 0; j < want.size(); ++j) {
+      EXPECT_EQ(results[i][j].id, want[j].id)
+          << label << " window " << i << " pos " << j;
+    }
+  }
+}
+
+void ExpectKnnBatchMatchesSerial(const SpatialIndex& index,
+                                 const std::vector<Point>& probes, size_t k,
+                                 const BatchQueryOptions& opts,
+                                 const std::string& label) {
+  std::vector<std::vector<Point>> results(probes.size());
+  index.KnnQueryBatch(probes, k, results, opts);
+  for (size_t i = 0; i < probes.size(); ++i) {
+    const auto want = index.KnnQuery(probes[i], k);
+    ASSERT_EQ(results[i].size(), want.size()) << label << " probe " << i;
+    for (size_t j = 0; j < want.size(); ++j) {
+      EXPECT_EQ(results[i][j].id, want[j].id)
+          << label << " probe " << i << " pos " << j;
+    }
+  }
+}
+
+class QueryBatchTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(QueryBatchTest, BatchedAnswersEqualSerialAnswers) {
+  const Dataset data = GenerateDataset(DatasetKind::kUniform, 2500, 77);
+  auto index = MakeIndex(GetParam());
+  index->Build(data);
+  const auto probes = MakeProbes(data);
+  const auto windows = SampleWindowQueries(data, 12, 0.004, 5);
+
+  // Serial fallback (no pool), pooled, and a chunk size that forces many
+  // partial chunks must all agree with the per-query loop.
+  ThreadPool pool(4);
+  const BatchQueryOptions variants[] = {
+      {nullptr, 256}, {&pool, 256}, {&pool, 64}, {nullptr, 1}, {&pool, 1000}};
+  for (const auto& opts : variants) {
+    const std::string label = std::string(GetParam()) + " pool=" +
+                              (opts.pool != nullptr ? "y" : "n") + " chunk=" +
+                              std::to_string(opts.chunk);
+    ExpectPointBatchMatchesSerial(*index, probes, opts, label);
+    ExpectWindowBatchMatchesSerial(*index, windows, opts, label);
+  }
+  BatchQueryOptions knn_opts;
+  knn_opts.pool = &pool;
+  knn_opts.chunk = 64;
+  ExpectKnnBatchMatchesSerial(*index, SamplePointQueries(data, 40, 11), 5,
+                              knn_opts, GetParam());
+}
+
+TEST_P(QueryBatchTest, ResultsAreThreadCountInvariant) {
+  const Dataset data = GenerateDataset(DatasetKind::kOsm1, 2000, 33);
+  auto index = MakeIndex(GetParam());
+  index->Build(data);
+  const auto probes = MakeProbes(data);
+  const auto windows = SampleWindowQueries(data, 10, 0.004, 6);
+
+  ThreadPool pool1(1);
+  ThreadPool pool8(8);
+  BatchQueryOptions one;
+  one.pool = &pool1;
+  one.chunk = 128;
+  BatchQueryOptions eight;
+  eight.pool = &pool8;
+  eight.chunk = 128;
+
+  std::vector<uint8_t> hit1(probes.size(), 0), hit8(probes.size(), 0);
+  std::vector<Point> out1(probes.size()), out8(probes.size());
+  index->PointQueryBatch(probes, hit1, out1, one);
+  index->PointQueryBatch(probes, hit8, out8, eight);
+  ASSERT_EQ(hit1, hit8) << GetParam();
+  for (size_t i = 0; i < probes.size(); ++i) {
+    if (hit1[i] != 0) {
+      EXPECT_EQ(out1[i].id, out8[i].id) << GetParam() << " probe " << i;
+    }
+  }
+
+  std::vector<std::vector<Point>> win1(windows.size()), win8(windows.size());
+  index->WindowQueryBatch(windows, win1, one);
+  index->WindowQueryBatch(windows, win8, eight);
+  for (size_t i = 0; i < windows.size(); ++i) {
+    ASSERT_EQ(win1[i].size(), win8[i].size()) << GetParam() << " win " << i;
+    for (size_t j = 0; j < win1[i].size(); ++j) {
+      EXPECT_EQ(win1[i][j].id, win8[i][j].id) << GetParam() << " win " << i;
+    }
+  }
+}
+
+// Mutations (overflow inserts + tombstoned removals) must flow through the
+// batched path exactly as through the serial one.
+TEST_P(QueryBatchTest, BatchedAnswersTrackMutations) {
+  const Dataset data = GenerateDataset(DatasetKind::kSkewed, 1500, 21);
+  auto index = MakeIndex(GetParam());
+  index->Build(data);
+
+  // Remove every 7th point, insert a fresh cluster.
+  std::vector<Point> removed;
+  for (size_t i = 0; i < data.size(); i += 7) {
+    if (index->Remove(data[i])) removed.push_back(data[i]);
+  }
+  std::vector<Point> added;
+  for (int i = 0; i < 60; ++i) {
+    Point p{0.31 + 0.001 * i, 0.47 + 0.0005 * i,
+            static_cast<uint64_t>(1u << 20) + i};
+    index->Insert(p);
+    added.push_back(p);
+  }
+
+  std::vector<Point> probes = MakeProbes(data);
+  probes.insert(probes.end(), removed.begin(), removed.end());
+  probes.insert(probes.end(), added.begin(), added.end());
+
+  ThreadPool pool(3);
+  BatchQueryOptions opts;
+  opts.pool = &pool;
+  opts.chunk = 100;
+  ExpectPointBatchMatchesSerial(*index, probes, opts, GetParam());
+  ExpectWindowBatchMatchesSerial(
+      *index, SampleWindowQueries(data, 8, 0.004, 13), opts, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLearned, QueryBatchTest,
+                         ::testing::Values("ZM", "ML", "RSMI", "LISA"));
+
+}  // namespace
+}  // namespace elsi

@@ -6,17 +6,20 @@
 //   bench     --input <file.csv|file.bin> --index <zm|ml|rsmi|lisa|flood>
 //             [--method <sp|cl|mr|rs|rl|og>] [--epochs E] [--seed S]
 //             [--queries Q] [--window-frac F] [--knn K] [--threads T]
+//             [--batch B]
 //
 // `bench` builds the chosen index (through ELSI's build processor unless
 // --method og) and reports build time plus point/window/kNN query timings
 // and recall against brute force on a sample.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -39,7 +42,7 @@ int Usage() {
       "                    --index <zm|ml|rsmi|lisa|flood>\n"
       "                    [--method <sp|cl|mr|rs|rl|og>] [--epochs E]\n"
       "                    [--seed S] [--queries Q] [--window-frac F]\n"
-      "                    [--knn K] [--threads T]\n");
+      "                    [--knn K] [--threads T] [--batch B]\n");
   return 2;
 }
 
@@ -112,7 +115,14 @@ int RunBench(const std::map<std::string, std::string>& flags) {
   // Builds are bit-identical across thread counts (partition-derived model
   // seeds); the knob only changes wall-clock.
   if (threads > 0) ThreadPool::SetGlobalThreads(threads);
+  // Query batch size: 0 (default) keeps the serial per-query loops; B > 0
+  // routes the measurement loops through the batched predict-and-scan path
+  // with chunks of B on the global pool. Answers are identical either way
+  // (see DESIGN.md "Batched predict-and-scan").
+  const size_t batch =
+      std::strtoull(FlagOr(flags, "batch", "0").c_str(), nullptr, 10);
   std::printf("worker threads: %zu\n", ThreadPool::Global().thread_count());
+  if (batch > 0) std::printf("query batch:    %zu\n", batch);
 
   Dataset data;
   const bool loaded = EndsWith(input, ".bin") ? LoadBinary(input, &data)
@@ -193,11 +203,22 @@ int RunBench(const std::map<std::string, std::string>& flags) {
   std::printf("\n");
 
   // Queries.
+  BatchQueryOptions batch_opts;
+  batch_opts.pool = &ThreadPool::Global();
+  batch_opts.chunk = batch;
+
   const auto point_probes = SamplePointQueries(data, queries, seed + 1);
   Timer point_timer;
   size_t found = 0;
-  for (const Point& q : point_probes) {
-    if (index->PointQuery(q)) ++found;
+  if (batch > 0) {
+    std::vector<uint8_t> hit(point_probes.size(), 0);
+    std::vector<Point> payload(point_probes.size());
+    index->PointQueryBatch(point_probes, hit, payload, batch_opts);
+    for (const uint8_t h : hit) found += h;
+  } else {
+    for (const Point& q : point_probes) {
+      if (index->PointQuery(q)) ++found;
+    }
   }
   std::printf("point queries:  %.2f us avg (%zu/%zu found)\n",
               point_timer.ElapsedMicros() / point_probes.size(), found,
@@ -208,14 +229,22 @@ int RunBench(const std::map<std::string, std::string>& flags) {
       SampleWindowQueries(data, window_count, window_frac, seed + 2);
   Timer window_timer;
   size_t window_hits = 0;
-  for (const Rect& w : windows) window_hits += index->WindowQuery(w).size();
+  std::vector<std::vector<Point>> window_results(windows.size());
+  if (batch > 0) {
+    index->WindowQueryBatch(windows, window_results, batch_opts);
+  } else {
+    for (size_t i = 0; i < windows.size(); ++i) {
+      window_results[i] = index->WindowQuery(windows[i]);
+    }
+  }
+  for (const auto& r : window_results) window_hits += r.size();
   const double window_micros = window_timer.ElapsedMicros() / windows.size();
   double recall_sum = 0.0;
   size_t counted = 0;
-  for (const Rect& w : windows) {
-    const auto truth = BruteForceWindow(data, w);
+  for (size_t i = 0; i < windows.size(); ++i) {
+    const auto truth = BruteForceWindow(data, windows[i]);
     if (truth.empty()) continue;
-    recall_sum += Recall(index->WindowQuery(w), truth);
+    recall_sum += Recall(window_results[i], truth);
     ++counted;
   }
   std::printf("window queries: %.2f us avg, %.1f results avg, recall %.3f\n",
@@ -226,10 +255,18 @@ int RunBench(const std::map<std::string, std::string>& flags) {
   const size_t knn_count = std::min<size_t>(queries, 200);
   const auto knn_probes = SampleKnnQueries(data, knn_count, seed + 3);
   Timer knn_timer;
-  for (const Point& q : knn_probes) index->KnnQuery(q, k);
+  std::vector<std::vector<Point>> knn_results(knn_probes.size());
+  if (batch > 0) {
+    index->KnnQueryBatch(knn_probes, k, knn_results, batch_opts);
+  } else {
+    for (size_t i = 0; i < knn_probes.size(); ++i) {
+      knn_results[i] = index->KnnQuery(knn_probes[i], k);
+    }
+  }
   double knn_recall = 0.0;
-  for (const Point& q : knn_probes) {
-    knn_recall += Recall(index->KnnQuery(q, k), BruteForceKnn(data, q, k));
+  for (size_t i = 0; i < knn_probes.size(); ++i) {
+    knn_recall +=
+        Recall(knn_results[i], BruteForceKnn(data, knn_probes[i], k));
   }
   std::printf("kNN queries:    %.2f us avg (k = %zu), recall %.3f\n",
               knn_timer.ElapsedMicros() / knn_probes.size(), k,
