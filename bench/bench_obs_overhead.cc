@@ -1,0 +1,117 @@
+// Measures what the elsi::obs telemetry layer costs on the hot paths and
+// writes BENCH_obs_overhead.json. The obs layer is a compile-time option, so
+// a single binary can only report its own mode: CI configures the tree twice
+// (-DELSI_OBS=ON / -DELSI_OBS=OFF), runs this bench from each build, and
+// asserts that the instrumented numbers stay within a few percent of the
+// stripped ones (see .github/workflows/ci.yml, "obs overhead" step).
+//
+// Medians of repeated runs are reported to damp scheduler noise; override
+// the output path with --out=FILE or ELSI_BENCH_OBS_OUT.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "data/workload.h"
+#include "obs/metrics.h"
+
+namespace elsi {
+namespace bench {
+namespace {
+
+double Median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+void Run(const std::string& out_path) {
+  PrintBanner("bench_obs_overhead",
+              "telemetry overhead on the point-query hot path");
+  const size_t n = BenchN();
+  const size_t query_count = std::min<size_t>(n, 20000);
+  constexpr int kRepetitions = 7;
+
+  const Dataset data = GenerateDataset(DatasetKind::kOsm1, n, BenchSeed());
+  const auto queries = SamplePointQueries(data, query_count, BenchSeed() + 7);
+
+  // OG ZM (direct-trained SegmentedLearnedArray): the densest predict-and-
+  // scan loop we have, and the one carrying the scan-length histogram.
+  auto bundle = MakeLearnedIndex({BaseIndexKind::kZM, false}, n, 0.8);
+  const double build_s = MeasureBuildSeconds(bundle.index.get(), data);
+
+  std::vector<double> serial_us;
+  std::vector<double> batch_us;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    {
+      Timer timer;
+      size_t found = 0;
+      for (const Point& q : queries) {
+        if (bundle.index->PointQuery(q)) ++found;
+      }
+      serial_us.push_back(static_cast<double>(timer.ElapsedNanos()) * 1e-3 /
+                          std::max<size_t>(1, queries.size()));
+      if (found == 0) std::fprintf(stderr, "[bench] WARNING: 0 hits\n");
+    }
+    {
+      BatchQueryOptions opts;
+      opts.pool = &ThreadPool::Global();
+      opts.chunk = 256;
+      std::vector<uint8_t> hit(queries.size());
+      std::vector<Point> out(queries.size());
+      Timer timer;
+      bundle.index->PointQueryBatch(queries, hit, out, opts);
+      batch_us.push_back(static_cast<double>(timer.ElapsedNanos()) * 1e-3 /
+                         std::max<size_t>(1, queries.size()));
+    }
+  }
+
+  const double serial_median = Median(serial_us);
+  const double batch_median = Median(batch_us);
+  std::printf("obs_enabled      : %d\n", ELSI_OBS_ENABLED);
+  std::printf("build            : %s\n", FormatSeconds(build_s).c_str());
+  std::printf("point query      : %s (median of %d)\n",
+              FormatMicros(serial_median).c_str(), kRepetitions);
+  std::printf("point query batch: %s (median of %d)\n",
+              FormatMicros(batch_median).c_str(), kRepetitions);
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[bench] cannot write %s\n", out_path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"obs_enabled\": %d,\n"
+               "  \"n\": %zu,\n"
+               "  \"queries\": %zu,\n"
+               "  \"repetitions\": %d,\n"
+               "  \"build_s\": %.6f,\n"
+               "  \"point_query_us\": %.4f,\n"
+               "  \"batch_query_us\": %.4f\n"
+               "}\n",
+               ELSI_OBS_ENABLED, n, queries.size(), kRepetitions, build_s,
+               serial_median, batch_median);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace elsi
+
+int main(int argc, char** argv) {
+  elsi::bench::InitBenchThreads(argc, argv);
+  std::string out_path = "BENCH_obs_overhead.json";
+  if (const char* env = std::getenv("ELSI_BENCH_OBS_OUT")) out_path = env;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+  }
+  elsi::bench::Run(out_path);
+  return 0;
+}

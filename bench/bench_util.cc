@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -10,6 +11,8 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "data/workload.h"
+#include "obs/exporters.h"
+#include "obs/metrics.h"
 #include "traditional/grid_index.h"
 #include "traditional/hrr_tree.h"
 #include "traditional/kdb_tree.h"
@@ -43,12 +46,31 @@ size_t BenchN() {
 uint64_t BenchSeed() { return EnvSize("ELSI_BENCH_SEED", 42); }
 
 namespace {
+
 size_t g_bench_batch = 0;
+std::string g_metrics_out;
+std::string g_trace_out;
+
+std::string EnvString(const char* name) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? std::string() : std::string(value);
+}
+
+/// atexit hook: every figure bench can emit a metrics snapshot (and trace)
+/// alongside its table by passing --metrics-out= / --trace-out= or setting
+/// ELSI_BENCH_METRICS_OUT / ELSI_BENCH_TRACE_OUT.
+void WriteBenchObsOutputs() {
+  if (!g_metrics_out.empty()) obs::WriteMetricsJson(g_metrics_out);
+  if (!g_trace_out.empty()) obs::WriteTraceJson(g_trace_out);
+}
+
 }  // namespace
 
 void InitBenchThreads(int argc, char** argv) {
   size_t threads = EnvSize("ELSI_BENCH_THREADS", 0);
   g_bench_batch = EnvSize("ELSI_BENCH_BATCH", 0);
+  g_metrics_out = EnvString("ELSI_BENCH_METRICS_OUT");
+  g_trace_out = EnvString("ELSI_BENCH_TRACE_OUT");
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--threads" && i + 1 < argc) {
@@ -59,9 +81,20 @@ void InitBenchThreads(int argc, char** argv) {
       g_bench_batch = static_cast<size_t>(std::atoll(argv[i + 1]));
     } else if (arg.rfind("--batch=", 0) == 0) {
       g_bench_batch = static_cast<size_t>(std::atoll(arg.c_str() + 8));
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      g_metrics_out = argv[i + 1];
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      g_metrics_out = arg.substr(14);
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      g_trace_out = argv[i + 1];
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      g_trace_out = arg.substr(12);
     }
   }
   if (threads > 0) ThreadPool::SetGlobalThreads(threads);
+  if (!g_metrics_out.empty() || !g_trace_out.empty()) {
+    std::atexit(&WriteBenchObsOutputs);
+  }
 }
 
 size_t BenchBatch() { return g_bench_batch; }
@@ -264,34 +297,63 @@ std::shared_ptr<const RebuildPredictor> GetBenchRebuildPredictor() {
   return predictor;
 }
 
+namespace {
+
+/// Per-phase wall-clock histograms so every bench run leaves a footprint in
+/// the --metrics-out snapshot without per-figure plumbing.
+obs::Histogram& BenchBuildHistogram() {
+  static obs::Histogram& hist =
+      obs::GetHistogram("bench.build_us", obs::HistogramSpec::LatencyUs());
+  return hist;
+}
+
+obs::Histogram& BenchQueryHistogram(const char* name) {
+  // Per-query averages in microseconds, one series per query kind.
+  static obs::Histogram& point = obs::GetHistogram(
+      "bench.query_us{kind=point}", obs::HistogramSpec::LatencyUs());
+  static obs::Histogram& window = obs::GetHistogram(
+      "bench.query_us{kind=window}", obs::HistogramSpec::LatencyUs());
+  static obs::Histogram& knn = obs::GetHistogram(
+      "bench.query_us{kind=knn}", obs::HistogramSpec::LatencyUs());
+  if (std::strcmp(name, "window") == 0) return window;
+  if (std::strcmp(name, "knn") == 0) return knn;
+  return point;
+}
+
+}  // namespace
+
 double MeasureBuildSeconds(SpatialIndex* index, const Dataset& data) {
-  Timer timer;
-  index->Build(data);
-  return timer.ElapsedSeconds();
+  double seconds = 0.0;
+  {
+    ScopedTimer timer(&BenchBuildHistogram(), &seconds);
+    index->Build(data);
+  }
+  return seconds;
 }
 
 double MeasurePointQueryMicros(const SpatialIndex& index,
                                const std::vector<Point>& queries) {
   const size_t batch = BenchBatch();
   size_t found = 0;
-  double micros = 0.0;
+  Timer timer;
   if (batch > 0) {
     BatchQueryOptions opts;
     opts.pool = &ThreadPool::Global();
     opts.chunk = batch;
     std::vector<uint8_t> hit(queries.size());
     std::vector<Point> out(queries.size());
-    Timer timer;
+    timer.Reset();
     index.PointQueryBatch(queries, hit, out, opts);
-    micros = timer.ElapsedMicros() / std::max<size_t>(1, queries.size());
     for (const uint8_t h : hit) found += h;
   } else {
-    Timer timer;
+    timer.Reset();
     for (const Point& q : queries) {
       if (index.PointQuery(q)) ++found;
     }
-    micros = timer.ElapsedMicros() / std::max<size_t>(1, queries.size());
   }
+  const double micros = static_cast<double>(timer.ElapsedNanos()) * 1e-3 /
+                        std::max<size_t>(1, queries.size());
+  BenchQueryHistogram("point").Observe(micros);
   if (found < queries.size() * 95 / 100) {
     std::fprintf(stderr, "[bench] WARNING: %s found only %zu/%zu points\n",
                  index.Name().c_str(), found, queries.size());
@@ -332,8 +394,9 @@ std::pair<double, double> MeasureWindowQuery(
       results[i] = index.WindowQuery(windows[i]);
     }
   }
-  const double micros =
-      timer.ElapsedMicros() / std::max<size_t>(1, windows.size());
+  const double micros = static_cast<double>(timer.ElapsedNanos()) * 1e-3 /
+                        std::max<size_t>(1, windows.size());
+  BenchQueryHistogram("window").Observe(micros);
   double recall_sum = 0.0;
   size_t counted = 0;
   for (size_t i = 0; i < windows.size(); ++i) {
@@ -360,8 +423,9 @@ std::pair<double, double> MeasureKnnQuery(
       results[i] = index.KnnQuery(queries[i], k);
     }
   }
-  const double micros =
-      timer.ElapsedMicros() / std::max<size_t>(1, queries.size());
+  const double micros = static_cast<double>(timer.ElapsedNanos()) * 1e-3 /
+                        std::max<size_t>(1, queries.size());
+  BenchQueryHistogram("knn").Observe(micros);
   double recall_sum = 0.0;
   for (size_t i = 0; i < queries.size(); ++i) {
     recall_sum += Recall(results[i], truths[i]);

@@ -30,7 +30,11 @@ uint64_t BenchSeed();
 /// hardware default. Call first thing in every bench main; builds are
 /// bit-identical across thread counts (see DESIGN.md), so this trades
 /// wall-clock only. Also records the `--batch N` (or `--batch=N`,
-/// ELSI_BENCH_BATCH) knob read back by BenchBatch().
+/// ELSI_BENCH_BATCH) knob read back by BenchBatch(), and registers an
+/// atexit obs export when `--metrics-out=F` / `--trace-out=F` (or
+/// ELSI_BENCH_METRICS_OUT / ELSI_BENCH_TRACE_OUT) is given: the metrics
+/// snapshot is written as JSON and the trace as Chrome trace_event JSON
+/// when the bench exits.
 void InitBenchThreads(int argc, char** argv);
 
 /// Query batch size from `--batch N` / ELSI_BENCH_BATCH; 0 (the default)

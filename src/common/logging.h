@@ -1,13 +1,79 @@
 #ifndef ELSI_COMMON_LOGGING_H_
 #define ELSI_COMMON_LOGGING_H_
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
 #include <string>
 
 namespace elsi {
+
+/// Severity levels for ELSI_LOG. The active threshold comes from the
+/// ELSI_LOG_LEVEL environment variable ("INFO", "WARN", "ERROR", or 0/1/2;
+/// default WARN) and can be overridden at runtime with SetLogThreshold.
+enum class LogSeverity : int { kInfo = 0, kWarn = 1, kError = 2 };
+
 namespace internal_logging {
+
+inline const char* LogSeverityName(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kInfo:
+      return "INFO";
+    case LogSeverity::kWarn:
+      return "WARN";
+    case LogSeverity::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+inline LogSeverity LogThresholdFromEnv() {
+  const char* env = std::getenv("ELSI_LOG_LEVEL");
+  if (env == nullptr || env[0] == '\0') return LogSeverity::kWarn;
+  if (std::strcmp(env, "INFO") == 0 || std::strcmp(env, "0") == 0) {
+    return LogSeverity::kInfo;
+  }
+  if (std::strcmp(env, "WARN") == 0 || std::strcmp(env, "1") == 0) {
+    return LogSeverity::kWarn;
+  }
+  if (std::strcmp(env, "ERROR") == 0 || std::strcmp(env, "2") == 0) {
+    return LogSeverity::kError;
+  }
+  return LogSeverity::kWarn;
+}
+
+inline std::atomic<int>& LogThresholdStorage() {
+  static std::atomic<int> threshold{
+      static_cast<int>(LogThresholdFromEnv())};
+  return threshold;
+}
+
+inline bool LogEnabled(LogSeverity severity) {
+  return static_cast<int>(severity) >=
+         LogThresholdStorage().load(std::memory_order_relaxed);
+}
+
+/// Accumulates a message and writes it to stderr when destroyed. Used by
+/// ELSI_LOG below; never instantiate directly.
+class LogMessage {
+ public:
+  LogMessage(const char* file, int line, LogSeverity severity) {
+    stream_ << "[" << LogSeverityName(severity) << "] " << file << ":" << line
+            << ": ";
+  }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  ~LogMessage() { std::fprintf(stderr, "%s\n", stream_.str().c_str()); }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
 
 /// Accumulates a message and aborts the process when destroyed. Used by the
 /// ELSI_CHECK family below; never instantiate directly.
@@ -31,8 +97,37 @@ class FatalMessage {
   std::ostringstream stream_;
 };
 
+// Token targets for ELSI_LOG(INFO|WARN|ERROR).
+inline constexpr LogSeverity kSeverityINFO = LogSeverity::kInfo;
+inline constexpr LogSeverity kSeverityWARN = LogSeverity::kWarn;
+inline constexpr LogSeverity kSeverityERROR = LogSeverity::kError;
+
 }  // namespace internal_logging
+
+/// Overrides the ELSI_LOG_LEVEL threshold for the rest of the process
+/// (thread-safe; mainly for tests).
+inline void SetLogThreshold(LogSeverity severity) {
+  internal_logging::LogThresholdStorage().store(static_cast<int>(severity),
+                                                std::memory_order_relaxed);
+}
+
+inline LogSeverity GetLogThreshold() {
+  return static_cast<LogSeverity>(
+      internal_logging::LogThresholdStorage().load(std::memory_order_relaxed));
+}
+
 }  // namespace elsi
+
+/// Leveled logging with streamed context, filtered by ELSI_LOG_LEVEL:
+///   ELSI_LOG(WARN) << "rebuild declined, score=" << score;
+/// Streamed arguments are only evaluated when the severity passes the
+/// threshold.
+#define ELSI_LOG(severity)                                        \
+  if (::elsi::internal_logging::LogEnabled(                       \
+          ::elsi::internal_logging::kSeverity##severity))         \
+  ::elsi::internal_logging::LogMessage(                           \
+      __FILE__, __LINE__, ::elsi::internal_logging::kSeverity##severity) \
+      .stream()
 
 /// Aborts with a message when `condition` is false. Streams extra context:
 ///   ELSI_CHECK(n > 0) << "dataset must be non-empty, got " << n;
@@ -49,7 +144,11 @@ class FatalMessage {
 #define ELSI_CHECK_GE(a, b) ELSI_CHECK((a) >= (b))
 
 #ifdef NDEBUG
-#define ELSI_DCHECK(condition) ELSI_CHECK(true || (condition))
+// The whole statement — condition AND streamed arguments — must compile
+// away in Release. `while (false)` guards the expansion so nothing after it
+// is ever evaluated, yet `ELSI_DCHECK(x) << Expensive()` still type-checks.
+#define ELSI_DCHECK(condition) \
+  while (false) ELSI_CHECK(condition)
 #else
 #define ELSI_DCHECK(condition) ELSI_CHECK(condition)
 #endif

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 
 namespace elsi {
 
@@ -12,6 +13,7 @@ void ForEachQueryChunk(size_t n, const BatchQueryOptions& opts,
   const size_t chunk = std::max<size_t>(1, opts.chunk);
   if (opts.pool == nullptr || n <= chunk) {
     for (size_t begin = 0; begin < n; begin += chunk) {
+      ELSI_TRACE_SPAN("query.chunk");
       body(begin, std::min(n, begin + chunk));
     }
     return;
@@ -19,7 +21,10 @@ void ForEachQueryChunk(size_t n, const BatchQueryOptions& opts,
   TaskGroup group(opts.pool);
   for (size_t begin = 0; begin < n; begin += chunk) {
     const size_t end = std::min(n, begin + chunk);
-    group.Run([&body, begin, end] { body(begin, end); });
+    group.Run([&body, begin, end] {
+      ELSI_TRACE_SPAN("query.chunk");
+      body(begin, end);
+    });
   }
   group.Wait();
 }

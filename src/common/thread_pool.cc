@@ -3,9 +3,34 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/metrics.h"
+
 namespace elsi {
 
+namespace {
+
+obs::Gauge& QueueDepthGauge() {
+  static obs::Gauge& gauge = obs::GetGauge("pool.queue_depth");
+  return gauge;
+}
+
+// Records one executed task: count + latency histogram.
+void RecordTask(uint64_t start_ns) {
+  static obs::Counter& tasks = obs::GetCounter("pool.tasks");
+  static obs::Histogram& latency =
+      obs::GetHistogram("pool.task_us", obs::HistogramSpec::LatencyUs());
+  tasks.Add();
+  latency.Observe(static_cast<double>(obs::NowNs() - start_ns) / 1000.0);
+}
+
+}  // namespace
+
 ThreadPool::ThreadPool(size_t threads) {
+  // Pre-register the pool metrics so snapshots show them at zero even when
+  // every task runs inline (single-core: TaskGroup never submits).
+  QueueDepthGauge().Set(0);
+  obs::GetCounter("pool.tasks");
+  obs::GetHistogram("pool.task_us", obs::HistogramSpec::LatencyUs());
   if (threads == 0) threads = DefaultThreadCount();
   const size_t workers = threads - 1;  // The caller is the threads-th lane.
   workers_.reserve(workers);
@@ -31,6 +56,7 @@ void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
+    QueueDepthGauge().Set(static_cast<int64_t>(queue_.size()));
   }
   task_ready_.notify_one();
 }
@@ -42,8 +68,11 @@ bool ThreadPool::RunPendingTask() {
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop_front();
+    QueueDepthGauge().Set(static_cast<int64_t>(queue_.size()));
   }
+  const uint64_t start_ns = obs::NowNs();
   task();
+  RecordTask(start_ns);
   return true;
 }
 
@@ -56,8 +85,11 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // stop_ set and nothing left to run.
       task = std::move(queue_.front());
       queue_.pop_front();
+      QueueDepthGauge().Set(static_cast<int64_t>(queue_.size()));
     }
+    const uint64_t start_ns = obs::NowNs();
     task();
+    RecordTask(start_ns);
   }
 }
 

@@ -2,6 +2,9 @@
 #define ELSI_COMMON_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.h"
 
 namespace elsi {
 
@@ -21,9 +24,46 @@ class Timer {
   /// Microseconds since construction or the last Reset().
   double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
 
+  /// Whole nanoseconds since construction or the last Reset().
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// RAII stopwatch: on destruction reports the elapsed time into an obs
+/// histogram (in microseconds) and/or a plain double (in seconds). Either
+/// sink may be null. Replaces hand-rolled ElapsedSeconds() diffs:
+///
+///   {
+///     ScopedTimer t(&obs::GetHistogram("build.train_ms", spec), &seconds);
+///     Train(...);
+///   }  // histogram and `seconds` both updated here
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(obs::Histogram* histogram_us,
+                       double* seconds_out = nullptr)
+      : histogram_us_(histogram_us), seconds_out_(seconds_out) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    const double seconds = timer_.ElapsedSeconds();
+    if (histogram_us_ != nullptr) histogram_us_->Observe(seconds * 1e6);
+    if (seconds_out_ != nullptr) *seconds_out_ = seconds;
+  }
+
+ private:
+  Timer timer_;
+  obs::Histogram* histogram_us_;
+  double* seconds_out_;
 };
 
 }  // namespace elsi

@@ -8,13 +8,33 @@
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace elsi {
+
+namespace {
+
+obs::Histogram& MethodBuildMsHistogram(BuildMethodId method) {
+  return obs::GetHistogram("build.method_ms{method=" + BuildMethodName(method) + "}",
+                           obs::HistogramSpec::LatencyMs());
+}
+
+}  // namespace
 
 BuildProcessor::BuildProcessor(const BuildProcessorConfig& config,
                                std::shared_ptr<MethodSelector> selector)
     : config_(config), selector_(std::move(selector)) {
   ELSI_CHECK(!config.enabled.empty());
+  // Pre-register the build/selector metrics so snapshots always contain
+  // them (at zero) even before the first TrainModel call.
+  obs::GetCounter("build.models");
+  obs::GetCounter("selector.hit");
+  obs::GetCounter("selector.miss");
+  for (BuildMethodId id : config_.enabled) {
+    MethodBuildMsHistogram(id);
+    obs::GetCounter("build.models{method=" + BuildMethodName(id) + "}");
+  }
   methods_[BuildMethodId::kSP] =
       std::make_unique<SystematicSampling>(config_.sp);
   methods_[BuildMethodId::kRSP] =
@@ -61,19 +81,24 @@ RankModel BuildProcessor::TrainModel(
     const std::function<double(const Point&)>& key_fn) {
   ELSI_CHECK(!sorted_keys.empty());
   ELSI_CHECK_EQ(sorted_pts.size(), sorted_keys.size());
+  ELSI_TRACE_SPAN("build.train_model");
   BuildCallRecord record;
   record.n = sorted_keys.size();
 
   // Method selection: one scorer invocation over (|D|, dist(Du, D)).
-  Timer select_timer;
   BuildMethodId method = config_.enabled.front();
-  if (selector_ != nullptr) {
-    const double log10_n = std::log10(static_cast<double>(record.n));
-    const double dissim = UniformDissimilarity(sorted_keys);
-    std::lock_guard<std::mutex> lock(selector_mutex_);
-    method = selector_->Choose(config_.enabled, log10_n, dissim);
+  {
+    ELSI_TRACE_SPAN("build.select");
+    static obs::Histogram& select_us =
+        obs::GetHistogram("build.select_us", obs::HistogramSpec::LatencyUs());
+    ScopedTimer select_timer(&select_us, &record.select_seconds);
+    if (selector_ != nullptr) {
+      const double log10_n = std::log10(static_cast<double>(record.n));
+      const double dissim = UniformDissimilarity(sorted_keys);
+      std::lock_guard<std::mutex> lock(selector_mutex_);
+      method = selector_->Choose(config_.enabled, log10_n, dissim);
+    }
   }
-  record.select_seconds = select_timer.ElapsedSeconds();
   record.method = method;
 
   const BuildContext ctx{sorted_pts, sorted_keys, key_fn};
@@ -81,12 +106,14 @@ RankModel BuildProcessor::TrainModel(
   RankModelConfig model_cfg = config_.model;
   model_cfg.seed = PartitionSeed(sorted_keys);
 
-  Timer extra_timer;
   bool reused = false;
   std::vector<double> training_keys;
-  if (method == BuildMethodId::kOG) {
-    record.extra_seconds = 0.0;
-  } else {
+  if (method != BuildMethodId::kOG) {
+    // Ds construction (the method-specific "extra" cost of Table I).
+    ELSI_TRACE_SPAN("build.ds");
+    static obs::Histogram& ds_us =
+        obs::GetHistogram("build.ds_us", obs::HistogramSpec::LatencyUs());
+    ScopedTimer extra_timer(&ds_us, &record.extra_seconds);
     BuildMethod* impl = MethodFor(method);
     reused = impl->TryReuseModel(ctx, &model);
     if (!reused) {
@@ -102,29 +129,79 @@ RankModel BuildProcessor::TrainModel(
         std::sort(training_keys.begin(), training_keys.end());
       }
     }
-    record.extra_seconds = extra_timer.ElapsedSeconds();
   }
 
-  Timer train_timer;
-  if (!reused) {
-    const std::vector<double>& keys =
-        method == BuildMethodId::kOG ? sorted_keys : training_keys;
-    model.Train(keys, sorted_keys.front(), sorted_keys.back(), model_cfg);
-    record.training_size = keys.size();
+  {
+    ELSI_TRACE_SPAN("build.train");
+    static obs::Histogram& train_us =
+        obs::GetHistogram("build.train_us", obs::HistogramSpec::LatencyUs());
+    ScopedTimer train_timer(&train_us, &record.train_seconds);
+    if (!reused) {
+      const std::vector<double>& keys =
+          method == BuildMethodId::kOG ? sorted_keys : training_keys;
+      model.Train(keys, sorted_keys.front(), sorted_keys.back(), model_cfg);
+      record.training_size = keys.size();
+    }
   }
-  record.train_seconds = train_timer.ElapsedSeconds();
 
   // Line 6 of Algorithm 1: error bounds from one prediction pass over D.
-  Timer bounds_timer;
-  model.ComputeErrorBounds(sorted_keys);
-  record.bounds_seconds = bounds_timer.ElapsedSeconds();
+  {
+    ELSI_TRACE_SPAN("build.bounds");
+    static obs::Histogram& bounds_us =
+        obs::GetHistogram("build.bounds_us", obs::HistogramSpec::LatencyUs());
+    ScopedTimer bounds_timer(&bounds_us, &record.bounds_seconds);
+    model.ComputeErrorBounds(sorted_keys);
+  }
   record.error_magnitude = model.err_l() + model.err_u();
 
+  RecordObservability(record);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     records_.push_back(record);
   }
   return model;
+}
+
+void BuildProcessor::RecordObservability(const BuildCallRecord& record) {
+  static obs::Counter& models = obs::GetCounter("build.models");
+  static obs::Histogram& training_size = obs::GetHistogram(
+      "build.training_size", obs::HistogramSpec::Count());
+  models.Add();
+  obs::GetCounter("build.models{method=" + BuildMethodName(record.method) +
+                  "}")
+      .Add();
+  // Observed per-call cost of the chosen method: Ds construction plus
+  // training (selection and bounds costs are method-independent).
+  const double cost_seconds = record.extra_seconds + record.train_seconds;
+  MethodBuildMsHistogram(record.method).Observe(cost_seconds * 1e3);
+  if (record.training_size > 0) {
+    training_size.Observe(static_cast<double>(record.training_size));
+  }
+
+  // Selector hit/miss: with no counterfactual runs available, score the
+  // choice against running means of observed per-method costs — a "hit"
+  // when the chosen method's mean is the lowest seen so far.
+  if (selector_ == nullptr) return;
+  bool hit = true;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    MethodCost& cost = method_costs_[record.method];
+    cost.total_seconds += cost_seconds;
+    ++cost.calls;
+    const double chosen_mean = cost.total_seconds /
+                               static_cast<double>(cost.calls);
+    for (const auto& [id, other] : method_costs_) {
+      if (other.calls == 0) continue;
+      if (other.total_seconds / static_cast<double>(other.calls) <
+          chosen_mean) {
+        hit = false;
+        break;
+      }
+    }
+  }
+  static obs::Counter& hits = obs::GetCounter("selector.hit");
+  static obs::Counter& misses = obs::GetCounter("selector.miss");
+  (hit ? hits : misses).Add();
 }
 
 double BuildProcessor::TotalTrainSeconds() const {

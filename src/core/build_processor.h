@@ -103,13 +103,27 @@ class BuildProcessor : public ModelTrainer {
   /// serial and every parallel schedule train bit-identical models.
   uint64_t PartitionSeed(const std::vector<double>& sorted_keys) const;
 
+  /// Updates per-method observed-cost means and the selector.hit/miss
+  /// counters; records telemetry for one completed call.
+  void RecordObservability(const BuildCallRecord& record);
+
   BuildProcessorConfig config_;
   std::shared_ptr<MethodSelector> selector_;
   std::map<BuildMethodId, std::unique_ptr<BuildMethod>> methods_;
 
-  mutable std::mutex mutex_;          // Guards records_.
+  /// Running mean of observed per-call cost (Ds construction + training)
+  /// for each method, feeding the selector hit/miss telemetry: a choice is
+  /// a "hit" when the chosen method's mean is the minimum among methods
+  /// with observations so far.
+  struct MethodCost {
+    double total_seconds = 0.0;
+    uint64_t calls = 0;
+  };
+
+  mutable std::mutex mutex_;          // Guards records_ and method_costs_.
   std::mutex selector_mutex_;         // Selectors may be stateful (Rand).
   std::vector<BuildCallRecord> records_;
+  std::map<BuildMethodId, MethodCost> method_costs_;
 };
 
 /// The default enabled-method pool for a base index by name, honouring the

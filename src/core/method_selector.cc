@@ -1,13 +1,32 @@
 #include "core/method_selector.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <map>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace elsi {
 namespace {
+
+/// Telemetry shared by every selector: total invocations plus a per-method
+/// choice counter, and (for cost-model selectors) the predicted cost of the
+/// winning method — compare against build.method_ms for predicted-vs-actual.
+void RecordChoice(BuildMethodId method) {
+  static obs::Counter& invocations = obs::GetCounter("selector.invocations");
+  invocations.Add();
+  obs::GetCounter("selector.choice{method=" + BuildMethodName(method) + "}")
+      .Add();
+}
+
+void RecordPredictedCost(double cost) {
+  // Wide decade buckets: scorer costs are unitless Eq. 2 combinations.
+  static obs::Histogram& predicted = obs::GetHistogram(
+      "selector.predicted_cost", obs::HistogramSpec::Exponential(1e-9, 10.0, 18));
+  if (std::isfinite(cost)) predicted.Observe(cost);
+}
 
 uint64_t NextRand(uint64_t* state) {
   uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
@@ -47,6 +66,8 @@ BuildMethodId ScorerSelector::Choose(
       best = method;
     }
   }
+  RecordChoice(best);
+  RecordPredictedCost(best_cost);
   return best;
 }
 
@@ -58,6 +79,7 @@ BuildMethodId FixedSelector::Choose(
   ELSI_CHECK(std::find(candidates.begin(), candidates.end(), method_) !=
              candidates.end())
       << BuildMethodName(method_) << " not applicable here";
+  RecordChoice(method_);
   return method_;
 }
 
@@ -67,7 +89,10 @@ BuildMethodId RandomSelector::Choose(
   (void)log10_n;
   (void)dissimilarity;
   ELSI_CHECK(!candidates.empty());
-  return candidates[NextRand(&state_) % candidates.size()];
+  const BuildMethodId choice =
+      candidates[NextRand(&state_) % candidates.size()];
+  RecordChoice(choice);
+  return choice;
 }
 
 TreeSelector::TreeSelector(Model model, Mode mode, double lambda, double w_q)
@@ -157,9 +182,11 @@ BuildMethodId TreeSelector::Choose(
       const BuildMethodId predicted = kSelectorPool[idx];
       if (std::find(candidates.begin(), candidates.end(), predicted) !=
           candidates.end()) {
+        RecordChoice(predicted);
         return predicted;
       }
     }
+    RecordChoice(candidates.front());
     return candidates.front();  // Predicted method inapplicable here.
   }
   BuildMethodId best = candidates.front();
@@ -171,6 +198,8 @@ BuildMethodId TreeSelector::Choose(
       best = method;
     }
   }
+  RecordChoice(best);
+  RecordPredictedCost(best_cost);
   return best;
 }
 

@@ -6,14 +6,32 @@
 #include "common/cdf.h"
 #include "common/logging.h"
 #include "common/random.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace elsi {
+
+namespace {
+
+obs::Gauge& DeltaDepthGauge() {
+  static obs::Gauge& gauge = obs::GetGauge("update.delta_buffer.depth");
+  return gauge;
+}
+
+}  // namespace
 
 UpdateProcessor::UpdateProcessor(SpatialIndex* index,
                                  const RebuildPredictor* predictor,
                                  const UpdateProcessorConfig& config)
     : index_(index), predictor_(predictor), config_(config) {
   ELSI_CHECK(index != nullptr);
+  // Pre-register so snapshots show these at zero before any update runs.
+  obs::GetCounter("update.inserts");
+  obs::GetCounter("update.deletes");
+  obs::GetCounter("rebuild.checks");
+  obs::GetCounter("rebuild.triggered");
+  obs::GetCounter("rebuild.declined");
+  DeltaDepthGauge();
 }
 
 double UpdateProcessor::Key(const Point& p) const {
@@ -48,6 +66,7 @@ void UpdateProcessor::RecordBase(const std::vector<Point>& data) {
   inserts_ = 0;
   deletes_ = 0;
   since_check_ = 0;
+  DeltaDepthGauge().Set(0);
 }
 
 void UpdateProcessor::Build(const std::vector<Point>& data) {
@@ -60,6 +79,9 @@ void UpdateProcessor::Insert(const Point& p) {
   inserted_keys_.push_back(Key(p));
   inserted_sorted_ = false;
   ++inserts_;
+  static obs::Counter& inserts = obs::GetCounter("update.inserts");
+  inserts.Add();
+  DeltaDepthGauge().Set(static_cast<int64_t>(inserts_ + deletes_));
   if (++since_check_ >= config_.f_u) {
     since_check_ = 0;
     MaybeRebuild();
@@ -71,6 +93,9 @@ bool UpdateProcessor::Remove(const Point& p) {
   deleted_keys_.push_back(Key(p));
   deleted_sorted_ = false;
   ++deletes_;
+  static obs::Counter& deletes = obs::GetCounter("update.deletes");
+  deletes.Add();
+  DeltaDepthGauge().Set(static_cast<int64_t>(inserts_ + deletes_));
   if (++since_check_ >= config_.f_u) {
     since_check_ = 0;
     MaybeRebuild();
@@ -179,7 +204,28 @@ void UpdateProcessor::MaybeRebuild() {
           config_.min_update_ratio * static_cast<double>(built_n_)) {
     return;
   }
-  if (!predictor_->ShouldRebuild(CurrentFeatures())) return;
+  static obs::Counter& checks = obs::GetCounter("rebuild.checks");
+  static obs::Counter& triggered = obs::GetCounter("rebuild.triggered");
+  static obs::Counter& declined = obs::GetCounter("rebuild.declined");
+  static obs::Histogram& score_hist =
+      obs::GetHistogram("rebuild.score", obs::HistogramSpec::Unit());
+  static obs::Histogram& trigger_error = obs::GetHistogram(
+      "rebuild.trigger_error", obs::HistogramSpec::Unit());
+  checks.Add();
+  const RebuildFeatures features = CurrentFeatures();
+  const double score = predictor_->PredictScore(features);
+  score_hist.Observe(score);
+  if (score <= 0.5) {  // RebuildPredictor::ShouldRebuild threshold.
+    declined.Add();
+    return;
+  }
+  triggered.Add();
+  // How far the distribution had drifted when we pulled the trigger.
+  trigger_error.Observe(1.0 - features.cdf_similarity);
+  ELSI_LOG(INFO) << "rebuild triggered: score=" << score
+                 << " update_ratio=" << features.update_ratio
+                 << " cdf_similarity=" << features.cdf_similarity;
+  ELSI_TRACE_SPAN("update.rebuild");
   const std::vector<Point> all = index_->CollectAll();
   index_->Build(all);
   RecordBase(all);

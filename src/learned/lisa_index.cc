@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace elsi {
 
@@ -204,6 +205,10 @@ bool LisaIndex::PointQuery(const Point& q, Point* out) const {
   const size_t pred = PredictedShard(key);
   const size_t a = std::min(lo, pred);
   const size_t b = std::max(hi, pred);
+  // Shards visited per point query: LISA's prediction-error proxy.
+  static obs::Histogram& scan_shards = obs::GetHistogram(
+      "query.lisa.shards", obs::HistogramSpec::Count());
+  scan_shards.Observe(static_cast<double>(b - a + 1));
   std::vector<Point> hits;
   for (size_t sh = a; sh <= b; ++sh) {
     shards_[sh].ScanKeyRange(key, key, &hits);
@@ -255,11 +260,16 @@ void LisaIndex::PointQueryBatch(std::span<const Point> qs,
     std::vector<double> ranks(len);
     model_.PredictRanks(keys.data(), len, ranks.data());
     std::vector<Point> hits;
+    static obs::Histogram& shards_histogram = obs::GetHistogram(
+        "query.lisa.shards", obs::HistogramSpec::Count());
+    // One atomic merge per chunk (destructor flush), not one per query.
+    obs::LocalHistogram scan_shards(shards_histogram);
     for (size_t i = 0; i < len; ++i) {
       const auto [lo, hi] = ShardRangeFromRanks(ranks[i], ranks[i]);
       const size_t pred = PredictedShardFromRank(ranks[i]);
       const size_t a = std::min(lo, pred);
       const size_t b = std::max(hi, pred);
+      scan_shards.Observe(b - a + 1);
       hits.clear();
       for (size_t sh = a; sh <= b; ++sh) {
         shards_[sh].ScanKeyRange(keys[i], keys[i], &hits);

@@ -9,6 +9,18 @@
 
 #include "common/logging.h"
 #include "curve/hilbert.h"
+#include "obs/metrics.h"
+
+namespace {
+
+/// Predicted search-window width in the RSMI leaf (scan-length proxy).
+elsi::obs::Histogram& RsmiScanLenHistogram() {
+  static elsi::obs::Histogram& histogram = elsi::obs::GetHistogram(
+      "query.point.scan_len", elsi::obs::HistogramSpec::Count());
+  return histogram;
+}
+
+}  // namespace
 
 namespace elsi {
 
@@ -158,6 +170,7 @@ bool RsmiIndex::PointQuery(const Point& q, Point* out) const {
   const double key = NodeKey(*leaf, q);
   if (!leaf->keys.empty() && leaf->model.trained()) {
     const auto [lo, hi] = leaf->model.SearchRange(key, leaf->keys.size());
+    RsmiScanLenHistogram().Observe(static_cast<double>(hi - lo + 1));
     for (size_t i = lo; i <= hi && i < leaf->keys.size(); ++i) {
       if (leaf->keys[i] != key) continue;
       const Point& p = leaf->pts[i];
@@ -198,6 +211,7 @@ void RsmiIndex::AnswerLeafBatch(const Node& leaf,
     if (use_model) {
       const auto [lo, hi] =
           leaf.model.SearchRangeFromRank(ranks[t], leaf.keys.size());
+      RsmiScanLenHistogram().Observe(static_cast<double>(hi - lo + 1));
       for (size_t i = lo; i <= hi && i < leaf.keys.size(); ++i) {
         if (leaf.keys[i] != keys[t]) continue;
         const Point& p = leaf.pts[i];

@@ -5,9 +5,18 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace elsi {
 namespace {
+
+/// Width of the predicted search window — the empirical proxy for model
+/// prediction error (what Pai et al. call scan length).
+obs::Histogram& ScanLenHistogram() {
+  static obs::Histogram& histogram =
+      obs::GetHistogram("query.point.scan_len", obs::HistogramSpec::Count());
+  return histogram;
+}
 
 /// One in-flight exact lower-bound search: `lo`/`len` delimit the remaining
 /// half-open range, `key` is the probe. `lo` converges to
@@ -164,6 +173,16 @@ size_t SegmentedLearnedArray::LeafFromRootRank(double key, double rank) const {
 size_t SegmentedLearnedArray::LowerBound(double key) const {
   const size_t n = pts_.size();
   if (n == 0) return 0;
+  if (obs::SampleTick()) {
+    // Sampled (1/32) model-inference timing: root dispatch + leaf predict.
+    static obs::Histogram& infer_ns = obs::GetHistogram(
+        "query.point.infer_ns", obs::HistogramSpec::Count());
+    const uint64_t t0 = obs::NowNs();
+    const size_t j = LeafOf(key);
+    const double rank = leaves_[j].PredictRank(key);
+    infer_ns.Observe(static_cast<double>(obs::NowNs() - t0));
+    return LowerBoundInLeaf(key, j, rank);
+  }
   const size_t j = LeafOf(key);
   return LowerBoundInLeaf(key, j, leaves_[j].PredictRank(key));
 }
@@ -176,6 +195,9 @@ size_t SegmentedLearnedArray::LowerBoundInLeaf(double key, size_t leaf,
       leaves_[leaf].SearchRangeFromRank(leaf_rank, e - s);
   size_t glo = s + local_lo;
   size_t ghi = std::min(s + local_hi, n - 1);
+  // Thread-locally buffered: one atomic merge per 64 queries, not per query.
+  static thread_local obs::LocalHistogram scan_len(ScanLenHistogram());
+  scan_len.Observe(ghi - glo + 1);
   if (glo > 0 && keys_[glo - 1] >= key) {
     // Predicted range starts too late; exact global search.
     return static_cast<size_t>(
@@ -276,11 +298,17 @@ void SegmentedLearnedArray::LowerBoundBatch(const double* keys, size_t n,
   if (wlo_of.size() < n) wlo_of.resize(n);
   if (whi_of.size() < n) whi_of.resize(n);
   constexpr size_t kS = kSampleStride;
+  uint64_t infer_ns_total = 0;
+  // Stack-scoped buffer: bucketing is local, one atomic merge per chunk
+  // (flushed by the destructor before this call returns).
+  obs::LocalHistogram scan_len(ScanLenHistogram());
   for (size_t j = 0, a = 0; j < leaf_count; ++j) {
     const size_t b = offset[j];
     if (a == b) continue;
     for (size_t t = a; t < b; ++t) seg_keys[t - a] = keys[idx[t]];
+    const uint64_t infer_t0 = obs::NowNs();
     leaves_[j].PredictRanks(seg_keys.data(), b - a, seg_ranks.data());
+    infer_ns_total += obs::NowNs() - infer_t0;
     const auto [s, e] = LeafRange(j);
     for (size_t t = a; t < b; ++t) {
       // Predicted window in global positions, half-open (never empty:
@@ -289,6 +317,7 @@ void SegmentedLearnedArray::LowerBoundBatch(const double* keys, size_t n,
           leaves_[j].SearchRangeFromRank(seg_ranks[t - a], e - s);
       const size_t wlo = s + llo;
       const size_t whi = std::min(s + lhi, nb - 1) + 1;
+      scan_len.Observe(whi - wlo);
       // First search level: the sampled keys strictly inside the window,
       // sample_[t] = keys_[t * kS] for t in [ta, tb). The model window
       // restricts the sample range (fewer rounds), not correctness.
@@ -299,6 +328,12 @@ void SegmentedLearnedArray::LowerBoundBatch(const double* keys, size_t n,
       whi_of[idx[t]] = whi;
     }
     a = b;
+  }
+  {
+    // One observation per chunk: total GEMM inference time for the batch.
+    static obs::Histogram& infer_us = obs::GetHistogram(
+        "query.batch.infer_us", obs::HistogramSpec::LatencyUs());
+    infer_us.Observe(static_cast<double>(infer_ns_total) / 1000.0);
   }
   // Two software-pipelined passes resolve every search within its predicted
   // window, walking searches in leaf-sorted order so neighbouring searches

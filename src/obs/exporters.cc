@@ -1,0 +1,258 @@
+#include "obs/exporters.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace elsi {
+namespace obs {
+
+namespace {
+
+/// JSON-escapes control characters, quotes, and backslashes.
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Shortest round-trippable representation; JSON has no Inf/NaN, so those
+/// degrade to a string the consumer can still recognise.
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return v > 0 ? "\"+Inf\"" : "\"-Inf\"";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Splits "query.point.scan_len{method=sampling}" into the base name and
+/// an optional "method=sampling" label body.
+void SplitLabel(const std::string& name, std::string* base,
+                std::string* label) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos || name.back() != '}') {
+    *base = name;
+    label->clear();
+    return;
+  }
+  *base = name.substr(0, brace);
+  *label = name.substr(brace + 1, name.size() - brace - 2);
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; dots become underscores.
+std::string PromName(const std::string& base) {
+  std::string out = "elsi_";
+  out.reserve(out.size() + base.size());
+  for (const char c : base) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// "method=sampling" -> `method="sampling"`; empty stays empty.
+std::string PromLabelBody(const std::string& label) {
+  if (label.empty()) return "";
+  const size_t eq = label.find('=');
+  if (eq == std::string::npos) return "";
+  return label.substr(0, eq) + "=\"" + label.substr(eq + 1) + "\"";
+}
+
+/// Joins the fixed-label body with an extra label (for `le`).
+std::string PromLabels(const std::string& body, const std::string& extra) {
+  if (body.empty() && extra.empty()) return "";
+  std::string joined = body;
+  if (!joined.empty() && !extra.empty()) joined += ",";
+  joined += extra;
+  return "{" + joined + "}";
+}
+
+std::string PromNumber(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+bool WriteStringToFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "elsi::obs: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  out << content;
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+std::string MetricsJson(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    out << (i ? ",\n    " : "\n    ") << '"'
+        << JsonEscape(snapshot.counters[i].first)
+        << "\": " << snapshot.counters[i].second;
+  }
+  out << (snapshot.counters.empty() ? "}" : "\n  }");
+  out << ",\n  \"gauges\": {";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    out << (i ? ",\n    " : "\n    ") << '"'
+        << JsonEscape(snapshot.gauges[i].first)
+        << "\": " << snapshot.gauges[i].second;
+  }
+  out << (snapshot.gauges.empty() ? "}" : "\n  }");
+  out << ",\n  \"histograms\": [";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSnapshot& h = snapshot.histograms[i];
+    out << (i ? ",\n    " : "\n    ");
+    out << "{\"name\": \"" << JsonEscape(h.name) << "\", \"total\": "
+        << h.total << ", \"sum\": " << JsonNumber(h.sum)
+        << ", \"p50\": " << JsonNumber(h.ApproxQuantile(0.5))
+        << ", \"p99\": " << JsonNumber(h.ApproxQuantile(0.99))
+        << ", \"bounds\": [";
+    for (size_t j = 0; j < h.bounds.size(); ++j) {
+      out << (j ? ", " : "") << JsonNumber(h.bounds[j]);
+    }
+    out << "], \"counts\": [";
+    for (size_t j = 0; j < h.counts.size(); ++j) {
+      out << (j ? ", " : "") << h.counts[j];
+    }
+    out << "]}";
+  }
+  out << (snapshot.histograms.empty() ? "]" : "\n  ]");
+  out << "\n}\n";
+  return out.str();
+}
+
+std::string MetricsPrometheus(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  std::string base, label;
+  // Labelled series of one family are adjacent (snapshots are sorted by
+  // full name); the format wants exactly one # TYPE line per family.
+  std::string last_family;
+  const auto type_line = [&](const std::string& prom, const char* type) {
+    if (prom == last_family) return;
+    last_family = prom;
+    out << "# TYPE " << prom << " " << type << "\n";
+  };
+  for (const auto& [name, value] : snapshot.counters) {
+    SplitLabel(name, &base, &label);
+    type_line(PromName(base), "counter");
+    out << PromName(base) << PromLabels(PromLabelBody(label), "") << " "
+        << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    SplitLabel(name, &base, &label);
+    type_line(PromName(base), "gauge");
+    out << PromName(base) << PromLabels(PromLabelBody(label), "") << " "
+        << value << "\n";
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    SplitLabel(h.name, &base, &label);
+    const std::string prom = PromName(base);
+    const std::string body = PromLabelBody(label);
+    type_line(prom, "histogram");
+    uint64_t cum = 0;
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      cum += h.counts[i];
+      const std::string le =
+          i < h.bounds.size() ? PromNumber(h.bounds[i]) : "+Inf";
+      out << prom << "_bucket" << PromLabels(body, "le=\"" + le + "\"") << " "
+          << cum << "\n";
+    }
+    out << prom << "_sum" << PromLabels(body, "") << " " << PromNumber(h.sum)
+        << "\n";
+    out << prom << "_count" << PromLabels(body, "") << " " << h.total << "\n";
+  }
+  return out.str();
+}
+
+std::string TraceJson(const std::vector<ThreadTrace>& traces) {
+  // Flatten + sort by start so the file is stable and streams of nested
+  // spans render parent-before-child in viewers.
+  struct Flat {
+    uint64_t tid;
+    TraceEvent event;
+  };
+  std::vector<Flat> flat;
+  for (const ThreadTrace& trace : traces) {
+    for (const TraceEvent& event : trace.events) {
+      flat.push_back({trace.tid, event});
+    }
+  }
+  std::stable_sort(flat.begin(), flat.end(), [](const Flat& a, const Flat& b) {
+    if (a.event.start_ns != b.event.start_ns) {
+      return a.event.start_ns < b.event.start_ns;
+    }
+    // Same start: longer (outer) span first so Perfetto nests correctly.
+    return a.event.dur_ns > b.event.dur_ns;
+  });
+
+  std::ostringstream out;
+  out << "{\"traceEvents\": [";
+  for (size_t i = 0; i < flat.size(); ++i) {
+    const Flat& f = flat[i];
+    out << (i ? ",\n  " : "\n  ");
+    char ts[32], dur[32];
+    std::snprintf(ts, sizeof(ts), "%.3f",
+                  static_cast<double>(f.event.start_ns) / 1000.0);
+    std::snprintf(dur, sizeof(dur), "%.3f",
+                  static_cast<double>(f.event.dur_ns) / 1000.0);
+    out << "{\"name\": \""
+        << JsonEscape(f.event.name != nullptr ? f.event.name : "")
+        << "\", \"ph\": \"X\", \"ts\": " << ts << ", \"dur\": " << dur
+        << ", \"pid\": 1, \"tid\": " << f.tid << "}";
+  }
+  out << (flat.empty() ? "]" : "\n]");
+  out << ", \"displayTimeUnit\": \"ms\"}\n";
+  return out.str();
+}
+
+bool WriteMetricsJson(const std::string& path) {
+  return WriteStringToFile(path, MetricsJson(MetricsRegistry::Get().Snapshot()));
+}
+
+bool WriteMetricsPrometheus(const std::string& path) {
+  return WriteStringToFile(
+      path, MetricsPrometheus(MetricsRegistry::Get().Snapshot()));
+}
+
+bool WriteTraceJson(const std::string& path) {
+  return WriteStringToFile(path, TraceJson(TraceRegistry::Get().Snapshot()));
+}
+
+}  // namespace obs
+}  // namespace elsi

@@ -1,0 +1,41 @@
+#ifndef ELSI_OBS_EXPORTERS_H_
+#define ELSI_OBS_EXPORTERS_H_
+
+/// Serialisers for the obs layer: a JSON metrics snapshot, a
+/// Prometheus-style text dump, and Chrome trace_event JSON for
+/// chrome://tracing / Perfetto. All three work against the snapshot
+/// structs, so they compile (and emit valid, empty documents) even with
+/// ELSI_OBS_ENABLED=0.
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace elsi {
+namespace obs {
+
+/// {"counters": {...}, "gauges": {...}, "histograms": [...]}.
+std::string MetricsJson(const MetricsSnapshot& snapshot);
+
+/// Prometheus text exposition format. Metric names are sanitised
+/// (dots -> underscores, `elsi_` prefix); a trailing `{label=value}` in the
+/// registry name becomes a real Prometheus label; histograms expand to
+/// `_bucket{le=...}` / `_sum` / `_count` series.
+std::string MetricsPrometheus(const MetricsSnapshot& snapshot);
+
+/// Chrome trace_event JSON ("ph":"X" complete events, ts/dur in
+/// microseconds), one tid per recorded thread, sorted by start time.
+std::string TraceJson(const std::vector<ThreadTrace>& traces);
+
+/// Convenience: snapshot the global registries and write to `path`.
+/// Returns false (and logs) if the file cannot be written.
+bool WriteMetricsJson(const std::string& path);
+bool WriteMetricsPrometheus(const std::string& path);
+bool WriteTraceJson(const std::string& path);
+
+}  // namespace obs
+}  // namespace elsi
+
+#endif  // ELSI_OBS_EXPORTERS_H_

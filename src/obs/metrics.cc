@@ -1,0 +1,206 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#if ELSI_OBS_ENABLED
+#include <chrono>
+#endif
+
+namespace elsi {
+namespace obs {
+
+HistogramSpec HistogramSpec::Exponential(double first, double factor,
+                                         size_t count) {
+  HistogramSpec spec;
+  spec.bounds.reserve(count);
+  double bound = first;
+  for (size_t i = 0; i < count; ++i) {
+    spec.bounds.push_back(bound);
+    bound *= factor;
+  }
+  return spec;
+}
+
+HistogramSpec HistogramSpec::Linear(double start, double step, size_t count) {
+  HistogramSpec spec;
+  spec.bounds.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    spec.bounds.push_back(start + static_cast<double>(i) * step);
+  }
+  return spec;
+}
+
+double HistogramSnapshot::ApproxQuantile(double q) const {
+  if (total == 0 || counts.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  uint64_t cum = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const uint64_t next = cum + counts[i];
+    if (static_cast<double>(next) >= target && counts[i] > 0) {
+      // Interpolate inside bucket i: [lo, hi] with lo the previous bound
+      // (or 0) and hi this bound (+Inf bucket reports its lower edge).
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      if (i >= bounds.size()) return lo;
+      const double hi = bounds[i];
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(counts[i]);
+      return lo + std::clamp(frac, 0.0, 1.0) * (hi - lo);
+    }
+    cum = next;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+#if ELSI_OBS_ENABLED
+
+namespace {
+
+/// Per-thread shard index: threads are striped over shards round-robin at
+/// first use, so pool workers land on distinct cache lines.
+size_t ThreadShard(size_t shard_count) {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id % shard_count;
+}
+
+void AtomicAddDouble(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+uint64_t NowNs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           epoch)
+          .count());
+}
+
+Histogram::Histogram(const HistogramSpec& spec)
+    : bounds_(spec.bounds), shards_(kShards) {
+  for (Shard& shard : shards_) {
+    shard.counts = std::vector<std::atomic<uint64_t>>(bounds_.size() + 1);
+  }
+}
+
+void Histogram::Observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const size_t bucket = static_cast<size_t>(it - bounds_.begin());
+  Shard& shard = shards_[ThreadShard(kShards)];
+  shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&shard.sum, value);
+}
+
+void Histogram::MergeCounts(const uint64_t* counts, size_t size,
+                            double value_sum) {
+  Shard& shard = shards_[ThreadShard(kShards)];
+  const size_t n = std::min(size, shard.counts.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (counts[i] != 0) {
+      shard.counts[i].fetch_add(counts[i], std::memory_order_relaxed);
+    }
+  }
+  AtomicAddDouble(&shard.sum, value_sum);
+}
+
+void Histogram::Clear() {
+  for (Shard& shard : shards_) {
+    for (auto& count : shard.counts) {
+      count.store(0, std::memory_order_relaxed);
+    }
+    shard.sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.assign(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (size_t i = 0; i < snap.counts.size(); ++i) {
+      snap.counts[i] += shard.counts[i].load(std::memory_order_relaxed);
+    }
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  for (const uint64_t c : snap.counts) snap.total += c;
+  return snap;
+}
+
+MetricsRegistry& MetricsRegistry::Get() {
+  // Leaked on exit so metrics recorded from static destructors (or atexit
+  // exporters) never touch a destroyed registry.
+  static auto* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         const HistogramSpec& spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(spec))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->Value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->Value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h = histogram->Snapshot();
+    h.name = name;
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) {
+    counter->Add(0 - counter->Value());
+  }
+  for (auto& [name, gauge] : gauges_) gauge->Set(0);
+  for (auto& [name, histogram] : histograms_) histogram->Clear();
+}
+
+#endif  // ELSI_OBS_ENABLED
+
+}  // namespace obs
+}  // namespace elsi

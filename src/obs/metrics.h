@@ -1,0 +1,318 @@
+#ifndef ELSI_OBS_METRICS_H_
+#define ELSI_OBS_METRICS_H_
+
+/// elsi::obs — the process-wide telemetry layer (see DESIGN.md,
+/// "Observability"). Counters and gauges are single relaxed atomics;
+/// histograms shard their buckets across cache lines so hot paths touching
+/// the same metric from many threads never serialise. Metric handles are
+/// resolved once per call site (function-local static references) and stay
+/// valid for the process lifetime.
+///
+/// Compile-out: building with -DELSI_OBS=OFF defines ELSI_OBS_ENABLED=0 and
+/// every type below becomes an empty inline stub — call sites compile
+/// unchanged and the optimiser removes them entirely.
+
+#ifndef ELSI_OBS_ENABLED
+#define ELSI_OBS_ENABLED 1
+#endif
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#if ELSI_OBS_ENABLED
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#endif
+
+namespace elsi {
+namespace obs {
+
+/// Bucket layout of a histogram: ascending inclusive upper bounds
+/// (Prometheus `le` semantics); an implicit +Inf bucket catches the rest.
+struct HistogramSpec {
+  std::vector<double> bounds;
+
+  /// bounds[i] = first * factor^i, `count` buckets (plus the +Inf bucket).
+  static HistogramSpec Exponential(double first, double factor, size_t count);
+  /// bounds[i] = start + i * step.
+  static HistogramSpec Linear(double start, double step, size_t count);
+
+  /// 1us..~8.4s in powers of two — latency recorded in microseconds.
+  static HistogramSpec LatencyUs() { return Exponential(1.0, 2.0, 24); }
+  /// 0.125ms..~65s in powers of two — latency recorded in milliseconds.
+  static HistogramSpec LatencyMs() { return Exponential(0.125, 2.0, 20); }
+  /// 1..2^23 in powers of two — sizes and scan lengths.
+  static HistogramSpec Count() { return Exponential(1.0, 2.0, 24); }
+  /// 0.05..1.0 in steps of 0.05 — probabilities and ratios.
+  static HistogramSpec Unit() { return Linear(0.05, 0.05, 20); }
+};
+
+/// Point-in-time copy of one histogram (also the unit of export).
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;  // bounds.size() + 1 (last is +Inf).
+  uint64_t total = 0;
+  double sum = 0.0;
+
+  /// Linear interpolation inside the owning bucket; q in [0, 1].
+  double ApproxQuantile(double q) const;
+};
+
+/// Point-in-time copy of the whole registry, sorted by name.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+#if ELSI_OBS_ENABLED
+
+/// Nanoseconds since an arbitrary process-local epoch (steady clock). The
+/// shared timebase of metrics and trace spans.
+uint64_t NowNs();
+
+/// True on every 32nd call per thread — cheap sampling for per-query hot
+/// paths where even a clock read would show up in the profile.
+inline bool SampleTick() {
+  thread_local uint32_t tick = 0;
+  return (++tick & 31u) == 0;
+}
+
+/// Monotonically increasing event counter.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depths, buffer sizes).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram with sharded atomic buckets: each thread lands on
+/// one of kShards cache-line-aligned bucket arrays (by a per-thread id), so
+/// concurrent Observe calls from the pool touch disjoint lines. Snapshots
+/// sum the shards.
+class Histogram {
+ public:
+  explicit Histogram(const HistogramSpec& spec);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double value);
+
+  /// Index of the bucket `value` falls into (the layout of
+  /// Snapshot().counts; bounds().size() is the +Inf bucket). Non-atomic —
+  /// used by LocalHistogram to pre-bucket without touching shared lines.
+  size_t BucketOf(double value) const {
+    return static_cast<size_t>(
+        std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+        bounds_.begin());
+  }
+
+  /// Bulk-merges pre-bucketed counts (`counts` has `size` entries, indexed
+  /// like Snapshot().counts) plus their value sum: the amortised Observe
+  /// used by LocalHistogram. One shard touch per non-empty bucket.
+  void MergeCounts(const uint64_t* counts, size_t size, double value_sum);
+
+  /// Zeroes every shard in place; outstanding handles stay valid.
+  void Clear();
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Summed-over-shards copy (name left empty; the registry fills it).
+  HistogramSnapshot Snapshot() const;
+  uint64_t TotalCount() const { return Snapshot().total; }
+  double Sum() const { return Snapshot().sum; }
+
+ private:
+  static constexpr size_t kShards = 8;
+
+  struct alignas(64) Shard {
+    // counts[i] for bucket i; one extra +Inf bucket at the end. Allocated
+    // once in the constructor, never resized.
+    std::vector<std::atomic<uint64_t>> counts;
+    std::atomic<double> sum{0.0};
+  };
+
+  std::vector<double> bounds_;
+  std::vector<Shard> shards_;
+};
+
+/// Owner of every metric in the process. Registration (name lookup) takes a
+/// mutex — call sites cache the returned reference in a function-local
+/// static so the hot path never sees it.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Get();
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  /// The spec only matters on first registration; later lookups of the same
+  /// name return the existing histogram unchanged.
+  Histogram& GetHistogram(std::string_view name, const HistogramSpec& spec);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every value but keeps registrations (and outstanding handles)
+  /// valid. Test-only — concurrent Observe during Reset may survive it.
+  void Reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  // std::map keeps export order deterministic; unique_ptr keeps handles
+  // stable across rehash-free inserts.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+inline Counter& GetCounter(std::string_view name) {
+  return MetricsRegistry::Get().GetCounter(name);
+}
+inline Gauge& GetGauge(std::string_view name) {
+  return MetricsRegistry::Get().GetGauge(name);
+}
+inline Histogram& GetHistogram(std::string_view name,
+                               const HistogramSpec& spec) {
+  return MetricsRegistry::Get().GetHistogram(name, spec);
+}
+
+/// Call-site accumulator for per-item integer observations on paths too hot
+/// for an atomic RMW per call (the predict-and-scan loops): buckets counts
+/// into plain local memory and merges into the shared histogram every
+/// kFlushEvery observations and on destruction. Use one per thread
+/// (`thread_local`) for serial loops — snapshots may then lag by up to
+/// kFlushEvery - 1 observations per thread — or one per batch call
+/// (stack), which flushes deterministically when the call returns.
+class LocalHistogram {
+ public:
+  explicit LocalHistogram(Histogram& sink)
+      : sink_(sink), counts_(sink.bounds().size() + 1, 0) {}
+
+  LocalHistogram(const LocalHistogram&) = delete;
+  LocalHistogram& operator=(const LocalHistogram&) = delete;
+
+  ~LocalHistogram() { Flush(); }
+
+  void Observe(uint64_t value) {
+    ++counts_[sink_.BucketOf(static_cast<double>(value))];
+    sum_ += value;
+    if (++pending_ >= kFlushEvery) Flush();
+  }
+
+  void Flush() {
+    if (pending_ == 0) return;
+    sink_.MergeCounts(counts_.data(), counts_.size(),
+                      static_cast<double>(sum_));
+    std::fill(counts_.begin(), counts_.end(), 0);
+    sum_ = 0;
+    pending_ = 0;
+  }
+
+ private:
+  static constexpr uint32_t kFlushEvery = 64;
+
+  Histogram& sink_;
+  std::vector<uint64_t> counts_;
+  uint64_t sum_ = 0;
+  uint32_t pending_ = 0;
+};
+
+#else  // !ELSI_OBS_ENABLED — inline no-op stubs, same API.
+
+inline uint64_t NowNs() { return 0; }
+inline bool SampleTick() { return false; }
+
+class Counter {
+ public:
+  void Add(uint64_t = 1) {}
+  uint64_t Value() const { return 0; }
+};
+
+class Gauge {
+ public:
+  void Set(int64_t) {}
+  void Add(int64_t) {}
+  int64_t Value() const { return 0; }
+};
+
+class Histogram {
+ public:
+  void Observe(double) {}
+  size_t BucketOf(double) const { return 0; }
+  void MergeCounts(const uint64_t*, size_t, double) {}
+  void Clear() {}
+  const std::vector<double>& bounds() const {
+    static const std::vector<double> kEmpty;
+    return kEmpty;
+  }
+  HistogramSnapshot Snapshot() const { return {}; }
+  uint64_t TotalCount() const { return 0; }
+  double Sum() const { return 0.0; }
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Get() {
+    static MetricsRegistry registry;
+    return registry;
+  }
+  Counter& GetCounter(std::string_view) { return counter_; }
+  Gauge& GetGauge(std::string_view) { return gauge_; }
+  Histogram& GetHistogram(std::string_view, const HistogramSpec&) {
+    return histogram_;
+  }
+  MetricsSnapshot Snapshot() const { return {}; }
+  void Reset() {}
+
+ private:
+  Counter counter_;
+  Gauge gauge_;
+  Histogram histogram_;
+};
+
+inline Counter& GetCounter(std::string_view name) {
+  return MetricsRegistry::Get().GetCounter(name);
+}
+inline Gauge& GetGauge(std::string_view name) {
+  return MetricsRegistry::Get().GetGauge(name);
+}
+inline Histogram& GetHistogram(std::string_view name,
+                               const HistogramSpec& spec) {
+  return MetricsRegistry::Get().GetHistogram(name, spec);
+}
+
+class LocalHistogram {
+ public:
+  explicit LocalHistogram(Histogram&) {}
+  void Observe(uint64_t) {}
+  void Flush() {}
+};
+
+#endif  // ELSI_OBS_ENABLED
+
+}  // namespace obs
+}  // namespace elsi
+
+#endif  // ELSI_OBS_METRICS_H_

@@ -1,0 +1,97 @@
+#include "obs/trace.h"
+
+#if ELSI_OBS_ENABLED
+
+#include <algorithm>
+
+namespace elsi {
+namespace obs {
+
+void TraceBuffer::Push(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < kCapacity) {
+    ring_.push_back(event);
+  } else {
+    ring_[next_ % kCapacity] = event;
+  }
+  ++next_;
+  ++total_;
+}
+
+ThreadTrace TraceBuffer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ThreadTrace trace;
+  trace.tid = tid_;
+  trace.dropped = total_ - ring_.size();
+  trace.events.reserve(ring_.size());
+  if (ring_.size() < kCapacity) {
+    trace.events = ring_;
+  } else {
+    // Unwrap the ring: oldest surviving event lives at next_ % kCapacity.
+    const size_t head = next_ % kCapacity;
+    trace.events.insert(trace.events.end(), ring_.begin() + head, ring_.end());
+    trace.events.insert(trace.events.end(), ring_.begin(),
+                        ring_.begin() + head);
+  }
+  return trace;
+}
+
+void TraceBuffer::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+TraceRegistry& TraceRegistry::Get() {
+  // Leaked so spans recorded during static destruction stay safe.
+  static auto* registry = new TraceRegistry();
+  return *registry;
+}
+
+TraceBuffer& TraceRegistry::CurrentThreadBuffer() {
+  thread_local TraceBuffer* buffer = nullptr;
+  if (buffer == nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto owned = std::make_shared<TraceBuffer>(next_tid_++);
+    buffers_.push_back(owned);
+    // The registry (leaked) holds the shared_ptr for the process lifetime,
+    // so the raw pointer never dangles — even after this thread exits.
+    buffer = owned.get();
+  }
+  return *buffer;
+}
+
+std::vector<ThreadTrace> TraceRegistry::Snapshot() const {
+  std::vector<std::shared_ptr<TraceBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffers = buffers_;
+  }
+  std::vector<ThreadTrace> traces;
+  traces.reserve(buffers.size());
+  for (const auto& buffer : buffers) {
+    traces.push_back(buffer->Snapshot());
+  }
+  std::sort(traces.begin(), traces.end(),
+            [](const ThreadTrace& a, const ThreadTrace& b) {
+              return a.tid < b.tid;
+            });
+  return traces;
+}
+
+void TraceRegistry::Clear() {
+  std::vector<std::shared_ptr<TraceBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffers = buffers_;
+  }
+  for (const auto& buffer : buffers) {
+    buffer->Clear();
+  }
+}
+
+}  // namespace obs
+}  // namespace elsi
+
+#endif  // ELSI_OBS_ENABLED

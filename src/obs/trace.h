@@ -1,0 +1,166 @@
+#ifndef ELSI_OBS_TRACE_H_
+#define ELSI_OBS_TRACE_H_
+
+/// Scoped trace spans recorded into per-thread ring buffers and exportable
+/// as Chrome trace_event JSON (chrome://tracing, Perfetto). Usage:
+///
+///   void BuildProcessor::TrainModel(...) {
+///     ELSI_TRACE_SPAN("build.train_model");
+///     ...
+///   }
+///
+/// The span records [start, end) wall time (obs::NowNs timebase, shared
+/// with metrics) on destruction. Names must be string literals or other
+/// static-storage strings — the buffer stores the pointer, not a copy.
+///
+/// With ELSI_OBS_ENABLED=0 the macro expands to nothing and the classes
+/// below become empty stubs.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+#if ELSI_OBS_ENABLED
+#include <memory>
+#include <mutex>
+#endif
+
+namespace elsi {
+namespace obs {
+
+/// One completed span. `name` must point at static-storage characters.
+struct TraceEvent {
+  const char* name = nullptr;
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+};
+
+/// All events of one thread, in ring order (oldest surviving first).
+struct ThreadTrace {
+  uint64_t tid = 0;
+  uint64_t dropped = 0;  // events overwritten by the ring
+  std::vector<TraceEvent> events;
+};
+
+#if ELSI_OBS_ENABLED
+
+/// Fixed-capacity ring of completed spans for one thread. Push takes a
+/// mutex, but it is only ever contended by Snapshot/Clear — each thread
+/// owns exactly one buffer.
+class TraceBuffer {
+ public:
+  static constexpr size_t kCapacity = 8192;
+
+  explicit TraceBuffer(uint64_t tid) : tid_(tid) {}
+
+  void Push(const TraceEvent& event);
+
+  ThreadTrace Snapshot() const;
+  void Clear();
+
+  uint64_t tid() const { return tid_; }
+
+ private:
+  const uint64_t tid_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;  // grows to kCapacity then wraps
+  size_t next_ = 0;               // ring slot of the next Push
+  uint64_t total_ = 0;            // lifetime pushes (for `dropped`)
+};
+
+/// Owner of every thread's TraceBuffer. Buffers are created on a thread's
+/// first span and kept alive for the process lifetime (shared_ptr in the
+/// registry, raw thread_local fast path at the recording site), so exports
+/// still see spans from threads that have exited.
+class TraceRegistry {
+ public:
+  static TraceRegistry& Get();
+
+  /// The calling thread's buffer (created on first use).
+  TraceBuffer& CurrentThreadBuffer();
+
+  /// Per-thread event lists, sorted by tid.
+  std::vector<ThreadTrace> Snapshot() const;
+
+  /// Drops recorded events from every buffer (buffers stay registered).
+  void Clear();
+
+ private:
+  TraceRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<TraceBuffer>> buffers_;
+  uint64_t next_tid_ = 1;
+};
+
+/// RAII span: stamps the start on construction, records the completed
+/// event on destruction.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) : name_(name), start_ns_(NowNs()) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    TraceEvent event;
+    event.name = name_;
+    event.start_ns = start_ns_;
+    event.dur_ns = NowNs() - start_ns_;
+    TraceRegistry::Get().CurrentThreadBuffer().Push(event);
+  }
+
+ private:
+  const char* name_;
+  uint64_t start_ns_;
+};
+
+#define ELSI_OBS_SPAN_CONCAT2(a, b) a##b
+#define ELSI_OBS_SPAN_CONCAT(a, b) ELSI_OBS_SPAN_CONCAT2(a, b)
+/// Records a span named `name` (a string literal) covering the rest of the
+/// enclosing scope.
+#define ELSI_TRACE_SPAN(name)                                  \
+  ::elsi::obs::ScopedSpan ELSI_OBS_SPAN_CONCAT(elsi_obs_span_, \
+                                               __COUNTER__)(name)
+
+#else  // !ELSI_OBS_ENABLED
+
+class TraceBuffer {
+ public:
+  void Push(const TraceEvent&) {}
+  ThreadTrace Snapshot() const { return {}; }
+  void Clear() {}
+  uint64_t tid() const { return 0; }
+};
+
+class TraceRegistry {
+ public:
+  static TraceRegistry& Get() {
+    static TraceRegistry registry;
+    return registry;
+  }
+  TraceBuffer& CurrentThreadBuffer() { return buffer_; }
+  std::vector<ThreadTrace> Snapshot() const { return {}; }
+  void Clear() {}
+
+ private:
+  TraceBuffer buffer_;
+};
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char*) {}
+};
+
+#define ELSI_TRACE_SPAN(name) \
+  do {                        \
+  } while (false)
+
+#endif  // ELSI_OBS_ENABLED
+
+}  // namespace obs
+}  // namespace elsi
+
+#endif  // ELSI_OBS_TRACE_H_

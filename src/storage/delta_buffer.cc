@@ -1,18 +1,46 @@
 #include "storage/delta_buffer.h"
 
+#include "obs/metrics.h"
+
 namespace elsi {
+
+namespace {
+
+/// Pending (inserted + deleted) entries of the most recently mutated delta
+/// buffer — the storage-layer view of update pressure. Set (not
+/// accumulated) so buffer copies and destruction cannot skew it.
+obs::Gauge& PendingGauge() {
+  static obs::Gauge& gauge = obs::GetGauge("storage.delta_buffer.depth");
+  return gauge;
+}
+
+}  // namespace
+
+void DeltaBuffer::AddInsert(const Point& p, double key) {
+  inserted_.emplace(key, p);
+  PendingGauge().Set(static_cast<int64_t>(inserted_.size() + deleted_.size()));
+}
 
 bool DeltaBuffer::AddDelete(uint64_t id, double key) {
   // If the point was inserted through this buffer, drop it physically.
   auto [lo, hi] = inserted_.equal_range(key);
+  bool found = false;
   for (auto it = lo; it != hi; ++it) {
     if (it->second.id == id) {
       inserted_.erase(it);
-      return true;
+      found = true;
+      break;
     }
   }
-  deleted_.insert(id);
-  return false;
+  if (!found) deleted_.insert(id);
+  PendingGauge().Set(static_cast<int64_t>(inserted_.size() + deleted_.size()));
+  return found;
+}
+
+void DeltaBuffer::Clear() {
+  inserted_.clear();
+  deleted_.clear();
+  PendingGauge().Set(0);
 }
 
 void DeltaBuffer::ScanKeyRange(double lo, double hi,

@@ -20,9 +20,7 @@ class DeltaBuffer {
  public:
   DeltaBuffer() = default;
 
-  void AddInsert(const Point& p, double key) {
-    inserted_.emplace(key, p);
-  }
+  void AddInsert(const Point& p, double key);
 
   /// Marks an id deleted. Inserted-then-deleted points are physically
   /// removed from the side list; returns whether the id was found there.
@@ -45,10 +43,7 @@ class DeltaBuffer {
   size_t inserted_count() const { return inserted_.size(); }
   size_t deleted_count() const { return deleted_.size(); }
 
-  void Clear() {
-    inserted_.clear();
-    deleted_.clear();
-  }
+  void Clear();
 
  private:
   std::multimap<double, Point> inserted_;

@@ -25,5 +25,66 @@ TEST(LoggingDeathTest, FailingCheckEqPrintsCondition) {
   EXPECT_DEATH({ ELSI_CHECK_EQ(1, 2) << "values differ"; }, "values differ");
 }
 
+#ifdef NDEBUG
+TEST(LoggingTest, DcheckDoesNotEvaluateArgumentsInRelease) {
+  int evaluations = 0;
+  auto touch = [&evaluations] {
+    ++evaluations;
+    return true;
+  };
+  ELSI_DCHECK(touch());
+  ELSI_DCHECK(false) << (evaluations += 100, "never streamed");
+  EXPECT_EQ(evaluations, 0);
+}
+#else
+TEST(LoggingDeathTest, DcheckAbortsInDebug) {
+  EXPECT_DEATH({ ELSI_DCHECK(false) << "debug only"; }, "CHECK failed");
+}
+#endif
+
+// RAII guard so the threshold tests cannot leak state into each other.
+class ScopedLogThreshold {
+ public:
+  explicit ScopedLogThreshold(LogSeverity severity)
+      : saved_(GetLogThreshold()) {
+    SetLogThreshold(severity);
+  }
+  ~ScopedLogThreshold() { SetLogThreshold(saved_); }
+
+ private:
+  LogSeverity saved_;
+};
+
+TEST(LoggingTest, LogBelowThresholdIsSuppressedAndNotEvaluated) {
+  ScopedLogThreshold guard(LogSeverity::kError);
+  int evaluations = 0;
+  testing::internal::CaptureStderr();
+  ELSI_LOG(INFO) << (evaluations += 1, "info");
+  ELSI_LOG(WARN) << (evaluations += 1, "warn");
+  const std::string captured = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(captured, "");
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(LoggingTest, LogAtOrAboveThresholdIsEmittedWithPrefix) {
+  ScopedLogThreshold guard(LogSeverity::kInfo);
+  testing::internal::CaptureStderr();
+  ELSI_LOG(INFO) << "telemetry " << 42;
+  ELSI_LOG(ERROR) << "bad state";
+  const std::string captured = testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("[INFO]"), std::string::npos);
+  EXPECT_NE(captured.find("telemetry 42"), std::string::npos);
+  EXPECT_NE(captured.find("[ERROR]"), std::string::npos);
+  EXPECT_NE(captured.find("bad state"), std::string::npos);
+  EXPECT_NE(captured.find("logging_test"), std::string::npos);  // file:line
+}
+
+TEST(LoggingTest, ThresholdRoundTrips) {
+  ScopedLogThreshold guard(LogSeverity::kWarn);
+  EXPECT_EQ(GetLogThreshold(), LogSeverity::kWarn);
+  SetLogThreshold(LogSeverity::kInfo);
+  EXPECT_EQ(GetLogThreshold(), LogSeverity::kInfo);
+}
+
 }  // namespace
 }  // namespace elsi

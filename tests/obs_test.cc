@@ -1,0 +1,325 @@
+// Unit tests for the elsi::obs telemetry layer: metric correctness (also
+// under concurrency — run this binary under TSan), span nesting, and golden
+// parses of the three export formats. The exporter goldens run in both
+// ELSI_OBS modes (they work on hand-built snapshot structs); the
+// registry-value tests are gated on ELSI_OBS_ENABLED.
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/exporters.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace elsi {
+namespace obs {
+namespace {
+
+#if ELSI_OBS_ENABLED
+
+TEST(ObsCounterTest, AddAndValue) {
+  Counter& c = GetCounter("test.counter.basic");
+  const uint64_t before = c.Value();
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), before + 42);
+}
+
+TEST(ObsCounterTest, SameNameReturnsSameHandle) {
+  EXPECT_EQ(&GetCounter("test.counter.same"), &GetCounter("test.counter.same"));
+  EXPECT_NE(&GetCounter("test.counter.same"),
+            &GetCounter("test.counter.other"));
+}
+
+TEST(ObsGaugeTest, SetAndAdd) {
+  Gauge& g = GetGauge("test.gauge.basic");
+  g.Set(7);
+  EXPECT_EQ(g.Value(), 7);
+  g.Add(-10);
+  EXPECT_EQ(g.Value(), -3);
+  g.Set(0);
+}
+
+TEST(ObsHistogramTest, BucketsFollowLeSemantics) {
+  Histogram& h =
+      GetHistogram("test.hist.le", HistogramSpec::Linear(1.0, 1.0, 4));
+  h.Clear();
+  // bounds 1,2,3,4: each is an inclusive upper edge, plus an +Inf bucket.
+  for (const double v : {0.5, 1.0, 1.5, 2.0, 3.5, 100.0}) h.Observe(v);
+  const HistogramSnapshot snap = h.Snapshot();
+  ASSERT_EQ(snap.counts.size(), 5u);
+  EXPECT_EQ(snap.counts[0], 2u);  // 0.5, 1.0
+  EXPECT_EQ(snap.counts[1], 2u);  // 1.5, 2.0
+  EXPECT_EQ(snap.counts[2], 0u);
+  EXPECT_EQ(snap.counts[3], 1u);  // 3.5
+  EXPECT_EQ(snap.counts[4], 1u);  // 100.0 -> +Inf
+  EXPECT_EQ(snap.total, 6u);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.5 + 1.0 + 1.5 + 2.0 + 3.5 + 100.0);
+}
+
+TEST(ObsHistogramTest, SpecOnlyMattersOnFirstRegistration) {
+  Histogram& first =
+      GetHistogram("test.hist.spec", HistogramSpec::Linear(1.0, 1.0, 4));
+  Histogram& again =
+      GetHistogram("test.hist.spec", HistogramSpec::Exponential(1.0, 2.0, 24));
+  EXPECT_EQ(&first, &again);
+  EXPECT_EQ(again.bounds().size(), 4u);
+}
+
+TEST(ObsHistogramTest, ApproxQuantileInterpolates) {
+  Histogram& h =
+      GetHistogram("test.hist.quantile", HistogramSpec::Linear(10.0, 10.0, 4));
+  h.Clear();
+  for (int i = 0; i < 100; ++i) h.Observe(5.0);   // bucket [0, 10]
+  for (int i = 0; i < 100; ++i) h.Observe(15.0);  // bucket (10, 20]
+  const HistogramSnapshot snap = h.Snapshot();
+  const double p25 = snap.ApproxQuantile(0.25);
+  EXPECT_GE(p25, 0.0);
+  EXPECT_LE(p25, 10.0);
+  const double p75 = snap.ApproxQuantile(0.75);
+  EXPECT_GT(p75, 10.0);
+  EXPECT_LE(p75, 20.0);
+}
+
+TEST(ObsHistogramTest, ClearKeepsHandleValid) {
+  Histogram& h =
+      GetHistogram("test.hist.clear", HistogramSpec::Linear(1.0, 1.0, 2));
+  h.Observe(1.0);
+  EXPECT_GT(h.TotalCount(), 0u);
+  h.Clear();
+  EXPECT_EQ(h.TotalCount(), 0u);
+  h.Observe(1.0);
+  EXPECT_EQ(h.TotalCount(), 1u);
+}
+
+TEST(ObsRegistryTest, SnapshotIsSortedAndComplete) {
+  GetCounter("test.snap.b").Add();
+  GetCounter("test.snap.a").Add();
+  const MetricsSnapshot snap = MetricsRegistry::Get().Snapshot();
+  bool saw_a = false, saw_b = false;
+  for (size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].first, snap.counters[i].first);
+  }
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "test.snap.a") saw_a = true;
+    if (name == "test.snap.b") saw_b = true;
+  }
+  EXPECT_TRUE(saw_a);
+  EXPECT_TRUE(saw_b);
+  for (size_t i = 1; i < snap.histograms.size(); ++i) {
+    EXPECT_LT(snap.histograms[i - 1].name, snap.histograms[i].name);
+  }
+}
+
+// The TSan target: concurrent Add/Observe from many threads must be exact
+// (counters) and lose nothing (histogram totals), with Snapshot racing.
+TEST(ObsConcurrencyTest, ParallelAddsAndObservesAreExact) {
+  Counter& counter = GetCounter("test.concurrent.counter");
+  Histogram& hist =
+      GetHistogram("test.concurrent.hist", HistogramSpec::Linear(1.0, 1.0, 8));
+  hist.Clear();
+  const uint64_t counter_before = counter.Value();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, &hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.Add();
+        hist.Observe(static_cast<double>(t % 4));
+      }
+    });
+  }
+  // Snapshot while writers run: must be race-free, values may be partial.
+  (void)MetricsRegistry::Get().Snapshot();
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.Value(),
+            counter_before + uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(hist.TotalCount(), uint64_t{kThreads} * kPerThread);
+}
+
+TEST(ObsTraceTest, NestedSpansRecordInnerFirstAndContained) {
+  TraceRegistry::Get().Clear();
+  {
+    ELSI_TRACE_SPAN("outer");
+    {
+      ELSI_TRACE_SPAN("middle");
+      { ELSI_TRACE_SPAN("inner"); }
+    }
+  }
+  const ThreadTrace trace =
+      TraceRegistry::Get().CurrentThreadBuffer().Snapshot();
+  ASSERT_EQ(trace.events.size(), 3u);
+  // Spans complete innermost-first.
+  EXPECT_STREQ(trace.events[0].name, "inner");
+  EXPECT_STREQ(trace.events[1].name, "middle");
+  EXPECT_STREQ(trace.events[2].name, "outer");
+  const TraceEvent& inner = trace.events[0];
+  const TraceEvent& outer = trace.events[2];
+  EXPECT_LE(outer.start_ns, inner.start_ns);
+  EXPECT_GE(outer.start_ns + outer.dur_ns, inner.start_ns + inner.dur_ns);
+}
+
+TEST(ObsTraceTest, RingDropsOldestAndCountsThem) {
+  TraceBuffer& buffer = TraceRegistry::Get().CurrentThreadBuffer();
+  buffer.Clear();
+  const size_t pushes = TraceBuffer::kCapacity + 10;
+  for (size_t i = 0; i < pushes; ++i) {
+    TraceEvent event;
+    event.name = "tick";
+    event.start_ns = i;
+    buffer.Push(event);
+  }
+  const ThreadTrace trace = buffer.Snapshot();
+  EXPECT_EQ(trace.events.size(), TraceBuffer::kCapacity);
+  EXPECT_EQ(trace.dropped, 10u);
+  // Oldest surviving event is push #10; order is preserved.
+  EXPECT_EQ(trace.events.front().start_ns, 10u);
+  EXPECT_EQ(trace.events.back().start_ns, pushes - 1);
+  buffer.Clear();
+}
+
+TEST(ObsTraceTest, SpansFromManyThreadsLandInDistinctBuffers) {
+  TraceRegistry::Get().Clear();
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] { ELSI_TRACE_SPAN("worker"); });
+  }
+  for (std::thread& t : threads) t.join();
+  size_t worker_spans = 0;
+  for (const ThreadTrace& trace : TraceRegistry::Get().Snapshot()) {
+    for (const TraceEvent& event : trace.events) {
+      if (std::string(event.name) == "worker") {
+        ++worker_spans;
+        EXPECT_NE(trace.tid, 0u);
+      }
+    }
+  }
+  EXPECT_EQ(worker_spans, static_cast<size_t>(kThreads));
+}
+
+#else  // !ELSI_OBS_ENABLED
+
+TEST(ObsDisabledTest, StubsCompileAndReturnZero) {
+  Counter& c = GetCounter("test.disabled.counter");
+  c.Add(100);
+  EXPECT_EQ(c.Value(), 0u);
+  Gauge& g = GetGauge("test.disabled.gauge");
+  g.Set(5);
+  EXPECT_EQ(g.Value(), 0);
+  Histogram& h =
+      GetHistogram("test.disabled.hist", HistogramSpec::Linear(1.0, 1.0, 2));
+  h.Observe(1.0);
+  EXPECT_EQ(h.TotalCount(), 0u);
+  EXPECT_EQ(NowNs(), 0u);
+  EXPECT_FALSE(SampleTick());
+  { ELSI_TRACE_SPAN("disabled"); }
+  EXPECT_TRUE(MetricsRegistry::Get().Snapshot().counters.empty());
+  EXPECT_TRUE(TraceRegistry::Get().Snapshot().empty());
+}
+
+#endif  // ELSI_OBS_ENABLED
+
+// --- exporter goldens: snapshot structs in, exact text out (both modes) ---
+
+MetricsSnapshot GoldenSnapshot() {
+  MetricsSnapshot snap;
+  snap.counters = {{"build.models", 3}, {"build.models{method=SP}", 2}};
+  snap.gauges = {{"pool.queue_depth", 4}};
+  HistogramSnapshot hist;
+  hist.name = "query.point.scan_len";
+  hist.bounds = {1.0, 2.0};
+  hist.counts = {5, 1, 0};
+  hist.total = 6;
+  hist.sum = 8.5;
+  snap.histograms.push_back(hist);
+  return snap;
+}
+
+TEST(ObsExportTest, MetricsJsonGolden) {
+  const std::string json = MetricsJson(GoldenSnapshot());
+  EXPECT_EQ(json,
+            "{\n"
+            "  \"counters\": {\n"
+            "    \"build.models\": 3,\n"
+            "    \"build.models{method=SP}\": 2\n"
+            "  },\n"
+            "  \"gauges\": {\n"
+            "    \"pool.queue_depth\": 4\n"
+            "  },\n"
+            "  \"histograms\": [\n"
+            "    {\"name\": \"query.point.scan_len\", \"total\": 6, "
+            "\"sum\": 8.5, \"p50\": 0.59999999999999998, "
+            "\"p99\": 1.9399999999999995, "
+            "\"bounds\": [1, 2], \"counts\": [5, 1, 0]}\n"
+            "  ]\n"
+            "}\n");
+}
+
+TEST(ObsExportTest, MetricsPrometheusGolden) {
+  const std::string text = MetricsPrometheus(GoldenSnapshot());
+  EXPECT_EQ(text,
+            "# TYPE elsi_build_models counter\n"
+            "elsi_build_models 3\n"
+            "elsi_build_models{method=\"SP\"} 2\n"
+            "# TYPE elsi_pool_queue_depth gauge\n"
+            "elsi_pool_queue_depth 4\n"
+            "# TYPE elsi_query_point_scan_len histogram\n"
+            "elsi_query_point_scan_len_bucket{le=\"1\"} 5\n"
+            "elsi_query_point_scan_len_bucket{le=\"2\"} 6\n"
+            "elsi_query_point_scan_len_bucket{le=\"+Inf\"} 6\n"
+            "elsi_query_point_scan_len_sum 8.5\n"
+            "elsi_query_point_scan_len_count 6\n");
+}
+
+TEST(ObsExportTest, TraceJsonGolden) {
+  std::vector<ThreadTrace> traces(1);
+  traces[0].tid = 1;
+  traces[0].events = {{"build.train_model", 1000, 2500},
+                      {"build.ds", 1000, 1500}};
+  const std::string json = TraceJson(traces);
+  EXPECT_EQ(json,
+            "{\"traceEvents\": [\n"
+            // Same start: the longer (outer) span sorts first.
+            "  {\"name\": \"build.train_model\", \"ph\": \"X\", "
+            "\"ts\": 1.000, \"dur\": 2.500, \"pid\": 1, \"tid\": 1},\n"
+            "  {\"name\": \"build.ds\", \"ph\": \"X\", "
+            "\"ts\": 1.000, \"dur\": 1.500, \"pid\": 1, \"tid\": 1}\n"
+            "], \"displayTimeUnit\": \"ms\"}\n");
+}
+
+TEST(ObsExportTest, EmptySnapshotsAreValidDocuments) {
+  EXPECT_EQ(MetricsJson({}),
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n"
+            "  \"histograms\": []\n}\n");
+  EXPECT_EQ(TraceJson({}), "{\"traceEvents\": []"
+                           ", \"displayTimeUnit\": \"ms\"}\n");
+  EXPECT_EQ(MetricsPrometheus({}), "");
+}
+
+TEST(ObsExportTest, WritersCreateParseableFiles) {
+  const std::string dir = ::testing::TempDir();
+  const std::string metrics_path = dir + "/obs_test_metrics.json";
+  const std::string prom_path = dir + "/obs_test_metrics.prom";
+  const std::string trace_path = dir + "/obs_test_trace.json";
+  EXPECT_TRUE(WriteMetricsJson(metrics_path));
+  EXPECT_TRUE(WriteMetricsPrometheus(prom_path));
+  EXPECT_TRUE(WriteTraceJson(trace_path));
+  for (const std::string& path : {metrics_path, prom_path, trace_path}) {
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr) << path;
+    std::fclose(f);
+    std::remove(path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace elsi

@@ -6,11 +6,21 @@
 //   bench     --input <file.csv|file.bin> --index <zm|ml|rsmi|lisa|flood>
 //             [--method <sp|cl|mr|rs|rl|og>] [--epochs E] [--seed S]
 //             [--queries Q] [--window-frac F] [--knn K] [--threads T]
-//             [--batch B]
+//             [--batch B] [--metrics-out F] [--trace-out F] [--prom-out F]
+//   stats     [--kind K] [--n N] [--updates U] [--queries Q] [--seed S]
+//             [--threads T] [--metrics-out F] [--trace-out F] [--prom-out F]
 //
 // `bench` builds the chosen index (through ELSI's build processor unless
 // --method og) and reports build time plus point/window/kNN query timings
 // and recall against brute force on a sample.
+//
+// `stats` runs a self-contained telemetry tour — build with a selector over
+// the whole method pool, mixed query/update workload, rebuild-predictor
+// checks — then prints the metric snapshot and optionally exports it
+// (--metrics-out JSON, --prom-out Prometheus text, --trace-out Chrome
+// trace JSON for chrome://tracing or https://ui.perfetto.dev).
+//
+// Flags accept both "--flag value" and "--flag=value".
 
 #include <cstdint>
 #include <cstdio>
@@ -28,6 +38,9 @@
 #include "data/synthetic.h"
 #include "data/workload.h"
 #include "learned/flood_index.h"
+#include "obs/exporters.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace elsi {
 namespace {
@@ -42,16 +55,26 @@ int Usage() {
       "                    --index <zm|ml|rsmi|lisa|flood>\n"
       "                    [--method <sp|cl|mr|rs|rl|og>] [--epochs E]\n"
       "                    [--seed S] [--queries Q] [--window-frac F]\n"
-      "                    [--knn K] [--threads T] [--batch B]\n");
+      "                    [--knn K] [--threads T] [--batch B]\n"
+      "                    [--metrics-out F] [--trace-out F] [--prom-out F]\n"
+      "  elsi_cli stats    [--kind K] [--n N] [--updates U] [--queries Q]\n"
+      "                    [--seed S] [--threads T]\n"
+      "                    [--metrics-out F] [--trace-out F] [--prom-out F]\n");
   return 2;
 }
 
 std::map<std::string, std::string> ParseFlags(int argc, char** argv,
                                               int start) {
   std::map<std::string, std::string> flags;
-  for (int i = start; i + 1 < argc; i += 2) {
+  for (int i = start; i < argc; ++i) {
     if (std::strncmp(argv[i], "--", 2) != 0) return {};
-    flags[argv[i] + 2] = argv[i + 1];
+    const char* body = argv[i] + 2;
+    if (const char* eq = std::strchr(body, '=')) {
+      flags[std::string(body, eq - body)] = eq + 1;
+    } else {
+      if (i + 1 >= argc) return {};
+      flags[body] = argv[++i];
+    }
   }
   return flags;
 }
@@ -65,6 +88,29 @@ std::string FlagOr(const std::map<std::string, std::string>& flags,
 bool EndsWith(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Writes whichever of --metrics-out / --prom-out / --trace-out were given;
+/// returns false if any write failed.
+bool WriteObsOutputs(const std::map<std::string, std::string>& flags) {
+  bool ok = true;
+  const auto write = [&ok](const std::string& path,
+                           bool (*writer)(const std::string&),
+                           const char* what) {
+    if (path.empty()) return;
+    if (writer(path)) {
+      std::printf("wrote %s to %s\n", what, path.c_str());
+    } else {
+      ok = false;
+    }
+  };
+  write(FlagOr(flags, "metrics-out", ""), &obs::WriteMetricsJson,
+        "metrics JSON");
+  write(FlagOr(flags, "prom-out", ""), &obs::WriteMetricsPrometheus,
+        "Prometheus metrics");
+  write(FlagOr(flags, "trace-out", ""), &obs::WriteTraceJson,
+        "Chrome trace (open in chrome://tracing or ui.perfetto.dev)");
+  return ok;
 }
 
 int RunGenerate(const std::map<std::string, std::string>& flags) {
@@ -271,7 +317,131 @@ int RunBench(const std::map<std::string, std::string>& flags) {
   std::printf("kNN queries:    %.2f us avg (k = %zu), recall %.3f\n",
               knn_timer.ElapsedMicros() / knn_probes.size(), k,
               knn_recall / knn_probes.size());
-  return 0;
+  return WriteObsOutputs(flags) ? 0 : 1;
+}
+
+/// A rebuild predictor trained on a small hand-crafted feature grid (label
+/// 1 when the update ratio is high and the CDF similarity low) — enough to
+/// exercise the decision path in milliseconds, unlike the full simulation
+/// of GenerateRebuildTrainingData.
+RebuildPredictor MakeStatsPredictor(uint64_t seed) {
+  std::vector<RebuildSample> samples;
+  for (double ratio = 0.0; ratio <= 1.0; ratio += 0.125) {
+    for (double sim = 0.5; sim <= 1.0; sim += 0.0625) {
+      RebuildSample s;
+      s.features.log10_n = 4.5;
+      s.features.dissimilarity = 1.0 - sim;
+      s.features.depth = 2.0;
+      s.features.update_ratio = ratio;
+      s.features.cdf_similarity = sim;
+      s.label = (ratio > 0.3 && sim < 0.9) ? 1.0 : 0.0;
+      samples.push_back(s);
+    }
+  }
+  RebuildPredictor predictor;
+  RebuildPredictorTrainOptions options;
+  options.seed = seed;
+  predictor.Train(samples, options);
+  return predictor;
+}
+
+int RunStats(const std::map<std::string, std::string>& flags) {
+  const std::string kind_name = FlagOr(flags, "kind", "osm1");
+  const size_t n =
+      std::strtoull(FlagOr(flags, "n", "20000").c_str(), nullptr, 10);
+  const uint64_t seed =
+      std::strtoull(FlagOr(flags, "seed", "42").c_str(), nullptr, 10);
+  const size_t queries =
+      std::strtoull(FlagOr(flags, "queries", "2000").c_str(), nullptr, 10);
+  const size_t updates = std::strtoull(
+      FlagOr(flags, "updates", std::to_string(n / 2)).c_str(), nullptr, 10);
+  const size_t threads =
+      std::strtoull(FlagOr(flags, "threads", "0").c_str(), nullptr, 10);
+  if (threads > 0) ThreadPool::SetGlobalThreads(threads);
+
+  const std::map<std::string, DatasetKind> kinds = {
+      {"uniform", DatasetKind::kUniform}, {"skewed", DatasetKind::kSkewed},
+      {"osm1", DatasetKind::kOsm1},       {"osm2", DatasetKind::kOsm2},
+      {"tpch", DatasetKind::kTpch},       {"nyc", DatasetKind::kNyc}};
+  const auto kit = kinds.find(kind_name);
+  if (kit == kinds.end() || n == 0) return Usage();
+
+  // Build a ZM index through the full ELSI pipeline: a selector over the
+  // whole method pool (Rand keeps it dependency-free) feeding the build
+  // processor, wrapped in an update processor with a live rebuild
+  // predictor.
+  std::printf("== telemetry tour: ZM on %s, n=%zu, %zu updates ==\n",
+              kind_name.c_str(), n, updates);
+  const Dataset all = GenerateDataset(kit->second, n + updates, seed);
+  const Dataset base(all.begin(), all.begin() + n);
+
+  BuildProcessorConfig cfg;
+  cfg.model.epochs = 60;
+  cfg.model.seed = seed;
+  cfg.seed = seed;
+  cfg.sp.rho = 0.01;
+  cfg.rs.beta = std::max<size_t>(64, n / 100);
+  auto processor = MakeElsiProcessor(BaseIndexKind::kZM, cfg,
+                                     std::make_shared<RandomSelector>(seed));
+  BaseIndexScale scale;
+  scale.leaf_target = std::max<size_t>(2000, n / 16);
+  std::unique_ptr<SpatialIndex> index =
+      MakeBaseIndex(BaseIndexKind::kZM, processor, scale);
+
+  const RebuildPredictor predictor = MakeStatsPredictor(seed);
+  UpdateProcessorConfig up_cfg;
+  up_cfg.f_u = 256;
+  up_cfg.seed = seed;
+  UpdateProcessor updater(index.get(), &predictor, up_cfg);
+
+  Timer build_timer;
+  updater.Build(base);
+  std::printf("build: %.3f s (%zu models)\n", build_timer.ElapsedSeconds(),
+              processor->records().size());
+
+  // Mixed workload: serial point queries (sampled inference timing +
+  // scan-length histogram), one batched pass (GEMM timing), interleaved
+  // inserts/removes driving the delta buffer and the rebuild predictor.
+  const auto probes = SamplePointQueries(base, queries, seed + 1);
+  size_t found = 0;
+  for (const Point& q : probes) {
+    if (index->PointQuery(q)) ++found;
+  }
+  BatchQueryOptions batch_opts;
+  batch_opts.pool = &ThreadPool::Global();
+  batch_opts.chunk = 256;
+  std::vector<uint8_t> hit(probes.size(), 0);
+  std::vector<Point> payload(probes.size());
+  index->PointQueryBatch(probes, hit, payload, batch_opts);
+  std::printf("queries: %zu serial + %zu batched (%zu found)\n",
+              probes.size(), probes.size(), found);
+
+  for (size_t i = 0; i < updates; ++i) {
+    updater.Insert(all[n + i]);
+    if (i % 4 == 3) updater.Remove(base[(i * 7919) % n]);
+  }
+  std::printf("updates: %zu applied, %zu rebuilds\n", updater.update_count(),
+              updater.rebuild_count());
+
+  // Human-readable snapshot of the headline metrics.
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::Get().Snapshot();
+  std::printf("\n%-34s %12s\n", "counter/gauge", "value");
+  for (const auto& [name, value] : snap.counters) {
+    std::printf("%-34s %12llu\n", name.c_str(),
+                static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    std::printf("%-34s %12lld\n", name.c_str(),
+                static_cast<long long>(value));
+  }
+  std::printf("\n%-34s %10s %12s %12s\n", "histogram", "count", "p50",
+              "p99");
+  for (const auto& h : snap.histograms) {
+    std::printf("%-34s %10llu %12.2f %12.2f\n", h.name.c_str(),
+                static_cast<unsigned long long>(h.total),
+                h.ApproxQuantile(0.5), h.ApproxQuantile(0.99));
+  }
+  return WriteObsOutputs(flags) ? 0 : 1;
 }
 
 int Main(int argc, char** argv) {
@@ -280,6 +450,7 @@ int Main(int argc, char** argv) {
   const auto flags = ParseFlags(argc, argv, 2);
   if (command == "generate") return RunGenerate(flags);
   if (command == "bench") return RunBench(flags);
+  if (command == "stats") return RunStats(flags);
   return Usage();
 }
 
