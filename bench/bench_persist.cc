@@ -1,0 +1,146 @@
+// bench_persist — persistence subsystem timings (no paper figure; see
+// DESIGN.md "Persistence & recovery").
+//
+// Reports, for a ZM index at bench cardinality:
+//   * cold build (full model training) vs snapshot save + restore,
+//   * the restore speedup (the acceptance bar is >= 10x),
+//   * WAL append latency under group commit and replay throughput.
+//
+// Writes the same numbers as JSON to BENCH_persist.json (override with
+// ELSI_BENCH_PERSIST_OUT) so CI can archive and gate on them.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "data/synthetic.h"
+#include "persist/snapshot.h"
+#include "persist/wal.h"
+
+namespace elsi {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  InitBenchThreads(argc, argv);
+  PrintBanner("bench_persist", "persistence: snapshot restore vs cold build");
+
+  const size_t n = BenchN();
+  const Dataset data = GenerateDataset(DatasetKind::kOsm1, n, BenchSeed());
+  const std::string dir = "bench_persist_tmp";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string snap_path = dir + "/snapshot.snap";
+
+  // Cold build: the full pipeline including model training (OG / direct).
+  LearnedIndexBundle cold =
+      MakeLearnedIndex({BaseIndexKind::kZM, false}, n, 0.5, nullptr);
+  const double cold_build_s = MeasureBuildSeconds(cold.index.get(), data);
+
+  double save_s = 0.0;
+  {
+    Timer t;
+    if (!persist::Snapshot::Save(*cold.index, snap_path)) {
+      std::fprintf(stderr, "snapshot save failed\n");
+      return 1;
+    }
+    save_s = t.ElapsedSeconds();
+  }
+  const uintmax_t snapshot_bytes = std::filesystem::file_size(snap_path);
+
+  double restore_s = 0.0;
+  {
+    Timer t;
+    auto restored = persist::Snapshot::Load(snap_path);
+    restore_s = t.ElapsedSeconds();
+    if (restored == nullptr || restored->size() != data.size()) {
+      std::fprintf(stderr, "snapshot restore failed\n");
+      return 1;
+    }
+  }
+  const double speedup = cold_build_s / restore_s;
+
+  // WAL: group-committed appends, then a full replay of what was written.
+  const size_t wal_records = 10000;
+  persist::WalWriterOptions wal_opts;
+  wal_opts.fsync_every = 64;
+  double append_s = 0.0;
+  {
+    persist::WalWriter wal;
+    if (!wal.Open(dir, 1, wal_opts)) {
+      std::fprintf(stderr, "WAL open failed\n");
+      return 1;
+    }
+    Timer t;
+    for (size_t i = 0; i < wal_records; ++i) {
+      wal.Append(persist::kWalOpInsert, data[i % data.size()]);
+    }
+    wal.Sync();
+    append_s = t.ElapsedSeconds();
+  }
+  double replay_s = 0.0;
+  uint64_t replayed = 0;
+  {
+    Timer t;
+    persist::WalReplayStats stats;
+    if (!persist::WalReplay(
+            dir, 0, [](const persist::WalRecord&) {}, &stats)) {
+      std::fprintf(stderr, "WAL replay failed\n");
+      return 1;
+    }
+    replay_s = t.ElapsedSeconds();
+    replayed = stats.applied;
+  }
+  const double append_us = append_s * 1e6 / wal_records;
+
+  Table table({"metric", "value"});
+  table.AddRow({"cold build", FormatSeconds(cold_build_s)});
+  table.AddRow({"snapshot save", FormatSeconds(save_s)});
+  table.AddRow({"snapshot restore", FormatSeconds(restore_s)});
+  table.AddRow({"restore speedup", FormatRatio(speedup) + "x"});
+  table.AddRow({"snapshot bytes", std::to_string(snapshot_bytes)});
+  table.AddRow({"WAL append avg", FormatMicros(append_us)});
+  table.AddRow({"WAL replay (" + std::to_string(replayed) + " recs)",
+                FormatSeconds(replay_s)});
+  table.Print();
+
+  const char* env_out = std::getenv("ELSI_BENCH_PERSIST_OUT");
+  const std::string out =
+      (env_out != nullptr && env_out[0] != '\0') ? env_out
+                                                 : "BENCH_persist.json";
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"n\": %zu,\n"
+               "  \"kind\": \"ZM\",\n"
+               "  \"cold_build_ms\": %.3f,\n"
+               "  \"snapshot_save_ms\": %.3f,\n"
+               "  \"snapshot_restore_ms\": %.3f,\n"
+               "  \"restore_speedup\": %.2f,\n"
+               "  \"snapshot_bytes\": %llu,\n"
+               "  \"wal_records\": %zu,\n"
+               "  \"wal_append_us_avg\": %.3f,\n"
+               "  \"wal_replay_ms\": %.3f\n"
+               "}\n",
+               n, cold_build_s * 1e3, save_s * 1e3, restore_s * 1e3, speedup,
+               static_cast<unsigned long long>(snapshot_bytes), wal_records,
+               append_us, replay_s * 1e3);
+  std::fclose(f);
+  std::printf("wrote %s\n", out.c_str());
+
+  std::filesystem::remove_all(dir);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace elsi
+
+int main(int argc, char** argv) { return elsi::bench::Run(argc, argv); }

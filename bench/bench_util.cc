@@ -13,6 +13,7 @@
 #include "data/workload.h"
 #include "obs/exporters.h"
 #include "obs/metrics.h"
+#include "persist/model_cache.h"
 #include "traditional/grid_index.h"
 #include "traditional/hrr_tree.h"
 #include "traditional/kdb_tree.h"
@@ -21,9 +22,6 @@
 namespace elsi {
 namespace bench {
 namespace {
-
-constexpr char kScorerCachePath[] = "elsi_scorer_cache.csv";
-constexpr char kRebuildCachePath[] = "elsi_rebuild_cache.csv";
 
 size_t EnvSize(const char* name, size_t fallback) {
   const char* value = std::getenv(name);
@@ -163,53 +161,34 @@ std::unique_ptr<SpatialIndex> MakeTraditionalIndex(const std::string& name) {
 
 namespace {
 
-bool LoadScorerCache(ScorerTrainingData* data) {
-  std::ifstream in(kScorerCachePath);
-  if (!in) return false;
+/// The groups are a pure regrouping of the flat sample list, so the cache
+/// only stores samples and this rebuilds the per-data-set cost maps.
+void RegroupScorerSamples(ScorerTrainingData* data) {
   std::map<std::pair<double, double>, ScorerDatasetGroup> groups;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    std::istringstream ss(line);
-    int method_id = 0;
-    ScorerSample s;
-    char c = 0;
-    if (!(ss >> method_id >> c >> s.log10_n >> c >> s.dissimilarity >> c >>
-          s.build_cost >> c >> s.query_cost)) {
-      return false;
-    }
-    s.method = static_cast<BuildMethodId>(method_id);
-    data->samples.push_back(s);
+  for (const ScorerSample& s : data->samples) {
     auto& group = groups[{s.log10_n, s.dissimilarity}];
     group.log10_n = s.log10_n;
     group.dissimilarity = s.dissimilarity;
     group.costs[s.method] = {s.build_cost, s.query_cost};
   }
+  data->groups.clear();
   for (auto& [key, group] : groups) data->groups.push_back(group);
-  return !data->samples.empty();
-}
-
-void SaveScorerCache(const ScorerTrainingData& data) {
-  std::ofstream out(kScorerCachePath);
-  for (const ScorerSample& s : data.samples) {
-    out << static_cast<int>(s.method) << ',' << s.log10_n << ','
-        << s.dissimilarity << ',' << s.build_cost << ',' << s.query_cost
-        << '\n';
-  }
 }
 
 const ScorerTrainingData& BenchScorerDataImpl() {
   static ScorerTrainingData* data = [] {
+    const std::string cache_dir = persist::CacheDir();
     auto* d = new ScorerTrainingData();
-    if (LoadScorerCache(d)) {
+    if (persist::LoadScorerSamples(cache_dir, &d->samples)) {
       std::fprintf(stderr, "[bench] scorer ground truth loaded from %s\n",
-                   kScorerCachePath);
+                   persist::ScorerCachePath(cache_dir).c_str());
+      RegroupScorerSamples(d);
       return d;
     }
     std::fprintf(stderr,
                  "[bench] measuring scorer ground truth (one-off, cached in "
                  "%s)...\n",
-                 kScorerCachePath);
+                 persist::ScorerCachePath(cache_dir).c_str());
     ScorerTrainerConfig cfg;
     cfg.log10_min = 3.0;
     cfg.log10_max = 4.4;
@@ -219,7 +198,7 @@ const ScorerTrainingData& BenchScorerDataImpl() {
     cfg.processor = BenchProcessorConfig(25000);
     cfg.seed = BenchSeed();
     *d = GenerateScorerTrainingData(cfg);
-    SaveScorerCache(*d);
+    persist::SaveScorerSamples(cache_dir, d->samples);
     return d;
   }();
   return *data;
@@ -238,46 +217,15 @@ std::shared_ptr<const MethodScorer> GetBenchScorer() {
   return scorer;
 }
 
-namespace {
-
-bool LoadRebuildCache(std::vector<RebuildSample>* samples) {
-  std::ifstream in(kRebuildCachePath);
-  if (!in) return false;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    std::istringstream ss(line);
-    RebuildSample s;
-    char c = 0;
-    if (!(ss >> s.features.log10_n >> c >> s.features.dissimilarity >> c >>
-          s.features.depth >> c >> s.features.update_ratio >> c >>
-          s.features.cdf_similarity >> c >> s.label)) {
-      return false;
-    }
-    samples->push_back(s);
-  }
-  return !samples->empty();
-}
-
-void SaveRebuildCache(const std::vector<RebuildSample>& samples) {
-  std::ofstream out(kRebuildCachePath);
-  for (const RebuildSample& s : samples) {
-    out << s.features.log10_n << ',' << s.features.dissimilarity << ','
-        << s.features.depth << ',' << s.features.update_ratio << ','
-        << s.features.cdf_similarity << ',' << s.label << '\n';
-  }
-}
-
-}  // namespace
-
 std::shared_ptr<const RebuildPredictor> GetBenchRebuildPredictor() {
   static std::shared_ptr<const RebuildPredictor> predictor = [] {
+    const std::string cache_dir = persist::CacheDir();
     std::vector<RebuildSample> samples;
-    if (!LoadRebuildCache(&samples)) {
+    if (!persist::LoadRebuildSamples(cache_dir, &samples)) {
       std::fprintf(stderr,
                    "[bench] simulating rebuild ground truth (one-off, cached "
                    "in %s)...\n",
-                   kRebuildCachePath);
+                   persist::RebuildCachePath(cache_dir).c_str());
       RebuildTrainerConfig cfg;
       cfg.base_n = 10000;
       cfg.datasets = 4;
@@ -285,10 +233,10 @@ std::shared_ptr<const RebuildPredictor> GetBenchRebuildPredictor() {
       cfg.queries = 300;
       cfg.seed = BenchSeed();
       samples = GenerateRebuildTrainingData(cfg);
-      SaveRebuildCache(samples);
+      persist::SaveRebuildSamples(cache_dir, samples);
     } else {
       std::fprintf(stderr, "[bench] rebuild ground truth loaded from %s\n",
-                   kRebuildCachePath);
+                   persist::RebuildCachePath(cache_dir).c_str());
     }
     auto p = std::make_shared<RebuildPredictor>();
     p->Train(samples);

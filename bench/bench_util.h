@@ -81,14 +81,17 @@ LearnedIndexBundle MakeLearnedIndex(const LearnedVariant& variant, size_t n,
 std::unique_ptr<SpatialIndex> MakeTraditionalIndex(const std::string& name);
 
 /// A method scorer trained on a measured campaign, cached across bench
-/// binaries in ./elsi_scorer_cache.csv (delete the file to re-measure).
+/// binaries in <ELSI_CACHE_DIR or .>/elsi_scorer_cache.bin — a versioned,
+/// checksummed binary file (delete it to re-measure). A legacy
+/// elsi_scorer_cache.csv is imported and converted once when present.
 std::shared_ptr<const MethodScorer> GetBenchScorer();
 
 /// The cached measurement campaign itself (Fig. 6 needs the raw groups).
 const ScorerTrainingData& GetBenchScorerData();
 
 /// A rebuild predictor trained on the simulated update campaign, cached in
-/// ./elsi_rebuild_cache.csv.
+/// <ELSI_CACHE_DIR or .>/elsi_rebuild_cache.bin (same format and legacy CSV
+/// import as the scorer cache).
 std::shared_ptr<const RebuildPredictor> GetBenchRebuildPredictor();
 
 // --- timing helpers -------------------------------------------------------

@@ -51,6 +51,16 @@ void SpatialIndex::WindowQueryBatch(std::span<const Rect> ws,
   });
 }
 
+bool SpatialIndex::SaveState(persist::Writer& w) const {
+  (void)w;
+  return false;
+}
+
+bool SpatialIndex::LoadState(persist::Reader& r) {
+  (void)r;
+  return false;
+}
+
 void SpatialIndex::KnnQueryBatch(std::span<const Point> qs, size_t k,
                                  std::span<std::vector<Point>> out,
                                  const BatchQueryOptions& opts) const {

@@ -15,6 +15,11 @@ namespace elsi {
 
 class ThreadPool;
 
+namespace persist {
+class Writer;
+class Reader;
+}  // namespace persist
+
 /// Options for the batched query entry points. Chunk boundaries depend only
 /// on `chunk` (never on the pool size), and each chunk writes a disjoint
 /// slice of the output spans, so batched results are identical for every
@@ -105,6 +110,16 @@ class SpatialIndex {
 
   /// Model/tree depth — a rebuild-predictor feature (Sec. IV-B2).
   virtual int Depth() const { return 1; }
+
+  /// Serializes the complete index state (configuration, structure, trained
+  /// models, storage blocks) into `w` so that LoadState restores an index
+  /// whose every query answer is bit-identical to this one's. Returns false
+  /// when the index does not support persistence (the default).
+  virtual bool SaveState(persist::Writer& w) const;
+
+  /// Restores state written by SaveState on a default-constructed index of
+  /// the same type. Returns false on malformed input or when unsupported.
+  virtual bool LoadState(persist::Reader& r);
 };
 
 }  // namespace elsi

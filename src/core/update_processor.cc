@@ -74,7 +74,19 @@ void UpdateProcessor::Build(const std::vector<Point>& data) {
   RecordBase(data);
 }
 
+void UpdateProcessor::AdoptIndex(SpatialIndex* index,
+                                 const std::vector<Point>& data,
+                                 bool count_rebuild) {
+  ELSI_CHECK(index != nullptr);
+  index_ = index;
+  RecordBase(data);
+  if (count_rebuild) ++rebuilds_;
+}
+
 void UpdateProcessor::Insert(const Point& p) {
+  // Log-before-apply: the WAL record must be durable (or at least buffered
+  // for group commit) before the in-memory index changes.
+  if (log_sink_ != nullptr) log_sink_->LogInsert(p);
   index_->Insert(p);
   inserted_keys_.push_back(Key(p));
   inserted_sorted_ = false;
@@ -89,6 +101,7 @@ void UpdateProcessor::Insert(const Point& p) {
 }
 
 bool UpdateProcessor::Remove(const Point& p) {
+  if (log_sink_ != nullptr) log_sink_->LogDelete(p);
   if (!index_->Remove(p)) return false;
   deleted_keys_.push_back(Key(p));
   deleted_sorted_ = false;
@@ -226,6 +239,12 @@ void UpdateProcessor::MaybeRebuild() {
                  << " update_ratio=" << features.update_ratio
                  << " cdf_similarity=" << features.cdf_similarity;
   ELSI_TRACE_SPAN("update.rebuild");
+  if (rebuild_handler_) {
+    // The persist layer rebuilds into a fresh index and swaps it in
+    // atomically; it re-points this processor via AdoptIndex.
+    rebuild_handler_();
+    return;
+  }
   const std::vector<Point> all = index_->CollectAll();
   index_->Build(all);
   RecordBase(all);

@@ -1,6 +1,7 @@
 #ifndef ELSI_CORE_UPDATE_PROCESSOR_H_
 #define ELSI_CORE_UPDATE_PROCESSOR_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -9,6 +10,18 @@
 #include "curve/zorder.h"
 
 namespace elsi {
+
+/// Durability hook: the persist layer's WAL implements this. The processor
+/// calls Log* BEFORE touching the index, so a crash between the log append
+/// and the in-memory mutation replays the operation instead of losing it.
+/// Deletes are logged even when the point turns out to be absent — replaying
+/// a failed delete is a no-op, while the reverse order would lose updates.
+class UpdateLogSink {
+ public:
+  virtual ~UpdateLogSink() = default;
+  virtual void LogInsert(const Point& p) = 0;
+  virtual void LogDelete(const Point& p) = 0;
+};
 
 struct UpdateProcessorConfig {
   /// Run the rebuild predictor after every f_u updates (Sec. IV-B2).
@@ -58,6 +71,29 @@ class UpdateProcessor {
 
   const SpatialIndex& index() const { return *index_; }
 
+  /// Installs (or clears) the durability sink consulted before every update.
+  void set_log_sink(UpdateLogSink* sink) { log_sink_ = sink; }
+
+  /// Overrides the rebuild decision's action: when set, a triggered rebuild
+  /// invokes the handler instead of rebuilding in place. The persist layer
+  /// uses this to run its atomic rebuild-swap (snapshot + pointer swap)
+  /// outside the processor. The handler runs inside Insert/Remove, so it
+  /// must not re-enter this processor.
+  void set_rebuild_handler(std::function<void()> handler) {
+    rebuild_handler_ = std::move(handler);
+  }
+
+  /// Toggles the rebuild predictor (WAL replay disables it so recovery
+  /// reproduces the live index state before any rebuild policy kicks in).
+  void set_rebuild_enabled(bool enabled) { config_.enable_rebuild = enabled; }
+
+  /// Re-points the processor at a freshly built index holding `data` and
+  /// records its base CDF without building again. The persist layer calls
+  /// this after a rebuild-swap or snapshot load; `count_rebuild` says
+  /// whether to account it as a rebuild.
+  void AdoptIndex(SpatialIndex* index, const std::vector<Point>& data,
+                  bool count_rebuild);
+
  private:
   double Key(const Point& p) const;
   void RecordBase(const std::vector<Point>& data);
@@ -69,6 +105,8 @@ class UpdateProcessor {
   SpatialIndex* index_;
   const RebuildPredictor* predictor_;
   UpdateProcessorConfig config_;
+  UpdateLogSink* log_sink_ = nullptr;
+  std::function<void()> rebuild_handler_;
 
   std::unique_ptr<GridQuantizer> quantizer_;
   std::vector<double> base_sample_;  // Sorted key sample of the built set.

@@ -5,17 +5,23 @@
 #include <fstream>
 #include <sstream>
 
+#include "persist/io.h"
+
 namespace elsi {
 
+// The on-disk layout (u64 count, then x/y/id per point) predates the
+// explicit little-endian encoders and is byte-identical to the old
+// host-order writes on little-endian machines, so existing files load
+// unchanged.
 bool SaveBinary(const Dataset& data, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) return false;
-  const uint64_t n = data.size();
-  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  if (!persist::PutU64(out, data.size())) return false;
   for (const Point& p : data) {
-    out.write(reinterpret_cast<const char*>(&p.x), sizeof(p.x));
-    out.write(reinterpret_cast<const char*>(&p.y), sizeof(p.y));
-    out.write(reinterpret_cast<const char*>(&p.id), sizeof(p.id));
+    if (!persist::PutF64(out, p.x) || !persist::PutF64(out, p.y) ||
+        !persist::PutU64(out, p.id)) {
+      return false;
+    }
   }
   return static_cast<bool>(out);
 }
@@ -25,15 +31,12 @@ bool LoadBinary(const std::string& path, Dataset* out) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return false;
   uint64_t n = 0;
-  in.read(reinterpret_cast<char*>(&n), sizeof(n));
-  if (!in) return false;
+  if (!persist::GetU64(in, &n)) return false;
   out->reserve(n);
   for (uint64_t i = 0; i < n; ++i) {
     Point p;
-    in.read(reinterpret_cast<char*>(&p.x), sizeof(p.x));
-    in.read(reinterpret_cast<char*>(&p.y), sizeof(p.y));
-    in.read(reinterpret_cast<char*>(&p.id), sizeof(p.id));
-    if (!in) {
+    if (!persist::GetF64(in, &p.x) || !persist::GetF64(in, &p.y) ||
+        !persist::GetU64(in, &p.id)) {
       out->clear();
       return false;
     }

@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
+#include "persist/io.h"
 
 namespace elsi {
 
@@ -365,6 +366,67 @@ std::vector<Point> LisaIndex::CollectAll() const {
     }
   }
   return all;
+}
+
+bool LisaIndex::SaveState(persist::Writer& w) const {
+  w.U64(config_.strips);
+  w.U64(config_.cells_per_strip);
+  w.U64(config_.shard_size);
+  w.F64(config_.knn_radius_factor);
+  w.Bool(!shards_.empty());
+  if (shards_.empty()) return true;
+  persist::PutRect(w, domain_);
+  w.U64(size_);
+  w.U64(built_n_);
+  w.F64Vec(strip_x_);
+  w.U32(static_cast<uint32_t>(cell_y_.size()));
+  for (const std::vector<double>& ys : cell_y_) w.F64Vec(ys);
+  model_.SavePersist(w);
+  w.U32(static_cast<uint32_t>(shards_.size()));
+  for (const PagedList& shard : shards_) shard.SavePersist(w);
+  return true;
+}
+
+bool LisaIndex::LoadState(persist::Reader& r) {
+  config_.strips = r.U64();
+  config_.cells_per_strip = r.U64();
+  config_.shard_size = r.U64();
+  config_.knn_radius_factor = r.F64();
+  if (config_.strips == 0 || config_.cells_per_strip == 0) return r.Fail();
+  const bool built = r.Bool();
+  if (!r.ok()) return false;
+  if (!built) {
+    shards_.clear();
+    strip_x_.clear();
+    cell_y_.clear();
+    size_ = 0;
+    built_n_ = 0;
+    return true;
+  }
+  domain_ = persist::GetRect(r);
+  size_ = r.U64();
+  built_n_ = r.U64();
+  if (!r.F64Vec(&strip_x_)) return false;
+  if (strip_x_.size() < 2) return r.Fail();
+  const uint32_t nstrips = r.U32();
+  if (nstrips != strip_x_.size() - 1 || nstrips > r.remaining()) {
+    return r.Fail();
+  }
+  cell_y_.assign(nstrips, {});
+  for (std::vector<double>& ys : cell_y_) {
+    if (!r.F64Vec(&ys)) return false;
+  }
+  if (!model_.LoadPersist(r)) return false;
+  const uint32_t nshards = r.U32();
+  if (nshards > r.remaining()) return r.Fail();
+  shards_.assign(nshards, PagedList(config_.shard_size));
+  uint64_t total = 0;
+  for (PagedList& shard : shards_) {
+    if (!shard.LoadPersist(r)) return false;
+    total += shard.size();
+  }
+  if (total != size_) return r.Fail();
+  return r.ok();
 }
 
 }  // namespace elsi

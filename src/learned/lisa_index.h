@@ -65,6 +65,9 @@ class LisaIndex : public SpatialIndex {
   size_t shard_count() const { return shards_.size(); }
   const RankModel& model() const { return model_; }
 
+  bool SaveState(persist::Writer& w) const override;
+  bool LoadState(persist::Reader& r) override;
+
  private:
   size_t StripOf(double x) const;
   size_t CellOf(size_t strip, double y) const;

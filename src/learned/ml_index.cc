@@ -8,6 +8,7 @@
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "ml/kmeans.h"
+#include "persist/io.h"
 
 namespace elsi {
 
@@ -216,6 +217,48 @@ std::vector<Point> MlIndex::KnnQuery(const Point& q, size_t k) const {
     }
     r *= 2.0;
   }
+}
+
+bool MlIndex::SaveState(persist::Writer& w) const {
+  w.U64(config_.num_references);
+  w.U64(config_.seed);
+  w.U64(config_.kmeans_sample);
+  w.I32(config_.kmeans_iterations);
+  w.U64(config_.array.leaf_target);
+  w.U64(config_.array.block_capacity);
+  w.Bool(!references_.empty());
+  if (references_.empty()) return true;
+  persist::PutPoints(w, references_);
+  w.F64Vec(partition_radius_);
+  w.F64(separation_);
+  array_.SavePersist(w);
+  return true;
+}
+
+bool MlIndex::LoadState(persist::Reader& r) {
+  config_.num_references = r.U64();
+  config_.seed = r.U64();
+  config_.kmeans_sample = r.U64();
+  config_.kmeans_iterations = r.I32();
+  config_.array.leaf_target = r.U64();
+  config_.array.block_capacity = r.U64();
+  if (config_.num_references == 0) return r.Fail();
+  const bool built = r.Bool();
+  if (!r.ok()) return false;
+  if (!built) {
+    references_.clear();
+    partition_radius_.clear();
+    return true;
+  }
+  if (!persist::GetPoints(r, &references_)) return false;
+  if (!r.F64Vec(&partition_radius_)) return false;
+  if (references_.empty() ||
+      partition_radius_.size() != references_.size()) {
+    return r.Fail();
+  }
+  separation_ = r.F64();
+  return array_.LoadPersist(
+      r, [this](const Point& p) { return KeyOf(p); }, config_.array.pool);
 }
 
 }  // namespace elsi

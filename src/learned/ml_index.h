@@ -58,6 +58,9 @@ class MlIndex : public SpatialIndex {
   int Depth() const override { return array_.model_depth(); }
   size_t reference_count() const { return references_.size(); }
 
+  bool SaveState(persist::Writer& w) const override;
+  bool LoadState(persist::Reader& r) override;
+
  private:
   size_t NearestReference(const Point& p, double* dist) const;
   /// Appends all points with distance to `center` in [0, r] that lie inside

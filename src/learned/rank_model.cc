@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "common/logging.h"
+#include "persist/io.h"
 
 namespace elsi {
 
@@ -124,6 +126,52 @@ std::pair<size_t, size_t> RankModel::SearchRangeFromRank(double rank,
   const size_t hi_idx =
       hi >= static_cast<double>(n - 1) ? n - 1 : static_cast<size_t>(hi);
   return {std::min(lo_idx, n - 1), hi_idx};
+}
+
+void RankModel::SavePersist(persist::Writer& w) const {
+  // Backend tag: 0 = untrained, 1 = FFN, 2 = PLA.
+  uint8_t tag = 0;
+  if (pla_ != nullptr) {
+    tag = 2;
+  } else if (net_ != nullptr) {
+    tag = 1;
+  }
+  w.U8(tag);
+  w.F64(key_lo_);
+  w.F64(key_hi_);
+  w.F64(err_l_);
+  w.F64(err_u_);
+  if (tag == 1) {
+    std::ostringstream blob;
+    ELSI_CHECK(net_->Save(blob));
+    w.Str(blob.str());
+  } else if (tag == 2) {
+    pla_->SavePersist(w);
+  }
+}
+
+bool RankModel::LoadPersist(persist::Reader& r) {
+  const uint8_t tag = r.U8();
+  key_lo_ = r.F64();
+  key_hi_ = r.F64();
+  err_l_ = r.F64();
+  err_u_ = r.F64();
+  net_.reset();
+  pla_.reset();
+  if (tag == 1) {
+    std::istringstream blob(r.Str());
+    if (!r.ok()) return false;
+    std::optional<Ffn> net = Ffn::Load(blob);
+    if (!net.has_value()) return r.Fail();
+    net_ = std::make_shared<const Ffn>(std::move(*net));
+  } else if (tag == 2) {
+    auto pla = std::make_shared<PiecewiseLinearModel>();
+    if (!pla->LoadPersist(r)) return false;
+    pla_ = std::move(pla);
+  } else if (tag != 0) {
+    return r.Fail();
+  }
+  return r.ok();
 }
 
 RankModel DirectTrainer::TrainModel(

@@ -13,6 +13,11 @@
 
 namespace elsi {
 
+namespace persist {
+class Writer;
+class Reader;
+}  // namespace persist
+
 /// Model family backing a RankModel. kFfn is the paper's setup; kPla is the
 /// PGM-style piecewise-linear extension the paper's conclusion names as
 /// future work — it fits in one pass with a *provable* +-pla_epsilon
@@ -84,6 +89,14 @@ class RankModel {
   }
   /// PLA backend only: number of fitted linear segments.
   size_t pla_segments() const { return pla_ ? pla_->segment_count() : 0; }
+
+  /// Serializes the model (backend, normalisation range, error bounds, and
+  /// the trained network or PLA) into `w`.
+  void SavePersist(persist::Writer& w) const;
+
+  /// Restores a model written by SavePersist. Returns false on malformed
+  /// input.
+  bool LoadPersist(persist::Reader& r);
 
  private:
   double Normalize(double key) const;

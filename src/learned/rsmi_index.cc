@@ -10,6 +10,7 @@
 #include "common/logging.h"
 #include "curve/hilbert.h"
 #include "obs/metrics.h"
+#include "persist/io.h"
 
 namespace {
 
@@ -499,6 +500,117 @@ size_t RsmiIndex::node_count() const {
     return count;
   };
   return rec(root_.get());
+}
+
+void RsmiIndex::SaveNode(const Node& node, persist::Writer& w) const {
+  w.Bool(node.is_leaf);
+  persist::PutRect(w, node.bounds);
+  w.F64Vec(node.qx);
+  w.F64Vec(node.qy);
+  node.model.SavePersist(w);
+  if (node.is_leaf) {
+    persist::PutPoints(w, node.pts);
+    w.F64Vec(node.keys);
+    node.overflow.SavePersist(w);
+    std::vector<uint64_t> dead(node.tombstones.begin(), node.tombstones.end());
+    std::sort(dead.begin(), dead.end());
+    w.U64Vec(dead);
+    return;
+  }
+  w.U32(static_cast<uint32_t>(node.children.size()));
+  for (const auto& c : node.children) {
+    w.Bool(c != nullptr);
+    if (c != nullptr) SaveNode(*c, w);
+  }
+}
+
+std::unique_ptr<RsmiIndex::Node> RsmiIndex::LoadNode(persist::Reader& r,
+                                                     int depth) const {
+  if (depth > config_.max_depth + 4) {
+    r.Fail();
+    return nullptr;
+  }
+  auto node = std::make_unique<Node>(config_.block_capacity);
+  node->is_leaf = r.Bool();
+  node->bounds = persist::GetRect(r);
+  if (!r.F64Vec(&node->qx) || !r.F64Vec(&node->qy)) return nullptr;
+  if (!node->model.LoadPersist(r)) return nullptr;
+  if (node->is_leaf) {
+    if (!persist::GetPoints(r, &node->pts)) return nullptr;
+    if (!r.F64Vec(&node->keys)) return nullptr;
+    if (node->keys.size() != node->pts.size() ||
+        !std::is_sorted(node->keys.begin(), node->keys.end())) {
+      r.Fail();
+      return nullptr;
+    }
+    if (!node->overflow.LoadPersist(r)) return nullptr;
+    std::vector<uint64_t> dead;
+    if (!r.U64Vec(&dead)) return nullptr;
+    node->tombstones.insert(dead.begin(), dead.end());
+    return node;
+  }
+  const uint32_t nchildren = r.U32();
+  if (nchildren > r.remaining()) {
+    r.Fail();
+    return nullptr;
+  }
+  node->children.reserve(nchildren);
+  for (uint32_t i = 0; i < nchildren; ++i) {
+    if (r.Bool()) {
+      std::unique_ptr<Node> child = LoadNode(r, depth + 1);
+      if (child == nullptr) return nullptr;
+      node->children.push_back(std::move(child));
+    } else {
+      node->children.push_back(nullptr);
+    }
+  }
+  return r.ok() ? std::move(node) : nullptr;
+}
+
+bool RsmiIndex::SaveState(persist::Writer& w) const {
+  w.U64(config_.leaf_capacity);
+  w.U64(config_.fanout);
+  w.U64(config_.quantiles);
+  w.I32(config_.hilbert_order);
+  w.F64(config_.merge_fraction);
+  w.U64(config_.block_capacity);
+  w.I32(config_.window_slack);
+  w.F64(config_.knn_radius_factor);
+  w.I32(config_.max_depth);
+  w.U64(size_);
+  w.U64(leaf_merges_);
+  persist::PutRect(w, domain_);
+  w.Bool(root_ != nullptr);
+  if (root_ != nullptr) SaveNode(*root_, w);
+  return true;
+}
+
+bool RsmiIndex::LoadState(persist::Reader& r) {
+  config_.leaf_capacity = r.U64();
+  config_.fanout = r.U64();
+  config_.quantiles = r.U64();
+  config_.hilbert_order = r.I32();
+  config_.merge_fraction = r.F64();
+  config_.block_capacity = r.U64();
+  config_.window_slack = r.I32();
+  config_.knn_radius_factor = r.F64();
+  config_.max_depth = r.I32();
+  if (config_.leaf_capacity == 0 || config_.fanout == 0 ||
+      config_.block_capacity < 2 || config_.max_depth <= 0 ||
+      config_.max_depth > 64) {
+    return r.Fail();
+  }
+  size_ = r.U64();
+  leaf_merges_ = r.U64();
+  domain_ = persist::GetRect(r);
+  const bool has_root = r.Bool();
+  if (!r.ok()) return false;
+  root_.reset();
+  if (has_root) {
+    root_ = LoadNode(r, 0);
+    if (root_ == nullptr) return false;
+  }
+  return r.ok();
 }
 
 }  // namespace elsi

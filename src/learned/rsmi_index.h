@@ -79,6 +79,9 @@ class RsmiIndex : public SpatialIndex {
   size_t node_count() const;
   size_t leaf_merge_count() const { return leaf_merges_; }
 
+  bool SaveState(persist::Writer& w) const override;
+  bool LoadState(persist::Reader& r) override;
+
  private:
   struct Node {
     bool is_leaf = true;
@@ -116,6 +119,8 @@ class RsmiIndex : public SpatialIndex {
   void WindowQueryNode(const Node* node, const Rect& w,
                        std::vector<Point>* out) const;
   void CollectNode(const Node* node, std::vector<Point>* out) const;
+  void SaveNode(const Node& node, persist::Writer& w) const;
+  std::unique_ptr<Node> LoadNode(persist::Reader& r, int depth) const;
 
   std::shared_ptr<ModelTrainer> trainer_;
   Config config_;

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "obs/metrics.h"
+#include "persist/io.h"
 
 namespace elsi {
 namespace {
@@ -571,6 +572,78 @@ std::vector<Point> SegmentedLearnedArray::CollectAll() const {
     }
   }
   return all;
+}
+
+void SegmentedLearnedArray::SavePersist(persist::Writer& w) const {
+  w.U64(config_.leaf_target);
+  w.U64(config_.block_capacity);
+  persist::PutPoints(w, pts_);
+  w.F64Vec(keys_);
+  w.Bool(has_root_);
+  if (has_root_) root_.SavePersist(w);
+  w.U32(static_cast<uint32_t>(leaves_.size()));
+  for (const RankModel& m : leaves_) m.SavePersist(w);
+  std::vector<uint64_t> starts(leaf_start_.begin(), leaf_start_.end());
+  w.U64Vec(starts);
+  w.F64Vec(leaf_min_key_);
+  for (const PagedList& pages : overflow_) pages.SavePersist(w);
+  w.U64(inserted_);
+  w.U64(tombstones_.size());
+  // Tombstones are a membership set; order does not affect behaviour, but a
+  // sorted encoding keeps snapshots byte-stable across runs.
+  std::vector<uint64_t> dead(tombstones_.begin(), tombstones_.end());
+  std::sort(dead.begin(), dead.end());
+  for (uint64_t id : dead) w.U64(id);
+}
+
+bool SegmentedLearnedArray::LoadPersist(
+    persist::Reader& r, std::function<double(const Point&)> key_fn,
+    ThreadPool* pool) {
+  config_.leaf_target = r.U64();
+  config_.block_capacity = r.U64();
+  config_.pool = pool;
+  key_fn_ = std::move(key_fn);
+  if (config_.leaf_target == 0 || config_.block_capacity < 2) return r.Fail();
+  if (!persist::GetPoints(r, &pts_)) return false;
+  if (!r.F64Vec(&keys_)) return false;
+  if (keys_.size() != pts_.size() ||
+      !std::is_sorted(keys_.begin(), keys_.end())) {
+    return r.Fail();
+  }
+  sample_.clear();
+  for (size_t i = 0; i < keys_.size(); i += kSampleStride) {
+    sample_.push_back(keys_[i]);
+  }
+  has_root_ = r.Bool();
+  if (has_root_ && !root_.LoadPersist(r)) return false;
+  if (!has_root_) root_ = RankModel();
+  const uint32_t leaf_count = r.U32();
+  if (leaf_count == 0 || leaf_count > r.remaining()) return r.Fail();
+  leaves_.assign(leaf_count, RankModel());
+  for (RankModel& m : leaves_) {
+    if (!m.LoadPersist(r)) return false;
+  }
+  std::vector<uint64_t> starts;
+  if (!r.U64Vec(&starts)) return false;
+  if (starts.size() != static_cast<size_t>(leaf_count) + 1 ||
+      !std::is_sorted(starts.begin(), starts.end()) ||
+      starts.front() != 0 || starts.back() != pts_.size()) {
+    return r.Fail();
+  }
+  leaf_start_.assign(starts.begin(), starts.end());
+  if (!r.F64Vec(&leaf_min_key_)) return false;
+  if (leaf_min_key_.size() != leaf_count) return r.Fail();
+  overflow_.assign(leaf_count, PagedList(config_.block_capacity));
+  for (PagedList& pages : overflow_) {
+    if (!pages.LoadPersist(r)) return false;
+  }
+  inserted_ = r.U64();
+  const uint64_t ndead = r.U64();
+  if (ndead > r.remaining() / 8) return r.Fail();
+  tombstones_.clear();
+  tombstones_.reserve(ndead);
+  for (uint64_t i = 0; i < ndead; ++i) tombstones_.insert(r.U64());
+  return r.ok();
 }
 
 }  // namespace elsi

@@ -115,6 +115,18 @@ class SegmentedLearnedArray {
   /// Overflow volume (drives query degradation between rebuilds).
   size_t overflow_size() const { return inserted_; }
 
+  /// Serializes the full array state — base points/keys, models, segment
+  /// fences, overflow pages, tombstones — into `w`. The sampled key level is
+  /// recomputed on load rather than stored.
+  void SavePersist(persist::Writer& w) const;
+
+  /// Restores an array written by SavePersist. `key_fn` re-binds the key
+  /// mapping (std::function does not serialize) and `pool` the training
+  /// pool for future rebuilds. Returns false on malformed input.
+  bool LoadPersist(persist::Reader& r,
+                   std::function<double(const Point&)> key_fn,
+                   ThreadPool* pool = nullptr);
+
  private:
   /// Stride of the sampled key level used by LowerBoundBatch. 64 keeps the
   /// sample at n/64 entries (cache-resident across a chunk) while the final

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "persist/io.h"
 
 namespace elsi {
 
@@ -171,6 +172,40 @@ void ZmIndex::WindowQueryBatch(std::span<const Rect> ws,
           WindowScanFrom(ws[begin + i], zmin[i], zmax[i], start[t]);
     }
   });
+}
+
+bool ZmIndex::SaveState(persist::Writer& w) const {
+  w.I32(config_.bits_per_dim);
+  w.F64(config_.knn_radius_factor);
+  w.Bool(config_.use_bigmin);
+  w.U64(config_.array.leaf_target);
+  w.U64(config_.array.block_capacity);
+  w.Bool(quantizer_ != nullptr);
+  if (quantizer_ == nullptr) return true;
+  persist::PutRect(w, domain_);
+  array_.SavePersist(w);
+  return true;
+}
+
+bool ZmIndex::LoadState(persist::Reader& r) {
+  const int32_t bits = r.I32();
+  if (bits < 8 || bits > 26) return r.Fail();
+  config_.bits_per_dim = bits;
+  shift_ = 32 - bits;
+  config_.knn_radius_factor = r.F64();
+  config_.use_bigmin = r.Bool();
+  config_.array.leaf_target = r.U64();
+  config_.array.block_capacity = r.U64();
+  const bool built = r.Bool();
+  if (!r.ok()) return false;
+  if (!built) {
+    quantizer_.reset();
+    return true;
+  }
+  domain_ = persist::GetRect(r);
+  quantizer_ = std::make_unique<GridQuantizer>(domain_);
+  return array_.LoadPersist(
+      r, [this](const Point& p) { return KeyOf(p); }, config_.array.pool);
 }
 
 std::vector<Point> ZmIndex::KnnQuery(const Point& q, size_t k) const {

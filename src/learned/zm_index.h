@@ -67,6 +67,9 @@ class ZmIndex : public SpatialIndex {
   const SegmentedLearnedArray& array() const { return array_; }
   int Depth() const override { return array_.model_depth(); }
 
+  bool SaveState(persist::Writer& w) const override;
+  bool LoadState(persist::Reader& r) override;
+
  private:
   // Predict-and-scan body of WindowQuery given the window's Z-range and the
   // already-computed start position (LowerBound of zmin).

@@ -2,13 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
-#include <iomanip>
+#include <cstring>
 #include <istream>
 #include <numeric>
 #include <ostream>
+#include <string>
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "persist/io.h"
 
 namespace elsi {
 namespace {
@@ -311,20 +313,15 @@ std::vector<int> Ffn::HiddenDims() const {
   return hidden;
 }
 
-bool Ffn::Save(std::ostream& out) const {
-  out << "elsi-ffn 1\n";
-  out << input_dim_ << ' ' << output_dim_ << ' '
-      << (out_act_ == OutputActivation::kSigmoid ? 1 : 0) << '\n';
-  const std::vector<int> hidden = HiddenDims();
-  out << hidden.size();
-  for (int h : hidden) out << ' ' << h;
-  out << '\n';
-  out << std::setprecision(17);
-  for (double v : GetParameters()) out << v << '\n';
-  return static_cast<bool>(out);
-}
+namespace {
 
-std::optional<Ffn> Ffn::Load(std::istream& in) {
+// Binary format v2: 4-byte magic, u32 CRC-32 of the payload, u64 payload
+// length, payload (all fields fixed-width little-endian via persist/io.h).
+// v1 was a text encoding starting with "elsi-ffn"; Load() still reads it.
+constexpr char kFfnMagic[4] = {'E', 'F', 'N', '2'};
+constexpr uint64_t kFfnMaxPayload = 1ull << 31;
+
+std::optional<Ffn> LoadFfnTextV1(std::istream& in) {
   std::string magic;
   int version = 0;
   if (!(in >> magic >> version) || magic != "elsi-ffn" || version != 1) {
@@ -349,6 +346,69 @@ std::optional<Ffn> Ffn::Load(std::istream& in) {
   for (double& v : params) {
     if (!(in >> v)) return std::nullopt;
   }
+  net.SetParameters(params);
+  return net;
+}
+
+}  // namespace
+
+bool Ffn::Save(std::ostream& out) const {
+  persist::Writer w;
+  w.I32(input_dim_);
+  w.I32(output_dim_);
+  w.U8(out_act_ == OutputActivation::kSigmoid ? 1 : 0);
+  const std::vector<int> hidden = HiddenDims();
+  w.U32(static_cast<uint32_t>(hidden.size()));
+  for (int h : hidden) w.I32(h);
+  w.F64Vec(GetParameters());
+  const std::string payload = w.Take();
+  if (!persist::WriteExact(out, kFfnMagic, sizeof(kFfnMagic))) return false;
+  persist::Writer header;
+  header.U32(persist::Crc32(payload));
+  header.U64(payload.size());
+  return persist::WriteExact(out, header.buffer().data(),
+                             header.buffer().size()) &&
+         persist::WriteExact(out, payload.data(), payload.size());
+}
+
+std::optional<Ffn> Ffn::Load(std::istream& in) {
+  // The legacy text format begins with the lower-case 'e' of "elsi-ffn";
+  // the binary magic begins with 'E'.
+  if (in.peek() == 'e') return LoadFfnTextV1(in);
+  char magic[4] = {};
+  if (!persist::ReadExact(in, magic, sizeof(magic)) ||
+      std::memcmp(magic, kFfnMagic, sizeof(kFfnMagic)) != 0) {
+    return std::nullopt;
+  }
+  unsigned char header[12];
+  if (!persist::ReadExact(in, header, sizeof(header))) return std::nullopt;
+  persist::Reader hr(header, sizeof(header));
+  const uint32_t crc = hr.U32();
+  const uint64_t len = hr.U64();
+  if (len > kFfnMaxPayload) return std::nullopt;
+  std::string payload(len, '\0');
+  if (!persist::ReadExact(in, payload.data(), len) ||
+      persist::Crc32(payload) != crc) {
+    return std::nullopt;
+  }
+  persist::Reader r(payload);
+  const int input_dim = r.I32();
+  const int output_dim = r.I32();
+  const bool sigmoid = r.U8() != 0;
+  const uint32_t hidden_count = r.U32();
+  if (!r.ok() || input_dim <= 0 || output_dim <= 0 || hidden_count > 64) {
+    return std::nullopt;
+  }
+  std::vector<int> hidden(hidden_count);
+  for (int& h : hidden) {
+    h = r.I32();
+    if (!r.ok() || h <= 0) return std::nullopt;
+  }
+  std::vector<double> params;
+  if (!r.F64Vec(&params)) return std::nullopt;
+  Ffn net(input_dim, hidden, output_dim, /*seed=*/0,
+          sigmoid ? OutputActivation::kSigmoid : OutputActivation::kLinear);
+  if (params.size() != net.ParameterCount()) return std::nullopt;
   net.SetParameters(params);
   return net;
 }

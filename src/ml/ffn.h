@@ -100,12 +100,15 @@ class Ffn {
   /// Hidden-layer widths (reconstructed from the layer shapes).
   std::vector<int> HiddenDims() const;
 
-  /// Writes a portable text encoding (architecture + parameters) that
-  /// Load() reads back bit-exactly. Returns false on stream failure.
+  /// Writes a portable binary encoding (architecture + parameters,
+  /// fixed-width little-endian with a CRC-32) that Load() reads back
+  /// bit-exactly. Returns false on stream failure.
   bool Save(std::ostream& out) const;
 
-  /// Reads an encoding written by Save(). Returns nullopt on malformed
-  /// input. Adam state is not persisted (loaded nets resume fresh).
+  /// Reads an encoding written by Save() — the current checksummed binary
+  /// format or the legacy "elsi-ffn 1" text format. Returns nullopt on
+  /// malformed input. Adam state is not persisted (loaded nets resume
+  /// fresh).
   static std::optional<Ffn> Load(std::istream& in);
 
  private:

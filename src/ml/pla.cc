@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "persist/io.h"
 
 namespace elsi {
 
@@ -76,6 +77,31 @@ double PiecewiseLinearModel::PredictPosition(double key) const {
   const Segment& s = segments_[lo];
   const double pos = s.intercept + s.slope * (key - s.start_key);
   return std::clamp(pos, 0.0, static_cast<double>(n_ - 1));
+}
+
+void PiecewiseLinearModel::SavePersist(persist::Writer& w) const {
+  w.F64(epsilon_);
+  w.U64(n_);
+  w.U32(static_cast<uint32_t>(segments_.size()));
+  for (const Segment& s : segments_) {
+    w.F64(s.start_key);
+    w.F64(s.slope);
+    w.F64(s.intercept);
+  }
+}
+
+bool PiecewiseLinearModel::LoadPersist(persist::Reader& r) {
+  epsilon_ = r.F64();
+  n_ = r.U64();
+  const uint32_t count = r.U32();
+  if (count > r.remaining() / 24) return r.Fail();  // 3 f64 per segment.
+  segments_.resize(count);
+  for (Segment& s : segments_) {
+    s.start_key = r.F64();
+    s.slope = r.F64();
+    s.intercept = r.F64();
+  }
+  return r.ok();
 }
 
 }  // namespace elsi

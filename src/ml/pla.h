@@ -6,6 +6,11 @@
 
 namespace elsi {
 
+namespace persist {
+class Writer;
+class Reader;
+}  // namespace persist
+
 /// Optimal-in-passes piecewise linear approximation of a monotone (key ->
 /// rank) mapping with a provable error bound, via the shrinking-cone
 /// algorithm used by PGM/FITing-tree-style indices. The paper's conclusion
@@ -33,6 +38,13 @@ class PiecewiseLinearModel {
 
   /// Training-set size the model was fitted on.
   size_t n() const { return n_; }
+
+  /// Serializes the fitted model (segments, epsilon, n) into `w`.
+  void SavePersist(persist::Writer& w) const;
+
+  /// Restores a model written by SavePersist. Returns false on malformed
+  /// input.
+  bool LoadPersist(persist::Reader& r);
 
  private:
   struct Segment {

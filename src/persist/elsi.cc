@@ -1,0 +1,256 @@
+#include "persist/elsi.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace elsi {
+namespace persist {
+namespace {
+
+obs::Counter& RecoveriesCounter() {
+  static obs::Counter& c = obs::GetCounter("persist.recoveries");
+  return c;
+}
+
+obs::Counter& SnapshotsDiscardedCounter() {
+  static obs::Counter& c = obs::GetCounter("persist.snapshots_discarded");
+  return c;
+}
+
+obs::Histogram& RebuildSwapMsHistogram() {
+  static obs::Histogram& h = obs::GetHistogram(
+      "persist.rebuild_swap_ms", obs::HistogramSpec::LatencyMs());
+  return h;
+}
+
+}  // namespace
+
+std::unique_ptr<DurableElsi> DurableElsi::OpenOrRecover(
+    const std::string& dir, const DurableElsiOptions& opts,
+    RecoveryStats* stats) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return nullptr;
+
+  RecoveryStats local;
+  auto elsi = std::unique_ptr<DurableElsi>(new DurableElsi());
+  elsi->dir_ = dir;
+  elsi->opts_ = opts;
+  if (elsi->opts_.keep_snapshots == 0) elsi->opts_.keep_snapshots = 1;
+
+  SnapshotLoadOptions load_opts;
+  load_opts.trainer = opts.trainer;
+  load_opts.pool = opts.pool;
+
+  // Newest snapshot that validates wins; corrupt generations (e.g. a crash
+  // mid-rename or a bit flip) are skipped, not fatal.
+  SnapshotMeta meta;
+  auto snapshots = ListSnapshots(dir);
+  for (auto it = snapshots.rbegin(); it != snapshots.rend(); ++it) {
+    std::unique_ptr<SpatialIndex> loaded =
+        Snapshot::Load(it->second, load_opts, &meta);
+    if (loaded != nullptr) {
+      elsi->index_ = std::move(loaded);
+      elsi->snapshot_seq_ = it->first;
+      local.snapshot_loaded = true;
+      local.snapshot_seq = it->first;
+      break;
+    }
+    ELSI_LOG(WARN) << "discarding invalid snapshot " << it->second;
+    ++local.snapshots_discarded;
+  }
+  SnapshotsDiscardedCounter().Add(local.snapshots_discarded);
+
+  uint64_t replay_floor = 0;
+  std::string kind = opts.kind;
+  if (local.snapshot_loaded) {
+    replay_floor = meta.last_lsn;
+    kind = meta.kind;
+  } else {
+    elsi->index_ = MakeIndexByName(kind, load_opts);
+    if (elsi->index_ == nullptr) return nullptr;
+  }
+
+  elsi->processor_ = std::make_unique<UpdateProcessor>(
+      elsi->index_.get(), opts.predictor, opts.update);
+  if (local.snapshot_loaded) {
+    // Register the restored contents as the processor's base set without
+    // rebuilding the freshly loaded structure.
+    elsi->processor_->AdoptIndex(elsi->index_.get(), elsi->index_->CollectAll(),
+                                 /*count_rebuild=*/false);
+  } else {
+    elsi->processor_->Build({});
+  }
+
+  // Replay the WAL tail through the exact live update path. Replay runs
+  // read-only and BEFORE WalWriter::Open, so a torn tail is still
+  // observable here; rebuilds stay disabled so recovery reproduces the
+  // pre-crash state deterministically.
+  elsi->processor_->set_rebuild_enabled(false);
+  WalReplayStats replay;
+  const bool replay_ok = WalReplay(
+      dir, replay_floor,
+      [&elsi](const WalRecord& rec) {
+        if (rec.op == kWalOpInsert) {
+          elsi->processor_->Insert(rec.p);
+        } else {
+          elsi->processor_->Remove(rec.p);  // Absent target: no-op.
+        }
+      },
+      &replay);
+  elsi->processor_->set_rebuild_enabled(opts.update.enable_rebuild);
+  if (!replay_ok) {
+    ELSI_LOG(WARN) << "WAL replay failed in " << dir;
+    return nullptr;
+  }
+  local.wal = replay;
+  if (replay.applied > 0 || replay.torn_tail) RecoveriesCounter().Add();
+
+  if (!elsi->wal_.Open(dir, replay.last_lsn + 1, opts.wal)) return nullptr;
+  elsi->sink_ = std::make_unique<WalSink>(&elsi->wal_);
+  elsi->processor_->set_log_sink(elsi->sink_.get());
+  DurableElsi* raw = elsi.get();
+  elsi->processor_->set_rebuild_handler([raw] {
+    // Runs inside processor_->Insert/Remove with update_mu_ held; defer the
+    // actual rebuild-swap to the caller (Insert/Remove below) so it happens
+    // outside the processor's own call stack.
+    raw->rebuild_requested_ = true;
+  });
+
+  if (stats != nullptr) *stats = local;
+  return elsi;
+}
+
+DurableElsi::~DurableElsi() { wal_.Sync(); }
+
+void DurableElsi::Build(const std::vector<Point>& data) {
+  std::lock_guard<std::mutex> update_lock(update_mu_);
+  {
+    std::unique_lock<std::shared_mutex> swap_lock(swap_mu_);
+    processor_->Build(data);
+  }
+  ELSI_CHECK(CheckpointLocked()) << "initial checkpoint failed";
+}
+
+void DurableElsi::Insert(const Point& p) {
+  std::lock_guard<std::mutex> update_lock(update_mu_);
+  {
+    std::unique_lock<std::shared_mutex> swap_lock(swap_mu_);
+    processor_->Insert(p);
+  }
+  if (rebuild_requested_) {
+    rebuild_requested_ = false;
+    RebuildSwapLocked();
+  }
+}
+
+bool DurableElsi::Remove(const Point& p) {
+  std::lock_guard<std::mutex> update_lock(update_mu_);
+  bool removed = false;
+  {
+    std::unique_lock<std::shared_mutex> swap_lock(swap_mu_);
+    removed = processor_->Remove(p);
+  }
+  if (rebuild_requested_) {
+    rebuild_requested_ = false;
+    RebuildSwapLocked();
+  }
+  return removed;
+}
+
+void DurableElsi::RebuildSwapLocked() {
+  ELSI_TRACE_SPAN("persist.rebuild_swap");
+  ScopedTimer timer(&RebuildSwapMsHistogram());
+  // Collect and rebuild off to the side: update_mu_ keeps writers out, but
+  // readers continue on the frozen current index the whole time.
+  const std::vector<Point> all = index_->CollectAll();
+  SnapshotLoadOptions load_opts;
+  load_opts.trainer = opts_.trainer;
+  load_opts.pool = opts_.pool;
+  std::unique_ptr<SpatialIndex> fresh = MakeIndexByName(index_->Name(),
+                                                        load_opts);
+  ELSI_CHECK(fresh != nullptr);
+  fresh->Build(all);
+
+  // Snapshot the replacement BEFORE it takes traffic: write tmp, fsync,
+  // rename. A crash at any point leaves either the old or the new
+  // generation fully intact.
+  const uint64_t last_lsn = wal_.next_lsn() - 1;
+  const uint64_t seq = snapshot_seq_ + 1;
+  if (!Snapshot::Save(*fresh, SnapshotPath(dir_, seq), last_lsn)) {
+    ELSI_LOG(WARN) << "rebuild snapshot failed; keeping old index";
+    return;
+  }
+  {
+    std::unique_lock<std::shared_mutex> swap_lock(swap_mu_);
+    index_ = std::move(fresh);
+    processor_->AdoptIndex(index_.get(), all, /*count_rebuild=*/true);
+  }
+  snapshot_seq_ = seq;
+  PruneSnapshotsLocked();
+  wal_.TruncateThrough(last_lsn);
+}
+
+bool DurableElsi::CheckpointLocked() {
+  // Everything appended so far is also applied (log-before-apply under the
+  // same lock), so the snapshot covers the full prefix of the WAL.
+  wal_.Sync();
+  const uint64_t last_lsn = wal_.next_lsn() - 1;
+  const uint64_t seq = snapshot_seq_ + 1;
+  if (!Snapshot::Save(*index_, SnapshotPath(dir_, seq), last_lsn)) {
+    return false;
+  }
+  snapshot_seq_ = seq;
+  PruneSnapshotsLocked();
+  wal_.TruncateThrough(last_lsn);
+  return true;
+}
+
+bool DurableElsi::Checkpoint() {
+  std::lock_guard<std::mutex> update_lock(update_mu_);
+  return CheckpointLocked();
+}
+
+void DurableElsi::PruneSnapshotsLocked() {
+  auto snapshots = ListSnapshots(dir_);
+  if (snapshots.size() <= opts_.keep_snapshots) return;
+  for (size_t i = 0; i + opts_.keep_snapshots < snapshots.size(); ++i) {
+    std::error_code ec;
+    std::filesystem::remove(snapshots[i].second, ec);
+  }
+}
+
+bool DurableElsi::PointQuery(const Point& q, Point* out) const {
+  std::shared_lock<std::shared_mutex> lock(swap_mu_);
+  return index_->PointQuery(q, out);
+}
+
+std::vector<Point> DurableElsi::WindowQuery(const Rect& w) const {
+  std::shared_lock<std::shared_mutex> lock(swap_mu_);
+  return index_->WindowQuery(w);
+}
+
+std::vector<Point> DurableElsi::KnnQuery(const Point& q, size_t k) const {
+  std::shared_lock<std::shared_mutex> lock(swap_mu_);
+  return index_->KnnQuery(q, k);
+}
+
+size_t DurableElsi::size() const {
+  std::shared_lock<std::shared_mutex> lock(swap_mu_);
+  return index_->size();
+}
+
+std::string DurableElsi::kind() const {
+  std::shared_lock<std::shared_mutex> lock(swap_mu_);
+  return index_->Name();
+}
+
+size_t DurableElsi::rebuild_count() const { return processor_->rebuild_count(); }
+
+}  // namespace persist
+}  // namespace elsi

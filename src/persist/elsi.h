@@ -1,0 +1,140 @@
+#ifndef ELSI_PERSIST_ELSI_H_
+#define ELSI_PERSIST_ELSI_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/elsi.h"
+#include "core/update_processor.h"
+#include "persist/snapshot.h"
+#include "persist/wal.h"
+
+namespace elsi {
+namespace persist {
+
+struct DurableElsiOptions {
+  /// Index kind created when the directory has no snapshot yet
+  /// (SpatialIndex::Name(): "ZM", "ML", "RSMI", "LISA", "Grid", "KDB",
+  /// "HRR", "RR*").
+  std::string kind = "ZM";
+  /// Trainer for learned kinds; null falls back to a DirectTrainer.
+  std::shared_ptr<ModelTrainer> trainer;
+  ThreadPool* pool = nullptr;
+  UpdateProcessorConfig update;
+  /// Rebuild predictor consulted by the update processor (may be null).
+  const RebuildPredictor* predictor = nullptr;
+  WalWriterOptions wal;
+  /// Snapshots retained after a checkpoint or rebuild (>= 1). Keeping the
+  /// previous one means a crash *during* a snapshot write still recovers
+  /// from the prior generation.
+  size_t keep_snapshots = 2;
+};
+
+struct RecoveryStats {
+  bool snapshot_loaded = false;
+  /// Sequence number of the snapshot that loaded.
+  uint64_t snapshot_seq = 0;
+  /// Newer snapshot files that failed validation and were skipped.
+  uint64_t snapshots_discarded = 0;
+  WalReplayStats wal;
+};
+
+/// A durable spatial index: a SpatialIndex plus ELSI's update processor,
+/// wrapped with a write-ahead log, versioned snapshots, and crash recovery.
+///
+/// Durability contract:
+///  * Every Insert/Remove is appended to the WAL before it touches the
+///    index (group-committed per WalWriterOptions::fsync_every).
+///  * Checkpoint() writes a snapshot atomically and trims the WAL to the
+///    records past it.
+///  * OpenOrRecover() loads the newest snapshot that validates — falling
+///    back to older generations when the newest is corrupt — then replays
+///    the WAL tail through the exact same update path live traffic uses, so
+///    a recovered index answers queries bit-identically to one that never
+///    crashed (modulo group-commit records the OS never made durable).
+///
+/// Concurrency: queries run under a shared lock and may proceed in parallel
+/// with each other and with the expensive phase of a rebuild; writers are
+/// serialized and take the exclusive lock only for the in-place mutation.
+/// When the rebuild predictor fires, the replacement index is built and
+/// snapshotted off to the side while readers keep serving the frozen old
+/// index; only the final pointer swap blocks them, momentarily.
+class DurableElsi {
+ public:
+  /// Opens (or creates) the index directory `dir`. Returns nullptr only
+  /// when the directory cannot be created or the WAL cannot be opened —
+  /// snapshot corruption degrades to older generations or a fresh index.
+  static std::unique_ptr<DurableElsi> OpenOrRecover(
+      const std::string& dir, const DurableElsiOptions& opts = {},
+      RecoveryStats* stats = nullptr);
+
+  ~DurableElsi();
+
+  /// Bulk-(re)builds from `data` and checkpoints. Blocks queries for the
+  /// duration (initial loads, not steady state).
+  void Build(const std::vector<Point>& data);
+
+  void Insert(const Point& p);
+  bool Remove(const Point& p);
+
+  /// Writes a snapshot of the current state and trims the WAL behind it.
+  bool Checkpoint();
+
+  bool PointQuery(const Point& q, Point* out = nullptr) const;
+  std::vector<Point> WindowQuery(const Rect& w) const;
+  std::vector<Point> KnnQuery(const Point& q, size_t k) const;
+  size_t size() const;
+  std::string kind() const;
+
+  size_t rebuild_count() const;
+  uint64_t last_snapshot_seq() const { return snapshot_seq_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  /// WAL adapter handed to the update processor (log-before-apply).
+  class WalSink : public UpdateLogSink {
+   public:
+    explicit WalSink(WalWriter* wal) : wal_(wal) {}
+    void LogInsert(const Point& p) override { wal_->Append(kWalOpInsert, p); }
+    void LogDelete(const Point& p) override { wal_->Append(kWalOpDelete, p); }
+
+   private:
+    WalWriter* wal_;
+  };
+
+  DurableElsi() = default;
+
+  /// Rebuild-swap, called with update_mu_ held (and swap_mu_ NOT held):
+  /// collect -> build fresh -> snapshot.tmp/rename -> brief exclusive swap.
+  void RebuildSwapLocked();
+
+  /// Snapshot current state as sequence snapshot_seq_ + 1 and prune old
+  /// generations + WAL. Caller holds update_mu_.
+  bool CheckpointLocked();
+
+  void PruneSnapshotsLocked();
+
+  std::string dir_;
+  DurableElsiOptions opts_;
+
+  /// Serializes writers (Insert/Remove/Build/Checkpoint/rebuild).
+  std::mutex update_mu_;
+  /// Readers shared, in-place mutation + pointer swap exclusive.
+  mutable std::shared_mutex swap_mu_;
+
+  std::unique_ptr<SpatialIndex> index_;
+  std::unique_ptr<UpdateProcessor> processor_;
+  WalWriter wal_;
+  std::unique_ptr<WalSink> sink_;
+  uint64_t snapshot_seq_ = 0;
+  bool rebuild_requested_ = false;
+};
+
+}  // namespace persist
+}  // namespace elsi
+
+#endif  // ELSI_PERSIST_ELSI_H_

@@ -1,0 +1,284 @@
+#ifndef ELSI_PERSIST_IO_H_
+#define ELSI_PERSIST_IO_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/geometry.h"
+
+// Shared binary-encoding primitives for every serializer in the repository:
+// the snapshot/WAL subsystem (src/persist/) and the pre-existing stream
+// serializers (Ffn, method scorer, rebuild predictor, dataset files). All
+// multi-byte fields are explicit fixed-width little-endian, assembled byte
+// by byte — never a raw memcpy of size_t or a host-order write — so files
+// are portable across platforms and word sizes.
+//
+// Header-only on purpose: the low-level libraries (elsi_ml, elsi_storage,
+// elsi_learned, elsi_traditional) serialize their own state with these
+// helpers without linking the elsi_persist library that sits above them.
+
+namespace elsi {
+namespace persist {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected), the checksum of
+/// every snapshot section and WAL record. Crc32("123456789") == 0xCBF43926.
+inline uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0) {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = seed ^ 0xFFFFFFFFu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+inline uint32_t Crc32(std::string_view s) { return Crc32(s.data(), s.size()); }
+
+/// Append-only little-endian encoder over a growable byte buffer.
+class Writer {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) U8(static_cast<uint8_t>(v >> (8 * i)));
+  }
+
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) U8(static_cast<uint8_t>(v >> (8 * i)));
+  }
+
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v) { U64(std::bit_cast<uint64_t>(v)); }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+
+  /// Length-prefixed byte string (u32 length + raw bytes).
+  void Str(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    buf_.append(s.data(), s.size());
+  }
+
+  /// Raw bytes, no length prefix.
+  void Bytes(const void* data, size_t len) {
+    buf_.append(static_cast<const char*>(data), len);
+  }
+
+  void F64Vec(const std::vector<double>& v) {
+    U64(v.size());
+    for (double x : v) F64(x);
+  }
+
+  void U64Vec(const std::vector<uint64_t>& v) {
+    U64(v.size());
+    for (uint64_t x : v) U64(x);
+  }
+
+  size_t size() const { return buf_.size(); }
+  const std::string& buffer() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked little-endian decoder over a byte view. Any underflow or
+/// failed sanity check latches ok() to false and makes every further read
+/// return zeros, so callers can decode a whole structure and test ok() once.
+class Reader {
+ public:
+  Reader(const void* data, size_t len)
+      : p_(static_cast<const unsigned char*>(data)), len_(len) {}
+  explicit Reader(std::string_view data)
+      : Reader(data.data(), data.size()) {}
+
+  uint8_t U8() {
+    if (!Need(1)) return 0;
+    return p_[pos_++];
+  }
+
+  uint32_t U32() {
+    if (!Need(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p_[pos_++]) << (8 * i);
+    return v;
+  }
+
+  uint64_t U64() {
+    if (!Need(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p_[pos_++]) << (8 * i);
+    return v;
+  }
+
+  int32_t I32() { return static_cast<int32_t>(U32()); }
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+  double F64() { return std::bit_cast<double>(U64()); }
+  bool Bool() { return U8() != 0; }
+
+  std::string Str() {
+    const uint32_t n = U32();
+    if (!Need(n)) return {};
+    std::string s(reinterpret_cast<const char*>(p_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  bool Read(void* dst, size_t n) {
+    if (!Need(n)) return false;
+    std::memcpy(dst, p_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  /// Advances past `n` bytes without copying them.
+  bool Skip(size_t n) {
+    if (!Need(n)) return false;
+    pos_ += n;
+    return true;
+  }
+
+  /// Reads a u64 count followed by that many f64s. Fails (without
+  /// allocating) when the count exceeds the remaining bytes.
+  bool F64Vec(std::vector<double>* out) {
+    const uint64_t n = U64();
+    if (n > remaining() / 8) return Fail();
+    out->resize(n);
+    for (uint64_t i = 0; i < n; ++i) (*out)[i] = F64();
+    return ok_;
+  }
+
+  bool U64Vec(std::vector<uint64_t>* out) {
+    const uint64_t n = U64();
+    if (n > remaining() / 8) return Fail();
+    out->resize(n);
+    for (uint64_t i = 0; i < n; ++i) (*out)[i] = U64();
+    return ok_;
+  }
+
+  size_t remaining() const { return len_ - pos_; }
+  size_t position() const { return pos_; }
+  bool ok() const { return ok_; }
+  /// Latches the failure state (for caller-side sanity checks).
+  bool Fail() {
+    ok_ = false;
+    return false;
+  }
+
+ private:
+  bool Need(size_t n) {
+    if (!ok_ || len_ - pos_ < n) return Fail();
+    return true;
+  }
+
+  const unsigned char* p_;
+  size_t len_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// --- geometry helpers -----------------------------------------------------
+
+inline void PutPoint(Writer& w, const Point& p) {
+  w.F64(p.x);
+  w.F64(p.y);
+  w.U64(p.id);
+}
+
+inline Point GetPoint(Reader& r) {
+  Point p;
+  p.x = r.F64();
+  p.y = r.F64();
+  p.id = r.U64();
+  return p;
+}
+
+inline void PutRect(Writer& w, const Rect& rect) {
+  w.F64(rect.lo_x);
+  w.F64(rect.lo_y);
+  w.F64(rect.hi_x);
+  w.F64(rect.hi_y);
+}
+
+inline Rect GetRect(Reader& r) {
+  Rect rect;
+  rect.lo_x = r.F64();
+  rect.lo_y = r.F64();
+  rect.hi_x = r.F64();
+  rect.hi_y = r.F64();
+  return rect;
+}
+
+inline void PutPoints(Writer& w, const std::vector<Point>& pts) {
+  w.U64(pts.size());
+  for (const Point& p : pts) PutPoint(w, p);
+}
+
+inline bool GetPoints(Reader& r, std::vector<Point>* out) {
+  const uint64_t n = r.U64();
+  if (n > r.remaining() / 24) return r.Fail();  // 24 bytes per point.
+  out->resize(n);
+  for (uint64_t i = 0; i < n; ++i) (*out)[i] = GetPoint(r);
+  return r.ok();
+}
+
+// --- stream helpers -------------------------------------------------------
+// For the serializers that keep std::ostream/std::istream interfaces (Ffn,
+// scorer, rebuild predictor, dataset files).
+
+inline bool WriteExact(std::ostream& out, const void* data, size_t len) {
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(len));
+  return static_cast<bool>(out);
+}
+
+inline bool ReadExact(std::istream& in, void* data, size_t len) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(len));
+  return static_cast<bool>(in) &&
+         in.gcount() == static_cast<std::streamsize>(len);
+}
+
+inline bool PutU64(std::ostream& out, uint64_t v) {
+  unsigned char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+  return WriteExact(out, b, 8);
+}
+
+inline bool GetU64(std::istream& in, uint64_t* v) {
+  unsigned char b[8];
+  if (!ReadExact(in, b, 8)) return false;
+  *v = 0;
+  for (int i = 0; i < 8; ++i) *v |= static_cast<uint64_t>(b[i]) << (8 * i);
+  return true;
+}
+
+inline bool PutF64(std::ostream& out, double v) {
+  return PutU64(out, std::bit_cast<uint64_t>(v));
+}
+
+inline bool GetF64(std::istream& in, double* v) {
+  uint64_t bits = 0;
+  if (!GetU64(in, &bits)) return false;
+  *v = std::bit_cast<double>(bits);
+  return true;
+}
+
+}  // namespace persist
+}  // namespace elsi
+
+#endif  // ELSI_PERSIST_IO_H_

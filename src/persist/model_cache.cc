@@ -1,0 +1,218 @@
+#include "persist/model_cache.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "persist/io.h"
+#include "persist/snapshot.h"
+
+namespace elsi {
+namespace persist {
+namespace {
+
+constexpr char kCacheMagic[8] = {'E', 'L', 'S', 'I', 'C', 'C', 'H', '\x01'};
+constexpr uint32_t kCacheVersion = 1;
+
+/// Frames a typed payload: magic, version, kind tag, CRC, length, payload.
+std::string FrameCache(const std::string& kind, const std::string& payload) {
+  Writer w;
+  w.Bytes(kCacheMagic, sizeof(kCacheMagic));
+  w.U32(kCacheVersion);
+  w.Str(kind);
+  w.U32(Crc32(payload));
+  w.U64(payload.size());
+  w.Bytes(payload.data(), payload.size());
+  return w.Take();
+}
+
+/// Verifies the frame and returns the payload view, or false on any
+/// mismatch (wrong magic/version/kind, truncated, CRC failure).
+bool UnframeCache(const std::string& file, const std::string& kind,
+                  std::string_view* payload) {
+  if (file.size() < sizeof(kCacheMagic) ||
+      std::memcmp(file.data(), kCacheMagic, sizeof(kCacheMagic)) != 0) {
+    return false;
+  }
+  Reader r(file.data() + sizeof(kCacheMagic),
+           file.size() - sizeof(kCacheMagic));
+  if (r.U32() != kCacheVersion) return false;
+  if (r.Str() != kind) return false;
+  const uint32_t crc = r.U32();
+  const uint64_t len = r.U64();
+  if (!r.ok() || len != r.remaining()) return false;
+  std::string_view body(file.data() + file.size() - len, len);
+  if (Crc32(body.data(), body.size()) != crc) return false;
+  *payload = body;
+  return true;
+}
+
+bool ParseScorerCsv(const std::string& path, std::vector<ScorerSample>* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    int method_id = 0;
+    ScorerSample s;
+    char c = 0;
+    if (!(ss >> method_id >> c >> s.log10_n >> c >> s.dissimilarity >> c >>
+          s.build_cost >> c >> s.query_cost)) {
+      return false;
+    }
+    s.method = static_cast<BuildMethodId>(method_id);
+    out->push_back(s);
+  }
+  return !out->empty();
+}
+
+bool ParseRebuildCsv(const std::string& path, std::vector<RebuildSample>* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    RebuildSample s;
+    char c = 0;
+    if (!(ss >> s.features.log10_n >> c >> s.features.dissimilarity >> c >>
+          s.features.depth >> c >> s.features.update_ratio >> c >>
+          s.features.cdf_similarity >> c >> s.label)) {
+      return false;
+    }
+    out->push_back(s);
+  }
+  return !out->empty();
+}
+
+/// Candidate legacy CSV locations: the cache directory, then the CWD (where
+/// the pre-binary benches always wrote).
+std::vector<std::string> LegacyCandidates(const std::string& dir,
+                                          const char* name) {
+  std::vector<std::string> paths = {dir + "/" + name};
+  if (dir != ".") paths.push_back(std::string(name));
+  return paths;
+}
+
+}  // namespace
+
+std::string CacheDir() {
+  const char* env = std::getenv("ELSI_CACHE_DIR");
+  return (env != nullptr && env[0] != '\0') ? std::string(env)
+                                            : std::string(".");
+}
+
+std::string ScorerCachePath(const std::string& dir) {
+  return dir + "/elsi_scorer_cache.bin";
+}
+
+std::string RebuildCachePath(const std::string& dir) {
+  return dir + "/elsi_rebuild_cache.bin";
+}
+
+bool SaveScorerSamples(const std::string& dir,
+                       const std::vector<ScorerSample>& samples) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  Writer payload;
+  payload.U64(samples.size());
+  for (const ScorerSample& s : samples) {
+    payload.U8(static_cast<uint8_t>(s.method));
+    payload.F64(s.log10_n);
+    payload.F64(s.dissimilarity);
+    payload.F64(s.build_cost);
+    payload.F64(s.query_cost);
+  }
+  return AtomicWriteFile(ScorerCachePath(dir),
+                         FrameCache("scorer", payload.buffer()));
+}
+
+bool LoadScorerSamples(const std::string& dir, std::vector<ScorerSample>* out) {
+  out->clear();
+  std::string file;
+  if (ReadFile(ScorerCachePath(dir), &file)) {
+    std::string_view payload;
+    if (!UnframeCache(file, "scorer", &payload)) return false;
+    Reader r(payload);
+    const uint64_t n = r.U64();
+    if (n > r.remaining() / 33) return false;  // 1 + 4 * 8 bytes per sample.
+    out->reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      ScorerSample s;
+      s.method = static_cast<BuildMethodId>(r.U8());
+      s.log10_n = r.F64();
+      s.dissimilarity = r.F64();
+      s.build_cost = r.F64();
+      s.query_cost = r.F64();
+      out->push_back(s);
+    }
+    return r.ok() && r.remaining() == 0 && !out->empty();
+  }
+  // One-time import of a legacy CSV cache.
+  for (const std::string& csv : LegacyCandidates(dir, "elsi_scorer_cache.csv")) {
+    if (ParseScorerCsv(csv, out)) {
+      SaveScorerSamples(dir, *out);
+      return true;
+    }
+    out->clear();
+  }
+  return false;
+}
+
+bool SaveRebuildSamples(const std::string& dir,
+                        const std::vector<RebuildSample>& samples) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  Writer payload;
+  payload.U64(samples.size());
+  for (const RebuildSample& s : samples) {
+    payload.F64(s.features.log10_n);
+    payload.F64(s.features.dissimilarity);
+    payload.F64(s.features.depth);
+    payload.F64(s.features.update_ratio);
+    payload.F64(s.features.cdf_similarity);
+    payload.F64(s.label);
+  }
+  return AtomicWriteFile(RebuildCachePath(dir),
+                         FrameCache("rebuild", payload.buffer()));
+}
+
+bool LoadRebuildSamples(const std::string& dir,
+                        std::vector<RebuildSample>* out) {
+  out->clear();
+  std::string file;
+  if (ReadFile(RebuildCachePath(dir), &file)) {
+    std::string_view payload;
+    if (!UnframeCache(file, "rebuild", &payload)) return false;
+    Reader r(payload);
+    const uint64_t n = r.U64();
+    if (n > r.remaining() / 48) return false;  // 6 * 8 bytes per sample.
+    out->reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      RebuildSample s;
+      s.features.log10_n = r.F64();
+      s.features.dissimilarity = r.F64();
+      s.features.depth = r.F64();
+      s.features.update_ratio = r.F64();
+      s.features.cdf_similarity = r.F64();
+      s.label = r.F64();
+      out->push_back(s);
+    }
+    return r.ok() && r.remaining() == 0 && !out->empty();
+  }
+  for (const std::string& csv :
+       LegacyCandidates(dir, "elsi_rebuild_cache.csv")) {
+    if (ParseRebuildCsv(csv, out)) {
+      SaveRebuildSamples(dir, *out);
+      return true;
+    }
+    out->clear();
+  }
+  return false;
+}
+
+}  // namespace persist
+}  // namespace elsi

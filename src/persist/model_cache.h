@@ -1,0 +1,43 @@
+#ifndef ELSI_PERSIST_MODEL_CACHE_H_
+#define ELSI_PERSIST_MODEL_CACHE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/method_scorer.h"
+#include "core/rebuild_predictor.h"
+
+namespace elsi {
+namespace persist {
+
+/// Directory for the bench model caches (scorer / rebuild ground truth).
+/// ELSI_CACHE_DIR when set, else the current directory — the historical
+/// location of the CWD-relative CSV caches.
+std::string CacheDir();
+
+/// File paths inside `dir` for the versioned binary caches.
+std::string ScorerCachePath(const std::string& dir);
+std::string RebuildCachePath(const std::string& dir);
+
+/// Loads the scorer ground-truth campaign from `dir`. Prefers the versioned
+/// binary cache; when absent, falls back to importing a legacy
+/// `elsi_scorer_cache.csv` (from `dir`, then the CWD) and converts it to the
+/// binary format in place — a one-time migration. Returns false when neither
+/// exists or the cache is corrupt (callers then re-measure).
+bool LoadScorerSamples(const std::string& dir, std::vector<ScorerSample>* out);
+
+/// Writes the campaign to the versioned binary cache (atomic write).
+bool SaveScorerSamples(const std::string& dir,
+                       const std::vector<ScorerSample>& samples);
+
+/// Same pair for the rebuild-predictor campaign (legacy
+/// `elsi_rebuild_cache.csv`).
+bool LoadRebuildSamples(const std::string& dir,
+                        std::vector<RebuildSample>* out);
+bool SaveRebuildSamples(const std::string& dir,
+                        const std::vector<RebuildSample>& samples);
+
+}  // namespace persist
+}  // namespace elsi
+
+#endif  // ELSI_PERSIST_MODEL_CACHE_H_

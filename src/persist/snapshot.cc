@@ -1,0 +1,274 @@
+#include "persist/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "core/elsi.h"
+#include "obs/metrics.h"
+#include "persist/io.h"
+#include "traditional/grid_index.h"
+#include "traditional/hrr_tree.h"
+#include "traditional/kdb_tree.h"
+#include "traditional/rstar_tree.h"
+
+namespace elsi {
+namespace persist {
+namespace {
+
+constexpr char kSnapshotMagic[8] = {'E', 'L', 'S', 'I', 'S', 'N', 'P', '\x01'};
+constexpr uint32_t kSnapshotVersion = 1;
+constexpr uint32_t kMaxSections = 16;
+constexpr uint64_t kMaxSectionBytes = 1ull << 40;
+
+obs::Histogram& SaveMsHistogram() {
+  static obs::Histogram& h =
+      obs::GetHistogram("persist.snapshot.save_ms", obs::HistogramSpec::LatencyMs());
+  return h;
+}
+
+obs::Histogram& LoadMsHistogram() {
+  static obs::Histogram& h =
+      obs::GetHistogram("persist.snapshot.load_ms", obs::HistogramSpec::LatencyMs());
+  return h;
+}
+
+obs::Gauge& SnapshotBytesGauge() {
+  static obs::Gauge& g = obs::GetGauge("persist.snapshot.bytes");
+  return g;
+}
+
+struct Section {
+  std::string name;
+  std::string_view payload;
+};
+
+/// Splits a verified snapshot body into sections, checking each CRC before
+/// exposing its payload. Returns false on any structural or checksum error.
+bool ParseSections(std::string_view file, std::vector<Section>* out) {
+  if (file.size() < sizeof(kSnapshotMagic) + 8) return false;
+  if (std::memcmp(file.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return false;
+  }
+  Reader r(file.substr(sizeof(kSnapshotMagic)));
+  const uint32_t version = r.U32();
+  if (version != kSnapshotVersion) return false;
+  const uint32_t nsections = r.U32();
+  if (nsections == 0 || nsections > kMaxSections) return false;
+  out->clear();
+  for (uint32_t s = 0; s < nsections; ++s) {
+    Section section;
+    section.name = r.Str();
+    const uint64_t len = r.U64();
+    const uint32_t crc = r.U32();
+    if (!r.ok() || len > kMaxSectionBytes || len > r.remaining()) return false;
+    const char* payload =
+        file.data() + sizeof(kSnapshotMagic) + r.position();
+    if (Crc32(payload, len) != crc) return false;
+    section.payload = std::string_view(payload, static_cast<size_t>(len));
+    if (!r.Skip(static_cast<size_t>(len))) return false;
+    out->push_back(std::move(section));
+  }
+  return true;
+}
+
+bool ParseMeta(std::string_view payload, SnapshotMeta* meta) {
+  Reader r(payload);
+  meta->kind = r.Str();
+  meta->count = r.U64();
+  meta->last_lsn = r.U64();
+  return r.ok() && !meta->kind.empty();
+}
+
+const Section* FindSection(const std::vector<Section>& sections,
+                           std::string_view name) {
+  for (const Section& s : sections) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::string SnapshotPath(const std::string& dir, uint64_t seq) {
+  char name[40];
+  std::snprintf(name, sizeof(name), "snapshot-%016llu.snap",
+                static_cast<unsigned long long>(seq));
+  return dir + "/" + name;
+}
+
+std::vector<std::pair<uint64_t, std::string>> ListSnapshots(
+    const std::string& dir) {
+  std::vector<std::pair<uint64_t, std::string>> found;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    // snapshot-<16 digits>.snap
+    constexpr std::string_view kPrefix = "snapshot-";
+    constexpr std::string_view kSuffix = ".snap";
+    if (name.size() != kPrefix.size() + 16 + kSuffix.size() ||
+        name.compare(0, kPrefix.size(), kPrefix) != 0 ||
+        name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+            0) {
+      continue;
+    }
+    uint64_t seq = 0;
+    bool digits = true;
+    for (size_t i = kPrefix.size(); i < kPrefix.size() + 16; ++i) {
+      if (name[i] < '0' || name[i] > '9') {
+        digits = false;
+        break;
+      }
+      seq = seq * 10 + static_cast<uint64_t>(name[i] - '0');
+    }
+    if (digits) found.emplace_back(seq, entry.path().string());
+  }
+  std::sort(found.begin(), found.end());
+  return found;
+}
+
+std::unique_ptr<SpatialIndex> MakeIndexByName(const std::string& kind,
+                                              const SnapshotLoadOptions& opts) {
+  std::shared_ptr<ModelTrainer> trainer = opts.trainer;
+  if (trainer == nullptr) trainer = std::make_shared<DirectTrainer>();
+  BaseIndexScale scale;
+  scale.pool = opts.pool;
+  for (BaseIndexKind k : kAllBaseIndexKinds) {
+    if (BaseIndexKindName(k) == kind) {
+      return MakeBaseIndex(k, std::move(trainer), scale);
+    }
+  }
+  if (kind == "Grid") return std::make_unique<GridIndex>();
+  if (kind == "KDB") return std::make_unique<KdbTree>();
+  if (kind == "HRR") return std::make_unique<HrrTree>();
+  if (kind == "RR*") return std::make_unique<RStarTree>();
+  return nullptr;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = std::move(buf).str();
+  return static_cast<bool>(in);
+}
+
+bool AtomicWriteFile(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n <= 0) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  // Make the rename itself durable.
+  const std::string dir =
+      std::filesystem::path(path).parent_path().string();
+  const int dfd = ::open(dir.empty() ? "." : dir.c_str(),
+                         O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return true;
+}
+
+bool Snapshot::Save(const SpatialIndex& index, const std::string& path,
+                    uint64_t last_lsn) {
+  ScopedTimer timer(&SaveMsHistogram());
+  Writer index_payload;
+  if (!index.SaveState(index_payload)) {
+    ELSI_LOG(WARN) << "snapshot save: " << index.Name()
+                      << " does not support SaveState";
+    return false;
+  }
+  Writer meta_payload;
+  meta_payload.Str(index.Name());
+  meta_payload.U64(index.size());
+  meta_payload.U64(last_lsn);
+
+  Writer file;
+  file.Bytes(kSnapshotMagic, sizeof(kSnapshotMagic));
+  file.U32(kSnapshotVersion);
+  file.U32(2);  // Section count.
+  const auto append_section = [&file](std::string_view name,
+                                      const std::string& payload) {
+    file.Str(name);
+    file.U64(payload.size());
+    file.U32(Crc32(payload));
+    file.Bytes(payload.data(), payload.size());
+  };
+  append_section("meta", meta_payload.buffer());
+  append_section("index", index_payload.buffer());
+  const size_t bytes = file.size();
+  if (!AtomicWriteFile(path, file.Take())) return false;
+  SnapshotBytesGauge().Set(static_cast<int64_t>(bytes));
+  return true;
+}
+
+bool Snapshot::Validate(const std::string& path, SnapshotMeta* meta) {
+  std::string file;
+  if (!ReadFile(path, &file)) return false;
+  std::vector<Section> sections;
+  if (!ParseSections(file, &sections)) return false;
+  const Section* meta_section = FindSection(sections, "meta");
+  const Section* index_section = FindSection(sections, "index");
+  if (meta_section == nullptr || index_section == nullptr) return false;
+  SnapshotMeta parsed;
+  if (!ParseMeta(meta_section->payload, &parsed)) return false;
+  if (meta != nullptr) *meta = parsed;
+  return true;
+}
+
+std::unique_ptr<SpatialIndex> Snapshot::Load(const std::string& path,
+                                             const SnapshotLoadOptions& opts,
+                                             SnapshotMeta* meta) {
+  ScopedTimer timer(&LoadMsHistogram());
+  std::string file;
+  if (!ReadFile(path, &file)) return nullptr;
+  std::vector<Section> sections;
+  if (!ParseSections(file, &sections)) return nullptr;
+  const Section* meta_section = FindSection(sections, "meta");
+  const Section* index_section = FindSection(sections, "index");
+  if (meta_section == nullptr || index_section == nullptr) return nullptr;
+  SnapshotMeta parsed;
+  if (!ParseMeta(meta_section->payload, &parsed)) return nullptr;
+  std::unique_ptr<SpatialIndex> index = MakeIndexByName(parsed.kind, opts);
+  if (index == nullptr) {
+    ELSI_LOG(WARN) << "snapshot load: unknown index kind '" << parsed.kind
+                      << "'";
+    return nullptr;
+  }
+  Reader r(index_section->payload);
+  if (!index->LoadState(r) || r.remaining() != 0) return nullptr;
+  if (index->size() != parsed.count) return nullptr;
+  if (meta != nullptr) *meta = parsed;
+  return index;
+}
+
+}  // namespace persist
+}  // namespace elsi

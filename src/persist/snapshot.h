@@ -1,0 +1,85 @@
+#ifndef ELSI_PERSIST_SNAPSHOT_H_
+#define ELSI_PERSIST_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/spatial_index.h"
+#include "learned/rank_model.h"
+
+namespace elsi {
+namespace persist {
+
+/// Header fields of a snapshot file (the "meta" section).
+struct SnapshotMeta {
+  /// SpatialIndex::Name() of the saved index ("ZM", "Grid", "RR*", ...).
+  std::string kind;
+  /// Point count at save time (sanity-checked against the loaded index).
+  uint64_t count = 0;
+  /// LSN of the last WAL record already reflected in the snapshot; replay
+  /// resumes strictly after it.
+  uint64_t last_lsn = 0;
+};
+
+struct SnapshotLoadOptions {
+  /// Trainer wired into re-created learned indices (used by later rebuilds,
+  /// not by the load itself). Null falls back to a DirectTrainer.
+  std::shared_ptr<ModelTrainer> trainer;
+  /// Worker pool handed to re-created indices; null means global.
+  ThreadPool* pool = nullptr;
+};
+
+/// Versioned, checksummed index snapshots. A snapshot is a sectioned binary
+/// file — magic, format version, then (name, length, CRC-32, payload) per
+/// section — holding a "meta" section and an "index" section produced by
+/// SpatialIndex::SaveState. Every section's CRC is verified before a byte of
+/// it is decoded, so truncation and bit flips are detected up front.
+class Snapshot {
+ public:
+  /// Serializes `index` and atomically writes it to `path` (tmp file +
+  /// fsync + rename + directory fsync): the file is either the complete new
+  /// snapshot or absent, never a torn prefix. Returns false when the index
+  /// does not support SaveState or on I/O failure.
+  static bool Save(const SpatialIndex& index, const std::string& path,
+                   uint64_t last_lsn = 0);
+
+  /// Reads, verifies, and decodes a snapshot, re-creating the index by its
+  /// recorded kind. Returns nullptr on any corruption (bad magic, section
+  /// CRC mismatch, truncated payload, malformed state) — never a partially
+  /// loaded index. Fills `meta` (if non-null) on success.
+  static std::unique_ptr<SpatialIndex> Load(const std::string& path,
+                                            const SnapshotLoadOptions& opts = {},
+                                            SnapshotMeta* meta = nullptr);
+
+  /// Verifies magic, version, and every section CRC without decoding the
+  /// index payload. Fills `meta` (if non-null) when valid.
+  static bool Validate(const std::string& path, SnapshotMeta* meta = nullptr);
+};
+
+/// Snapshot file name for sequence number `seq` ("snapshot-<seq 16-digit>.snap").
+std::string SnapshotPath(const std::string& dir, uint64_t seq);
+
+/// All snapshot files in `dir` as (sequence, path), ascending by sequence.
+std::vector<std::pair<uint64_t, std::string>> ListSnapshots(
+    const std::string& dir);
+
+/// Creates an empty index of the given SpatialIndex::Name() kind, ready for
+/// LoadState. Returns nullptr for unknown kinds.
+std::unique_ptr<SpatialIndex> MakeIndexByName(const std::string& kind,
+                                              const SnapshotLoadOptions& opts);
+
+/// Writes `bytes` to `path` atomically: write to path + ".tmp", fsync,
+/// rename over `path`, fsync the parent directory. Returns false on any
+/// failure (the tmp file is cleaned up).
+bool AtomicWriteFile(const std::string& path, const std::string& bytes);
+
+/// Reads a whole file into `out`. Returns false when unreadable.
+bool ReadFile(const std::string& path, std::string* out);
+
+}  // namespace persist
+}  // namespace elsi
+
+#endif  // ELSI_PERSIST_SNAPSHOT_H_

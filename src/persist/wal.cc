@@ -1,0 +1,309 @@
+#include "persist/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "persist/io.h"
+
+namespace elsi {
+namespace persist {
+namespace {
+
+constexpr char kWalMagic[8] = {'E', 'L', 'S', 'I', 'W', 'A', 'L', '\x01'};
+constexpr uint32_t kWalVersion = 1;
+constexpr size_t kWalHeaderBytes = sizeof(kWalMagic) + 4 + 8;
+// lsn + op + x + y + id.
+constexpr size_t kRecordPayloadBytes = 8 + 1 + 8 + 8 + 8;
+constexpr uint32_t kMaxRecordBytes = 1 << 16;
+
+obs::Histogram& AppendUsHistogram() {
+  static obs::Histogram& h = obs::GetHistogram(
+      "persist.wal.append_us", obs::HistogramSpec::LatencyUs());
+  return h;
+}
+
+obs::Counter& ReplayedCounter() {
+  static obs::Counter& c = obs::GetCounter("persist.wal.replayed");
+  return c;
+}
+
+obs::Counter& TornTailCounter() {
+  static obs::Counter& c = obs::GetCounter("persist.wal.torn_tail");
+  return c;
+}
+
+std::string EncodeRecord(const WalRecord& rec) {
+  Writer payload;
+  payload.U64(rec.lsn);
+  payload.U8(rec.op);
+  payload.F64(rec.p.x);
+  payload.F64(rec.p.y);
+  payload.U64(rec.p.id);
+  Writer framed;
+  framed.U32(static_cast<uint32_t>(payload.size()));
+  framed.U32(Crc32(payload.buffer()));
+  framed.Bytes(payload.buffer().data(), payload.size());
+  return framed.Take();
+}
+
+/// Scans one segment body (after the header), appending intact records to
+/// `out`. Returns false when the segment ends in a torn or corrupt record.
+bool DecodeSegment(std::string_view body, std::vector<WalRecord>* out) {
+  Reader r(body);
+  while (r.remaining() > 0) {
+    if (r.remaining() < 8) return false;  // Torn frame header.
+    const uint32_t len = r.U32();
+    const uint32_t crc = r.U32();
+    if (len != kRecordPayloadBytes || len > kMaxRecordBytes ||
+        len > r.remaining()) {
+      return false;
+    }
+    const char* payload = body.data() + r.position();
+    if (Crc32(payload, len) != crc) return false;
+    Reader pr(payload, len);
+    WalRecord rec;
+    rec.lsn = pr.U64();
+    rec.op = pr.U8();
+    rec.p.x = pr.F64();
+    rec.p.y = pr.F64();
+    rec.p.id = pr.U64();
+    if (!pr.ok() ||
+        (rec.op != kWalOpInsert && rec.op != kWalOpDelete)) {
+      return false;
+    }
+    r.Skip(len);
+    out->push_back(rec);
+  }
+  return true;
+}
+
+/// Reads one segment file. Returns false on an unreadable or header-corrupt
+/// file; `clean` reports whether the record stream ended cleanly.
+bool ReadSegment(const std::string& path, uint64_t* start_lsn,
+                 std::vector<WalRecord>* records, bool* clean,
+                 size_t* valid_bytes) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string file = std::move(buf).str();
+  if (file.size() < kWalHeaderBytes ||
+      std::memcmp(file.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+    return false;
+  }
+  Reader header(file.data() + sizeof(kWalMagic), 12);
+  if (header.U32() != kWalVersion) return false;
+  *start_lsn = header.U64();
+  records->clear();
+  *clean = DecodeSegment(
+      std::string_view(file).substr(kWalHeaderBytes), records);
+  if (valid_bytes != nullptr) {
+    *valid_bytes =
+        kWalHeaderBytes + records->size() * (8 + kRecordPayloadBytes);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string WalSegmentPath(const std::string& dir, uint64_t start_lsn) {
+  char name[40];
+  std::snprintf(name, sizeof(name), "wal-%020llu.log",
+                static_cast<unsigned long long>(start_lsn));
+  return dir + "/" + name;
+}
+
+std::vector<std::pair<uint64_t, std::string>> ListWalSegments(
+    const std::string& dir) {
+  std::vector<std::pair<uint64_t, std::string>> found;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    constexpr std::string_view kPrefix = "wal-";
+    constexpr std::string_view kSuffix = ".log";
+    if (name.size() != kPrefix.size() + 20 + kSuffix.size() ||
+        name.compare(0, kPrefix.size(), kPrefix) != 0 ||
+        name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+            0) {
+      continue;
+    }
+    uint64_t lsn = 0;
+    bool digits = true;
+    for (size_t i = kPrefix.size(); i < kPrefix.size() + 20; ++i) {
+      if (name[i] < '0' || name[i] > '9') {
+        digits = false;
+        break;
+      }
+      lsn = lsn * 10 + static_cast<uint64_t>(name[i] - '0');
+    }
+    if (digits) found.emplace_back(lsn, entry.path().string());
+  }
+  std::sort(found.begin(), found.end());
+  return found;
+}
+
+WalWriter::~WalWriter() { Close(); }
+
+void WalWriter::Close() {
+  if (fd_ >= 0) {
+    ::fsync(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool WalWriter::RotateLocked() {
+  if (fd_ >= 0) {
+    if (::fsync(fd_) != 0) return false;
+    ::close(fd_);
+    fd_ = -1;
+  }
+  const std::string path = WalSegmentPath(dir_, next_lsn_);
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) return false;
+  Writer header;
+  header.Bytes(kWalMagic, sizeof(kWalMagic));
+  header.U32(kWalVersion);
+  header.U64(next_lsn_);
+  const std::string& bytes = header.buffer();
+  if (::write(fd_, bytes.data(), bytes.size()) !=
+      static_cast<ssize_t>(bytes.size())) {
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  segment_written_ = bytes.size();
+  since_sync_ = 0;
+  return true;
+}
+
+bool WalWriter::Open(const std::string& dir, uint64_t next_lsn,
+                     const WalWriterOptions& options) {
+  Close();
+  dir_ = dir;
+  options_ = options;
+  next_lsn_ = std::max<uint64_t>(1, next_lsn);
+
+  // Truncate a torn tail off the newest segment so the on-disk log ends at
+  // a record boundary before we append after it.
+  const auto segments = ListWalSegments(dir);
+  if (!segments.empty()) {
+    const std::string& newest = segments.back().second;
+    uint64_t start_lsn = 0;
+    std::vector<WalRecord> records;
+    bool clean = false;
+    size_t valid_bytes = 0;
+    if (ReadSegment(newest, &start_lsn, &records, &clean, &valid_bytes)) {
+      if (!clean) {
+        std::error_code ec;
+        std::filesystem::resize_file(newest, valid_bytes, ec);
+        if (ec) return false;
+      }
+    } else {
+      // Header-corrupt newest segment: quarantine rather than append to it.
+      std::error_code ec;
+      std::filesystem::rename(newest, newest + ".corrupt", ec);
+    }
+  }
+  return RotateLocked();
+}
+
+uint64_t WalWriter::Append(uint8_t op, const Point& p) {
+  ELSI_CHECK(fd_ >= 0) << "WAL not open";
+  ScopedTimer timer(&AppendUsHistogram());
+  WalRecord rec;
+  rec.lsn = next_lsn_++;
+  rec.op = op;
+  rec.p = p;
+  const std::string framed = EncodeRecord(rec);
+  size_t written = 0;
+  while (written < framed.size()) {
+    const ssize_t n =
+        ::write(fd_, framed.data() + written, framed.size() - written);
+    ELSI_CHECK(n > 0) << "WAL append failed";
+    written += static_cast<size_t>(n);
+  }
+  segment_written_ += framed.size();
+  if (options_.fsync_every > 0 && ++since_sync_ >= options_.fsync_every) {
+    ::fsync(fd_);
+    since_sync_ = 0;
+  }
+  if (segment_written_ >= options_.segment_bytes) {
+    ELSI_CHECK(RotateLocked()) << "WAL rotation failed";
+  }
+  return rec.lsn;
+}
+
+bool WalWriter::Sync() {
+  if (fd_ < 0) return false;
+  since_sync_ = 0;
+  return ::fsync(fd_) == 0;
+}
+
+void WalWriter::TruncateThrough(uint64_t through_lsn) {
+  const auto segments = ListWalSegments(dir_);
+  for (size_t i = 0; i + 1 < segments.size(); ++i) {
+    // Segment i holds LSNs [start_i, start_{i+1}); removable when every one
+    // of them is at or below the floor.
+    if (segments[i + 1].first <= through_lsn + 1) {
+      std::error_code ec;
+      std::filesystem::remove(segments[i].second, ec);
+    }
+  }
+}
+
+bool WalReplay(const std::string& dir, uint64_t after_lsn,
+               const std::function<void(const WalRecord&)>& apply,
+               WalReplayStats* stats) {
+  WalReplayStats local;
+  const auto segments = ListWalSegments(dir);
+  for (size_t i = 0; i < segments.size(); ++i) {
+    uint64_t start_lsn = 0;
+    std::vector<WalRecord> records;
+    bool clean = false;
+    if (!ReadSegment(segments[i].second, &start_lsn, &records, &clean,
+                     nullptr)) {
+      // An unreadable segment is tolerable only as the newest file.
+      if (i + 1 == segments.size()) {
+        local.torn_tail = true;
+        break;
+      }
+      return false;
+    }
+    if (!clean) {
+      local.torn_tail = true;
+      if (i + 1 != segments.size()) {
+        // A torn record in the middle of the log means later segments were
+        // written after a corruption — refuse to replay past it.
+        return false;
+      }
+    }
+    for (const WalRecord& rec : records) {
+      if (rec.lsn <= after_lsn) {
+        ++local.skipped;
+        continue;
+      }
+      apply(rec);
+      ++local.applied;
+      local.last_lsn = rec.lsn;
+    }
+  }
+  local.last_lsn = std::max(local.last_lsn, after_lsn);
+  ReplayedCounter().Add(local.applied);
+  if (local.torn_tail) TornTailCounter().Add();
+  if (stats != nullptr) *stats = local;
+  return true;
+}
+
+}  // namespace persist
+}  // namespace elsi

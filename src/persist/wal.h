@@ -1,0 +1,111 @@
+#ifndef ELSI_PERSIST_WAL_H_
+#define ELSI_PERSIST_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace elsi {
+namespace persist {
+
+/// One logical update. `op` is 1 for insert, 2 for delete.
+struct WalRecord {
+  uint64_t lsn = 0;
+  uint8_t op = 0;
+  Point p;
+};
+
+inline constexpr uint8_t kWalOpInsert = 1;
+inline constexpr uint8_t kWalOpDelete = 2;
+
+struct WalWriterOptions {
+  /// fsync after this many appended records (group commit). 1 syncs every
+  /// record; 0 never syncs (tests only).
+  size_t fsync_every = 32;
+  /// Start a new segment file once the current one exceeds this size.
+  size_t segment_bytes = 4 << 20;
+};
+
+/// Append-only write-ahead log over numbered segment files
+/// ("wal-<start_lsn>.log"). Each segment starts with a fixed header (magic,
+/// format version, first LSN); each record is (u32 length, u32 CRC-32,
+/// payload), so a torn tail — a partially written final record after a
+/// crash — is detected by length/CRC and cleanly ignored by replay.
+///
+/// Not internally synchronized: the owner (Elsi) serializes all appends
+/// under its update mutex.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Opens the log in `dir` for appending, continuing after the highest
+  /// valid LSN already on disk (the caller passes it as `next_lsn`). Any
+  /// torn final record in the newest segment is truncated away first.
+  bool Open(const std::string& dir, uint64_t next_lsn,
+            const WalWriterOptions& options = {});
+
+  /// Appends one record, assigning it the next LSN (returned). The record
+  /// is buffered in the OS; durability follows the group-commit policy.
+  uint64_t Append(uint8_t op, const Point& p);
+
+  /// Forces everything appended so far to disk.
+  bool Sync();
+
+  /// Deletes whole segments that only contain records with LSN <=
+  /// `through_lsn` (called after a snapshot makes them redundant). A
+  /// segment is removable when the NEXT segment starts at or below
+  /// `through_lsn + 1`.
+  void TruncateThrough(uint64_t through_lsn);
+
+  void Close();
+
+  bool is_open() const { return fd_ >= 0; }
+  uint64_t next_lsn() const { return next_lsn_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  bool RotateLocked();
+
+  std::string dir_;
+  WalWriterOptions options_;
+  int fd_ = -1;
+  uint64_t next_lsn_ = 1;
+  size_t segment_written_ = 0;
+  size_t since_sync_ = 0;
+};
+
+struct WalReplayStats {
+  uint64_t applied = 0;
+  /// Records below the replay floor (already in the snapshot).
+  uint64_t skipped = 0;
+  /// True when the newest segment ended in a torn (partial/corrupt) record.
+  bool torn_tail = false;
+  uint64_t last_lsn = 0;
+};
+
+/// Reads every record with lsn > `after_lsn` from the segments in `dir`, in
+/// LSN order, invoking `apply` for each. Stops at the first torn or corrupt
+/// record in the newest segment (earlier segments must be intact). Purely
+/// read-only — safe to run before WalWriter::Open truncates the tail.
+bool WalReplay(const std::string& dir, uint64_t after_lsn,
+               const std::function<void(const WalRecord&)>& apply,
+               WalReplayStats* stats);
+
+/// Segment file name for a first LSN ("wal-<lsn 20-digit>.log").
+std::string WalSegmentPath(const std::string& dir, uint64_t start_lsn);
+
+/// All WAL segments in `dir` as (start_lsn, path), ascending.
+std::vector<std::pair<uint64_t, std::string>> ListWalSegments(
+    const std::string& dir);
+
+}  // namespace persist
+}  // namespace elsi
+
+#endif  // ELSI_PERSIST_WAL_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "persist/io.h"
 
 namespace elsi {
 
@@ -106,6 +107,58 @@ bool PagedList::Erase(uint64_t id, double key) {
     }
   }
   return false;
+}
+
+void PagedList::SavePersist(persist::Writer& w) const {
+  w.U64(block_capacity_);
+  w.U64(size_);
+  w.U32(static_cast<uint32_t>(blocks_.size()));
+  for (size_t bi = 0; bi < blocks_.size(); ++bi) {
+    const Block& b = blocks_[bi];
+    const std::vector<double>& keys = block_keys_[bi];
+    w.U32(static_cast<uint32_t>(b.points.size()));
+    for (size_t i = 0; i < b.points.size(); ++i) {
+      persist::PutPoint(w, b.points[i]);
+      w.F64(keys[i]);
+    }
+  }
+}
+
+bool PagedList::LoadPersist(persist::Reader& r) {
+  block_capacity_ = r.U64();
+  size_ = r.U64();
+  const uint32_t nblocks = r.U32();
+  if (block_capacity_ < 2 || nblocks > r.remaining() / 4) return r.Fail();
+  blocks_.clear();
+  block_keys_.clear();
+  block_min_key_.clear();
+  blocks_.reserve(nblocks);
+  block_keys_.reserve(nblocks);
+  block_min_key_.reserve(nblocks);
+  uint64_t total = 0;
+  for (uint32_t bi = 0; bi < nblocks; ++bi) {
+    const uint32_t npts = r.U32();
+    // 32 bytes per (point, key) pair.
+    if (npts == 0 || npts > r.remaining() / 32) return r.Fail();
+    Block b;
+    std::vector<double> keys;
+    b.points.reserve(npts);
+    keys.reserve(npts);
+    for (uint32_t i = 0; i < npts; ++i) {
+      b.Add(persist::GetPoint(r));
+      keys.push_back(r.F64());
+    }
+    if (!r.ok() || !std::is_sorted(keys.begin(), keys.end())) return r.Fail();
+    total += npts;
+    block_min_key_.push_back(keys.front());
+    blocks_.push_back(std::move(b));
+    block_keys_.push_back(std::move(keys));
+  }
+  if (total != size_ ||
+      !std::is_sorted(block_min_key_.begin(), block_min_key_.end())) {
+    return r.Fail();
+  }
+  return r.ok();
 }
 
 void PagedList::ScanKeyRange(double lo, double hi,

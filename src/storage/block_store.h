@@ -8,6 +8,11 @@
 
 namespace elsi {
 
+namespace persist {
+class Writer;
+class Reader;
+}  // namespace persist
+
 /// Default storage block size used throughout the evaluation (Sec. VII-B1).
 inline constexpr size_t kDefaultBlockCapacity = 100;
 
@@ -64,6 +69,14 @@ class PagedList {
   const std::vector<std::vector<double>>& block_keys() const {
     return block_keys_;
   }
+
+  /// Serializes the list (capacity, blocks, keys) into `w`. Block MBRs and
+  /// per-block min keys are recomputed on load rather than stored.
+  void SavePersist(persist::Writer& w) const;
+
+  /// Restores a list written by SavePersist. Returns false on malformed
+  /// input.
+  bool LoadPersist(persist::Reader& r);
 
  private:
   // Index of the block whose key range should contain `key`.

@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "common/logging.h"
+#include "persist/io.h"
 
 namespace elsi {
 
@@ -189,6 +190,46 @@ std::vector<Point> GridIndex::KnnQuery(const Point& q, size_t k) const {
     best.pop();
   }
   return result;
+}
+
+bool GridIndex::SaveState(persist::Writer& w) const {
+  w.U64(block_capacity_);
+  w.U64(size_);
+  w.I32(side_);
+  persist::PutRect(w, domain_);
+  w.U64(cells_.size());
+  for (const Cell& cell : cells_) {
+    w.U32(static_cast<uint32_t>(cell.blocks.size()));
+    for (const Block& b : cell.blocks) persist::PutPoints(w, b.points);
+  }
+  return true;
+}
+
+bool GridIndex::LoadState(persist::Reader& r) {
+  block_capacity_ = r.U64();
+  size_ = r.U64();
+  side_ = r.I32();
+  domain_ = persist::GetRect(r);
+  const uint64_t ncells = r.U64();
+  if (block_capacity_ < 2 || side_ <= 0 ||
+      ncells != static_cast<uint64_t>(side_) * static_cast<uint64_t>(side_) ||
+      ncells > r.remaining()) {
+    return r.Fail();
+  }
+  cells_.assign(ncells, Cell{});
+  uint64_t total = 0;
+  for (Cell& cell : cells_) {
+    const uint32_t nblocks = r.U32();
+    if (nblocks > r.remaining() / 4) return r.Fail();
+    cell.blocks.resize(nblocks);
+    for (Block& b : cell.blocks) {
+      if (!persist::GetPoints(r, &b.points)) return false;
+      b.RecomputeMbr();
+      total += b.points.size();
+    }
+  }
+  if (total != size_) return r.Fail();
+  return r.ok();
 }
 
 }  // namespace elsi

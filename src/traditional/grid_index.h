@@ -28,6 +28,9 @@ class GridIndex : public SpatialIndex {
 
   int grid_side() const { return side_; }
 
+  bool SaveState(persist::Writer& w) const override;
+  bool LoadState(persist::Reader& r) override;
+
  private:
   struct Cell {
     std::vector<Block> blocks;

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "curve/hilbert.h"
+#include "persist/io.h"
 
 namespace elsi {
 
@@ -150,6 +151,30 @@ std::vector<Point> HrrTree::WindowQuery(const Rect& w) const {
 
 std::vector<Point> HrrTree::KnnQuery(const Point& q, size_t k) const {
   return RTreeKnnQuery(root_.get(), q, k);
+}
+
+bool HrrTree::SaveState(persist::Writer& w) const {
+  w.U64(max_entries_);
+  w.U64(size_);
+  w.Bool(root_ != nullptr);
+  if (root_ != nullptr) RTreeSaveNode(*root_, w);
+  return true;
+}
+
+bool HrrTree::LoadState(persist::Reader& r) {
+  max_entries_ = r.U64();
+  size_ = r.U64();
+  if (max_entries_ < 4) return r.Fail();
+  const bool has_root = r.Bool();
+  if (!r.ok()) return false;
+  root_.reset();
+  if (has_root) {
+    root_ = RTreeLoadNode(r);
+    if (root_ == nullptr) return false;
+  } else {
+    root_ = std::make_unique<RTreeNode>();
+  }
+  return r.ok();
 }
 
 }  // namespace elsi

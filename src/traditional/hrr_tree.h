@@ -35,6 +35,9 @@ class HrrTree : public SpatialIndex {
   const RTreeNode* root() const { return root_.get(); }
   size_t max_entries() const { return max_entries_; }
 
+  bool SaveState(persist::Writer& w) const override;
+  bool LoadState(persist::Reader& r) override;
+
  private:
   std::unique_ptr<RTreeNode> InsertSimple(RTreeNode* node, const Point& p);
 

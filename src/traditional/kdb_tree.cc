@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "common/logging.h"
+#include "persist/io.h"
 
 namespace elsi {
 namespace {
@@ -267,6 +268,71 @@ int KdbTree::Height() const {
     }
   }
   return height;
+}
+
+void KdbTree::SaveNode(const Node& node, persist::Writer& w) const {
+  w.I32(node.axis);
+  if (node.axis >= 0) {
+    w.F64(node.split);
+    w.Bool(node.left != nullptr);
+    if (node.left != nullptr) SaveNode(*node.left, w);
+    w.Bool(node.right != nullptr);
+    if (node.right != nullptr) SaveNode(*node.right, w);
+    return;
+  }
+  persist::PutPoints(w, node.points);
+}
+
+std::unique_ptr<KdbTree::Node> KdbTree::LoadNode(persist::Reader& r,
+                                                 int depth) const {
+  // The split path alternates axes, so depth is bounded by a generous
+  // constant rather than a structural invariant.
+  if (depth > 512) {
+    r.Fail();
+    return nullptr;
+  }
+  auto node = std::make_unique<Node>();
+  node->axis = r.I32();
+  if (node->axis > 1) {
+    r.Fail();
+    return nullptr;
+  }
+  if (node->axis >= 0) {
+    node->split = r.F64();
+    if (r.Bool()) {
+      node->left = LoadNode(r, depth + 1);
+      if (node->left == nullptr) return nullptr;
+    }
+    if (r.Bool()) {
+      node->right = LoadNode(r, depth + 1);
+      if (node->right == nullptr) return nullptr;
+    }
+    return r.ok() ? std::move(node) : nullptr;
+  }
+  if (!persist::GetPoints(r, &node->points)) return nullptr;
+  return std::move(node);
+}
+
+bool KdbTree::SaveState(persist::Writer& w) const {
+  w.U64(block_capacity_);
+  w.U64(size_);
+  w.Bool(root_ != nullptr);
+  if (root_ != nullptr) SaveNode(*root_, w);
+  return true;
+}
+
+bool KdbTree::LoadState(persist::Reader& r) {
+  block_capacity_ = r.U64();
+  size_ = r.U64();
+  if (block_capacity_ < 2) return r.Fail();
+  const bool has_root = r.Bool();
+  if (!r.ok()) return false;
+  root_.reset();
+  if (has_root) {
+    root_ = LoadNode(r, 0);
+    if (root_ == nullptr) return false;
+  }
+  return r.ok();
 }
 
 }  // namespace elsi

@@ -30,6 +30,9 @@ class KdbTree : public SpatialIndex {
   /// Height of the tree (1 for a single leaf). Exposed for tests.
   int Height() const;
 
+  bool SaveState(persist::Writer& w) const override;
+  bool LoadState(persist::Reader& r) override;
+
  private:
   struct Node {
     // Internal state: axis 0 splits on x, 1 on y; left holds <= split.
@@ -44,6 +47,8 @@ class KdbTree : public SpatialIndex {
   std::unique_ptr<Node> BuildRecursive(std::vector<Point>& pts, size_t begin,
                                        size_t end, int depth);
   void SplitLeaf(Node* node, int depth);
+  void SaveNode(const Node& node, persist::Writer& w) const;
+  std::unique_ptr<Node> LoadNode(persist::Reader& r, int depth) const;
 
   size_t block_capacity_;
   size_t size_ = 0;

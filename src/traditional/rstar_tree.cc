@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "persist/io.h"
 
 namespace elsi {
 namespace {
@@ -317,6 +318,31 @@ std::vector<Point> RStarTree::WindowQuery(const Rect& w) const {
 
 std::vector<Point> RStarTree::KnnQuery(const Point& q, size_t k) const {
   return RTreeKnnQuery(root_.get(), q, k);
+}
+
+bool RStarTree::SaveState(persist::Writer& w) const {
+  w.U64(max_entries_);
+  w.U64(size_);
+  w.Bool(root_ != nullptr);
+  if (root_ != nullptr) RTreeSaveNode(*root_, w);
+  return true;
+}
+
+bool RStarTree::LoadState(persist::Reader& r) {
+  max_entries_ = r.U64();
+  size_ = r.U64();
+  if (max_entries_ < 4) return r.Fail();
+  min_entries_ = std::max<size_t>(2, max_entries_ * 2 / 5);
+  const bool has_root = r.Bool();
+  if (!r.ok()) return false;
+  root_.reset();
+  if (has_root) {
+    root_ = RTreeLoadNode(r);
+    if (root_ == nullptr) return false;
+  } else {
+    root_ = std::make_unique<RTreeNode>();
+  }
+  return r.ok();
 }
 
 }  // namespace elsi

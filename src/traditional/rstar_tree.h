@@ -34,6 +34,9 @@ class RStarTree : public SpatialIndex {
   const RTreeNode* root() const { return root_.get(); }
   size_t max_entries() const { return max_entries_; }
 
+  bool SaveState(persist::Writer& w) const override;
+  bool LoadState(persist::Reader& r) override;
+
  private:
   // Inserts `p` at the leaf level; `reinsert_done` tracks whether forced
   // reinsertion already ran for the ongoing insertion. Returns the new

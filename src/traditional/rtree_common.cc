@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "common/logging.h"
+#include "persist/io.h"
 
 namespace elsi {
 
@@ -189,6 +190,45 @@ std::unique_ptr<RTreeNode> RTreePackLoad(const std::vector<Point>& points,
     level = std::move(next);
   }
   return std::move(level.front());
+}
+
+void RTreeSaveNode(const RTreeNode& node, persist::Writer& w) {
+  w.Bool(node.is_leaf);
+  if (node.is_leaf) {
+    persist::PutPoints(w, node.points);
+    return;
+  }
+  w.U32(static_cast<uint32_t>(node.children.size()));
+  for (const auto& c : node.children) RTreeSaveNode(*c, w);
+}
+
+std::unique_ptr<RTreeNode> RTreeLoadNode(persist::Reader& r, int depth) {
+  // R-tree heights are logarithmic in n; 64 levels is far beyond any real
+  // tree and bounds recursion on corrupt input.
+  if (depth > 64) {
+    r.Fail();
+    return nullptr;
+  }
+  auto node = std::make_unique<RTreeNode>();
+  node->is_leaf = r.Bool();
+  if (node->is_leaf) {
+    if (!persist::GetPoints(r, &node->points)) return nullptr;
+    node->RecomputeMbr();
+    return std::move(node);
+  }
+  const uint32_t nchildren = r.U32();
+  if (nchildren == 0 || nchildren > r.remaining()) {
+    r.Fail();
+    return nullptr;
+  }
+  node->children.reserve(nchildren);
+  for (uint32_t i = 0; i < nchildren; ++i) {
+    std::unique_ptr<RTreeNode> child = RTreeLoadNode(r, depth + 1);
+    if (child == nullptr) return nullptr;
+    node->children.push_back(std::move(child));
+  }
+  node->RecomputeMbr();
+  return std::move(node);
 }
 
 }  // namespace elsi

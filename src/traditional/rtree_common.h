@@ -9,6 +9,11 @@
 
 namespace elsi {
 
+namespace persist {
+class Writer;
+class Reader;
+}  // namespace persist
+
 /// Shared R-tree node used by both R-tree competitors: RR* (insertion-built,
 /// R*-style) and HRR (Hilbert rank-space bulk-loaded). A leaf stores points;
 /// an internal node stores children. `mbr` always covers the contents.
@@ -51,6 +56,14 @@ bool RTreeCheckInvariants(const RTreeNode* node, size_t max_entries);
 /// consecutive children. Used by HRR after Hilbert ordering.
 std::unique_ptr<RTreeNode> RTreePackLoad(const std::vector<Point>& points,
                                          size_t max_entries);
+
+/// Serializes the subtree under `node` (structure + points; MBRs are
+/// recomputed on load) into `w`.
+void RTreeSaveNode(const RTreeNode& node, persist::Writer& w);
+
+/// Restores a subtree written by RTreeSaveNode. Returns nullptr on
+/// malformed input (and latches `r`'s failure state).
+std::unique_ptr<RTreeNode> RTreeLoadNode(persist::Reader& r, int depth = 0);
 
 }  // namespace elsi
 

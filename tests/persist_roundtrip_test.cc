@@ -1,0 +1,201 @@
+// Save -> load round-trip property test: every index kind (traditional and
+// learned) is built, mutated, snapshotted, and restored; the restored index
+// must answer point/window/kNN queries bit-identically to the original —
+// serially and through the batched path at multiple thread counts.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/spatial_index.h"
+#include "common/thread_pool.h"
+#include "core/elsi.h"
+#include "data/synthetic.h"
+#include "data/workload.h"
+#include "persist/snapshot.h"
+#include "traditional/grid_index.h"
+#include "traditional/hrr_tree.h"
+#include "traditional/kdb_tree.h"
+#include "traditional/rstar_tree.h"
+
+namespace elsi {
+namespace {
+
+RankModelConfig FastModel() {
+  RankModelConfig cfg;
+  cfg.hidden = {8};
+  cfg.epochs = 50;
+  cfg.learning_rate = 0.03;
+  return cfg;
+}
+
+std::unique_ptr<SpatialIndex> MakeAnyIndex(const std::string& name) {
+  if (name == "Grid") return std::make_unique<GridIndex>(16);
+  if (name == "KDB") return std::make_unique<KdbTree>(16);
+  if (name == "HRR") return std::make_unique<HrrTree>(16);
+  if (name == "RR*") return std::make_unique<RStarTree>(16);
+  auto trainer = std::make_shared<DirectTrainer>(FastModel());
+  BaseIndexScale scale;
+  scale.leaf_target = 400;
+  for (BaseIndexKind kind : kAllBaseIndexKinds) {
+    if (BaseIndexKindName(kind) == name) {
+      return MakeBaseIndex(kind, trainer, scale);
+    }
+  }
+  ADD_FAILURE() << "unknown index " << name;
+  return nullptr;
+}
+
+std::vector<Point> SortById(std::vector<Point> pts) {
+  std::sort(pts.begin(), pts.end(), [](const Point& a, const Point& b) {
+    return a.id < b.id;
+  });
+  return pts;
+}
+
+void ExpectSamePoints(const std::vector<Point>& a, const std::vector<Point>& b,
+                      const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id) << what << " [" << i << "]";
+    EXPECT_EQ(a[i].x, b[i].x) << what << " [" << i << "]";
+    EXPECT_EQ(a[i].y, b[i].y) << what << " [" << i << "]";
+  }
+}
+
+/// Every query kind, serial and batched at the given pool width, must give
+/// the exact same answers on both indices.
+void ExpectQueriesIdentical(const SpatialIndex& original,
+                            const SpatialIndex& restored, uint64_t seed,
+                            ThreadPool* pool) {
+  const Dataset contents = original.CollectAll();
+  const auto probes = SamplePointQueries(contents, 64, seed + 1);
+  const auto windows = SampleWindowQueries(contents, 24, 0.01, seed + 2);
+  const auto knn_probes = SampleKnnQueries(contents, 16, seed + 3);
+  BatchQueryOptions opts;
+  opts.pool = pool;
+  opts.chunk = 16;
+
+  for (const Point& q : probes) {
+    Point got_a, got_b;
+    const bool hit_a = original.PointQuery(q, &got_a);
+    const bool hit_b = restored.PointQuery(q, &got_b);
+    EXPECT_EQ(hit_a, hit_b);
+    if (hit_a && hit_b) EXPECT_EQ(got_a.id, got_b.id);
+  }
+  {
+    std::vector<uint8_t> hit_a(probes.size()), hit_b(probes.size());
+    std::vector<Point> out_a(probes.size()), out_b(probes.size());
+    original.PointQueryBatch(probes, hit_a, out_a, opts);
+    restored.PointQueryBatch(probes, hit_b, out_b, opts);
+    EXPECT_EQ(hit_a, hit_b);
+  }
+
+  for (const Rect& w : windows) {
+    ExpectSamePoints(SortById(original.WindowQuery(w)),
+                     SortById(restored.WindowQuery(w)), "window");
+  }
+  {
+    std::vector<std::vector<Point>> res_a(windows.size()),
+        res_b(windows.size());
+    original.WindowQueryBatch(windows, res_a, opts);
+    restored.WindowQueryBatch(windows, res_b, opts);
+    for (size_t i = 0; i < windows.size(); ++i) {
+      ExpectSamePoints(res_a[i], res_b[i], "window batch");
+    }
+  }
+
+  for (const Point& q : knn_probes) {
+    ExpectSamePoints(original.KnnQuery(q, 8), restored.KnnQuery(q, 8), "knn");
+  }
+  {
+    std::vector<std::vector<Point>> res_a(knn_probes.size()),
+        res_b(knn_probes.size());
+    original.KnnQueryBatch(knn_probes, 8, res_a, opts);
+    restored.KnnQueryBatch(knn_probes, 8, res_b, opts);
+    for (size_t i = 0; i < knn_probes.size(); ++i) {
+      ExpectSamePoints(res_a[i], res_b[i], "knn batch");
+    }
+  }
+}
+
+class RoundTripTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RoundTripTest, SaveLoadPreservesEveryQueryAnswer) {
+  const std::string name = GetParam();
+  const uint64_t seed = 1234;
+  const Dataset initial = GenerateDataset(DatasetKind::kOsm1, 600, seed);
+  auto index = MakeAnyIndex(name);
+  ASSERT_NE(index, nullptr);
+  index->Build(initial);
+
+  // Mutate past the build so delta/overflow state is exercised too.
+  Rng rng(seed + 7);
+  uint64_t next_id = 50000;
+  for (int i = 0; i < 120; ++i) {
+    index->Insert({rng.NextDouble(), rng.NextDouble(), next_id++});
+    if (i % 3 == 0) index->Remove(initial[rng.NextBelow(initial.size())]);
+  }
+
+  const std::string path =
+      ::testing::TempDir() + "roundtrip_" + std::to_string(::getpid()) + "_" +
+      name + ".snap";
+  // "RR*" is not filesystem-safe; SnapshotPath never embeds the kind, only
+  // this test does, so sanitize.
+  std::string safe_path = path;
+  for (char& c : safe_path) {
+    if (c == '*') c = '_';
+  }
+  ASSERT_TRUE(persist::Snapshot::Save(*index, safe_path));
+
+  persist::SnapshotMeta meta;
+  auto restored = persist::Snapshot::Load(safe_path, {}, &meta);
+  ASSERT_NE(restored, nullptr) << name;
+  EXPECT_EQ(meta.kind, name);
+  EXPECT_EQ(restored->Name(), name);
+  EXPECT_EQ(restored->size(), index->size());
+  ExpectSamePoints(SortById(restored->CollectAll()),
+                   SortById(index->CollectAll()), "contents");
+
+  ExpectQueriesIdentical(*index, *restored, seed, nullptr);
+  ThreadPool pool1(1);
+  ExpectQueriesIdentical(*index, *restored, seed, &pool1);
+  ThreadPool pool4(4);
+  ExpectQueriesIdentical(*index, *restored, seed, &pool4);
+
+  // The restored index must keep working as a live index: more updates and
+  // a second round trip.
+  for (int i = 0; i < 40; ++i) {
+    const Point p{rng.NextDouble(), rng.NextDouble(), next_id++};
+    index->Insert(p);
+    restored->Insert(p);
+  }
+  EXPECT_EQ(restored->size(), index->size());
+  ASSERT_TRUE(persist::Snapshot::Save(*restored, safe_path));
+  auto restored2 = persist::Snapshot::Load(safe_path);
+  ASSERT_NE(restored2, nullptr);
+  EXPECT_EQ(restored2->size(), restored->size());
+
+  std::remove(safe_path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIndexKinds, RoundTripTest,
+                         ::testing::Values("Grid", "KDB", "HRR", "RR*", "ZM",
+                                           "ML", "RSMI", "LISA"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (c == '*') c = 'S';
+                           }
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace elsi

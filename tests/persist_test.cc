@@ -1,0 +1,593 @@
+// Persistence subsystem tests: binary io primitives, snapshot
+// corruption-injection (truncation sweep, bit flips), WAL torn-tail
+// handling, crash recovery via OpenOrRecover, and the model-cache CSV
+// migration. The *Concurrent* test exercises the rebuild-swap under
+// concurrent readers (run under TSan by CI).
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/elsi.h"
+#include "core/rebuild_predictor.h"
+#include "data/synthetic.h"
+#include "data/workload.h"
+#include "persist/elsi.h"
+#include "persist/io.h"
+#include "persist/model_cache.h"
+#include "persist/snapshot.h"
+#include "persist/wal.h"
+
+namespace elsi {
+namespace persist {
+namespace {
+
+std::string TempDir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "elsi_persist_" + tag + "_" +
+                          std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+RankModelConfig FastModel() {
+  RankModelConfig cfg;
+  cfg.hidden = {8};
+  cfg.epochs = 50;
+  cfg.learning_rate = 0.03;
+  return cfg;
+}
+
+std::unique_ptr<SpatialIndex> BuildZm(const Dataset& data) {
+  BaseIndexScale scale;
+  scale.leaf_target = 400;
+  auto index = MakeBaseIndex(
+      BaseIndexKind::kZM, std::make_shared<DirectTrainer>(FastModel()), scale);
+  index->Build(data);
+  return index;
+}
+
+// --- io primitives --------------------------------------------------------
+
+TEST(IoTest, Crc32MatchesReferenceVector) {
+  // The canonical CRC-32/IEEE check value.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+}
+
+TEST(IoTest, WriterReaderRoundTripAllTypes) {
+  Writer w;
+  w.U8(0xAB);
+  w.U32(0xDEADBEEF);
+  w.U64(0x0123456789ABCDEFull);
+  w.I32(-12345);
+  w.I64(-9876543210ll);
+  w.F64(3.14159);
+  w.Bool(true);
+  w.Str("hello");
+  w.F64Vec({1.0, -2.5, 1e300});
+  w.U64Vec({7, 8, 9});
+  PutPoint(w, {0.25, 0.75, 42});
+  PutRect(w, {0.1, 0.2, 0.3, 0.4});
+
+  Reader r(w.buffer());
+  EXPECT_EQ(r.U8(), 0xAB);
+  EXPECT_EQ(r.U32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.U64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.I32(), -12345);
+  EXPECT_EQ(r.I64(), -9876543210ll);
+  EXPECT_EQ(r.F64(), 3.14159);
+  EXPECT_TRUE(r.Bool());
+  EXPECT_EQ(r.Str(), "hello");
+  std::vector<double> dv;
+  EXPECT_TRUE(r.F64Vec(&dv));
+  EXPECT_EQ(dv, (std::vector<double>{1.0, -2.5, 1e300}));
+  std::vector<uint64_t> uv;
+  EXPECT_TRUE(r.U64Vec(&uv));
+  EXPECT_EQ(uv, (std::vector<uint64_t>{7, 8, 9}));
+  const Point p = GetPoint(r);
+  EXPECT_EQ(p.id, 42u);
+  const Rect rect = GetRect(r);
+  EXPECT_EQ(rect.hi_y, 0.4);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(IoTest, ReaderLatchesFailureOnUnderflow) {
+  Writer w;
+  w.U32(7);
+  Reader r(w.buffer());
+  EXPECT_EQ(r.U64(), 0u);  // 4 bytes short.
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.U32(), 0u);  // Still failed, even though 4 bytes exist.
+}
+
+TEST(IoTest, VectorReadsRejectOverlargeCounts) {
+  Writer w;
+  w.U64(1ull << 60);  // Claims 2^60 doubles.
+  Reader r(w.buffer());
+  std::vector<double> out;
+  EXPECT_FALSE(r.F64Vec(&out));
+  EXPECT_TRUE(out.empty());  // No allocation happened.
+}
+
+// --- snapshot format ------------------------------------------------------
+
+TEST(SnapshotTest, SaveLoadRoundTrip) {
+  const std::string dir = TempDir("snap");
+  const Dataset data = GenerateDataset(DatasetKind::kOsm1, 500, 7);
+  auto index = BuildZm(data);
+  const std::string path = SnapshotPath(dir, 1);
+  ASSERT_TRUE(Snapshot::Save(*index, path, /*last_lsn=*/123));
+
+  SnapshotMeta meta;
+  EXPECT_TRUE(Snapshot::Validate(path, &meta));
+  EXPECT_EQ(meta.kind, "ZM");
+  EXPECT_EQ(meta.count, 500u);
+  EXPECT_EQ(meta.last_lsn, 123u);
+
+  auto restored = Snapshot::Load(path, {}, &meta);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->size(), 500u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SnapshotTest, TruncationSweepNeverLoads) {
+  const std::string dir = TempDir("trunc");
+  const Dataset data = GenerateDataset(DatasetKind::kUniform, 300, 11);
+  auto index = BuildZm(data);
+  const std::string path = SnapshotPath(dir, 1);
+  ASSERT_TRUE(Snapshot::Save(*index, path));
+  std::string full;
+  ASSERT_TRUE(ReadFile(path, &full));
+
+  // Every proper prefix must be rejected — sample offsets densely at the
+  // front (headers) and sparsely through the body.
+  std::vector<size_t> cuts;
+  for (size_t i = 0; i < std::min<size_t>(64, full.size()); ++i) {
+    cuts.push_back(i);
+  }
+  for (size_t i = 64; i < full.size(); i += full.size() / 97 + 1) {
+    cuts.push_back(i);
+  }
+  const std::string cut_path = dir + "/cut.snap";
+  for (const size_t cut : cuts) {
+    std::ofstream out(cut_path, std::ios::binary | std::ios::trunc);
+    out.write(full.data(), static_cast<std::streamsize>(cut));
+    out.close();
+    EXPECT_FALSE(Snapshot::Validate(cut_path)) << "cut at " << cut;
+    EXPECT_EQ(Snapshot::Load(cut_path), nullptr) << "cut at " << cut;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SnapshotTest, BitFlipSweepNeverLoadsSilently) {
+  const std::string dir = TempDir("flip");
+  const Dataset data = GenerateDataset(DatasetKind::kSkewed, 300, 13);
+  auto index = BuildZm(data);
+  const std::string path = SnapshotPath(dir, 1);
+  ASSERT_TRUE(Snapshot::Save(*index, path));
+  std::string full;
+  ASSERT_TRUE(ReadFile(path, &full));
+  const Dataset expect_contents = index->CollectAll();
+
+  const std::string flip_path = dir + "/flip.snap";
+  for (size_t i = 0; i < full.size(); i += full.size() / 149 + 1) {
+    std::string corrupt = full;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x40);
+    std::ofstream out(flip_path, std::ios::binary | std::ios::trunc);
+    out.write(corrupt.data(), static_cast<std::streamsize>(corrupt.size()));
+    out.close();
+    // A flipped byte must either fail the load (expected: every payload
+    // byte is CRC-covered) — it must never produce a *different* index.
+    auto loaded = Snapshot::Load(flip_path);
+    EXPECT_EQ(loaded, nullptr) << "flip at " << i;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SnapshotTest, ListSnapshotsOrdersAndIgnoresForeignFiles) {
+  const std::string dir = TempDir("list");
+  const Dataset data = GenerateDataset(DatasetKind::kUniform, 100, 3);
+  auto index = BuildZm(data);
+  ASSERT_TRUE(Snapshot::Save(*index, SnapshotPath(dir, 12)));
+  ASSERT_TRUE(Snapshot::Save(*index, SnapshotPath(dir, 3)));
+  std::ofstream(dir + "/snapshot-junk.snap") << "x";
+  std::ofstream(dir + "/other.txt") << "x";
+  const auto found = ListSnapshots(dir);
+  ASSERT_EQ(found.size(), 2u);
+  EXPECT_EQ(found[0].first, 3u);
+  EXPECT_EQ(found[1].first, 12u);
+  std::filesystem::remove_all(dir);
+}
+
+// --- WAL ------------------------------------------------------------------
+
+TEST(WalTest, AppendReopenReplay) {
+  const std::string dir = TempDir("wal");
+  WalWriterOptions opts;
+  opts.fsync_every = 4;
+  {
+    WalWriter wal;
+    ASSERT_TRUE(wal.Open(dir, 1, opts));
+    for (uint64_t i = 0; i < 10; ++i) {
+      const uint64_t lsn = wal.Append(
+          kWalOpInsert, {0.1 * static_cast<double>(i), 0.5, 100 + i});
+      EXPECT_EQ(lsn, i + 1);
+    }
+  }
+  std::vector<WalRecord> seen;
+  WalReplayStats stats;
+  ASSERT_TRUE(WalReplay(
+      dir, 0, [&seen](const WalRecord& r) { seen.push_back(r); }, &stats));
+  ASSERT_EQ(seen.size(), 10u);
+  EXPECT_EQ(stats.applied, 10u);
+  EXPECT_EQ(stats.last_lsn, 10u);
+  EXPECT_FALSE(stats.torn_tail);
+  EXPECT_EQ(seen[3].p.id, 103u);
+
+  // Replay floor skips what the snapshot already covers.
+  seen.clear();
+  ASSERT_TRUE(WalReplay(
+      dir, 7, [&seen](const WalRecord& r) { seen.push_back(r); }, &stats));
+  EXPECT_EQ(seen.size(), 3u);
+  EXPECT_EQ(stats.skipped, 7u);
+
+  // Reopen continues the LSN sequence after what is on disk.
+  {
+    WalWriter wal;
+    ASSERT_TRUE(wal.Open(dir, stats.last_lsn + 1, opts));
+    EXPECT_EQ(wal.Append(kWalOpDelete, {0.5, 0.5, 999}), 11u);
+  }
+  seen.clear();
+  ASSERT_TRUE(WalReplay(
+      dir, 0, [&seen](const WalRecord& r) { seen.push_back(r); }, &stats));
+  EXPECT_EQ(seen.size(), 11u);
+  EXPECT_EQ(seen.back().op, kWalOpDelete);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WalTest, RotationSplitsSegmentsAndTruncateThroughPrunes) {
+  const std::string dir = TempDir("rot");
+  WalWriterOptions opts;
+  opts.fsync_every = 0;
+  opts.segment_bytes = 256;  // A few records per segment.
+  WalWriter wal;
+  ASSERT_TRUE(wal.Open(dir, 1, opts));
+  for (uint64_t i = 0; i < 50; ++i) {
+    wal.Append(kWalOpInsert, {0.5, 0.5, i});
+  }
+  const auto segments = ListWalSegments(dir);
+  ASSERT_GT(segments.size(), 2u);
+
+  WalReplayStats stats;
+  ASSERT_TRUE(WalReplay(dir, 0, [](const WalRecord&) {}, &stats));
+  EXPECT_EQ(stats.applied, 50u);
+
+  // Trimming through LSN 25 must drop the fully covered leading segments
+  // but keep every record past 25 replayable.
+  wal.TruncateThrough(25);
+  EXPECT_LT(ListWalSegments(dir).size(), segments.size());
+  std::vector<uint64_t> lsns;
+  ASSERT_TRUE(WalReplay(
+      dir, 25, [&lsns](const WalRecord& r) { lsns.push_back(r.lsn); },
+      &stats));
+  ASSERT_FALSE(lsns.empty());
+  EXPECT_EQ(lsns.front(), 26u);
+  EXPECT_EQ(lsns.back(), 50u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WalTest, TornTailIsDetectedReplayedAndHealedOnReopen) {
+  const std::string dir = TempDir("torn");
+  WalWriterOptions opts;
+  opts.fsync_every = 0;
+  {
+    WalWriter wal;
+    ASSERT_TRUE(wal.Open(dir, 1, opts));
+    for (uint64_t i = 0; i < 8; ++i) {
+      wal.Append(kWalOpInsert, {0.5, 0.5, i});
+    }
+  }
+  // Simulate a crash mid-append: cut the last record in half.
+  const auto segments = ListWalSegments(dir);
+  ASSERT_EQ(segments.size(), 1u);
+  const auto size = std::filesystem::file_size(segments[0].second);
+  std::filesystem::resize_file(segments[0].second, size - 17);
+
+  WalReplayStats stats;
+  std::vector<WalRecord> seen;
+  ASSERT_TRUE(WalReplay(
+      dir, 0, [&seen](const WalRecord& r) { seen.push_back(r); }, &stats));
+  EXPECT_EQ(stats.applied, 7u);  // The torn 8th record is dropped.
+  EXPECT_TRUE(stats.torn_tail);
+  EXPECT_EQ(stats.last_lsn, 7u);
+
+  // Reopen truncates the torn bytes and appends cleanly after them.
+  {
+    WalWriter wal;
+    ASSERT_TRUE(wal.Open(dir, stats.last_lsn + 1, opts));
+    wal.Append(kWalOpInsert, {0.25, 0.25, 777});
+  }
+  seen.clear();
+  ASSERT_TRUE(WalReplay(
+      dir, 0, [&seen](const WalRecord& r) { seen.push_back(r); }, &stats));
+  ASSERT_EQ(seen.size(), 8u);
+  EXPECT_FALSE(stats.torn_tail);
+  EXPECT_EQ(seen.back().p.id, 777u);
+  EXPECT_EQ(seen.back().lsn, 8u);
+  std::filesystem::remove_all(dir);
+}
+
+// --- crash recovery -------------------------------------------------------
+
+TEST(DurableElsiTest, OpenBuildReopenRecoversExactContents) {
+  const std::string dir = TempDir("recover");
+  const Dataset data = GenerateDataset(DatasetKind::kOsm1, 400, 17);
+  DurableElsiOptions opts;
+  opts.kind = "ZM";
+  opts.trainer = std::make_shared<DirectTrainer>(FastModel());
+  opts.wal.fsync_every = 1;
+
+  std::vector<Point> probes;
+  size_t size_before = 0;
+  {
+    auto durable = DurableElsi::OpenOrRecover(dir, opts);
+    ASSERT_NE(durable, nullptr);
+    EXPECT_EQ(durable->size(), 0u);
+    durable->Build(data);
+    // Updates past the checkpoint live only in the WAL.
+    Rng rng(99);
+    for (uint64_t i = 0; i < 150; ++i) {
+      durable->Insert({rng.NextDouble(), rng.NextDouble(), 90000 + i});
+    }
+    for (size_t i = 0; i < 40; ++i) {
+      ASSERT_TRUE(durable->Remove(data[i * 7]));
+    }
+    size_before = durable->size();
+    probes = SamplePointQueries(data, 50, 5);
+    probes.push_back({0.0, 0.0, 1});  // A removed/absent probe too.
+  }  // Destructor = clean process exit; no checkpoint of the tail.
+
+  RecoveryStats stats;
+  auto recovered = DurableElsi::OpenOrRecover(dir, opts, &stats);
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_TRUE(stats.snapshot_loaded);
+  EXPECT_EQ(stats.wal.applied, 150u + 40u);
+  EXPECT_EQ(recovered->size(), size_before);
+
+  // Bit-identical answers: the recovered index must agree with a fresh
+  // instance opened from the same directory on every probe.
+  auto recovered2 = DurableElsi::OpenOrRecover(dir, opts);
+  ASSERT_NE(recovered2, nullptr);
+  for (const Point& q : probes) {
+    Point a, b;
+    const bool ha = recovered->PointQuery(q, &a);
+    const bool hb = recovered2->PointQuery(q, &b);
+    EXPECT_EQ(ha, hb);
+    if (ha && hb) EXPECT_EQ(a.id, b.id);
+  }
+  const Rect window{0.2, 0.2, 0.6, 0.6};
+  const auto wa = recovered->WindowQuery(window);
+  const auto wb = recovered2->WindowQuery(window);
+  EXPECT_EQ(wa.size(), wb.size());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DurableElsiTest, CorruptNewestSnapshotFallsBackToOlderGeneration) {
+  const std::string dir = TempDir("fallback");
+  const Dataset data = GenerateDataset(DatasetKind::kUniform, 300, 23);
+  DurableElsiOptions opts;
+  opts.kind = "ZM";
+  opts.trainer = std::make_shared<DirectTrainer>(FastModel());
+  opts.keep_snapshots = 4;
+  size_t size_before = 0;
+  uint64_t good_seq = 0;
+  {
+    auto durable = DurableElsi::OpenOrRecover(dir, opts);
+    ASSERT_NE(durable, nullptr);
+    durable->Build(data);
+    durable->Insert({0.5, 0.5, 70001});
+    ASSERT_TRUE(durable->Checkpoint());
+    size_before = durable->size();
+    good_seq = durable->last_snapshot_seq();
+  }
+  // Simulate a crash mid-snapshot-write that somehow left a garbage file at
+  // the next sequence (e.g. torn by a power cut after rename on a broken
+  // filesystem): recovery must discard it and use the older generation.
+  std::ofstream(SnapshotPath(dir, good_seq + 1), std::ios::binary)
+      << "not a snapshot";
+
+  RecoveryStats stats;
+  auto recovered = DurableElsi::OpenOrRecover(dir, opts, &stats);
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_TRUE(stats.snapshot_loaded);
+  EXPECT_EQ(stats.snapshot_seq, good_seq);
+  EXPECT_EQ(stats.snapshots_discarded, 1u);
+  EXPECT_EQ(recovered->size(), size_before);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DurableElsiTest, RecoveryWithNoSnapshotReplaysWholeWal) {
+  const std::string dir = TempDir("walonly");
+  DurableElsiOptions opts;
+  opts.kind = "Grid";
+  {
+    auto durable = DurableElsi::OpenOrRecover(dir, opts);
+    ASSERT_NE(durable, nullptr);
+    for (uint64_t i = 0; i < 50; ++i) {
+      durable->Insert({0.01 * static_cast<double>(i), 0.5, i});
+    }
+  }
+  // Delete every snapshot, keeping only the WAL.
+  for (const auto& [seq, path] : ListSnapshots(dir)) {
+    std::filesystem::remove(path);
+  }
+  RecoveryStats stats;
+  auto recovered = DurableElsi::OpenOrRecover(dir, opts, &stats);
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_FALSE(stats.snapshot_loaded);
+  EXPECT_EQ(stats.wal.applied, 50u);
+  EXPECT_EQ(recovered->size(), 50u);
+  EXPECT_EQ(recovered->kind(), "Grid");
+  std::filesystem::remove_all(dir);
+}
+
+/// An always-fire predictor so the rebuild-swap path triggers quickly.
+RebuildPredictor MakeEagerPredictor() {
+  std::vector<RebuildSample> samples;
+  for (double ratio = 0.0; ratio <= 1.0; ratio += 0.1) {
+    for (double sim = 0.0; sim <= 1.0; sim += 0.1) {
+      RebuildSample s;
+      s.features.log10_n = 2.5;
+      s.features.update_ratio = ratio;
+      s.features.cdf_similarity = sim;
+      s.features.dissimilarity = 1.0 - sim;
+      s.features.depth = 2.0;
+      s.label = 1.0;
+      samples.push_back(s);
+    }
+  }
+  RebuildPredictor predictor;
+  RebuildPredictorTrainOptions train;
+  train.epochs = 200;
+  predictor.Train(samples, train);
+  return predictor;
+}
+
+TEST(DurableElsiTest, ConcurrentQueriesDuringRebuildSwap) {
+  const std::string dir = TempDir("swap");
+  const Dataset data = GenerateDataset(DatasetKind::kOsm1, 400, 31);
+  const RebuildPredictor predictor = MakeEagerPredictor();
+  ASSERT_TRUE(predictor.trained());
+
+  DurableElsiOptions opts;
+  opts.kind = "ZM";
+  opts.trainer = std::make_shared<DirectTrainer>(FastModel());
+  opts.predictor = &predictor;
+  opts.update.f_u = 64;
+  opts.update.min_update_ratio = 0.01;
+  opts.wal.fsync_every = 0;  // Keep the test I/O-light.
+  auto durable = DurableElsi::OpenOrRecover(dir, opts);
+  ASSERT_NE(durable, nullptr);
+  durable->Build(data);
+
+  // Readers hammer queries while the writer drives enough updates to
+  // trigger at least one rebuild-swap.
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> queries_run{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&durable, &stop, &queries_run, &data, t] {
+      Rng rng(1000 + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const Point& q = data[rng.NextBelow(data.size())];
+        durable->PointQuery(q);
+        durable->WindowQuery({q.x - 0.01, q.y - 0.01, q.x + 0.01, q.y + 0.01});
+        queries_run.fetch_add(1, std::memory_order_relaxed);
+        // Brief pause so spin-reading never starves the writer's exclusive
+        // lock (pthread rwlocks prefer readers).
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    });
+  }
+  Rng rng(77);
+  for (uint64_t i = 0; i < 200; ++i) {
+    durable->Insert({rng.NextDouble(), rng.NextDouble(), 40000 + i});
+  }
+  stop.store(true);
+  for (auto& th : readers) th.join();
+
+  EXPECT_GT(queries_run.load(), 0u);
+  EXPECT_GE(durable->rebuild_count(), 1u);
+  EXPECT_EQ(durable->size(), data.size() + 200);
+  // The swap checkpointed: a reopen starts from the rebuilt snapshot.
+  RecoveryStats stats;
+  auto reopened = DurableElsi::OpenOrRecover(dir, opts, &stats);
+  ASSERT_NE(reopened, nullptr);
+  EXPECT_EQ(reopened->size(), data.size() + 200);
+  std::filesystem::remove_all(dir);
+}
+
+// --- model cache ----------------------------------------------------------
+
+TEST(ModelCacheTest, BinaryRoundTrip) {
+  const std::string dir = TempDir("cache");
+  std::vector<ScorerSample> scorer = {
+      {BuildMethodId::kRS, 3.5, 0.25, 0.8, 1.1},
+      {BuildMethodId::kOG, 3.5, 0.25, 1.0, 1.0},
+  };
+  ASSERT_TRUE(SaveScorerSamples(dir, scorer));
+  std::vector<ScorerSample> loaded;
+  ASSERT_TRUE(LoadScorerSamples(dir, &loaded));
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].method, BuildMethodId::kRS);
+  EXPECT_EQ(loaded[0].query_cost, 1.1);
+
+  std::vector<RebuildSample> rebuild(3);
+  rebuild[1].features.update_ratio = 0.5;
+  rebuild[1].label = 1.0;
+  ASSERT_TRUE(SaveRebuildSamples(dir, rebuild));
+  std::vector<RebuildSample> rloaded;
+  ASSERT_TRUE(LoadRebuildSamples(dir, &rloaded));
+  ASSERT_EQ(rloaded.size(), 3u);
+  EXPECT_EQ(rloaded[1].features.update_ratio, 0.5);
+  EXPECT_EQ(rloaded[1].label, 1.0);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ModelCacheTest, LegacyCsvImportsOnceAndConverts) {
+  const std::string dir = TempDir("csv");
+  std::ofstream(dir + "/elsi_scorer_cache.csv")
+      << "3,3.2,0.4,0.9,1.2\n0,3.2,0.4,1,1\n";
+  std::vector<ScorerSample> samples;
+  ASSERT_TRUE(LoadScorerSamples(dir, &samples));
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].method, static_cast<BuildMethodId>(3));
+  EXPECT_EQ(samples[0].dissimilarity, 0.4);
+  // The import wrote the binary cache; loading again uses it even after
+  // the CSV disappears.
+  EXPECT_TRUE(std::filesystem::exists(ScorerCachePath(dir)));
+  std::filesystem::remove(dir + "/elsi_scorer_cache.csv");
+  samples.clear();
+  ASSERT_TRUE(LoadScorerSamples(dir, &samples));
+  EXPECT_EQ(samples.size(), 2u);
+
+  std::ofstream(dir + "/elsi_rebuild_cache.csv")
+      << "3.1,0.2,2,0.45,0.8,1\n";
+  std::vector<RebuildSample> rebuild;
+  ASSERT_TRUE(LoadRebuildSamples(dir, &rebuild));
+  ASSERT_EQ(rebuild.size(), 1u);
+  EXPECT_EQ(rebuild[0].features.cdf_similarity, 0.8);
+  EXPECT_EQ(rebuild[0].label, 1.0);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ModelCacheTest, CorruptBinaryCacheIsRejected) {
+  const std::string dir = TempDir("corruptcache");
+  std::vector<ScorerSample> scorer(4);
+  ASSERT_TRUE(SaveScorerSamples(dir, scorer));
+  std::string bytes;
+  ASSERT_TRUE(ReadFile(ScorerCachePath(dir), &bytes));
+  bytes[bytes.size() / 2] ^= 0x10;
+  std::ofstream(ScorerCachePath(dir), std::ios::binary | std::ios::trunc)
+      << bytes;
+  std::vector<ScorerSample> loaded;
+  EXPECT_FALSE(LoadScorerSamples(dir, &loaded));
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace persist
+}  // namespace elsi

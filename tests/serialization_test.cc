@@ -1,5 +1,9 @@
-// Serialization round-trips: FFN, method scorer, rebuild predictor.
+// Serialization round-trips: FFN, method scorer, rebuild predictor, and the
+// dataset binary format's legacy-file compatibility.
 
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -7,10 +11,48 @@
 #include "common/random.h"
 #include "core/method_scorer.h"
 #include "core/rebuild_predictor.h"
+#include "data/dataset.h"
 #include "ml/ffn.h"
+#include "persist/io.h"
 
 namespace elsi {
 namespace {
+
+// The dataset .bin format predates persist/io.h: it was written with raw
+// host-order u64/f64 memcpys. The rewritten LoadBinary must still read
+// files laid out that way (identical bytes on little-endian hosts).
+TEST(DatasetBinaryCompatTest, ReadsLegacyHostOrderLayout) {
+  const std::string path = ::testing::TempDir() + "legacy_dataset.bin";
+  const Dataset expect = {{0.25, 0.75, 42}, {-1.5, 3.25, 7}};
+  {
+    std::ofstream out(path, std::ios::binary);
+    const uint64_t n = expect.size();
+    out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    for (const Point& p : expect) {
+      out.write(reinterpret_cast<const char*>(&p.x), sizeof(p.x));
+      out.write(reinterpret_cast<const char*>(&p.y), sizeof(p.y));
+      out.write(reinterpret_cast<const char*>(&p.id), sizeof(p.id));
+    }
+  }
+  Dataset loaded;
+  ASSERT_TRUE(LoadBinary(path, &loaded));
+  ASSERT_EQ(loaded.size(), expect.size());
+  for (size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(loaded[i].x, expect[i].x);
+    EXPECT_EQ(loaded[i].y, expect[i].y);
+    EXPECT_EQ(loaded[i].id, expect[i].id);
+  }
+  // And the rewritten SaveBinary produces those exact bytes back.
+  const std::string path2 = ::testing::TempDir() + "legacy_dataset2.bin";
+  ASSERT_TRUE(SaveBinary(loaded, path2));
+  std::ifstream a(path, std::ios::binary), b(path2, std::ios::binary);
+  std::stringstream sa, sb;
+  sa << a.rdbuf();
+  sb << b.rdbuf();
+  EXPECT_EQ(sa.str(), sb.str());
+  std::remove(path.c_str());
+  std::remove(path2.c_str());
+}
 
 TEST(FfnSerializationTest, RoundTripPreservesPredictions) {
   Ffn net(3, {8, 4}, 2, 7);

@@ -9,10 +9,22 @@
 //             [--batch B] [--metrics-out F] [--trace-out F] [--prom-out F]
 //   stats     [--kind K] [--n N] [--updates U] [--queries Q] [--seed S]
 //             [--threads T] [--metrics-out F] [--trace-out F] [--prom-out F]
+//   save      --input <file.csv|file.bin> --out <file.snap>
+//             [--index <zm|ml|rsmi|lisa|grid|kdb|hrr|rstar>] [--seed S]
+//   load      --snapshot <file.snap> [--queries Q] [--seed S]
+//   recover   --dir <index-dir> [--index KIND] [--input <file>]
+//             [--insert N] [--checkpoint 0|1] [--seed S]
 //
 // `bench` builds the chosen index (through ELSI's build processor unless
 // --method og) and reports build time plus point/window/kNN query timings
 // and recall against brute force on a sample.
+//
+// `save` builds an index over the input points and writes an atomic
+// versioned snapshot; `load` restores it and spot-checks queries against
+// the restored contents. `recover` opens (or creates) a durable index
+// directory — newest valid snapshot + WAL replay — optionally bulk-loading
+// `--input` on first open, appending `--insert N` random points through the
+// WAL, and writing a checkpoint.
 //
 // `stats` runs a self-contained telemetry tour — build with a selector over
 // the whole method pool, mixed query/update workload, rebuild-predictor
@@ -41,6 +53,8 @@
 #include "obs/exporters.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "persist/elsi.h"
+#include "persist/snapshot.h"
 
 namespace elsi {
 namespace {
@@ -59,8 +73,23 @@ int Usage() {
       "                    [--metrics-out F] [--trace-out F] [--prom-out F]\n"
       "  elsi_cli stats    [--kind K] [--n N] [--updates U] [--queries Q]\n"
       "                    [--seed S] [--threads T]\n"
-      "                    [--metrics-out F] [--trace-out F] [--prom-out F]\n");
+      "                    [--metrics-out F] [--trace-out F] [--prom-out F]\n"
+      "  elsi_cli save     --input <file.csv|file.bin> --out <file.snap>\n"
+      "                    [--index <zm|ml|rsmi|lisa|grid|kdb|hrr|rstar>]\n"
+      "                    [--seed S]\n"
+      "  elsi_cli load     --snapshot <file.snap> [--queries Q] [--seed S]\n"
+      "  elsi_cli recover  --dir <index-dir> [--index KIND] [--input <file>]\n"
+      "                    [--insert N] [--checkpoint 0|1] [--seed S]\n");
   return 2;
+}
+
+/// CLI spelling -> SpatialIndex::Name() for the persist layer.
+std::string PersistKindName(const std::string& cli_name) {
+  const std::map<std::string, std::string> kinds = {
+      {"zm", "ZM"},     {"ml", "ML"},   {"rsmi", "RSMI"}, {"lisa", "LISA"},
+      {"grid", "Grid"}, {"kdb", "KDB"}, {"hrr", "HRR"},   {"rstar", "RR*"}};
+  const auto it = kinds.find(cli_name);
+  return it == kinds.end() ? std::string() : it->second;
 }
 
 std::map<std::string, std::string> ParseFlags(int argc, char** argv,
@@ -444,6 +473,148 @@ int RunStats(const std::map<std::string, std::string>& flags) {
   return WriteObsOutputs(flags) ? 0 : 1;
 }
 
+bool LoadPointsFile(const std::string& input, Dataset* data) {
+  const bool loaded = EndsWith(input, ".bin") ? LoadBinary(input, data)
+                                              : LoadCsv(input, data);
+  return loaded && !data->empty();
+}
+
+int RunSave(const std::map<std::string, std::string>& flags) {
+  const std::string input = FlagOr(flags, "input", "");
+  const std::string out = FlagOr(flags, "out", "");
+  const std::string kind = PersistKindName(FlagOr(flags, "index", "zm"));
+  if (input.empty() || out.empty()) return Usage();
+  if (kind.empty()) {
+    std::fprintf(stderr, "unknown index '%s'\n",
+                 FlagOr(flags, "index", "zm").c_str());
+    return 2;
+  }
+  Dataset data;
+  if (!LoadPointsFile(input, &data)) {
+    std::fprintf(stderr, "failed to load points from %s\n", input.c_str());
+    return 1;
+  }
+  std::unique_ptr<SpatialIndex> index = persist::MakeIndexByName(kind, {});
+  Timer build_timer;
+  index->Build(data);
+  const double build_s = build_timer.ElapsedSeconds();
+  Timer save_timer;
+  if (!persist::Snapshot::Save(*index, out)) {
+    std::fprintf(stderr, "snapshot save failed for %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("built %s on %zu points in %.3f s\n", index->Name().c_str(),
+              data.size(), build_s);
+  std::printf("snapshot: %s written in %.3f s\n", out.c_str(),
+              save_timer.ElapsedSeconds());
+  return 0;
+}
+
+int RunLoad(const std::map<std::string, std::string>& flags) {
+  const std::string path = FlagOr(flags, "snapshot", "");
+  const size_t queries =
+      std::strtoull(FlagOr(flags, "queries", "1000").c_str(), nullptr, 10);
+  const uint64_t seed =
+      std::strtoull(FlagOr(flags, "seed", "42").c_str(), nullptr, 10);
+  if (path.empty()) return Usage();
+  persist::SnapshotMeta meta;
+  Timer load_timer;
+  std::unique_ptr<SpatialIndex> index =
+      persist::Snapshot::Load(path, {}, &meta);
+  if (index == nullptr) {
+    std::fprintf(stderr, "snapshot load failed (corrupt or unknown): %s\n",
+                 path.c_str());
+    return 1;
+  }
+  std::printf("loaded %s: kind=%s count=%zu last_lsn=%llu in %.3f s\n",
+              path.c_str(), meta.kind.c_str(), index->size(),
+              static_cast<unsigned long long>(meta.last_lsn),
+              load_timer.ElapsedSeconds());
+  if (queries > 0 && index->size() > 0) {
+    const Dataset contents = index->CollectAll();
+    const auto probes = SamplePointQueries(contents, queries, seed + 1);
+    Timer point_timer;
+    size_t found = 0;
+    for (const Point& q : probes) {
+      if (index->PointQuery(q)) ++found;
+    }
+    std::printf("point queries:  %.2f us avg (%zu/%zu found)\n",
+                point_timer.ElapsedMicros() / probes.size(), found,
+                probes.size());
+    if (found != probes.size()) {
+      std::fprintf(stderr, "restored index lost points\n");
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int RunRecover(const std::map<std::string, std::string>& flags) {
+  const std::string dir = FlagOr(flags, "dir", "");
+  const std::string kind = PersistKindName(FlagOr(flags, "index", "zm"));
+  const std::string input = FlagOr(flags, "input", "");
+  const size_t inserts =
+      std::strtoull(FlagOr(flags, "insert", "0").c_str(), nullptr, 10);
+  const bool checkpoint = FlagOr(flags, "checkpoint", "0") == "1";
+  const uint64_t seed =
+      std::strtoull(FlagOr(flags, "seed", "42").c_str(), nullptr, 10);
+  if (dir.empty()) return Usage();
+  if (kind.empty()) {
+    std::fprintf(stderr, "unknown index '%s'\n",
+                 FlagOr(flags, "index", "zm").c_str());
+    return 2;
+  }
+
+  persist::DurableElsiOptions opts;
+  opts.kind = kind;
+  persist::RecoveryStats stats;
+  Timer open_timer;
+  auto durable = persist::DurableElsi::OpenOrRecover(dir, opts, &stats);
+  if (durable == nullptr) {
+    std::fprintf(stderr, "recovery failed for %s\n", dir.c_str());
+    return 1;
+  }
+  std::printf(
+      "recovered: snapshot_loaded=%d seq=%llu discarded=%llu "
+      "wal_applied=%llu wal_skipped=%llu torn_tail=%d in %.3f s\n",
+      stats.snapshot_loaded ? 1 : 0,
+      static_cast<unsigned long long>(stats.snapshot_seq),
+      static_cast<unsigned long long>(stats.snapshots_discarded),
+      static_cast<unsigned long long>(stats.wal.applied),
+      static_cast<unsigned long long>(stats.wal.skipped),
+      stats.wal.torn_tail ? 1 : 0, open_timer.ElapsedSeconds());
+
+  if (!input.empty() && durable->size() == 0) {
+    Dataset data;
+    if (!LoadPointsFile(input, &data)) {
+      std::fprintf(stderr, "failed to load points from %s\n", input.c_str());
+      return 1;
+    }
+    Timer build_timer;
+    durable->Build(data);
+    std::printf("bulk-loaded %zu points in %.3f s (checkpointed)\n",
+                data.size(), build_timer.ElapsedSeconds());
+  }
+  if (inserts > 0) {
+    const Dataset extra =
+        GenerateDataset(DatasetKind::kUniform, inserts, seed + 99);
+    Timer insert_timer;
+    for (const Point& p : extra) durable->Insert(p);
+    std::printf("inserted %zu points through the WAL in %.3f s\n", inserts,
+                insert_timer.ElapsedSeconds());
+  }
+  if (checkpoint) {
+    if (!durable->Checkpoint()) {
+      std::fprintf(stderr, "checkpoint failed\n");
+      return 1;
+    }
+    std::printf("checkpoint: seq=%llu\n",
+                static_cast<unsigned long long>(durable->last_snapshot_seq()));
+  }
+  std::printf("kind=%s size=%zu\n", durable->kind().c_str(), durable->size());
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
@@ -451,6 +622,9 @@ int Main(int argc, char** argv) {
   if (command == "generate") return RunGenerate(flags);
   if (command == "bench") return RunBench(flags);
   if (command == "stats") return RunStats(flags);
+  if (command == "save") return RunSave(flags);
+  if (command == "load") return RunLoad(flags);
+  if (command == "recover") return RunRecover(flags);
   return Usage();
 }
 
