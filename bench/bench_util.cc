@@ -56,8 +56,14 @@ std::string EnvString(const char* name) {
 
 /// atexit hook: every figure bench can emit a metrics snapshot (and trace)
 /// alongside its table by passing --metrics-out= / --trace-out= or setting
-/// ELSI_BENCH_METRICS_OUT / ELSI_BENCH_TRACE_OUT.
+/// ELSI_BENCH_METRICS_OUT / ELSI_BENCH_TRACE_OUT. Guarded so a re-run of
+/// InitBenchThreads (or atexit firing alongside an explicit call) exports
+/// once; the writes themselves are tmp+rename, so a failed export never
+/// leaves a truncated file behind.
 void WriteBenchObsOutputs() {
+  static bool exported = false;
+  if (exported) return;
+  exported = true;
   if (!g_metrics_out.empty()) obs::WriteMetricsJson(g_metrics_out);
   if (!g_trace_out.empty()) obs::WriteTraceJson(g_trace_out);
 }
@@ -91,7 +97,11 @@ void InitBenchThreads(int argc, char** argv) {
   }
   if (threads > 0) ThreadPool::SetGlobalThreads(threads);
   if (!g_metrics_out.empty() || !g_trace_out.empty()) {
-    std::atexit(&WriteBenchObsOutputs);
+    static bool registered = false;
+    if (!registered) {
+      registered = true;
+      std::atexit(&WriteBenchObsOutputs);
+    }
   }
 }
 

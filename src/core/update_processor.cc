@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/random.h"
 #include "obs/metrics.h"
+#include "obs/model_health.h"
 #include "obs/trace.h"
 
 namespace elsi {
@@ -230,9 +231,15 @@ void UpdateProcessor::MaybeRebuild() {
   score_hist.Observe(score);
   if (score <= 0.5) {  // RebuildPredictor::ShouldRebuild threshold.
     declined.Add();
+    obs::ModelHealthMonitor::Get().OnRebuildDecision(index_->Name(), score,
+                                                     /*triggered=*/false);
     return;
   }
   triggered.Add();
+  // Calibration hook: the monitor freezes the pre-rebuild scan EWMA and
+  // compares it to the post-rebuild baseline once that refills.
+  obs::ModelHealthMonitor::Get().OnRebuildDecision(index_->Name(), score,
+                                                   /*triggered=*/true);
   // How far the distribution had drifted when we pulled the trigger.
   trigger_error.Observe(1.0 - features.cdf_similarity);
   ELSI_LOG(INFO) << "rebuild triggered: score=" << score

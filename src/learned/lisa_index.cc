@@ -6,7 +6,9 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/model_health.h"
 #include "persist/io.h"
 
 namespace elsi {
@@ -99,6 +101,7 @@ void LisaIndex::Build(const std::vector<Point>& data) {
   if (data.empty()) {
     model_ = RankModel();
     shards_.clear();
+    obs::ModelHealthMonitor::Get().OnBuild("LISA");
     return;
   }
 
@@ -135,6 +138,7 @@ void LisaIndex::Build(const std::vector<Point>& data) {
                                          sorted_keys.begin() + end);
     shards_[sh].BulkLoad(chunk, chunk_keys);
   });
+  obs::ModelHealthMonitor::Get().OnBuild("LISA");
 }
 
 size_t LisaIndex::PredictedShard(double key) const {
@@ -200,6 +204,7 @@ bool LisaIndex::Remove(const Point& p) {
 }
 
 bool LisaIndex::PointQuery(const Point& q, Point* out) const {
+  obs::QueryScope flight("LISA", obs::QueryKind::kPoint);
   if (shards_.empty()) return false;
   const double key = KeyOf(q);
   const auto [lo, hi] = ShardRange(key, key);
@@ -210,6 +215,11 @@ bool LisaIndex::PointQuery(const Point& q, Point* out) const {
   static obs::Histogram& scan_shards = obs::GetHistogram(
       "query.lisa.shards", obs::HistogramSpec::Count());
   scan_shards.Observe(static_cast<double>(b - a + 1));
+  if (obs::QueryScope* scope = obs::QueryScope::ActiveSampled()) {
+    // Error proxy: how far the error-bounded shard range strays from the
+    // single predicted shard.
+    scope->AddScan(b - a + 1, static_cast<double>(b - a));
+  }
   std::vector<Point> hits;
   for (size_t sh = a; sh <= b; ++sh) {
     shards_[sh].ScanKeyRange(key, key, &hits);
@@ -224,6 +234,7 @@ bool LisaIndex::PointQuery(const Point& q, Point* out) const {
 }
 
 std::vector<Point> LisaIndex::WindowQuery(const Rect& w) const {
+  obs::QueryScope flight("LISA", obs::QueryKind::kWindow);
   std::vector<Point> result;
   if (w.empty() || shards_.empty()) return result;
   const size_t s_lo = StripOf(w.lo_x);
@@ -328,6 +339,7 @@ void LisaIndex::WindowQueryBatch(std::span<const Rect> ws,
 }
 
 std::vector<Point> LisaIndex::KnnQuery(const Point& q, size_t k) const {
+  obs::QueryScope flight("LISA", obs::QueryKind::kKnn);
   std::vector<Point> result;
   if (shards_.empty() || size_ == 0 || k == 0) return result;
   const double diag = std::hypot(domain_.hi_x - domain_.lo_x,

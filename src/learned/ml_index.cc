@@ -8,6 +8,8 @@
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "ml/kmeans.h"
+#include "obs/flight_recorder.h"
+#include "obs/model_health.h"
 #include "persist/io.h"
 
 namespace elsi {
@@ -106,6 +108,7 @@ void MlIndex::Build(const std::vector<Point>& data) {
   array_.Build(data, std::move(keys),
                [this](const Point& p) { return KeyOf(p); }, trainer_.get(),
                config_.array);
+  obs::ModelHealthMonitor::Get().OnBuild("ML");
 }
 
 void MlIndex::Insert(const Point& p) {
@@ -125,6 +128,7 @@ bool MlIndex::Remove(const Point& p) {
 }
 
 bool MlIndex::PointQuery(const Point& q, Point* out) const {
+  obs::QueryScope flight("ML", obs::QueryKind::kPoint);
   if (references_.empty()) return false;
   return array_.PointQuery(q, KeyOf(q), out);
 }
@@ -166,6 +170,7 @@ void MlIndex::RingScan(const Point& center, double r, const Rect& w,
 }
 
 std::vector<Point> MlIndex::WindowQuery(const Rect& w) const {
+  obs::QueryScope flight("ML", obs::QueryKind::kWindow);
   std::vector<Point> result;
   if (w.empty() || references_.empty() || array_.size() == 0) return result;
   // Circumscribe the window; ring-scan each partition and filter exactly.
@@ -180,6 +185,7 @@ std::vector<Point> MlIndex::WindowQuery(const Rect& w) const {
 }
 
 std::vector<Point> MlIndex::KnnQuery(const Point& q, size_t k) const {
+  obs::QueryScope flight("ML", obs::QueryKind::kKnn);
   std::vector<Point> result;
   if (references_.empty() || array_.size() == 0 || k == 0) return result;
   const double n = static_cast<double>(array_.size());

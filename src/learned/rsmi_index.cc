@@ -9,7 +9,9 @@
 
 #include "common/logging.h"
 #include "curve/hilbert.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/model_health.h"
 #include "persist/io.h"
 
 namespace {
@@ -155,6 +157,7 @@ void RsmiIndex::Build(const std::vector<Point>& data) {
   leaf_merges_ = 0;
   domain_ = data.empty() ? Rect::Of(0, 0, 1, 1) : BoundingRect(data);
   root_ = BuildNode(data, 1);
+  obs::ModelHealthMonitor::Get().OnBuild("RSMI");
 }
 
 RsmiIndex::Node* RsmiIndex::DescendToLeaf(const Point& p) const {
@@ -166,12 +169,17 @@ RsmiIndex::Node* RsmiIndex::DescendToLeaf(const Point& p) const {
 }
 
 bool RsmiIndex::PointQuery(const Point& q, Point* out) const {
+  obs::QueryScope flight("RSMI", obs::QueryKind::kPoint);
   if (root_ == nullptr) return false;
   const Node* leaf = DescendToLeaf(q);
   const double key = NodeKey(*leaf, q);
   if (!leaf->keys.empty() && leaf->model.trained()) {
     const auto [lo, hi] = leaf->model.SearchRange(key, leaf->keys.size());
     RsmiScanLenHistogram().Observe(static_cast<double>(hi - lo + 1));
+    if (obs::QueryScope* scope = obs::QueryScope::ActiveSampled()) {
+      // The search-range width doubles as the model's error bound here.
+      scope->AddScan(hi - lo + 1, static_cast<double>(hi - lo) / 2.0);
+    }
     for (size_t i = lo; i <= hi && i < leaf->keys.size(); ++i) {
       if (leaf->keys[i] != key) continue;
       const Point& p = leaf->pts[i];
@@ -422,6 +430,7 @@ void RsmiIndex::WindowQueryNode(const Node* node, const Rect& w,
 }
 
 std::vector<Point> RsmiIndex::WindowQuery(const Rect& w) const {
+  obs::QueryScope flight("RSMI", obs::QueryKind::kWindow);
   std::vector<Point> result;
   if (w.empty() || root_ == nullptr || size_ == 0) return result;
   WindowQueryNode(root_.get(), w, &result);
@@ -429,6 +438,7 @@ std::vector<Point> RsmiIndex::WindowQuery(const Rect& w) const {
 }
 
 std::vector<Point> RsmiIndex::KnnQuery(const Point& q, size_t k) const {
+  obs::QueryScope flight("RSMI", obs::QueryKind::kKnn);
   std::vector<Point> result;
   if (root_ == nullptr || size_ == 0 || k == 0) return result;
   const double diag = std::hypot(domain_.hi_x - domain_.lo_x,

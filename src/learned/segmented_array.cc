@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "persist/io.h"
 
@@ -199,20 +200,34 @@ size_t SegmentedLearnedArray::LowerBoundInLeaf(double key, size_t leaf,
   // Thread-locally buffered: one atomic merge per 64 queries, not per query.
   static thread_local obs::LocalHistogram scan_len(ScanLenHistogram());
   scan_len.Observe(ghi - glo + 1);
+  size_t result;
   if (glo > 0 && keys_[glo - 1] >= key) {
     // Predicted range starts too late; exact global search.
-    return static_cast<size_t>(
+    result = static_cast<size_t>(
         std::lower_bound(keys_.begin(), keys_.end(), key) - keys_.begin());
+  } else {
+    const auto it = std::lower_bound(keys_.begin() + glo,
+                                     keys_.begin() + ghi + 1, key);
+    if (it == keys_.begin() + ghi + 1 && ghi + 1 < n) {
+      // Range ended before reaching the key; continue on the suffix.
+      result = static_cast<size_t>(
+          std::lower_bound(keys_.begin() + ghi + 1, keys_.end(), key) -
+          keys_.begin());
+    } else {
+      result = static_cast<size_t>(it - keys_.begin());
+    }
   }
-  const auto it = std::lower_bound(keys_.begin() + glo,
-                                   keys_.begin() + ghi + 1, key);
-  if (it == keys_.begin() + ghi + 1 && ghi + 1 < n) {
-    // Range ended before reaching the key; continue on the suffix.
-    return static_cast<size_t>(
-        std::lower_bound(keys_.begin() + ghi + 1, keys_.end(), key) -
-        keys_.begin());
+  if (obs::QueryScope* scope = obs::QueryScope::ActiveSampled()) {
+    // Flight-recorder sampled queries also record how far the model's point
+    // estimate landed from the true lower bound.
+    const double span = static_cast<double>(e - s);
+    double predicted = static_cast<double>(s) + leaf_rank * span;
+    predicted = std::clamp(predicted, static_cast<double>(s),
+                           static_cast<double>(e > s ? e - 1 : s));
+    scope->AddScan(ghi - glo + 1,
+                   std::abs(predicted - static_cast<double>(result)));
   }
-  return static_cast<size_t>(it - keys_.begin());
+  return result;
 }
 
 void SegmentedLearnedArray::LowerBoundBatch(const double* keys, size_t n,

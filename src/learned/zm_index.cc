@@ -5,6 +5,8 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "obs/flight_recorder.h"
+#include "obs/model_health.h"
 #include "persist/io.h"
 
 namespace elsi {
@@ -45,6 +47,7 @@ void ZmIndex::Build(const std::vector<Point>& data) {
   array_.Build(
       data, std::move(keys), [this](const Point& p) { return KeyOf(p); },
       trainer_.get(), config_.array);
+  obs::ModelHealthMonitor::Get().OnBuild("ZM");
 }
 
 void ZmIndex::Insert(const Point& p) {
@@ -61,11 +64,13 @@ bool ZmIndex::Remove(const Point& p) {
 }
 
 bool ZmIndex::PointQuery(const Point& q, Point* out) const {
+  obs::QueryScope flight("ZM", obs::QueryKind::kPoint);
   if (quantizer_ == nullptr) return false;
   return array_.PointQuery(q, KeyOf(q), out);
 }
 
 std::vector<Point> ZmIndex::WindowQuery(const Rect& w) const {
+  obs::QueryScope flight("ZM", obs::QueryKind::kWindow);
   std::vector<Point> result;
   if (w.empty() || quantizer_ == nullptr) return result;
   const Point lo{std::max(w.lo_x, domain_.lo_x), std::max(w.lo_y, domain_.lo_y),
@@ -209,6 +214,9 @@ bool ZmIndex::LoadState(persist::Reader& r) {
 }
 
 std::vector<Point> ZmIndex::KnnQuery(const Point& q, size_t k) const {
+  // Outermost-wins sampling: the internal WindowQuery probes attach their
+  // scans to this scope instead of recording their own.
+  obs::QueryScope flight("ZM", obs::QueryKind::kKnn);
   std::vector<Point> result;
   if (quantizer_ == nullptr || array_.size() == 0 || k == 0) return result;
   const double diag = std::hypot(domain_.hi_x - domain_.lo_x,

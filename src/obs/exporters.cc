@@ -104,16 +104,33 @@ std::string PromNumber(double v) {
   return buf;
 }
 
+/// Atomic publish matching the persist conventions: write the full
+/// document to `<path>.tmp`, then rename over the target, so a reader (or
+/// a crash mid-write) never sees a truncated export.
 bool WriteStringToFile(const std::string& path, const std::string& content) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    std::fprintf(stderr, "elsi::obs: cannot open %s for writing\n",
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "elsi::obs: cannot open %s for writing\n",
+                   tmp.c_str());
+      return false;
+    }
+    out << content;
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "elsi::obs: short write to %s\n", tmp.c_str());
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::fprintf(stderr, "elsi::obs: cannot rename %s over %s\n", tmp.c_str(),
                  path.c_str());
+    std::remove(tmp.c_str());
     return false;
   }
-  out << content;
-  out.flush();
-  return static_cast<bool>(out);
+  return true;
 }
 
 }  // namespace

@@ -1,0 +1,179 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "obs/model_health.h"
+
+namespace elsi {
+namespace obs {
+
+std::string QueriesJson(const FlightSnapshot& snapshot) {
+  std::ostringstream out;
+  out << "{\"sample_every\": " << snapshot.sample_every
+      << ", \"dropped\": " << snapshot.dropped << ", \"records\": [";
+  for (size_t i = 0; i < snapshot.records.size(); ++i) {
+    const QueryRecord& r = snapshot.records[i];
+    char error[32];
+    std::snprintf(error, sizeof(error), "%.1f", r.pred_error);
+    out << (i ? ",\n  " : "\n  ") << "{\"trace_id\": " << r.trace_id
+        << ", \"kind\": \"" << QueryKindName(r.kind) << "\", \"index\": \""
+        << (r.index != nullptr ? r.index : "") << "\", \"tid\": " << r.tid
+        << ", \"start_ns\": " << r.start_ns
+        << ", \"latency_ns\": " << r.latency_ns
+        << ", \"scan_len\": " << r.scan_len
+        << ", \"segments\": " << r.segments << ", \"pred_error\": " << error
+        << "}";
+  }
+  out << (snapshot.records.empty() ? "]" : "\n]") << "}\n";
+  return out.str();
+}
+
+#if ELSI_OBS_ENABLED
+
+uint64_t FlightRing::Collect(std::vector<QueryRecord>* out) const {
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  const uint64_t live = std::min<uint64_t>(head, kCapacity);
+  for (uint64_t i = head - live; i < head; ++i) {
+    const Slot& slot = slots_[i % kCapacity];
+    // Seqlock read: stable when the sequence is even and unchanged across
+    // the copy. A slot the writer is overwriting right now is skipped —
+    // it will surface (as a newer record) in the next snapshot.
+    const uint64_t seq0 = slot.seq.load(std::memory_order_acquire);
+    if (seq0 % 2 != 0) continue;
+    QueryRecord copy = slot.record;
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != seq0) continue;
+    out->push_back(copy);
+  }
+  return head;
+}
+
+void FlightRing::Clear() {
+  // Reader-side reset: safe only when the owning thread is quiescent (the
+  // same caveat as MetricsRegistry::Reset — test/export plumbing, not a hot
+  // path). The head is left in place so lifetime drop accounting survives.
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  for (auto& slot : slots_) {
+    slot.seq.store(2 * head + 1, std::memory_order_release);
+  }
+}
+
+FlightRecorder::FlightRecorder() {
+  if (const char* env = std::getenv("ELSI_FLIGHT_SAMPLE_EVERY")) {
+    const long long parsed = std::atoll(env);
+    sample_every_.store(parsed >= 0 ? static_cast<uint64_t>(parsed) : 0,
+                        std::memory_order_relaxed);
+  }
+}
+
+FlightRecorder& FlightRecorder::Get() {
+  // Leaked so records written during static destruction stay safe.
+  static auto* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+FlightRing& FlightRecorder::CurrentThreadRing() {
+  thread_local FlightRing* ring = nullptr;
+  if (ring == nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto owned = std::make_shared<FlightRing>(next_tid_++);
+    rings_.push_back(owned);
+    // The leaked registry keeps the shared_ptr alive forever, so the raw
+    // thread_local never dangles.
+    ring = owned.get();
+  }
+  return *ring;
+}
+
+FlightSnapshot FlightRecorder::Snapshot() const {
+  std::vector<std::shared_ptr<FlightRing>> rings;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rings = rings_;
+  }
+  FlightSnapshot snap;
+  snap.sample_every = sample_every();
+  for (const auto& ring : rings) {
+    const uint64_t pushes = ring->Collect(&snap.records);
+    snap.dropped += pushes > FlightRing::kCapacity
+                        ? pushes - FlightRing::kCapacity
+                        : 0;
+  }
+  std::stable_sort(snap.records.begin(), snap.records.end(),
+                   [](const QueryRecord& a, const QueryRecord& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  return snap;
+}
+
+void FlightRecorder::Clear() {
+  std::vector<std::shared_ptr<FlightRing>> rings;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rings = rings_;
+  }
+  for (const auto& ring : rings) ring->Clear();
+}
+
+thread_local QueryScope* QueryScope::tls_active_ = nullptr;
+thread_local uint32_t QueryScope::tls_depth_ = 0;
+
+namespace {
+
+thread_local uint64_t tls_query_tick = 0;
+thread_local uint64_t tls_trace_seq = 0;
+
+Histogram& FlightLatencyHistogram(QueryKind kind) {
+  static Histogram& point = GetHistogram("query.flight.latency_us{kind=point}",
+                                         HistogramSpec::LatencyUs());
+  static Histogram& window = GetHistogram(
+      "query.flight.latency_us{kind=window}", HistogramSpec::LatencyUs());
+  static Histogram& knn = GetHistogram("query.flight.latency_us{kind=knn}",
+                                       HistogramSpec::LatencyUs());
+  switch (kind) {
+    case QueryKind::kWindow:
+      return window;
+    case QueryKind::kKnn:
+      return knn;
+    default:
+      return point;
+  }
+}
+
+}  // namespace
+
+QueryScope::QueryScope(const char* index, QueryKind kind) {
+  // Only the outermost scope samples: a kNN query's internal window probes
+  // must not produce their own records (or advance the sampler).
+  if (++tls_depth_ > 1) return;
+  const uint64_t every = FlightRecorder::Get().sample_every();
+  if (every == 0 || (++tls_query_tick % every) != 0) return;
+  FlightRing& ring = FlightRecorder::Get().CurrentThreadRing();
+  record_.index = index;
+  record_.kind = kind;
+  record_.tid = ring.tid();
+  record_.trace_id = (static_cast<uint64_t>(ring.tid()) << 32) |
+                     (++tls_trace_seq & 0xffffffffu);
+  record_.start_ns = NowNs();
+  sampled_ = true;
+  tls_active_ = this;
+}
+
+QueryScope::~QueryScope() {
+  --tls_depth_;
+  if (!sampled_) return;
+  tls_active_ = nullptr;
+  record_.latency_ns = NowNs() - record_.start_ns;
+  FlightRecorder::Get().CurrentThreadRing().Push(record_);
+  FlightLatencyHistogram(record_.kind)
+      .Observe(static_cast<double>(record_.latency_ns) / 1000.0);
+  ModelHealthMonitor::Get().OnQuerySample(record_);
+}
+
+#endif  // ELSI_OBS_ENABLED
+
+}  // namespace obs
+}  // namespace elsi

@@ -1,0 +1,238 @@
+#ifndef ELSI_OBS_FLIGHT_RECORDER_H_
+#define ELSI_OBS_FLIGHT_RECORDER_H_
+
+/// Query flight recorder: a deterministic 1/N-sampled wide-event log of
+/// individual queries. Each sampled query produces one structured record —
+/// kind, index, latency, scan length, segments touched, model prediction
+/// error, thread, trace id — written into a lock-free per-thread ring and
+/// exposed over HTTP as /debug/queries (see http_exporter.h) and as
+/// exemplar comments on /metrics.
+///
+/// Sampling is per-thread and counter-based (every Nth top-level query on
+/// each thread), so a fixed workload partitioned deterministically across
+/// threads samples a deterministic record count: Q serial queries yield
+/// floor(Q / N) records, and the same Q split evenly over T threads yields
+/// T * floor(Q / (T * N)) — equal whenever T * N divides Q.
+///
+/// Usage (already wired into the learned indices):
+///
+///   bool ZmIndex::PointQuery(...) const {
+///     obs::QueryScope flight("ZM", obs::QueryKind::kPoint);
+///     ...                       // deep layers call AddScan via Active()
+///   }
+///
+/// Only the outermost scope on a thread samples (a kNN query's internal
+/// window probes do not produce their own records). The non-sampled path
+/// costs one thread-local increment and a compare; the record itself (two
+/// clock reads and a ring write) is paid once per kSampleEvery queries.
+///
+/// With ELSI_OBS_ENABLED=0 everything below compiles to empty stubs.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+#if ELSI_OBS_ENABLED
+#include <array>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#endif
+
+namespace elsi {
+namespace obs {
+
+enum class QueryKind : uint8_t { kPoint = 0, kWindow = 1, kKnn = 2 };
+
+inline const char* QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kPoint:
+      return "point";
+    case QueryKind::kWindow:
+      return "window";
+    case QueryKind::kKnn:
+      return "knn";
+  }
+  return "unknown";
+}
+
+/// One sampled query. `index` points at static-storage characters (the
+/// index's name literal), like TraceEvent::name.
+struct QueryRecord {
+  uint64_t trace_id = 0;  // (tid << 32) | per-thread sequence
+  uint64_t start_ns = 0;  // NowNs timebase, shared with metrics/trace
+  uint64_t latency_ns = 0;
+  uint64_t scan_len = 0;    // positions scanned (prediction-error proxy)
+  uint32_t segments = 0;    // segments/shards/leaves touched
+  double pred_error = 0.0;  // |predicted - actual| positions, max over scans
+  const char* index = nullptr;
+  QueryKind kind = QueryKind::kPoint;
+  uint32_t tid = 0;
+};
+
+/// Point-in-time copy of the recorder (the unit of export).
+struct FlightSnapshot {
+  uint64_t sample_every = 0;
+  uint64_t dropped = 0;  // records overwritten by the rings
+  std::vector<QueryRecord> records;  // sorted by start_ns
+};
+
+/// {"sample_every": N, "dropped": D, "records": [...]}.
+std::string QueriesJson(const FlightSnapshot& snapshot);
+
+#if ELSI_OBS_ENABLED
+
+/// Fixed-capacity single-writer ring. Writers never block; readers copy
+/// slots under a per-slot sequence lock (odd = being written) and simply
+/// skip a slot that changes underneath them.
+class FlightRing {
+ public:
+  static constexpr size_t kCapacity = 1024;
+
+  explicit FlightRing(uint32_t tid) : tid_(tid) {}
+
+  uint32_t tid() const { return tid_; }
+
+  /// Single-producer: only the owning thread calls Push.
+  void Push(const QueryRecord& record) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    Slot& slot = slots_[head % kCapacity];
+    slot.seq.store(2 * head + 1, std::memory_order_release);
+    slot.record = record;
+    slot.seq.store(2 * (head + 1), std::memory_order_release);
+    head_.store(head + 1, std::memory_order_release);
+  }
+
+  /// Appends the surviving records; returns lifetime pushes (for dropped
+  /// accounting).
+  uint64_t Collect(std::vector<QueryRecord>* out) const;
+
+  void Clear();
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> seq{0};
+    QueryRecord record;
+  };
+
+  const uint32_t tid_;
+  std::atomic<uint64_t> head_{0};
+  std::array<Slot, kCapacity> slots_;
+};
+
+/// Owner of every thread's ring, mirroring TraceRegistry: rings are created
+/// on a thread's first sampled query and leak with the registry so exports
+/// survive thread exit.
+class FlightRecorder {
+ public:
+  static constexpr uint64_t kDefaultSampleEvery = 64;
+
+  static FlightRecorder& Get();
+
+  /// The calling thread's ring (created on first use).
+  FlightRing& CurrentThreadRing();
+
+  FlightSnapshot Snapshot() const;
+
+  /// Drops recorded events from every ring (rings stay registered).
+  void Clear();
+
+  /// Sampling period N (every Nth top-level query per thread). Seeded from
+  /// ELSI_FLIGHT_SAMPLE_EVERY on first use; 0 disables sampling entirely.
+  uint64_t sample_every() const {
+    return sample_every_.load(std::memory_order_relaxed);
+  }
+  void SetSampleEvery(uint64_t n) {
+    sample_every_.store(n, std::memory_order_relaxed);
+  }
+
+ private:
+  FlightRecorder();
+
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<FlightRing>> rings_;
+  uint32_t next_tid_ = 1;
+  std::atomic<uint64_t> sample_every_{kDefaultSampleEvery};
+};
+
+/// RAII sampling scope at a query entry point. The outermost scope on the
+/// thread consults the sampler; when it fires, the scope stamps the start
+/// time, collects scan statistics from deeper layers (AddScan), and records
+/// the completed QueryRecord — and feeds the model-health monitor — on
+/// destruction.
+class QueryScope {
+ public:
+  QueryScope(const char* index, QueryKind kind);
+
+  QueryScope(const QueryScope&) = delete;
+  QueryScope& operator=(const QueryScope&) = delete;
+
+  ~QueryScope();
+
+  /// The innermost *sampled* scope of the calling thread, or null. Deep
+  /// layers (segment search, shard scans) use this to attach per-scan
+  /// statistics without plumbing a handle through every signature.
+  static QueryScope* ActiveSampled() { return tls_active_; }
+
+  /// One predict-and-scan episode: `scan` positions examined, prediction
+  /// off by `error` positions. Accumulates scan/segment totals and keeps
+  /// the worst error.
+  void AddScan(uint64_t scan, double error) {
+    record_.scan_len += scan;
+    ++record_.segments;
+    if (error > record_.pred_error) record_.pred_error = error;
+  }
+
+  bool sampled() const { return sampled_; }
+
+ private:
+  static thread_local QueryScope* tls_active_;
+  static thread_local uint32_t tls_depth_;
+
+  QueryRecord record_;
+  bool sampled_ = false;
+};
+
+#else  // !ELSI_OBS_ENABLED — inline no-op stubs, same API.
+
+class FlightRing {
+ public:
+  void Push(const QueryRecord&) {}
+  uint64_t Collect(std::vector<QueryRecord>*) const { return 0; }
+  void Clear() {}
+  uint32_t tid() const { return 0; }
+};
+
+class FlightRecorder {
+ public:
+  static constexpr uint64_t kDefaultSampleEvery = 64;
+  static FlightRecorder& Get() {
+    static FlightRecorder recorder;
+    return recorder;
+  }
+  FlightRing& CurrentThreadRing() { return ring_; }
+  FlightSnapshot Snapshot() const { return {}; }
+  void Clear() {}
+  uint64_t sample_every() const { return 0; }
+  void SetSampleEvery(uint64_t) {}
+
+ private:
+  FlightRing ring_;
+};
+
+class QueryScope {
+ public:
+  QueryScope(const char*, QueryKind) {}
+  static QueryScope* ActiveSampled() { return nullptr; }
+  void AddScan(uint64_t, double) {}
+  bool sampled() const { return false; }
+};
+
+#endif  // ELSI_OBS_ENABLED
+
+}  // namespace obs
+}  // namespace elsi
+
+#endif  // ELSI_OBS_FLIGHT_RECORDER_H_

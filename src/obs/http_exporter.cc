@@ -1,0 +1,373 @@
+#include "obs/http_exporter.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/exporters.h"
+#include "obs/flight_recorder.h"
+#include "obs/model_health.h"
+#include "obs/trace.h"
+
+#ifndef ELSI_GIT_SHA
+#define ELSI_GIT_SHA "unknown"
+#endif
+#ifndef ELSI_SANITIZE_NAME
+#define ELSI_SANITIZE_NAME "none"
+#endif
+
+namespace elsi {
+namespace obs {
+
+namespace {
+
+/// Reads from `fd` until `terminator` appears, EOF, `limit` bytes, or a
+/// `timeout_ms` lull. Returns what was read.
+std::string ReadUntil(int fd, const char* terminator, size_t limit,
+                      int timeout_ms) {
+  std::string data;
+  char buf[2048];
+  while (data.size() < limit && data.find(terminator) == std::string::npos) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready <= 0) break;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    data.append(buf, static_cast<size_t>(n));
+  }
+  return data;
+}
+
+bool WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) return false;
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool HttpGet(const std::string& host, uint16_t port, const std::string& path,
+             int* status, std::string* body) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return false;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  const std::string request = "GET " + path +
+                              " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  if (!WriteAll(fd, request)) {
+    ::close(fd);
+    return false;
+  }
+  // Connection: close — EOF delimits the response.
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 5000) <= 0) break;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  if (response.compare(0, 5, "HTTP/") != 0) return false;
+  const size_t space = response.find(' ');
+  if (space == std::string::npos) return false;
+  if (status != nullptr) {
+    *status = std::atoi(response.c_str() + space + 1);
+  }
+  const size_t blank = response.find("\r\n\r\n");
+  if (body != nullptr) {
+    *body = blank == std::string::npos ? "" : response.substr(blank + 4);
+  }
+  return true;
+}
+
+#if ELSI_OBS_ENABLED
+
+namespace {
+
+std::string BuildInfoJson() {
+  std::ostringstream out;
+  out << "{\"git_sha\": \"" << ELSI_GIT_SHA << "\", \"obs_enabled\": "
+      << ELSI_OBS_ENABLED << ", \"sanitizer\": \"" << ELSI_SANITIZE_NAME
+      << "\"}";
+  return out.str();
+}
+
+/// Strips the document-final newline so a serialiser's output embeds
+/// cleanly as a JSON sub-object.
+std::string Embed(std::string doc) {
+  while (!doc.empty() && (doc.back() == '\n' || doc.back() == '\r')) {
+    doc.pop_back();
+  }
+  return doc;
+}
+
+int64_t FindGauge(const MetricsSnapshot& snapshot, std::string_view name) {
+  for (const auto& [gauge_name, value] : snapshot.gauges) {
+    if (gauge_name == name) return value;
+  }
+  return 0;
+}
+
+uint64_t FindCounter(const MetricsSnapshot& snapshot, std::string_view name) {
+  for (const auto& [counter_name, value] : snapshot.counters) {
+    if (counter_name == name) return value;
+  }
+  return 0;
+}
+
+std::string FlightSummaryJson(const FlightSnapshot& flight) {
+  std::ostringstream out;
+  out << "{\"sample_every\": " << flight.sample_every
+      << ", \"records\": " << flight.records.size()
+      << ", \"dropped\": " << flight.dropped << "}";
+  return out.str();
+}
+
+/// Refreshes the introspection gauges that are derived rather than
+/// maintained on a hot path, so every exposition (or file export) sees
+/// current values.
+void RefreshDerivedGauges(const FlightSnapshot& flight) {
+  GetGauge("flight.records").Set(static_cast<int64_t>(flight.records.size()));
+  GetGauge("flight.dropped").Set(static_cast<int64_t>(flight.dropped));
+  GetGauge("flight.sample_every")
+      .Set(static_cast<int64_t>(flight.sample_every));
+}
+
+/// Classic Prometheus text has no exemplar syntax (that is OpenMetrics),
+/// so exemplars ride as comment lines — parsers ignore them, humans and
+/// tooling can still join histograms to flight records by trace id.
+std::string ExemplarComments(const FlightSnapshot& flight) {
+  const QueryRecord* latest[3] = {nullptr, nullptr, nullptr};
+  for (const QueryRecord& r : flight.records) {
+    const size_t k = static_cast<size_t>(r.kind);
+    if (k < 3 && (latest[k] == nullptr || r.start_ns >= latest[k]->start_ns)) {
+      latest[k] = &r;
+    }
+  }
+  std::ostringstream out;
+  for (const QueryRecord* r : latest) {
+    if (r == nullptr) continue;
+    char latency[32];
+    std::snprintf(latency, sizeof(latency), "%.3f",
+                  static_cast<double>(r->latency_ns) / 1000.0);
+    out << "# exemplar elsi_query_flight_latency_us{kind=\""
+        << QueryKindName(r->kind) << "\"} trace_id=" << r->trace_id
+        << " latency_us=" << latency << " scan_len=" << r->scan_len
+        << " index=" << (r->index != nullptr ? r->index : "") << "\n";
+  }
+  return out.str();
+}
+
+std::string HealthzJson() {
+  const MetricsSnapshot metrics = MetricsRegistry::Get().Snapshot();
+  const FlightSnapshot flight = FlightRecorder::Get().Snapshot();
+  const std::vector<IndexHealth> health = ModelHealthMonitor::Get().Snapshot();
+  bool degraded = false;
+  for (const IndexHealth& h : health) degraded = degraded || h.degraded;
+  char uptime[32];
+  std::snprintf(uptime, sizeof(uptime), "%.3f",
+                static_cast<double>(NowNs()) / 1e9);
+  std::ostringstream out;
+  out << "{\"status\": \"" << (degraded ? "degraded" : "ok")
+      << "\", \"uptime_s\": " << uptime
+      << ",\n \"build_info\": " << BuildInfoJson()
+      << ",\n \"persist\": {\"snapshot_seq\": "
+      << FindGauge(metrics, "persist.snapshot_seq")
+      << ", \"wal_lag\": " << FindGauge(metrics, "persist.wal_lag") << "}"
+      << ",\n \"trace\": {\"dropped\": "
+      << FindCounter(metrics, "trace.dropped_total") << "}"
+      << ",\n \"flight\": " << FlightSummaryJson(flight)
+      << ",\n \"model_health\": " << Embed(ModelHealthJson(health)) << "}\n";
+  return out.str();
+}
+
+std::string VarzJson() {
+  const FlightSnapshot flight = FlightRecorder::Get().Snapshot();
+  RefreshDerivedGauges(flight);
+  const MetricsSnapshot metrics = MetricsRegistry::Get().Snapshot();
+  char uptime[32];
+  std::snprintf(uptime, sizeof(uptime), "%.3f",
+                static_cast<double>(NowNs()) / 1e9);
+  std::ostringstream out;
+  out << "{\"uptime_s\": " << uptime
+      << ",\n \"build_info\": " << BuildInfoJson()
+      << ",\n \"flight\": " << FlightSummaryJson(flight)
+      << ",\n \"model_health\": "
+      << Embed(ModelHealthJson(ModelHealthMonitor::Get().Snapshot()))
+      << ",\n \"metrics\": " << Embed(MetricsJson(metrics)) << "}\n";
+  return out.str();
+}
+
+constexpr const char kIndexPage[] =
+    "elsi introspection endpoints:\n"
+    "  /metrics        Prometheus text exposition\n"
+    "  /varz           JSON metrics snapshot\n"
+    "  /healthz        liveness, build info, drift status\n"
+    "  /debug/trace    Chrome trace_event JSON\n"
+    "  /debug/queries  sampled query flight records\n";
+
+}  // namespace
+
+void HttpExporter::Handle(const std::string& path, int* status,
+                          std::string* content_type, std::string* body) {
+  *status = 200;
+  *content_type = "application/json";
+  if (path == "/metrics") {
+    const FlightSnapshot flight = FlightRecorder::Get().Snapshot();
+    RefreshDerivedGauges(flight);
+    *content_type = "text/plain; version=0.0.4";
+    *body = MetricsPrometheus(MetricsRegistry::Get().Snapshot()) +
+            ExemplarComments(flight);
+  } else if (path == "/varz") {
+    *body = VarzJson();
+  } else if (path == "/healthz") {
+    *body = HealthzJson();
+  } else if (path == "/debug/trace") {
+    *body = TraceJson(TraceRegistry::Get().Snapshot());
+  } else if (path == "/debug/queries") {
+    *body = QueriesJson(FlightRecorder::Get().Snapshot());
+  } else if (path == "/" || path.empty()) {
+    *content_type = "text/plain";
+    *body = kIndexPage;
+  } else {
+    *status = 404;
+    *content_type = "text/plain";
+    *body = "not found\n";
+  }
+}
+
+bool HttpExporter::Start(const Options& options) {
+  if (running()) return false;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    std::perror("elsi::obs: socket");
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    std::fprintf(stderr, "elsi::obs: bad bind address %s\n",
+                 options.bind_address.c_str());
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    std::perror("elsi::obs: bind/listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+  if (::pipe(wake_pipe_) != 0) {
+    std::perror("elsi::obs: pipe");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  start_ns_ = NowNs();
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread(&HttpExporter::Serve, this);
+  return true;
+}
+
+void HttpExporter::Stop() {
+  if (!thread_.joinable()) return;
+  const char byte = 'q';
+  ssize_t ignored = ::write(wake_pipe_[1], &byte, 1);
+  (void)ignored;
+  thread_.join();
+  running_.store(false, std::memory_order_release);
+  ::close(listen_fd_);
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+  listen_fd_ = -1;
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+}
+
+void HttpExporter::Serve() {
+  for (;;) {
+    pollfd pfds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    const int ready = ::poll(pfds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (pfds[1].revents != 0) break;  // Stop() woke us
+    if ((pfds[0].revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    HandleConnection(conn);
+    ::close(conn);
+  }
+}
+
+void HttpExporter::HandleConnection(int fd) {
+  const std::string request = ReadUntil(fd, "\r\n\r\n", 8192, 2000);
+  std::istringstream line(request.substr(0, request.find("\r\n")));
+  std::string method, target, version;
+  line >> method >> target >> version;
+  int status = 200;
+  std::string content_type, body;
+  if (method != "GET") {
+    status = 405;
+    content_type = "text/plain";
+    body = "method not allowed\n";
+  } else {
+    const size_t query = target.find('?');
+    if (query != std::string::npos) target.resize(query);
+    Handle(target, &status, &content_type, &body);
+  }
+  const char* reason = status == 200   ? "OK"
+                       : status == 404 ? "Not Found"
+                       : status == 405 ? "Method Not Allowed"
+                                       : "Error";
+  std::ostringstream response;
+  response << "HTTP/1.1 " << status << " " << reason << "\r\n"
+           << "Content-Type: " << content_type << "\r\n"
+           << "Content-Length: " << body.size() << "\r\n"
+           << "Connection: close\r\n\r\n"
+           << body;
+  WriteAll(fd, response.str());
+}
+
+#endif  // ELSI_OBS_ENABLED
+
+}  // namespace obs
+}  // namespace elsi

@@ -1,0 +1,115 @@
+#ifndef ELSI_OBS_HTTP_EXPORTER_H_
+#define ELSI_OBS_HTTP_EXPORTER_H_
+
+/// Embedded HTTP exposition server for live introspection — plain POSIX
+/// sockets and `poll`, no third-party dependencies. One background thread
+/// accepts connections and answers GET requests:
+///
+///   /metrics        Prometheus text (plus exemplar comment lines linking
+///                   histograms to flight-recorder trace ids)
+///   /varz           JSON snapshot: uptime, build info, metrics,
+///                   model health, flight-recorder summary
+///   /healthz        liveness + degradation: uptime, git sha, obs/sanitizer
+///                   build flags, WAL/snapshot lag, ring drops, per-index
+///                   model drift status
+///   /debug/trace    Chrome trace_event JSON of the span rings
+///   /debug/queries  sampled query flight records (wide events)
+///
+/// Responses are built from registry snapshots at request time; the server
+/// never blocks recording paths. Connections are handled one at a time —
+/// concurrent scrapes queue in the kernel backlog, which is plenty for
+/// Prometheus-style polling.
+///
+/// With ELSI_OBS_ENABLED=0, Start() returns false and the server is a
+/// stub; HttpGet (the matching client helper) stays available.
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+#if ELSI_OBS_ENABLED
+#include <atomic>
+#include <thread>
+#endif
+
+namespace elsi {
+namespace obs {
+
+/// Minimal blocking HTTP/1.1 GET client for tests and `elsi_cli top`.
+/// Returns false on connect/read failure; on success fills `status` (e.g.
+/// 200) and `body`.
+bool HttpGet(const std::string& host, uint16_t port, const std::string& path,
+             int* status, std::string* body);
+
+#if ELSI_OBS_ENABLED
+
+class HttpExporter {
+ public:
+  struct Options {
+    std::string bind_address = "127.0.0.1";
+    uint16_t port = 0;  // 0 = kernel-assigned (port() reports the result)
+  };
+
+  HttpExporter() = default;
+  ~HttpExporter() { Stop(); }
+
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// Binds, listens, and launches the serving thread. Returns false (with
+  /// a message on stderr) if the socket cannot be bound.
+  bool Start(const Options& options);
+
+  /// Stops the serving thread and closes the socket. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (resolved after Start with port 0).
+  uint16_t port() const { return port_; }
+
+  /// Dispatches one request path to its handler — exposed so tests can
+  /// check response bodies without a socket round-trip. Fills `status`,
+  /// `content_type`, and `body`; unknown paths yield 404.
+  static void Handle(const std::string& path, int* status,
+                     std::string* content_type, std::string* body);
+
+ private:
+  void Serve();
+  void HandleConnection(int fd);
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  uint16_t port_ = 0;
+  uint64_t start_ns_ = 0;
+};
+
+#else  // !ELSI_OBS_ENABLED — inline no-op stub, same API.
+
+class HttpExporter {
+ public:
+  struct Options {
+    std::string bind_address = "127.0.0.1";
+    uint16_t port = 0;
+  };
+
+  bool Start(const Options&) { return false; }
+  void Stop() {}
+  bool running() const { return false; }
+  uint16_t port() const { return 0; }
+  static void Handle(const std::string&, int* status,
+                     std::string* content_type, std::string* body) {
+    if (status != nullptr) *status = 404;
+    if (content_type != nullptr) *content_type = "text/plain";
+    if (body != nullptr) *body = "observability compiled out\n";
+  }
+};
+
+#endif  // ELSI_OBS_ENABLED
+
+}  // namespace obs
+}  // namespace elsi
+
+#endif  // ELSI_OBS_HTTP_EXPORTER_H_

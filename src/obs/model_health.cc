@@ -1,0 +1,192 @@
+#include "obs/model_health.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace elsi {
+namespace obs {
+
+namespace {
+
+std::string Fixed(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string ModelHealthJson(const std::vector<IndexHealth>& health) {
+  std::ostringstream out;
+  bool any_degraded = false;
+  out << "{\"indexes\": [";
+  for (size_t i = 0; i < health.size(); ++i) {
+    const IndexHealth& h = health[i];
+    any_degraded = any_degraded || h.degraded;
+    out << (i ? ",\n  " : "\n  ") << "{\"index\": \"" << h.index
+        << "\", \"builds\": " << h.builds << ", \"samples\": " << h.samples
+        << ", \"baseline_scan\": " << Fixed(h.baseline_scan)
+        << ", \"current_scan\": " << Fixed(h.current_scan)
+        << ", \"baseline_error\": " << Fixed(h.baseline_error)
+        << ", \"current_error\": " << Fixed(h.current_error)
+        << ", \"scan_drift\": " << Fixed(h.scan_drift)
+        << ", \"error_drift\": " << Fixed(h.error_drift)
+        << ", \"degraded\": " << (h.degraded ? "true" : "false")
+        << ", \"last_rebuild_score\": " << Fixed(h.last_rebuild_score)
+        << ", \"observed_benefit\": " << Fixed(h.observed_benefit) << "}";
+  }
+  out << (health.empty() ? "]" : "\n]")
+      << ", \"degraded\": " << (any_degraded ? "true" : "false") << "}\n";
+  return out.str();
+}
+
+#if ELSI_OBS_ENABLED
+
+ModelHealthMonitor& ModelHealthMonitor::Get() {
+  // Leaked for the same reason as MetricsRegistry: samples may arrive from
+  // worker threads during static destruction.
+  static auto* monitor = new ModelHealthMonitor();
+  return *monitor;
+}
+
+void ModelHealthMonitor::OnBuild(const std::string& index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  State& s = states_[index];
+  ++s.builds;
+  s.samples = 0;
+  s.baseline_n = 0;
+  s.baseline_scan_sum = 0;
+  s.baseline_error_sum = 0;
+  s.ewma_seeded = false;
+  // benefit_pending (set by a triggered rebuild decision) survives: the
+  // fresh baseline this build accumulates is exactly the "after" term of
+  // the calibration ratio, closed in OnQuerySample when the window fills.
+}
+
+void ModelHealthMonitor::OnQuerySample(const QueryRecord& record) {
+  if (record.index == nullptr) return;
+  IndexHealth published;
+  std::string name;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    name.assign(record.index);
+    State& s = states_[name];
+    ++s.samples;
+    const double scan = static_cast<double>(record.scan_len);
+    const double error = record.pred_error;
+    if (s.baseline_n < kBaselineWindow) {
+      ++s.baseline_n;
+      s.baseline_scan_sum += scan;
+      s.baseline_error_sum += error;
+      if (s.baseline_n == kBaselineWindow && s.benefit_pending) {
+        const double after = s.baseline_scan_sum / kBaselineWindow;
+        if (after > 0 && s.pre_rebuild_scan > 0) {
+          s.observed_benefit = s.pre_rebuild_scan / after;
+        }
+        s.benefit_pending = false;
+      }
+    } else if (!s.ewma_seeded) {
+      s.ewma_scan = scan;
+      s.ewma_error = error;
+      s.ewma_seeded = true;
+    } else {
+      s.ewma_scan += kAlpha * (scan - s.ewma_scan);
+      s.ewma_error += kAlpha * (error - s.ewma_error);
+    }
+    published = Summarise(name, s);
+  }
+  PublishGauges(name, published);
+}
+
+void ModelHealthMonitor::OnRebuildDecision(const std::string& index,
+                                           double score, bool triggered) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  State& s = states_[index];
+  s.last_score = score;
+  if (triggered) {
+    s.pre_rebuild_scan = s.ewma_seeded
+                             ? s.ewma_scan
+                             : (s.baseline_n > 0 ? s.baseline_scan_sum /
+                                                       s.baseline_n
+                                                 : 0);
+    s.benefit_pending = true;
+  }
+}
+
+IndexHealth ModelHealthMonitor::Summarise(const std::string& name,
+                                          const State& s) const {
+  IndexHealth h;
+  h.index = name;
+  h.builds = s.builds;
+  h.samples = s.samples;
+  if (s.baseline_n > 0) {
+    h.baseline_scan = s.baseline_scan_sum / s.baseline_n;
+    h.baseline_error = s.baseline_error_sum / s.baseline_n;
+  }
+  h.current_scan = s.ewma_seeded ? s.ewma_scan : h.baseline_scan;
+  h.current_error = s.ewma_seeded ? s.ewma_error : h.baseline_error;
+  // Drift compares EWMA to the post-build baseline. A zero baseline (e.g.
+  // perfectly predicted single-position scans) treats any positive current
+  // value as already-drifted only once it clears the degraded bar.
+  if (h.baseline_scan > 0) {
+    h.scan_drift = h.current_scan / h.baseline_scan;
+  } else {
+    h.scan_drift = h.current_scan > 0 ? kDegradedRatio : 1.0;
+  }
+  if (h.baseline_error > 0) {
+    h.error_drift = h.current_error / h.baseline_error;
+  } else {
+    h.error_drift = h.current_error > 1.0 ? kDegradedRatio : 1.0;
+  }
+  const uint64_t post_baseline =
+      s.samples > s.baseline_n ? s.samples - s.baseline_n : 0;
+  h.degraded = s.baseline_n >= kBaselineWindow &&
+               post_baseline >= kMinDriftSamples &&
+               (h.scan_drift >= kDegradedRatio ||
+                h.error_drift >= kDegradedRatio);
+  h.last_rebuild_score = s.last_score;
+  h.observed_benefit = s.observed_benefit;
+  return h;
+}
+
+void ModelHealthMonitor::PublishGauges(const std::string& name,
+                                       const IndexHealth& h) {
+  // Registry lookups take a mutex, but this runs once per *sampled* query
+  // (1/sample_every), not per query.
+  auto permille = [](double v) { return static_cast<int64_t>(v * 1000.0); };
+  GetGauge("model.scan_drift_permille{index=" + name + "}")
+      .Set(permille(h.scan_drift));
+  GetGauge("model.error_drift_permille{index=" + name + "}")
+      .Set(permille(h.error_drift));
+  GetGauge("model.degraded{index=" + name + "}").Set(h.degraded ? 1 : 0);
+}
+
+std::vector<IndexHealth> ModelHealthMonitor::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<IndexHealth> out;
+  out.reserve(states_.size());
+  for (const auto& [name, state] : states_) {
+    out.push_back(Summarise(name, state));
+  }
+  return out;
+}
+
+bool ModelHealthMonitor::AnyDegraded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, state] : states_) {
+    if (Summarise(name, state).degraded) return true;
+  }
+  return false;
+}
+
+void ModelHealthMonitor::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  states_.clear();
+}
+
+#endif  // ELSI_OBS_ENABLED
+
+}  // namespace obs
+}  // namespace elsi

@@ -1,0 +1,142 @@
+#ifndef ELSI_OBS_MODEL_HEALTH_H_
+#define ELSI_OBS_MODEL_HEALTH_H_
+
+/// Model-health monitor: per-index drift tracking for learned structures.
+///
+/// A learned index is "healthy" when its model still predicts positions
+/// about as well as it did right after the last (re)build. The monitor
+/// consumes the flight recorder's sampled QueryRecords (so it costs nothing
+/// on unsampled queries), splits them into a post-build baseline window and
+/// a running EWMA, and reports drift as current/baseline ratios for both
+/// scan length and prediction error. It also calibrates the rebuild
+/// predictor: every UpdateProcessor rebuild decision logs its predicted
+/// score, and the next completed rebuild measures the observed benefit
+/// (pre-rebuild scan EWMA over the fresh post-rebuild baseline).
+///
+/// Feeds three consumers: /healthz (degraded status per index), /varz and
+/// /metrics (gauges `model.scan_drift_permille{index=...}` etc.), and
+/// `elsi_cli stats`.
+///
+/// With ELSI_OBS_ENABLED=0 the monitor is an empty stub.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+
+#if ELSI_OBS_ENABLED
+#include <map>
+#include <mutex>
+#endif
+
+namespace elsi {
+namespace obs {
+
+/// Point-in-time health of one index (the unit of export).
+struct IndexHealth {
+  std::string index;
+  uint64_t builds = 0;        // OnBuild calls seen
+  uint64_t samples = 0;       // sampled queries since last build
+  double baseline_scan = 0;   // mean scan length over the baseline window
+  double current_scan = 0;    // EWMA of scan length after the window
+  double baseline_error = 0;  // mean |prediction error| over the window
+  double current_error = 0;   // EWMA after the window
+  double scan_drift = 1.0;    // current_scan / baseline_scan (1.0 = healthy)
+  double error_drift = 1.0;   // current_error / baseline_error
+  bool degraded = false;
+  // Rebuild-predictor calibration: last decision's predicted score and the
+  // observed benefit of the last completed rebuild (pre-rebuild scan EWMA /
+  // post-rebuild baseline mean; >1 means the rebuild helped). NaN-free:
+  // zero means "not yet measured".
+  double last_rebuild_score = 0;
+  double observed_benefit = 0;
+};
+
+/// {"indexes": [...], "degraded": bool} — consumed by /healthz.
+std::string ModelHealthJson(const std::vector<IndexHealth>& health);
+
+#if ELSI_OBS_ENABLED
+
+class ModelHealthMonitor {
+ public:
+  /// Samples that form the post-build baseline before drift is evaluated.
+  static constexpr uint64_t kBaselineWindow = 64;
+  /// EWMA weight of each new sample after the baseline window.
+  static constexpr double kAlpha = 0.05;
+  /// Drift ratio beyond which an index reports degraded (either axis).
+  static constexpr double kDegradedRatio = 2.0;
+  /// Minimum post-baseline samples before degraded can trip (debounce).
+  static constexpr uint64_t kMinDriftSamples = 16;
+
+  static ModelHealthMonitor& Get();
+
+  /// A (re)build completed for `index`: restart the baseline window. If a
+  /// triggered rebuild decision is pending, the new baseline closes its
+  /// calibration loop once filled.
+  void OnBuild(const std::string& index);
+
+  /// One sampled query (called by ~QueryScope, i.e. 1/sample_every).
+  void OnQuerySample(const QueryRecord& record);
+
+  /// UpdateProcessor rebuild decision: `score` is the predictor's output,
+  /// `triggered` whether a rebuild was actually launched.
+  void OnRebuildDecision(const std::string& index, double score,
+                         bool triggered);
+
+  std::vector<IndexHealth> Snapshot() const;
+
+  /// True if any tracked index currently reports degraded.
+  bool AnyDegraded() const;
+
+  /// Forgets every index. Test-only.
+  void Reset();
+
+ private:
+  struct State {
+    uint64_t builds = 0;
+    uint64_t samples = 0;       // since last build
+    uint64_t baseline_n = 0;    // samples inside the window
+    double baseline_scan_sum = 0;
+    double baseline_error_sum = 0;
+    double ewma_scan = 0;
+    double ewma_error = 0;
+    bool ewma_seeded = false;
+    double last_score = 0;
+    double pre_rebuild_scan = 0;  // EWMA frozen when a rebuild triggers
+    bool benefit_pending = false;
+    double observed_benefit = 0;
+  };
+
+  ModelHealthMonitor() = default;
+
+  IndexHealth Summarise(const std::string& name, const State& s) const;
+  void PublishGauges(const std::string& name, const IndexHealth& h);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, State> states_;
+};
+
+#else  // !ELSI_OBS_ENABLED — inline no-op stubs, same API.
+
+class ModelHealthMonitor {
+ public:
+  static constexpr uint64_t kBaselineWindow = 64;
+  static ModelHealthMonitor& Get() {
+    static ModelHealthMonitor monitor;
+    return monitor;
+  }
+  void OnBuild(const std::string&) {}
+  void OnQuerySample(const QueryRecord&) {}
+  void OnRebuildDecision(const std::string&, double, bool) {}
+  std::vector<IndexHealth> Snapshot() const { return {}; }
+  bool AnyDegraded() const { return false; }
+  void Reset() {}
+};
+
+#endif  // ELSI_OBS_ENABLED
+
+}  // namespace obs
+}  // namespace elsi
+
+#endif  // ELSI_OBS_MODEL_HEALTH_H_

@@ -8,14 +8,24 @@ namespace elsi {
 namespace obs {
 
 void TraceBuffer::Push(const TraceEvent& event) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (ring_.size() < kCapacity) {
-    ring_.push_back(event);
-  } else {
-    ring_[next_ % kCapacity] = event;
+  bool dropped = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (ring_.size() < kCapacity) {
+      ring_.push_back(event);
+    } else {
+      ring_[next_ % kCapacity] = event;
+      dropped = true;
+    }
+    ++next_;
+    ++total_;
   }
-  ++next_;
-  ++total_;
+  if (dropped) {
+    // Rings silently overwrite; the counter makes the loss visible on
+    // /metrics, /healthz, and `elsi_cli stats`.
+    static Counter& dropped_total = GetCounter("trace.dropped_total");
+    dropped_total.Add();
+  }
 }
 
 ThreadTrace TraceBuffer::Snapshot() const {

@@ -28,6 +28,18 @@ obs::Histogram& RebuildSwapMsHistogram() {
   return h;
 }
 
+/// WAL records appended since the last durable snapshot — the replay debt a
+/// crash would incur. Zeroed by checkpoints/rebuild-swaps; read by /healthz.
+obs::Gauge& WalLagGauge() {
+  static obs::Gauge& g = obs::GetGauge("persist.wal_lag");
+  return g;
+}
+
+obs::Gauge& SnapshotSeqGauge() {
+  static obs::Gauge& g = obs::GetGauge("persist.snapshot_seq");
+  return g;
+}
+
 }  // namespace
 
 std::unique_ptr<DurableElsi> DurableElsi::OpenOrRecover(
@@ -122,6 +134,9 @@ std::unique_ptr<DurableElsi> DurableElsi::OpenOrRecover(
     raw->rebuild_requested_ = true;
   });
 
+  SnapshotSeqGauge().Set(static_cast<int64_t>(elsi->snapshot_seq_));
+  WalLagGauge().Set(static_cast<int64_t>(replay.applied));
+
   if (stats != nullptr) *stats = local;
   return elsi;
 }
@@ -143,6 +158,7 @@ void DurableElsi::Insert(const Point& p) {
     std::unique_lock<std::shared_mutex> swap_lock(swap_mu_);
     processor_->Insert(p);
   }
+  WalLagGauge().Add(1);
   if (rebuild_requested_) {
     rebuild_requested_ = false;
     RebuildSwapLocked();
@@ -156,6 +172,8 @@ bool DurableElsi::Remove(const Point& p) {
     std::unique_lock<std::shared_mutex> swap_lock(swap_mu_);
     removed = processor_->Remove(p);
   }
+  // Log-before-apply: the WAL record lands even when the target is absent.
+  WalLagGauge().Add(1);
   if (rebuild_requested_) {
     rebuild_requested_ = false;
     RebuildSwapLocked();
@@ -194,6 +212,8 @@ void DurableElsi::RebuildSwapLocked() {
   snapshot_seq_ = seq;
   PruneSnapshotsLocked();
   wal_.TruncateThrough(last_lsn);
+  SnapshotSeqGauge().Set(static_cast<int64_t>(seq));
+  WalLagGauge().Set(0);
 }
 
 bool DurableElsi::CheckpointLocked() {
@@ -208,6 +228,8 @@ bool DurableElsi::CheckpointLocked() {
   snapshot_seq_ = seq;
   PruneSnapshotsLocked();
   wal_.TruncateThrough(last_lsn);
+  SnapshotSeqGauge().Set(static_cast<int64_t>(seq));
+  WalLagGauge().Set(0);
   return true;
 }
 

@@ -1,0 +1,205 @@
+// Tests for the bench_diff comparison library (tools/bench_diff_lib.h):
+// JSON parsing, path flattening with name-keyed arrays, metric
+// classification, tolerance edges, and the gate semantics the CI
+// bench-regression job relies on — an injected slowdown fails, an
+// improvement passes, an exact-metric (checksum) change fails.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "bench_diff_lib.h"
+
+namespace elsi {
+namespace benchdiff {
+namespace {
+
+JsonValue Parse(const std::string& text) {
+  JsonValue value;
+  std::string error;
+  EXPECT_TRUE(ParseJson(text, &value, &error)) << error;
+  return value;
+}
+
+TEST(JsonParserTest, ParsesScalarsArraysObjects) {
+  const JsonValue v = Parse(
+      "{\"a\": 1.5, \"b\": \"text\", \"c\": true, \"d\": null,"
+      " \"e\": [1, -2, 3e2], \"f\": {\"nested\": 0}}");
+  ASSERT_EQ(v.kind, JsonValue::Kind::kObject);
+  EXPECT_DOUBLE_EQ(v.Find("a")->number, 1.5);
+  EXPECT_EQ(v.Find("b")->string, "text");
+  EXPECT_TRUE(v.Find("c")->boolean);
+  EXPECT_EQ(v.Find("d")->kind, JsonValue::Kind::kNull);
+  ASSERT_EQ(v.Find("e")->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(v.Find("e")->array[2].number, 300.0);
+  EXPECT_DOUBLE_EQ(v.Find("f")->Find("nested")->number, 0.0);
+}
+
+TEST(JsonParserTest, HandlesEscapesAndRejectsGarbage) {
+  EXPECT_EQ(Parse("{\"s\": \"a\\n\\\"b\\\"\"}").Find("s")->string,
+            "a\n\"b\"");
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(ParseJson("{\"a\": }", &v, &error));
+  EXPECT_FALSE(ParseJson("{\"a\": 1} trailing", &v, &error));
+  EXPECT_FALSE(ParseJson("[1, 2", &v, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(FlattenTest, KeysArraysByNameAndIndex) {
+  const JsonValue v = Parse(
+      "{\"queries\": [{\"query\": \"point\", \"avg_us\": 2.0},"
+      "              {\"query\": \"window\", \"avg_us\": 9.0}],"
+      " \"raw\": [10, 20]}");
+  std::map<std::string, JsonValue> flat;
+  Flatten(v, "", &flat);
+  ASSERT_TRUE(flat.count("queries[point].avg_us"));
+  EXPECT_DOUBLE_EQ(flat["queries[window].avg_us"].number, 9.0);
+  EXPECT_DOUBLE_EQ(flat["raw[0]"].number, 10.0);
+  EXPECT_DOUBLE_EQ(flat["raw[1]"].number, 20.0);
+}
+
+TEST(FlattenTest, DisambiguatesSweepRowsByBatchAndThreads) {
+  const JsonValue v = Parse(
+      "{\"rows\": [{\"query\": \"point\", \"batch\": 64, \"avg_us\": 1.0},"
+      "            {\"query\": \"point\", \"batch\": 256, \"avg_us\": 2.0}]}");
+  std::map<std::string, JsonValue> flat;
+  Flatten(v, "", &flat);
+  EXPECT_DOUBLE_EQ(flat["rows[point/batch=64].avg_us"].number, 1.0);
+  EXPECT_DOUBLE_EQ(flat["rows[point/batch=256].avg_us"].number, 2.0);
+}
+
+TEST(ClassifyTest, RoutesMetricFamilies) {
+  EXPECT_EQ(ClassifyPath("queries[point].avg_us"),
+            MetricClass::kTimeLowerBetter);
+  EXPECT_EQ(ClassifyPath("benchmarks[BM_Build].real_time"),
+            MetricClass::kTimeLowerBetter);
+  EXPECT_EQ(ClassifyPath("queries[window].speedup"),
+            MetricClass::kHigherBetter);
+  EXPECT_EQ(ClassifyPath("queries[knn].recall"), MetricClass::kHigherBetter);
+  EXPECT_EQ(ClassifyPath("checksum"), MetricClass::kExact);
+  EXPECT_EQ(ClassifyPath("obs_enabled"), MetricClass::kExact);
+  EXPECT_EQ(ClassifyPath("dataset_n"), MetricClass::kContext);
+  EXPECT_EQ(ClassifyPath("context.num_cpus"), MetricClass::kIgnored);
+  EXPECT_EQ(ClassifyPath("date"), MetricClass::kIgnored);
+  EXPECT_EQ(ClassifyPath("benchmarks[BM_Build].iterations"),
+            MetricClass::kIgnored);
+}
+
+constexpr char kBaseline[] =
+    "{\"dataset_n\": 1000, \"checksum\": 42,"
+    " \"queries\": [{\"query\": \"point\", \"avg_us\": 10.0,"
+    "                \"speedup\": 4.0}]}";
+
+DiffReport DiffAgainstBaseline(const std::string& fresh,
+                               DiffOptions options = {}) {
+  return DiffStrings(kBaseline, fresh, options);
+}
+
+TEST(DiffTest, IdenticalRunsPass) {
+  const DiffReport report = DiffAgainstBaseline(kBaseline);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.failures, 0);
+  EXPECT_GT(report.compared, 0);
+}
+
+TEST(DiffTest, InjectedRegressionFails) {
+  // 25% slower than baseline, past the default 20% tolerance.
+  const DiffReport report = DiffAgainstBaseline(
+      "{\"dataset_n\": 1000, \"checksum\": 42,"
+      " \"queries\": [{\"query\": \"point\", \"avg_us\": 12.5,"
+      "                \"speedup\": 4.0}]}");
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.failures, 1);
+  EXPECT_NE(report.ToText().find("queries[point].avg_us"),
+            std::string::npos);
+}
+
+TEST(DiffTest, RegressionWithinToleranceAndImprovementsPass) {
+  // 15% slower: inside 20%. Speedup doubled: improvements never fail.
+  const DiffReport report = DiffAgainstBaseline(
+      "{\"dataset_n\": 1000, \"checksum\": 42,"
+      " \"queries\": [{\"query\": \"point\", \"avg_us\": 11.5,"
+      "                \"speedup\": 8.0}]}");
+  EXPECT_TRUE(report.ok()) << report.ToText();
+}
+
+TEST(DiffTest, QualityDropFails) {
+  const DiffReport report = DiffAgainstBaseline(
+      "{\"dataset_n\": 1000, \"checksum\": 42,"
+      " \"queries\": [{\"query\": \"point\", \"avg_us\": 10.0,"
+      "                \"speedup\": 1.0}]}");
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(DiffTest, ExactMetricChangeFails) {
+  const DiffReport report = DiffAgainstBaseline(
+      "{\"dataset_n\": 1000, \"checksum\": 43,"
+      " \"queries\": [{\"query\": \"point\", \"avg_us\": 10.0,"
+      "                \"speedup\": 4.0}]}");
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.ToText().find("checksum"), std::string::npos);
+}
+
+TEST(DiffTest, ContextMismatchFails) {
+  const DiffReport report = DiffAgainstBaseline(
+      "{\"dataset_n\": 2000, \"checksum\": 42,"
+      " \"queries\": [{\"query\": \"point\", \"avg_us\": 10.0,"
+      "                \"speedup\": 4.0}]}");
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.ToText().find("not comparable"), std::string::npos);
+}
+
+TEST(DiffTest, MissingMetricFails) {
+  const DiffReport report = DiffAgainstBaseline(
+      "{\"dataset_n\": 1000, \"checksum\": 42, \"queries\": []}");
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.ToText().find("missing"), std::string::npos);
+}
+
+TEST(DiffTest, AdvisoryTimeDemotesTimeFailuresOnly) {
+  DiffOptions options;
+  options.advisory_time = true;
+  const DiffReport slow = DiffAgainstBaseline(
+      "{\"dataset_n\": 1000, \"checksum\": 42,"
+      " \"queries\": [{\"query\": \"point\", \"avg_us\": 50.0,"
+      "                \"speedup\": 4.0}]}",
+      options);
+  EXPECT_TRUE(slow.ok());
+  EXPECT_EQ(slow.warnings, 1);
+  const DiffReport bad_checksum = DiffAgainstBaseline(
+      "{\"dataset_n\": 1000, \"checksum\": 7,"
+      " \"queries\": [{\"query\": \"point\", \"avg_us\": 10.0,"
+      "                \"speedup\": 4.0}]}",
+      options);
+  EXPECT_FALSE(bad_checksum.ok());
+}
+
+TEST(DiffTest, OverridesAreSubstringMatchedLongestWins) {
+  DiffOptions options;
+  options.overrides["avg_us"] = 0.5;  // loosen point latency to 50%
+  const DiffReport loose = DiffAgainstBaseline(
+      "{\"dataset_n\": 1000, \"checksum\": 42,"
+      " \"queries\": [{\"query\": \"point\", \"avg_us\": 14.0,"
+      "                \"speedup\": 4.0}]}",
+      options);
+  EXPECT_TRUE(loose.ok()) << loose.ToText();
+  options.overrides["queries[point].avg_us"] = 0.1;  // longer match wins
+  const DiffReport tight = DiffAgainstBaseline(
+      "{\"dataset_n\": 1000, \"checksum\": 42,"
+      " \"queries\": [{\"query\": \"point\", \"avg_us\": 14.0,"
+      "                \"speedup\": 4.0}]}",
+      options);
+  EXPECT_FALSE(tight.ok());
+}
+
+TEST(DiffTest, ParseErrorSurfacesAsFailure) {
+  const DiffReport report = DiffStrings(kBaseline, "{not json", {});
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.entries.size(), 1u);
+  EXPECT_EQ(report.entries[0].path, "<fresh>");
+}
+
+}  // namespace
+}  // namespace benchdiff
+}  // namespace elsi

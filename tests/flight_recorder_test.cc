@@ -1,0 +1,186 @@
+// Tests for the query flight recorder: deterministic per-thread sampling
+// (serial vs threaded), ring wraparound accounting, scan attribution via
+// QueryScope::ActiveSampled, nesting (outermost-only sampling), and the
+// QueriesJson golden. The recorder is process-global, so every sampling
+// test runs its workload on fresh threads (each starts with zeroed
+// thread-local counters) and filters records by a test-unique index name.
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/flight_recorder.h"
+#include "obs/model_health.h"
+
+namespace elsi {
+namespace obs {
+namespace {
+
+TEST(QueriesJsonTest, GoldenShape) {
+  FlightSnapshot snap;
+  snap.sample_every = 64;
+  snap.dropped = 3;
+  QueryRecord r;
+  r.trace_id = (7ull << 32) | 1;
+  r.start_ns = 100;
+  r.latency_ns = 2500;
+  r.scan_len = 12;
+  r.segments = 2;
+  r.pred_error = 4.5;
+  r.index = "ZM";
+  r.kind = QueryKind::kWindow;
+  r.tid = 7;
+  snap.records.push_back(r);
+
+  const std::string json = QueriesJson(snap);
+  EXPECT_NE(json.find("\"sample_every\": 64"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"window\""), std::string::npos);
+  EXPECT_NE(json.find("\"index\": \"ZM\""), std::string::npos);
+  EXPECT_NE(json.find("\"scan_len\": 12"), std::string::npos);
+  EXPECT_NE(json.find("\"pred_error\": 4.5"), std::string::npos);
+}
+
+TEST(QueriesJsonTest, EmptySnapshotIsValid) {
+  const std::string json = QueriesJson(FlightSnapshot{});
+  EXPECT_EQ(json, "{\"sample_every\": 0, \"dropped\": 0, \"records\": []}\n");
+}
+
+#if ELSI_OBS_ENABLED
+
+size_t CountRecords(const char* index) {
+  const FlightSnapshot snap = FlightRecorder::Get().Snapshot();
+  size_t count = 0;
+  for (const QueryRecord& r : snap.records) {
+    if (r.index != nullptr && std::strcmp(r.index, index) == 0) ++count;
+  }
+  return count;
+}
+
+/// Runs `queries` empty QueryScopes tagged `index` on `threads` fresh
+/// threads (`queries` split evenly) and returns the records produced.
+size_t RunWorkload(const char* index, size_t queries, size_t threads) {
+  const size_t before = CountRecords(index);
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([index, per_thread = queries / threads] {
+      for (size_t i = 0; i < per_thread; ++i) {
+        QueryScope scope(index, QueryKind::kPoint);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  return CountRecords(index) - before;
+}
+
+TEST(FlightRecorderTest, SamplingIsDeterministicAcrossThreadCounts) {
+  FlightRecorder::Get().SetSampleEvery(8);
+  // 256 queries, N=8: serial floor(256/8)=32; 4 threads each
+  // floor(64/8)=8, total 32. T*N divides Q, so the counts match exactly.
+  EXPECT_EQ(RunWorkload("DET1", 256, 1), 32u);
+  EXPECT_EQ(RunWorkload("DET4", 256, 4), 32u);
+  FlightRecorder::Get().SetSampleEvery(FlightRecorder::kDefaultSampleEvery);
+}
+
+TEST(FlightRecorderTest, SampleEveryZeroDisablesSampling) {
+  FlightRecorder::Get().SetSampleEvery(0);
+  EXPECT_EQ(RunWorkload("OFF", 512, 1), 0u);
+  FlightRecorder::Get().SetSampleEvery(FlightRecorder::kDefaultSampleEvery);
+}
+
+TEST(FlightRecorderTest, RingWrapsAndCountsOverwrites) {
+  FlightRecorder::Get().SetSampleEvery(1);
+  const uint64_t dropped_before = FlightRecorder::Get().Snapshot().dropped;
+  const size_t pushes = FlightRing::kCapacity + 100;
+  // One fresh thread => one fresh ring; every query sampled.
+  const size_t collected = RunWorkload("WRAP", pushes, 1);
+  // The ring holds at most kCapacity records (the reader may skip the one
+  // slot being overwritten mid-copy, but this writer is done).
+  EXPECT_LE(collected, FlightRing::kCapacity);
+  EXPECT_GE(collected, FlightRing::kCapacity - 1);
+  const uint64_t dropped_after = FlightRecorder::Get().Snapshot().dropped;
+  EXPECT_GE(dropped_after - dropped_before, 100u);
+  FlightRecorder::Get().SetSampleEvery(FlightRecorder::kDefaultSampleEvery);
+}
+
+TEST(QueryScopeTest, AddScanAccumulatesAndKeepsWorstError) {
+  FlightRecorder::Get().SetSampleEvery(1);
+  std::thread worker([] {
+    QueryScope scope("ACC", QueryKind::kWindow);
+    ASSERT_EQ(QueryScope::ActiveSampled(), &scope);
+    scope.AddScan(10, 3.0);
+    scope.AddScan(5, 7.0);
+    scope.AddScan(1, 2.0);
+  });
+  worker.join();
+  const FlightSnapshot snap = FlightRecorder::Get().Snapshot();
+  const QueryRecord* found = nullptr;
+  for (const QueryRecord& r : snap.records) {
+    if (r.index != nullptr && std::strcmp(r.index, "ACC") == 0) found = &r;
+  }
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->scan_len, 16u);
+  EXPECT_EQ(found->segments, 3u);
+  EXPECT_DOUBLE_EQ(found->pred_error, 7.0);
+  EXPECT_EQ(found->kind, QueryKind::kWindow);
+  EXPECT_GT(found->latency_ns, 0u);
+  EXPECT_EQ(found->trace_id >> 32, found->tid);
+  FlightRecorder::Get().SetSampleEvery(FlightRecorder::kDefaultSampleEvery);
+}
+
+TEST(QueryScopeTest, OnlyTheOutermostScopeSamples) {
+  FlightRecorder::Get().SetSampleEvery(1);
+  std::thread worker([] {
+    for (int i = 0; i < 10; ++i) {
+      QueryScope outer("OUTER", QueryKind::kKnn);
+      // A kNN query's internal window probes: never sampled themselves,
+      // and their scans attribute to the outer record.
+      QueryScope inner("INNER", QueryKind::kWindow);
+      EXPECT_FALSE(inner.sampled());
+      EXPECT_EQ(QueryScope::ActiveSampled(), &outer);
+      QueryScope::ActiveSampled()->AddScan(4, 1.0);
+    }
+  });
+  worker.join();
+  EXPECT_EQ(CountRecords("OUTER"), 10u);
+  EXPECT_EQ(CountRecords("INNER"), 0u);
+  FlightRecorder::Get().SetSampleEvery(FlightRecorder::kDefaultSampleEvery);
+}
+
+TEST(FlightRecorderTest, ClearDropsRecordedEvents) {
+  FlightRecorder::Get().SetSampleEvery(1);
+  ASSERT_GT(RunWorkload("CLEAR", 16, 1), 0u);
+  FlightRecorder::Get().Clear();
+  EXPECT_EQ(CountRecords("CLEAR"), 0u);
+  FlightRecorder::Get().SetSampleEvery(FlightRecorder::kDefaultSampleEvery);
+}
+
+TEST(FlightRecorderTest, SnapshotIsSortedByStartTime) {
+  FlightRecorder::Get().SetSampleEvery(4);
+  RunWorkload("SORT", 64, 4);
+  const FlightSnapshot snap = FlightRecorder::Get().Snapshot();
+  for (size_t i = 1; i < snap.records.size(); ++i) {
+    EXPECT_LE(snap.records[i - 1].start_ns, snap.records[i].start_ns);
+  }
+  FlightRecorder::Get().SetSampleEvery(FlightRecorder::kDefaultSampleEvery);
+}
+
+#else  // !ELSI_OBS_ENABLED
+
+TEST(FlightRecorderStubTest, EverythingIsInert) {
+  QueryScope scope("ZM", QueryKind::kPoint);
+  EXPECT_FALSE(scope.sampled());
+  EXPECT_EQ(QueryScope::ActiveSampled(), nullptr);
+  scope.AddScan(10, 1.0);  // compiles, does nothing
+  EXPECT_EQ(FlightRecorder::Get().sample_every(), 0u);
+  EXPECT_TRUE(FlightRecorder::Get().Snapshot().records.empty());
+}
+
+#endif  // ELSI_OBS_ENABLED
+
+}  // namespace
+}  // namespace obs
+}  // namespace elsi

@@ -1,0 +1,271 @@
+// Tests for the embedded HTTP exposition server: golden endpoint bodies via
+// the socket-free Handle() dispatch, a Prometheus text-format validity
+// check, real socket round-trips with port-0 auto-bind, concurrent scrapes
+// under query load (run this binary under TSan), and /healthz flipping to
+// degraded when drift is injected into the model-health monitor.
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/flight_recorder.h"
+#include "obs/http_exporter.h"
+#include "obs/metrics.h"
+#include "obs/model_health.h"
+
+namespace elsi {
+namespace obs {
+namespace {
+
+struct Response {
+  int status = 0;
+  std::string content_type;
+  std::string body;
+};
+
+Response Dispatch(const std::string& path) {
+  Response r;
+  HttpExporter::Handle(path, &r.status, &r.content_type, &r.body);
+  return r;
+}
+
+#if ELSI_OBS_ENABLED
+
+/// Minimal Prometheus text-format check: every non-comment, non-blank line
+/// is `name{labels} value` or `name value` with a parseable float value and
+/// a [a-zA-Z_:][a-zA-Z0-9_:]* metric name.
+bool ValidPrometheusText(const std::string& text, std::string* bad_line) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    size_t name_end = 0;
+    while (name_end < line.size() &&
+           (std::isalnum(static_cast<unsigned char>(line[name_end])) ||
+            line[name_end] == '_' || line[name_end] == ':')) {
+      ++name_end;
+    }
+    if (name_end == 0 ||
+        std::isdigit(static_cast<unsigned char>(line[0]))) {
+      *bad_line = line;
+      return false;
+    }
+    size_t value_start = name_end;
+    if (value_start < line.size() && line[value_start] == '{') {
+      const size_t close = line.find('}', value_start);
+      if (close == std::string::npos) {
+        *bad_line = line;
+        return false;
+      }
+      value_start = close + 1;
+    }
+    if (value_start >= line.size() || line[value_start] != ' ') {
+      *bad_line = line;
+      return false;
+    }
+    char* end = nullptr;
+    const std::string value = line.substr(value_start + 1);
+    std::strtod(value.c_str(), &end);
+    if (end == value.c_str() && value != "+Inf" && value != "NaN") {
+      *bad_line = line;
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(HttpHandleTest, MetricsIsValidPrometheusText) {
+  GetCounter("test.http.counter").Add(5);
+  GetGauge("test.http.gauge").Set(-2);
+  GetHistogram("test.http.hist{index=ZM}", HistogramSpec::LatencyUs())
+      .Observe(12.5);
+  const Response r = Dispatch("/metrics");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.content_type, "text/plain; version=0.0.4");
+  std::string bad;
+  EXPECT_TRUE(ValidPrometheusText(r.body, &bad)) << "bad line: " << bad;
+  EXPECT_NE(r.body.find("elsi_test_http_counter 5"), std::string::npos);
+  EXPECT_NE(r.body.find("elsi_test_http_hist_bucket{index=\"ZM\""),
+            std::string::npos);
+}
+
+TEST(HttpHandleTest, MetricsCarriesFlightExemplars) {
+  FlightRecorder::Get().SetSampleEvery(1);
+  std::thread worker([] {
+    QueryScope scope("EXEMPLAR", QueryKind::kPoint);
+    scope.AddScan(3, 1.0);
+  });
+  worker.join();
+  FlightRecorder::Get().SetSampleEvery(FlightRecorder::kDefaultSampleEvery);
+  const Response r = Dispatch("/metrics");
+  EXPECT_NE(r.body.find("# exemplar elsi_query_flight_latency_us"),
+            std::string::npos);
+  EXPECT_NE(r.body.find("trace_id="), std::string::npos);
+  std::string bad;
+  EXPECT_TRUE(ValidPrometheusText(r.body, &bad)) << "bad line: " << bad;
+}
+
+TEST(HttpHandleTest, HealthzReportsBuildInfoAndPersistLag) {
+  const Response r = Dispatch("/healthz");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.content_type, "application/json");
+  EXPECT_NE(r.body.find("\"status\": "), std::string::npos);
+  EXPECT_NE(r.body.find("\"git_sha\": "), std::string::npos);
+  EXPECT_NE(r.body.find("\"obs_enabled\": 1"), std::string::npos);
+  EXPECT_NE(r.body.find("\"sanitizer\": "), std::string::npos);
+  EXPECT_NE(r.body.find("\"wal_lag\": "), std::string::npos);
+  EXPECT_NE(r.body.find("\"snapshot_seq\": "), std::string::npos);
+  EXPECT_NE(r.body.find("\"trace\": {\"dropped\": "), std::string::npos);
+  EXPECT_NE(r.body.find("\"model_health\": "), std::string::npos);
+}
+
+TEST(HttpHandleTest, HealthzReflectsInjectedDrift) {
+  ModelHealthMonitor& monitor = ModelHealthMonitor::Get();
+  monitor.Reset();
+  monitor.OnBuild("DRIFTY");
+  QueryRecord r;
+  r.index = "DRIFTY";
+  r.kind = QueryKind::kPoint;
+  // Healthy baseline: 64 samples with scan length 10.
+  r.scan_len = 10;
+  r.pred_error = 2.0;
+  for (uint64_t i = 0; i < ModelHealthMonitor::kBaselineWindow; ++i) {
+    monitor.OnQuerySample(r);
+  }
+  EXPECT_NE(Dispatch("/healthz").body.find("\"status\": \"ok\""),
+            std::string::npos);
+  // Inject drift: scans now 10x the baseline, well past kDegradedRatio.
+  r.scan_len = 100;
+  r.pred_error = 40.0;
+  for (uint64_t i = 0; i < 4 * ModelHealthMonitor::kMinDriftSamples; ++i) {
+    monitor.OnQuerySample(r);
+  }
+  const Response degraded = Dispatch("/healthz");
+  EXPECT_NE(degraded.body.find("\"status\": \"degraded\""),
+            std::string::npos);
+  EXPECT_NE(degraded.body.find("\"index\": \"DRIFTY\""), std::string::npos);
+  EXPECT_TRUE(monitor.AnyDegraded());
+  // A rebuild resets the baseline and clears the degraded flag.
+  monitor.OnBuild("DRIFTY");
+  EXPECT_NE(Dispatch("/healthz").body.find("\"status\": \"ok\""),
+            std::string::npos);
+  monitor.Reset();
+}
+
+TEST(HttpHandleTest, VarzEmbedsMetricsJson) {
+  const Response r = Dispatch("/varz");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("\"uptime_s\": "), std::string::npos);
+  EXPECT_NE(r.body.find("\"build_info\": "), std::string::npos);
+  EXPECT_NE(r.body.find("\"flight\": {\"sample_every\": "),
+            std::string::npos);
+  EXPECT_NE(r.body.find("\"metrics\": {"), std::string::npos);
+}
+
+TEST(HttpHandleTest, DebugEndpointsAndIndexAnd404) {
+  EXPECT_EQ(Dispatch("/debug/trace").status, 200);
+  EXPECT_NE(Dispatch("/debug/trace").body.find("\"traceEvents\""),
+            std::string::npos);
+  EXPECT_NE(Dispatch("/debug/queries").body.find("\"sample_every\""),
+            std::string::npos);
+  EXPECT_EQ(Dispatch("/").status, 200);
+  EXPECT_NE(Dispatch("/").body.find("/healthz"), std::string::npos);
+  EXPECT_EQ(Dispatch("/nope").status, 404);
+}
+
+TEST(HttpExporterTest, PortZeroAutoBindsDistinctPorts) {
+  HttpExporter a, b;
+  ASSERT_TRUE(a.Start({}));
+  ASSERT_TRUE(b.Start({}));
+  EXPECT_TRUE(a.running());
+  EXPECT_GT(a.port(), 0);
+  EXPECT_GT(b.port(), 0);
+  EXPECT_NE(a.port(), b.port());
+  a.Stop();
+  b.Stop();
+  EXPECT_FALSE(a.running());
+}
+
+TEST(HttpExporterTest, ServesOverARealSocket) {
+  HttpExporter server;
+  ASSERT_TRUE(server.Start({}));
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(HttpGet("127.0.0.1", server.port(), "/healthz", &status,
+                      &body));
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("\"status\": "), std::string::npos);
+  // Query strings are stripped before dispatch.
+  ASSERT_TRUE(HttpGet("127.0.0.1", server.port(), "/metrics?x=1", &status,
+                      &body));
+  EXPECT_EQ(status, 200);
+  ASSERT_TRUE(
+      HttpGet("127.0.0.1", server.port(), "/missing", &status, &body));
+  EXPECT_EQ(status, 404);
+  server.Stop();
+  EXPECT_FALSE(HttpGet("127.0.0.1", server.port(), "/healthz", &status,
+                       &body));
+}
+
+TEST(HttpExporterTest, ConcurrentScrapesUnderQueryLoad) {
+  HttpExporter server;
+  ASSERT_TRUE(server.Start({}));
+  const uint16_t port = server.port();
+
+  // Writers: sampled queries banging the rings and registries while
+  // scrapers snapshot them (the TSan-relevant interleaving).
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 2; ++t) {
+    writers.emplace_back([] {
+      for (int i = 0; i < 400; ++i) {
+        QueryScope scope("LOAD", QueryKind::kPoint);
+        if (QueryScope* active = QueryScope::ActiveSampled()) {
+          active->AddScan(8, 2.0);
+        }
+      }
+    });
+  }
+  std::vector<std::thread> scrapers;
+  std::atomic<int> failures{0};
+  const char* paths[] = {"/metrics", "/varz", "/healthz", "/debug/queries"};
+  for (int t = 0; t < 4; ++t) {
+    scrapers.emplace_back([port, &failures, path = paths[t]] {
+      for (int i = 0; i < 8; ++i) {
+        int status = 0;
+        std::string body;
+        if (!HttpGet("127.0.0.1", port, path, &status, &body) ||
+            status != 200 || body.empty()) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  for (auto& s : scrapers) s.join();
+  EXPECT_EQ(failures.load(), 0);
+  server.Stop();
+}
+
+#else  // !ELSI_OBS_ENABLED
+
+TEST(HttpExporterStubTest, StartFailsAndHandleIs404) {
+  HttpExporter server;
+  EXPECT_FALSE(server.Start({}));
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.port(), 0);
+  const Response r = Dispatch("/metrics");
+  EXPECT_EQ(r.status, 404);
+  EXPECT_EQ(r.body, "observability compiled out\n");
+}
+
+#endif  // ELSI_OBS_ENABLED
+
+}  // namespace
+}  // namespace obs
+}  // namespace elsi

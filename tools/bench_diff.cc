@@ -1,0 +1,173 @@
+// bench_diff — the CI bench-regression gate.
+//
+// Compares fresh BENCH_*.json outputs against checked-in baselines
+// (bench/baselines/) and exits non-zero when a gated metric regresses past
+// its tolerance. See bench_diff_lib.h for the classification rules.
+//
+// usage:
+//   bench_diff [options] <baseline.json> <fresh.json> [<base2> <fresh2> ...]
+//   bench_diff [options] --baseline-dir DIR --fresh-dir DIR
+//
+// options:
+//   --tolerance F        relative tolerance for rate/time metrics (0.20)
+//   --metric SUB=F       per-metric override, substring-matched (repeatable)
+//   --advisory-time      demote time regressions to warnings (cross-machine)
+//   --report FILE        also write the text report to FILE (CI artifact)
+//
+// With --baseline-dir/--fresh-dir, every *.json in the baseline dir is
+// paired with the same-named file in the fresh dir; a missing fresh file is
+// a failure (the bench stopped producing it).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_diff_lib.h"
+
+namespace elsi {
+namespace benchdiff {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  bench_diff [options] <baseline.json> <fresh.json> [pairs...]\n"
+      "  bench_diff [options] --baseline-dir DIR --fresh-dir DIR\n"
+      "options:\n"
+      "  --tolerance F     relative tolerance (default 0.20)\n"
+      "  --metric SUB=F    substring-matched override (repeatable)\n"
+      "  --advisory-time   time regressions warn instead of fail\n"
+      "  --report FILE     write the text report to FILE too\n");
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  DiffOptions options;
+  std::string baseline_dir, fresh_dir, report_path;
+  std::vector<std::string> positional;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--tolerance") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.tolerance = std::atof(v);
+    } else if (arg == "--metric") {
+      const char* v = next();
+      const char* eq = v != nullptr ? std::strchr(v, '=') : nullptr;
+      if (eq == nullptr) return Usage();
+      options.overrides[std::string(v, eq - v)] = std::atof(eq + 1);
+    } else if (arg == "--advisory-time") {
+      options.advisory_time = true;
+    } else if (arg == "--baseline-dir") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      baseline_dir = v;
+    } else if (arg == "--fresh-dir") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      fresh_dir = v;
+    } else if (arg == "--report") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      report_path = v;
+    } else if (arg.rfind("--", 0) == 0) {
+      return Usage();
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
+  std::vector<std::pair<std::string, std::string>> pairs;
+  if (!baseline_dir.empty() || !fresh_dir.empty()) {
+    if (baseline_dir.empty() || fresh_dir.empty() || !positional.empty()) {
+      return Usage();
+    }
+    std::error_code ec;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(baseline_dir, ec)) {
+      if (entry.path().extension() != ".json") continue;
+      pairs.emplace_back(entry.path().string(),
+                         (std::filesystem::path(fresh_dir) /
+                          entry.path().filename()).string());
+    }
+    if (ec) {
+      std::fprintf(stderr, "bench_diff: cannot read %s\n",
+                   baseline_dir.c_str());
+      return 2;
+    }
+    std::sort(pairs.begin(), pairs.end());
+  } else {
+    if (positional.empty() || positional.size() % 2 != 0) return Usage();
+    for (size_t i = 0; i < positional.size(); i += 2) {
+      pairs.emplace_back(positional[i], positional[i + 1]);
+    }
+  }
+  if (pairs.empty()) {
+    std::fprintf(stderr, "bench_diff: no baseline files found\n");
+    return 2;
+  }
+
+  std::ostringstream report;
+  int failures = 0, warnings = 0;
+  for (const auto& [baseline_path, fresh_path] : pairs) {
+    report << "== " << baseline_path << " vs " << fresh_path << " ==\n";
+    std::string baseline_text, fresh_text;
+    if (!ReadFile(baseline_path, &baseline_text)) {
+      report << "FAIL  cannot read baseline " << baseline_path << "\n";
+      ++failures;
+      continue;
+    }
+    if (!ReadFile(fresh_path, &fresh_text)) {
+      report << "FAIL  fresh result missing: " << fresh_path
+             << " (the bench stopped producing it)\n";
+      ++failures;
+      continue;
+    }
+    const DiffReport diff = DiffStrings(baseline_text, fresh_text, options);
+    report << diff.ToText();
+    failures += diff.failures;
+    warnings += diff.warnings;
+  }
+  report << (failures > 0 ? "RESULT: REGRESSION\n" : "RESULT: OK\n");
+
+  const std::string text = report.str();
+  std::fputs(text.c_str(), stdout);
+  if (!report_path.empty()) {
+    std::ofstream out(report_path, std::ios::binary | std::ios::trunc);
+    out << text;
+    if (!out) {
+      std::fprintf(stderr, "bench_diff: cannot write %s\n",
+                   report_path.c_str());
+      return 2;
+    }
+  }
+  (void)warnings;
+  return failures > 0 ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace benchdiff
+}  // namespace elsi
+
+int main(int argc, char** argv) { return elsi::benchdiff::Main(argc, argv); }

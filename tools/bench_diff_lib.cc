@@ -1,0 +1,495 @@
+#include "bench_diff_lib.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace elsi {
+namespace benchdiff {
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+// --- parser ---------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out, std::string* error) {
+    SkipWs();
+    if (!Value(out)) {
+      if (error != nullptr) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "JSON parse error near offset %zu",
+                      pos_);
+        *error = buf;
+      }
+      return false;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      if (error != nullptr) *error = "trailing characters after document";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word, size_t len) {
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  bool Value(JsonValue* out) {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return Object(out);
+      case '[':
+        return Array(out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return String(&out->string);
+      case 't':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = true;
+        return Literal("true", 4);
+      case 'f':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = false;
+        return Literal("false", 5);
+      case 'n':
+        out->kind = JsonValue::Kind::kNull;
+        return Literal("null", 4);
+      default:
+        return Number(out);
+    }
+  }
+
+  bool Object(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      std::string key;
+      if (!String(&key)) return false;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      SkipWs();
+      JsonValue value;
+      if (!Value(&value)) return false;
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      JsonValue value;
+      if (!Value(&value)) return false;
+      out->array.push_back(std::move(value));
+      SkipWs();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+          case '\\':
+          case '/':
+            *out += esc;
+            break;
+          case 'n':
+            *out += '\n';
+            break;
+          case 't':
+            *out += '\t';
+            break;
+          case 'r':
+            *out += '\r';
+            break;
+          case 'b':
+            *out += '\b';
+            break;
+          case 'f':
+            *out += '\f';
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return false;
+            const unsigned code = static_cast<unsigned>(
+                std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16));
+            pos_ += 4;
+            // Bench files are ASCII; anything else degrades to '?'.
+            *out += code < 0x80 ? static_cast<char>(code) : '?';
+            break;
+          }
+          default:
+            return false;
+        }
+      } else {
+        *out += c;
+      }
+    }
+    return false;
+  }
+
+  bool Number(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    char* end = nullptr;
+    const std::string token = text_.substr(start, pos_ - start);
+    out->number = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return false;
+    out->kind = JsonValue::Kind::kNumber;
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error) {
+  return Parser(text).Parse(out, error);
+}
+
+// --- flatten --------------------------------------------------------------
+
+namespace {
+
+/// Stable element key for array entries: a "name"-like string field when
+/// present (google-benchmark's benchmarks[] and our queries[] both have
+/// one), the element index otherwise.
+std::string ElementKey(const JsonValue& element, size_t index) {
+  if (element.kind == JsonValue::Kind::kObject) {
+    std::string key;
+    for (const char* field : {"name", "query", "kind"}) {
+      const JsonValue* v = element.Find(field);
+      if (v != nullptr && v->kind == JsonValue::Kind::kString) {
+        if (!key.empty()) key += "/";
+        key += v->string;
+      }
+    }
+    // Disambiguators that are numbers (batch size, thread count) join the
+    // key so sweep rows with the same query name stay distinct.
+    if (!key.empty()) {
+      for (const char* field : {"batch", "threads"}) {
+        const JsonValue* v = element.Find(field);
+        if (v != nullptr && v->kind == JsonValue::Kind::kNumber) {
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "/%s=%g", field, v->number);
+          key += buf;
+        }
+      }
+      return key;
+    }
+  }
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%zu", index);
+  return buf;
+}
+
+}  // namespace
+
+void Flatten(const JsonValue& value, const std::string& prefix,
+             std::map<std::string, JsonValue>* out) {
+  switch (value.kind) {
+    case JsonValue::Kind::kObject:
+      for (const auto& [key, child] : value.object) {
+        Flatten(child, prefix.empty() ? key : prefix + "." + key, out);
+      }
+      break;
+    case JsonValue::Kind::kArray:
+      for (size_t i = 0; i < value.array.size(); ++i) {
+        Flatten(value.array[i],
+                prefix + "[" + ElementKey(value.array[i], i) + "]", out);
+      }
+      break;
+    default:
+      (*out)[prefix] = value;
+  }
+}
+
+// --- classify -------------------------------------------------------------
+
+namespace {
+
+std::string LastComponent(const std::string& path) {
+  const size_t dot = path.find_last_of('.');
+  return dot == std::string::npos ? path : path.substr(dot + 1);
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+MetricClass ClassifyPath(const std::string& path) {
+  // google-benchmark's context block (host info, CPU scaling, date) and
+  // run bookkeeping are machine noise, never gated.
+  if (path.rfind("context.", 0) == 0) return MetricClass::kIgnored;
+  const std::string leaf = LastComponent(path);
+  if (leaf == "date" || leaf == "executable" || leaf == "iterations" ||
+      leaf == "repetitions" || leaf == "repetition_index" ||
+      leaf == "family_index" || leaf == "per_family_instance_index" ||
+      leaf == "threads" || leaf == "run_name" || leaf == "run_type" ||
+      leaf == "aggregate_name" || leaf == "time_unit" || leaf == "name" ||
+      leaf == "query" || leaf == "kind" || leaf == "label") {
+    return MetricClass::kIgnored;
+  }
+  if (leaf == "checksum" || leaf == "obs_enabled" || leaf == "found" ||
+      leaf == "hits" || leaf == "result_count") {
+    return MetricClass::kExact;
+  }
+  if (leaf == "n" || leaf == "dataset_n" || leaf == "batch" ||
+      leaf == "seed" || leaf == "k") {
+    return MetricClass::kContext;
+  }
+  if (leaf.find("speedup") != std::string::npos ||
+      leaf.find("recall") != std::string::npos ||
+      leaf.find("throughput") != std::string::npos ||
+      leaf.find("items_per_second") != std::string::npos) {
+    return MetricClass::kHigherBetter;
+  }
+  if (EndsWith(leaf, "_us") || EndsWith(leaf, "_ns") ||
+      EndsWith(leaf, "_ms") || EndsWith(leaf, "_s") ||
+      EndsWith(leaf, "_seconds") || leaf == "real_time" ||
+      leaf == "cpu_time" || leaf.find("time") != std::string::npos ||
+      leaf.find("latency") != std::string::npos) {
+    return MetricClass::kTimeLowerBetter;
+  }
+  return MetricClass::kIgnored;
+}
+
+// --- diff -----------------------------------------------------------------
+
+namespace {
+
+double ToleranceFor(const std::string& path, const DiffOptions& options) {
+  double tolerance = options.tolerance;
+  size_t best = 0;
+  for (const auto& [substr, tol] : options.overrides) {
+    if (substr.size() >= best && path.find(substr) != std::string::npos) {
+      best = substr.size();
+      tolerance = tol;
+    }
+  }
+  return tolerance;
+}
+
+std::string Num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+DiffReport Diff(const JsonValue& baseline, const JsonValue& fresh,
+                const DiffOptions& options) {
+  std::map<std::string, JsonValue> base_flat, fresh_flat;
+  Flatten(baseline, "", &base_flat);
+  Flatten(fresh, "", &fresh_flat);
+
+  DiffReport report;
+  auto add = [&report](DiffEntry::Status status, const std::string& path,
+                       double base, double now, const std::string& message) {
+    DiffEntry e;
+    e.status = status;
+    e.path = path;
+    e.baseline = base;
+    e.fresh = now;
+    e.message = message;
+    if (status == DiffEntry::Status::kFail) ++report.failures;
+    if (status == DiffEntry::Status::kWarn) ++report.warnings;
+    report.entries.push_back(std::move(e));
+  };
+
+  for (const auto& [path, base_value] : base_flat) {
+    const MetricClass cls = ClassifyPath(path);
+    if (cls == MetricClass::kIgnored) continue;
+    const auto it = fresh_flat.find(path);
+    if (it == fresh_flat.end()) {
+      add(DiffEntry::Status::kFail, path, base_value.number, 0.0,
+          "metric missing from fresh run");
+      continue;
+    }
+    const JsonValue& fresh_value = it->second;
+    ++report.compared;
+
+    if (base_value.kind != JsonValue::Kind::kNumber ||
+        fresh_value.kind != JsonValue::Kind::kNumber) {
+      // Non-numeric leaves (strings, bools) only matter for exact/context.
+      const bool same =
+          base_value.kind == fresh_value.kind &&
+          base_value.string == fresh_value.string &&
+          base_value.boolean == fresh_value.boolean;
+      if (!same && cls != MetricClass::kTimeLowerBetter &&
+          cls != MetricClass::kHigherBetter) {
+        add(DiffEntry::Status::kFail, path, 0.0, 0.0, "value changed");
+      }
+      continue;
+    }
+
+    const double base = base_value.number;
+    const double now = fresh_value.number;
+    switch (cls) {
+      case MetricClass::kExact:
+      case MetricClass::kContext:
+        if (base != now) {
+          add(DiffEntry::Status::kFail, path, base, now,
+              cls == MetricClass::kExact
+                  ? "exact metric changed (correctness signal)"
+                  : "run context differs; diff is not comparable");
+        }
+        break;
+      case MetricClass::kTimeLowerBetter: {
+        const double tolerance = ToleranceFor(path, options);
+        if (base > 0 && now > base * (1.0 + tolerance)) {
+          const double ratio = now / base;
+          add(options.advisory_time ? DiffEntry::Status::kWarn
+                                    : DiffEntry::Status::kFail,
+              path, base, now,
+              "slower by " + Num((ratio - 1.0) * 100.0) + "% (tolerance " +
+                  Num(tolerance * 100.0) + "%)");
+        }
+        break;
+      }
+      case MetricClass::kHigherBetter: {
+        const double tolerance = ToleranceFor(path, options);
+        if (base > 0 && now < base * (1.0 - tolerance)) {
+          const double ratio = now / base;
+          add(DiffEntry::Status::kFail, path, base, now,
+              "dropped to " + Num(ratio * 100.0) + "% of baseline "
+              "(tolerance " + Num(tolerance * 100.0) + "%)");
+        }
+        break;
+      }
+      case MetricClass::kIgnored:
+        break;
+    }
+  }
+  return report;
+}
+
+DiffReport DiffStrings(const std::string& baseline_text,
+                       const std::string& fresh_text,
+                       const DiffOptions& options) {
+  JsonValue baseline, fresh;
+  std::string error;
+  DiffReport report;
+  if (!ParseJson(baseline_text, &baseline, &error)) {
+    DiffEntry e;
+    e.status = DiffEntry::Status::kFail;
+    e.path = "<baseline>";
+    e.message = error;
+    report.entries.push_back(e);
+    ++report.failures;
+    return report;
+  }
+  if (!ParseJson(fresh_text, &fresh, &error)) {
+    DiffEntry e;
+    e.status = DiffEntry::Status::kFail;
+    e.path = "<fresh>";
+    e.message = error;
+    report.entries.push_back(e);
+    ++report.failures;
+    return report;
+  }
+  return Diff(baseline, fresh, options);
+}
+
+std::string DiffReport::ToText() const {
+  std::ostringstream out;
+  for (const DiffEntry& e : entries) {
+    const char* tag = e.status == DiffEntry::Status::kFail   ? "FAIL"
+                      : e.status == DiffEntry::Status::kWarn ? "WARN"
+                                                             : "ok";
+    out << tag << "  " << e.path;
+    if (e.baseline != 0.0 || e.fresh != 0.0) {
+      out << "  baseline=" << Num(e.baseline) << " fresh=" << Num(e.fresh);
+    }
+    if (!e.message.empty()) out << "  (" << e.message << ")";
+    out << "\n";
+  }
+  out << "compared " << compared << " metrics: " << failures << " failure"
+      << (failures == 1 ? "" : "s") << ", " << warnings << " warning"
+      << (warnings == 1 ? "" : "s") << "\n";
+  return out.str();
+}
+
+}  // namespace benchdiff
+}  // namespace elsi

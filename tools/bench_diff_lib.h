@@ -1,0 +1,110 @@
+#ifndef ELSI_TOOLS_BENCH_DIFF_LIB_H_
+#define ELSI_TOOLS_BENCH_DIFF_LIB_H_
+
+/// bench_diff: compares a fresh BENCH_*.json against a checked-in baseline
+/// (bench/baselines/) with per-metric tolerances — the CI regression gate.
+///
+/// The comparison is schema-agnostic: both documents are flattened to
+/// path -> leaf maps (arrays of objects are keyed by their "name"/"query"
+/// field when present, by index otherwise), then each shared numeric path
+/// is classified by its name:
+///
+///   time metrics   (us/ms/ns/seconds suffixes)  lower is better
+///   quality        (speedup, recall, ratio)     higher is better
+///   exact          (checksum, obs_enabled)      must match bit-for-bit
+///   context        (n, threads, dataset_n)      mismatch invalidates diff
+///   ignored        (date, iterations, context.*) noise, skipped
+///
+/// A metric regresses when it moves past its tolerance in the "worse"
+/// direction (improvements never fail). Timings on foreign machines are
+/// incomparable in absolute terms; --advisory-time demotes time
+/// regressions to warnings while keeping exact/context/quality enforced.
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace elsi {
+namespace benchdiff {
+
+// --- minimal JSON ---------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  // insertion order
+
+  const JsonValue* Find(const std::string& key) const;
+};
+
+/// Recursive-descent parse of a complete JSON document. Returns false and
+/// fills `error` (with offset context) on malformed input.
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error);
+
+// --- flatten + classify ---------------------------------------------------
+
+/// Flattens to dotted paths: {"a": {"b": 1}} -> "a.b". Array elements use
+/// "[<name>]" when the element object has a "name"/"query"/"kind" field,
+/// else "[<index>]". Only scalar leaves are emitted.
+void Flatten(const JsonValue& value, const std::string& prefix,
+             std::map<std::string, JsonValue>* out);
+
+enum class MetricClass {
+  kTimeLowerBetter,
+  kHigherBetter,
+  kExact,
+  kContext,
+  kIgnored,
+};
+
+/// Classification by the path's final component (see file comment).
+MetricClass ClassifyPath(const std::string& path);
+
+// --- diff -----------------------------------------------------------------
+
+struct DiffOptions {
+  double tolerance = 0.20;  // relative move allowed in the worse direction
+  /// Substring-matched per-metric overrides, e.g. {"speedup", 0.6}. The
+  /// longest matching substring wins.
+  std::map<std::string, double> overrides;
+  /// Demote time regressions to warnings (cross-machine diffs).
+  bool advisory_time = false;
+};
+
+struct DiffEntry {
+  enum class Status { kOk, kWarn, kFail };
+  Status status = Status::kOk;
+  std::string path;
+  double baseline = 0.0;
+  double fresh = 0.0;
+  std::string message;
+};
+
+struct DiffReport {
+  std::vector<DiffEntry> entries;
+  int compared = 0;
+  int failures = 0;
+  int warnings = 0;
+
+  bool ok() const { return failures == 0; }
+  /// Human-readable report (also the CI artifact).
+  std::string ToText() const;
+};
+
+DiffReport Diff(const JsonValue& baseline, const JsonValue& fresh,
+                const DiffOptions& options);
+
+/// Convenience: parse both documents and diff. Parse errors surface as a
+/// single kFail entry.
+DiffReport DiffStrings(const std::string& baseline_text,
+                       const std::string& fresh_text,
+                       const DiffOptions& options);
+
+}  // namespace benchdiff
+}  // namespace elsi
+
+#endif  // ELSI_TOOLS_BENCH_DIFF_LIB_H_

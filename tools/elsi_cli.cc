@@ -14,6 +14,9 @@
 //   load      --snapshot <file.snap> [--queries Q] [--seed S]
 //   recover   --dir <index-dir> [--index KIND] [--input <file>]
 //             [--insert N] [--checkpoint 0|1] [--seed S]
+//   serve     [--kind K] [--n N] [--seed S] [--port P] [--duration S]
+//             [--threads T]
+//   top       --port P [--host H] [--endpoint /varz|/healthz|...]
 //
 // `bench` builds the chosen index (through ELSI's build processor unless
 // --method og) and reports build time plus point/window/kNN query timings
@@ -32,8 +35,16 @@
 // (--metrics-out JSON, --prom-out Prometheus text, --trace-out Chrome
 // trace JSON for chrome://tracing or https://ui.perfetto.dev).
 //
+// `serve` builds an index over synthetic data, starts the embedded HTTP
+// exposition server (see src/obs/http_exporter.h), prints the bound port,
+// and drives a continuous query/update workload so /metrics, /healthz,
+// /varz, /debug/trace and /debug/queries show live data. --duration 0
+// (default) serves until the process is killed. `top` fetches one endpoint
+// from a running server and prints it (a curl-free liveness probe).
+//
 // Flags accept both "--flag value" and "--flag=value".
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -41,6 +52,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -51,7 +63,10 @@
 #include "data/workload.h"
 #include "learned/flood_index.h"
 #include "obs/exporters.h"
+#include "obs/flight_recorder.h"
+#include "obs/http_exporter.h"
 #include "obs/metrics.h"
+#include "obs/model_health.h"
 #include "obs/trace.h"
 #include "persist/elsi.h"
 #include "persist/snapshot.h"
@@ -79,7 +94,10 @@ int Usage() {
       "                    [--seed S]\n"
       "  elsi_cli load     --snapshot <file.snap> [--queries Q] [--seed S]\n"
       "  elsi_cli recover  --dir <index-dir> [--index KIND] [--input <file>]\n"
-      "                    [--insert N] [--checkpoint 0|1] [--seed S]\n");
+      "                    [--insert N] [--checkpoint 0|1] [--seed S]\n"
+      "  elsi_cli serve    [--kind K] [--n N] [--seed S] [--port P]\n"
+      "                    [--duration S] [--threads T]\n"
+      "  elsi_cli top      --port P [--host H] [--endpoint /varz]\n");
   return 2;
 }
 
@@ -470,6 +488,30 @@ int RunStats(const std::map<std::string, std::string>& flags) {
                 static_cast<unsigned long long>(h.total),
                 h.ApproxQuantile(0.5), h.ApproxQuantile(0.99));
   }
+
+  // Live-introspection summary: flight recorder, trace ring drops, and
+  // per-index model health (the same data /healthz serves).
+  const obs::FlightSnapshot flight = obs::FlightRecorder::Get().Snapshot();
+  uint64_t trace_dropped = 0;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "trace.dropped_total") trace_dropped = value;
+  }
+  std::printf("\nflight recorder: %zu records (1/%llu sampled, %llu ring "
+              "overwrites)\ntrace events dropped: %llu\n",
+              flight.records.size(),
+              static_cast<unsigned long long>(flight.sample_every),
+              static_cast<unsigned long long>(flight.dropped),
+              static_cast<unsigned long long>(trace_dropped));
+  const auto health = obs::ModelHealthMonitor::Get().Snapshot();
+  if (!health.empty()) {
+    std::printf("\n%-8s %8s %10s %11s %11s %9s\n", "index", "samples",
+                "scan-ewma", "scan-drift", "err-drift", "degraded");
+    for (const auto& h : health) {
+      std::printf("%-8s %8llu %10.1f %11.3f %11.3f %9s\n", h.index.c_str(),
+                  static_cast<unsigned long long>(h.samples), h.current_scan,
+                  h.scan_drift, h.error_drift, h.degraded ? "YES" : "no");
+    }
+  }
   return WriteObsOutputs(flags) ? 0 : 1;
 }
 
@@ -615,6 +657,103 @@ int RunRecover(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int RunServe(const std::map<std::string, std::string>& flags) {
+  const std::string kind_name = FlagOr(flags, "kind", "osm1");
+  const size_t n =
+      std::strtoull(FlagOr(flags, "n", "20000").c_str(), nullptr, 10);
+  const uint64_t seed =
+      std::strtoull(FlagOr(flags, "seed", "42").c_str(), nullptr, 10);
+  const double duration =
+      std::atof(FlagOr(flags, "duration", "0").c_str());
+  const size_t threads =
+      std::strtoull(FlagOr(flags, "threads", "0").c_str(), nullptr, 10);
+  if (threads > 0) ThreadPool::SetGlobalThreads(threads);
+
+  const std::map<std::string, DatasetKind> kinds = {
+      {"uniform", DatasetKind::kUniform}, {"skewed", DatasetKind::kSkewed},
+      {"osm1", DatasetKind::kOsm1},       {"osm2", DatasetKind::kOsm2},
+      {"tpch", DatasetKind::kTpch},       {"nyc", DatasetKind::kNyc}};
+  const auto kit = kinds.find(kind_name);
+  if (kit == kinds.end() || n == 0) return Usage();
+
+  // Build a live, updatable index so every telemetry surface has data:
+  // queries feed the flight recorder and drift monitor, inserts feed the
+  // rebuild predictor.
+  const Dataset all = GenerateDataset(kit->second, n * 2, seed);
+  const Dataset base(all.begin(), all.begin() + n);
+  auto trainer = std::make_shared<DirectTrainer>();
+  BaseIndexScale scale;
+  scale.leaf_target = std::max<size_t>(2000, n / 16);
+  std::unique_ptr<SpatialIndex> index =
+      MakeBaseIndex(BaseIndexKind::kZM, trainer, scale);
+  const RebuildPredictor predictor = MakeStatsPredictor(seed);
+  UpdateProcessorConfig up_cfg;
+  up_cfg.f_u = 256;
+  up_cfg.seed = seed;
+  UpdateProcessor updater(index.get(), &predictor, up_cfg);
+  updater.Build(base);
+
+  obs::HttpExporter exporter;
+  obs::HttpExporter::Options options;
+  options.port = static_cast<uint16_t>(
+      std::strtoul(FlagOr(flags, "port", "0").c_str(), nullptr, 10));
+  if (!exporter.Start(options)) {
+    std::fprintf(stderr,
+                 "serve: cannot start the HTTP exporter (built with "
+                 "-DELSI_OBS=OFF, or the port is taken)\n");
+    return 1;
+  }
+  std::printf("serving on http://%s:%u\n", options.bind_address.c_str(),
+              exporter.port());
+  std::printf("  /metrics /varz /healthz /debug/trace /debug/queries\n");
+  std::printf("built ZM on %s, n=%zu; workload running%s\n",
+              kind_name.c_str(), n,
+              duration > 0 ? "" : " (Ctrl-C to stop)");
+  std::fflush(stdout);
+
+  // Steady background workload: a query mix plus a trickle of updates,
+  // throttled so an idle `serve` stays cheap.
+  const auto probes = SamplePointQueries(base, 512, seed + 1);
+  const auto windows = SampleWindowQueries(base, 64, 0.0001, seed + 2);
+  const auto knn_probes = SampleKnnQueries(base, 64, seed + 3);
+  Timer uptime;
+  size_t insert_pos = n;
+  uint64_t round = 0;
+  while (duration <= 0 || uptime.ElapsedSeconds() < duration) {
+    for (const Point& q : probes) index->PointQuery(q);
+    for (const Rect& w : windows) index->WindowQuery(w);
+    for (const Point& q : knn_probes) index->KnnQuery(q, 10);
+    for (int i = 0; i < 32 && insert_pos < all.size(); ++i) {
+      updater.Insert(all[insert_pos++]);
+    }
+    if (insert_pos >= all.size()) insert_pos = n;  // recycle the tail
+    ++round;
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  exporter.Stop();
+  std::printf("served %.1f s, %llu workload rounds\n",
+              uptime.ElapsedSeconds(),
+              static_cast<unsigned long long>(round));
+  return 0;
+}
+
+int RunTop(const std::map<std::string, std::string>& flags) {
+  const std::string host = FlagOr(flags, "host", "127.0.0.1");
+  const std::string endpoint = FlagOr(flags, "endpoint", "/varz");
+  const uint16_t port = static_cast<uint16_t>(
+      std::strtoul(FlagOr(flags, "port", "0").c_str(), nullptr, 10));
+  if (port == 0) return Usage();
+  int status = 0;
+  std::string body;
+  if (!obs::HttpGet(host, port, endpoint, &status, &body)) {
+    std::fprintf(stderr, "top: cannot reach http://%s:%u%s\n", host.c_str(),
+                 port, endpoint.c_str());
+    return 1;
+  }
+  std::fputs(body.c_str(), stdout);
+  return status == 200 ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
@@ -625,6 +764,8 @@ int Main(int argc, char** argv) {
   if (command == "save") return RunSave(flags);
   if (command == "load") return RunLoad(flags);
   if (command == "recover") return RunRecover(flags);
+  if (command == "serve") return RunServe(flags);
+  if (command == "top") return RunTop(flags);
   return Usage();
 }
 
