@@ -1,0 +1,292 @@
+// bench_ycsb — YCSB-style concurrent mixed workloads over the lock-free
+// serving layer (no paper figure; see DESIGN.md "Concurrent serving").
+//
+// Load phase builds a Grid base at bench cardinality inside a
+// ConcurrentIndex; the run phase drives T client threads through a
+// deterministic per-thread op stream (Xoshiro seeded from the bench seed
+// and the thread id) at two mixes:
+//
+//   read95 — 95% point reads of loaded keys, 5% inserts (YCSB-B shape),
+//   read50 — 50/50 (YCSB-A shape).
+//
+// Reads probe keys that are guaranteed loaded, so every read must hit:
+// the hit count doubles as a correctness checksum and is bit-stable
+// across machines and thread counts. Inserts use disjoint per-thread id
+// ranges. Reported per (mix, threads): throughput in Mops/s and the
+// scaling speedup vs the single-threaded row of the same mix.
+//
+// A final swap phase hammers point reads from 3 threads while the main
+// thread repeatedly rebuild-swaps the base (ReplaceBase), reporting the
+// reader p99/max latency — the "no reader stall" number (DESIGN.md bar:
+// p99 < 10 ms on idle hardware).
+//
+// Writes BENCH_concurrent.json (override with ELSI_BENCH_YCSB_OUT) for
+// the bench_diff gate. The client-thread sweep is fixed at {1, 2, 4} so
+// the JSON rows match the checked-in baseline on any host; override with
+// ELSI_BENCH_YCSB_THREADS=1,2,4,8 for local scaling studies (extra rows
+// are ignored by the gate). `--threads` scales the build pool as in every
+// other bench.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "core/concurrent_index.h"
+#include "data/synthetic.h"
+#include "persist/snapshot.h"
+
+namespace elsi {
+namespace bench {
+namespace {
+
+std::unique_ptr<concurrent::ConcurrentIndex> MakeServing(
+    const Dataset& data, size_t merge_threshold) {
+  persist::SnapshotLoadOptions load_opts;
+  auto base = persist::MakeIndexByName("Grid", load_opts);
+  base->Build(data);
+  concurrent::ConcurrentIndexConfig cfg;
+  cfg.merge_threshold = merge_threshold;
+  return std::make_unique<concurrent::ConcurrentIndex>(
+      std::move(base),
+      [load_opts]() { return persist::MakeIndexByName("Grid", load_opts); },
+      cfg);
+}
+
+struct MixRow {
+  std::string name;
+  size_t threads = 0;
+  size_t ops = 0;
+  size_t reads = 0;
+  size_t inserts = 0;
+  size_t hits = 0;  // Must equal reads: every probed key is loaded.
+  double mops = 0.0;
+  double scaling = 1.0;
+};
+
+/// One (mix, thread-count) cell: a fresh serving index, T deterministic
+/// client streams, wall-clock over the whole batch.
+MixRow RunMix(const Dataset& data, const std::string& mix_name,
+              double read_fraction, size_t threads, size_t ops_per_thread,
+              uint64_t seed) {
+  auto index = MakeServing(data, /*merge_threshold=*/8192);
+  std::vector<size_t> reads(threads, 0), hits(threads, 0);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(seed * 1000 + t * 7919 + 13);
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      size_t local_reads = 0, local_hits = 0;
+      for (size_t i = 0; i < ops_per_thread; ++i) {
+        if (rng.NextDouble() < read_fraction) {
+          const Point& q = data[rng.NextBelow(data.size())];
+          Point out;
+          local_hits += index->PointQuery(q, &out) ? 1u : 0u;
+          ++local_reads;
+        } else {
+          const uint64_t id = 1000000 + t * ops_per_thread + i;
+          index->Insert({rng.NextDouble(), rng.NextDouble(), id});
+        }
+      }
+      reads[t] = local_reads;
+      hits[t] = local_hits;
+    });
+  }
+  Timer timer;
+  go.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  const double seconds = timer.ElapsedSeconds();
+
+  MixRow row;
+  row.name = mix_name;
+  row.threads = threads;
+  row.ops = threads * ops_per_thread;
+  for (size_t t = 0; t < threads; ++t) {
+    row.reads += reads[t];
+    row.hits += hits[t];
+  }
+  row.inserts = row.ops - row.reads;
+  row.mops = static_cast<double>(row.ops) / seconds / 1e6;
+  return row;
+}
+
+struct SwapResult {
+  size_t swaps = 0;
+  size_t reader_queries = 0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+  double swap_ms_avg = 0.0;
+};
+
+/// Readers hammer point queries while the main thread repeatedly
+/// rebuild-swaps the base. Per-query latencies prove readers never block
+/// on the swap.
+SwapResult RunSwapPhase(const Dataset& data, uint64_t seed) {
+  auto index = MakeServing(data, /*merge_threshold=*/0);
+  constexpr size_t kReaders = 3;
+  constexpr size_t kSwaps = 6;
+  std::atomic<bool> go{false}, stop{false};
+  std::vector<std::vector<double>> latencies(kReaders);
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (size_t t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(seed * 77 + t);
+      auto& local = latencies[t];
+      local.reserve(1 << 16);
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      while (!stop.load(std::memory_order_acquire)) {
+        const Point& q = data[rng.NextBelow(data.size())];
+        Point out;
+        Timer timer;
+        index->PointQuery(q, &out);
+        local.push_back(timer.ElapsedSeconds() * 1e6);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  Timer swap_timer;
+  persist::SnapshotLoadOptions load_opts;
+  for (size_t s = 0; s < kSwaps; ++s) {
+    auto fresh = persist::MakeIndexByName("Grid", load_opts);
+    fresh->Build(data);
+    index->ReplaceBase(std::move(fresh));
+  }
+  const double swap_s = swap_timer.ElapsedSeconds();
+  stop.store(true, std::memory_order_release);
+  for (auto& r : readers) r.join();
+
+  std::vector<double> all;
+  for (const auto& local : latencies) {
+    all.insert(all.end(), local.begin(), local.end());
+  }
+  SwapResult result;
+  result.swaps = kSwaps;
+  result.reader_queries = all.size();
+  result.swap_ms_avg = swap_s * 1e3 / kSwaps;
+  if (!all.empty()) {
+    std::sort(all.begin(), all.end());
+    const size_t p99 = std::min(all.size() - 1, (all.size() * 99) / 100);
+    result.p99_us = all[p99];
+    result.max_us = all.back();
+  }
+  return result;
+}
+
+std::vector<size_t> ThreadSweep() {
+  const char* env = std::getenv("ELSI_BENCH_YCSB_THREADS");
+  if (env == nullptr || env[0] == '\0') return {1, 2, 4};
+  std::vector<size_t> sweep;
+  size_t value = 0;
+  for (const char* p = env;; ++p) {
+    if (*p >= '0' && *p <= '9') {
+      value = value * 10 + static_cast<size_t>(*p - '0');
+    } else {
+      if (value > 0) sweep.push_back(value);
+      value = 0;
+      if (*p == '\0') break;
+    }
+  }
+  return sweep.empty() ? std::vector<size_t>{1, 2, 4} : sweep;
+}
+
+int Run(int argc, char** argv) {
+  InitBenchThreads(argc, argv);
+  PrintBanner("bench_ycsb",
+              "concurrent serving: YCSB-style mixed workloads");
+
+  const size_t n = BenchN();
+  const uint64_t seed = BenchSeed();
+  const size_t ops_per_thread = FullMode() ? 200000 : 40000;
+  const Dataset data = GenerateDataset(DatasetKind::kUniform, n, seed);
+  const std::vector<size_t> sweep = ThreadSweep();
+
+  struct Mix {
+    const char* name;
+    double read_fraction;
+  };
+  const Mix mixes[] = {{"read95", 0.95}, {"read50", 0.50}};
+
+  std::vector<MixRow> rows;
+  Table table({"mix", "threads", "ops", "hits", "Mops/s", "scaling"});
+  for (const Mix& mix : mixes) {
+    double base_mops = 0.0;
+    for (const size_t threads : sweep) {
+      MixRow row =
+          RunMix(data, mix.name, mix.read_fraction, threads, ops_per_thread,
+                 seed);
+      if (row.hits != row.reads) {
+        std::fprintf(stderr, "%s/threads=%zu: %zu of %zu reads missed\n",
+                     mix.name, threads, row.reads - row.hits, row.reads);
+        return 1;
+      }
+      if (base_mops == 0.0) base_mops = row.mops;
+      row.scaling = row.mops / base_mops;
+      table.AddRow({row.name, std::to_string(row.threads),
+                    std::to_string(row.ops), std::to_string(row.hits),
+                    FormatRatio(row.mops), FormatRatio(row.scaling) + "x"});
+      rows.push_back(std::move(row));
+    }
+  }
+
+  const SwapResult swap = RunSwapPhase(data, seed);
+  table.AddRow({"swap-p99", "3", std::to_string(swap.reader_queries),
+                std::to_string(swap.swaps) + " swaps",
+                FormatMicros(swap.p99_us), FormatMicros(swap.max_us)});
+  table.Print();
+
+  const char* env_out = std::getenv("ELSI_BENCH_YCSB_OUT");
+  const std::string out = (env_out != nullptr && env_out[0] != '\0')
+                              ? env_out
+                              : "BENCH_concurrent.json";
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"n\": %zu,\n"
+               "  \"seed\": %llu,\n"
+               "  \"ops_per_thread\": %zu,\n"
+               "  \"mixes\": [\n",
+               n, static_cast<unsigned long long>(seed), ops_per_thread);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const MixRow& row = rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"threads\": %zu, \"ops\": %zu, "
+                 "\"reads\": %zu, \"inserts\": %zu, \"checksum\": %zu, "
+                 "\"throughput_mops\": %.3f, \"scaling_speedup\": %.3f}%s\n",
+                 row.name.c_str(), row.threads, row.ops, row.reads,
+                 row.inserts, row.hits, row.mops, row.scaling,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n"
+               "  \"swap\": {\"swaps\": %zu, \"reader_queries\": %zu, "
+               "\"swap_ms_avg\": %.3f, \"reader_p99_us\": %.3f, "
+               "\"reader_max_us\": %.3f}\n"
+               "}\n",
+               swap.swaps, swap.reader_queries, swap.swap_ms_avg, swap.p99_us,
+               swap.max_us);
+  std::fclose(f);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace elsi
+
+int main(int argc, char** argv) { return elsi::bench::Run(argc, argv); }

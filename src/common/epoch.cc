@@ -1,0 +1,249 @@
+#include "common/epoch.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace elsi {
+namespace concurrent {
+
+namespace {
+
+/// Local limbo entries that trigger an opportunistic reclaim pass.
+constexpr size_t kReclaimThreshold = 64;
+
+obs::Gauge& EpochGauge() {
+  static obs::Gauge& g = obs::GetGauge("epoch.global");
+  return g;
+}
+
+obs::Gauge& LimboGauge() {
+  static obs::Gauge& g = obs::GetGauge("epoch.limbo");
+  return g;
+}
+
+obs::Counter& ReclaimedCounter() {
+  static obs::Counter& c = obs::GetCounter("epoch.reclaimed");
+  return c;
+}
+
+}  // namespace
+
+/// Per-thread registration with one manager: the claimed slot plus the
+/// thread's limbo list. Owned by thread-local storage; `mgr` flips to null
+/// (atomically) when either side — the thread or the manager — tears the
+/// registration down first.
+struct EpochManager::ThreadState {
+  std::atomic<EpochManager*> mgr{nullptr};
+  size_t slot = kMaxSlots;
+  std::vector<Retired> limbo;
+  std::atomic<size_t> limbo_count{0};
+
+  /// Thread-exit half of the teardown: hand leftover garbage to the
+  /// manager's orphan list and release the slot for reuse.
+  void Finalize() {
+    EpochManager* m = mgr.exchange(nullptr, std::memory_order_acq_rel);
+    if (m == nullptr) return;
+    std::lock_guard<std::mutex> lock(m->mu_);
+    for (Retired& r : limbo) m->orphans_.push_back(r);
+    limbo.clear();
+    limbo_count.store(0, std::memory_order_relaxed);
+    m->states_.erase(std::remove(m->states_.begin(), m->states_.end(), this),
+                     m->states_.end());
+    if (slot < kMaxSlots) {
+      m->slots_[slot].pin.store(Slot::kIdle, std::memory_order_release);
+      m->slots_[slot].claimed.store(false, std::memory_order_release);
+    }
+  }
+};
+
+namespace {
+
+/// Thread-local registry of (manager, state) pairs. A thread typically
+/// talks to exactly one manager (the global one); the vector stays tiny.
+struct TlsRegistry {
+  std::vector<EpochManager::ThreadState*> states;
+  ~TlsRegistry() {
+    for (EpochManager::ThreadState* ts : states) {
+      ts->Finalize();
+      delete ts;
+    }
+  }
+};
+
+thread_local TlsRegistry tls_registry;
+
+}  // namespace
+
+EpochManager& EpochManager::Global() {
+  static EpochManager mgr;
+  return mgr;
+}
+
+EpochManager::EpochManager() {
+  EpochGauge();
+  LimboGauge();
+  ReclaimedCounter();
+}
+
+EpochManager::~EpochManager() {
+  // No reader may be in a critical section when the manager dies; free
+  // everything still in limbo, local lists included.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (ThreadState* ts : states_) {
+    for (Retired& r : ts->limbo) orphans_.push_back(r);
+    ts->limbo.clear();
+    ts->limbo_count.store(0, std::memory_order_relaxed);
+    ts->slot = kMaxSlots;
+    ts->mgr.store(nullptr, std::memory_order_release);
+  }
+  states_.clear();
+  for (Retired& r : orphans_) r.deleter(r.p);
+  orphans_.clear();
+}
+
+EpochManager::ThreadState& EpochManager::LocalState() {
+  for (ThreadState* ts : tls_registry.states) {
+    if (ts->mgr.load(std::memory_order_acquire) == this) return *ts;
+  }
+  auto* ts = new ThreadState();
+  size_t slot = kMaxSlots;
+  for (size_t i = 0; i < kMaxSlots; ++i) {
+    bool expected = false;
+    if (slots_[i].claimed.compare_exchange_strong(
+            expected, true, std::memory_order_acq_rel)) {
+      slot = i;
+      break;
+    }
+  }
+  ELSI_CHECK(slot < kMaxSlots) << "epoch: more than " << kMaxSlots
+                               << " concurrent threads";
+  ts->slot = slot;
+  ts->mgr.store(this, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    states_.push_back(ts);
+  }
+  tls_registry.states.push_back(ts);
+  return *ts;
+}
+
+size_t EpochManager::SlotIndexForTesting() { return LocalState().slot; }
+
+EpochManager::Guard::Guard(EpochManager& mgr) : mgr_(mgr) {
+  ThreadState& ts = mgr.LocalState();
+  slot_ = ts.slot;
+  Slot& s = mgr.slots_[slot_];
+  saved_ = s.pin.load(std::memory_order_relaxed);
+  if (saved_ == Slot::kIdle) {
+    // Outermost guard: pin to the current epoch. seq_cst (plus the fence)
+    // orders the pin before any subsequent load of a protected pointer, so
+    // a reclaimer that hasn't seen this pin cannot free what we read.
+    s.pin.store(mgr.global_epoch_.load(std::memory_order_seq_cst),
+                std::memory_order_seq_cst);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+  // Nested guards keep the (older) outer pin — overwriting it with a newer
+  // epoch would let reclamation run ahead of the outer critical section.
+}
+
+EpochManager::Guard::~Guard() {
+  mgr_.slots_[slot_].pin.store(saved_, std::memory_order_seq_cst);
+}
+
+void EpochManager::Retire(void* p, void (*deleter)(void*)) {
+  ThreadState& ts = LocalState();
+  ts.limbo.push_back(
+      Retired{p, deleter, global_epoch_.load(std::memory_order_seq_cst)});
+  ts.limbo_count.store(ts.limbo.size(), std::memory_order_relaxed);
+  if (ts.limbo.size() >= kReclaimThreshold) TryReclaim();
+}
+
+bool EpochManager::TryAdvance() {
+  const uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+  for (const Slot& s : slots_) {
+    if (!s.claimed.load(std::memory_order_acquire)) continue;
+    const uint64_t pin = s.pin.load(std::memory_order_seq_cst);
+    if (pin != Slot::kIdle && pin != e) return false;  // Reader lags behind.
+  }
+  uint64_t expected = e;
+  if (global_epoch_.compare_exchange_strong(expected, e + 1,
+                                            std::memory_order_seq_cst)) {
+    EpochGauge().Set(static_cast<int64_t>(e + 1));
+    return true;
+  }
+  return expected > e;  // Someone else advanced; that is progress too.
+}
+
+size_t EpochManager::ReclaimFrom(std::vector<Retired>* limbo,
+                                 uint64_t global) {
+  size_t freed = 0;
+  size_t keep = 0;
+  for (size_t i = 0; i < limbo->size(); ++i) {
+    Retired& r = (*limbo)[i];
+    // Safe once two advances have passed the retire epoch: every guard
+    // pinned at r.epoch or earlier (the only ones that could still hold
+    // the object) has blocked those advances until it unpinned.
+    if (r.epoch + 2 <= global) {
+      r.deleter(r.p);
+      ++freed;
+    } else {
+      (*limbo)[keep++] = r;
+    }
+  }
+  limbo->resize(keep);
+  return freed;
+}
+
+size_t EpochManager::TryReclaim() {
+  TryAdvance();
+  const uint64_t global = global_epoch_.load(std::memory_order_seq_cst);
+  ThreadState& ts = LocalState();
+  size_t freed = ReclaimFrom(&ts.limbo, global);
+  ts.limbo_count.store(ts.limbo.size(), std::memory_order_relaxed);
+  // Adopt the shared orphans under the lock, run their deleters outside it.
+  std::vector<Retired> adopted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    adopted.swap(orphans_);
+  }
+  if (!adopted.empty()) {
+    freed += ReclaimFrom(&adopted, global);
+    if (!adopted.empty()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (Retired& r : adopted) orphans_.push_back(r);
+    }
+  }
+  if (freed > 0) ReclaimedCounter().Add(freed);
+  LimboGauge().Set(static_cast<int64_t>(limbo_size()));
+  return freed;
+}
+
+size_t EpochManager::DrainAll() {
+  size_t freed = 0;
+  // Each pass advances at most one epoch; three passes retire-to-free any
+  // object whose readers have all unpinned.
+  for (int pass = 0; pass < 3; ++pass) freed += TryReclaim();
+  return freed;
+}
+
+size_t EpochManager::limbo_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = orphans_.size();
+  for (const ThreadState* ts : states_) {
+    total += ts->limbo_count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+size_t EpochManager::active_slots() const {
+  size_t n = 0;
+  for (const Slot& s : slots_) {
+    if (s.claimed.load(std::memory_order_acquire)) ++n;
+  }
+  return n;
+}
+
+}  // namespace concurrent
+}  // namespace elsi

@@ -1,0 +1,138 @@
+#ifndef ELSI_COMMON_EPOCH_H_
+#define ELSI_COMMON_EPOCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace elsi {
+namespace concurrent {
+
+/// Epoch-based reclamation (EBR) for the lock-free serving path (see
+/// DESIGN.md, "Concurrent serving"). Readers wrap every traversal of an
+/// epoch-protected pointer in a Guard; writers unlink an object (e.g. by
+/// swapping the serving root) and then Retire() it. A retired object is
+/// freed only after the global epoch has advanced twice past its retire
+/// epoch, which cannot happen while any guard that might still hold a
+/// reference to it is pinned — so readers never take a lock and never see
+/// a freed object.
+///
+/// Protocol:
+///  * Each thread lazily claims one of kMaxSlots cache-line-isolated slots
+///    on first Guard construction and releases it at thread exit (slots are
+///    reused; leftover garbage is handed to a shared orphan list).
+///  * Guard pins the slot to the current global epoch E with a seq_cst
+///    store, so the pin is visible to any reclaimer before the reader loads
+///    the protected pointer.
+///  * Retire(p) tags p with the current global epoch and appends it to the
+///    retiring thread's local limbo list — no lock on this path either.
+///  * TryReclaim() advances the global epoch when every pinned slot has
+///    caught up to it (quiescence), then frees the caller's limbo entries
+///    (and any orphans) retired at least two epochs ago: a reader pinned at
+///    the retire epoch T blocks the advance to T+1, so global >= T+2
+///    implies no guard that could have observed the object is still live.
+class EpochManager {
+ public:
+  static constexpr size_t kMaxSlots = 256;
+
+  static EpochManager& Global();
+
+  EpochManager();
+  ~EpochManager();
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// RAII read-side critical section. Cheap (two seq_cst stores); nestable
+  /// (inner guards re-pin the already-pinned slot, harmless).
+  class Guard {
+   public:
+    explicit Guard(EpochManager& mgr = Global());
+    ~Guard();
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    EpochManager& mgr_;
+    size_t slot_;
+    uint64_t saved_;  // Previous pin state, restored on destruction.
+  };
+
+  /// Hands `p` to the reclamation machinery; `deleter(p)` runs once no
+  /// reader can still hold it. Never blocks. Every Retire opportunistically
+  /// attempts a reclaim pass once the local limbo list grows past a small
+  /// threshold.
+  void Retire(void* p, void (*deleter)(void*));
+
+  template <typename T>
+  void Retire(T* p) {
+    Retire(static_cast<void*>(p),
+           [](void* q) { delete static_cast<T*>(q); });
+  }
+
+  /// One quiescence check + free pass over the calling thread's limbo list
+  /// and the shared orphan list. Returns the number of objects freed.
+  size_t TryReclaim();
+
+  /// Frees everything reclaimable right now, advancing the epoch as far as
+  /// pinned readers allow (typically called at shutdown or in tests, with
+  /// no readers active).
+  size_t DrainAll();
+
+  uint64_t global_epoch() const {
+    return global_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Objects retired but not yet freed (this thread's limbo list plus the
+  /// shared orphan list). Exported to obs as epoch.limbo.
+  size_t limbo_size() const;
+
+  /// Slots currently claimed by live threads (diagnostics/tests).
+  size_t active_slots() const;
+
+  /// Index of the calling thread's slot, claiming one if needed. Exposed so
+  /// tests can assert slot reuse after thread exit.
+  size_t SlotIndexForTesting();
+
+  /// Per-thread state: claimed slot index + local limbo list. Opaque here;
+  /// public only so the thread-local registry in epoch.cc can hold it.
+  struct ThreadState;
+
+ private:
+  struct Retired {
+    void* p;
+    void (*deleter)(void*);
+    uint64_t epoch;
+  };
+
+  /// One per-thread epoch slot. `pin` holds kIdle when the thread is not in
+  /// a critical section, else the pinned epoch. Padded so concurrent pins
+  /// never share a cache line.
+  struct alignas(64) Slot {
+    static constexpr uint64_t kIdle = ~0ull;
+    std::atomic<uint64_t> pin{kIdle};
+    std::atomic<bool> claimed{false};
+    char padding[64 - sizeof(pin) - sizeof(claimed)];
+  };
+
+  friend struct ThreadState;
+
+  ThreadState& LocalState();
+  size_t ReclaimFrom(std::vector<Retired>* limbo, uint64_t safe_before);
+  bool TryAdvance();
+
+  Slot slots_[kMaxSlots];
+  std::atomic<uint64_t> global_epoch_{2};  // Start >= 2 so epoch-0 tags free.
+
+  /// Orphaned limbo entries from exited threads + registry of live
+  /// per-thread states; neither is on the read path.
+  mutable std::mutex mu_;
+  std::vector<Retired> orphans_;
+  std::vector<ThreadState*> states_;
+};
+
+}  // namespace concurrent
+}  // namespace elsi
+
+#endif  // ELSI_COMMON_EPOCH_H_

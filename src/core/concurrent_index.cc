@@ -1,0 +1,334 @@
+#include "core/concurrent_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace elsi {
+namespace concurrent {
+
+namespace {
+
+obs::Gauge& DeltaDepthGauge() {
+  static obs::Gauge& g = obs::GetGauge("concurrent.delta_depth");
+  return g;
+}
+
+obs::Counter& MergesCounter() {
+  static obs::Counter& c = obs::GetCounter("concurrent.merges");
+  return c;
+}
+
+obs::Histogram& MergeMsHistogram() {
+  static obs::Histogram& h =
+      obs::GetHistogram("concurrent.merge_ms", obs::HistogramSpec::LatencyMs());
+  return h;
+}
+
+}  // namespace
+
+ConcurrentIndex::ConcurrentIndex(std::unique_ptr<SpatialIndex> base,
+                                 BaseFactory factory,
+                                 const ConcurrentIndexConfig& config)
+    : epoch_(&EpochManager::Global()),
+      config_(config),
+      factory_(std::move(factory)) {
+  ELSI_CHECK(base != nullptr) << "ConcurrentIndex needs a base index";
+  auto* gen = new Generation{
+      std::shared_ptr<const SpatialIndex>(std::move(base)), nullptr,
+      std::make_shared<ShardedDelta>()};
+  root_.store(gen, std::memory_order_seq_cst);
+}
+
+ConcurrentIndex::~ConcurrentIndex() {
+  // Destruction requires quiescence (no concurrent readers/writers), like
+  // any other index here; retired generations may still sit in limbo, so
+  // flush them before dropping the root.
+  epoch_->DrainAll();
+  delete root_.load(std::memory_order_seq_cst);
+}
+
+std::string ConcurrentIndex::Name() const {
+  EpochManager::Guard guard(*epoch_);
+  return "Concurrent(" + Root()->base->Name() + ")";
+}
+
+void ConcurrentIndex::Publish(Generation* next) {
+  Generation* prev = root_.exchange(next, std::memory_order_seq_cst);
+  epoch_->Retire(prev);
+}
+
+void ConcurrentIndex::Build(const std::vector<Point>& data) {
+  ELSI_CHECK(factory_ != nullptr) << "ConcurrentIndex::Build needs a factory";
+  std::lock_guard<std::mutex> lock(merge_mu_);
+  std::unique_ptr<SpatialIndex> fresh = factory_();
+  fresh->Build(data);
+  Publish(new Generation{std::shared_ptr<const SpatialIndex>(std::move(fresh)),
+                         nullptr, std::make_shared<ShardedDelta>()});
+  epoch_->TryReclaim();
+}
+
+void ConcurrentIndex::ReplaceBase(std::unique_ptr<SpatialIndex> fresh) {
+  ELSI_CHECK(fresh != nullptr);
+  std::lock_guard<std::mutex> lock(merge_mu_);
+  Publish(new Generation{std::shared_ptr<const SpatialIndex>(std::move(fresh)),
+                         nullptr, std::make_shared<ShardedDelta>()});
+  DeltaDepthGauge().Set(0);
+  epoch_->TryReclaim();
+}
+
+void ConcurrentIndex::Insert(const Point& p) {
+  size_t depth = 0;
+  {
+    EpochManager::Guard guard(*epoch_);
+    // A sealed live delta means a merge won the race; the merger published
+    // the successor generation BEFORE sealing, so reloading the root always
+    // reaches an open delta.
+    for (;;) {
+      Generation* gen = Root();
+      if (gen->live->Insert(p)) {
+        depth = gen->live->inserted_count() + gen->live->tombstone_count();
+        break;
+      }
+    }
+  }
+  DeltaDepthGauge().Set(static_cast<int64_t>(depth));
+  if (config_.merge_threshold > 0 && depth >= config_.merge_threshold) {
+    // Fold inline on the crossing thread; losers of the try_lock skip — the
+    // winner's merge empties the delta for everyone.
+    std::unique_lock<std::mutex> lock(merge_mu_, std::try_to_lock);
+    if (lock.owns_lock()) MergeLocked();
+  }
+}
+
+bool ConcurrentIndex::Remove(const Point& p) {
+  EpochManager::Guard guard(*epoch_);
+  for (;;) {
+    Generation* gen = Root();
+    // Fast path: the point is an in-delta insert — flag it dead.
+    switch (gen->live->RemoveInserted(p)) {
+      case ShardedDelta::RemoveResult::kFlagged:
+        return true;
+      case ShardedDelta::RemoveResult::kSealed:
+        continue;  // Merge raced us; retry against the successor.
+      case ShardedDelta::RemoveResult::kNotFound:
+        break;
+    }
+    // Slow path: the point lives in the frozen delta or the base; record a
+    // tombstone in the live delta. Frozen inserts count as base-resident —
+    // the merge folds them into the fresh base, where the tombstone keeps
+    // filtering them until the next merge applies it.
+    bool exists = gen->frozen != nullptr && gen->frozen->ContainsInserted(p);
+    if (!exists) {
+      for (const Point& hit :
+           gen->base->WindowQuery(Rect::Of(p.x, p.y, p.x, p.y))) {
+        if (hit.id == p.id) {
+          exists = true;
+          break;
+        }
+      }
+    }
+    if (!exists || Tombstoned(*gen, p)) return false;
+    if (gen->live->AddBaseTombstone(p)) return true;
+    // Sealed between the lookup and the append: retry on the successor.
+  }
+}
+
+bool ConcurrentIndex::Tombstoned(const Generation& gen, const Point& p) {
+  if (gen.frozen != nullptr && gen.frozen->IsTombstoned(p)) return true;
+  return gen.live->IsTombstoned(p);
+}
+
+bool ConcurrentIndex::PointQuery(const Point& q, Point* out) const {
+  EpochManager::Guard guard(*epoch_);
+  Generation* gen = Root();
+  // Delta inserts first: they are the newest state for these coordinates.
+  bool hit = false;
+  Point found;
+  auto probe = [&](const Point& p) {
+    if (!hit && p.x == q.x && p.y == q.y) {
+      found = p;
+      hit = true;
+    }
+  };
+  gen->live->ForEachInserted(probe);
+  if (!hit && gen->frozen != nullptr) {
+    gen->frozen->ForEachInserted([&](const Point& p) {
+      if (!hit && p.x == q.x && p.y == q.y && !gen->live->IsTombstoned(p)) {
+        found = p;
+        hit = true;
+      }
+    });
+  }
+  if (!hit) {
+    Point base_hit;
+    if (gen->base->PointQuery(q, &base_hit) && !Tombstoned(*gen, base_hit)) {
+      found = base_hit;
+      hit = true;
+    }
+  }
+  if (hit && out != nullptr) *out = found;
+  return hit;
+}
+
+std::vector<Point> ConcurrentIndex::WindowQuery(const Rect& w) const {
+  EpochManager::Guard guard(*epoch_);
+  Generation* gen = Root();
+  std::vector<Point> out = gen->base->WindowQuery(w);
+  const bool any_tombstones =
+      gen->live->tombstone_count() > 0 ||
+      (gen->frozen != nullptr && gen->frozen->tombstone_count() > 0);
+  if (any_tombstones) {
+    out.erase(std::remove_if(out.begin(), out.end(),
+                             [&](const Point& p) {
+                               return Tombstoned(*gen, p);
+                             }),
+              out.end());
+  }
+  if (gen->frozen != nullptr) {
+    gen->frozen->ForEachInserted([&](const Point& p) {
+      if (w.Contains(p) && !gen->live->IsTombstoned(p)) out.push_back(p);
+    });
+  }
+  gen->live->ForEachInserted([&](const Point& p) {
+    if (w.Contains(p)) out.push_back(p);
+  });
+  return out;
+}
+
+std::vector<Point> ConcurrentIndex::KnnQuery(const Point& q, size_t k) const {
+  EpochManager::Guard guard(*epoch_);
+  Generation* gen = Root();
+  const size_t tombs =
+      gen->live->tombstone_count() +
+      (gen->frozen != nullptr ? gen->frozen->tombstone_count() : 0);
+  const size_t delta_inserts =
+      gen->live->inserted_count() +
+      (gen->frozen != nullptr ? gen->frozen->inserted_count() : 0);
+  if (tombs == 0 && delta_inserts == 0) return gen->base->KnnQuery(q, k);
+  // Over-fetch from the base so tombstoned hits can't starve the result,
+  // then merge the delta candidates in by distance.
+  std::vector<Point> cands = gen->base->KnnQuery(q, k + tombs);
+  if (tombs > 0) {
+    cands.erase(std::remove_if(cands.begin(), cands.end(),
+                               [&](const Point& p) {
+                                 return Tombstoned(*gen, p);
+                               }),
+                cands.end());
+  }
+  if (gen->frozen != nullptr) {
+    gen->frozen->ForEachInserted([&](const Point& p) {
+      if (!gen->live->IsTombstoned(p)) cands.push_back(p);
+    });
+  }
+  gen->live->ForEachInserted([&](const Point& p) { cands.push_back(p); });
+  std::sort(cands.begin(), cands.end(), [&](const Point& a, const Point& b) {
+    return SquaredDistance(a, q) < SquaredDistance(b, q);
+  });
+  if (cands.size() > k) cands.resize(k);
+  return cands;
+}
+
+size_t ConcurrentIndex::size() const {
+  EpochManager::Guard guard(*epoch_);
+  Generation* gen = Root();
+  size_t n = gen->base->size() + gen->live->inserted_count() -
+             gen->live->dead_count() - gen->live->tombstone_count();
+  if (gen->frozen != nullptr) {
+    n += gen->frozen->inserted_count() - gen->frozen->dead_count() -
+         gen->frozen->tombstone_count();
+  }
+  return n;
+}
+
+std::vector<Point> ConcurrentIndex::CollectAll() const {
+  EpochManager::Guard guard(*epoch_);
+  Generation* gen = Root();
+  std::vector<Point> out = gen->base->CollectAll();
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [&](const Point& p) { return Tombstoned(*gen, p); }),
+            out.end());
+  if (gen->frozen != nullptr) {
+    gen->frozen->ForEachInserted([&](const Point& p) {
+      if (!gen->live->IsTombstoned(p)) out.push_back(p);
+    });
+  }
+  gen->live->CollectInserted(&out);
+  return out;
+}
+
+int ConcurrentIndex::Depth() const {
+  EpochManager::Guard guard(*epoch_);
+  return Root()->base->Depth();
+}
+
+size_t ConcurrentIndex::delta_count() const {
+  EpochManager::Guard guard(*epoch_);
+  Generation* gen = Root();
+  size_t n = gen->live->inserted_count() + gen->live->tombstone_count();
+  if (gen->frozen != nullptr) {
+    n += gen->frozen->inserted_count() + gen->frozen->tombstone_count();
+  }
+  return n;
+}
+
+const SpatialIndex* ConcurrentIndex::UnsafeBase() const {
+  return Root()->base.get();
+}
+
+std::vector<Point> ConcurrentIndex::CollectMergeInput(const Generation& gen) {
+  std::vector<Point> input = gen.base->CollectAll();
+  if (gen.frozen != nullptr) {
+    if (gen.frozen->tombstone_count() > 0) {
+      input.erase(std::remove_if(input.begin(), input.end(),
+                                 [&](const Point& p) {
+                                   return gen.frozen->IsTombstoned(p);
+                                 }),
+                  input.end());
+    }
+    gen.frozen->CollectInserted(&input);
+  }
+  return input;
+}
+
+void ConcurrentIndex::MergeNow() {
+  ELSI_CHECK(factory_ != nullptr) << "ConcurrentIndex::MergeNow needs a factory";
+  std::lock_guard<std::mutex> lock(merge_mu_);
+  MergeLocked();
+}
+
+void ConcurrentIndex::MergeLocked() {
+  const uint64_t t0 = obs::NowNs();
+  Generation* a = Root();
+  if (a->live->inserted_count() == 0 && a->live->tombstone_count() == 0) {
+    return;  // Nothing to fold.
+  }
+  // Step 1: publish the intermediate generation FIRST — writers bounced off
+  // the sealed delta reload the root and land in the fresh live delta, so
+  // they never wait for the fold.
+  auto d1 = std::make_shared<ShardedDelta>();
+  auto* b = new Generation{a->base, a->live, d1};
+  Publish(b);  // Retires a.
+  b->frozen->Seal();
+  // Step 2: fold base + frozen delta into a fresh base off to the side.
+  // Readers keep serving from generation B the whole time.
+  std::vector<Point> input = CollectMergeInput(*b);
+  std::unique_ptr<SpatialIndex> fresh = factory_();
+  fresh->Build(input);
+  // Step 3: publish the merged generation; B (and the frozen delta) go to
+  // limbo until every reader pinned on them has left.
+  Publish(new Generation{
+      std::shared_ptr<const SpatialIndex>(std::move(fresh)), nullptr, d1});
+  merges_.fetch_add(1, std::memory_order_relaxed);
+  MergesCounter().Add(1);
+  MergeMsHistogram().Observe(static_cast<double>(obs::NowNs() - t0) / 1e6);
+  DeltaDepthGauge().Set(
+      static_cast<int64_t>(d1->inserted_count() + d1->tombstone_count()));
+  epoch_->TryReclaim();
+}
+
+}  // namespace concurrent
+}  // namespace elsi

@@ -1,0 +1,139 @@
+#ifndef ELSI_CORE_CONCURRENT_INDEX_H_
+#define ELSI_CORE_CONCURRENT_INDEX_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/epoch.h"
+#include "common/spatial_index.h"
+#include "storage/sharded_delta.h"
+
+namespace elsi {
+namespace concurrent {
+
+struct ConcurrentIndexConfig {
+  /// Fold the delta into a fresh base once it holds this many updates
+  /// (inserts + tombstones). 0 disables auto-merge (DurableElsi disables it
+  /// because its rebuild-swap must snapshot every fold — see
+  /// persist/elsi.h). The merge runs inline on the inserting thread that
+  /// crosses the threshold; other writers keep appending to the successor
+  /// delta and readers are never blocked.
+  size_t merge_threshold = 0;
+};
+
+/// Lock-free concurrent serving wrapper around any SpatialIndex (see
+/// DESIGN.md, "Concurrent serving"). The serving state is one atomic root
+/// pointer to an immutable Generation:
+///
+///   Generation = { base index (never mutated after publish),
+///                  frozen delta (sealed predecessor, present mid-merge),
+///                  live delta (sharded, append-only) }
+///
+/// Point/window/kNN queries pin an epoch Guard, load the root with
+/// acquire/seq_cst semantics, and read base + deltas without ever taking a
+/// lock; they cannot block on writers, merges, or base replacement.
+/// Inserts/removes append to the live delta under a per-shard spinlock (a
+/// few stores). Merges and base swaps build the replacement off to the
+/// side, publish a new Generation with one atomic store, and retire the
+/// old one through epoch-based reclamation, so readers still traversing it
+/// stay safe.
+///
+/// Memory-ordering contract on the root: the publisher fully constructs a
+/// Generation before a seq_cst store of the root; readers load the root
+/// seq_cst inside an epoch Guard. Retirement happens only after the root
+/// no longer references the Generation, and reclamation waits two epoch
+/// advances, each blocked by any guard pinned at or before the retire
+/// epoch.
+///
+/// Writer semantics: Insert/Remove are safe from any number of threads.
+/// Build() and ReplaceBase() assume no concurrent writers (callers
+/// serialize them; readers may continue). size() and the delta counters
+/// are exact when writers are externally serialized, approximate under
+/// writer concurrency.
+class ConcurrentIndex : public SpatialIndex {
+ public:
+  using BaseFactory = std::function<std::unique_ptr<SpatialIndex>()>;
+
+  /// Wraps `base` (already built or empty). `factory` creates empty clones
+  /// of the base kind for Build()/MergeNow(); without it only ReplaceBase()
+  /// can change the base.
+  ConcurrentIndex(std::unique_ptr<SpatialIndex> base, BaseFactory factory,
+                  const ConcurrentIndexConfig& config = {});
+  ~ConcurrentIndex() override;
+
+  std::string Name() const override;
+  void Build(const std::vector<Point>& data) override;
+  void Insert(const Point& p) override;
+  bool Remove(const Point& p) override;
+  bool PointQuery(const Point& q, Point* out = nullptr) const override;
+  std::vector<Point> WindowQuery(const Rect& w) const override;
+  std::vector<Point> KnnQuery(const Point& q, size_t k) const override;
+  size_t size() const override;
+  std::vector<Point> CollectAll() const override;
+  int Depth() const override;
+
+  /// Publishes `fresh` (already built with the merged contents) as the new
+  /// base with an empty delta; the old generation is retired through EBR.
+  /// Caller must have serialized writers and folded the delta into `fresh`
+  /// (DurableElsi's rebuild-swap does both).
+  void ReplaceBase(std::unique_ptr<SpatialIndex> fresh);
+
+  /// Folds base + delta into a freshly built base now. Safe under
+  /// concurrent inserts/removes (they proceed into the successor delta)
+  /// and concurrent readers. Requires a factory.
+  void MergeNow();
+
+  /// Updates recorded in the delta since the base was last (re)placed:
+  /// inserted entries (dead ones included) + base tombstones. 0 means the
+  /// base alone is the complete state.
+  size_t delta_count() const;
+
+  size_t merge_count() const {
+    return merges_.load(std::memory_order_relaxed);
+  }
+
+  /// The current base, NOT epoch-protected: the pointer is only stable
+  /// while the caller keeps Build/ReplaceBase/MergeNow from running
+  /// (DurableElsi snapshots under its writer mutex). Queries must go
+  /// through the epoch-protected entry points above instead.
+  const SpatialIndex* UnsafeBase() const;
+
+ private:
+  struct Generation {
+    std::shared_ptr<const SpatialIndex> base;
+    std::shared_ptr<ShardedDelta> frozen;  // Sealed, only while merging.
+    std::shared_ptr<ShardedDelta> live;
+  };
+
+  Generation* Root() const {
+    return root_.load(std::memory_order_seq_cst);
+  }
+
+  /// True when (x, y, id) is tombstoned in either delta of `gen`.
+  static bool Tombstoned(const Generation& gen, const Point& p);
+
+  /// base + frozen-delta contents with `gen`'s frozen tombstones applied
+  /// (live-delta state is NOT folded — it survives the merge).
+  static std::vector<Point> CollectMergeInput(const Generation& gen);
+
+  void Publish(Generation* next);
+  void MergeLocked();
+
+  mutable EpochManager* epoch_;  // Global(); cached for terseness.
+  std::atomic<Generation*> root_;
+  /// Serializes root mutators (merge/build/replace); never taken by
+  /// queries or by inserts that don't trigger a merge.
+  std::mutex merge_mu_;
+  ConcurrentIndexConfig config_;
+  BaseFactory factory_;
+  std::atomic<size_t> merges_{0};
+};
+
+}  // namespace concurrent
+}  // namespace elsi
+
+#endif  // ELSI_CORE_CONCURRENT_INDEX_H_

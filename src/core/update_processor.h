@@ -16,6 +16,15 @@ namespace elsi {
 /// and the in-memory mutation replays the operation instead of losing it.
 /// Deletes are logged even when the point turns out to be absent — replaying
 /// a failed delete is a no-op, while the reverse order would lose updates.
+///
+/// Visibility vs durability under lock-free serving: because the record is
+/// framed before the index mutation, an update is never visible to
+/// concurrent readers without its WAL record existing in the OS. With
+/// group commit (fsync_every > 1) the record may still be lost by a power
+/// cut after it became visible — a bounded window of at most
+/// fsync_every - 1 trailing records (WalWriter::durable_lsn marks the
+/// boundary; fsync_every = 1 closes the window). Crash-point tests in
+/// tests/persist_test.cc pin this contract.
 class UpdateLogSink {
  public:
   virtual ~UpdateLogSink() = default;

@@ -201,6 +201,11 @@ std::string HealthzJson() {
       << ",\n \"persist\": {\"snapshot_seq\": "
       << FindGauge(metrics, "persist.snapshot_seq")
       << ", \"wal_lag\": " << FindGauge(metrics, "persist.wal_lag") << "}"
+      << ",\n \"concurrent\": {\"epoch\": " << FindGauge(metrics, "epoch.global")
+      << ", \"limbo\": " << FindGauge(metrics, "epoch.limbo")
+      << ", \"delta_depth\": "
+      << FindGauge(metrics, "concurrent.delta_depth")
+      << ", \"merges\": " << FindCounter(metrics, "concurrent.merges") << "}"
       << ",\n \"trace\": {\"dropped\": "
       << FindCounter(metrics, "trace.dropped_total") << "}"
       << ",\n \"flight\": " << FlightSummaryJson(flight)

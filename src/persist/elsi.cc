@@ -62,12 +62,13 @@ std::unique_ptr<DurableElsi> DurableElsi::OpenOrRecover(
   // Newest snapshot that validates wins; corrupt generations (e.g. a crash
   // mid-rename or a bit flip) are skipped, not fatal.
   SnapshotMeta meta;
+  std::unique_ptr<SpatialIndex> base;
   auto snapshots = ListSnapshots(dir);
   for (auto it = snapshots.rbegin(); it != snapshots.rend(); ++it) {
     std::unique_ptr<SpatialIndex> loaded =
         Snapshot::Load(it->second, load_opts, &meta);
     if (loaded != nullptr) {
-      elsi->index_ = std::move(loaded);
+      base = std::move(loaded);
       elsi->snapshot_seq_ = it->first;
       local.snapshot_loaded = true;
       local.snapshot_seq = it->first;
@@ -84,9 +85,20 @@ std::unique_ptr<DurableElsi> DurableElsi::OpenOrRecover(
     replay_floor = meta.last_lsn;
     kind = meta.kind;
   } else {
-    elsi->index_ = MakeIndexByName(kind, load_opts);
-    if (elsi->index_ == nullptr) return nullptr;
+    base = MakeIndexByName(kind, load_opts);
+    if (base == nullptr) return nullptr;
   }
+
+  // Wrap the base behind the lock-free serving layer: queries go through
+  // the epoch-protected root while writers (serialized below) append to
+  // the sharded delta. Auto-merge stays off — every fold must pair with a
+  // snapshot here, or WAL replay would double-apply the folded records —
+  // so the delta only drains through the rebuild-swap/checkpoint paths.
+  elsi->kind_ = kind;
+  elsi->base_lsn_ = replay_floor;
+  elsi->index_ = std::make_unique<concurrent::ConcurrentIndex>(
+      std::move(base),
+      [kind, load_opts]() { return MakeIndexByName(kind, load_opts); });
 
   elsi->processor_ = std::make_unique<UpdateProcessor>(
       elsi->index_.get(), opts.predictor, opts.update);
@@ -145,19 +157,18 @@ DurableElsi::~DurableElsi() { wal_.Sync(); }
 
 void DurableElsi::Build(const std::vector<Point>& data) {
   std::lock_guard<std::mutex> update_lock(update_mu_);
-  {
-    std::unique_lock<std::shared_mutex> swap_lock(swap_mu_);
-    processor_->Build(data);
-  }
+  // Readers keep serving the old generation until the freshly built base is
+  // published by one atomic root swap inside the ConcurrentIndex.
+  processor_->Build(data);
   ELSI_CHECK(CheckpointLocked()) << "initial checkpoint failed";
 }
 
 void DurableElsi::Insert(const Point& p) {
   std::lock_guard<std::mutex> update_lock(update_mu_);
-  {
-    std::unique_lock<std::shared_mutex> swap_lock(swap_mu_);
-    processor_->Insert(p);
-  }
+  // Log-before-apply: the processor appends the WAL record, then publishes
+  // the point into the delta, where concurrent readers pick it up without
+  // locking.
+  processor_->Insert(p);
   WalLagGauge().Add(1);
   if (rebuild_requested_) {
     rebuild_requested_ = false;
@@ -167,12 +178,8 @@ void DurableElsi::Insert(const Point& p) {
 
 bool DurableElsi::Remove(const Point& p) {
   std::lock_guard<std::mutex> update_lock(update_mu_);
-  bool removed = false;
-  {
-    std::unique_lock<std::shared_mutex> swap_lock(swap_mu_);
-    removed = processor_->Remove(p);
-  }
   // Log-before-apply: the WAL record lands even when the target is absent.
+  const bool removed = processor_->Remove(p);
   WalLagGauge().Add(1);
   if (rebuild_requested_) {
     rebuild_requested_ = false;
@@ -184,14 +191,14 @@ bool DurableElsi::Remove(const Point& p) {
 void DurableElsi::RebuildSwapLocked() {
   ELSI_TRACE_SPAN("persist.rebuild_swap");
   ScopedTimer timer(&RebuildSwapMsHistogram());
-  // Collect and rebuild off to the side: update_mu_ keeps writers out, but
-  // readers continue on the frozen current index the whole time.
+  // Collect and rebuild off to the side: update_mu_ keeps writers out (so
+  // base + delta is a consistent cut), while readers continue on the
+  // current generation the whole time.
   const std::vector<Point> all = index_->CollectAll();
   SnapshotLoadOptions load_opts;
   load_opts.trainer = opts_.trainer;
   load_opts.pool = opts_.pool;
-  std::unique_ptr<SpatialIndex> fresh = MakeIndexByName(index_->Name(),
-                                                        load_opts);
+  std::unique_ptr<SpatialIndex> fresh = MakeIndexByName(kind_, load_opts);
   ELSI_CHECK(fresh != nullptr);
   fresh->Build(all);
 
@@ -204,11 +211,12 @@ void DurableElsi::RebuildSwapLocked() {
     ELSI_LOG(WARN) << "rebuild snapshot failed; keeping old index";
     return;
   }
-  {
-    std::unique_lock<std::shared_mutex> swap_lock(swap_mu_);
-    index_ = std::move(fresh);
-    processor_->AdoptIndex(index_.get(), all, /*count_rebuild=*/true);
-  }
+  // Wait-free for readers: one atomic root exchange publishes the fresh
+  // base + empty delta; the old generation is retired through EBR and
+  // freed once every in-flight query has left it.
+  index_->ReplaceBase(std::move(fresh));
+  processor_->AdoptIndex(index_.get(), all, /*count_rebuild=*/true);
+  base_lsn_ = last_lsn;
   snapshot_seq_ = seq;
   PruneSnapshotsLocked();
   wal_.TruncateThrough(last_lsn);
@@ -217,19 +225,36 @@ void DurableElsi::RebuildSwapLocked() {
 }
 
 bool DurableElsi::CheckpointLocked() {
-  // Everything appended so far is also applied (log-before-apply under the
-  // same lock), so the snapshot covers the full prefix of the WAL.
   wal_.Sync();
-  const uint64_t last_lsn = wal_.next_lsn() - 1;
   const uint64_t seq = snapshot_seq_ + 1;
-  if (!Snapshot::Save(*index_, SnapshotPath(dir_, seq), last_lsn)) {
+  if (index_->delta_count() == 0) {
+    // Clean delta: the base alone is the complete applied state, so the
+    // snapshot covers the full WAL prefix and the whole log can go.
+    const uint64_t last_lsn = wal_.next_lsn() - 1;
+    if (!Snapshot::Save(*index_->UnsafeBase(), SnapshotPath(dir_, seq),
+                        last_lsn)) {
+      return false;
+    }
+    base_lsn_ = last_lsn;
+    snapshot_seq_ = seq;
+    PruneSnapshotsLocked();
+    wal_.TruncateThrough(last_lsn);
+    SnapshotSeqGauge().Set(static_cast<int64_t>(seq));
+    WalLagGauge().Set(0);
+    return true;
+  }
+  // Dirty delta: snapshot the folded prefix only (base @ base_lsn_); the
+  // WAL tail past it re-creates the delta on recovery. Folding the delta
+  // here would mean a full rebuild — that is the rebuild-swap's job.
+  if (!Snapshot::Save(*index_->UnsafeBase(), SnapshotPath(dir_, seq),
+                      base_lsn_)) {
     return false;
   }
   snapshot_seq_ = seq;
   PruneSnapshotsLocked();
-  wal_.TruncateThrough(last_lsn);
+  wal_.TruncateThrough(base_lsn_);
   SnapshotSeqGauge().Set(static_cast<int64_t>(seq));
-  WalLagGauge().Set(0);
+  WalLagGauge().Set(static_cast<int64_t>(index_->delta_count()));
   return true;
 }
 
@@ -247,30 +272,24 @@ void DurableElsi::PruneSnapshotsLocked() {
   }
 }
 
+// Queries take no lock: the ConcurrentIndex pins an epoch guard, loads the
+// serving root, and reads an immutable generation end to end.
+
 bool DurableElsi::PointQuery(const Point& q, Point* out) const {
-  std::shared_lock<std::shared_mutex> lock(swap_mu_);
   return index_->PointQuery(q, out);
 }
 
 std::vector<Point> DurableElsi::WindowQuery(const Rect& w) const {
-  std::shared_lock<std::shared_mutex> lock(swap_mu_);
   return index_->WindowQuery(w);
 }
 
 std::vector<Point> DurableElsi::KnnQuery(const Point& q, size_t k) const {
-  std::shared_lock<std::shared_mutex> lock(swap_mu_);
   return index_->KnnQuery(q, k);
 }
 
-size_t DurableElsi::size() const {
-  std::shared_lock<std::shared_mutex> lock(swap_mu_);
-  return index_->size();
-}
+size_t DurableElsi::size() const { return index_->size(); }
 
-std::string DurableElsi::kind() const {
-  std::shared_lock<std::shared_mutex> lock(swap_mu_);
-  return index_->Name();
-}
+std::string DurableElsi::kind() const { return kind_; }
 
 size_t DurableElsi::rebuild_count() const { return processor_->rebuild_count(); }
 

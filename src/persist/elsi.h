@@ -4,10 +4,10 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "core/concurrent_index.h"
 #include "core/elsi.h"
 #include "core/update_processor.h"
 #include "persist/snapshot.h"
@@ -57,12 +57,24 @@ struct RecoveryStats {
 ///    a recovered index answers queries bit-identically to one that never
 ///    crashed (modulo group-commit records the OS never made durable).
 ///
-/// Concurrency: queries run under a shared lock and may proceed in parallel
-/// with each other and with the expensive phase of a rebuild; writers are
-/// serialized and take the exclusive lock only for the in-place mutation.
-/// When the rebuild predictor fires, the replacement index is built and
-/// snapshotted off to the side while readers keep serving the frozen old
-/// index; only the final pointer swap blocks them, momentarily.
+/// Concurrency: queries are wait-free for readers — the serving state lives
+/// behind a ConcurrentIndex (immutable base + sharded delta published via
+/// one atomic root pointer, reclaimed through EBR), so point/window/kNN
+/// queries never take a lock and never block on writers or rebuilds.
+/// Writers are serialized by one mutex because the WAL is inherently
+/// serial (log-before-apply); each write appends its WAL record, then
+/// publishes into the delta. When the rebuild predictor fires, the
+/// replacement base is built and snapshotted off to the side while readers
+/// keep serving the old generation; the swap is a single atomic root
+/// exchange — readers never stall, not even momentarily.
+///
+/// Visibility vs. durability: a write becomes visible to concurrent
+/// readers after its WAL record is fully framed in the OS buffer (program
+/// order of the writer), but it is only *durable* once the group commit
+/// fsyncs (WalWriterOptions::fsync_every). With fsync_every = 1, visible
+/// implies durable; otherwise a crash can lose at most fsync_every - 1
+/// visible-but-unsynced records (WalWriter::durable_lsn() marks the
+/// boundary, and persist_test's crash-point test pins it down).
 class DurableElsi {
  public:
   /// Opens (or creates) the index directory `dir`. Returns nullptr only
@@ -108,29 +120,39 @@ class DurableElsi {
 
   DurableElsi() = default;
 
-  /// Rebuild-swap, called with update_mu_ held (and swap_mu_ NOT held):
-  /// collect -> build fresh -> snapshot.tmp/rename -> brief exclusive swap.
+  /// Rebuild-swap, called with update_mu_ held: collect base + delta ->
+  /// build fresh base -> snapshot.tmp/rename -> atomic root swap (readers
+  /// never block; the old generation is retired through EBR).
   void RebuildSwapLocked();
 
   /// Snapshot current state as sequence snapshot_seq_ + 1 and prune old
-  /// generations + WAL. Caller holds update_mu_.
+  /// generations + WAL. With a dirty delta the snapshot covers only the
+  /// folded prefix (base @ base_lsn_) and the WAL tail re-creates the
+  /// delta on recovery. Caller holds update_mu_.
   bool CheckpointLocked();
 
   void PruneSnapshotsLocked();
 
   std::string dir_;
   DurableElsiOptions opts_;
+  /// Base index kind ("ZM", "Grid", ...); fixed for the directory lifetime,
+  /// so kind() needs no lock.
+  std::string kind_;
 
-  /// Serializes writers (Insert/Remove/Build/Checkpoint/rebuild).
+  /// Serializes writers (Insert/Remove/Build/Checkpoint/rebuild). Queries
+  /// take no lock at all — they go through index_'s epoch-protected path.
   std::mutex update_mu_;
-  /// Readers shared, in-place mutation + pointer swap exclusive.
-  mutable std::shared_mutex swap_mu_;
 
-  std::unique_ptr<SpatialIndex> index_;
+  /// Serving state: immutable base + sharded delta behind one atomic root.
+  std::unique_ptr<concurrent::ConcurrentIndex> index_;
   std::unique_ptr<UpdateProcessor> processor_;
   WalWriter wal_;
   std::unique_ptr<WalSink> sink_;
   uint64_t snapshot_seq_ = 0;
+  /// LSN of the last WAL record folded into the base index. Snapshots of
+  /// the base are tagged with it, so recovery replays exactly the records
+  /// the delta held. Guarded by update_mu_.
+  uint64_t base_lsn_ = 0;
   bool rebuild_requested_ = false;
 };
 

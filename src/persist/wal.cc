@@ -156,7 +156,7 @@ WalWriter::~WalWriter() { Close(); }
 
 void WalWriter::Close() {
   if (fd_ >= 0) {
-    ::fsync(fd_);
+    if (::fsync(fd_) == 0) durable_lsn_ = next_lsn_ - 1;
     ::close(fd_);
     fd_ = -1;
   }
@@ -165,6 +165,7 @@ void WalWriter::Close() {
 bool WalWriter::RotateLocked() {
   if (fd_ >= 0) {
     if (::fsync(fd_) != 0) return false;
+    durable_lsn_ = next_lsn_ - 1;
     ::close(fd_);
     fd_ = -1;
   }
@@ -193,6 +194,8 @@ bool WalWriter::Open(const std::string& dir, uint64_t next_lsn,
   dir_ = dir;
   options_ = options;
   next_lsn_ = std::max<uint64_t>(1, next_lsn);
+  // Everything already on disk was validated by replay before Open.
+  durable_lsn_ = next_lsn_ - 1;
 
   // Truncate a torn tail off the newest segment so the on-disk log ends at
   // a record boundary before we append after it.
@@ -235,7 +238,7 @@ uint64_t WalWriter::Append(uint8_t op, const Point& p) {
   }
   segment_written_ += framed.size();
   if (options_.fsync_every > 0 && ++since_sync_ >= options_.fsync_every) {
-    ::fsync(fd_);
+    if (::fsync(fd_) == 0) durable_lsn_ = rec.lsn;
     since_sync_ = 0;
   }
   if (segment_written_ >= options_.segment_bytes) {
@@ -247,7 +250,9 @@ uint64_t WalWriter::Append(uint8_t op, const Point& p) {
 bool WalWriter::Sync() {
   if (fd_ < 0) return false;
   since_sync_ = 0;
-  return ::fsync(fd_) == 0;
+  if (::fsync(fd_) != 0) return false;
+  durable_lsn_ = next_lsn_ - 1;
+  return true;
 }
 
 void WalWriter::TruncateThrough(uint64_t through_lsn) {

@@ -68,6 +68,15 @@ class WalWriter {
 
   bool is_open() const { return fd_ >= 0; }
   uint64_t next_lsn() const { return next_lsn_; }
+
+  /// Highest LSN known to have reached disk (advanced by group-commit
+  /// fsyncs, Sync(), segment rotation, and Close). Records in
+  /// (durable_lsn, next_lsn) are framed in the OS but could be lost by a
+  /// power cut — the bounded relaxed window of group commit, at most
+  /// fsync_every - 1 records wide. Crash-point tests truncate a copied log
+  /// at this boundary to assert recovery of the exact durable prefix.
+  uint64_t durable_lsn() const { return durable_lsn_; }
+
   const std::string& dir() const { return dir_; }
 
  private:
@@ -77,6 +86,7 @@ class WalWriter {
   WalWriterOptions options_;
   int fd_ = -1;
   uint64_t next_lsn_ = 1;
+  uint64_t durable_lsn_ = 0;
   size_t segment_written_ = 0;
   size_t since_sync_ = 0;
 };

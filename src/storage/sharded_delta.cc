@@ -1,0 +1,200 @@
+#include "storage/sharded_delta.h"
+
+#include <thread>
+
+namespace elsi {
+namespace concurrent {
+
+namespace {
+
+/// Stable shard assignment: each thread gets the next index round-robin on
+/// first use, so writer threads spread across shards without hashing.
+size_t ThisThreadShard() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t assigned =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return assigned % ShardedDelta::kShards;
+}
+
+}  // namespace
+
+/// Test-and-test-and-set spinlock over the shard's atomic_flag. Writer
+/// critical sections are a few stores, so spinning beats parking.
+class ShardedDelta::SpinGuard {
+ public:
+  explicit SpinGuard(Shard* shard) : shard_(shard) {
+    while (shard_->lock.test_and_set(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  }
+  ~SpinGuard() { shard_->lock.clear(std::memory_order_release); }
+
+ private:
+  Shard* shard_;
+};
+
+ShardedDelta::ShardedDelta() = default;
+
+void ShardedDelta::FreeLog(Log* log) {
+  Chunk* c = log->head.load(std::memory_order_acquire);
+  while (c != nullptr) {
+    Chunk* next = c->next.load(std::memory_order_acquire);
+    delete c;
+    c = next;
+  }
+}
+
+ShardedDelta::~ShardedDelta() {
+  for (Shard& s : shards_) {
+    FreeLog(&s.inserts);
+    FreeLog(&s.tombstones);
+  }
+}
+
+bool ShardedDelta::Append(Shard* shard, Log* log, const Point& p) {
+  SpinGuard guard(shard);
+  if (shard->sealed) return false;
+  const size_t n = log->count.load(std::memory_order_relaxed);
+  const size_t offset = n % kChunkCap;
+  if (offset == 0) {
+    // Chunk boundary: link a fresh chunk before publishing any entry in it.
+    Chunk* fresh = new Chunk();
+    if (n == 0) {
+      log->head.store(fresh, std::memory_order_release);
+    } else {
+      log->tail->next.store(fresh, std::memory_order_release);
+    }
+    log->tail = fresh;
+  }
+  log->tail->slots[offset].p = p;
+  // Release-publish: a reader that acquires count >= n+1 sees the entry
+  // (and, transitively, the chunk link) fully written.
+  log->count.store(n + 1, std::memory_order_release);
+  return true;
+}
+
+bool ShardedDelta::Insert(const Point& p) {
+  Shard& s = shards_[ThisThreadShard()];
+  return Append(&s, &s.inserts, p);
+}
+
+bool ShardedDelta::AddBaseTombstone(const Point& p) {
+  Shard& s = shards_[ThisThreadShard()];
+  return Append(&s, &s.tombstones, p);
+}
+
+ShardedDelta::RemoveResult ShardedDelta::RemoveInserted(const Point& p) {
+  // Flagging must be mutually exclusive with Seal(): a collector that
+  // sealed this delta reads dead flags while folding, so a flag landing
+  // after the seal would be silently lost. Taking each shard's lock for
+  // the (rare) remove path closes that window.
+  for (Shard& s : shards_) {
+    SpinGuard guard(&s);
+    if (s.sealed) return RemoveResult::kSealed;
+    const size_t n = s.inserts.count.load(std::memory_order_acquire);
+    Chunk* c = s.inserts.head.load(std::memory_order_acquire);
+    for (size_t i = 0; i < n; ++i) {
+      if (i != 0 && i % kChunkCap == 0) {
+        c = c->next.load(std::memory_order_acquire);
+      }
+      Entry& e = c->slots[i % kChunkCap];
+      if (e.p.id == p.id && e.p.x == p.x && e.p.y == p.y &&
+          e.dead.load(std::memory_order_acquire) == 0) {
+        e.dead.store(1, std::memory_order_release);
+        s.dead.fetch_add(1, std::memory_order_relaxed);
+        return RemoveResult::kFlagged;
+      }
+    }
+  }
+  return RemoveResult::kNotFound;
+}
+
+template <typename Fn>
+void ShardedDelta::ScanLog(const Log& log, Fn fn) const {
+  const size_t n = log.count.load(std::memory_order_acquire);
+  const Chunk* c = log.head.load(std::memory_order_acquire);
+  for (size_t i = 0; i < n; ++i) {
+    if (i != 0 && i % kChunkCap == 0) {
+      c = c->next.load(std::memory_order_acquire);
+    }
+    fn(c->slots[i % kChunkCap]);
+  }
+}
+
+bool ShardedDelta::IsTombstoned(const Point& p) const {
+  for (const Shard& s : shards_) {
+    bool hit = false;
+    ScanLog(s.tombstones, [&](const Entry& e) {
+      hit = hit || (e.p.id == p.id && e.p.x == p.x && e.p.y == p.y);
+    });
+    if (hit) return true;
+  }
+  return false;
+}
+
+bool ShardedDelta::ContainsInserted(const Point& p) const {
+  for (const Shard& s : shards_) {
+    bool hit = false;
+    ScanLog(s.inserts, [&](const Entry& e) {
+      hit = hit ||
+            (e.p.id == p.id && e.p.x == p.x && e.p.y == p.y &&
+             e.dead.load(std::memory_order_acquire) == 0);
+    });
+    if (hit) return true;
+  }
+  return false;
+}
+
+void ShardedDelta::ForEachInserted(
+    const std::function<void(const Point&)>& fn) const {
+  for (const Shard& s : shards_) {
+    ScanLog(s.inserts, [&](const Entry& e) {
+      if (e.dead.load(std::memory_order_acquire) == 0) fn(e.p);
+    });
+  }
+}
+
+void ShardedDelta::ForEachTombstone(
+    const std::function<void(const Point&)>& fn) const {
+  for (const Shard& s : shards_) {
+    ScanLog(s.tombstones, [&](const Entry& e) { fn(e.p); });
+  }
+}
+
+void ShardedDelta::CollectInserted(std::vector<Point>* out) const {
+  ForEachInserted([out](const Point& p) { out->push_back(p); });
+}
+
+void ShardedDelta::Seal() {
+  for (Shard& s : shards_) {
+    SpinGuard guard(&s);
+    s.sealed = true;
+  }
+}
+
+size_t ShardedDelta::inserted_count() const {
+  size_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.inserts.count.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+size_t ShardedDelta::dead_count() const {
+  size_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.dead.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+size_t ShardedDelta::tombstone_count() const {
+  size_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.tombstones.count.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+}  // namespace concurrent
+}  // namespace elsi

@@ -1,0 +1,128 @@
+#ifndef ELSI_STORAGE_SHARDED_DELTA_H_
+#define ELSI_STORAGE_SHARDED_DELTA_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace elsi {
+namespace concurrent {
+
+/// The concurrent serving path's side list (see DESIGN.md, "Concurrent
+/// serving"): newly inserted points and tombstones held outside the
+/// immutable base index, sharded by writer thread so concurrent inserts
+/// never contend on one mutex.
+///
+/// Concurrency contract:
+///  * Writers (Insert / RemoveInserted / AddBaseTombstone) take only their
+///    shard's spinlock — a handful of instructions; threads hash to shards
+///    round-robin, so disjoint writers don't contend at all.
+///  * Readers take NO lock ever: each shard publishes its entry count with
+///    a release store into chunked, append-only storage, and scans read the
+///    count with acquire and walk only the published prefix. Entries are
+///    never moved or freed while the delta is alive (removal of an in-delta
+///    insert flags the entry dead instead of erasing it).
+///  * Seal() flips every shard to read-only under its spinlock; appends
+///    that lose the race return false and the caller retries against the
+///    successor delta (published first — see ConcurrentIndex::MergeNow).
+class ShardedDelta {
+ public:
+  static constexpr size_t kShards = 16;
+  static constexpr size_t kChunkCap = 128;
+
+  ShardedDelta();
+  ~ShardedDelta();
+  ShardedDelta(const ShardedDelta&) = delete;
+  ShardedDelta& operator=(const ShardedDelta&) = delete;
+
+  /// Appends an inserted point. Returns false when sealed.
+  bool Insert(const Point& p);
+
+  enum class RemoveResult { kFlagged, kNotFound, kSealed };
+
+  /// Tombstones an in-delta insert matching (x, y, id) exactly by flagging
+  /// its entry dead. kSealed means the delta froze mid-operation and the
+  /// caller must retry against the successor.
+  RemoveResult RemoveInserted(const Point& p);
+
+  /// Records a tombstone for a point that lives outside this delta (in the
+  /// base index or a frozen predecessor). Returns false when sealed.
+  bool AddBaseTombstone(const Point& p);
+
+  /// Whether (x, y, id) has a recorded base tombstone. Lock-free.
+  bool IsTombstoned(const Point& p) const;
+
+  /// Whether a live (non-dead) inserted entry matches (x, y, id). Lock-free.
+  bool ContainsInserted(const Point& p) const;
+
+  /// Invokes `fn` for every live inserted point. Lock-free; sees at least
+  /// every append that completed before the call began.
+  void ForEachInserted(const std::function<void(const Point&)>& fn) const;
+
+  /// Invokes `fn` for every recorded base tombstone. Lock-free.
+  void ForEachTombstone(const std::function<void(const Point&)>& fn) const;
+
+  /// Appends every live inserted point to `out`.
+  void CollectInserted(std::vector<Point>* out) const;
+
+  /// Freezes every shard: no append succeeds after this returns. Idempotent.
+  void Seal();
+
+  /// Inserted entries, including dead-flagged ones. Lock-free, approximate
+  /// under concurrent appends.
+  size_t inserted_count() const;
+
+  /// Inserted entries currently flagged dead.
+  size_t dead_count() const;
+
+  /// Recorded base tombstones.
+  size_t tombstone_count() const;
+
+ private:
+  struct Entry {
+    Point p;
+    std::atomic<uint32_t> dead{0};
+  };
+
+  /// Append-only chunked log: entries are written in place, then published
+  /// by a release store of the owning shard's count; chunks link forward
+  /// and are only freed by the ShardedDelta destructor.
+  struct Chunk {
+    Entry slots[kChunkCap];
+    std::atomic<Chunk*> next{nullptr};
+  };
+
+  struct Log {
+    std::atomic<Chunk*> head{nullptr};
+    Chunk* tail = nullptr;             // Writer-side, guarded by shard lock.
+    std::atomic<size_t> count{0};      // Published entries.
+  };
+
+  struct alignas(64) Shard {
+    std::atomic_flag lock = ATOMIC_FLAG_INIT;
+    bool sealed = false;               // Guarded by lock.
+    Log inserts;
+    Log tombstones;
+    std::atomic<size_t> dead{0};
+  };
+
+  class SpinGuard;
+
+  /// Appends under the shard lock; false when the shard is sealed.
+  bool Append(Shard* shard, Log* log, const Point& p);
+  static void FreeLog(Log* log);
+
+  template <typename Fn>
+  void ScanLog(const Log& log, Fn fn) const;
+
+  Shard shards_[kShards];
+};
+
+}  // namespace concurrent
+}  // namespace elsi
+
+#endif  // ELSI_STORAGE_SHARDED_DELTA_H_

@@ -1,0 +1,325 @@
+// Mixed-workload correctness for the lock-free serving path: concurrent
+// inserts + point/window/kNN queries must see consistent snapshots (every
+// result is a pre-insert point or an inserted key — never garbage, never a
+// half-written entry), merges must fold without losing or duplicating
+// elements, and a looping rebuild-swap must never block readers. CI runs
+// this suite under TSan.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/concurrent_index.h"
+#include "persist/snapshot.h"
+
+namespace elsi {
+namespace concurrent {
+namespace {
+
+#if defined(__SANITIZE_THREAD__)
+constexpr bool kUnderSanitizer = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+constexpr bool kUnderSanitizer = true;
+#else
+constexpr bool kUnderSanitizer = false;
+#endif
+#else
+constexpr bool kUnderSanitizer = false;
+#endif
+
+/// Deterministic coordinates for an id: queries can verify that any point
+/// they observe is exactly the one some writer (or the loader) produced.
+Point PointForId(uint64_t id) {
+  Rng rng(id * 2654435761u + 17);
+  return {rng.NextDouble(), rng.NextDouble(), id};
+}
+
+std::vector<Point> BasePoints(size_t n) {
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (uint64_t id = 0; id < n; ++id) pts.push_back(PointForId(id));
+  return pts;
+}
+
+std::unique_ptr<ConcurrentIndex> MakeGridConcurrent(
+    const std::vector<Point>& base_points,
+    const ConcurrentIndexConfig& config = {}) {
+  persist::SnapshotLoadOptions opts;
+  auto base = persist::MakeIndexByName("Grid", opts);
+  base->Build(base_points);
+  return std::make_unique<ConcurrentIndex>(
+      std::move(base),
+      [opts]() { return persist::MakeIndexByName("Grid", opts); }, config);
+}
+
+// --- single-threaded semantics -------------------------------------------
+
+TEST(ConcurrentIndexTest, DeltaOverlaySemantics) {
+  const auto base_points = BasePoints(500);
+  auto index = MakeGridConcurrent(base_points);
+  EXPECT_EQ(index->size(), 500u);
+
+  // Insert lands in the delta and is immediately visible everywhere.
+  const Point extra = PointForId(10000);
+  index->Insert(extra);
+  EXPECT_EQ(index->size(), 501u);
+  Point got;
+  ASSERT_TRUE(index->PointQuery({extra.x, extra.y, 0}, &got));
+  EXPECT_EQ(got.id, extra.id);
+  auto window = index->WindowQuery(
+      {extra.x - 1e-9, extra.y - 1e-9, extra.x + 1e-9, extra.y + 1e-9});
+  ASSERT_EQ(window.size(), 1u);
+  EXPECT_EQ(window[0].id, extra.id);
+  auto knn = index->KnnQuery({extra.x, extra.y, 0}, 1);
+  ASSERT_EQ(knn.size(), 1u);
+  EXPECT_EQ(knn[0].id, extra.id);
+
+  // Removing the delta insert flags it dead.
+  EXPECT_TRUE(index->Remove(extra));
+  EXPECT_FALSE(index->PointQuery({extra.x, extra.y, 0}));
+  EXPECT_EQ(index->size(), 500u);
+  EXPECT_FALSE(index->Remove(extra));  // Already gone.
+
+  // Removing a base point records a tombstone that filters every query.
+  const Point victim = base_points[123];
+  EXPECT_TRUE(index->Remove(victim));
+  EXPECT_FALSE(index->PointQuery({victim.x, victim.y, 0}));
+  auto vw = index->WindowQuery(
+      {victim.x - 1e-9, victim.y - 1e-9, victim.x + 1e-9, victim.y + 1e-9});
+  EXPECT_TRUE(vw.empty());
+  for (const Point& p : index->KnnQuery({victim.x, victim.y, 0}, 10)) {
+    EXPECT_NE(p.id, victim.id);
+  }
+  EXPECT_EQ(index->size(), 499u);
+  EXPECT_FALSE(index->Remove(victim));  // Tombstoned: second remove misses.
+
+  // A merge folds delta + tombstones into a fresh base and changes nothing
+  // observable.
+  index->MergeNow();
+  EXPECT_EQ(index->merge_count(), 1u);
+  EXPECT_EQ(index->delta_count(), 0u);
+  EXPECT_EQ(index->size(), 499u);
+  EXPECT_FALSE(index->PointQuery({victim.x, victim.y, 0}));
+  auto all = index->CollectAll();
+  EXPECT_EQ(all.size(), 499u);
+}
+
+TEST(ConcurrentIndexTest, CollectAllMatchesOracleAfterMixedOps) {
+  const auto base_points = BasePoints(300);
+  auto index = MakeGridConcurrent(base_points);
+  std::vector<Point> oracle = base_points;
+  Rng rng(7);
+  for (uint64_t i = 0; i < 200; ++i) {
+    const Point p = PointForId(5000 + i);
+    index->Insert(p);
+    oracle.push_back(p);
+    if (i % 3 == 0) {
+      const Point& victim = oracle[rng.NextBelow(oracle.size())];
+      EXPECT_TRUE(index->Remove(victim));
+      oracle.erase(std::find_if(oracle.begin(), oracle.end(),
+                                [&](const Point& q) { return q == victim; }));
+    }
+    if (i == 100) index->MergeNow();  // Mid-stream fold.
+  }
+  auto got = index->CollectAll();
+  auto by_id = [](const Point& a, const Point& b) { return a.id < b.id; };
+  std::sort(got.begin(), got.end(), by_id);
+  std::sort(oracle.begin(), oracle.end(), by_id);
+  ASSERT_EQ(got.size(), oracle.size());
+  for (size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], oracle[i]);
+}
+
+// --- concurrent inserts vs. queries --------------------------------------
+
+// Readers run point/window/kNN against a fixed id universe while writers
+// insert; every observed point must be byte-identical to PointForId(id) for
+// an id in the universe — i.e. each query sees a consistent snapshot of
+// pre-insert ∪ inserted keys, never a torn entry.
+TEST(ConcurrentIndexTest, QueriesSeeConsistentSnapshotsUnderInserts) {
+  constexpr size_t kBase = 2000;
+  constexpr int kWriters = 4;
+  constexpr uint64_t kPerWriter = 2000;
+  const auto base_points = BasePoints(kBase);
+  auto index = MakeGridConcurrent(base_points);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> checked{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(900 + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Point probe on a known base key: must always hit, exactly.
+        const Point q = PointForId(rng.NextBelow(kBase));
+        Point got;
+        ASSERT_TRUE(index->PointQuery({q.x, q.y, 0}, &got));
+        ASSERT_EQ(got, q);
+        // Window scan: every result must be a valid id's exact point.
+        const double cx = rng.NextDouble();
+        const double cy = rng.NextDouble();
+        for (const Point& p :
+             index->WindowQuery({cx - 0.02, cy - 0.02, cx + 0.02, cy + 0.02})) {
+          ASSERT_EQ(p, PointForId(p.id));
+        }
+        for (const Point& p : index->KnnQuery({cx, cy, 0}, 8)) {
+          ASSERT_EQ(p, PointForId(p.id));
+        }
+        checked.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      // Disjoint id ranges per writer; ids map deterministically to coords.
+      const uint64_t lo = 100000 + static_cast<uint64_t>(w) * kPerWriter;
+      for (uint64_t i = 0; i < kPerWriter; ++i) {
+        index->Insert(PointForId(lo + i));
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  for (auto& t : readers) t.join();
+
+  EXPECT_GT(checked.load(), 0u);
+  EXPECT_EQ(index->size(), kBase + kWriters * kPerWriter);
+  // Everything every writer published is now queryable.
+  for (int w = 0; w < kWriters; ++w) {
+    const Point probe =
+        PointForId(100000 + static_cast<uint64_t>(w) * kPerWriter);
+    EXPECT_TRUE(index->PointQuery({probe.x, probe.y, 0}));
+  }
+}
+
+// Auto-merge fires while writers insert and readers query: no element may
+// be lost or duplicated across the seal/fold/publish dance.
+TEST(ConcurrentIndexTest, AutoMergeUnderConcurrentWritersLosesNothing) {
+  constexpr size_t kBase = 1000;
+  constexpr int kWriters = 4;
+  constexpr uint64_t kPerWriter = 1500;
+  ConcurrentIndexConfig config;
+  config.merge_threshold = 512;
+  const auto base_points = BasePoints(kBase);
+  auto index = MakeGridConcurrent(base_points, config);
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    Rng rng(55);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const Point q = PointForId(rng.NextBelow(kBase));
+      Point got;
+      ASSERT_TRUE(index->PointQuery({q.x, q.y, 0}, &got));
+      ASSERT_EQ(got, q);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      const uint64_t lo = 200000 + static_cast<uint64_t>(w) * kPerWriter;
+      for (uint64_t i = 0; i < kPerWriter; ++i) {
+        index->Insert(PointForId(lo + i));
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  reader.join();
+
+  EXPECT_GT(index->merge_count(), 0u);
+  index->MergeNow();  // Fold the tail so the base alone holds everything.
+  EXPECT_EQ(index->delta_count(), 0u);
+  auto all = index->CollectAll();
+  ASSERT_EQ(all.size(), kBase + kWriters * kPerWriter);
+  std::sort(all.begin(), all.end(),
+            [](const Point& a, const Point& b) { return a.id < b.id; });
+  for (size_t i = 1; i < all.size(); ++i) {
+    ASSERT_NE(all[i - 1].id, all[i].id);  // No duplicates.
+  }
+  for (const Point& p : all) EXPECT_EQ(p, PointForId(p.id));
+}
+
+// --- rebuild-swap under load ---------------------------------------------
+
+// A swap loop replaces the base over and over while readers hammer point
+// queries. Readers must never block on a swap: their worst observed
+// latency stays far below the time a base build takes, and throughput
+// continues throughout. (The wall-clock bound is skipped under sanitizers,
+// where timing is meaningless.)
+TEST(ConcurrentIndexTest, RebuildSwapUnderLoadNeverStallsReaders) {
+  constexpr size_t kBase = 4000;
+  const auto base_points = BasePoints(kBase);
+  auto index = MakeGridConcurrent(base_points);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> queries{0};
+  std::mutex latencies_mu;
+  std::vector<uint64_t> latencies_us;
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(300 + t);
+      std::vector<uint64_t> local;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const Point q = PointForId(rng.NextBelow(kBase));
+        const auto t0 = std::chrono::steady_clock::now();
+        Point got;
+        ASSERT_TRUE(index->PointQuery({q.x, q.y, 0}, &got));
+        const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+        local.push_back(static_cast<uint64_t>(us));
+        queries.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::lock_guard<std::mutex> lock(latencies_mu);
+      latencies_us.insert(latencies_us.end(), local.begin(), local.end());
+    });
+  }
+
+  // The swap loop: rebuild the full base from scratch and publish it, over
+  // and over for a fixed wall-clock window so the readers overlap many
+  // swaps. A reader that blocked on a swap would show up as a build-scale
+  // latency spike.
+  int swaps = 0;
+  persist::SnapshotLoadOptions opts;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(200);
+  do {
+    auto fresh = persist::MakeIndexByName("Grid", opts);
+    fresh->Build(base_points);
+    index->ReplaceBase(std::move(fresh));
+    ++swaps;
+  } while (std::chrono::steady_clock::now() < deadline);
+  stop.store(true);
+  for (auto& t : readers) t.join();
+
+  EXPECT_GT(swaps, 10);
+  EXPECT_GT(queries.load(), static_cast<uint64_t>(swaps));
+  EXPECT_EQ(index->size(), kBase);
+  if (!kUnderSanitizer) {
+    // p99 bound, not max: the swap loop saturates the thread pool, so a
+    // rare scheduler preemption can hit any single query. A reader that
+    // BLOCKED on a swap would push the whole tail to build-scale latency.
+    ASSERT_FALSE(latencies_us.empty());
+    std::sort(latencies_us.begin(), latencies_us.end());
+    const uint64_t p99 = latencies_us[latencies_us.size() * 99 / 100 ==
+                                              latencies_us.size()
+                                          ? latencies_us.size() - 1
+                                          : latencies_us.size() * 99 / 100];
+    EXPECT_LT(p99, 10000u) << "readers stalled during rebuild-swaps";
+  }
+}
+
+}  // namespace
+}  // namespace concurrent
+}  // namespace elsi

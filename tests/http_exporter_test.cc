@@ -123,6 +123,12 @@ TEST(HttpHandleTest, HealthzReportsBuildInfoAndPersistLag) {
   EXPECT_NE(r.body.find("\"snapshot_seq\": "), std::string::npos);
   EXPECT_NE(r.body.find("\"trace\": {\"dropped\": "), std::string::npos);
   EXPECT_NE(r.body.find("\"model_health\": "), std::string::npos);
+  // Concurrent-serving block: epoch state and delta depth ride along so an
+  // operator can spot a wedged reclamation (limbo growing without bound).
+  EXPECT_NE(r.body.find("\"concurrent\": {\"epoch\": "), std::string::npos);
+  EXPECT_NE(r.body.find("\"limbo\": "), std::string::npos);
+  EXPECT_NE(r.body.find("\"delta_depth\": "), std::string::npos);
+  EXPECT_NE(r.body.find("\"merges\": "), std::string::npos);
 }
 
 TEST(HttpHandleTest, HealthzReflectsInjectedDrift) {

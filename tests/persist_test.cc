@@ -330,6 +330,55 @@ TEST(WalTest, TornTailIsDetectedReplayedAndHealedOnReopen) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(WalTest, DurableLsnMarksGroupCommitBoundary) {
+  const std::string dir = TempDir("durable");
+  const std::string crash_dir = TempDir("durable_crash");
+  WalWriterOptions opts;
+  opts.fsync_every = 4;
+  WalWriter wal;
+  ASSERT_TRUE(wal.Open(dir, 1, opts));
+  EXPECT_EQ(wal.durable_lsn(), 0u);
+  const auto segments = ListWalSegments(dir);
+  ASSERT_EQ(segments.size(), 1u);
+  const auto header_bytes = std::filesystem::file_size(segments[0].second);
+
+  // Group commit fsyncs at records 4 and 8; records 9..10 stay framed in
+  // the OS but not yet durable.
+  for (uint64_t i = 1; i <= 10; ++i) {
+    wal.Append(kWalOpInsert, {0.1, 0.5, i});
+    EXPECT_EQ(wal.durable_lsn(), i >= 8 ? 8u : (i >= 4 ? 4u : 0u)) << i;
+  }
+
+  // Crash-point: clone the segment cut exactly at the durable boundary
+  // (what a power cut may leave behind) and replay the clone — exactly the
+  // durable prefix must come back, contiguous, with no torn tail.
+  const auto total_bytes = std::filesystem::file_size(segments[0].second);
+  const auto record_bytes = (total_bytes - header_bytes) / 10;
+  const std::string clone = crash_dir + "/" +
+                            std::filesystem::path(segments[0].second)
+                                .filename()
+                                .string();
+  std::filesystem::copy_file(segments[0].second, clone);
+  std::filesystem::resize_file(
+      clone, header_bytes + wal.durable_lsn() * record_bytes);
+  WalReplayStats stats;
+  std::vector<uint64_t> lsns;
+  ASSERT_TRUE(WalReplay(
+      crash_dir, 0, [&lsns](const WalRecord& r) { lsns.push_back(r.lsn); },
+      &stats));
+  EXPECT_EQ(stats.applied, 8u);
+  EXPECT_FALSE(stats.torn_tail);
+  for (size_t i = 0; i < lsns.size(); ++i) {
+    EXPECT_EQ(lsns[i], i + 1);  // No holes in the durable prefix.
+  }
+
+  // An explicit Sync closes the window.
+  ASSERT_TRUE(wal.Sync());
+  EXPECT_EQ(wal.durable_lsn(), 10u);
+  std::filesystem::remove_all(dir);
+  std::filesystem::remove_all(crash_dir);
+}
+
 // --- crash recovery -------------------------------------------------------
 
 TEST(DurableElsiTest, OpenBuildReopenRecoversExactContents) {
@@ -442,6 +491,72 @@ TEST(DurableElsiTest, RecoveryWithNoSnapshotReplaysWholeWal) {
   EXPECT_EQ(recovered->size(), 50u);
   EXPECT_EQ(recovered->kind(), "Grid");
   std::filesystem::remove_all(dir);
+}
+
+TEST(DurableElsiTest, CrashAtGroupCommitBoundaryLosesOnlyUnsyncedTail) {
+  // With fsync_every > 1, an insert becomes visible to readers as soon as
+  // its WAL record is framed in the OS — before the group-commit fsync. A
+  // power cut inside that window loses at most fsync_every - 1 records.
+  // Simulate the cut by cloning the directory with the WAL truncated at the
+  // durable boundary and recovering the clone: exactly the durable prefix
+  // must come back.
+  const std::string dir = TempDir("groupcommit");
+  const std::string crash_dir = TempDir("groupcommit_crash");
+  const Dataset data = GenerateDataset(DatasetKind::kUniform, 100, 7);
+  DurableElsiOptions opts;
+  opts.kind = "Grid";
+  opts.wal.fsync_every = 4;
+
+  uintmax_t durable_bytes = 0;
+  std::string segment_name;
+  {
+    auto durable = DurableElsi::OpenOrRecover(dir, opts);
+    ASSERT_NE(durable, nullptr);
+    durable->Build(data);
+    for (uint64_t i = 0; i < 7; ++i) {
+      durable->Insert(
+          {0.001 * static_cast<double>(i + 1), 0.75, 91000 + i});
+      if (i == 3) {
+        // Records 1..4 just hit the group-commit fsync; 5..7 will sit in
+        // the relaxed window. Remember the on-disk durable boundary.
+        const auto segments = ListWalSegments(dir);
+        ASSERT_EQ(segments.size(), 1u);
+        segment_name =
+            std::filesystem::path(segments[0].second).filename().string();
+        durable_bytes = std::filesystem::file_size(segments[0].second);
+      }
+    }
+    // All 7 are visible to the live instance regardless of durability.
+    EXPECT_EQ(durable->size(), data.size() + 7);
+
+    // "Power cut": copy the directory as-is, then cut the copied WAL at the
+    // last group-commit boundary. The original keeps running untouched.
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      std::filesystem::copy_file(
+          entry.path(), crash_dir + "/" + entry.path().filename().string());
+    }
+    std::filesystem::resize_file(crash_dir + "/" + segment_name,
+                                 durable_bytes);
+  }
+
+  RecoveryStats stats;
+  auto recovered = DurableElsi::OpenOrRecover(crash_dir, opts, &stats);
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_TRUE(stats.snapshot_loaded);
+  EXPECT_EQ(stats.wal.applied, 4u);
+  EXPECT_FALSE(stats.wal.torn_tail);
+  EXPECT_EQ(recovered->size(), data.size() + 4);
+  for (uint64_t i = 0; i < 7; ++i) {
+    Point out;
+    const bool hit = recovered->PointQuery(
+        {0.001 * static_cast<double>(i + 1), 0.75, 91000 + i}, &out);
+    EXPECT_EQ(hit, i < 4) << i;
+    if (hit) {
+      EXPECT_EQ(out.id, 91000 + i);
+    }
+  }
+  std::filesystem::remove_all(dir);
+  std::filesystem::remove_all(crash_dir);
 }
 
 /// An always-fire predictor so the rebuild-swap path triggers quickly.

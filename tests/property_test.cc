@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -14,6 +15,7 @@
 #include "common/random.h"
 #include "common/spatial_index.h"
 #include "common/thread_pool.h"
+#include "core/concurrent_index.h"
 #include "core/elsi.h"
 #include "data/synthetic.h"
 #include "data/workload.h"
@@ -306,6 +308,86 @@ INSTANTIATE_TEST_SUITE_P(
     AllMethods, BuildMethodOracleTest,
     ::testing::ValuesIn(BuildProcessorConfig{}.enabled),
     [](const auto& info) { return BuildMethodName(info.param); });
+
+// Sharded-delta merge oracle: T writer threads run deterministic per-thread
+// insert/remove streams against a ConcurrentIndex whose auto-merge folds the
+// sharded delta mid-stream at unpredictable points. Each thread owns a
+// disjoint id range and only removes its own points, so the final element
+// set is independent of the interleaving — and must be element-identical to
+// a single-threaded ReferenceModel replay of the same streams.
+TEST(ShardedDeltaMergeOracleTest, ConcurrentStreamsPlusMergesMatchOracle) {
+  for (uint64_t seed : {3ull, 4ull, 5ull}) {
+    const Dataset base = GenerateDataset(DatasetKind::kUniform, 800, seed);
+    concurrent::ConcurrentIndexConfig config;
+    config.merge_threshold = 300;  // Several merges per run.
+    auto base_index = MakeAnyIndex("Grid");
+    base_index->Build(base);
+    concurrent::ConcurrentIndex index(
+        std::move(base_index), [] { return MakeAnyIndex("Grid"); }, config);
+
+    constexpr int kThreads = 4;
+    constexpr uint64_t kOpsPerThread = 600;
+    auto stream_op = [&](int t, uint64_t i, ReferenceModel* oracle) {
+      // Same deterministic op sequence for the live run and the oracle.
+      Rng rng(seed * 1000 + static_cast<uint64_t>(t) * 97 + i);
+      const uint64_t id =
+          1000000 + static_cast<uint64_t>(t) * kOpsPerThread + i;
+      const Point p{rng.NextDouble(), rng.NextDouble(), id};
+      if (i % 5 == 4) {
+        // Remove a point this thread inserted earlier (i - 2 exists and,
+        // by induction, was not removed: (i-2) % 5 == 2 and removal
+        // targets lag by exactly 2).
+        Rng prev(seed * 1000 + static_cast<uint64_t>(t) * 97 + (i - 2));
+        const uint64_t prev_id =
+            1000000 + static_cast<uint64_t>(t) * kOpsPerThread + (i - 2);
+        const Point target{prev.NextDouble(), prev.NextDouble(), prev_id};
+        if (oracle != nullptr) {
+          EXPECT_TRUE(oracle->Remove(target));
+        } else {
+          EXPECT_TRUE(index.Remove(target));
+        }
+      } else {
+        if (oracle != nullptr) {
+          oracle->Insert(p);
+        } else {
+          index.Insert(p);
+        }
+      }
+    };
+
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kThreads; ++t) {
+      writers.emplace_back([&, t] {
+        for (uint64_t i = 0; i < kOpsPerThread; ++i) {
+          stream_op(t, i, nullptr);
+        }
+      });
+    }
+    for (auto& th : writers) th.join();
+
+    ReferenceModel oracle;
+    oracle.Build(base);
+    for (int t = 0; t < kThreads; ++t) {
+      for (uint64_t i = 0; i < kOpsPerThread; ++i) {
+        stream_op(t, i, &oracle);
+      }
+    }
+
+    EXPECT_GT(index.merge_count(), 0u) << "seed " << seed;
+    index.MergeNow();  // Drain the tail: the merged base IS the state.
+    EXPECT_EQ(index.delta_count(), 0u);
+
+    auto got = index.CollectAll();
+    auto want = oracle.points();
+    auto by_id = [](const Point& a, const Point& b) { return a.id < b.id; };
+    std::sort(got.begin(), got.end(), by_id);
+    std::sort(want.begin(), want.end(), by_id);
+    ASSERT_EQ(got.size(), want.size()) << "seed " << seed;
+    for (size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], want[i]) << "seed " << seed << " index " << i;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace elsi
