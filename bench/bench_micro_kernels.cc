@@ -31,6 +31,7 @@
 #include "learned/zm_index.h"
 #include "ml/ffn.h"
 #include "ml/matrix.h"
+#include "simd/simd.h"
 
 namespace elsi {
 namespace {
@@ -262,7 +263,114 @@ struct QueryRow {
   double checksum;  // Hits (point) / total results (window) — sanity only.
 };
 
-std::vector<QueryRow> SweepQueryPath() {
+// --- per-ISA dispatch sweep ----------------------------------------------
+//
+// The same workloads timed once per dispatch level reachable on this host
+// (plus a "best" alias row that always exists, so the checked-in baseline
+// can gate on it regardless of which ISA the runner has). Level-specific
+// rows (avx2/avx512/neon) are fresh-only extras the bench_diff gate
+// ignores when the baseline machine lacked them.
+
+struct SimdRow {
+  std::string name;
+  double ns = 0.0;                 // 0 when the row carries avg_us instead
+  double avg_us = 0.0;
+  double speedup_vs_scalar = 1.0;
+  double checksum = -1.0;          // point-query rows only (exact-gated)
+};
+
+std::vector<SimdRow> SweepSimdGemm() {
+  const size_t shapes[][3] = {
+      {1, 16, 16},     // single-query inference layer
+      {256, 16, 16},   // batched inference layer
+      {512, 64, 64},   // training-shaped product
+      {37, 19, 53},    // odd dims: edge kernels
+  };
+  std::vector<SimdRow> rows;
+  Rng rng(21);
+  for (const auto& s : shapes) {
+    const size_t m = s[0], k = s[1], n = s[2];
+    std::vector<double> a(m * k), b(k * n), c(m * n);
+    for (double& v : a) v = rng.NextDouble() - 0.5;
+    for (double& v : b) v = rng.NextDouble() - 0.5;
+    double scalar_ns = 0.0;
+    SimdRow best;
+    for (const simd::Level level : simd::SupportedLevels()) {
+      const simd::Kernels* kern = simd::ForLevel(level);
+      SimdRow row;
+      row.ns = TimeGemm([&] {
+        kern->gemm_nn(a.data(), b.data(), c.data(), m, k, n);
+        benchmark::DoNotOptimize(c.data());
+      });
+      if (level == simd::Level::kScalar) scalar_ns = row.ns;
+      row.speedup_vs_scalar = scalar_ns / row.ns;
+      char name[96];
+      std::snprintf(name, sizeof(name), "gemm_%zux%zux%zu_%s", m, k, n,
+                    simd::LevelName(level));
+      row.name = name;
+      std::printf("%-28s %12.1f ns  %5.2fx vs scalar\n", name, row.ns,
+                  row.speedup_vs_scalar);
+      best = row;  // SupportedLevels() ascends, so the last is the best.
+      rows.push_back(row);
+    }
+    char name[96];
+    std::snprintf(name, sizeof(name), "gemm_%zux%zux%zu_best", m, k, n);
+    best.name = name;
+    rows.push_back(best);
+  }
+  return rows;
+}
+
+// Batched point queries (batch 256, one thread) per dispatch level over an
+// already-built index. Query *results* are level-independent (the compare
+// kernels are exact), which the checksum column enforces bit-for-bit in
+// the bench_diff gate; only the time may move.
+std::vector<SimdRow> SweepSimdPointQuery(
+    const ZmIndex& index, const std::vector<Point>& probes) {
+  const simd::Level before = simd::ActiveLevel();
+  std::vector<SimdRow> rows;
+  double scalar_us = 0.0;
+  SimdRow best;
+  for (const simd::Level level : simd::SupportedLevels()) {
+    if (!simd::ForceLevel(level)) continue;
+    ThreadPool pool(1);
+    BatchQueryOptions opts;
+    opts.pool = &pool;
+    opts.chunk = 256;
+    std::vector<uint8_t> hit(probes.size(), 0);
+    std::vector<Point> payload(probes.size());
+    const auto run = [&] {
+      index.PointQueryBatch(probes, hit, payload, opts);
+    };
+    run();  // warm-up (grows per-thread scratch under this level)
+    double best_us = 0.0;
+    for (size_t rep = 0; rep < 5; ++rep) {
+      Timer timer;
+      run();
+      const double micros = timer.ElapsedMicros();
+      if (rep == 0 || micros < best_us) best_us = micros;
+    }
+    SimdRow row;
+    row.avg_us = best_us / static_cast<double>(probes.size());
+    size_t found = 0;
+    for (const uint8_t h : hit) found += h;
+    row.checksum = static_cast<double>(found);
+    if (level == simd::Level::kScalar) scalar_us = row.avg_us;
+    row.speedup_vs_scalar = scalar_us / row.avg_us;
+    row.name = std::string("point_batch256_") + simd::LevelName(level);
+    std::printf("%-28s %9.3f us avg  %5.2fx vs scalar (checksum %.0f)\n",
+                row.name.c_str(), row.avg_us, row.speedup_vs_scalar,
+                row.checksum);
+    best = row;
+    rows.push_back(row);
+  }
+  simd::ForceLevel(before);
+  best.name = "point_batch256_best";
+  rows.push_back(best);
+  return rows;
+}
+
+std::vector<QueryRow> SweepQueryPath(std::vector<SimdRow>* simd_point_rows) {
   const size_t n = QueryPathN();
   const Dataset data = GenerateDataset(DatasetKind::kOsm1, n, 42);
   RankModelConfig model_cfg;
@@ -364,12 +472,17 @@ std::vector<QueryRow> SweepQueryPath() {
     report("window", kBatch, threads, micros, windows.size(),
            static_cast<double>(hits));
   }
+
+  // Per-dispatch-level batched point queries against the same index.
+  *simd_point_rows = SweepSimdPointQuery(index, probes);
   return rows;
 }
 
 void WriteQueryPathJson(const std::string& path,
                         const std::vector<GemmRow>& gemm,
-                        const std::vector<QueryRow>& queries, size_t n) {
+                        const std::vector<QueryRow>& queries,
+                        const std::vector<SimdRow>& simd_gemm,
+                        const std::vector<SimdRow>& simd_point, size_t n) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -394,17 +507,40 @@ void WriteQueryPathJson(const std::string& path,
                  r.query.c_str(), r.batch, r.threads, r.avg_us, r.checksum,
                  i + 1 < queries.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  // Per-ISA rows are keyed by name so the diff gate pairs baseline and
+  // fresh rows by workload+level, not array position.
+  std::fprintf(f, "  ],\n  \"simd\": {\n    \"gemm\": [\n");
+  for (size_t i = 0; i < simd_gemm.size(); ++i) {
+    const SimdRow& r = simd_gemm[i];
+    std::fprintf(f,
+                 "      {\"name\": \"%s\", \"gemm_ns\": %.1f, "
+                 "\"speedup_vs_scalar\": %.3f}%s\n",
+                 r.name.c_str(), r.ns, r.speedup_vs_scalar,
+                 i + 1 < simd_gemm.size() ? "," : "");
+  }
+  std::fprintf(f, "    ],\n    \"point_query\": [\n");
+  for (size_t i = 0; i < simd_point.size(); ++i) {
+    const SimdRow& r = simd_point[i];
+    std::fprintf(f,
+                 "      {\"name\": \"%s\", \"avg_us\": %.3f, "
+                 "\"speedup_vs_scalar\": %.3f, \"checksum\": %.0f}%s\n",
+                 r.name.c_str(), r.avg_us, r.speedup_vs_scalar, r.checksum,
+                 i + 1 < simd_point.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n  }\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
 }
 
 void RunQueryPathSweep() {
-  std::printf("\n--- batched query path sweep (ZM, n = %zu) ---\n",
-              QueryPathN());
+  std::printf("\n--- batched query path sweep (ZM, n = %zu, simd = %s) ---\n",
+              QueryPathN(), simd::ActiveLevelName());
   const auto gemm = SweepGemmShapes();
-  const auto queries = SweepQueryPath();
-  WriteQueryPathJson("BENCH_query_path.json", gemm, queries, QueryPathN());
+  const auto simd_gemm = SweepSimdGemm();
+  std::vector<SimdRow> simd_point;
+  const auto queries = SweepQueryPath(&simd_point);
+  WriteQueryPathJson("BENCH_query_path.json", gemm, queries, simd_gemm,
+                     simd_point, QueryPathN());
 }
 
 }  // namespace

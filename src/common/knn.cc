@@ -1,0 +1,85 @@
+#include "common/knn.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+
+#include "simd/simd.h"
+
+namespace elsi {
+namespace knn {
+
+namespace {
+// Chunk size for the stack-buffered kernels below. Large enough to amortise
+// the dispatch-table load, small enough to keep stack use trivial.
+constexpr size_t kChunk = 256;
+}  // namespace
+
+double SelectNearest(const Point& q, size_t k, std::vector<Point>* candidates) {
+  const size_t n = candidates->size();
+  if (n == 0) return std::numeric_limits<double>::infinity();
+  std::vector<double> d2(n);
+  simd::Active().squared_distances(candidates->data(), n, q.x, q.y, d2.data());
+  // Sort a permutation instead of the 24-byte points; (d2, id) is a strict
+  // weak order equivalent to the comparator the call sites used.
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  const Point* pts = candidates->data();
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (d2[a] != d2[b]) return d2[a] < d2[b];
+    return pts[a].id < pts[b].id;
+  });
+  const size_t keep = std::min(k, n);
+  std::vector<Point> nearest;
+  nearest.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) nearest.push_back(pts[order[i]]);
+  candidates->swap(nearest);
+  return keep > 0 ? d2[order[keep - 1]]
+                  : std::numeric_limits<double>::infinity();
+}
+
+void FilterContained(const Rect& w, std::vector<Point>* pts) {
+  const size_t n = pts->size();
+  uint8_t mask[kChunk];
+  size_t kept = 0;
+  for (size_t pos = 0; pos < n; pos += kChunk) {
+    const size_t len = std::min(kChunk, n - pos);
+    simd::Active().contains_mask(pts->data() + pos, len, w, mask);
+    for (size_t i = 0; i < len; ++i) {
+      if (mask[i] != 0) (*pts)[kept++] = (*pts)[pos + i];
+    }
+  }
+  pts->resize(kept);
+}
+
+void FilterWithinRadius(const Point& center, double r2,
+                        std::vector<Point>* pts) {
+  const size_t n = pts->size();
+  double d2[kChunk];
+  size_t kept = 0;
+  for (size_t pos = 0; pos < n; pos += kChunk) {
+    const size_t len = std::min(kChunk, n - pos);
+    simd::Active().squared_distances(pts->data() + pos, len, center.x,
+                                     center.y, d2);
+    for (size_t i = 0; i < len; ++i) {
+      if (d2[i] <= r2) (*pts)[kept++] = (*pts)[pos + i];
+    }
+  }
+  pts->resize(kept);
+}
+
+void AppendContained(const Point* pts, size_t n, const Rect& w,
+                     std::vector<Point>* out) {
+  uint8_t mask[kChunk];
+  for (size_t pos = 0; pos < n; pos += kChunk) {
+    const size_t len = std::min(kChunk, n - pos);
+    simd::Active().contains_mask(pts + pos, len, w, mask);
+    for (size_t i = 0; i < len; ++i) {
+      if (mask[i] != 0) out->push_back(pts[pos + i]);
+    }
+  }
+}
+
+}  // namespace knn
+}  // namespace elsi

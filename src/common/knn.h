@@ -1,0 +1,40 @@
+#ifndef ELSI_COMMON_KNN_H_
+#define ELSI_COMMON_KNN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace elsi {
+namespace knn {
+
+/// Sorts `*candidates` in place by (squared distance to `q`, id) ascending
+/// and truncates to at most `k` entries. Distances come from the dispatched
+/// squared-distance kernel, which is bit-identical to SquaredDistance() on
+/// every level, so the result matches the per-index
+/// `std::sort(..., [(d2, id)])` loops this helper replaced exactly.
+/// Returns the squared distance of the last kept candidate (the current
+/// kth-neighbour bound), or +infinity when `*candidates` ends up empty.
+double SelectNearest(const Point& q, size_t k, std::vector<Point>* candidates);
+
+/// Removes the points of `*pts` that lie outside `w`, preserving order.
+/// Containment comes from the dispatched mask kernel (exact Rect::Contains
+/// semantics on every level).
+void FilterContained(const Rect& w, std::vector<Point>* pts);
+
+/// Removes the points of `*pts` farther than sqrt(r2) from `center`
+/// (keeps d2 <= r2), preserving order. Bit-identical to the scalar
+/// `SquaredDistance(p, center) <= r2` filter.
+void FilterWithinRadius(const Point& center, double r2,
+                        std::vector<Point>* pts);
+
+/// Appends the points of [pts, pts + n) that lie inside `w` to `out`, in
+/// order, using the dispatched containment kernel over contiguous chunks.
+void AppendContained(const Point* pts, size_t n, const Rect& w,
+                     std::vector<Point>* out);
+
+}  // namespace knn
+}  // namespace elsi
+
+#endif  // ELSI_COMMON_KNN_H_

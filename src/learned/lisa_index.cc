@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/knn.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "obs/flight_recorder.h"
@@ -352,16 +353,8 @@ std::vector<Point> LisaIndex::KnnQuery(const Point& q, size_t k) const {
     const Rect w = Rect::Of(q.x - r, q.y - r, q.x + r, q.y + r);
     std::vector<Point> candidates = WindowQuery(w);
     if (candidates.size() >= k || r > diag) {
-      std::sort(candidates.begin(), candidates.end(),
-                [&q](const Point& a, const Point& b) {
-                  const double da = SquaredDistance(a, q);
-                  const double db = SquaredDistance(b, q);
-                  if (da != db) return da < db;
-                  return a.id < b.id;
-                });
-      if (candidates.size() > k) candidates.resize(k);
-      if (r > diag || (candidates.size() == k &&
-                       SquaredDistance(candidates.back(), q) <= r * r)) {
+      const double worst = knn::SelectNearest(q, k, &candidates);
+      if (r > diag || (candidates.size() == k && worst <= r * r)) {
         return candidates;
       }
     }

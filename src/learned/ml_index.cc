@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/knn.h"
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
@@ -163,9 +164,8 @@ void MlIndex::RingScan(const Point& center, double r, const Rect& w,
     const double base = static_cast<double>(j) * separation_;
     std::vector<Point> ring;
     array_.ScanKeyRangeInRect(base + lo_d, base + hi_d, w, &ring);
-    for (const Point& p : ring) {
-      if (SquaredDistance(p, center) <= r * r) out->push_back(p);
-    }
+    knn::FilterWithinRadius(center, r * r, &ring);
+    out->insert(out->end(), ring.begin(), ring.end());
   }
 }
 
@@ -176,11 +176,8 @@ std::vector<Point> MlIndex::WindowQuery(const Rect& w) const {
   // Circumscribe the window; ring-scan each partition and filter exactly.
   const Point center = w.Center();
   const double r = std::hypot(w.hi_x - w.lo_x, w.hi_y - w.lo_y) / 2.0;
-  std::vector<Point> candidates;
-  RingScan(center, r, w, &candidates);
-  for (const Point& p : candidates) {
-    if (w.Contains(p)) result.push_back(p);
-  }
+  RingScan(center, r, w, &result);
+  knn::FilterContained(w, &result);
   return result;
 }
 
@@ -205,19 +202,10 @@ std::vector<Point> MlIndex::KnnQuery(const Point& q, size_t k) const {
     std::vector<Point> candidates;
     RingScan(q, r, everywhere, &candidates);
     if (candidates.size() >= k || r >= max_radius) {
-      std::sort(candidates.begin(), candidates.end(),
-                [&q](const Point& a, const Point& b) {
-                  const double da = SquaredDistance(a, q);
-                  const double db = SquaredDistance(b, q);
-                  if (da != db) return da < db;
-                  return a.id < b.id;
-                });
-      if (candidates.size() > k) candidates.resize(k);
+      const double worst = knn::SelectNearest(q, k, &candidates);
       // Candidates within r are certified complete; accept when the kth
       // neighbour is inside the ring or nothing more can exist.
-      if (r >= max_radius ||
-          (candidates.size() == k &&
-           SquaredDistance(candidates.back(), q) <= r * r)) {
+      if (r >= max_radius || (candidates.size() == k && worst <= r * r)) {
         return candidates;
       }
     }

@@ -83,8 +83,8 @@ void RankModel::PredictRanks(const double* keys, size_t n,
   // ForwardBatchInto on per-thread scratch. Bit-identical to the Matrix
   // ForwardBatch path (same kernels, same order).
   static thread_local InferenceScratch scratch;
-  static thread_local std::vector<double> norm;
-  static thread_local std::vector<double> raw;
+  static thread_local simd::AlignedVector norm;
+  static thread_local simd::AlignedVector raw;
   if (norm.size() < n) norm.resize(n);
   if (raw.size() < n) raw.resize(n);
   for (size_t i = 0; i < n; ++i) norm[i] = Normalize(keys[i]);

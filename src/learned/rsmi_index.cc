@@ -7,6 +7,7 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "common/knn.h"
 #include "common/logging.h"
 #include "curve/hilbert.h"
 #include "obs/flight_recorder.h"
@@ -393,19 +394,22 @@ void RsmiIndex::WindowQueryNode(const Node* node, const Rect& w,
       const auto [lo2, hi2] = node->model.SearchRange(khi, node->keys.size());
       const size_t lo = std::min(lo1, lo2);
       const size_t hi = std::min(std::max(hi1, hi2), node->keys.size() - 1);
-      for (size_t i = lo; i <= hi; ++i) {
-        const Point& p = node->pts[i];
-        if (w.Contains(p) && node->tombstones.count(p.id) == 0) {
-          out->push_back(p);
+      if (node->tombstones.empty()) {
+        // Common case: vector containment over the contiguous leaf run.
+        knn::AppendContained(node->pts.data() + lo, hi - lo + 1, w, out);
+      } else {
+        for (size_t i = lo; i <= hi; ++i) {
+          const Point& p = node->pts[i];
+          if (w.Contains(p) && node->tombstones.count(p.id) == 0) {
+            out->push_back(p);
+          }
         }
       }
     }
     // Overflow pages are small; scan them fully for inserted points.
     for (const Block& b : node->overflow.blocks()) {
       if (!b.mbr.Intersects(w)) continue;
-      for (const Point& p : b.points) {
-        if (w.Contains(p)) out->push_back(p);
-      }
+      knn::AppendContained(b.points.data(), b.points.size(), w, out);
     }
     return;
   }
@@ -451,16 +455,8 @@ std::vector<Point> RsmiIndex::KnnQuery(const Point& q, size_t k) const {
     const Rect w = Rect::Of(q.x - r, q.y - r, q.x + r, q.y + r);
     std::vector<Point> candidates = WindowQuery(w);
     if (candidates.size() >= k || r > diag) {
-      std::sort(candidates.begin(), candidates.end(),
-                [&q](const Point& a, const Point& b) {
-                  const double da = SquaredDistance(a, q);
-                  const double db = SquaredDistance(b, q);
-                  if (da != db) return da < db;
-                  return a.id < b.id;
-                });
-      if (candidates.size() > k) candidates.resize(k);
-      if (r > diag || (candidates.size() == k &&
-                       SquaredDistance(candidates.back(), q) <= r * r)) {
+      const double worst = knn::SelectNearest(q, k, &candidates);
+      if (r > diag || (candidates.size() == k && worst <= r * r)) {
         return candidates;
       }
     }

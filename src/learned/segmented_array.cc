@@ -8,9 +8,12 @@
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "persist/io.h"
+#include "simd/simd.h"
 
 namespace elsi {
 namespace {
+
+using simd::SearchState;
 
 /// Width of the predicted search window — the empirical proxy for model
 /// prediction error (what Pai et al. call scan length).
@@ -20,50 +23,11 @@ obs::Histogram& ScanLenHistogram() {
   return histogram;
 }
 
-/// One in-flight exact lower-bound search: `lo`/`len` delimit the remaining
-/// half-open range, `key` is the probe. `lo` converges to
-/// std::lower_bound(keys + lo0, keys + lo0 + len0, key) - keys.
-struct SearchState {
-  size_t lo;
-  size_t len;
-  double key;
-};
-
-/// Level-synchronous exact lower_bound over many ranges at once: every
-/// active search advances one probe per round and prefetches its next
-/// midpoint, so the cache misses of a whole chunk overlap instead of
-/// serialising (memory-level parallelism — the reason batched search beats
-/// a per-query loop whose probes miss one at a time). The range update is
-/// branchless (cmov), sidestepping the ~50% mispredict a comparison-driven
-/// binary search pays per probe. `work` holds the indices of the `active`
-/// still-unfinished searches (caller filters out len == 0 entries and
-/// chooses the order — leaf-sorted order keeps consecutive searches on
-/// neighbouring pages). Each search performs the standard lower-bound
-/// halving independently, so states[i].lo ends at exactly the position
-/// serial std::lower_bound returns.
-void BatchedLowerBound(const double* keys, SearchState* states, size_t* work,
-                       size_t active) {
-  for (size_t t = 0; t < active; ++t) {
-    const SearchState& s = states[work[t]];
-    __builtin_prefetch(&keys[s.lo + s.len / 2]);
-  }
-  while (active > 0) {
-    size_t next = 0;
-    for (size_t t = 0; t < active; ++t) {
-      SearchState& s = states[work[t]];
-      const size_t half = s.len / 2;
-      const size_t mid = s.lo + half;
-      const bool right = keys[mid] < s.key;
-      s.lo = right ? mid + 1 : s.lo;
-      s.len = right ? s.len - half - 1 : half;
-      if (s.len > 0) {
-        work[next++] = work[t];  // In-place compaction: next <= t.
-        __builtin_prefetch(&keys[s.lo + s.len / 2]);
-      }
-    }
-    active = next;
-  }
-}
+/// Sampled-level windows at most this long are resolved with one vector
+/// count (count_less reads the whole run branchlessly) instead of joining
+/// the level-synchronous binary-search work list — for a handful of
+/// entries the count's couple of cache lines beat the probe chain.
+constexpr size_t kCountCutoff = 16;
 
 }  // namespace
 
@@ -258,48 +222,13 @@ void SegmentedLearnedArray::LowerBoundBatch(const double* keys, size_t n,
   static thread_local std::vector<size_t> idx;
   offset.assign(leaf_count + 1, 0);
   if (idx.size() < n) idx.resize(n);
-  // Four dispatches run interleaved: this upper-bound formulation shrinks
-  // the range by `half` on BOTH branch outcomes, so every lane shares one
-  // deterministic length schedule and the four dependent probe chains
-  // overlap their fence-load latencies. Each lane computes the exact
-  // upper bound (count of fence entries <= key), same as the scalar tail.
-  size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    const double k0 = keys[i], k1 = keys[i + 1];
-    const double k2 = keys[i + 2], k3 = keys[i + 3];
-    size_t l0 = 0, l1 = 0, l2 = 0, l3 = 0;
-    for (size_t len = leaf_count; len > 1;) {
-      const size_t half = len / 2;
-      len -= half;
-      l0 += fence[l0 + half - 1] <= k0 ? half : 0;
-      l1 += fence[l1 + half - 1] <= k1 ? half : 0;
-      l2 += fence[l2 + half - 1] <= k2 ? half : 0;
-      l3 += fence[l3 + half - 1] <= k3 ? half : 0;
-    }
-    l0 += fence[l0] <= k0 ? 1 : 0;
-    l1 += fence[l1] <= k1 ? 1 : 0;
-    l2 += fence[l2] <= k2 ? 1 : 0;
-    l3 += fence[l3] <= k3 ? 1 : 0;
-    leaf[i] = l0 == 0 ? 0 : l0 - 1;
-    leaf[i + 1] = l1 == 0 ? 0 : l1 - 1;
-    leaf[i + 2] = l2 == 0 ? 0 : l2 - 1;
-    leaf[i + 3] = l3 == 0 ? 0 : l3 - 1;
-    ++offset[leaf[i] + 1];
-    ++offset[leaf[i + 1] + 1];
-    ++offset[leaf[i + 2] + 1];
-    ++offset[leaf[i + 3] + 1];
-  }
-  for (; i < n; ++i) {
-    size_t lo = 0;
-    for (size_t len = leaf_count; len > 1;) {
-      const size_t half = len / 2;
-      len -= half;
-      lo += fence[lo + half - 1] <= keys[i] ? half : 0;
-    }
-    lo += fence[lo] <= keys[i] ? 1 : 0;
-    leaf[i] = lo == 0 ? 0 : lo - 1;
-    ++offset[leaf[i] + 1];
-  }
+  // The dispatched kernel runs 4 (scalar/AVX2) or 8 (AVX-512) fence walks
+  // in lockstep on a shared deterministic length schedule; every lane
+  // computes the exact upper bound (count of fence entries <= key), so
+  // the result is bit-identical on every level.
+  const simd::Kernels& kern = simd::Active();
+  kern.leaf_dispatch(fence, leaf_count, keys, n, leaf);
+  for (size_t i = 0; i < n; ++i) ++offset[leaf[i] + 1];
   for (size_t j = 0; j < leaf_count; ++j) offset[j + 1] += offset[j];
   for (size_t i = 0; i < n; ++i) idx[offset[leaf[i]]++] = i;
   // offset[j] now ends each group: group j occupies [offset[j-1], offset[j]).
@@ -353,11 +282,15 @@ void SegmentedLearnedArray::LowerBoundBatch(const double* keys, size_t n,
   }
   // Two software-pipelined passes resolve every search within its predicted
   // window, walking searches in leaf-sorted order so neighbouring searches
-  // touch neighbouring pages. Pass 1 binary-searches the sampled level —
-  // ~1.5% the base array's size, so a chunk's probes keep it cache-hot —
-  // which pins each answer inside one kS-slot stride of the base array.
-  // Pass 2 finishes inside that stride (a couple of cold lines per query
-  // instead of a full binary search's worth). After pass 2, states[i].lo is
+  // touch neighbouring pages. Pass 1 searches the sampled level — ~1.5% the
+  // base array's size, so a chunk's probes keep it cache-hot — which pins
+  // each answer inside one kS-slot stride of the base array. Narrow sample
+  // windows (the common case when the models fit well) skip the binary
+  // search entirely: a vector count of sampled keys < key IS the lower
+  // bound over a sorted run, and both routes are exact, so the cutoff
+  // never changes a result. Pass 2 finishes inside the stride (at most
+  // kS + 1 sorted keys) with the same count kernel — data-independent
+  // compares instead of a probe chain. After pass 2, states[i].lo is
   // exactly the lower bound over [wlo, whi): sample_[t0] >= key bounds the
   // answer above by t0 * kS, and sample_[t0 - 1] < key bounds it below by
   // (t0 - 1) * kS + 1, with the window edges taking over when t0 lands on
@@ -372,10 +305,17 @@ void SegmentedLearnedArray::LowerBoundBatch(const double* keys, size_t n,
   size_t active = 0;
   for (size_t t = 0; t < n; ++t) {
     const size_t q = idx[t];
-    if (states[q].len > 0) work[active++] = q;
+    if (states[q].len == 0) continue;
+    if (states[q].len <= kCountCutoff) {
+      states[q].lo +=
+          kern.count_less(sample_.data() + states[q].lo, states[q].len,
+                          states[q].key);
+    } else {
+      work[active++] = q;
+    }
   }
-  BatchedLowerBound(sample_.data(), states.data(), work.data(), active);
-  active = 0;
+  kern.batched_lower_bound(sample_.data(), states.data(), work.data(),
+                           active);
   for (size_t t = 0; t < n; ++t) {
     const size_t q = idx[t];
     const size_t ta = wlo_of[q] / kS + 1;
@@ -386,10 +326,18 @@ void SegmentedLearnedArray::LowerBoundBatch(const double* keys, size_t n,
     states[q].lo = lo2;
     states[q].len = hi2 - lo2;
     // hi2 == lo2 happens when the last in-window sample already proves the
-    // answer is whi (stride boundary): nothing left to search.
-    if (hi2 > lo2) work[active++] = q;
+    // answer is whi (stride boundary): nothing left to search. Prefetch
+    // both ends of each stride window so pass 2's counts hit warm lines.
+    if (hi2 > lo2) {
+      __builtin_prefetch(&keys_[lo2]);
+      __builtin_prefetch(&keys_[hi2 - 1]);
+    }
   }
-  BatchedLowerBound(keys_.data(), states.data(), work.data(), active);
+  for (size_t t = 0; t < n; ++t) {
+    const size_t q = idx[t];
+    states[q].lo += kern.count_less(keys_.data() + states[q].lo,
+                                    states[q].len, states[q].key);
+  }
   for (size_t i = 0; i < n; ++i) {
     const size_t pos = states[i].lo;
     const double key = states[i].key;
@@ -483,7 +431,14 @@ void SegmentedLearnedArray::ScanKeyRange(double lo, double hi,
                                          std::vector<Point>* out) const {
   const size_t n = pts_.size();
   if (n > 0) {
-    for (size_t pos = LowerBound(lo); pos < n && keys_[pos] <= hi; ++pos) {
+    // The run [start, end) is delimited up front by the early-exiting
+    // vector count (count of keys <= hi == upper_bound offset in a sorted
+    // run), so the copy loop below does no key compares.
+    const size_t start = LowerBound(lo);
+    const size_t end =
+        start + simd::Active().count_less_equal(keys_.data() + start,
+                                                n - start, hi);
+    for (size_t pos = start; pos < end; ++pos) {
       if (tombstones_.count(pts_[pos].id) == 0) out->push_back(pts_[pos]);
     }
   }
@@ -501,9 +456,22 @@ void SegmentedLearnedArray::ScanKeyRangeInRect(double lo, double hi,
                                                std::vector<Point>* out) const {
   const size_t n = pts_.size();
   if (n > 0) {
-    for (size_t pos = LowerBound(lo); pos < n && keys_[pos] <= hi; ++pos) {
-      const Point& p = pts_[pos];
-      if (w.Contains(p) && tombstones_.count(p.id) == 0) out->push_back(p);
+    // Run length first (vector count), then block-wise vector containment
+    // over the AoS points; the push loop only touches points whose mask
+    // bit survived. Mask semantics are exactly Rect::Contains, so results
+    // match the scalar loop on every level.
+    const simd::Kernels& kern = simd::Active();
+    const size_t start = LowerBound(lo);
+    const size_t end = start + kern.count_less_equal(keys_.data() + start,
+                                                     n - start, hi);
+    uint8_t mask[256];
+    for (size_t pos = start; pos < end; pos += sizeof(mask)) {
+      const size_t len = std::min(sizeof(mask), end - pos);
+      kern.contains_mask(pts_.data() + pos, len, w, mask);
+      for (size_t i = 0; i < len; ++i) {
+        const Point& p = pts_[pos + i];
+        if (mask[i] != 0 && tombstones_.count(p.id) == 0) out->push_back(p);
+      }
     }
   }
   if (inserted_ > 0) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/knn.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "obs/flight_recorder.h"
@@ -229,19 +230,10 @@ std::vector<Point> ZmIndex::KnnQuery(const Point& q, size_t k) const {
     const Rect w = Rect::Of(q.x - r, q.y - r, q.x + r, q.y + r);
     std::vector<Point> candidates = WindowQuery(w);
     if (candidates.size() >= k || r > diag) {
-      std::sort(candidates.begin(), candidates.end(),
-                [&q](const Point& a, const Point& b) {
-                  const double da = SquaredDistance(a, q);
-                  const double db = SquaredDistance(b, q);
-                  if (da != db) return da < db;
-                  return a.id < b.id;
-                });
-      if (candidates.size() > k) candidates.resize(k);
+      const double worst = knn::SelectNearest(q, k, &candidates);
       // The square window guarantees correctness only for neighbours within
       // r; re-expand if the kth distance exceeds the window radius.
-      if (r > diag ||
-          (candidates.size() == k &&
-           SquaredDistance(candidates.back(), q) <= r * r)) {
+      if (r > diag || (candidates.size() == k && worst <= r * r)) {
         return candidates;
       }
     }

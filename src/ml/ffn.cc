@@ -11,6 +11,7 @@
 #include "common/logging.h"
 #include "common/random.h"
 #include "persist/io.h"
+#include "simd/simd.h"
 
 namespace elsi {
 namespace {
@@ -113,18 +114,19 @@ void Ffn::ForwardBatchInto(const double* x, size_t n,
     double* z = last ? out
                      : ((l & 1) == 0 ? scratch->ping : scratch->pong).data();
     // Same element order as the Matrix path: ascending-k GEMM, then the
-    // row-broadcast bias, then the activation.
-    GemmNN(a, layer.w.data().data(), z, n, in_dim, out_dim);
-    const double* bias = layer.b.data();
-    for (size_t r = 0; r < n; ++r) {
-      double* zr = z + r * out_dim;
-      for (size_t j = 0; j < out_dim; ++j) zr[j] += bias[j];
-    }
-    const size_t total = n * out_dim;
+    // row-broadcast bias, then the activation. Bias and ReLU go through
+    // the dispatched kernels too (both are bit-identical to the scalar
+    // loops on every level — single adds and a compare+select).
+    const simd::Kernels& kern = simd::Active();
+    kern.gemm_nn(a, layer.w.data().data(), z, n, in_dim, out_dim);
     if (!last) {
-      for (size_t i = 0; i < total; ++i) z[i] = z[i] > 0.0 ? z[i] : 0.0;
-    } else if (out_act_ == OutputActivation::kSigmoid) {
-      for (size_t i = 0; i < total; ++i) z[i] = Sigmoid(z[i]);
+      kern.bias_relu(z, layer.b.data(), n, out_dim);
+    } else {
+      kern.bias(z, layer.b.data(), n, out_dim);
+      if (out_act_ == OutputActivation::kSigmoid) {
+        const size_t total = n * out_dim;
+        for (size_t i = 0; i < total; ++i) z[i] = Sigmoid(z[i]);
+      }
     }
     a = z;
     in_dim = out_dim;

@@ -31,11 +31,12 @@ struct FfnTrainOptions {
 /// Preallocated ping-pong buffers for the allocation-free single-example
 /// inference path (Ffn::ForwardInto). Grows to the widest layer of whatever
 /// networks it is used with and never shrinks, so steady-state queries do no
-/// heap work. Not thread-safe: use one scratch per thread (Forward/Predict1
+/// heap work. 64-byte-aligned so the SIMD GEMM's loads never split cache
+/// lines. Not thread-safe: use one scratch per thread (Forward/Predict1
 /// keep a `thread_local` one internally).
 struct InferenceScratch {
-  std::vector<double> ping;
-  std::vector<double> pong;
+  simd::AlignedVector ping;
+  simd::AlignedVector pong;
 };
 
 /// A dense feed-forward network: Linear -> ReLU -> ... -> Linear

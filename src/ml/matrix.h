@@ -4,14 +4,21 @@
 #include <cstddef>
 #include <vector>
 
+#include "simd/simd.h"
+
 namespace elsi {
 
-/// Raw row-major GEMM kernels behind Matrix and the FFN inference scratch
-/// path. All kernels are register-tiled but keep one invariant: every output
-/// element is the plain ascending-k sum of its products, computed
-/// independently of every other element. Tiling therefore never changes a
-/// result bit, and — the property the batched query path relies on — row i
-/// of a batched product is bit-identical to the product of row i alone.
+/// Raw row-major GEMM entry points behind Matrix and the FFN inference
+/// scratch path. These forward to the runtime-dispatched kernel table
+/// (simd::Active()): register-tiled scalar code on the baseline, FMA
+/// vector kernels on AVX2/AVX-512/NEON. Every level keeps one invariant:
+/// each output element is an ascending-k accumulation computed
+/// independently of every other element, so — the property the batched
+/// query path relies on — row i of a batched product is bit-identical to
+/// the product of row i alone *within the active level*. The scalar level
+/// additionally matches the plain triple loop bit-exactly; FMA levels
+/// differ from it only by the fused rounding (see DESIGN.md, "SIMD
+/// kernel layer").
 
 /// c (m x n) = a (m x k) * b (k x n). `c` is overwritten.
 void GemmNN(const double* a, const double* b, double* c, size_t m, size_t k,
@@ -46,8 +53,8 @@ class Matrix {
   double* RowPtr(size_t r) { return data_.data() + r * cols_; }
   const double* RowPtr(size_t r) const { return data_.data() + r * cols_; }
 
-  std::vector<double>& data() { return data_; }
-  const std::vector<double>& data() const { return data_; }
+  simd::AlignedVector& data() { return data_; }
+  const simd::AlignedVector& data() const { return data_; }
 
   /// this (m x k) times rhs (k x n) -> (m x n).
   Matrix MatMul(const Matrix& rhs) const;
@@ -68,7 +75,9 @@ class Matrix {
  private:
   size_t rows_ = 0;
   size_t cols_ = 0;
-  std::vector<double> data_;
+  // 64-byte-aligned so the vector kernels' row loads never split cache
+  // lines (rows themselves stay aligned whenever cols is a multiple of 8).
+  simd::AlignedVector data_;
 };
 
 }  // namespace elsi

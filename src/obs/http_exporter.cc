@@ -16,6 +16,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/model_health.h"
 #include "obs/trace.h"
+#include "simd/simd.h"
 
 #ifndef ELSI_GIT_SHA
 #define ELSI_GIT_SHA "unknown"
@@ -115,7 +116,7 @@ std::string BuildInfoJson() {
   std::ostringstream out;
   out << "{\"git_sha\": \"" << ELSI_GIT_SHA << "\", \"obs_enabled\": "
       << ELSI_OBS_ENABLED << ", \"sanitizer\": \"" << ELSI_SANITIZE_NAME
-      << "\"}";
+      << "\", \"simd\": \"" << simd::ActiveLevelName() << "\"}";
   return out.str();
 }
 
@@ -158,6 +159,10 @@ void RefreshDerivedGauges(const FlightSnapshot& flight) {
   GetGauge("flight.dropped").Set(static_cast<int64_t>(flight.dropped));
   GetGauge("flight.sample_every")
       .Set(static_cast<int64_t>(flight.sample_every));
+  // Dispatch level picked at startup (0 scalar, 1 neon, 2 avx2, 3 avx512);
+  // constant per process but exported so fleet dashboards can confirm which
+  // kernels a host is actually running.
+  GetGauge("simd.dispatch").Set(static_cast<int64_t>(simd::ActiveLevel()));
 }
 
 /// Classic Prometheus text has no exemplar syntax (that is OpenMetrics),

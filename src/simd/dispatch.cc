@@ -1,0 +1,157 @@
+#include "simd/simd.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+/// Detection and dispatch. The active table is resolved once (first call
+/// to Active()/ActiveLevel()) and cached in a process-global atomic;
+/// every kernel call site loads that pointer and jumps — no per-call
+/// feature checks. ELSI_SIMD_HAVE_AVX / ELSI_SIMD_HAVE_NEON are set by
+/// the build alongside the per-ISA TUs; with ELSI_SIMD=OFF neither is
+/// defined and only the scalar table exists.
+
+namespace elsi {
+namespace simd {
+namespace {
+
+bool LevelSupported(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return true;
+    case Level::kNeon:
+#if defined(ELSI_SIMD_HAVE_NEON)
+      return true;
+#else
+      return false;
+#endif
+    case Level::kAvx2:
+#if defined(ELSI_SIMD_HAVE_AVX)
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+      return false;
+#endif
+    case Level::kAvx512:
+#if defined(ELSI_SIMD_HAVE_AVX)
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512dq") &&
+             __builtin_cpu_supports("avx512bw") &&
+             __builtin_cpu_supports("avx512vl");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+const Kernels* TableFor(Level level) {
+  if (!LevelSupported(level)) return nullptr;
+  switch (level) {
+    case Level::kScalar:
+      return internal::ScalarKernels();
+#if defined(ELSI_SIMD_HAVE_NEON)
+    case Level::kNeon:
+      return internal::NeonKernels();
+#endif
+#if defined(ELSI_SIMD_HAVE_AVX)
+    case Level::kAvx2:
+      return internal::Avx2Kernels();
+    case Level::kAvx512:
+      return internal::Avx512Kernels();
+#endif
+    default:
+      return nullptr;
+  }
+}
+
+Level BestSupported() {
+  static const Level kBest[] = {Level::kAvx512, Level::kAvx2, Level::kNeon};
+  for (Level level : kBest) {
+    if (LevelSupported(level)) return level;
+  }
+  return Level::kScalar;
+}
+
+bool ParseLevel(const char* s, Level* out) {
+  if (std::strcmp(s, "scalar") == 0) *out = Level::kScalar;
+  else if (std::strcmp(s, "neon") == 0) *out = Level::kNeon;
+  else if (std::strcmp(s, "avx2") == 0) *out = Level::kAvx2;
+  else if (std::strcmp(s, "avx512") == 0) *out = Level::kAvx512;
+  else return false;
+  return true;
+}
+
+const Kernels* Detect() {
+  Level level = BestSupported();
+  if (const char* env = std::getenv("ELSI_SIMD_LEVEL")) {
+    Level forced;
+    if (!ParseLevel(env, &forced)) {
+      std::fprintf(stderr,
+                   "elsi: unknown ELSI_SIMD_LEVEL '%s' "
+                   "(want scalar|neon|avx2|avx512); using %s\n",
+                   env, LevelName(level));
+    } else if (!LevelSupported(forced)) {
+      std::fprintf(stderr,
+                   "elsi: ELSI_SIMD_LEVEL=%s not supported on this "
+                   "host/build; using %s\n",
+                   env, LevelName(level));
+    } else {
+      level = forced;
+    }
+  }
+  return TableFor(level);
+}
+
+std::atomic<const Kernels*> g_active{nullptr};
+
+}  // namespace
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar: return "scalar";
+    case Level::kNeon: return "neon";
+    case Level::kAvx2: return "avx2";
+    case Level::kAvx512: return "avx512";
+  }
+  return "unknown";
+}
+
+const Kernels& Active() {
+  const Kernels* table = g_active.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    // Magic static: detection runs exactly once even under races; the
+    // compare-exchange then publishes it (losing a race to ForceLevel is
+    // fine — any published table is valid).
+    static const Kernels* detected = Detect();
+    const Kernels* expected = nullptr;
+    g_active.compare_exchange_strong(expected, detected,
+                                     std::memory_order_acq_rel);
+    table = g_active.load(std::memory_order_acquire);
+  }
+  return *table;
+}
+
+Level ActiveLevel() { return Active().level; }
+
+const char* ActiveLevelName() { return LevelName(ActiveLevel()); }
+
+std::vector<Level> SupportedLevels() {
+  std::vector<Level> levels;
+  for (Level level : {Level::kScalar, Level::kNeon, Level::kAvx2,
+                      Level::kAvx512}) {
+    if (LevelSupported(level)) levels.push_back(level);
+  }
+  return levels;
+}
+
+const Kernels* ForLevel(Level level) { return TableFor(level); }
+
+bool ForceLevel(Level level) {
+  const Kernels* table = TableFor(level);
+  if (table == nullptr) return false;
+  g_active.store(table, std::memory_order_release);
+  return true;
+}
+
+}  // namespace simd
+}  // namespace elsi

@@ -1,0 +1,389 @@
+#include "simd/simd.h"
+
+/// AVX2+FMA kernel table (compiled with -mavx2 -mfma; only added to the
+/// build on x86-64). Conventions shared by every kernel here:
+///
+///  - GEMM accumulates with vfmadd in the same ascending-k order as the
+///    scalar tiles, so results within this level are deterministic and
+///    row-batch consistent; they differ from scalar only by the FMA's
+///    skipped intermediate roundings (epsilon-tested).
+///  - Column tails use maskload/maskstore and k tails use masked
+///    gathers/loads rather than scalar C expressions: a scalar
+///    `a*b + c` in this TU could itself be contracted to FMA by the
+///    compiler (-mfma + default -ffp-contract), which would silently
+///    break the "bit-identical to the scalar level" kernels. Integer
+///    and compare-only tails stay scalar — nothing to contract.
+///  - Compare+mask (not max/min) implements select so NaN and -0.0
+///    behave exactly like the scalar ternaries.
+
+#include <immintrin.h>
+
+namespace elsi {
+namespace simd {
+namespace {
+
+// All-ones in the low `rem` (0..3) lanes — operand for maskload/maskstore.
+inline __m256i TailMask4(size_t rem) {
+  alignas(32) static const int64_t kBits[8] = {-1, -1, -1, -1, 0, 0, 0, 0};
+  return _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(kBits + 4 - rem));
+}
+
+// ---------------------------------------------------------------------------
+// GEMM
+// ---------------------------------------------------------------------------
+
+// One accumulator row block: mr (1..4) rows by up to 8 columns (nv full
+// 4-lane vectors plus a rem-lane masked tail). Shared by the NN and TN
+// walks — TransposedA only changes where the broadcast scalar comes from.
+template <bool TransposedA>
+inline void TileNN(const double* a, const double* b, double* c, size_t mr,
+                   size_t nc, size_t k, size_t lda, size_t ldb, size_t ldc) {
+  const size_t nv = nc / 4;
+  const size_t rem = nc % 4;
+  const __m256i mask = TailMask4(rem);
+  __m256d acc[4][2];
+  for (size_t r = 0; r < 4; ++r) {
+    acc[r][0] = _mm256_setzero_pd();
+    acc[r][1] = _mm256_setzero_pd();
+  }
+  for (size_t kk = 0; kk < k; ++kk) {
+    const double* brow = b + kk * ldb;
+    __m256d bv[2];
+    for (size_t v = 0; v < nv; ++v) bv[v] = _mm256_loadu_pd(brow + 4 * v);
+    if (rem != 0) bv[nv] = _mm256_maskload_pd(brow + 4 * nv, mask);
+    for (size_t r = 0; r < mr; ++r) {
+      const __m256d av = _mm256_set1_pd(TransposedA ? a[kk * lda + r]
+                                                    : a[r * lda + kk]);
+      for (size_t v = 0; v < nv; ++v) {
+        acc[r][v] = _mm256_fmadd_pd(av, bv[v], acc[r][v]);
+      }
+      if (rem != 0) acc[r][nv] = _mm256_fmadd_pd(av, bv[nv], acc[r][nv]);
+    }
+  }
+  for (size_t r = 0; r < mr; ++r) {
+    double* crow = c + r * ldc;
+    for (size_t v = 0; v < nv; ++v) _mm256_storeu_pd(crow + 4 * v, acc[r][v]);
+    if (rem != 0) _mm256_maskstore_pd(crow + 4 * nv, mask, acc[r][nv]);
+  }
+}
+
+template <bool TransposedA>
+inline void GemmWalk(const double* a, const double* b, double* c, size_t m,
+                     size_t k, size_t n, size_t lda) {
+  for (size_t i = 0; i < m; i += 4) {
+    const size_t mr = m - i < 4 ? m - i : 4;
+    const double* ablk = TransposedA ? a + i : a + i * lda;
+    for (size_t j = 0; j < n; j += 8) {
+      const size_t nc = n - j < 8 ? n - j : 8;
+      TileNN<TransposedA>(ablk, b + j, c + i * n + j, mr, nc, k, lda, n, n);
+    }
+  }
+}
+
+// Dot product of two length-k runs, entirely in FMA lanes (masked k tail).
+// The lane schedule and the final reduction tree are pure functions of k,
+// so every call with the same k reduces in the same order.
+inline double Dot(const double* x, const double* y, size_t k) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  size_t kk = 0;
+  for (; kk + 8 <= k; kk += 8) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(x + kk), _mm256_loadu_pd(y + kk),
+                           acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(x + kk + 4),
+                           _mm256_loadu_pd(y + kk + 4), acc1);
+  }
+  if (kk + 4 <= k) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(x + kk), _mm256_loadu_pd(y + kk),
+                           acc0);
+    kk += 4;
+  }
+  if (kk < k) {
+    const __m256i mask = TailMask4(k - kk);
+    acc1 = _mm256_fmadd_pd(_mm256_maskload_pd(x + kk, mask),
+                           _mm256_maskload_pd(y + kk, mask), acc1);
+  }
+  const __m256d acc = _mm256_add_pd(acc0, acc1);
+  const __m128d lo = _mm256_castpd256_pd128(acc);
+  const __m128d hi = _mm256_extractf128_pd(acc, 1);
+  const __m128d pair = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(_mm_add_sd(pair, _mm_unpackhi_pd(pair, pair)));
+}
+
+void GemmNNAvx2(const double* a, const double* b, double* c, size_t m,
+                size_t k, size_t n) {
+  if (k == 1) {
+    // Rank-1 outer product: one multiply per element — no accumulation, so
+    // this path stays bit-identical to the scalar level.
+    for (size_t i = 0; i < m; ++i) {
+      const __m256d av = _mm256_set1_pd(a[i]);
+      double* crow = c + i * n;
+      size_t j = 0;
+      for (; j + 4 <= n; j += 4) {
+        _mm256_storeu_pd(crow + j, _mm256_mul_pd(av, _mm256_loadu_pd(b + j)));
+      }
+      if (j < n) {
+        const __m256i mask = TailMask4(n - j);
+        _mm256_maskstore_pd(
+            crow + j, mask,
+            _mm256_mul_pd(av, _mm256_maskload_pd(b + j, mask)));
+      }
+    }
+    return;
+  }
+  if (n == 1) {
+    for (size_t i = 0; i < m; ++i) c[i] = Dot(a + i * k, b, k);
+    return;
+  }
+  GemmWalk<false>(a, b, c, m, k, n, k);
+}
+
+void GemmTNAvx2(const double* a, const double* b, double* c, size_t m,
+                size_t k, size_t n) {
+  GemmWalk<true>(a, b, c, m, k, n, m);
+}
+
+void GemmNTAvx2(const double* a, const double* b, double* c, size_t m,
+                size_t k, size_t n) {
+  if (k == 1) {
+    for (size_t i = 0; i < m; ++i) {
+      const __m256d av = _mm256_set1_pd(a[i]);
+      double* crow = c + i * n;
+      size_t j = 0;
+      for (; j + 4 <= n; j += 4) {
+        // B is (n x 1): its rows are the scalars b[j..j+3].
+        _mm256_storeu_pd(crow + j, _mm256_mul_pd(av, _mm256_loadu_pd(b + j)));
+      }
+      if (j < n) {
+        const __m256i mask = TailMask4(n - j);
+        _mm256_maskstore_pd(
+            crow + j, mask,
+            _mm256_mul_pd(av, _mm256_maskload_pd(b + j, mask)));
+      }
+    }
+    return;
+  }
+  for (size_t i = 0; i < m; ++i) {
+    const double* arow = a + i * k;
+    double* crow = c + i * n;
+    for (size_t j = 0; j < n; ++j) crow[j] = Dot(arow, b + j * k, k);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FFN epilogues
+// ---------------------------------------------------------------------------
+
+void BiasAvx2(double* z, const double* bias, size_t rows, size_t cols) {
+  for (size_t r = 0; r < rows; ++r) {
+    double* zr = z + r * cols;
+    size_t j = 0;
+    for (; j + 4 <= cols; j += 4) {
+      _mm256_storeu_pd(
+          zr + j, _mm256_add_pd(_mm256_loadu_pd(zr + j),
+                                _mm256_loadu_pd(bias + j)));
+    }
+    if (j < cols) {
+      const __m256i mask = TailMask4(cols - j);
+      _mm256_maskstore_pd(zr + j, mask,
+                          _mm256_add_pd(_mm256_maskload_pd(zr + j, mask),
+                                        _mm256_maskload_pd(bias + j, mask)));
+    }
+  }
+}
+
+void BiasReluAvx2(double* z, const double* bias, size_t rows, size_t cols) {
+  const __m256d zero = _mm256_setzero_pd();
+  for (size_t r = 0; r < rows; ++r) {
+    double* zr = z + r * cols;
+    size_t j = 0;
+    for (; j + 4 <= cols; j += 4) {
+      const __m256d v = _mm256_add_pd(_mm256_loadu_pd(zr + j),
+                                      _mm256_loadu_pd(bias + j));
+      // v > 0 ? v : 0 via compare+and: NaN and -0.0 both yield +0.0,
+      // exactly like the scalar ternary (max_pd would not).
+      const __m256d keep = _mm256_cmp_pd(v, zero, _CMP_GT_OQ);
+      _mm256_storeu_pd(zr + j, _mm256_and_pd(v, keep));
+    }
+    if (j < cols) {
+      const __m256i mask = TailMask4(cols - j);
+      const __m256d v =
+          _mm256_add_pd(_mm256_maskload_pd(zr + j, mask),
+                        _mm256_maskload_pd(bias + j, mask));
+      const __m256d keep = _mm256_cmp_pd(v, zero, _CMP_GT_OQ);
+      _mm256_maskstore_pd(zr + j, mask, _mm256_and_pd(v, keep));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Predict-and-scan search kernels
+// ---------------------------------------------------------------------------
+
+void LeafDispatchAvx2(const double* fence, size_t fence_n, const double* keys,
+                      size_t n, size_t* leaf) {
+  const __m256i one = _mm256_set1_epi64x(1);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d kv = _mm256_loadu_pd(keys + i);
+    __m256i lo = _mm256_setzero_si256();
+    // Same shared halving schedule as the scalar kernel: four lanes walk
+    // the fence in lockstep, gathering their probe keys in one
+    // instruction. The fence is a few KB at most, so the gathers hit L1.
+    for (size_t len = fence_n; len > 1;) {
+      const size_t half = len / 2;
+      len -= half;
+      const __m256i idx =
+          _mm256_add_epi64(lo, _mm256_set1_epi64x(half - 1));
+      const __m256d f = _mm256_i64gather_pd(fence, idx, 8);
+      const __m256d le = _mm256_cmp_pd(f, kv, _CMP_LE_OQ);
+      lo = _mm256_add_epi64(
+          lo, _mm256_and_si256(_mm256_castpd_si256(le),
+                               _mm256_set1_epi64x(half)));
+    }
+    const __m256d f = _mm256_i64gather_pd(fence, lo, 8);
+    const __m256d le = _mm256_cmp_pd(f, kv, _CMP_LE_OQ);
+    lo = _mm256_add_epi64(lo,
+                          _mm256_and_si256(_mm256_castpd_si256(le), one));
+    // leaf = lo == 0 ? 0 : lo - 1.
+    const __m256i iszero =
+        _mm256_cmpeq_epi64(lo, _mm256_setzero_si256());
+    const __m256i dec = _mm256_sub_epi64(lo, one);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(leaf + i),
+                        _mm256_andnot_si256(iszero, dec));
+  }
+  for (; i < n; ++i) {
+    size_t lo = 0;
+    for (size_t len = fence_n; len > 1;) {
+      const size_t half = len / 2;
+      len -= half;
+      lo += fence[lo + half - 1] <= keys[i] ? half : 0;
+    }
+    lo += fence[lo] <= keys[i] ? 1 : 0;
+    leaf[i] = lo == 0 ? 0 : lo - 1;
+  }
+}
+
+size_t CountLessAvx2(const double* keys, size_t n, double key) {
+  const __m256d kv = _mm256_set1_pd(key);
+  size_t i = 0;
+  size_t cnt = 0;
+  for (; i + 4 <= n; i += 4) {
+    const int m = _mm256_movemask_pd(
+        _mm256_cmp_pd(_mm256_loadu_pd(keys + i), kv, _CMP_LT_OQ));
+    // Sorted input: the compare mask is a prefix mask, so its popcount is
+    // the in-vector lower bound; anything short of all-ones ends the run.
+    cnt += static_cast<size_t>(__builtin_popcount(m));
+    if (m != 0xF) return cnt;
+  }
+  for (; i < n && keys[i] < key; ++i) ++cnt;
+  return cnt;
+}
+
+size_t CountLessEqualAvx2(const double* keys, size_t n, double bound) {
+  const __m256d kv = _mm256_set1_pd(bound);
+  size_t i = 0;
+  size_t cnt = 0;
+  for (; i + 4 <= n; i += 4) {
+    const int m = _mm256_movemask_pd(
+        _mm256_cmp_pd(_mm256_loadu_pd(keys + i), kv, _CMP_LE_OQ));
+    cnt += static_cast<size_t>(__builtin_popcount(m));
+    if (m != 0xF) return cnt;
+  }
+  for (; i < n && keys[i] <= bound; ++i) ++cnt;
+  return cnt;
+}
+
+// ---------------------------------------------------------------------------
+// Geometry kernels
+// ---------------------------------------------------------------------------
+
+// Point is a 24-byte {x, y, id} AoS record; lane t of a 4-point group
+// reads doubles 3t (x) and 3t + 1 (y) via gather.
+inline __m256i XIdxBase() { return _mm256_set_epi64x(9, 6, 3, 0); }
+
+void ContainsMaskAvx2(const Point* pts, size_t n, const Rect& w,
+                      uint8_t* mask) {
+  const double* base = reinterpret_cast<const double*>(pts);
+  const __m256d lox = _mm256_set1_pd(w.lo_x), hix = _mm256_set1_pd(w.hi_x);
+  const __m256d loy = _mm256_set1_pd(w.lo_y), hiy = _mm256_set1_pd(w.hi_y);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i xi =
+        _mm256_add_epi64(XIdxBase(), _mm256_set1_epi64x(3 * i));
+    const __m256i yi = _mm256_add_epi64(xi, _mm256_set1_epi64x(1));
+    const __m256d x = _mm256_i64gather_pd(base, xi, 8);
+    const __m256d y = _mm256_i64gather_pd(base, yi, 8);
+    const __m256d inx = _mm256_and_pd(_mm256_cmp_pd(x, lox, _CMP_GE_OQ),
+                                      _mm256_cmp_pd(x, hix, _CMP_LE_OQ));
+    const __m256d iny = _mm256_and_pd(_mm256_cmp_pd(y, loy, _CMP_GE_OQ),
+                                      _mm256_cmp_pd(y, hiy, _CMP_LE_OQ));
+    const int bits = _mm256_movemask_pd(_mm256_and_pd(inx, iny));
+    mask[i] = static_cast<uint8_t>(bits & 1);
+    mask[i + 1] = static_cast<uint8_t>((bits >> 1) & 1);
+    mask[i + 2] = static_cast<uint8_t>((bits >> 2) & 1);
+    mask[i + 3] = static_cast<uint8_t>((bits >> 3) & 1);
+  }
+  for (; i < n; ++i) mask[i] = w.Contains(pts[i]) ? 1 : 0;
+}
+
+void SquaredDistancesAvx2(const Point* pts, size_t n, double qx, double qy,
+                          double* d2) {
+  const double* base = reinterpret_cast<const double*>(pts);
+  const __m256d qxv = _mm256_set1_pd(qx);
+  const __m256d qyv = _mm256_set1_pd(qy);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i xi =
+        _mm256_add_epi64(XIdxBase(), _mm256_set1_epi64x(3 * i));
+    const __m256i yi = _mm256_add_epi64(xi, _mm256_set1_epi64x(1));
+    const __m256d dx = _mm256_sub_pd(_mm256_i64gather_pd(base, xi, 8), qxv);
+    const __m256d dy = _mm256_sub_pd(_mm256_i64gather_pd(base, yi, 8), qyv);
+    // Explicit mul+add (no FMA): bit-identical to geometry.cc's scalar
+    // dx*dx + dy*dy, which the baseline ISA cannot contract.
+    _mm256_storeu_pd(
+        d2 + i,
+        _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy)));
+  }
+  for (; i + 2 <= n; i += 2) {
+    const __m128d x = _mm_set_pd(pts[i + 1].x, pts[i].x);
+    const __m128d y = _mm_set_pd(pts[i + 1].y, pts[i].y);
+    const __m128d dx = _mm_sub_pd(x, _mm256_castpd256_pd128(qxv));
+    const __m128d dy = _mm_sub_pd(y, _mm256_castpd256_pd128(qyv));
+    _mm_storeu_pd(d2 + i,
+                  _mm_add_pd(_mm_mul_pd(dx, dx), _mm_mul_pd(dy, dy)));
+  }
+  if (i < n) {
+    const __m128d dx = _mm_sub_sd(_mm_set_sd(pts[i].x), _mm_set_sd(qx));
+    const __m128d dy = _mm_sub_sd(_mm_set_sd(pts[i].y), _mm_set_sd(qy));
+    _mm_store_sd(d2 + i, _mm_add_sd(_mm_mul_sd(dx, dx), _mm_mul_sd(dy, dy)));
+  }
+}
+
+void BatchedLowerBoundAvx2(const double* keys, SearchState* states,
+                           size_t* work, size_t active) {
+  // Latency-bound on the probe loads; the scalar software-pipelined loop
+  // already overlaps those misses, so AVX2 (no compress/scatter) has
+  // nothing to add. Route to the scalar table's implementation.
+  internal::ScalarKernels()->batched_lower_bound(keys, states, work, active);
+}
+
+}  // namespace
+
+namespace internal {
+
+const Kernels* Avx2Kernels() {
+  static const Kernels table = {
+      Level::kAvx2,      GemmNNAvx2,       GemmTNAvx2,
+      GemmNTAvx2,        BiasAvx2,         BiasReluAvx2,
+      LeafDispatchAvx2,  CountLessAvx2,    CountLessEqualAvx2,
+      ContainsMaskAvx2,  SquaredDistancesAvx2,
+      BatchedLowerBoundAvx2,
+  };
+  return &table;
+}
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace elsi

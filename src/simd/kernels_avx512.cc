@@ -1,0 +1,348 @@
+#include "simd/simd.h"
+
+/// AVX-512 kernel table (compiled with -mavx512f -mavx512dq -mavx512bw
+/// -mavx512vl; only added to the build on x86-64). Same conventions as
+/// the AVX2 TU — ascending-k FMA chains, every tail handled with
+/// predicated loads/stores/gathers instead of scalar FP expressions
+/// (which the compiler could contract into FMA in this TU), and
+/// compare+mask selects for exact scalar ternary semantics. The native
+/// 8-lane masks make the tails cheaper than AVX2's maskload dance.
+
+#include <immintrin.h>
+
+namespace elsi {
+namespace simd {
+namespace {
+
+inline __mmask8 TailMask8(size_t rem) {
+  return static_cast<__mmask8>((1u << rem) - 1u);
+}
+
+// ---------------------------------------------------------------------------
+// GEMM
+// ---------------------------------------------------------------------------
+
+// mr (1..4) rows by up to 16 columns (nv full 8-lane vectors plus a
+// masked tail). TransposedA only changes the broadcast source.
+template <bool TransposedA>
+inline void Tile(const double* a, const double* b, double* c, size_t mr,
+                 size_t nc, size_t k, size_t lda, size_t ldb, size_t ldc) {
+  const size_t nv = nc / 8;
+  const size_t rem = nc % 8;
+  const __mmask8 mask = TailMask8(rem);
+  __m512d acc[4][2];
+  for (size_t r = 0; r < 4; ++r) {
+    acc[r][0] = _mm512_setzero_pd();
+    acc[r][1] = _mm512_setzero_pd();
+  }
+  for (size_t kk = 0; kk < k; ++kk) {
+    const double* brow = b + kk * ldb;
+    __m512d bv[2];
+    for (size_t v = 0; v < nv; ++v) bv[v] = _mm512_loadu_pd(brow + 8 * v);
+    if (rem != 0) bv[nv] = _mm512_maskz_loadu_pd(mask, brow + 8 * nv);
+    for (size_t r = 0; r < mr; ++r) {
+      const __m512d av = _mm512_set1_pd(TransposedA ? a[kk * lda + r]
+                                                    : a[r * lda + kk]);
+      for (size_t v = 0; v < nv; ++v) {
+        acc[r][v] = _mm512_fmadd_pd(av, bv[v], acc[r][v]);
+      }
+      if (rem != 0) acc[r][nv] = _mm512_fmadd_pd(av, bv[nv], acc[r][nv]);
+    }
+  }
+  for (size_t r = 0; r < mr; ++r) {
+    double* crow = c + r * ldc;
+    for (size_t v = 0; v < nv; ++v) _mm512_storeu_pd(crow + 8 * v, acc[r][v]);
+    if (rem != 0) _mm512_mask_storeu_pd(crow + 8 * nv, mask, acc[r][nv]);
+  }
+}
+
+template <bool TransposedA>
+inline void GemmWalk(const double* a, const double* b, double* c, size_t m,
+                     size_t k, size_t n, size_t lda) {
+  for (size_t i = 0; i < m; i += 4) {
+    const size_t mr = m - i < 4 ? m - i : 4;
+    const double* ablk = TransposedA ? a + i : a + i * lda;
+    for (size_t j = 0; j < n; j += 16) {
+      const size_t nc = n - j < 16 ? n - j : 16;
+      Tile<TransposedA>(ablk, b + j, c + i * n + j, mr, nc, k, lda, n, n);
+    }
+  }
+}
+
+// Masked-tail dot product; lane schedule and reduction order are pure
+// functions of k (deterministic per shape within this level).
+inline double Dot(const double* x, const double* y, size_t k) {
+  __m512d acc0 = _mm512_setzero_pd();
+  __m512d acc1 = _mm512_setzero_pd();
+  size_t kk = 0;
+  for (; kk + 16 <= k; kk += 16) {
+    acc0 = _mm512_fmadd_pd(_mm512_loadu_pd(x + kk), _mm512_loadu_pd(y + kk),
+                           acc0);
+    acc1 = _mm512_fmadd_pd(_mm512_loadu_pd(x + kk + 8),
+                           _mm512_loadu_pd(y + kk + 8), acc1);
+  }
+  if (kk + 8 <= k) {
+    acc0 = _mm512_fmadd_pd(_mm512_loadu_pd(x + kk), _mm512_loadu_pd(y + kk),
+                           acc0);
+    kk += 8;
+  }
+  if (kk < k) {
+    const __mmask8 mask = TailMask8(k - kk);
+    acc1 = _mm512_fmadd_pd(_mm512_maskz_loadu_pd(mask, x + kk),
+                           _mm512_maskz_loadu_pd(mask, y + kk), acc1);
+  }
+  return _mm512_reduce_add_pd(_mm512_add_pd(acc0, acc1));
+}
+
+// Rank-1 outer product row: one multiply per element (no accumulation),
+// bit-identical to the scalar level's k == 1 path.
+inline void OuterRow(double av_s, const double* b, double* crow, size_t n) {
+  const __m512d av = _mm512_set1_pd(av_s);
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    _mm512_storeu_pd(crow + j, _mm512_mul_pd(av, _mm512_loadu_pd(b + j)));
+  }
+  if (j < n) {
+    const __mmask8 mask = TailMask8(n - j);
+    _mm512_mask_storeu_pd(
+        crow + j, mask,
+        _mm512_mul_pd(av, _mm512_maskz_loadu_pd(mask, b + j)));
+  }
+}
+
+void GemmNNAvx512(const double* a, const double* b, double* c, size_t m,
+                  size_t k, size_t n) {
+  if (k == 1) {
+    for (size_t i = 0; i < m; ++i) OuterRow(a[i], b, c + i * n, n);
+    return;
+  }
+  if (n == 1) {
+    for (size_t i = 0; i < m; ++i) c[i] = Dot(a + i * k, b, k);
+    return;
+  }
+  GemmWalk<false>(a, b, c, m, k, n, k);
+}
+
+void GemmTNAvx512(const double* a, const double* b, double* c, size_t m,
+                  size_t k, size_t n) {
+  GemmWalk<true>(a, b, c, m, k, n, m);
+}
+
+void GemmNTAvx512(const double* a, const double* b, double* c, size_t m,
+                  size_t k, size_t n) {
+  if (k == 1) {
+    for (size_t i = 0; i < m; ++i) OuterRow(a[i], b, c + i * n, n);
+    return;
+  }
+  for (size_t i = 0; i < m; ++i) {
+    const double* arow = a + i * k;
+    double* crow = c + i * n;
+    for (size_t j = 0; j < n; ++j) crow[j] = Dot(arow, b + j * k, k);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FFN epilogues
+// ---------------------------------------------------------------------------
+
+void BiasAvx512(double* z, const double* bias, size_t rows, size_t cols) {
+  for (size_t r = 0; r < rows; ++r) {
+    double* zr = z + r * cols;
+    size_t j = 0;
+    for (; j + 8 <= cols; j += 8) {
+      _mm512_storeu_pd(zr + j, _mm512_add_pd(_mm512_loadu_pd(zr + j),
+                                             _mm512_loadu_pd(bias + j)));
+    }
+    if (j < cols) {
+      const __mmask8 mask = TailMask8(cols - j);
+      _mm512_mask_storeu_pd(
+          zr + j, mask,
+          _mm512_add_pd(_mm512_maskz_loadu_pd(mask, zr + j),
+                        _mm512_maskz_loadu_pd(mask, bias + j)));
+    }
+  }
+}
+
+void BiasReluAvx512(double* z, const double* bias, size_t rows, size_t cols) {
+  const __m512d zero = _mm512_setzero_pd();
+  for (size_t r = 0; r < rows; ++r) {
+    double* zr = z + r * cols;
+    size_t j = 0;
+    for (; j + 8 <= cols; j += 8) {
+      const __m512d v = _mm512_add_pd(_mm512_loadu_pd(zr + j),
+                                      _mm512_loadu_pd(bias + j));
+      // v > 0 ? v : 0 — maskz_mov zeroes NaN and -0.0 lanes exactly like
+      // the scalar ternary.
+      const __mmask8 keep = _mm512_cmp_pd_mask(v, zero, _CMP_GT_OQ);
+      _mm512_storeu_pd(zr + j, _mm512_maskz_mov_pd(keep, v));
+    }
+    if (j < cols) {
+      const __mmask8 mask = TailMask8(cols - j);
+      const __m512d v =
+          _mm512_add_pd(_mm512_maskz_loadu_pd(mask, zr + j),
+                        _mm512_maskz_loadu_pd(mask, bias + j));
+      const __mmask8 keep = _mm512_cmp_pd_mask(v, zero, _CMP_GT_OQ);
+      _mm512_mask_storeu_pd(zr + j, mask, _mm512_maskz_mov_pd(keep, v));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Predict-and-scan search kernels
+// ---------------------------------------------------------------------------
+
+void LeafDispatchAvx512(const double* fence, size_t fence_n,
+                        const double* keys, size_t n, size_t* leaf) {
+  const __m512i one = _mm512_set1_epi64(1);
+  for (size_t i = 0; i < n; i += 8) {
+    const size_t rem = n - i < 8 ? n - i : 8;
+    const __mmask8 lanes = TailMask8(rem == 8 ? 8 : rem);
+    const __m512d kv = _mm512_maskz_loadu_pd(lanes, keys + i);
+    __m512i lo = _mm512_setzero_si512();
+    // Shared halving schedule (identical to the scalar kernel); eight
+    // lanes gather their probes from the L1-resident fence at once.
+    for (size_t len = fence_n; len > 1;) {
+      const size_t half = len / 2;
+      len -= half;
+      const __m512i idx = _mm512_add_epi64(lo, _mm512_set1_epi64(half - 1));
+      const __m512d f =
+          _mm512_mask_i64gather_pd(_mm512_setzero_pd(), lanes, idx, fence, 8);
+      const __mmask8 le = _mm512_mask_cmp_pd_mask(lanes, f, kv, _CMP_LE_OQ);
+      lo = _mm512_mask_add_epi64(lo, le, lo, _mm512_set1_epi64(half));
+    }
+    const __m512d f =
+        _mm512_mask_i64gather_pd(_mm512_setzero_pd(), lanes, lo, fence, 8);
+    const __mmask8 le = _mm512_mask_cmp_pd_mask(lanes, f, kv, _CMP_LE_OQ);
+    lo = _mm512_mask_add_epi64(lo, le, lo, one);
+    // leaf = lo == 0 ? 0 : lo - 1.
+    const __mmask8 nonzero =
+        _mm512_cmpneq_epi64_mask(lo, _mm512_setzero_si512());
+    const __m512i dec =
+        _mm512_maskz_sub_epi64(nonzero, lo, one);
+    _mm512_mask_storeu_epi64(leaf + i, lanes, dec);
+  }
+}
+
+size_t CountLessAvx512(const double* keys, size_t n, double key) {
+  const __m512d kv = _mm512_set1_pd(key);
+  size_t i = 0;
+  size_t cnt = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __mmask8 m =
+        _mm512_cmp_pd_mask(_mm512_loadu_pd(keys + i), kv, _CMP_LT_OQ);
+    // Sorted input: prefix mask, popcount == in-vector lower bound.
+    cnt += static_cast<size_t>(__builtin_popcount(m));
+    if (m != 0xFF) return cnt;
+  }
+  if (i < n) {
+    const __mmask8 lanes = TailMask8(n - i);
+    const __mmask8 m = _mm512_mask_cmp_pd_mask(
+        lanes, _mm512_maskz_loadu_pd(lanes, keys + i), kv, _CMP_LT_OQ);
+    cnt += static_cast<size_t>(__builtin_popcount(m));
+  }
+  return cnt;
+}
+
+size_t CountLessEqualAvx512(const double* keys, size_t n, double bound) {
+  const __m512d kv = _mm512_set1_pd(bound);
+  size_t i = 0;
+  size_t cnt = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __mmask8 m =
+        _mm512_cmp_pd_mask(_mm512_loadu_pd(keys + i), kv, _CMP_LE_OQ);
+    cnt += static_cast<size_t>(__builtin_popcount(m));
+    if (m != 0xFF) return cnt;
+  }
+  if (i < n) {
+    const __mmask8 lanes = TailMask8(n - i);
+    const __mmask8 m = _mm512_mask_cmp_pd_mask(
+        lanes, _mm512_maskz_loadu_pd(lanes, keys + i), kv, _CMP_LE_OQ);
+    cnt += static_cast<size_t>(__builtin_popcount(m));
+  }
+  return cnt;
+}
+
+// ---------------------------------------------------------------------------
+// Geometry kernels
+// ---------------------------------------------------------------------------
+
+// Point is a 24-byte {x, y, id} AoS record; lane t reads doubles 3t (x)
+// and 3t + 1 (y) via gather.
+inline __m512i XIdxBase() {
+  return _mm512_set_epi64(21, 18, 15, 12, 9, 6, 3, 0);
+}
+
+void ContainsMaskAvx512(const Point* pts, size_t n, const Rect& w,
+                        uint8_t* mask) {
+  const double* base = reinterpret_cast<const double*>(pts);
+  const __m512d lox = _mm512_set1_pd(w.lo_x), hix = _mm512_set1_pd(w.hi_x);
+  const __m512d loy = _mm512_set1_pd(w.lo_y), hiy = _mm512_set1_pd(w.hi_y);
+  for (size_t i = 0; i < n; i += 8) {
+    const size_t rem = n - i < 8 ? n - i : 8;
+    const __mmask8 lanes = TailMask8(rem);
+    const __m512i xi = _mm512_add_epi64(XIdxBase(), _mm512_set1_epi64(3 * i));
+    const __m512i yi = _mm512_add_epi64(xi, _mm512_set1_epi64(1));
+    const __m512d x =
+        _mm512_mask_i64gather_pd(_mm512_setzero_pd(), lanes, xi, base, 8);
+    const __m512d y =
+        _mm512_mask_i64gather_pd(_mm512_setzero_pd(), lanes, yi, base, 8);
+    __mmask8 in = _mm512_mask_cmp_pd_mask(lanes, x, lox, _CMP_GE_OQ);
+    in = _mm512_mask_cmp_pd_mask(in, x, hix, _CMP_LE_OQ);
+    in = _mm512_mask_cmp_pd_mask(in, y, loy, _CMP_GE_OQ);
+    in = _mm512_mask_cmp_pd_mask(in, y, hiy, _CMP_LE_OQ);
+    // Expand the bit mask to 0/1 bytes and store the low `rem` of them.
+    const __m128i bytes =
+        _mm_and_si128(_mm_movm_epi8(in), _mm_set1_epi8(1));
+    _mm_mask_storeu_epi8(mask + i, static_cast<__mmask16>(lanes), bytes);
+  }
+}
+
+void SquaredDistancesAvx512(const Point* pts, size_t n, double qx, double qy,
+                            double* d2) {
+  const double* base = reinterpret_cast<const double*>(pts);
+  const __m512d qxv = _mm512_set1_pd(qx);
+  const __m512d qyv = _mm512_set1_pd(qy);
+  for (size_t i = 0; i < n; i += 8) {
+    const size_t rem = n - i < 8 ? n - i : 8;
+    const __mmask8 lanes = TailMask8(rem);
+    const __m512i xi = _mm512_add_epi64(XIdxBase(), _mm512_set1_epi64(3 * i));
+    const __m512i yi = _mm512_add_epi64(xi, _mm512_set1_epi64(1));
+    const __m512d dx = _mm512_sub_pd(
+        _mm512_mask_i64gather_pd(_mm512_setzero_pd(), lanes, xi, base, 8),
+        qxv);
+    const __m512d dy = _mm512_sub_pd(
+        _mm512_mask_i64gather_pd(_mm512_setzero_pd(), lanes, yi, base, 8),
+        qyv);
+    // Explicit mul+add (no FMA): bit-identical to scalar SquaredDistance.
+    _mm512_mask_storeu_pd(
+        d2 + i, lanes,
+        _mm512_add_pd(_mm512_mul_pd(dx, dx), _mm512_mul_pd(dy, dy)));
+  }
+}
+
+void BatchedLowerBoundAvx512(const double* keys, SearchState* states,
+                             size_t* work, size_t active) {
+  // Latency-bound on the probe loads, which the scalar software-pipelined
+  // loop already overlaps; gathers/scatters over the 24-byte AoS states
+  // only add instruction pressure. Route to the scalar implementation.
+  internal::ScalarKernels()->batched_lower_bound(keys, states, work, active);
+}
+
+}  // namespace
+
+namespace internal {
+
+const Kernels* Avx512Kernels() {
+  static const Kernels table = {
+      Level::kAvx512,      GemmNNAvx512,       GemmTNAvx512,
+      GemmNTAvx512,        BiasAvx512,         BiasReluAvx512,
+      LeafDispatchAvx512,  CountLessAvx512,    CountLessEqualAvx512,
+      ContainsMaskAvx512,  SquaredDistancesAvx512,
+      BatchedLowerBoundAvx512,
+  };
+  return &table;
+}
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace elsi

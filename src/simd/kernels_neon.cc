@@ -1,0 +1,212 @@
+#include "simd/simd.h"
+
+/// NEON kernel table (aarch64 only; NEON is baseline there, so no extra
+/// compile flags). Only the FMA-bearing GEMM paths and the FFN
+/// epilogues are vectorized — the search/geometry kernels route to the
+/// scalar implementations, which are exact on every level, so nothing
+/// is lost but the (small) vector win on those loops. 128-bit lanes
+/// mean 2 doubles per op; chains stay ascending-k.
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace elsi {
+namespace simd {
+namespace {
+
+// mr (1..4) rows by up to 8 columns (nv full 2-lane vectors plus an
+// optional 1-wide tail kept in lane 0 of a vector register — vfma on a
+// zero-padded lane is still per-lane FMA, so no scalar FP expression
+// the compiler could re-contract differently).
+template <bool TransposedA>
+inline void Tile(const double* a, const double* b, double* c, size_t mr,
+                 size_t nc, size_t k, size_t lda, size_t ldb, size_t ldc) {
+  const size_t nv = nc / 2;
+  const bool rem = (nc % 2) != 0;
+  float64x2_t acc[4][4];
+  for (size_t r = 0; r < 4; ++r) {
+    for (size_t v = 0; v < 4; ++v) acc[r][v] = vdupq_n_f64(0.0);
+  }
+  for (size_t kk = 0; kk < k; ++kk) {
+    const double* brow = b + kk * ldb;
+    float64x2_t bv[4];
+    for (size_t v = 0; v < nv; ++v) bv[v] = vld1q_f64(brow + 2 * v);
+    if (rem) bv[nv] = vsetq_lane_f64(brow[2 * nv], vdupq_n_f64(0.0), 0);
+    for (size_t r = 0; r < mr; ++r) {
+      const float64x2_t av = vdupq_n_f64(TransposedA ? a[kk * lda + r]
+                                                     : a[r * lda + kk]);
+      for (size_t v = 0; v < nv; ++v) acc[r][v] = vfmaq_f64(acc[r][v], av, bv[v]);
+      if (rem) acc[r][nv] = vfmaq_f64(acc[r][nv], av, bv[nv]);
+    }
+  }
+  for (size_t r = 0; r < mr; ++r) {
+    double* crow = c + r * ldc;
+    for (size_t v = 0; v < nv; ++v) vst1q_f64(crow + 2 * v, acc[r][v]);
+    if (rem) crow[2 * nv] = vgetq_lane_f64(acc[r][nv], 0);
+  }
+}
+
+template <bool TransposedA>
+inline void GemmWalk(const double* a, const double* b, double* c, size_t m,
+                     size_t k, size_t n, size_t lda) {
+  for (size_t i = 0; i < m; i += 4) {
+    const size_t mr = m - i < 4 ? m - i : 4;
+    const double* ablk = TransposedA ? a + i : a + i * lda;
+    for (size_t j = 0; j < n; j += 8) {
+      const size_t nc = n - j < 8 ? n - j : 8;
+      Tile<TransposedA>(ablk, b + j, c + i * n + j, mr, nc, k, lda, n, n);
+    }
+  }
+}
+
+// Zero-padded-tail dot product; schedule and reduction are functions of k.
+inline double Dot(const double* x, const double* y, size_t k) {
+  float64x2_t acc0 = vdupq_n_f64(0.0);
+  float64x2_t acc1 = vdupq_n_f64(0.0);
+  size_t kk = 0;
+  for (; kk + 4 <= k; kk += 4) {
+    acc0 = vfmaq_f64(acc0, vld1q_f64(x + kk), vld1q_f64(y + kk));
+    acc1 = vfmaq_f64(acc1, vld1q_f64(x + kk + 2), vld1q_f64(y + kk + 2));
+  }
+  if (kk + 2 <= k) {
+    acc0 = vfmaq_f64(acc0, vld1q_f64(x + kk), vld1q_f64(y + kk));
+    kk += 2;
+  }
+  if (kk < k) {
+    const float64x2_t xv = vsetq_lane_f64(x[kk], vdupq_n_f64(0.0), 0);
+    const float64x2_t yv = vsetq_lane_f64(y[kk], vdupq_n_f64(0.0), 0);
+    acc1 = vfmaq_f64(acc1, xv, yv);
+  }
+  const float64x2_t acc = vaddq_f64(acc0, acc1);
+  return vgetq_lane_f64(acc, 0) + vgetq_lane_f64(acc, 1);
+}
+
+inline void OuterRow(double av_s, const double* b, double* crow, size_t n) {
+  const float64x2_t av = vdupq_n_f64(av_s);
+  size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    vst1q_f64(crow + j, vmulq_f64(av, vld1q_f64(b + j)));
+  }
+  if (j < n) crow[j] = vgetq_lane_f64(vmulq_f64(av, vdupq_n_f64(b[j])), 0);
+}
+
+void GemmNNNeon(const double* a, const double* b, double* c, size_t m,
+                size_t k, size_t n) {
+  if (k == 1) {
+    for (size_t i = 0; i < m; ++i) OuterRow(a[i], b, c + i * n, n);
+    return;
+  }
+  if (n == 1) {
+    for (size_t i = 0; i < m; ++i) c[i] = Dot(a + i * k, b, k);
+    return;
+  }
+  GemmWalk<false>(a, b, c, m, k, n, k);
+}
+
+void GemmTNNeon(const double* a, const double* b, double* c, size_t m,
+                size_t k, size_t n) {
+  GemmWalk<true>(a, b, c, m, k, n, m);
+}
+
+void GemmNTNeon(const double* a, const double* b, double* c, size_t m,
+                size_t k, size_t n) {
+  if (k == 1) {
+    for (size_t i = 0; i < m; ++i) OuterRow(a[i], b, c + i * n, n);
+    return;
+  }
+  for (size_t i = 0; i < m; ++i) {
+    const double* arow = a + i * k;
+    double* crow = c + i * n;
+    for (size_t j = 0; j < n; ++j) crow[j] = Dot(arow, b + j * k, k);
+  }
+}
+
+void BiasNeon(double* z, const double* bias, size_t rows, size_t cols) {
+  for (size_t r = 0; r < rows; ++r) {
+    double* zr = z + r * cols;
+    size_t j = 0;
+    for (; j + 2 <= cols; j += 2) {
+      vst1q_f64(zr + j, vaddq_f64(vld1q_f64(zr + j), vld1q_f64(bias + j)));
+    }
+    if (j < cols) {
+      const float64x2_t v =
+          vaddq_f64(vdupq_n_f64(zr[j]), vdupq_n_f64(bias[j]));
+      zr[j] = vgetq_lane_f64(v, 0);
+    }
+  }
+}
+
+void BiasReluNeon(double* z, const double* bias, size_t rows, size_t cols) {
+  const float64x2_t zero = vdupq_n_f64(0.0);
+  for (size_t r = 0; r < rows; ++r) {
+    double* zr = z + r * cols;
+    size_t j = 0;
+    for (; j + 2 <= cols; j += 2) {
+      const float64x2_t v =
+          vaddq_f64(vld1q_f64(zr + j), vld1q_f64(bias + j));
+      // v > 0 ? v : 0 via compare+and — NaN and -0.0 both land on +0.0.
+      const uint64x2_t keep = vcgtq_f64(v, zero);
+      vst1q_f64(zr + j, vreinterpretq_f64_u64(vandq_u64(
+                            vreinterpretq_u64_f64(v), keep)));
+    }
+    if (j < cols) {
+      const float64x2_t v =
+          vaddq_f64(vdupq_n_f64(zr[j]), vdupq_n_f64(bias[j]));
+      const uint64x2_t keep = vcgtq_f64(v, zero);
+      zr[j] = vgetq_lane_f64(
+          vreinterpretq_f64_u64(
+              vandq_u64(vreinterpretq_u64_f64(v), keep)),
+          0);
+    }
+  }
+}
+
+void LeafDispatchNeon(const double* fence, size_t fence_n, const double* keys,
+                      size_t n, size_t* leaf) {
+  internal::ScalarKernels()->leaf_dispatch(fence, fence_n, keys, n, leaf);
+}
+
+size_t CountLessNeon(const double* keys, size_t n, double key) {
+  return internal::ScalarKernels()->count_less(keys, n, key);
+}
+
+size_t CountLessEqualNeon(const double* keys, size_t n, double bound) {
+  return internal::ScalarKernels()->count_less_equal(keys, n, bound);
+}
+
+void ContainsMaskNeon(const Point* pts, size_t n, const Rect& w,
+                      uint8_t* mask) {
+  internal::ScalarKernels()->contains_mask(pts, n, w, mask);
+}
+
+void SquaredDistancesNeon(const Point* pts, size_t n, double qx, double qy,
+                          double* d2) {
+  internal::ScalarKernels()->squared_distances(pts, n, qx, qy, d2);
+}
+
+void BatchedLowerBoundNeon(const double* keys, SearchState* states,
+                           size_t* work, size_t active) {
+  internal::ScalarKernels()->batched_lower_bound(keys, states, work, active);
+}
+
+}  // namespace
+
+namespace internal {
+
+const Kernels* NeonKernels() {
+  static const Kernels table = {
+      Level::kNeon,      GemmNNNeon,       GemmTNNeon,
+      GemmNTNeon,        BiasNeon,         BiasReluNeon,
+      LeafDispatchNeon,  CountLessNeon,    CountLessEqualNeon,
+      ContainsMaskNeon,  SquaredDistancesNeon,
+      BatchedLowerBoundNeon,
+  };
+  return &table;
+}
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace elsi
+
+#endif  // defined(__aarch64__)

@@ -1,0 +1,406 @@
+#include "simd/simd.h"
+
+/// Scalar kernel table. The GEMM tiles are the PR 2 register-blocked
+/// kernels moved verbatim from ml/matrix.cc — this TU is compiled with
+/// the project's baseline flags (no -mfma), so the scalar fallback's
+/// codegen and numbers are unchanged. The remaining kernels are the
+/// straightforward loop forms the vector variants are tested against.
+
+namespace elsi {
+namespace simd {
+namespace {
+
+// Register-tile shape. 4x8 keeps the accumulator block plus one B row within
+// the 16 SSE2 registers -O2 targets; the dense FFN shapes (hidden width 16,
+// batch chunks of hundreds) split into whole tiles almost everywhere.
+constexpr size_t kMr = 4;
+constexpr size_t kNr = 8;
+
+// C tile = A rows x B cols with ascending-k accumulation. The compile-time
+// bounds let the compiler keep `acc` in registers and vectorise the j loop.
+template <size_t MR, size_t NR>
+inline void KernelNN(const double* a, const double* b, double* c, size_t k,
+                     size_t lda, size_t ldb, size_t ldc) {
+  double acc[MR][NR] = {};
+  for (size_t kk = 0; kk < k; ++kk) {
+    const double* brow = b + kk * ldb;
+    for (size_t r = 0; r < MR; ++r) {
+      const double av = a[r * lda + kk];
+      for (size_t j = 0; j < NR; ++j) acc[r][j] += av * brow[j];
+    }
+  }
+  for (size_t r = 0; r < MR; ++r) {
+    for (size_t j = 0; j < NR; ++j) c[r * ldc + j] = acc[r][j];
+  }
+}
+
+// Partial tile, compile-time column count: one row of accumulators at a
+// time, with the same per-element ascending-k sums as the full kernel. The
+// fixed NR keeps the j loop unrolled/vectorised; NR = 1 degenerates to a
+// plain dot product, which matters because the FFN output layer is an
+// n = 1 product.
+template <size_t NR>
+inline void EdgeColsNN(const double* a, const double* b, double* c, size_t mr,
+                       size_t k, size_t lda, size_t ldb, size_t ldc) {
+  for (size_t r = 0; r < mr; ++r) {
+    double acc[NR] = {};
+    for (size_t kk = 0; kk < k; ++kk) {
+      const double av = a[r * lda + kk];
+      const double* brow = b + kk * ldb;
+      for (size_t j = 0; j < NR; ++j) acc[j] += av * brow[j];
+    }
+    for (size_t j = 0; j < NR; ++j) c[r * ldc + j] = acc[j];
+  }
+}
+
+// Partial tile (mr <= kMr, nr <= kNr): dispatches nr to a compile-time
+// specialisation.
+inline void EdgeNN(const double* a, const double* b, double* c, size_t mr,
+                   size_t nr, size_t k, size_t lda, size_t ldb, size_t ldc) {
+  switch (nr) {
+    case 1: return EdgeColsNN<1>(a, b, c, mr, k, lda, ldb, ldc);
+    case 2: return EdgeColsNN<2>(a, b, c, mr, k, lda, ldb, ldc);
+    case 3: return EdgeColsNN<3>(a, b, c, mr, k, lda, ldb, ldc);
+    case 4: return EdgeColsNN<4>(a, b, c, mr, k, lda, ldb, ldc);
+    case 5: return EdgeColsNN<5>(a, b, c, mr, k, lda, ldb, ldc);
+    case 6: return EdgeColsNN<6>(a, b, c, mr, k, lda, ldb, ldc);
+    case 7: return EdgeColsNN<7>(a, b, c, mr, k, lda, ldb, ldc);
+    default: return EdgeColsNN<kNr>(a, b, c, mr, k, lda, ldb, ldc);
+  }
+}
+
+// A^T variant: `a` points at column i0 of the (k x m) matrix, so row kk of
+// the tile reads a[kk * lda + r] — contiguous in r.
+template <size_t MR, size_t NR>
+inline void KernelTN(const double* a, const double* b, double* c, size_t k,
+                     size_t lda, size_t ldb, size_t ldc) {
+  double acc[MR][NR] = {};
+  for (size_t kk = 0; kk < k; ++kk) {
+    const double* arow = a + kk * lda;
+    const double* brow = b + kk * ldb;
+    for (size_t r = 0; r < MR; ++r) {
+      const double av = arow[r];
+      for (size_t j = 0; j < NR; ++j) acc[r][j] += av * brow[j];
+    }
+  }
+  for (size_t r = 0; r < MR; ++r) {
+    for (size_t j = 0; j < NR; ++j) c[r * ldc + j] = acc[r][j];
+  }
+}
+
+template <size_t NR>
+inline void EdgeColsTN(const double* a, const double* b, double* c, size_t mr,
+                       size_t k, size_t lda, size_t ldb, size_t ldc) {
+  for (size_t r = 0; r < mr; ++r) {
+    double acc[NR] = {};
+    for (size_t kk = 0; kk < k; ++kk) {
+      const double av = a[kk * lda + r];
+      const double* brow = b + kk * ldb;
+      for (size_t j = 0; j < NR; ++j) acc[j] += av * brow[j];
+    }
+    for (size_t j = 0; j < NR; ++j) c[r * ldc + j] = acc[j];
+  }
+}
+
+inline void EdgeTN(const double* a, const double* b, double* c, size_t mr,
+                   size_t nr, size_t k, size_t lda, size_t ldb, size_t ldc) {
+  switch (nr) {
+    case 1: return EdgeColsTN<1>(a, b, c, mr, k, lda, ldb, ldc);
+    case 2: return EdgeColsTN<2>(a, b, c, mr, k, lda, ldb, ldc);
+    case 3: return EdgeColsTN<3>(a, b, c, mr, k, lda, ldb, ldc);
+    case 4: return EdgeColsTN<4>(a, b, c, mr, k, lda, ldb, ldc);
+    case 5: return EdgeColsTN<5>(a, b, c, mr, k, lda, ldb, ldc);
+    case 6: return EdgeColsTN<6>(a, b, c, mr, k, lda, ldb, ldc);
+    case 7: return EdgeColsTN<7>(a, b, c, mr, k, lda, ldb, ldc);
+    default: return EdgeColsTN<kNr>(a, b, c, mr, k, lda, ldb, ldc);
+  }
+}
+
+// B^T variant: each output is a dot product of an A row and a B row. The
+// 2x4 tile reuses every loaded A value across four B rows.
+constexpr size_t kMrNT = 2;
+constexpr size_t kNrNT = 4;
+
+template <size_t MR, size_t NR>
+inline void KernelNT(const double* a, const double* b, double* c, size_t k,
+                     size_t lda, size_t ldb, size_t ldc) {
+  double acc[MR][NR] = {};
+  for (size_t kk = 0; kk < k; ++kk) {
+    for (size_t r = 0; r < MR; ++r) {
+      const double av = a[r * lda + kk];
+      for (size_t j = 0; j < NR; ++j) acc[r][j] += av * b[j * ldb + kk];
+    }
+  }
+  for (size_t r = 0; r < MR; ++r) {
+    for (size_t j = 0; j < NR; ++j) c[r * ldc + j] = acc[r][j];
+  }
+}
+
+template <size_t NR>
+inline void EdgeColsNT(const double* a, const double* b, double* c, size_t mr,
+                       size_t k, size_t lda, size_t ldb, size_t ldc) {
+  for (size_t r = 0; r < mr; ++r) {
+    double acc[NR] = {};
+    for (size_t kk = 0; kk < k; ++kk) {
+      const double av = a[r * lda + kk];
+      for (size_t j = 0; j < NR; ++j) acc[j] += av * b[j * ldb + kk];
+    }
+    for (size_t j = 0; j < NR; ++j) c[r * ldc + j] = acc[j];
+  }
+}
+
+inline void EdgeNT(const double* a, const double* b, double* c, size_t mr,
+                   size_t nr, size_t k, size_t lda, size_t ldb, size_t ldc) {
+  switch (nr) {
+    case 1: return EdgeColsNT<1>(a, b, c, mr, k, lda, ldb, ldc);
+    case 2: return EdgeColsNT<2>(a, b, c, mr, k, lda, ldb, ldc);
+    case 3: return EdgeColsNT<3>(a, b, c, mr, k, lda, ldb, ldc);
+    default: return EdgeColsNT<kNrNT>(a, b, c, mr, k, lda, ldb, ldc);
+  }
+}
+
+void GemmNNScalar(const double* a, const double* b, double* c, size_t m,
+                  size_t k, size_t n) {
+  // Shape fast paths for the two inference-critical degenerate products.
+  // Both keep every output element a plain ascending-k sum, so the kernel
+  // invariant (bit-identity with the reference triple loop) still holds.
+  if (k == 1) {
+    // Rank-1 outer product: one multiply per element, no accumulation. This
+    // is the FFN first layer whenever the input is one-dimensional (every
+    // rank model), and the tile machinery is pure overhead for it.
+    for (size_t i = 0; i < m; ++i) {
+      const double av = a[i];
+      double* crow = c + i * n;
+      for (size_t j = 0; j < n; ++j) crow[j] = av * b[j];
+    }
+    return;
+  }
+  if (n == 1) {
+    // Matrix-vector: interleave four rows so their (independent, ascending)
+    // accumulations overlap instead of serialising on one add chain. This is
+    // the FFN output layer for scalar-output networks.
+    size_t i = 0;
+    for (; i + 4 <= m; i += 4) {
+      const double* ar = a + i * k;
+      double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+      for (size_t kk = 0; kk < k; ++kk) {
+        const double bv = b[kk];
+        acc0 += ar[kk] * bv;
+        acc1 += ar[k + kk] * bv;
+        acc2 += ar[2 * k + kk] * bv;
+        acc3 += ar[3 * k + kk] * bv;
+      }
+      c[i] = acc0;
+      c[i + 1] = acc1;
+      c[i + 2] = acc2;
+      c[i + 3] = acc3;
+    }
+    for (; i < m; ++i) {
+      const double* ar = a + i * k;
+      double acc = 0.0;
+      for (size_t kk = 0; kk < k; ++kk) acc += ar[kk] * b[kk];
+      c[i] = acc;
+    }
+    return;
+  }
+  size_t i = 0;
+  for (; i + kMr <= m; i += kMr) {
+    size_t j = 0;
+    for (; j + kNr <= n; j += kNr) {
+      KernelNN<kMr, kNr>(a + i * k, b + j, c + i * n + j, k, k, n, n);
+    }
+    if (j < n) EdgeNN(a + i * k, b + j, c + i * n + j, kMr, n - j, k, k, n, n);
+  }
+  if (i < m) {
+    size_t j = 0;
+    for (; j + kNr <= n; j += kNr) {
+      EdgeNN(a + i * k, b + j, c + i * n + j, m - i, kNr, k, k, n, n);
+    }
+    if (j < n) {
+      EdgeNN(a + i * k, b + j, c + i * n + j, m - i, n - j, k, k, n, n);
+    }
+  }
+}
+
+void GemmTNScalar(const double* a, const double* b, double* c, size_t m,
+                  size_t k, size_t n) {
+  size_t i = 0;
+  for (; i + kMr <= m; i += kMr) {
+    size_t j = 0;
+    for (; j + kNr <= n; j += kNr) {
+      KernelTN<kMr, kNr>(a + i, b + j, c + i * n + j, k, m, n, n);
+    }
+    if (j < n) EdgeTN(a + i, b + j, c + i * n + j, kMr, n - j, k, m, n, n);
+  }
+  if (i < m) {
+    size_t j = 0;
+    for (; j + kNr <= n; j += kNr) {
+      EdgeTN(a + i, b + j, c + i * n + j, m - i, kNr, k, m, n, n);
+    }
+    if (j < n) EdgeTN(a + i, b + j, c + i * n + j, m - i, n - j, k, m, n, n);
+  }
+}
+
+void GemmNTScalar(const double* a, const double* b, double* c, size_t m,
+                  size_t k, size_t n) {
+  size_t i = 0;
+  for (; i + kMrNT <= m; i += kMrNT) {
+    size_t j = 0;
+    for (; j + kNrNT <= n; j += kNrNT) {
+      KernelNT<kMrNT, kNrNT>(a + i * k, b + j * k, c + i * n + j, k, k, k, n);
+    }
+    if (j < n) {
+      EdgeNT(a + i * k, b + j * k, c + i * n + j, kMrNT, n - j, k, k, k, n);
+    }
+  }
+  if (i < m) {
+    size_t j = 0;
+    for (; j + kNrNT <= n; j += kNrNT) {
+      EdgeNT(a + i * k, b + j * k, c + i * n + j, m - i, kNrNT, k, k, k, n);
+    }
+    if (j < n) {
+      EdgeNT(a + i * k, b + j * k, c + i * n + j, m - i, n - j, k, k, k, n);
+    }
+  }
+}
+
+void BiasScalar(double* z, const double* bias, size_t rows, size_t cols) {
+  for (size_t r = 0; r < rows; ++r) {
+    double* zr = z + r * cols;
+    for (size_t j = 0; j < cols; ++j) zr[j] += bias[j];
+  }
+}
+
+void BiasReluScalar(double* z, const double* bias, size_t rows, size_t cols) {
+  for (size_t r = 0; r < rows; ++r) {
+    double* zr = z + r * cols;
+    for (size_t j = 0; j < cols; ++j) {
+      const double v = zr[j] + bias[j];
+      zr[j] = v > 0.0 ? v : 0.0;
+    }
+  }
+}
+
+void LeafDispatchScalar(const double* fence, size_t fence_n, const double* keys,
+                        size_t n, size_t* leaf) {
+  // Four dispatches run interleaved: this upper-bound formulation shrinks
+  // the range by `half` on BOTH branch outcomes, so every lane shares one
+  // deterministic length schedule and the four dependent probe chains
+  // overlap their fence-load latencies. Each lane computes the exact
+  // upper bound (count of fence entries <= key), same as the scalar tail.
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double k0 = keys[i], k1 = keys[i + 1];
+    const double k2 = keys[i + 2], k3 = keys[i + 3];
+    size_t l0 = 0, l1 = 0, l2 = 0, l3 = 0;
+    for (size_t len = fence_n; len > 1;) {
+      const size_t half = len / 2;
+      len -= half;
+      l0 += fence[l0 + half - 1] <= k0 ? half : 0;
+      l1 += fence[l1 + half - 1] <= k1 ? half : 0;
+      l2 += fence[l2 + half - 1] <= k2 ? half : 0;
+      l3 += fence[l3 + half - 1] <= k3 ? half : 0;
+    }
+    l0 += fence[l0] <= k0 ? 1 : 0;
+    l1 += fence[l1] <= k1 ? 1 : 0;
+    l2 += fence[l2] <= k2 ? 1 : 0;
+    l3 += fence[l3] <= k3 ? 1 : 0;
+    leaf[i] = l0 == 0 ? 0 : l0 - 1;
+    leaf[i + 1] = l1 == 0 ? 0 : l1 - 1;
+    leaf[i + 2] = l2 == 0 ? 0 : l2 - 1;
+    leaf[i + 3] = l3 == 0 ? 0 : l3 - 1;
+  }
+  for (; i < n; ++i) {
+    size_t lo = 0;
+    for (size_t len = fence_n; len > 1;) {
+      const size_t half = len / 2;
+      len -= half;
+      lo += fence[lo + half - 1] <= keys[i] ? half : 0;
+    }
+    lo += fence[lo] <= keys[i] ? 1 : 0;
+    leaf[i] = lo == 0 ? 0 : lo - 1;
+  }
+}
+
+size_t CountLessScalar(const double* keys, size_t n, double key) {
+  size_t i = 0;
+  while (i < n && keys[i] < key) ++i;
+  return i;
+}
+
+size_t CountLessEqualScalar(const double* keys, size_t n, double bound) {
+  size_t i = 0;
+  while (i < n && keys[i] <= bound) ++i;
+  return i;
+}
+
+void ContainsMaskScalar(const Point* pts, size_t n, const Rect& w,
+                        uint8_t* mask) {
+  for (size_t i = 0; i < n; ++i) {
+    mask[i] = w.Contains(pts[i]) ? 1 : 0;
+  }
+}
+
+void SquaredDistancesScalar(const Point* pts, size_t n, double qx, double qy,
+                            double* d2) {
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = pts[i].x - qx;
+    const double dy = pts[i].y - qy;
+    d2[i] = dx * dx + dy * dy;
+  }
+}
+
+// Level-synchronous exact lower_bound over many ranges at once: every
+// active search advances one probe per round and prefetches its next
+// midpoint, so the cache misses of a whole chunk overlap instead of
+// serialising (memory-level parallelism — the reason batched search beats
+// a per-query loop whose probes miss one at a time). The range update is
+// branchless (cmov), sidestepping the ~50% mispredict a comparison-driven
+// binary search pays per probe. `work` holds the indices of the `active`
+// still-unfinished searches (caller filters out len == 0 entries and
+// chooses the order — leaf-sorted order keeps consecutive searches on
+// neighbouring pages). Each search performs the standard lower-bound
+// halving independently, so states[i].lo ends at exactly the position
+// serial std::lower_bound returns.
+void BatchedLowerBoundScalar(const double* keys, SearchState* states,
+                             size_t* work, size_t active) {
+  for (size_t t = 0; t < active; ++t) {
+    const SearchState& s = states[work[t]];
+    __builtin_prefetch(&keys[s.lo + s.len / 2]);
+  }
+  while (active > 0) {
+    size_t next = 0;
+    for (size_t t = 0; t < active; ++t) {
+      SearchState& s = states[work[t]];
+      const size_t half = s.len / 2;
+      const size_t mid = s.lo + half;
+      const bool right = keys[mid] < s.key;
+      s.lo = right ? mid + 1 : s.lo;
+      s.len = right ? s.len - half - 1 : half;
+      if (s.len > 0) {
+        work[next++] = work[t];  // In-place compaction: next <= t.
+        __builtin_prefetch(&keys[s.lo + s.len / 2]);
+      }
+    }
+    active = next;
+  }
+}
+
+}  // namespace
+
+namespace internal {
+
+const Kernels* ScalarKernels() {
+  static const Kernels table = {
+      Level::kScalar,      GemmNNScalar,       GemmTNScalar,
+      GemmNTScalar,        BiasScalar,         BiasReluScalar,
+      LeafDispatchScalar,  CountLessScalar,    CountLessEqualScalar,
+      ContainsMaskScalar,  SquaredDistancesScalar,
+      BatchedLowerBoundScalar,
+  };
+  return &table;
+}
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace elsi

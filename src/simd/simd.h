@@ -1,0 +1,206 @@
+#ifndef ELSI_SIMD_SIMD_H_
+#define ELSI_SIMD_SIMD_H_
+
+/// elsi::simd — runtime-dispatched SIMD kernel layer (see DESIGN.md,
+/// "SIMD kernel layer").
+///
+/// The hot inner loops of the query path — GEMM for FFN inference, the
+/// fence dispatch and windowed searches of the segmented array's
+/// predict-and-scan, window containment and kNN distance evaluation —
+/// are implemented once per ISA level (scalar / NEON / AVX2+FMA /
+/// AVX-512) and selected once at startup through a function-pointer
+/// table. Detection uses `__builtin_cpu_supports` on x86 and the
+/// compile-time baseline on aarch64; the chosen table is stored in a
+/// process-global atomic and never changes after first use unless a
+/// test or bench explicitly forces a level.
+///
+/// Contract, per kernel (tested in tests/simd_test.cc):
+///  - integer/compare kernels (`leaf_dispatch`, `count_less`,
+///    `count_less_equal`, `contains_mask`) are bit-identical across all
+///    levels — they compute exact lower/upper bounds and predicates, so
+///    query *results* never depend on the dispatch level;
+///  - `bias`, `bias_relu`, and `squared_distances` are float kernels
+///    with a fixed, non-reassociated operation order and are also
+///    bit-identical across levels;
+///  - the GEMM kernels use FMA on levels that have it, so outputs may
+///    differ from scalar in the last ulps. Within a level they remain
+///    deterministic and row-batch consistent: row i of a batched
+///    product is bit-identical to the product of row i alone.
+///
+/// Building with -DELSI_SIMD=OFF compiles only the scalar table; the
+/// dispatch call sites are unchanged.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace elsi {
+namespace simd {
+
+/// Dispatch levels, ordered from least to most capable. On a given
+/// host only a prefix of {scalar, neon} or {scalar, avx2, avx512} is
+/// reachable.
+enum class Level : int {
+  kScalar = 0,
+  kNeon = 1,
+  kAvx2 = 2,
+  kAvx512 = 3,
+};
+
+/// Stable lowercase name for a level ("scalar", "neon", "avx2",
+/// "avx512") — used by /healthz, the `simd.dispatch` gauge and the
+/// per-ISA bench row names.
+const char* LevelName(Level level);
+
+/// One in-flight query of a level-synchronous batched binary search
+/// (moved here from segmented_array.cc so per-ISA kernels can share
+/// it). Converges lo to lower_bound(base, base + initial len, key).
+struct SearchState {
+  size_t lo;
+  size_t len;
+  double key;
+};
+
+/// The per-ISA kernel table. All pointers are always non-null.
+struct Kernels {
+  Level level;
+
+  /// C (m x n) = A (m x k) * B (k x n), all row-major, C overwritten.
+  /// Every output element is an ascending-k accumulation chain that
+  /// depends only on k and the operand rows, never on m or the tile
+  /// position, so batched rows match single-row products bit-exactly.
+  void (*gemm_nn)(const double* a, const double* b, double* c, size_t m,
+                  size_t k, size_t n);
+  /// C (m x n) = A^T * B where A is (k x m) row-major.
+  void (*gemm_tn)(const double* a, const double* b, double* c, size_t m,
+                  size_t k, size_t n);
+  /// C (m x n) = A * B^T where B is (n x k) row-major.
+  void (*gemm_nt)(const double* a, const double* b, double* c, size_t m,
+                  size_t k, size_t n);
+
+  /// z[r][j] += bias[j] for every row. Bit-identical across levels
+  /// (one IEEE add per element, no reassociation).
+  void (*bias)(double* z, const double* bias, size_t rows, size_t cols);
+  /// z[r][j] = relu(z[r][j] + bias[j]). The relu is the exact scalar
+  /// `v > 0.0 ? v : 0.0` select (NaN and -0.0 both map to +0.0);
+  /// vector variants use compare+mask, not max, to preserve that.
+  void (*bias_relu)(double* z, const double* bias, size_t rows, size_t cols);
+
+  /// Branchless leaf dispatch over a sorted fence of leaf minimum
+  /// keys: leaf[i] = index of the leaf whose [min_key, next_min_key)
+  /// range contains keys[i], i.e. upper_bound(fence, keys[i]) - 1
+  /// clamped to 0. Exact; bit-identical across levels.
+  void (*leaf_dispatch)(const double* fence, size_t fence_n,
+                        const double* keys, size_t n, size_t* leaf);
+
+  /// Number of elements < key in the sorted run keys[0..n) — the
+  /// lower_bound offset. Early-exits on the first element >= key, so
+  /// it reads at most one vector past the answer. Exact.
+  size_t (*count_less)(const double* keys, size_t n, double key);
+  /// Number of elements <= bound in the sorted run keys[0..n) — the
+  /// upper_bound offset. Same early-exit property. Exact.
+  size_t (*count_less_equal)(const double* keys, size_t n, double bound);
+
+  /// mask[i] = 1 if w contains pts[i] (Rect::Contains semantics,
+  /// boundary-inclusive), else 0. Exact; bit-identical across levels.
+  void (*contains_mask)(const Point* pts, size_t n, const Rect& w,
+                        uint8_t* mask);
+
+  /// d2[i] = squared Euclidean distance from pts[i] to (qx, qy),
+  /// computed as dx*dx + dy*dy with no FMA contraction so the result
+  /// is bit-identical to geometry.cc's SquaredDistance on every level.
+  void (*squared_distances)(const Point* pts, size_t n, double qx, double qy,
+                            double* d2);
+
+  /// Level-synchronous branchless interleaved binary search; resolves
+  /// every state in work[0..active) to its lower_bound over `base`.
+  /// Kept scalar on all levels (the loop is latency-bound on the
+  /// probe loads, which the software pipelining already hides), but
+  /// routed through the table so a future gather-based variant can
+  /// slot in per ISA.
+  void (*batched_lower_bound)(const double* base, SearchState* states,
+                              size_t* work, size_t active);
+};
+
+/// The table for the active dispatch level. First call performs
+/// detection (honouring the ELSI_SIMD_LEVEL env override: "scalar",
+/// "neon", "avx2" or "avx512"; unsupported values are clamped to the
+/// best supported level with a one-time stderr warning). Thread-safe.
+const Kernels& Active();
+
+/// Level of the active table.
+Level ActiveLevel();
+/// LevelName(ActiveLevel()).
+const char* ActiveLevelName();
+
+/// All levels usable on this host/build, ascending (always includes
+/// kScalar). Tests and benches iterate this to cover every reachable
+/// variant.
+std::vector<Level> SupportedLevels();
+
+/// Table for a specific level, or nullptr if that level is not
+/// supported by this host/build. Does not change the active table.
+const Kernels* ForLevel(Level level);
+
+/// Force the active table to `level` (tests/bench sweeps only).
+/// Returns false and leaves the active table unchanged if the level
+/// is unsupported.
+bool ForceLevel(Level level);
+
+/// Minimal aligned allocator so scratch vectors and Matrix storage
+/// start on a 64-byte boundary and vector loads never split cache
+/// lines. Value-initialises like std::allocator.
+template <typename T, size_t Alignment = 64>
+struct AlignedAllocator {
+  using value_type = T;
+  static_assert(Alignment >= alignof(T) && (Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two covering alignof(T)");
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(size_t n) {
+    if (n == 0) return nullptr;
+    void* p = ::operator new(n * sizeof(T), std::align_val_t(Alignment));
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+/// 64-byte-aligned double vector — the storage type for GEMM operands
+/// and inference scratch.
+using AlignedVector = std::vector<double, AlignedAllocator<double, 64>>;
+
+namespace internal {
+/// Per-ISA table constructors (defined in kernels_*.cc). The scalar
+/// table always exists; the others are compiled only when the target
+/// architecture and ELSI_SIMD allow.
+const Kernels* ScalarKernels();
+const Kernels* Avx2Kernels();
+const Kernels* Avx512Kernels();
+const Kernels* NeonKernels();
+}  // namespace internal
+
+}  // namespace simd
+}  // namespace elsi
+
+#endif  // ELSI_SIMD_SIMD_H_

@@ -18,6 +18,7 @@
 #include "obs/http_exporter.h"
 #include "obs/metrics.h"
 #include "obs/model_health.h"
+#include "simd/simd.h"
 
 namespace elsi {
 namespace obs {
@@ -107,6 +108,8 @@ TEST(HttpHandleTest, MetricsCarriesFlightExemplars) {
   EXPECT_NE(r.body.find("# exemplar elsi_query_flight_latency_us"),
             std::string::npos);
   EXPECT_NE(r.body.find("trace_id="), std::string::npos);
+  // Derived gauge refreshed per scrape: the startup SIMD dispatch level.
+  EXPECT_NE(r.body.find("elsi_simd_dispatch"), std::string::npos);
   std::string bad;
   EXPECT_TRUE(ValidPrometheusText(r.body, &bad)) << "bad line: " << bad;
 }
@@ -119,6 +122,11 @@ TEST(HttpHandleTest, HealthzReportsBuildInfoAndPersistLag) {
   EXPECT_NE(r.body.find("\"git_sha\": "), std::string::npos);
   EXPECT_NE(r.body.find("\"obs_enabled\": 1"), std::string::npos);
   EXPECT_NE(r.body.find("\"sanitizer\": "), std::string::npos);
+  // The dispatch level chosen at startup rides in build_info, and its
+  // value is whatever the simd layer actually selected.
+  const std::string simd_field =
+      std::string("\"simd\": \"") + elsi::simd::ActiveLevelName() + "\"";
+  EXPECT_NE(r.body.find(simd_field), std::string::npos);
   EXPECT_NE(r.body.find("\"wal_lag\": "), std::string::npos);
   EXPECT_NE(r.body.find("\"snapshot_seq\": "), std::string::npos);
   EXPECT_NE(r.body.find("\"trace\": {\"dropped\": "), std::string::npos);

@@ -1,11 +1,13 @@
 #include "ml/matrix.h"
 
+#include <cmath>
 #include <cstddef>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "simd/simd.h"
 
 namespace elsi {
 namespace {
@@ -60,61 +62,110 @@ constexpr size_t kOddShapes[][3] = {
     {5, 3, 9},  {8, 16, 24}, {3, 1, 7},    {7, 2, 1},   {2, 5, 3},
     {13, 7, 5}, {16, 1, 1},  {33, 17, 31}, {6, 4, 2},   {9, 9, 9}};
 
-TEST(GemmTest, TiledNNMatchesReferenceBitExactly) {
+// Tolerance for comparing FMA kernels against the plain ascending-k sum:
+// a fused multiply-add skips one intermediate rounding per step, so each
+// output can drift a few ulps from the reference (see DESIGN.md, "SIMD
+// kernel layer"). Inputs are in [-1, 1], so an absolute-plus-relative
+// bound at 1e-12 is ~4 orders of magnitude above the drift ever observed
+// while still catching any indexing or accumulation-order bug.
+void AssertNear(double want, double got, const char* what, size_t i) {
+  const double tol = 1e-12 * std::max(1.0, std::abs(want));
+  ASSERT_LE(std::abs(want - got), tol) << what << " at " << i;
+}
+
+// The scalar level is the reference semantics: bit-exact against the plain
+// triple loop on every shape, whatever hardware the suite runs on.
+TEST(GemmTest, ScalarLevelMatchesReferenceBitExactly) {
+  const simd::Kernels* scalar = simd::ForLevel(simd::Level::kScalar);
+  ASSERT_NE(scalar, nullptr);
   for (const auto& s : kOddShapes) {
     const size_t m = s[0], k = s[1], n = s[2];
     const auto a = RandomVec(m * k, 101 + m);
+    const auto at = RandomVec(k * m, 303 + m);
     const auto b = RandomVec(k * n, 202 + n);
+    const auto bt = RandomVec(n * k, 606 + n);
     std::vector<double> want(m * n), got(m * n);
     RefNN(a.data(), b.data(), want.data(), m, k, n);
-    GemmNN(a.data(), b.data(), got.data(), m, k, n);
-    for (size_t i = 0; i < m * n; ++i) {
-      ASSERT_EQ(want[i], got[i]) << m << "x" << k << "x" << n << " at " << i;
+    scalar->gemm_nn(a.data(), b.data(), got.data(), m, k, n);
+    for (size_t i = 0; i < m * n; ++i) ASSERT_EQ(want[i], got[i]) << "NN " << i;
+    RefTN(at.data(), b.data(), want.data(), m, k, n);
+    scalar->gemm_tn(at.data(), b.data(), got.data(), m, k, n);
+    for (size_t i = 0; i < m * n; ++i) ASSERT_EQ(want[i], got[i]) << "TN " << i;
+    RefNT(a.data(), bt.data(), want.data(), m, k, n);
+    scalar->gemm_nt(a.data(), bt.data(), got.data(), m, k, n);
+    for (size_t i = 0; i < m * n; ++i) ASSERT_EQ(want[i], got[i]) << "NT " << i;
+  }
+}
+
+// Every level reachable on this host stays within the FMA epsilon of the
+// reference on every dispatch shape.
+TEST(GemmTest, EveryLevelMatchesReferenceWithinEpsilon) {
+  for (const simd::Level level : simd::SupportedLevels()) {
+    const simd::Kernels* kern = simd::ForLevel(level);
+    ASSERT_NE(kern, nullptr);
+    for (const auto& s : kOddShapes) {
+      const size_t m = s[0], k = s[1], n = s[2];
+      const auto a = RandomVec(m * k, 101 + m);
+      const auto at = RandomVec(k * m, 303 + m);
+      const auto b = RandomVec(k * n, 202 + n);
+      const auto bt = RandomVec(n * k, 606 + n);
+      std::vector<double> want(m * n), got(m * n);
+      RefNN(a.data(), b.data(), want.data(), m, k, n);
+      kern->gemm_nn(a.data(), b.data(), got.data(), m, k, n);
+      for (size_t i = 0; i < m * n; ++i) AssertNear(want[i], got[i], "NN", i);
+      RefTN(at.data(), b.data(), want.data(), m, k, n);
+      kern->gemm_tn(at.data(), b.data(), got.data(), m, k, n);
+      for (size_t i = 0; i < m * n; ++i) AssertNear(want[i], got[i], "TN", i);
+      RefNT(a.data(), bt.data(), want.data(), m, k, n);
+      kern->gemm_nt(a.data(), bt.data(), got.data(), m, k, n);
+      for (size_t i = 0; i < m * n; ++i) AssertNear(want[i], got[i], "NT", i);
     }
   }
 }
 
-TEST(GemmTest, TiledTNMatchesReferenceBitExactly) {
-  for (const auto& s : kOddShapes) {
-    const size_t m = s[0], k = s[1], n = s[2];
-    const auto a = RandomVec(k * m, 303 + m);
-    const auto b = RandomVec(k * n, 404 + n);
-    std::vector<double> want(m * n), got(m * n);
-    RefTN(a.data(), b.data(), want.data(), m, k, n);
-    GemmTN(a.data(), b.data(), got.data(), m, k, n);
-    for (size_t i = 0; i < m * n; ++i) {
-      ASSERT_EQ(want[i], got[i]) << m << "x" << k << "x" << n << " at " << i;
+// k == 1 products are a single multiply — no accumulation, so no fused
+// rounding: bit-exact on every level. This is the first layer of every
+// rank model (input_dim = 1), which keeps per-level index predictions
+// reproducible end to end for one-layer linear models.
+TEST(GemmTest, RankOneProductsBitExactOnEveryLevel) {
+  constexpr size_t kRankOneShapes[][2] = {{1, 1}, {1, 16}, {5, 9},
+                                          {16, 1}, {33, 31}, {64, 8}};
+  for (const simd::Level level : simd::SupportedLevels()) {
+    const simd::Kernels* kern = simd::ForLevel(level);
+    ASSERT_NE(kern, nullptr);
+    for (const auto& s : kRankOneShapes) {
+      const size_t m = s[0], n = s[1];
+      const auto a = RandomVec(m, 11 + m);
+      const auto b = RandomVec(n, 22 + n);
+      std::vector<double> want(m * n), got(m * n);
+      RefNN(a.data(), b.data(), want.data(), m, 1, n);
+      kern->gemm_nn(a.data(), b.data(), got.data(), m, 1, n);
+      for (size_t i = 0; i < m * n; ++i) {
+        ASSERT_EQ(want[i], got[i])
+            << simd::LevelName(level) << " " << m << "x1x" << n << " at " << i;
+      }
     }
   }
 }
 
-TEST(GemmTest, TiledNTMatchesReferenceBitExactly) {
-  for (const auto& s : kOddShapes) {
-    const size_t m = s[0], k = s[1], n = s[2];
-    const auto a = RandomVec(m * k, 505 + m);
-    const auto b = RandomVec(n * k, 606 + n);
-    std::vector<double> want(m * n), got(m * n);
-    RefNT(a.data(), b.data(), want.data(), m, k, n);
-    GemmNT(a.data(), b.data(), got.data(), m, k, n);
-    for (size_t i = 0; i < m * n; ++i) {
-      ASSERT_EQ(want[i], got[i]) << m << "x" << k << "x" << n << " at " << i;
-    }
-  }
-}
-
-// The property the batched query path relies on: row i of a batched product
-// equals the product of row i alone, bit for bit, because every output
-// element's sum is independent of the tiling.
+// The property the batched query path relies on: within any one level, row
+// i of a batched product equals the product of row i alone, bit for bit,
+// because every output element's sum is independent of the tiling.
 TEST(GemmTest, BatchedRowsMatchSingleRowProductsBitExactly) {
   const size_t m = 37, k = 16, n = 16;
   const auto a = RandomVec(m * k, 7);
   const auto b = RandomVec(k * n, 8);
-  std::vector<double> batched(m * n), single(n);
-  GemmNN(a.data(), b.data(), batched.data(), m, k, n);
-  for (size_t i = 0; i < m; ++i) {
-    GemmNN(a.data() + i * k, b.data(), single.data(), 1, k, n);
-    for (size_t j = 0; j < n; ++j) {
-      ASSERT_EQ(batched[i * n + j], single[j]) << "row " << i << " col " << j;
+  for (const simd::Level level : simd::SupportedLevels()) {
+    const simd::Kernels* kern = simd::ForLevel(level);
+    ASSERT_NE(kern, nullptr);
+    std::vector<double> batched(m * n), single(n);
+    kern->gemm_nn(a.data(), b.data(), batched.data(), m, k, n);
+    for (size_t i = 0; i < m; ++i) {
+      kern->gemm_nn(a.data() + i * k, b.data(), single.data(), 1, k, n);
+      for (size_t j = 0; j < n; ++j) {
+        ASSERT_EQ(batched[i * n + j], single[j])
+            << simd::LevelName(level) << " row " << i << " col " << j;
+      }
     }
   }
 }

@@ -1,0 +1,325 @@
+#include "simd/simd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/geometry.h"
+#include "common/random.h"
+#include "ml/ffn.h"
+#include "ml/matrix.h"
+
+namespace elsi {
+namespace {
+
+using simd::Kernels;
+using simd::Level;
+
+// Every parity test below runs once per level reachable on this host,
+// comparing the level's kernel against a plain scalar oracle written
+// inline. The contract (simd/simd.h): integer/compare kernels and the
+// fixed-order float kernels are bit-identical on every level; only the
+// FMA GEMMs get an epsilon (covered in matrix_test.cc).
+
+std::vector<double> SortedKeys(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> keys(n);
+  double acc = -50.0;
+  for (double& k : keys) {
+    // Steps of zero are common on purpose: duplicate keys exercise the
+    // lower-vs-upper bound distinction.
+    acc += rng.NextDouble() < 0.25 ? 0.0 : rng.NextDouble();
+    k = acc;
+  }
+  return keys;
+}
+
+std::vector<Point> RandomPoints(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> pts(n);
+  for (size_t i = 0; i < n; ++i) {
+    pts[i] = Point{rng.NextDouble() * 10.0 - 5.0,
+                   rng.NextDouble() * 10.0 - 5.0, i};
+  }
+  return pts;
+}
+
+// Sizes straddling every vector width and tail shape (1-, 2-, 4-, 8-lane
+// kernels plus scalar tails).
+constexpr size_t kSizes[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17,
+                             31, 33, 63, 64, 65, 100, 255, 256, 257};
+
+TEST(SimdDispatchTest, ScalarAlwaysSupported) {
+  const std::vector<Level> levels = simd::SupportedLevels();
+  ASSERT_FALSE(levels.empty());
+  EXPECT_EQ(levels.front(), Level::kScalar);
+  for (const Level level : levels) {
+    const Kernels* kern = simd::ForLevel(level);
+    ASSERT_NE(kern, nullptr);
+    EXPECT_EQ(kern->level, level);
+  }
+}
+
+TEST(SimdDispatchTest, ForceLevelRoundTrip) {
+  const Level before = simd::ActiveLevel();
+  for (const Level level : simd::SupportedLevels()) {
+    ASSERT_TRUE(simd::ForceLevel(level));
+    EXPECT_EQ(simd::ActiveLevel(), level);
+    EXPECT_EQ(simd::Active().level, level);
+  }
+  ASSERT_TRUE(simd::ForceLevel(before));
+}
+
+TEST(SimdDispatchTest, UnsupportedLevelRejected) {
+  const std::vector<Level> levels = simd::SupportedLevels();
+  const Level before = simd::ActiveLevel();
+  for (const Level probe :
+       {Level::kNeon, Level::kAvx2, Level::kAvx512}) {
+    if (std::find(levels.begin(), levels.end(), probe) != levels.end()) {
+      continue;
+    }
+    EXPECT_EQ(simd::ForLevel(probe), nullptr);
+    EXPECT_FALSE(simd::ForceLevel(probe));
+    EXPECT_EQ(simd::ActiveLevel(), before);
+  }
+}
+
+TEST(SimdKernelTest, CountLessMatchesLowerBoundOnEveryLevel) {
+  for (const Level level : simd::SupportedLevels()) {
+    const Kernels* kern = simd::ForLevel(level);
+    for (const size_t n : kSizes) {
+      const std::vector<double> keys = SortedKeys(n, 31 + n);
+      // Probe below, above, between, and exactly on duplicates.
+      std::vector<double> probes = {-1e9, 1e9};
+      for (size_t i = 0; i < n; i += 3) {
+        probes.push_back(keys[i]);
+        probes.push_back(keys[i] + 1e-9);
+        probes.push_back(keys[i] - 1e-9);
+      }
+      for (const double p : probes) {
+        const size_t want = static_cast<size_t>(
+            std::lower_bound(keys.begin(), keys.end(), p) - keys.begin());
+        const size_t want_ub = static_cast<size_t>(
+            std::upper_bound(keys.begin(), keys.end(), p) - keys.begin());
+        EXPECT_EQ(kern->count_less(keys.data(), n, p), want)
+            << simd::LevelName(level) << " n=" << n << " probe=" << p;
+        EXPECT_EQ(kern->count_less_equal(keys.data(), n, p), want_ub)
+            << simd::LevelName(level) << " n=" << n << " probe=" << p;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, LeafDispatchMatchesUpperBoundFenceWalk) {
+  for (const Level level : simd::SupportedLevels()) {
+    const Kernels* kern = simd::ForLevel(level);
+    for (const size_t fence_n : {1u, 2u, 3u, 7u, 64u}) {
+      const std::vector<double> fence = SortedKeys(fence_n, 77 + fence_n);
+      for (const size_t n : kSizes) {
+        std::vector<double> qkeys(n);
+        Rng rng(55 + n);
+        for (double& k : qkeys) k = -60.0 + rng.NextDouble() * 130.0;
+        // Exact fence values too: the boundary is the interesting case.
+        for (size_t i = 0; i < n && i < fence_n; ++i) qkeys[i] = fence[i];
+        std::vector<size_t> got(n, ~size_t{0});
+        kern->leaf_dispatch(fence.data(), fence_n, qkeys.data(), n,
+                            got.data());
+        for (size_t i = 0; i < n; ++i) {
+          const size_t ub = static_cast<size_t>(
+              std::upper_bound(fence.begin(), fence.end(), qkeys[i]) -
+              fence.begin());
+          const size_t want = ub == 0 ? 0 : ub - 1;
+          ASSERT_EQ(got[i], want)
+              << simd::LevelName(level) << " fence_n=" << fence_n
+              << " i=" << i << " key=" << qkeys[i];
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, ContainsMaskMatchesRectContains) {
+  const Rect w = Rect::Of(-1.5, -2.0, 2.5, 1.0);
+  for (const Level level : simd::SupportedLevels()) {
+    const Kernels* kern = simd::ForLevel(level);
+    for (const size_t n : kSizes) {
+      std::vector<Point> pts = RandomPoints(n, 91 + n);
+      // Pin some points exactly on the boundary (inclusive contract).
+      for (size_t i = 0; i + 4 < n; i += 5) {
+        pts[i].x = w.lo_x;
+        pts[i + 1].y = w.hi_y;
+      }
+      std::vector<uint8_t> mask(n + 1, 0xAA);
+      kern->contains_mask(pts.data(), n, w, mask.data());
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(mask[i], w.Contains(pts[i]) ? 1 : 0)
+            << simd::LevelName(level) << " n=" << n << " i=" << i;
+      }
+      EXPECT_EQ(mask[n], 0xAA) << "wrote past the mask";
+    }
+  }
+}
+
+TEST(SimdKernelTest, SquaredDistancesBitIdenticalToScalar) {
+  const Point q{0.25, -0.75, 0};
+  for (const Level level : simd::SupportedLevels()) {
+    const Kernels* kern = simd::ForLevel(level);
+    for (const size_t n : kSizes) {
+      const std::vector<Point> pts = RandomPoints(n, 13 + n);
+      std::vector<double> d2(n, -1.0);
+      kern->squared_distances(pts.data(), n, q.x, q.y, d2.data());
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(d2[i], SquaredDistance(pts[i], q))
+            << simd::LevelName(level) << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, BiasAndBiasReluBitIdenticalToScalar) {
+  for (const Level level : simd::SupportedLevels()) {
+    const Kernels* kern = simd::ForLevel(level);
+    for (const size_t cols : {1u, 2u, 3u, 5u, 8u, 9u, 16u, 17u, 33u}) {
+      const size_t rows = 5;
+      Rng rng(7 + cols);
+      std::vector<double> bias(cols);
+      for (double& b : bias) b = rng.NextDouble() * 2.0 - 1.0;
+      std::vector<double> z(rows * cols);
+      for (double& v : z) v = rng.NextDouble() * 2.0 - 1.0;
+      // Special values the compare+mask relu must handle exactly like
+      // the scalar select: -0.0 stays a positive zero after the add's
+      // result is masked, NaN maps to 0.
+      if (cols >= 2) {
+        z[0] = -bias[0];  // sums to +0.0 or -0.0 depending on sign
+        z[1] = std::numeric_limits<double>::quiet_NaN();
+      }
+      std::vector<double> want = z, got = z;
+      for (size_t r = 0; r < rows; ++r) {
+        for (size_t c = 0; c < cols; ++c) want[r * cols + c] += bias[c];
+      }
+      kern->bias(got.data(), bias.data(), rows, cols);
+      for (size_t i = 0; i < rows * cols; ++i) {
+        if (std::isnan(want[i])) {
+          ASSERT_TRUE(std::isnan(got[i]));
+        } else {
+          ASSERT_EQ(want[i], got[i]) << simd::LevelName(level) << " bias " << i;
+        }
+      }
+      want = z;
+      got = z;
+      for (size_t r = 0; r < rows; ++r) {
+        for (size_t c = 0; c < cols; ++c) {
+          const double v = want[r * cols + c] + bias[c];
+          want[r * cols + c] = v > 0.0 ? v : 0.0;
+        }
+      }
+      kern->bias_relu(got.data(), bias.data(), rows, cols);
+      for (size_t i = 0; i < rows * cols; ++i) {
+        ASSERT_EQ(want[i], got[i]) << simd::LevelName(level) << " relu " << i;
+        if (want[i] == 0.0) {
+          // Exactly +0.0, never -0.0 (matches the scalar select).
+          ASSERT_FALSE(std::signbit(got[i]))
+              << simd::LevelName(level) << " relu sign " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, BatchedLowerBoundConvergesOnEveryLevel) {
+  for (const Level level : simd::SupportedLevels()) {
+    const Kernels* kern = simd::ForLevel(level);
+    const std::vector<double> base = SortedKeys(1000, 5);
+    Rng rng(17);
+    std::vector<simd::SearchState> states(64);
+    std::vector<size_t> work(states.size());
+    for (size_t i = 0; i < states.size(); ++i) {
+      states[i] = {0, base.size(), -60.0 + rng.NextDouble() * 130.0};
+      work[i] = i;
+    }
+    kern->batched_lower_bound(base.data(), states.data(), work.data(),
+                              work.size());
+    for (size_t i = 0; i < states.size(); ++i) {
+      const size_t want = static_cast<size_t>(
+          std::lower_bound(base.begin(), base.end(), states[i].key) -
+          base.begin());
+      ASSERT_EQ(states[i].lo, want) << simd::LevelName(level) << " i=" << i;
+    }
+  }
+}
+
+// End-to-end inference parity: a real FFN forward pass through
+// ForwardBatchInto must produce identical ranks on every level for
+// k == 1 first layers... but deeper layers use FMA, so the guarantee
+// there is the epsilon one. Assert bit-identity scalar-vs-scalar (the
+// Matrix path and the scratch path share kernels) and epsilon across
+// levels.
+TEST(SimdKernelTest, FfnForwardBatchAgreesAcrossLevels) {
+  const Level before = simd::ActiveLevel();
+  Ffn net(1, {8, 8}, 1, /*seed=*/42);
+  const size_t n = 33;
+  std::vector<double> x(n);
+  for (size_t i = 0; i < n; ++i) x[i] = static_cast<double>(i) / n;
+
+  std::vector<std::vector<double>> outs;
+  for (const Level level : simd::SupportedLevels()) {
+    ASSERT_TRUE(simd::ForceLevel(level));
+    InferenceScratch scratch;
+    std::vector<double> out(n);
+    net.ForwardBatchInto(x.data(), n, &scratch, out.data());
+    // Batched equals one-at-a-time on the same level, bit for bit.
+    InferenceScratch single_scratch;
+    for (size_t i = 0; i < n; ++i) {
+      double yi = 0.0;
+      net.ForwardInto(&x[i], &single_scratch, &yi);
+      ASSERT_EQ(out[i], yi) << simd::LevelName(level) << " row " << i;
+    }
+    outs.push_back(std::move(out));
+  }
+  ASSERT_TRUE(simd::ForceLevel(before));
+
+  for (size_t l = 1; l < outs.size(); ++l) {
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(outs[0][i], outs[l][i], 1e-12) << "level " << l;
+    }
+  }
+}
+
+TEST(SimdAlignmentTest, MatrixAndScratchAre64ByteAligned) {
+  Matrix m(13, 7, 1.0);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(m.data().data()) % 64, 0u);
+  simd::AlignedVector v;
+  v.resize(1);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(v.data()) % 64, 0u);
+  v.resize(4097);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(v.data()) % 64, 0u);
+  InferenceScratch scratch;
+  scratch.ping.resize(33);
+  scratch.pong.resize(65);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(scratch.ping.data()) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(scratch.pong.data()) % 64, 0u);
+}
+
+// ELSI_SIMD_LEVEL honoured: the CI scalar-override leg exports it and
+// this test confirms the override actually landed. (Every ForceLevel
+// test above restores the level it found, which is the env-selected
+// one, so asserting on ActiveLevelName here is order-safe.)
+TEST(SimdDispatchTest, EnvOverrideRespectedWhenSet) {
+  const char* env = std::getenv("ELSI_SIMD_LEVEL");
+  if (env == nullptr) GTEST_SKIP() << "ELSI_SIMD_LEVEL not set";
+  bool supported = false;
+  for (const Level level : simd::SupportedLevels()) {
+    if (std::string_view(simd::LevelName(level)) == env) supported = true;
+  }
+  if (!supported) GTEST_SKIP() << "override clamped (unsupported level)";
+  EXPECT_STREQ(simd::ActiveLevelName(), env);
+}
+
+}  // namespace
+}  // namespace elsi
