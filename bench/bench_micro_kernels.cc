@@ -20,6 +20,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "common/cdf.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
@@ -31,6 +32,7 @@
 #include "learned/zm_index.h"
 #include "ml/ffn.h"
 #include "ml/matrix.h"
+#include "prof/sampler.h"
 #include "simd/simd.h"
 
 namespace elsi {
@@ -261,6 +263,9 @@ struct QueryRow {
   size_t threads;
   double avg_us;
   double checksum;  // Hits (point) / total results (window) — sanity only.
+  // Per-phase hardware counter rates (0 on perf-denied hosts); context
+  // columns in bench_diff, never gated.
+  bench::PhaseCounterRates counters;
 };
 
 // --- per-ISA dispatch sweep ----------------------------------------------
@@ -389,16 +394,19 @@ std::vector<QueryRow> SweepQueryPath(std::vector<SimdRow>* simd_point_rows) {
 
   const auto report = [&rows](const std::string& query, size_t batch,
                               size_t threads, double total_micros, size_t m,
-                              double checksum) {
+                              double checksum,
+                              const bench::PhaseCounterRates& counters) {
     QueryRow row;
     row.query = query;
     row.batch = batch;
     row.threads = threads;
     row.avg_us = total_micros / static_cast<double>(m);
     row.checksum = checksum;
+    row.counters = counters;
     std::printf("%s query: batch %3zu threads %zu: %8.3f us avg "
-                "(checksum %.0f)\n",
-                query.c_str(), batch, threads, row.avg_us, checksum);
+                "(checksum %.0f, ipc %.2f, llc/op %.1f)\n",
+                query.c_str(), batch, threads, row.avg_us, checksum,
+                counters.ipc, counters.llc_miss_per_op);
     rows.push_back(row);
   };
 
@@ -419,6 +427,8 @@ std::vector<QueryRow> SweepQueryPath(std::vector<SimdRow>* simd_point_rows) {
   };
 
   // Point queries: serial loop, then batch-256 chunks on 1/2/4/8 threads.
+  // Each timed section is bracketed by a PhaseCounters Begin/End, so the
+  // counter window covers exactly the kReps measured runs (ops = m * kReps).
   {
     size_t found = 0;
     const auto run = [&] {
@@ -428,10 +438,14 @@ std::vector<QueryRow> SweepQueryPath(std::vector<SimdRow>* simd_point_rows) {
       }
     };
     run();  // warm-up
-    report("point", 0, 1, best_of(run), probes.size(),
-           static_cast<double>(found));
+    bench::PhaseCounters counters;
+    counters.Begin();
+    const double micros = best_of(run);
+    report("point", 0, 1, micros, probes.size(), static_cast<double>(found),
+           counters.End(probes.size() * kReps));
   }
   for (const size_t threads : {1u, 2u, 4u, 8u}) {
+    bench::PhaseCounters counters;  // before the pool: inherit covers workers
     ThreadPool pool(threads);
     BatchQueryOptions opts;
     opts.pool = &pool;
@@ -440,11 +454,12 @@ std::vector<QueryRow> SweepQueryPath(std::vector<SimdRow>* simd_point_rows) {
     std::vector<Point> payload(probes.size());
     const auto run = [&] { index.PointQueryBatch(probes, hit, payload, opts); };
     run();  // warm-up (also grows the per-thread scratch buffers)
+    counters.Begin();
     const double micros = best_of(run);
     size_t found = 0;
     for (const uint8_t h : hit) found += h;
     report("point", kBatch, threads, micros, probes.size(),
-           static_cast<double>(found));
+           static_cast<double>(found), counters.End(probes.size() * kReps));
   }
 
   // Window queries: same sweep.
@@ -455,10 +470,14 @@ std::vector<QueryRow> SweepQueryPath(std::vector<SimdRow>* simd_point_rows) {
       for (const Rect& w : windows) hits += index.WindowQuery(w).size();
     };
     run();  // warm-up
-    report("window", 0, 1, best_of(run), windows.size(),
-           static_cast<double>(hits));
+    bench::PhaseCounters counters;
+    counters.Begin();
+    const double micros = best_of(run);
+    report("window", 0, 1, micros, windows.size(), static_cast<double>(hits),
+           counters.End(windows.size() * kReps));
   }
   for (const size_t threads : {1u, 2u, 4u, 8u}) {
+    bench::PhaseCounters counters;
     ThreadPool pool(threads);
     BatchQueryOptions opts;
     opts.pool = &pool;
@@ -466,11 +485,12 @@ std::vector<QueryRow> SweepQueryPath(std::vector<SimdRow>* simd_point_rows) {
     std::vector<std::vector<Point>> results(windows.size());
     const auto run = [&] { index.WindowQueryBatch(windows, results, opts); };
     run();  // warm-up
+    counters.Begin();
     const double micros = best_of(run);
     size_t hits = 0;
     for (const auto& r : results) hits += r.size();
     report("window", kBatch, threads, micros, windows.size(),
-           static_cast<double>(hits));
+           static_cast<double>(hits), counters.End(windows.size() * kReps));
   }
 
   // Per-dispatch-level batched point queries against the same index.
@@ -501,10 +521,14 @@ void WriteQueryPathJson(const std::string& path,
   std::fprintf(f, "  ],\n  \"queries\": [\n");
   for (size_t i = 0; i < queries.size(); ++i) {
     const QueryRow& r = queries[i];
+    // ipc / llc_miss_per_op are context columns (0.0 on perf-denied hosts),
+    // always emitted so baseline and fresh JSON pair field-for-field.
     std::fprintf(f,
                  "    {\"query\": \"%s\", \"batch\": %zu, \"threads\": %zu, "
-                 "\"avg_us\": %.3f, \"checksum\": %.0f}%s\n",
+                 "\"avg_us\": %.3f, \"checksum\": %.0f, "
+                 "\"ipc\": %.3f, \"llc_miss_per_op\": %.2f}%s\n",
                  r.query.c_str(), r.batch, r.threads, r.avg_us, r.checksum,
+                 r.counters.ipc, r.counters.llc_miss_per_op,
                  i + 1 < queries.size() ? "," : "");
   }
   // Per-ISA rows are keyed by name so the diff gate pairs baseline and
@@ -549,6 +573,18 @@ void RunQueryPathSweep() {
 // Custom main: mirror every result (the scaling sweep in particular) into
 // BENCH_parallel_build.json unless the caller picked their own output file.
 int main(int argc, char** argv) {
+  // ELSI_BENCH_PROFILE_OUT=F profiles the whole run (google-benchmark suite
+  // plus the query-path sweep) and writes collapsed stacks to F — the CI
+  // prof job archives this as its flamegraph artifact.
+  const char* profile_out = std::getenv("ELSI_BENCH_PROFILE_OUT");
+  if (profile_out != nullptr && profile_out[0] != '\0') {
+    std::string error;
+    if (!elsi::prof::CpuProfiler::Get().Start(elsi::prof::ProfilerOptions{},
+                                              &error)) {
+      std::fprintf(stderr, "profiler not started: %s\n", error.c_str());
+      profile_out = nullptr;
+    }
+  }
   std::vector<char*> args(argv, argv + argc);
   bool has_out = false;
   for (int i = 1; i < argc; ++i) {
@@ -568,5 +604,14 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   elsi::RunQueryPathSweep();
+  if (profile_out != nullptr && profile_out[0] != '\0') {
+    elsi::prof::CpuProfiler::Get().Stop();
+    std::string error;
+    if (elsi::prof::WriteCollapsedProfile(profile_out, &error)) {
+      std::printf("wrote %s\n", profile_out);
+    } else {
+      std::fprintf(stderr, "profile export failed: %s\n", error.c_str());
+    }
+  }
   return 0;
 }

@@ -14,6 +14,7 @@
 #include "obs/exporters.h"
 #include "obs/metrics.h"
 #include "persist/model_cache.h"
+#include "prof/sampler.h"
 #include "traditional/grid_index.h"
 #include "traditional/hrr_tree.h"
 #include "traditional/kdb_tree.h"
@@ -48,6 +49,7 @@ namespace {
 size_t g_bench_batch = 0;
 std::string g_metrics_out;
 std::string g_trace_out;
+std::string g_profile_out;
 
 std::string EnvString(const char* name) {
   const char* value = std::getenv(name);
@@ -66,6 +68,14 @@ void WriteBenchObsOutputs() {
   exported = true;
   if (!g_metrics_out.empty()) obs::WriteMetricsJson(g_metrics_out);
   if (!g_trace_out.empty()) obs::WriteTraceJson(g_trace_out);
+  if (!g_profile_out.empty()) {
+    prof::CpuProfiler::Get().Stop();
+    std::string error;
+    if (!prof::WriteCollapsedProfile(g_profile_out, &error)) {
+      std::fprintf(stderr, "bench: profile export failed: %s\n",
+                   error.c_str());
+    }
+  }
 }
 
 }  // namespace
@@ -93,16 +103,53 @@ void InitBenchThreads(int argc, char** argv) {
       g_trace_out = argv[i + 1];
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       g_trace_out = arg.substr(12);
+    } else if (arg == "--profile-out" && i + 1 < argc) {
+      g_profile_out = argv[i + 1];
+    } else if (arg.rfind("--profile-out=", 0) == 0) {
+      g_profile_out = arg.substr(14);
     }
   }
+  if (g_profile_out.empty()) g_profile_out = EnvString("ELSI_BENCH_PROFILE_OUT");
   if (threads > 0) ThreadPool::SetGlobalThreads(threads);
-  if (!g_metrics_out.empty() || !g_trace_out.empty()) {
+  if (!g_profile_out.empty()) {
+    std::string error;
+    if (!prof::CpuProfiler::Get().Start(prof::ProfilerOptions{}, &error)) {
+      std::fprintf(stderr, "bench: profiler not started: %s\n", error.c_str());
+      g_profile_out.clear();
+    }
+  }
+  if (!g_metrics_out.empty() || !g_trace_out.empty() || !g_profile_out.empty()) {
     static bool registered = false;
     if (!registered) {
       registered = true;
       std::atexit(&WriteBenchObsOutputs);
     }
   }
+}
+
+PhaseCounters::PhaseCounters()
+    : group_(prof::CounterGroup::Open(
+          prof::CounterGroup::Scope::kProcessTree)) {}
+
+void PhaseCounters::Begin() {
+  start_ = prof::CounterValues{};
+  if (group_ != nullptr) group_->Read(&start_);
+}
+
+PhaseCounterRates PhaseCounters::End(uint64_t ops) {
+  PhaseCounterRates rates;
+  if (group_ == nullptr ||
+      group_->mode() != prof::CounterMode::kHardware) {
+    return rates;  // software tier has no IPC/LLC story; report zeros
+  }
+  prof::CounterValues now;
+  if (!group_->Read(&now)) return rates;
+  const prof::CounterValues d = now.DeltaSince(start_);
+  rates.ipc = d.Ipc();
+  rates.llc_miss_per_op = prof::PerOp(d.llc_misses, ops);
+  rates.branch_miss_per_op = prof::PerOp(d.branch_misses, ops);
+  rates.hardware = true;
+  return rates;
 }
 
 size_t BenchBatch() { return g_bench_batch; }

@@ -10,6 +10,7 @@
 #include "common/spatial_index.h"
 #include "core/elsi.h"
 #include "data/synthetic.h"
+#include "prof/counters.h"
 
 namespace elsi {
 namespace bench {
@@ -34,7 +35,9 @@ uint64_t BenchSeed();
 /// atexit obs export when `--metrics-out=F` / `--trace-out=F` (or
 /// ELSI_BENCH_METRICS_OUT / ELSI_BENCH_TRACE_OUT) is given: the metrics
 /// snapshot is written as JSON and the trace as Chrome trace_event JSON
-/// when the bench exits.
+/// when the bench exits. `--profile-out=F` (or ELSI_BENCH_PROFILE_OUT)
+/// additionally runs the elsi::prof sampling profiler over the whole bench
+/// and writes collapsed stacks (flamegraph input) to F at exit.
 void InitBenchThreads(int argc, char** argv);
 
 /// Query batch size from `--batch N` / ELSI_BENCH_BATCH; 0 (the default)
@@ -93,6 +96,32 @@ const ScorerTrainingData& GetBenchScorerData();
 /// <ELSI_CACHE_DIR or .>/elsi_rebuild_cache.bin (same format and legacy CSV
 /// import as the scorer cache).
 std::shared_ptr<const RebuildPredictor> GetBenchRebuildPredictor();
+
+// --- hardware counter helpers ---------------------------------------------
+
+/// Derived per-phase counter rates for the bench JSON columns. Zero (with
+/// `hardware` false) when hardware counters are unavailable — emitted
+/// anyway so baseline and fresh JSON always pair field-for-field.
+struct PhaseCounterRates {
+  double ipc = 0.0;
+  double llc_miss_per_op = 0.0;
+  double branch_miss_per_op = 0.0;
+  bool hardware = false;
+};
+
+/// Whole-phase counter capture: construct BEFORE spawning the phase's
+/// worker threads (inherit-scope perf events only cover threads created
+/// after the open), Begin() after warmup, End(ops) after the timed section.
+class PhaseCounters {
+ public:
+  PhaseCounters();
+  void Begin();
+  PhaseCounterRates End(uint64_t ops);
+
+ private:
+  std::unique_ptr<prof::CounterGroup> group_;
+  prof::CounterValues start_;
+};
 
 // --- timing helpers -------------------------------------------------------
 

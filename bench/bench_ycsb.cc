@@ -66,6 +66,7 @@ struct MixRow {
   size_t ops = 0;
   size_t reads = 0;
   size_t inserts = 0;
+  PhaseCounterRates counters;  // context columns; 0 on perf-denied hosts
   size_t hits = 0;  // Must equal reads: every probed key is loaded.
   double mops = 0.0;
   double scaling = 1.0;
@@ -79,6 +80,9 @@ MixRow RunMix(const Dataset& data, const std::string& mix_name,
   auto index = MakeServing(data, /*merge_threshold=*/8192);
   std::vector<size_t> reads(threads, 0), hits(threads, 0);
   std::atomic<bool> go{false};
+  // Opened before the workers spawn so the inherit-scope counters cover
+  // every client stream; the counted window starts at the `go` flip.
+  PhaseCounters counters;
   std::vector<std::thread> workers;
   workers.reserve(threads);
   for (size_t t = 0; t < threads; ++t) {
@@ -103,6 +107,7 @@ MixRow RunMix(const Dataset& data, const std::string& mix_name,
     });
   }
   Timer timer;
+  counters.Begin();
   go.store(true, std::memory_order_release);
   for (auto& w : workers) w.join();
   const double seconds = timer.ElapsedSeconds();
@@ -117,6 +122,7 @@ MixRow RunMix(const Dataset& data, const std::string& mix_name,
   }
   row.inserts = row.ops - row.reads;
   row.mops = static_cast<double>(row.ops) / seconds / 1e6;
+  row.counters = counters.End(row.ops);
   return row;
 }
 
@@ -267,9 +273,11 @@ int Run(int argc, char** argv) {
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"threads\": %zu, \"ops\": %zu, "
                  "\"reads\": %zu, \"inserts\": %zu, \"checksum\": %zu, "
-                 "\"throughput_mops\": %.3f, \"scaling_speedup\": %.3f}%s\n",
+                 "\"throughput_mops\": %.3f, \"scaling_speedup\": %.3f, "
+                 "\"ipc\": %.3f, \"llc_miss_per_op\": %.2f}%s\n",
                  row.name.c_str(), row.threads, row.ops, row.reads,
                  row.inserts, row.hits, row.mops, row.scaling,
+                 row.counters.ipc, row.counters.llc_miss_per_op,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f,

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace elsi {
 namespace concurrent {
@@ -72,6 +73,7 @@ void ConcurrentIndex::Build(const std::vector<Point>& data) {
 }
 
 void ConcurrentIndex::ReplaceBase(std::unique_ptr<SpatialIndex> fresh) {
+  ELSI_TRACE_SPAN("concurrent.replace_base");
   ELSI_CHECK(fresh != nullptr);
   std::lock_guard<std::mutex> lock(merge_mu_);
   Publish(new Generation{std::shared_ptr<const SpatialIndex>(std::move(fresh)),
@@ -312,9 +314,13 @@ void ConcurrentIndex::MergeLocked() {
   auto d1 = std::make_shared<ShardedDelta>();
   auto* b = new Generation{a->base, a->live, d1};
   Publish(b);  // Retires a.
-  b->frozen->Seal();
+  {
+    ELSI_TRACE_SPAN("concurrent.seal");
+    b->frozen->Seal();
+  }
   // Step 2: fold base + frozen delta into a fresh base off to the side.
   // Readers keep serving from generation B the whole time.
+  ELSI_TRACE_SPAN("concurrent.fold");
   std::vector<Point> input = CollectMergeInput(*b);
   std::unique_ptr<SpatialIndex> fresh = factory_();
   fresh->Build(input);

@@ -16,6 +16,10 @@
 #include "obs/flight_recorder.h"
 #include "obs/model_health.h"
 #include "obs/trace.h"
+#include "prof/counters.h"
+#include "prof/proc_stats.h"
+#include "prof/sampler.h"
+#include "prof/span_costs.h"
 #include "simd/simd.h"
 
 #ifndef ELSI_GIT_SHA
@@ -163,6 +167,87 @@ void RefreshDerivedGauges(const FlightSnapshot& flight) {
   // constant per process but exported so fleet dashboards can confirm which
   // kernels a host is actually running.
   GetGauge("simd.dispatch").Set(static_cast<int64_t>(simd::ActiveLevel()));
+  // Profiling layer: counter availability tier (0 unavailable / 1 software /
+  // 2 hardware), sampler totals and span-attribution table size.
+  GetGauge("prof.counters_mode")
+      .Set(static_cast<int64_t>(prof::ProbeCounterMode()));
+  const prof::ProfilerStats sampler = prof::CpuProfiler::Get().Stats();
+  GetGauge("prof.sampler_running").Set(sampler.running ? 1 : 0);
+  GetGauge("prof.samples").Set(static_cast<int64_t>(sampler.samples));
+  GetGauge("prof.samples_dropped").Set(static_cast<int64_t>(sampler.dropped));
+  GetGauge("prof.span_names")
+      .Set(static_cast<int64_t>(prof::SpanCostRegistry::Get().Snapshot().size()));
+  // Process resource telemetry (proc.* gauges), refreshed per scrape.
+  prof::RefreshProcStats();
+}
+
+std::string ProfJson() {
+  const prof::ProfilerStats sampler = prof::CpuProfiler::Get().Stats();
+  prof::SpanCostRegistry& spans = prof::SpanCostRegistry::Get();
+  std::ostringstream out;
+  out << "{\"counters\": \"" << prof::CounterStatus()
+      << "\", \"sampler\": {\"running\": " << (sampler.running ? "true" : "false")
+      << ", \"samples\": " << sampler.samples
+      << ", \"dropped\": " << sampler.dropped
+      << ", \"threads_seen\": " << sampler.threads_seen
+      << "}, \"span_attribution\": " << (spans.enabled() ? "true" : "false")
+      << ", \"span_costs\": " << prof::SpanCostsJson(spans.Snapshot()) << "}";
+  return out.str();
+}
+
+std::string ProcJson() {
+  const prof::ProcStats s = prof::ReadProcStats();
+  std::ostringstream out;
+  out << "{\"available\": " << (s.available ? "true" : "false")
+      << ", \"rss_bytes\": " << s.rss_bytes
+      << ", \"vm_bytes\": " << s.vm_bytes
+      << ", \"peak_rss_bytes\": " << s.peak_rss_bytes
+      << ", \"minor_faults\": " << s.minor_faults
+      << ", \"major_faults\": " << s.major_faults
+      << ", \"voluntary_ctx_switches\": " << s.vol_ctx_switches
+      << ", \"involuntary_ctx_switches\": " << s.invol_ctx_switches << "}";
+  return out.str();
+}
+
+/// /debug/profile?seconds=N&hz=H — runs the sampling profiler inline for N
+/// seconds (default 1, clamped to [0.1, 30]) and returns collapsed stacks.
+/// Always 200: when profiling cannot run (compiled out, already running)
+/// the body is an explanatory "# ..." comment instead, per the degradation
+/// contract.
+std::string ProfileBody(const std::string& query) {
+  double seconds = 1.0;
+  int hz = 99;
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string param = query.substr(pos, amp - pos);
+    if (param.compare(0, 8, "seconds=") == 0) {
+      seconds = std::atof(param.c_str() + 8);
+    } else if (param.compare(0, 3, "hz=") == 0) {
+      hz = std::atoi(param.c_str() + 3);
+    }
+    pos = amp + 1;
+  }
+  if (!(seconds >= 0.1)) seconds = 0.1;  // also catches NaN
+  if (seconds > 30.0) seconds = 30.0;
+  if (hz < 1 || hz > 1000) hz = 99;
+
+  prof::ProfilerOptions options;
+  options.hz = hz;
+  std::string error;
+  const std::string collapsed =
+      prof::ProfileForSeconds(seconds, options, &error);
+  if (!error.empty()) {
+    return "# profile unavailable: " + error + "\n";
+  }
+  if (collapsed.empty()) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "# no samples collected in %.1fs at %d Hz\n", seconds, hz);
+    return buf;
+  }
+  return collapsed;
 }
 
 /// Classic Prometheus text has no exemplar syntax (that is OpenMetrics),
@@ -214,6 +299,10 @@ std::string HealthzJson() {
       << ",\n \"trace\": {\"dropped\": "
       << FindCounter(metrics, "trace.dropped_total") << "}"
       << ",\n \"flight\": " << FlightSummaryJson(flight)
+      << ",\n \"prof\": {\"counters\": \"" << prof::CounterStatus()
+      << "\", \"sampler_samples\": "
+      << prof::CpuProfiler::Get().Stats().samples << "}"
+      << ",\n \"proc\": " << ProcJson()
       << ",\n \"model_health\": " << Embed(ModelHealthJson(health)) << "}\n";
   return out.str();
 }
@@ -229,6 +318,8 @@ std::string VarzJson() {
   out << "{\"uptime_s\": " << uptime
       << ",\n \"build_info\": " << BuildInfoJson()
       << ",\n \"flight\": " << FlightSummaryJson(flight)
+      << ",\n \"prof\": " << ProfJson()
+      << ",\n \"proc\": " << ProcJson()
       << ",\n \"model_health\": "
       << Embed(ModelHealthJson(ModelHealthMonitor::Get().Snapshot()))
       << ",\n \"metrics\": " << Embed(MetricsJson(metrics)) << "}\n";
@@ -241,12 +332,22 @@ constexpr const char kIndexPage[] =
     "  /varz           JSON metrics snapshot\n"
     "  /healthz        liveness, build info, drift status\n"
     "  /debug/trace    Chrome trace_event JSON\n"
-    "  /debug/queries  sampled query flight records\n";
+    "  /debug/queries  sampled query flight records\n"
+    "  /debug/profile  collapsed-stack CPU profile (?seconds=N&hz=H)\n";
 
 }  // namespace
 
-void HttpExporter::Handle(const std::string& path, int* status,
+void HttpExporter::Handle(const std::string& target, int* status,
                           std::string* content_type, std::string* body) {
+  // Split "?query" off here (not in HandleConnection) so parameterized
+  // endpoints work through the socketless test entry point too.
+  std::string path = target;
+  std::string query;
+  const size_t qpos = target.find('?');
+  if (qpos != std::string::npos) {
+    path = target.substr(0, qpos);
+    query = target.substr(qpos + 1);
+  }
   *status = 200;
   *content_type = "application/json";
   if (path == "/metrics") {
@@ -263,6 +364,9 @@ void HttpExporter::Handle(const std::string& path, int* status,
     *body = TraceJson(TraceRegistry::Get().Snapshot());
   } else if (path == "/debug/queries") {
     *body = QueriesJson(FlightRecorder::Get().Snapshot());
+  } else if (path == "/debug/profile") {
+    *content_type = "text/plain";
+    *body = ProfileBody(query);
   } else if (path == "/" || path.empty()) {
     *content_type = "text/plain";
     *body = kIndexPage;
@@ -360,8 +464,6 @@ void HttpExporter::HandleConnection(int fd) {
     content_type = "text/plain";
     body = "method not allowed\n";
   } else {
-    const size_t query = target.find('?');
-    if (query != std::string::npos) target.resize(query);
     Handle(target, &status, &content_type, &body);
   }
   const char* reason = status == 200   ? "OK"

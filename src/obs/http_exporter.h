@@ -14,6 +14,9 @@
 ///                   model drift status
 ///   /debug/trace    Chrome trace_event JSON of the span rings
 ///   /debug/queries  sampled query flight records (wide events)
+///   /debug/profile  collapsed-stack CPU profile (?seconds=N&hz=H); always
+///                   200 — explanatory "#" comment body when profiling is
+///                   unavailable (compiled out or already running)
 ///
 /// Responses are built from registry snapshots at request time; the server
 /// never blocks recording paths. Connections are handled one at a time —
@@ -68,10 +71,11 @@ class HttpExporter {
   /// The bound port (resolved after Start with port 0).
   uint16_t port() const { return port_; }
 
-  /// Dispatches one request path to its handler — exposed so tests can
-  /// check response bodies without a socket round-trip. Fills `status`,
-  /// `content_type`, and `body`; unknown paths yield 404.
-  static void Handle(const std::string& path, int* status,
+  /// Dispatches one request target (path plus optional "?query") to its
+  /// handler — exposed so tests can check response bodies without a socket
+  /// round-trip. Fills `status`, `content_type`, and `body`; unknown paths
+  /// yield 404.
+  static void Handle(const std::string& target, int* status,
                      std::string* content_type, std::string* body);
 
  private:

@@ -33,6 +33,9 @@ HistogramSpec HistogramSpec::Linear(double start, double step, size_t count) {
 
 double HistogramSnapshot::ApproxQuantile(double q) const {
   if (total == 0 || counts.empty()) return 0.0;
+  // NaN slips through std::clamp (every comparison is false) and would make
+  // the scan below fall through to the top bound; pin it to q=0 instead.
+  if (std::isnan(q)) q = 0.0;
   q = std::clamp(q, 0.0, 1.0);
   const double target = q * static_cast<double>(total);
   uint64_t cum = 0;

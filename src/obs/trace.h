@@ -16,6 +16,7 @@
 /// With ELSI_OBS_ENABLED=0 the macro expands to nothing and the classes
 /// below become empty stubs.
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -36,6 +37,36 @@ struct TraceEvent {
   uint64_t start_ns = 0;
   uint64_t dur_ns = 0;
 };
+
+/// Optional per-span instrumentation hooks, installed by elsi::prof for
+/// counter attribution. `enter` runs in the ScopedSpan constructor and
+/// returns an opaque token (kSpanHookNoToken suppresses the exit call);
+/// `exit` runs in the destructor with that token and the span's duration.
+/// Hooks must be cheap, reentrancy-safe (spans nest) and must not create
+/// spans themselves. The span captures both pointers at construction, so an
+/// install/uninstall racing a live span never mismatches enter/exit pairs.
+struct SpanHooks {
+  uint64_t (*enter)(const char* name) = nullptr;
+  void (*exit)(const char* name, uint64_t token, uint64_t dur_ns) = nullptr;
+};
+
+constexpr uint64_t kSpanHookNoToken = ~0ULL;
+
+namespace internal {
+inline std::atomic<uint64_t (*)(const char*)> g_span_enter{nullptr};
+inline std::atomic<void (*)(const char*, uint64_t, uint64_t)> g_span_exit{
+    nullptr};
+}  // namespace internal
+
+/// Installs (or, with null members, removes) the process-wide span hooks.
+/// Works identically with ELSI_OBS off in the sense that it is callable,
+/// but no spans exist to fire the hooks then.
+inline void SetSpanHooks(const SpanHooks& hooks) {
+  // exit is published before enter so a span can never observe an enter
+  // hook without its matching exit hook.
+  internal::g_span_exit.store(hooks.exit, std::memory_order_release);
+  internal::g_span_enter.store(hooks.enter, std::memory_order_release);
+}
 
 /// All events of one thread, in ring order (oldest surviving first).
 struct ThreadTrace {
@@ -99,7 +130,15 @@ class TraceRegistry {
 /// event on destruction.
 class ScopedSpan {
  public:
-  explicit ScopedSpan(const char* name) : name_(name), start_ns_(NowNs()) {}
+  explicit ScopedSpan(const char* name) : name_(name), start_ns_(NowNs()) {
+    // Single relaxed load on the (overwhelmingly common) no-hook path keeps
+    // the obs overhead budget intact with the profiler compiled in but idle.
+    auto* enter = internal::g_span_enter.load(std::memory_order_relaxed);
+    if (enter != nullptr) {
+      hook_exit_ = internal::g_span_exit.load(std::memory_order_acquire);
+      hook_token_ = enter(name);
+    }
+  }
 
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
@@ -110,11 +149,16 @@ class ScopedSpan {
     event.start_ns = start_ns_;
     event.dur_ns = NowNs() - start_ns_;
     TraceRegistry::Get().CurrentThreadBuffer().Push(event);
+    if (hook_exit_ != nullptr && hook_token_ != kSpanHookNoToken) {
+      hook_exit_(name_, hook_token_, event.dur_ns);
+    }
   }
 
  private:
   const char* name_;
   uint64_t start_ns_;
+  uint64_t hook_token_ = kSpanHookNoToken;
+  void (*hook_exit_)(const char*, uint64_t, uint64_t) = nullptr;
 };
 
 #define ELSI_OBS_SPAN_CONCAT2(a, b) a##b

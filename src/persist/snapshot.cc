@@ -14,6 +14,7 @@
 #include "common/timer.h"
 #include "core/elsi.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "persist/io.h"
 #include "traditional/grid_index.h"
 #include "traditional/hrr_tree.h"
@@ -199,6 +200,7 @@ bool AtomicWriteFile(const std::string& path, const std::string& bytes) {
 
 bool Snapshot::Save(const SpatialIndex& index, const std::string& path,
                     uint64_t last_lsn) {
+  ELSI_TRACE_SPAN("persist.snapshot_write");
   ScopedTimer timer(&SaveMsHistogram());
   Writer index_payload;
   if (!index.SaveState(index_payload)) {

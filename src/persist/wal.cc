@@ -13,6 +13,7 @@
 #include "common/logging.h"
 #include "common/timer.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "persist/io.h"
 
 namespace elsi {
@@ -238,6 +239,7 @@ uint64_t WalWriter::Append(uint8_t op, const Point& p) {
   }
   segment_written_ += framed.size();
   if (options_.fsync_every > 0 && ++since_sync_ >= options_.fsync_every) {
+    ELSI_TRACE_SPAN("wal.group_commit_fsync");
     if (::fsync(fd_) == 0) durable_lsn_ = rec.lsn;
     since_sync_ = 0;
   }
@@ -249,6 +251,7 @@ uint64_t WalWriter::Append(uint8_t op, const Point& p) {
 
 bool WalWriter::Sync() {
   if (fd_ < 0) return false;
+  ELSI_TRACE_SPAN("wal.fsync");
   since_sync_ = 0;
   if (::fsync(fd_) != 0) return false;
   durable_lsn_ = next_lsn_ - 1;

@@ -1,0 +1,232 @@
+#include "prof/counters.h"
+
+#if ELSI_PROF_ENABLED
+
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace elsi {
+namespace prof {
+namespace {
+
+struct EventSpec {
+  uint32_t type;
+  uint64_t config;
+};
+
+// Order matters: it is the field order of CounterValues' hardware and
+// software halves respectively.
+constexpr EventSpec kHardwareEvents[] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},  // LLC misses
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+};
+constexpr EventSpec kSoftwareEvents[] = {
+    {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK},  // reads in ns
+    {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_PAGE_FAULTS},
+    {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_CONTEXT_SWITCHES},
+};
+constexpr int kNumHardware = 4;
+constexpr int kNumSoftware = 3;
+
+const char* ErrnoName(int err) {
+  switch (err) {
+    case EPERM:
+      return "EPERM (perf_event_paranoid?)";
+    case EACCES:
+      return "EACCES (perf_event_paranoid?)";
+    case ENOSYS:
+      return "ENOSYS (kernel without perf_event_open)";
+    case ENOENT:
+      return "ENOENT (event not supported; no PMU?)";
+    case ENODEV:
+      return "ENODEV (no PMU)";
+    case EOPNOTSUPP:
+      return "EOPNOTSUPP (event not supported)";
+    default:
+      return strerror(err);
+  }
+}
+
+bool PerfDisabledByEnv() {
+  const char* v = std::getenv("ELSI_PROF_DISABLE_PERF");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+int OpenEvent(const EventSpec& spec, int group_fd, bool inherit,
+              uint64_t read_format) {
+  perf_event_attr attr;
+  memset(&attr, 0, sizeof(attr));
+  attr.type = spec.type;
+  attr.size = sizeof(attr);
+  attr.config = spec.config;
+  attr.disabled = group_fd == -1 ? 1 : 0;  // leader starts disabled
+  attr.inherit = inherit ? 1 : 0;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format = read_format;
+  return static_cast<int>(syscall(SYS_perf_event_open, &attr, /*pid=*/0,
+                                  /*cpu=*/-1, group_fd, /*flags=*/0UL));
+}
+
+// Scales a raw count by enabled/running time to correct for PMU
+// multiplexing; running == 0 means the event never got scheduled.
+uint64_t Scale(uint64_t value, uint64_t enabled, uint64_t running) {
+  if (running == 0 || enabled == running) return value;
+  const double ratio =
+      static_cast<double>(enabled) / static_cast<double>(running);
+  return static_cast<uint64_t>(static_cast<double>(value) * ratio);
+}
+
+void StoreTier(CounterValues* out, bool hardware, const uint64_t* vals) {
+  out->hardware = hardware;
+  if (hardware) {
+    out->cycles = vals[0];
+    out->instructions = vals[1];
+    out->llc_misses = vals[2];
+    out->branch_misses = vals[3];
+  } else {
+    out->task_clock_ns = vals[0];
+    out->page_faults = vals[1];
+    out->ctx_switches = vals[2];
+  }
+}
+
+// Last failure reason per tier, for CounterStatus(). Written by Open probes;
+// benign race (all writers store the same kind of value).
+std::string& HardwareFailReason() {
+  static std::string* reason = new std::string();
+  return *reason;
+}
+std::string& SoftwareFailReason() {
+  static std::string* reason = new std::string();
+  return *reason;
+}
+
+}  // namespace
+
+std::unique_ptr<CounterGroup> CounterGroup::Open(Scope scope) {
+  if (PerfDisabledByEnv()) {
+    HardwareFailReason() = "disabled by ELSI_PROF_DISABLE_PERF";
+    SoftwareFailReason() = "disabled by ELSI_PROF_DISABLE_PERF";
+    return nullptr;
+  }
+  const bool inherit = scope == Scope::kProcessTree;
+  // inherit=1 cannot be combined with PERF_FORMAT_GROUP (the kernel rejects
+  // group reads of inherited events), so process-tree groups are plain
+  // per-event fds read individually.
+  const uint64_t read_format =
+      (inherit ? 0 : PERF_FORMAT_GROUP) | PERF_FORMAT_TOTAL_TIME_ENABLED |
+      PERF_FORMAT_TOTAL_TIME_RUNNING;
+
+  struct Tier {
+    const EventSpec* events;
+    int n;
+    CounterMode mode;
+    std::string* fail_reason;
+  };
+  const Tier tiers[] = {
+      {kHardwareEvents, kNumHardware, CounterMode::kHardware,
+       &HardwareFailReason()},
+      {kSoftwareEvents, kNumSoftware, CounterMode::kSoftware,
+       &SoftwareFailReason()},
+  };
+
+  for (const Tier& tier : tiers) {
+    std::unique_ptr<CounterGroup> group(new CounterGroup());
+    group->mode_ = tier.mode;
+    group->scope_ = scope;
+    bool ok = true;
+    for (int i = 0; i < tier.n; ++i) {
+      const int leader = (inherit || i == 0) ? -1 : group->fds_[0];
+      const int fd = OpenEvent(tier.events[i], leader, inherit, read_format);
+      if (fd < 0) {
+        *tier.fail_reason =
+            std::string("perf_event_open: ") + ErrnoName(errno);
+        ok = false;
+        break;
+      }
+      group->fds_[group->n_events_++] = fd;
+    }
+    if (!ok) continue;  // close fds via dtor, try next tier
+    tier.fail_reason->clear();
+    for (int i = 0; i < group->n_events_; ++i) {
+      // Grouped mode: one ENABLE on the leader starts the whole group.
+      // Inherit mode: every fd is its own leader and needs its own ENABLE.
+      if (!inherit && i > 0) break;
+      ioctl(group->fds_[i], PERF_EVENT_IOC_ENABLE,
+            inherit ? 0 : PERF_IOC_FLAG_GROUP);
+    }
+    return group;
+  }
+  return nullptr;
+}
+
+CounterGroup::~CounterGroup() {
+  for (int i = 0; i < n_events_; ++i) {
+    if (fds_[i] >= 0) close(fds_[i]);
+  }
+}
+
+bool CounterGroup::Read(CounterValues* out) const {
+  *out = CounterValues{};
+  if (n_events_ == 0) return false;
+  uint64_t scaled[kMaxEvents] = {0, 0, 0, 0};
+
+  if (scope_ == Scope::kThisThread) {
+    // PERF_FORMAT_GROUP layout: { nr, time_enabled, time_running, value[nr] }.
+    uint64_t buf[3 + kMaxEvents];
+    const ssize_t want =
+        static_cast<ssize_t>((3 + n_events_) * sizeof(uint64_t));
+    if (read(fds_[0], buf, want) != want) return false;
+    if (buf[0] != static_cast<uint64_t>(n_events_)) return false;
+    for (int i = 0; i < n_events_; ++i) {
+      scaled[i] = Scale(buf[3 + i], buf[1], buf[2]);
+    }
+  } else {
+    // Independent inherited fds: { value, time_enabled, time_running } each.
+    for (int i = 0; i < n_events_; ++i) {
+      uint64_t buf[3];
+      if (read(fds_[i], buf, sizeof(buf)) != sizeof(buf)) return false;
+      scaled[i] = Scale(buf[0], buf[1], buf[2]);
+    }
+  }
+  StoreTier(out, mode_ == CounterMode::kHardware, scaled);
+  return true;
+}
+
+CounterMode ProbeCounterMode() {
+  std::unique_ptr<CounterGroup> group =
+      CounterGroup::Open(CounterGroup::Scope::kThisThread);
+  return group == nullptr ? CounterMode::kUnavailable : group->mode();
+}
+
+std::string CounterStatus() {
+  const CounterMode mode = ProbeCounterMode();
+  switch (mode) {
+    case CounterMode::kHardware:
+      return "hardware";
+    case CounterMode::kSoftware:
+      return std::string("software (hardware PMU: ") + HardwareFailReason() +
+             ")";
+    case CounterMode::kUnavailable:
+      return std::string("unavailable: ") + SoftwareFailReason();
+  }
+  return "unavailable";
+}
+
+}  // namespace prof
+}  // namespace elsi
+
+#else  // !ELSI_PROF_ENABLED
+
+// All APIs are inline stubs in the headers; this TU is intentionally empty.
+
+#endif  // ELSI_PROF_ENABLED

@@ -1,0 +1,162 @@
+#ifndef ELSI_PROF_COUNTERS_H_
+#define ELSI_PROF_COUNTERS_H_
+
+/// perf_event_open counter groups with a three-tier degradation chain:
+///
+///   hardware  — cycles / instructions / LLC-misses / branch-misses,
+///               opened as one PERF_FORMAT_GROUP so all four are scheduled
+///               on the PMU together and a single read() snapshots them
+///               coherently (multiplex-scaled via TIME_ENABLED/RUNNING);
+///   software  — task-clock / page-faults / context-switches, used when the
+///               PMU refuses hardware events (VMs without vPMU); exercises
+///               the same group-read path;
+///   unavailable — perf_event_open denied outright (EPERM/ENOSYS/ENOENT) or
+///               ELSI_PROF_DISABLE_PERF=1; Open() returns nullptr and
+///               CounterStatus() carries the reason.
+///
+/// Scopes: kThisThread counts the calling thread only (grouped read, used
+/// for per-span attribution); kProcessTree sets inherit=1 so counts roll up
+/// from every thread created *after* the open — inherit is incompatible
+/// with PERF_FORMAT_GROUP, so that scope opens independent fds and reads
+/// them one by one (used for whole-phase bench columns).
+///
+/// All events set exclude_kernel/exclude_hv, so unprivileged processes can
+/// open them at perf_event_paranoid <= 2.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "prof/prof.h"
+
+namespace elsi {
+namespace prof {
+
+enum class CounterMode {
+  kUnavailable = 0,
+  kSoftware = 1,
+  kHardware = 2,
+};
+
+inline const char* CounterModeName(CounterMode mode) {
+  switch (mode) {
+    case CounterMode::kHardware:
+      return "hardware";
+    case CounterMode::kSoftware:
+      return "software";
+    case CounterMode::kUnavailable:
+      return "unavailable";
+  }
+  return "unavailable";
+}
+
+/// One coherent snapshot of a group's counts, multiplex-scaled to the
+/// group's enabled time. Hardware and software fields are mutually
+/// exclusive per group; `hardware` says which half is live.
+struct CounterValues {
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t llc_misses = 0;
+  uint64_t branch_misses = 0;
+  uint64_t task_clock_ns = 0;
+  uint64_t page_faults = 0;
+  uint64_t ctx_switches = 0;
+  bool hardware = false;
+
+  /// this - start, clamped at zero per field (multiplex scaling can make
+  /// successive reads non-monotonic by a rounding hair).
+  CounterValues DeltaSince(const CounterValues& start) const {
+    const auto sub = [](uint64_t a, uint64_t b) { return a > b ? a - b : 0; };
+    CounterValues d;
+    d.hardware = hardware;
+    d.cycles = sub(cycles, start.cycles);
+    d.instructions = sub(instructions, start.instructions);
+    d.llc_misses = sub(llc_misses, start.llc_misses);
+    d.branch_misses = sub(branch_misses, start.branch_misses);
+    d.task_clock_ns = sub(task_clock_ns, start.task_clock_ns);
+    d.page_faults = sub(page_faults, start.page_faults);
+    d.ctx_switches = sub(ctx_switches, start.ctx_switches);
+    return d;
+  }
+
+  /// Instructions per cycle; 0 when cycles is 0 or counters are software.
+  double Ipc() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(instructions) /
+                             static_cast<double>(cycles);
+  }
+};
+
+/// Events per op, 0 when ops is 0.
+inline double PerOp(uint64_t events, uint64_t ops) {
+  return ops == 0 ? 0.0
+                  : static_cast<double>(events) / static_cast<double>(ops);
+}
+
+#if ELSI_PROF_ENABLED
+
+class CounterGroup {
+ public:
+  enum class Scope {
+    kThisThread,   // calling thread only, grouped single-read()
+    kProcessTree,  // inherit=1: this thread + descendants created after Open
+  };
+
+  /// Opens the best available tier, already enabled and counting. Returns
+  /// nullptr when counters are unavailable (reason via CounterStatus()).
+  static std::unique_ptr<CounterGroup> Open(Scope scope);
+
+  ~CounterGroup();
+  CounterGroup(const CounterGroup&) = delete;
+  CounterGroup& operator=(const CounterGroup&) = delete;
+
+  /// Snapshots cumulative counts since Open. Returns false on read error
+  /// (out is zeroed).
+  bool Read(CounterValues* out) const;
+
+  CounterMode mode() const { return mode_; }
+
+ private:
+  CounterGroup() = default;
+
+  static constexpr int kMaxEvents = 4;
+  CounterMode mode_ = CounterMode::kUnavailable;
+  Scope scope_ = Scope::kThisThread;
+  int fds_[kMaxEvents] = {-1, -1, -1, -1};
+  int n_events_ = 0;
+};
+
+/// Probes the degradation tier by opening (and closing) a this-thread
+/// group. Re-probes on every call — cheap, and keeps the
+/// ELSI_PROF_DISABLE_PERF override testable within one process.
+CounterMode ProbeCounterMode();
+
+/// Human-readable availability line for /varz, /healthz and the CLI, e.g.
+/// "hardware", "software (hardware PMU: perf_event_open: ENOENT)" or
+/// "unavailable: perf_event_open: EPERM (perf_event_paranoid?)".
+std::string CounterStatus();
+
+#else  // !ELSI_PROF_ENABLED
+
+class CounterGroup {
+ public:
+  enum class Scope { kThisThread, kProcessTree };
+  static std::unique_ptr<CounterGroup> Open(Scope) { return nullptr; }
+  bool Read(CounterValues* out) const {
+    *out = CounterValues{};
+    return false;
+  }
+  CounterMode mode() const { return CounterMode::kUnavailable; }
+};
+
+inline CounterMode ProbeCounterMode() { return CounterMode::kUnavailable; }
+inline std::string CounterStatus() {
+  return "profiling compiled out (-DELSI_PROF=OFF)";
+}
+
+#endif  // ELSI_PROF_ENABLED
+
+}  // namespace prof
+}  // namespace elsi
+
+#endif  // ELSI_PROF_COUNTERS_H_

@@ -1,0 +1,58 @@
+#include "prof/proc_stats.h"
+
+#if ELSI_PROF_ENABLED
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace elsi {
+namespace prof {
+
+ProcStats ReadProcStats() {
+  ProcStats stats;
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    stats.available = true;
+    stats.peak_rss_bytes = static_cast<uint64_t>(usage.ru_maxrss) * 1024;
+    stats.minor_faults = static_cast<uint64_t>(usage.ru_minflt);
+    stats.major_faults = static_cast<uint64_t>(usage.ru_majflt);
+    stats.vol_ctx_switches = static_cast<uint64_t>(usage.ru_nvcsw);
+    stats.invol_ctx_switches = static_cast<uint64_t>(usage.ru_nivcsw);
+  }
+  FILE* f = fopen("/proc/self/statm", "r");
+  if (f != nullptr) {
+    unsigned long long vm_pages = 0, rss_pages = 0;
+    if (fscanf(f, "%llu %llu", &vm_pages, &rss_pages) == 2) {
+      stats.available = true;
+      const uint64_t page = static_cast<uint64_t>(sysconf(_SC_PAGESIZE));
+      stats.vm_bytes = vm_pages * page;
+      stats.rss_bytes = rss_pages * page;
+    }
+    fclose(f);
+  }
+  return stats;
+}
+
+void RefreshProcStats() {
+  const ProcStats s = ReadProcStats();
+  if (!s.available) return;
+  obs::GetGauge("proc.rss_bytes").Set(static_cast<int64_t>(s.rss_bytes));
+  obs::GetGauge("proc.vm_bytes").Set(static_cast<int64_t>(s.vm_bytes));
+  obs::GetGauge("proc.peak_rss_bytes")
+      .Set(static_cast<int64_t>(s.peak_rss_bytes));
+  obs::GetGauge("proc.minor_faults").Set(static_cast<int64_t>(s.minor_faults));
+  obs::GetGauge("proc.major_faults").Set(static_cast<int64_t>(s.major_faults));
+  obs::GetGauge("proc.voluntary_ctx_switches")
+      .Set(static_cast<int64_t>(s.vol_ctx_switches));
+  obs::GetGauge("proc.involuntary_ctx_switches")
+      .Set(static_cast<int64_t>(s.invol_ctx_switches));
+}
+
+}  // namespace prof
+}  // namespace elsi
+
+#endif  // ELSI_PROF_ENABLED

@@ -1,0 +1,47 @@
+#ifndef ELSI_PROF_PROC_STATS_H_
+#define ELSI_PROF_PROC_STATS_H_
+
+/// Process resource telemetry: RSS / peak RSS / page faults / context
+/// switches, sourced from getrusage(RUSAGE_SELF) and /proc/self/statm.
+/// Refreshed on every metrics scrape (RefreshProcStats is called from the
+/// HTTP exporter's derived-gauge hook) and published as proc.* gauges plus
+/// a "proc" block in /varz and /healthz.
+
+#include <cstdint>
+
+#include "prof/prof.h"
+
+namespace elsi {
+namespace prof {
+
+struct ProcStats {
+  uint64_t rss_bytes = 0;       // current resident set (/proc/self/statm)
+  uint64_t vm_bytes = 0;        // current virtual size (/proc/self/statm)
+  uint64_t peak_rss_bytes = 0;  // ru_maxrss
+  uint64_t minor_faults = 0;    // ru_minflt
+  uint64_t major_faults = 0;    // ru_majflt
+  uint64_t vol_ctx_switches = 0;    // ru_nvcsw
+  uint64_t invol_ctx_switches = 0;  // ru_nivcsw
+  bool available = false;
+};
+
+#if ELSI_PROF_ENABLED
+
+/// Reads current process stats. `available` is false only if both sources
+/// failed (never expected on Linux).
+ProcStats ReadProcStats();
+
+/// ReadProcStats + publish into the proc.* obs gauges.
+void RefreshProcStats();
+
+#else  // !ELSI_PROF_ENABLED
+
+inline ProcStats ReadProcStats() { return {}; }
+inline void RefreshProcStats() {}
+
+#endif  // ELSI_PROF_ENABLED
+
+}  // namespace prof
+}  // namespace elsi
+
+#endif  // ELSI_PROF_PROC_STATS_H_

@@ -1,0 +1,25 @@
+#ifndef ELSI_PROF_PROF_H_
+#define ELSI_PROF_PROF_H_
+
+/// elsi::prof — hardware performance counters, a sampling wall-clock CPU
+/// profiler with collapsed-stack (flamegraph) export, and per-span cost
+/// attribution. See DESIGN.md, "Profiling & hardware counters".
+///
+/// Two independent degradation axes:
+///
+///  * Compile time: -DELSI_PROF=OFF defines ELSI_PROF_ENABLED=0 and every
+///    API in src/prof/ becomes an inline no-op stub (same contract as
+///    ELSI_OBS=OFF). Call sites build unchanged.
+///
+///  * Runtime: when perf_event_open is denied or absent (EPERM/EACCES under
+///    perf_event_paranoid, ENOSYS/ENOENT without a PMU — the common case in
+///    containers and VMs), counter APIs stay callable and report
+///    CounterMode::kUnavailable with an explanatory reason; the clock-only
+///    sampling profiler keeps working because it needs no perf events at
+///    all, only setitimer-style signals and backtrace().
+
+#ifndef ELSI_PROF_ENABLED
+#define ELSI_PROF_ENABLED 1
+#endif
+
+#endif  // ELSI_PROF_PROF_H_

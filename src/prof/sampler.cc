@@ -1,0 +1,351 @@
+#include "prof/sampler.h"
+
+#include <cstdio>
+
+#if ELSI_PROF_ENABLED
+
+#include <cxxabi.h>
+#include <dirent.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <signal.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace elsi {
+namespace prof {
+namespace {
+
+constexpr int kMaxDepth = 24;
+constexpr uint32_t kMaxThreads = 64;
+constexpr uint64_t kRingCapacity = 1024;
+
+struct Sample {
+  int32_t depth = 0;
+  void* frames[kMaxDepth];
+};
+
+// Single-writer (the owning thread, in signal context) ring. `total` is
+// only advanced after the slot is fully written; readers only run after
+// Stop() has drained in-flight handlers, so no per-slot seqlock is needed.
+struct SampleRing {
+  std::atomic<uint64_t> total{0};
+  Sample slots[kRingCapacity];
+};
+
+// ---- global sampler state -------------------------------------------------
+// Rings are allocated once on first Start and never freed: a thread's claim
+// (tls_ring) must stay valid for the thread's lifetime across Start/Stop
+// cycles. The claim counter is monotonic for the same reason — resetting it
+// could hand a ring already owned by a live thread to a new thread.
+SampleRing* g_rings = nullptr;
+std::atomic<uint32_t> g_ring_claim{0};
+std::atomic<uint64_t> g_pool_exhausted_drops{0};
+std::atomic<bool> g_active{false};
+
+// Constant-initialized POD TLS: safe to read in signal context (no lazy
+// construction; initial-exec style access, no __tls_get_addr malloc path).
+thread_local SampleRing* tls_ring = nullptr;
+
+std::atomic<bool> g_sampler_run{false};
+std::thread* g_sampler_thread = nullptr;  // leaked between runs
+pid_t g_sampler_tid = 0;
+std::mutex g_control_mutex;  // serializes Start/Stop/collect
+
+void SigprofHandler(int, siginfo_t*, void*) {
+  // Async-signal-safe: atomics, POD TLS and backtrace() only (backtrace is
+  // pre-warmed in Start so its one-time dlopen of libgcc happened already).
+  if (!g_active.load(std::memory_order_acquire)) return;
+  const int saved_errno = errno;
+  SampleRing* ring = tls_ring;
+  if (ring == nullptr) {
+    const uint32_t idx = g_ring_claim.fetch_add(1, std::memory_order_relaxed);
+    if (idx >= kMaxThreads) {
+      g_pool_exhausted_drops.fetch_add(1, std::memory_order_relaxed);
+      errno = saved_errno;
+      return;
+    }
+    ring = &g_rings[idx];
+    tls_ring = ring;
+  }
+  const uint64_t t = ring->total.load(std::memory_order_relaxed);
+  Sample& slot = ring->slots[t % kRingCapacity];
+  slot.depth = backtrace(slot.frames, kMaxDepth);
+  ring->total.store(t + 1, std::memory_order_release);
+  errno = saved_errno;
+}
+
+void SamplerLoop(int hz) {
+  g_sampler_tid = static_cast<pid_t>(syscall(SYS_gettid));
+  const pid_t pid = getpid();
+  const long interval_ns = 1000000000L / (hz > 0 ? hz : 99);
+  char task_dir[64];
+  snprintf(task_dir, sizeof(task_dir), "/proc/%d/task", pid);
+
+  while (g_sampler_run.load(std::memory_order_acquire)) {
+    DIR* dir = opendir(task_dir);
+    if (dir != nullptr) {
+      struct dirent* ent;
+      while ((ent = readdir(dir)) != nullptr) {
+        if (ent->d_name[0] == '.') continue;
+        const pid_t tid = static_cast<pid_t>(atol(ent->d_name));
+        if (tid <= 0 || tid == g_sampler_tid) continue;
+        syscall(SYS_tgkill, pid, tid, SIGPROF);
+      }
+      closedir(dir);
+    }
+    struct timespec ts = {0, interval_ns};
+    nanosleep(&ts, nullptr);
+  }
+}
+
+// Resets ring totals for a fresh run. Caller holds g_control_mutex and the
+// handler is inactive (g_active false, signals drained).
+void ResetRings() {
+  if (g_rings == nullptr) return;
+  const uint32_t claimed =
+      std::min(g_ring_claim.load(std::memory_order_relaxed), kMaxThreads);
+  for (uint32_t i = 0; i < claimed; ++i) {
+    g_rings[i].total.store(0, std::memory_order_relaxed);
+  }
+  g_pool_exhausted_drops.store(0, std::memory_order_relaxed);
+}
+
+std::string Symbolize(void* pc, std::unordered_map<void*, std::string>* cache) {
+  auto it = cache->find(pc);
+  if (it != cache->end()) return it->second;
+  std::string name;
+  Dl_info info;
+  if (dladdr(pc, &info) != 0 && info.dli_sname != nullptr) {
+    int status = 0;
+    char* demangled =
+        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    if (status == 0 && demangled != nullptr) {
+      name = demangled;
+      // Trim argument lists: flamegraph frames read better as
+      // "elsi::ZmIndex::PointQuery" than the full signature, and semicolons
+      // inside template args would corrupt the collapsed format anyway.
+      const size_t paren = name.find('(');
+      if (paren != std::string::npos) name.resize(paren);
+    } else {
+      name = info.dli_sname;
+    }
+    free(demangled);
+  } else if (dladdr(pc, &info) != 0 && info.dli_fname != nullptr) {
+    // Static / anonymous-namespace function: module+offset.
+    const char* base = strrchr(info.dli_fname, '/');
+    char buf[128];
+    snprintf(buf, sizeof(buf), "%s+0x%zx",
+             base != nullptr ? base + 1 : info.dli_fname,
+             reinterpret_cast<size_t>(pc) -
+                 reinterpret_cast<size_t>(info.dli_fbase));
+    name = buf;
+  } else {
+    char buf[32];
+    snprintf(buf, sizeof(buf), "0x%zx", reinterpret_cast<size_t>(pc));
+    name = buf;
+  }
+  for (char& c : name) {
+    if (c == ';' || c == '\n' || c == ' ') c = '_';
+  }
+  (*cache)[pc] = name;
+  return name;
+}
+
+// The innermost captured frames belong to the signal machinery: frame 0 is
+// the handler itself, then the kernel trampoline (__restore_rt). Cut
+// through the trampoline when we can name it, else skip the first two.
+int SignalFrameSkip(void* const* frames, int depth,
+                    std::unordered_map<void*, std::string>* cache) {
+  const int scan = std::min(depth, 5);
+  for (int i = 0; i < scan; ++i) {
+    if (Symbolize(frames[i], cache) == "__restore_rt") return i + 1;
+  }
+  return depth > 2 ? 2 : 0;
+}
+
+}  // namespace
+
+CpuProfiler& CpuProfiler::Get() {
+  static CpuProfiler* profiler = new CpuProfiler();
+  return *profiler;
+}
+
+bool CpuProfiler::Start(const ProfilerOptions& options, std::string* error) {
+  std::lock_guard<std::mutex> lock(g_control_mutex);
+  if (g_sampler_run.load(std::memory_order_relaxed)) {
+    if (error != nullptr) *error = "profiler already running";
+    return false;
+  }
+  if (g_rings == nullptr) {
+    g_rings = new SampleRing[kMaxThreads];
+  }
+  ResetRings();
+
+  // Pre-warm backtrace: its first call may dlopen libgcc_s (malloc, not
+  // signal-safe), so take that hit here rather than inside the handler.
+  void* warm[4];
+  backtrace(warm, 4);
+
+  struct sigaction sa;
+  memset(&sa, 0, sizeof(sa));
+  sa.sa_sigaction = &SigprofHandler;
+  sa.sa_flags = SA_SIGINFO | SA_RESTART;
+  sigemptyset(&sa.sa_mask);
+  if (sigaction(SIGPROF, &sa, nullptr) != 0) {
+    if (error != nullptr) *error = "sigaction(SIGPROF) failed";
+    return false;
+  }
+
+  g_active.store(true, std::memory_order_release);
+  g_sampler_run.store(true, std::memory_order_release);
+  delete g_sampler_thread;
+  g_sampler_thread = new std::thread(&SamplerLoop, options.hz);
+  return true;
+}
+
+void CpuProfiler::Stop() {
+  std::lock_guard<std::mutex> lock(g_control_mutex);
+  if (!g_sampler_run.load(std::memory_order_relaxed)) return;
+  g_sampler_run.store(false, std::memory_order_release);
+  if (g_sampler_thread != nullptr && g_sampler_thread->joinable()) {
+    g_sampler_thread->join();
+  }
+  // Signals already delivered may still be executing handlers; flip the
+  // active flag first, then give stragglers a grace period before callers
+  // read the rings.
+  g_active.store(false, std::memory_order_release);
+  struct timespec ts = {0, 2000000};  // 2 ms
+  nanosleep(&ts, nullptr);
+}
+
+ProfilerStats CpuProfiler::Stats() const {
+  ProfilerStats stats;
+  stats.running = g_sampler_run.load(std::memory_order_relaxed);
+  stats.dropped = g_pool_exhausted_drops.load(std::memory_order_relaxed);
+  if (g_rings == nullptr) return stats;
+  const uint32_t claimed =
+      std::min(g_ring_claim.load(std::memory_order_relaxed), kMaxThreads);
+  for (uint32_t i = 0; i < claimed; ++i) {
+    const uint64_t total = g_rings[i].total.load(std::memory_order_acquire);
+    if (total == 0) continue;
+    ++stats.threads_seen;
+    stats.samples += std::min(total, kRingCapacity);
+    stats.dropped += total > kRingCapacity ? total - kRingCapacity : 0;
+  }
+  return stats;
+}
+
+std::string CpuProfiler::CollapsedStacks() const {
+  std::lock_guard<std::mutex> lock(g_control_mutex);
+  if (g_rings == nullptr) return "";
+
+  std::unordered_map<void*, std::string> symbol_cache;
+  // Aggregate identical stacks; map keeps output deterministic for a given
+  // sample set.
+  std::map<std::string, uint64_t> collapsed;
+  const uint32_t claimed =
+      std::min(g_ring_claim.load(std::memory_order_relaxed), kMaxThreads);
+  for (uint32_t i = 0; i < claimed; ++i) {
+    const SampleRing& ring = g_rings[i];
+    const uint64_t total = ring.total.load(std::memory_order_acquire);
+    const uint64_t n = std::min(total, kRingCapacity);
+    for (uint64_t s = 0; s < n; ++s) {
+      const Sample& sample = ring.slots[s];
+      const int depth = std::min(sample.depth, kMaxDepth);
+      if (depth <= 0) continue;
+      const int skip =
+          SignalFrameSkip(sample.frames, depth, &symbol_cache);
+      if (depth <= skip) continue;
+      // Collapsed format is root-first; backtrace() is leaf-first.
+      std::string line;
+      for (int f = depth - 1; f >= skip; --f) {
+        if (!line.empty()) line += ';';
+        line += Symbolize(sample.frames[f], &symbol_cache);
+      }
+      ++collapsed[line];
+    }
+  }
+  if (collapsed.empty()) return "";
+
+  std::vector<std::pair<uint64_t, const std::string*>> order;
+  order.reserve(collapsed.size());
+  for (const auto& [stack, count] : collapsed) {
+    order.emplace_back(count, &stack);
+  }
+  std::sort(order.begin(), order.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::string out;
+  char buf[32];
+  for (const auto& [count, stack] : order) {
+    out += *stack;
+    snprintf(buf, sizeof(buf), " %llu\n",
+             static_cast<unsigned long long>(count));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace prof
+}  // namespace elsi
+
+#endif  // ELSI_PROF_ENABLED
+
+// ---- shared helpers (built in both modes) ---------------------------------
+
+#include <chrono>
+#include <thread>
+
+namespace elsi {
+namespace prof {
+
+std::string ProfileForSeconds(double seconds, const ProfilerOptions& options,
+                              std::string* error) {
+  if (error != nullptr) error->clear();
+  std::string start_error;
+  if (!CpuProfiler::Get().Start(options, &start_error)) {
+    if (error != nullptr) *error = start_error;
+    return "";
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  CpuProfiler::Get().Stop();
+  return CpuProfiler::Get().CollapsedStacks();
+}
+
+bool WriteCollapsedProfile(const std::string& path, std::string* error) {
+  const std::string content = CpuProfiler::Get().CollapsedStacks();
+  const std::string tmp = path + ".tmp";
+  FILE* f = fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + tmp;
+    return false;
+  }
+  const size_t n = fwrite(content.data(), 1, content.size(), f);
+  const bool write_ok = n == content.size() && fclose(f) == 0;
+  if (!write_ok) {
+    if (error != nullptr) *error = "short write to " + tmp;
+    remove(tmp.c_str());
+    return false;
+  }
+  if (rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) *error = "rename to " + path + " failed";
+    remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace prof
+}  // namespace elsi

@@ -1,0 +1,98 @@
+#ifndef ELSI_PROF_SAMPLER_H_
+#define ELSI_PROF_SAMPLER_H_
+
+/// Signal-driven sampling wall-clock CPU profiler.
+///
+/// A sampler thread wakes at the configured rate, enumerates
+/// /proc/self/task, and delivers SIGPROF to every thread via tgkill. The
+/// async-signal-safe handler writes a backtrace() into the calling thread's
+/// pre-claimed slot ring — no locks, no allocation, no TLS construction in
+/// signal context (rings come from a pool allocated up front; the
+/// thread-local ring pointer is a constant-initialized POD). Symbolization
+/// (dladdr + __cxa_demangle) happens at collection time, never in the
+/// handler, and renders the standard collapsed-stack format
+/// ("main;Query;Scan 42" per line) consumable by flamegraph tooling.
+///
+/// Needs no perf_event_open, so it works on perf-denied hosts; that is the
+/// documented clock-only fallback. With -DELSI_PROF=OFF, Start() returns
+/// false with reason "profiling compiled out".
+
+#include <cstdint>
+#include <string>
+
+#include "prof/prof.h"
+
+namespace elsi {
+namespace prof {
+
+struct ProfilerOptions {
+  int hz = 99;  // sampling frequency (off-round to avoid lockstep bias)
+};
+
+struct ProfilerStats {
+  bool running = false;
+  uint64_t samples = 0;      // samples captured in the current/last run
+  uint64_t dropped = 0;      // lost to ring overwrite or pool exhaustion
+  uint64_t threads_seen = 0; // distinct threads that recorded >= 1 sample
+};
+
+#if ELSI_PROF_ENABLED
+
+class CpuProfiler {
+ public:
+  static CpuProfiler& Get();
+
+  /// Starts sampling. Returns false (with *error set) if already running.
+  /// The first Start allocates the sample rings (~13 MB, kept for process
+  /// lifetime) and installs the SIGPROF handler.
+  bool Start(const ProfilerOptions& options, std::string* error);
+
+  /// Stops the sampler thread and drains in-flight signals. Samples stay
+  /// available until the next Start.
+  void Stop();
+
+  ProfilerStats Stats() const;
+
+  /// Renders captured samples as collapsed stacks, aggregated across
+  /// threads, one "frame;frame;leaf count" line each, most frequent first.
+  /// Empty string when no samples were captured. Call while stopped.
+  std::string CollapsedStacks() const;
+
+ private:
+  CpuProfiler() = default;
+};
+
+#else  // !ELSI_PROF_ENABLED
+
+class CpuProfiler {
+ public:
+  static CpuProfiler& Get() {
+    static CpuProfiler profiler;
+    return profiler;
+  }
+  bool Start(const ProfilerOptions&, std::string* error) {
+    if (error != nullptr) *error = "profiling compiled out (-DELSI_PROF=OFF)";
+    return false;
+  }
+  void Stop() {}
+  ProfilerStats Stats() const { return {}; }
+  std::string CollapsedStacks() const { return ""; }
+};
+
+#endif  // ELSI_PROF_ENABLED
+
+/// Convenience wrapper for the HTTP endpoint and the CLI: run the profiler
+/// for `seconds` (blocking), return collapsed stacks. On failure returns ""
+/// and sets *error (already running, compiled out, ...). Zero samples is
+/// not an error — the caller distinguishes via *error's emptiness.
+std::string ProfileForSeconds(double seconds, const ProfilerOptions& options,
+                              std::string* error);
+
+/// Writes CollapsedStacks() of the last run to `path` (tmp+rename). Used by
+/// benches (ELSI_BENCH_PROFILE_OUT) and `elsi_cli profile --out`.
+bool WriteCollapsedProfile(const std::string& path, std::string* error);
+
+}  // namespace prof
+}  // namespace elsi
+
+#endif  // ELSI_PROF_SAMPLER_H_

@@ -1,0 +1,254 @@
+#include "prof/span_costs.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/trace.h"
+
+#if ELSI_PROF_ENABLED
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace elsi {
+namespace prof {
+namespace {
+
+constexpr int kMaxNestDepth = 32;
+
+// One span name's accumulators. Lives forever in the leaked table below, so
+// per-thread caches may hold raw pointers.
+struct Entry {
+  std::string name;
+  std::atomic<uint64_t> count{0};
+  std::atomic<uint64_t> wall_ns{0};
+  std::atomic<uint64_t> cycles{0};
+  std::atomic<uint64_t> instructions{0};
+  std::atomic<uint64_t> llc_misses{0};
+  std::atomic<uint64_t> branch_misses{0};
+  std::atomic<uint64_t> task_clock_ns{0};
+  std::atomic<uint64_t> page_faults{0};
+  std::atomic<uint64_t> ctx_switches{0};
+  std::atomic<bool> hardware{false};
+};
+
+struct Table {
+  mutable std::mutex mutex;
+  std::unordered_map<std::string, std::unique_ptr<Entry>> entries;
+  std::atomic<bool> enabled{false};
+};
+
+Table& GetTable() {
+  static Table* table = new Table();  // leaked: threads may outlive main
+  return *table;
+}
+
+Entry* ResolveEntry(const char* name) {
+  Table& table = GetTable();
+  std::lock_guard<std::mutex> lock(table.mutex);
+  std::unique_ptr<Entry>& slot = table.entries[name];
+  if (slot == nullptr) {
+    slot.reset(new Entry());
+    slot->name = name;
+  }
+  return slot.get();
+}
+
+// Per-thread state: a lazily opened counter group, the nesting stack of
+// entry snapshots, and a name-pointer keyed entry cache (span names are
+// string literals, so the pointer is a stable identity).
+struct ThreadState {
+  std::unique_ptr<CounterGroup> group;
+  bool group_probed = false;
+  CounterValues stack[kMaxNestDepth];
+  int depth = 0;
+  std::unordered_map<const void*, Entry*> cache;
+};
+
+// Raw pointer + leaked states, same lifetime pattern as obs::TraceRegistry:
+// hooks can fire during late thread teardown, when a destructing
+// thread_local would already be gone.
+thread_local ThreadState* tls_state = nullptr;
+
+ThreadState* GetThreadState() {
+  if (tls_state == nullptr) {
+    static std::mutex mutex;
+    static std::vector<std::unique_ptr<ThreadState>>* states =
+        new std::vector<std::unique_ptr<ThreadState>>();
+    auto state = std::make_unique<ThreadState>();
+    tls_state = state.get();
+    std::lock_guard<std::mutex> lock(mutex);
+    states->push_back(std::move(state));
+  }
+  return tls_state;
+}
+
+uint64_t EnterHook(const char* name) {
+  (void)name;
+  ThreadState* state = GetThreadState();
+  if (state->depth >= kMaxNestDepth) return obs::kSpanHookNoToken;
+  if (!state->group_probed) {
+    state->group_probed = true;
+    state->group = CounterGroup::Open(CounterGroup::Scope::kThisThread);
+  }
+  CounterValues& slot = state->stack[state->depth];
+  slot = CounterValues{};
+  if (state->group != nullptr) state->group->Read(&slot);
+  return static_cast<uint64_t>(state->depth++);
+}
+
+void ExitHook(const char* name, uint64_t token, uint64_t dur_ns) {
+  ThreadState* state = GetThreadState();
+  const int depth = static_cast<int>(token);
+  if (depth < 0 || depth >= state->depth) return;  // unbalanced; drop
+  state->depth = depth;
+
+  CounterValues delta;
+  if (state->group != nullptr) {
+    CounterValues now;
+    if (state->group->Read(&now)) {
+      delta = now.DeltaSince(state->stack[depth]);
+    }
+  }
+
+  Entry*& cached = state->cache[static_cast<const void*>(name)];
+  if (cached == nullptr) cached = ResolveEntry(name);
+  Entry& e = *cached;
+  e.count.fetch_add(1, std::memory_order_relaxed);
+  e.wall_ns.fetch_add(dur_ns, std::memory_order_relaxed);
+  if (delta.hardware) {
+    e.hardware.store(true, std::memory_order_relaxed);
+    e.cycles.fetch_add(delta.cycles, std::memory_order_relaxed);
+    e.instructions.fetch_add(delta.instructions, std::memory_order_relaxed);
+    e.llc_misses.fetch_add(delta.llc_misses, std::memory_order_relaxed);
+    e.branch_misses.fetch_add(delta.branch_misses, std::memory_order_relaxed);
+  } else {
+    e.task_clock_ns.fetch_add(delta.task_clock_ns, std::memory_order_relaxed);
+    e.page_faults.fetch_add(delta.page_faults, std::memory_order_relaxed);
+    e.ctx_switches.fetch_add(delta.ctx_switches, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+SpanCostRegistry& SpanCostRegistry::Get() {
+  static SpanCostRegistry* registry = new SpanCostRegistry();
+  return *registry;
+}
+
+bool SpanCostRegistry::Enable() {
+  Table& table = GetTable();
+  if (!table.enabled.exchange(true)) {
+    obs::SpanHooks hooks;
+    hooks.enter = &EnterHook;
+    hooks.exit = &ExitHook;
+    obs::SetSpanHooks(hooks);
+  }
+  return true;
+}
+
+void SpanCostRegistry::Disable() {
+  Table& table = GetTable();
+  if (table.enabled.exchange(false)) {
+    obs::SetSpanHooks(obs::SpanHooks{});
+  }
+}
+
+bool SpanCostRegistry::enabled() const {
+  return GetTable().enabled.load(std::memory_order_relaxed);
+}
+
+std::vector<SpanCost> SpanCostRegistry::Snapshot() const {
+  Table& table = GetTable();
+  std::vector<SpanCost> out;
+  std::lock_guard<std::mutex> lock(table.mutex);
+  out.reserve(table.entries.size());
+  for (const auto& [name, entry] : table.entries) {
+    SpanCost cost;
+    cost.name = name;
+    cost.count = entry->count.load(std::memory_order_relaxed);
+    cost.wall_ns = entry->wall_ns.load(std::memory_order_relaxed);
+    cost.totals.hardware = entry->hardware.load(std::memory_order_relaxed);
+    cost.totals.cycles = entry->cycles.load(std::memory_order_relaxed);
+    cost.totals.instructions =
+        entry->instructions.load(std::memory_order_relaxed);
+    cost.totals.llc_misses = entry->llc_misses.load(std::memory_order_relaxed);
+    cost.totals.branch_misses =
+        entry->branch_misses.load(std::memory_order_relaxed);
+    cost.totals.task_clock_ns =
+        entry->task_clock_ns.load(std::memory_order_relaxed);
+    cost.totals.page_faults =
+        entry->page_faults.load(std::memory_order_relaxed);
+    cost.totals.ctx_switches =
+        entry->ctx_switches.load(std::memory_order_relaxed);
+    out.push_back(std::move(cost));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanCost& a, const SpanCost& b) { return a.name < b.name; });
+  return out;
+}
+
+void SpanCostRegistry::Clear() {
+  Table& table = GetTable();
+  std::lock_guard<std::mutex> lock(table.mutex);
+  for (auto& [name, entry] : table.entries) {
+    entry->count.store(0, std::memory_order_relaxed);
+    entry->wall_ns.store(0, std::memory_order_relaxed);
+    entry->cycles.store(0, std::memory_order_relaxed);
+    entry->instructions.store(0, std::memory_order_relaxed);
+    entry->llc_misses.store(0, std::memory_order_relaxed);
+    entry->branch_misses.store(0, std::memory_order_relaxed);
+    entry->task_clock_ns.store(0, std::memory_order_relaxed);
+    entry->page_faults.store(0, std::memory_order_relaxed);
+    entry->ctx_switches.store(0, std::memory_order_relaxed);
+    entry->hardware.store(false, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace prof
+}  // namespace elsi
+
+#endif  // ELSI_PROF_ENABLED
+
+namespace elsi {
+namespace prof {
+
+std::string SpanCostsJson(const std::vector<SpanCost>& costs) {
+  std::string out = "[";
+  char buf[256];
+  bool first = true;
+  for (const SpanCost& c : costs) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + c.name + "\"";
+    snprintf(buf, sizeof(buf), ",\"count\":%llu,\"wall_ms\":%.3f",
+             static_cast<unsigned long long>(c.count),
+             static_cast<double>(c.wall_ns) / 1e6);
+    out += buf;
+    if (c.totals.hardware) {
+      snprintf(buf, sizeof(buf),
+               ",\"counters\":\"hardware\",\"ipc\":%.3f"
+               ",\"llc_miss_per_call\":%.1f,\"branch_miss_per_call\":%.1f"
+               ",\"cycles\":%llu,\"instructions\":%llu",
+               c.Ipc(), c.LlcMissPerCall(), c.BranchMissPerCall(),
+               static_cast<unsigned long long>(c.totals.cycles),
+               static_cast<unsigned long long>(c.totals.instructions));
+    } else {
+      snprintf(buf, sizeof(buf),
+               ",\"counters\":\"software\",\"task_clock_ms\":%.3f"
+               ",\"page_faults\":%llu,\"ctx_switches\":%llu",
+               static_cast<double>(c.totals.task_clock_ns) / 1e6,
+               static_cast<unsigned long long>(c.totals.page_faults),
+               static_cast<unsigned long long>(c.totals.ctx_switches));
+    }
+    out += buf;
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace prof
+}  // namespace elsi

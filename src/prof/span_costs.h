@@ -1,0 +1,85 @@
+#ifndef ELSI_PROF_SPAN_COSTS_H_
+#define ELSI_PROF_SPAN_COSTS_H_
+
+/// Per-span cost attribution: when enabled, every ELSI_TRACE_SPAN also
+/// reads the calling thread's counter group on entry and exit and
+/// accumulates the delta (plus wall time and call count) into a per-name
+/// table. Derived rates — IPC, LLC misses per call — come out in /varz,
+/// `elsi_cli profile` and SpanCostsJson().
+///
+/// Attribution is off by default (spans then cost one relaxed pointer load)
+/// and is switched on via SpanCostRegistry::Get().Enable(), which installs
+/// obs::SpanHooks. With counters unavailable the table still accumulates
+/// call counts and wall time (clock-only attribution). Per-thread counter
+/// groups are opened lazily on a thread's first span and kept for the
+/// thread's lifetime, mirroring the obs trace-buffer registry.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "prof/counters.h"
+#include "prof/prof.h"
+
+namespace elsi {
+namespace prof {
+
+/// Accumulated cost of one span name across all threads since Clear().
+struct SpanCost {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t wall_ns = 0;
+  CounterValues totals;  // hardware or software tier, or all-zero
+
+  double Ipc() const { return totals.Ipc(); }
+  double LlcMissPerCall() const { return PerOp(totals.llc_misses, count); }
+  double BranchMissPerCall() const {
+    return PerOp(totals.branch_misses, count);
+  }
+};
+
+#if ELSI_PROF_ENABLED
+
+class SpanCostRegistry {
+ public:
+  static SpanCostRegistry& Get();
+
+  /// Installs the obs span hooks. Idempotent. Returns true (attribution is
+  /// always possible — worst case clock-only).
+  bool Enable();
+  void Disable();
+  bool enabled() const;
+
+  /// Current table, sorted by name. Totals are monotone between Clear()s.
+  std::vector<SpanCost> Snapshot() const;
+  void Clear();
+
+ private:
+  SpanCostRegistry() = default;
+};
+
+#else  // !ELSI_PROF_ENABLED
+
+class SpanCostRegistry {
+ public:
+  static SpanCostRegistry& Get() {
+    static SpanCostRegistry registry;
+    return registry;
+  }
+  bool Enable() { return false; }
+  void Disable() {}
+  bool enabled() const { return false; }
+  std::vector<SpanCost> Snapshot() const { return {}; }
+  void Clear() {}
+};
+
+#endif  // ELSI_PROF_ENABLED
+
+/// JSON array of span costs with derived rates, e.g.
+/// [{"name":"query.chunk","count":12,"wall_ms":3.1,"ipc":1.82,...},...].
+std::string SpanCostsJson(const std::vector<SpanCost>& costs);
+
+}  // namespace prof
+}  // namespace elsi
+
+#endif  // ELSI_PROF_SPAN_COSTS_H_

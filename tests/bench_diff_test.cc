@@ -80,6 +80,10 @@ TEST(ClassifyTest, RoutesMetricFamilies) {
   EXPECT_EQ(ClassifyPath("checksum"), MetricClass::kExact);
   EXPECT_EQ(ClassifyPath("obs_enabled"), MetricClass::kExact);
   EXPECT_EQ(ClassifyPath("dataset_n"), MetricClass::kContext);
+  EXPECT_EQ(ClassifyPath("queries[point].ipc"), MetricClass::kContextInfo);
+  EXPECT_EQ(ClassifyPath("mixes[read95].llc_miss_per_op"),
+            MetricClass::kContextInfo);
+  EXPECT_EQ(ClassifyPath("branch_miss_per_op"), MetricClass::kContextInfo);
   EXPECT_EQ(ClassifyPath("context.num_cpus"), MetricClass::kIgnored);
   EXPECT_EQ(ClassifyPath("date"), MetricClass::kIgnored);
   EXPECT_EQ(ClassifyPath("benchmarks[BM_Build].iterations"),
@@ -155,6 +159,31 @@ TEST(DiffTest, MissingMetricFails) {
       "{\"dataset_n\": 1000, \"checksum\": 42, \"queries\": []}");
   EXPECT_FALSE(report.ok());
   EXPECT_NE(report.ToText().find("missing"), std::string::npos);
+}
+
+TEST(DiffTest, CounterColumnsNeverGate) {
+  // Counter rates differ wildly across hosts (and read 0.0 where perf is
+  // denied): any movement, even to zero, must pass.
+  const char baseline[] =
+      "{\"dataset_n\": 1000, \"checksum\": 42,"
+      " \"queries\": [{\"query\": \"point\", \"avg_us\": 10.0,"
+      "                \"speedup\": 4.0, \"ipc\": 2.5,"
+      "                \"llc_miss_per_op\": 12.0}]}";
+  const char fresh[] =
+      "{\"dataset_n\": 1000, \"checksum\": 42,"
+      " \"queries\": [{\"query\": \"point\", \"avg_us\": 10.0,"
+      "                \"speedup\": 4.0, \"ipc\": 0.0,"
+      "                \"llc_miss_per_op\": 0.0}]}";
+  EXPECT_TRUE(DiffStrings(baseline, fresh, {}).ok());
+  // And a baseline with counter columns diffs cleanly against a fresh run
+  // from a build that predates them (missing-from-fresh is fatal for every
+  // other class).
+  const char fresh_without[] =
+      "{\"dataset_n\": 1000, \"checksum\": 42,"
+      " \"queries\": [{\"query\": \"point\", \"avg_us\": 10.0,"
+      "                \"speedup\": 4.0}]}";
+  const DiffReport report = DiffStrings(baseline, fresh_without, {});
+  EXPECT_TRUE(report.ok()) << report.ToText();
 }
 
 TEST(DiffTest, AdvisoryTimeDemotesTimeFailuresOnly) {

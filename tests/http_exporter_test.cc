@@ -190,7 +190,46 @@ TEST(HttpHandleTest, DebugEndpointsAndIndexAnd404) {
             std::string::npos);
   EXPECT_EQ(Dispatch("/").status, 200);
   EXPECT_NE(Dispatch("/").body.find("/healthz"), std::string::npos);
+  EXPECT_NE(Dispatch("/").body.find("/debug/profile"), std::string::npos);
   EXPECT_EQ(Dispatch("/nope").status, 404);
+}
+
+TEST(HttpHandleTest, VarzAndHealthzCarryProfAndProcBlocks) {
+  const Response varz = Dispatch("/varz");
+  EXPECT_NE(varz.body.find("\"prof\": {"), std::string::npos);
+  EXPECT_NE(varz.body.find("\"counters\": "), std::string::npos);
+  EXPECT_NE(varz.body.find("\"sampler\": "), std::string::npos);
+  EXPECT_NE(varz.body.find("\"proc\": {"), std::string::npos);
+  EXPECT_NE(varz.body.find("\"rss_bytes\": "), std::string::npos);
+  const Response healthz = Dispatch("/healthz");
+  EXPECT_NE(healthz.body.find("\"prof\": {"), std::string::npos);
+  EXPECT_NE(healthz.body.find("\"proc\": {"), std::string::npos);
+}
+
+// The profiling endpoint's contract is 200-with-explanation on every
+// degradation path (perf denied, compiled out, zero samples) — probes and
+// dashboards never see a 5xx from it.
+TEST(HttpHandleTest, DebugProfileAlwaysAnswers200) {
+  std::thread worker([] {
+    // Keep a core busy so the sampler has something to catch.
+    volatile double x = 1.0;
+    for (int i = 0; i < 40000000; ++i) x = x * 1.000001 + 0.5;
+  });
+  const Response r = Dispatch("/debug/profile?seconds=0.2&hz=397");
+  worker.join();
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.content_type, "text/plain");
+  EXPECT_FALSE(r.body.empty());
+#if ELSI_PROF_ENABLED
+  // Either collapsed stacks ("frame;frame N") or an explanatory comment.
+  EXPECT_TRUE(r.body.find(';') != std::string::npos ||
+              r.body[0] == '#')
+      << r.body;
+#else
+  EXPECT_EQ(r.body[0], '#') << r.body;
+#endif
+  // Malformed parameters degrade to the defaults, never to an error.
+  EXPECT_EQ(Dispatch("/debug/profile?seconds=abc&hz=-5").status, 200);
 }
 
 TEST(HttpExporterTest, PortZeroAutoBindsDistinctPorts) {
@@ -215,7 +254,7 @@ TEST(HttpExporterTest, ServesOverARealSocket) {
                       &body));
   EXPECT_EQ(status, 200);
   EXPECT_NE(body.find("\"status\": "), std::string::npos);
-  // Query strings are stripped before dispatch.
+  // Query strings ride through dispatch (most endpoints ignore them).
   ASSERT_TRUE(HttpGet("127.0.0.1", server.port(), "/metrics?x=1", &status,
                       &body));
   EXPECT_EQ(status, 200);

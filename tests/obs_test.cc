@@ -4,6 +4,7 @@
 // ELSI_OBS modes (they work on hand-built snapshot structs); the
 // registry-value tests are gated on ELSI_OBS_ENABLED.
 
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -241,6 +242,45 @@ MetricsSnapshot GoldenSnapshot() {
   hist.sum = 8.5;
   snap.histograms.push_back(hist);
   return snap;
+}
+
+TEST(ObsHistogramTest, ApproxQuantileEdgeCases) {
+  // Built by hand so the cases hold in both obs modes (the stub histograms
+  // never record, but the snapshot math is mode-independent).
+  HistogramSnapshot snap;
+  snap.bounds = {10.0, 20.0};
+  snap.counts = {0, 0, 0};
+
+  // Empty: every quantile is 0, including NaN and out-of-range q.
+  EXPECT_EQ(snap.ApproxQuantile(0.5), 0.0);
+  EXPECT_EQ(snap.ApproxQuantile(std::nan("")), 0.0);
+
+  // Single sample: all quantiles land in its bucket.
+  snap.counts = {0, 1, 0};
+  snap.total = 1;
+  for (const double q : {0.0, 0.5, 1.0}) {
+    const double v = snap.ApproxQuantile(q);
+    EXPECT_GE(v, 10.0) << "q=" << q;
+    EXPECT_LE(v, 20.0) << "q=" << q;
+  }
+
+  // All mass in the +Inf overflow bucket: report its finite lower edge,
+  // never Inf or NaN.
+  snap.counts = {0, 0, 7};
+  snap.total = 7;
+  EXPECT_EQ(snap.ApproxQuantile(0.5), 20.0);
+  EXPECT_EQ(snap.ApproxQuantile(1.0), 20.0);
+
+  // q = 0 / q = 1 pin to the data extremes; q outside [0, 1] clamps.
+  snap.counts = {4, 4, 0};
+  snap.total = 8;
+  EXPECT_EQ(snap.ApproxQuantile(0.0), 0.0);
+  EXPECT_EQ(snap.ApproxQuantile(1.0), 20.0);
+  EXPECT_EQ(snap.ApproxQuantile(-3.0), snap.ApproxQuantile(0.0));
+  EXPECT_EQ(snap.ApproxQuantile(7.0), snap.ApproxQuantile(1.0));
+
+  // NaN q behaves exactly like q = 0 (no fall-through to the top bound).
+  EXPECT_EQ(snap.ApproxQuantile(std::nan("")), snap.ApproxQuantile(0.0));
 }
 
 TEST(ObsExportTest, MetricsJsonGolden) {

@@ -1,0 +1,278 @@
+// elsi::prof tests. Everything here must pass on perf-denied hosts (CI
+// containers, perf_event_paranoid >= 2, VMs without a PMU): counter tests
+// assert the degradation contract rather than any particular tier, and the
+// sampler tests rely only on the clock-driven SIGPROF path. The whole file
+// also compiles and passes with -DELSI_PROF=OFF via the inline stubs.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "obs/trace.h"
+#include "prof/counters.h"
+#include "prof/proc_stats.h"
+#include "prof/sampler.h"
+#include "prof/span_costs.h"
+
+namespace elsi {
+namespace prof {
+namespace {
+
+/// ~`ms` of real work the optimizer cannot elide (samples and counters
+/// need actual on-CPU time, not a sleep).
+double Busy(double ms) {
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::microseconds(static_cast<long>(ms * 1000));
+  volatile double x = 1.000001;
+  while (std::chrono::steady_clock::now() < until) {
+    for (int i = 0; i < 1000; ++i) x = x * 1.000001 + 0.5;
+  }
+  return x;
+}
+
+TEST(CounterValuesTest, DeltaClampsBackwardMotion) {
+  CounterValues a, b;
+  a.cycles = 100;
+  a.task_clock_ns = 50;
+  b.cycles = 40;  // "later" reading below the start: clamp, don't wrap
+  b.task_clock_ns = 80;
+  const CounterValues d = b.DeltaSince(a);
+  EXPECT_EQ(d.cycles, 0u);
+  EXPECT_EQ(d.task_clock_ns, 30u);
+}
+
+TEST(CounterValuesTest, DerivedRatesGuardZeroDenominators) {
+  CounterValues v;
+  EXPECT_EQ(v.Ipc(), 0.0);
+  v.instructions = 500;
+  EXPECT_EQ(v.Ipc(), 0.0);  // no cycles observed
+  v.cycles = 250;
+  EXPECT_DOUBLE_EQ(v.Ipc(), 2.0);
+  EXPECT_EQ(PerOp(10, 0), 0.0);
+  EXPECT_DOUBLE_EQ(PerOp(10, 4), 2.5);
+}
+
+TEST(CounterGroupTest, StatusAlwaysExplainsItself) {
+  const std::string status = CounterStatus();
+  EXPECT_FALSE(status.empty());
+#if ELSI_PROF_ENABLED
+  const CounterMode mode = ProbeCounterMode();
+  EXPECT_NE(status.find(CounterModeName(mode)), std::string::npos)
+      << status;
+#else
+  EXPECT_NE(status.find("compiled out"), std::string::npos) << status;
+#endif
+}
+
+TEST(CounterGroupTest, OpenMatchesProbeAndCountsForward) {
+  const CounterMode mode = ProbeCounterMode();
+  auto group = CounterGroup::Open(CounterGroup::Scope::kThisThread);
+  if (mode == CounterMode::kUnavailable) {
+    EXPECT_EQ(group, nullptr);
+    return;
+  }
+  ASSERT_NE(group, nullptr);
+  EXPECT_EQ(group->mode(), mode);
+  CounterValues before, after;
+  ASSERT_TRUE(group->Read(&before));
+  Busy(20.0);
+  ASSERT_TRUE(group->Read(&after));
+  const CounterValues d = after.DeltaSince(before);
+  if (mode == CounterMode::kHardware) {
+    EXPECT_TRUE(d.hardware);
+    EXPECT_GT(d.cycles, 0u);
+    EXPECT_GT(d.instructions, 0u);
+  } else {
+    EXPECT_FALSE(d.hardware);
+    // Software tier: 20 ms of spinning must show up as task-clock time.
+    EXPECT_GT(d.task_clock_ns, 1000000u);
+  }
+}
+
+TEST(CounterGroupTest, EnvKillSwitchForcesUnavailable) {
+  ASSERT_EQ(setenv("ELSI_PROF_DISABLE_PERF", "1", 1), 0);
+  EXPECT_EQ(ProbeCounterMode(), CounterMode::kUnavailable);
+  EXPECT_EQ(CounterGroup::Open(CounterGroup::Scope::kThisThread), nullptr);
+  EXPECT_EQ(CounterGroup::Open(CounterGroup::Scope::kProcessTree), nullptr);
+#if ELSI_PROF_ENABLED
+  EXPECT_NE(CounterStatus().find("ELSI_PROF_DISABLE_PERF"),
+            std::string::npos);
+#endif
+  ASSERT_EQ(unsetenv("ELSI_PROF_DISABLE_PERF"), 0);
+}
+
+TEST(ProcStatsTest, ReportsResidentMemoryAndFaults) {
+  const ProcStats stats = ReadProcStats();
+#if ELSI_PROF_ENABLED
+  ASSERT_TRUE(stats.available);
+  EXPECT_GT(stats.rss_bytes, 0u);
+  EXPECT_GT(stats.vm_bytes, 0u);
+  EXPECT_GT(stats.peak_rss_bytes, 0u);
+  EXPECT_GT(stats.minor_faults, 0u);
+  // Gauge refresh must not crash whether or not obs is compiled in.
+  RefreshProcStats();
+#else
+  EXPECT_FALSE(stats.available);
+#endif
+}
+
+#if ELSI_PROF_ENABLED
+
+TEST(SamplerTest, CapturesAndRendersCollapsedStacks) {
+  ProfilerOptions options;
+  options.hz = 397;  // fast, off-round: plenty of samples in 150 ms
+  std::string error;
+  ASSERT_TRUE(CpuProfiler::Get().Start(options, &error)) << error;
+  // A second Start must refuse while running.
+  EXPECT_FALSE(CpuProfiler::Get().Start(options, &error));
+  EXPECT_FALSE(error.empty());
+  // Same for the blocking wrapper.
+  EXPECT_EQ(ProfileForSeconds(0.05, options, &error), "");
+  EXPECT_FALSE(error.empty());
+
+  std::thread worker([] { Busy(150.0); });
+  Busy(150.0);
+  worker.join();
+  CpuProfiler::Get().Stop();
+
+  const ProfilerStats stats = CpuProfiler::Get().Stats();
+  EXPECT_FALSE(stats.running);
+  ASSERT_GT(stats.samples, 0u);
+  EXPECT_GE(stats.threads_seen, 1u);
+
+  const std::string collapsed = CpuProfiler::Get().CollapsedStacks();
+  ASSERT_FALSE(collapsed.empty());
+  // "frame;frame count\n" shape: every line has a space before the count
+  // and at least the first has a stack separator.
+  EXPECT_NE(collapsed.find(';'), std::string::npos);
+  EXPECT_NE(collapsed.find(' '), std::string::npos);
+  EXPECT_EQ(collapsed.back(), '\n');
+}
+
+TEST(SamplerTest, RestartsCleanlyAndWritesProfileFile) {
+  ProfilerOptions options;
+  options.hz = 397;
+  std::string error;
+  ASSERT_TRUE(CpuProfiler::Get().Start(options, &error)) << error;
+  Busy(100.0);
+  CpuProfiler::Get().Stop();
+  ASSERT_GT(CpuProfiler::Get().Stats().samples, 0u);
+
+  const std::string path =
+      ::testing::TempDir() + "/prof_test_profile.collapsed";
+  ASSERT_TRUE(WriteCollapsedProfile(path, &error)) << error;
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char head[8] = {0};
+  const size_t got = std::fread(head, 1, sizeof(head) - 1, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_GT(got, 0u);
+}
+
+TEST(SamplerTest, ProfileForSecondsRoundTrip) {
+  std::string error;
+  std::thread worker([] { Busy(300.0); });
+  const std::string collapsed = ProfileForSeconds(0.25, {}, &error);
+  worker.join();
+  EXPECT_TRUE(error.empty()) << error;
+  EXPECT_FALSE(collapsed.empty());
+  EXPECT_FALSE(CpuProfiler::Get().Stats().running);
+}
+
+#else  // !ELSI_PROF_ENABLED
+
+TEST(SamplerTest, StubsReportCompiledOut) {
+  std::string error;
+  EXPECT_FALSE(CpuProfiler::Get().Start({}, &error));
+  EXPECT_NE(error.find("compiled out"), std::string::npos);
+  EXPECT_EQ(CpuProfiler::Get().Stats().samples, 0u);
+  EXPECT_EQ(CpuProfiler::Get().CollapsedStacks(), "");
+  error.clear();
+  EXPECT_EQ(ProfileForSeconds(0.01, {}, &error), "");
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(ProbeCounterMode(), CounterMode::kUnavailable);
+  EXPECT_FALSE(SpanCostRegistry::Get().Enable());
+}
+
+#endif  // ELSI_PROF_ENABLED
+
+#if ELSI_PROF_ENABLED && ELSI_OBS_ENABLED
+
+TEST(SpanCostTest, AttributesCountsAndWallTimeToSpans) {
+  SpanCostRegistry& registry = SpanCostRegistry::Get();
+  ASSERT_TRUE(registry.Enable());
+  EXPECT_TRUE(registry.enabled());
+  registry.Clear();
+
+  constexpr int kCalls = 5;
+  for (int i = 0; i < kCalls; ++i) {
+    ELSI_TRACE_SPAN("prof_test.attributed");
+    Busy(4.0);
+  }
+  {
+    ELSI_TRACE_SPAN("prof_test.outer");
+    {  // nesting must attribute each level separately
+      ELSI_TRACE_SPAN("prof_test.inner");
+      Busy(2.0);
+    }
+  }
+
+  const std::vector<SpanCost> costs = registry.Snapshot();
+  registry.Disable();
+  EXPECT_FALSE(registry.enabled());
+
+  const SpanCost* attributed = nullptr;
+  const SpanCost* outer = nullptr;
+  const SpanCost* inner = nullptr;
+  for (const SpanCost& c : costs) {
+    if (c.name == "prof_test.attributed") attributed = &c;
+    if (c.name == "prof_test.outer") outer = &c;
+    if (c.name == "prof_test.inner") inner = &c;
+  }
+  ASSERT_NE(attributed, nullptr);
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(attributed->count, static_cast<uint64_t>(kCalls));
+  // 5 x 4 ms of spinning: wall time must land in the right ballpark.
+  EXPECT_GT(attributed->wall_ns, 10000000u);
+  EXPECT_EQ(outer->count, 1u);
+  EXPECT_EQ(inner->count, 1u);
+  EXPECT_GE(outer->wall_ns, inner->wall_ns);
+  if (ProbeCounterMode() == CounterMode::kSoftware) {
+    EXPECT_GT(attributed->totals.task_clock_ns, 0u);
+  } else if (ProbeCounterMode() == CounterMode::kHardware) {
+    EXPECT_GT(attributed->totals.cycles, 0u);
+    EXPECT_GT(attributed->Ipc(), 0.0);
+  }
+
+  const std::string json = SpanCostsJson(costs);
+  EXPECT_NE(json.find("\"prof_test.attributed\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":5"), std::string::npos);
+}
+
+TEST(SpanCostTest, DisabledSpansCostNothingAndAccumulateNothing) {
+  SpanCostRegistry& registry = SpanCostRegistry::Get();
+  registry.Disable();
+  registry.Clear();
+  {
+    ELSI_TRACE_SPAN("prof_test.unattributed");
+  }
+  for (const SpanCost& c : registry.Snapshot()) {
+    EXPECT_NE(c.name, "prof_test.unattributed");
+  }
+}
+
+#endif  // ELSI_PROF_ENABLED && ELSI_OBS_ENABLED
+
+TEST(SpanCostTest, JsonOfEmptyTableIsEmptyArray) {
+  EXPECT_EQ(SpanCostsJson({}), "[]");
+}
+
+}  // namespace
+}  // namespace prof
+}  // namespace elsi

@@ -318,6 +318,10 @@ MetricClass ClassifyPath(const std::string& path) {
       leaf == "seed" || leaf == "k") {
     return MetricClass::kContext;
   }
+  if (leaf == "ipc" || leaf == "llc_miss_per_op" ||
+      leaf == "branch_miss_per_op") {
+    return MetricClass::kContextInfo;
+  }
   if (leaf.find("speedup") != std::string::npos ||
       leaf.find("recall") != std::string::npos ||
       leaf.find("throughput") != std::string::npos ||
@@ -383,8 +387,12 @@ DiffReport Diff(const JsonValue& baseline, const JsonValue& fresh,
     if (cls == MetricClass::kIgnored) continue;
     const auto it = fresh_flat.find(path);
     if (it == fresh_flat.end()) {
-      add(DiffEntry::Status::kFail, path, base_value.number, 0.0,
-          "metric missing from fresh run");
+      // Counter columns may be absent from older runs; everything else
+      // missing means the fresh run silently dropped a gated metric.
+      if (cls != MetricClass::kContextInfo) {
+        add(DiffEntry::Status::kFail, path, base_value.number, 0.0,
+            "metric missing from fresh run");
+      }
       continue;
     }
     const JsonValue& fresh_value = it->second;
@@ -438,6 +446,7 @@ DiffReport Diff(const JsonValue& baseline, const JsonValue& fresh,
         }
         break;
       }
+      case MetricClass::kContextInfo:  // reported via compared count only
       case MetricClass::kIgnored:
         break;
     }

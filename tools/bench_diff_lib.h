@@ -13,7 +13,12 @@
 ///   quality        (speedup, recall, ratio)     higher is better
 ///   exact          (checksum, obs_enabled)      must match bit-for-bit
 ///   context        (n, threads, dataset_n)      mismatch invalidates diff
+///   context info   (ipc, llc_miss_per_op)       reported, never gated
 ///   ignored        (date, iterations, context.*) noise, skipped
+///
+/// Context-info metrics are hardware-counter rates: zero on perf-denied
+/// hosts and machine-dependent everywhere else, so they never gate and a
+/// baseline written before the column existed still diffs cleanly.
 ///
 /// A metric regresses when it moves past its tolerance in the "worse"
 /// direction (improvements never fail). Timings on foreign machines are
@@ -58,6 +63,7 @@ enum class MetricClass {
   kHigherBetter,
   kExact,
   kContext,
+  kContextInfo,  // hardware-counter rates: shown in the report, never gated
   kIgnored,
 };
 

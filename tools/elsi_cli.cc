@@ -17,6 +17,8 @@
 //   serve     [--kind K] [--n N] [--seed S] [--port P] [--duration S]
 //             [--threads T]
 //   top       --port P [--host H] [--endpoint /varz|/healthz|...]
+//   profile   [--kind K] [--n N] [--seed S] [--seconds S] [--hz HZ]
+//             [--out <file.collapsed>]
 //
 // `bench` builds the chosen index (through ELSI's build processor unless
 // --method og) and reports build time plus point/window/kNN query timings
@@ -41,6 +43,14 @@
 // /varz, /debug/trace and /debug/queries show live data. --duration 0
 // (default) serves until the process is killed. `top` fetches one endpoint
 // from a running server and prints it (a curl-free liveness probe).
+//
+// `profile` runs the elsi::prof stack over a self-contained query/update
+// workload: per-span hardware-counter attribution (IPC, LLC misses per
+// call) plus the sampling CPU profiler, whose collapsed stacks go to
+// --out (flamegraph.pl / speedscope input). Degrades gracefully where
+// perf_event_open is denied — span wall-clock attribution and the
+// clock-only sampler still work, and the counter status line says why
+// (see DESIGN.md "Profiling & hardware counters").
 //
 // Flags accept both "--flag value" and "--flag=value".
 
@@ -70,6 +80,9 @@
 #include "obs/trace.h"
 #include "persist/elsi.h"
 #include "persist/snapshot.h"
+#include "prof/counters.h"
+#include "prof/sampler.h"
+#include "prof/span_costs.h"
 
 namespace elsi {
 namespace {
@@ -97,7 +110,9 @@ int Usage() {
       "                    [--insert N] [--checkpoint 0|1] [--seed S]\n"
       "  elsi_cli serve    [--kind K] [--n N] [--seed S] [--port P]\n"
       "                    [--duration S] [--threads T]\n"
-      "  elsi_cli top      --port P [--host H] [--endpoint /varz]\n");
+      "  elsi_cli top      --port P [--host H] [--endpoint /varz]\n"
+      "  elsi_cli profile  [--kind K] [--n N] [--seed S] [--seconds S]\n"
+      "                    [--hz HZ] [--out <file.collapsed>]\n");
   return 2;
 }
 
@@ -705,7 +720,9 @@ int RunServe(const std::map<std::string, std::string>& flags) {
   }
   std::printf("serving on http://%s:%u\n", options.bind_address.c_str(),
               exporter.port());
-  std::printf("  /metrics /varz /healthz /debug/trace /debug/queries\n");
+  std::printf(
+      "  /metrics /varz /healthz /debug/trace /debug/queries"
+      " /debug/profile\n");
   std::printf("built ZM on %s, n=%zu; workload running%s\n",
               kind_name.c_str(), n,
               duration > 0 ? "" : " (Ctrl-C to stop)");
@@ -734,6 +751,119 @@ int RunServe(const std::map<std::string, std::string>& flags) {
   std::printf("served %.1f s, %llu workload rounds\n",
               uptime.ElapsedSeconds(),
               static_cast<unsigned long long>(round));
+  return 0;
+}
+
+int RunProfile(const std::map<std::string, std::string>& flags) {
+  const std::string kind_name = FlagOr(flags, "kind", "osm1");
+  const size_t n =
+      std::strtoull(FlagOr(flags, "n", "20000").c_str(), nullptr, 10);
+  const uint64_t seed =
+      std::strtoull(FlagOr(flags, "seed", "42").c_str(), nullptr, 10);
+  const double seconds = std::atof(FlagOr(flags, "seconds", "2").c_str());
+  const int hz = std::atoi(FlagOr(flags, "hz", "99").c_str());
+  const std::string out = FlagOr(flags, "out", "profile.collapsed");
+
+  const std::map<std::string, DatasetKind> kinds = {
+      {"uniform", DatasetKind::kUniform}, {"skewed", DatasetKind::kSkewed},
+      {"osm1", DatasetKind::kOsm1},       {"osm2", DatasetKind::kOsm2},
+      {"tpch", DatasetKind::kTpch},       {"nyc", DatasetKind::kNyc}};
+  const auto kit = kinds.find(kind_name);
+  if (kit == kinds.end() || n == 0 || seconds <= 0) return Usage();
+
+  // Counter availability up front: "hardware", "software (no PMU: ...)" or
+  // "unavailable (...)" — the rest of the run adapts, never fails.
+  std::printf("counters: %s\n", prof::CounterStatus().c_str());
+
+  // Span attribution on before any spans run, so build + queries + updates
+  // all land in the table.
+  prof::SpanCostRegistry::Get().Enable();
+
+  const Dataset all = GenerateDataset(kit->second, n * 2, seed);
+  const Dataset base(all.begin(), all.begin() + n);
+  auto trainer = std::make_shared<DirectTrainer>();
+  BaseIndexScale scale;
+  scale.leaf_target = std::max<size_t>(2000, n / 16);
+  std::unique_ptr<SpatialIndex> index =
+      MakeBaseIndex(BaseIndexKind::kZM, trainer, scale);
+  const RebuildPredictor predictor = MakeStatsPredictor(seed);
+  UpdateProcessorConfig up_cfg;
+  up_cfg.f_u = 256;
+  up_cfg.seed = seed;
+  UpdateProcessor updater(index.get(), &predictor, up_cfg);
+  updater.Build(base);
+  std::printf("built ZM on %s, n=%zu; profiling %.1f s at %d Hz\n",
+              kind_name.c_str(), n, seconds, hz);
+
+  prof::ProfilerOptions popts;
+  popts.hz = hz;
+  std::string error;
+  const bool sampling = prof::CpuProfiler::Get().Start(popts, &error);
+  if (!sampling) {
+    std::printf("sampler unavailable: %s (span attribution still on)\n",
+                error.c_str());
+  }
+
+  // The serve-style mixed workload, unthrottled, until the clock runs out.
+  const auto probes = SamplePointQueries(base, 512, seed + 1);
+  const auto windows = SampleWindowQueries(base, 64, 0.0001, seed + 2);
+  const auto knn_probes = SampleKnnQueries(base, 64, seed + 3);
+  BatchQueryOptions batch_opts;
+  batch_opts.pool = &ThreadPool::Global();
+  batch_opts.chunk = 256;
+  std::vector<uint8_t> hit(probes.size(), 0);
+  std::vector<Point> payload(probes.size());
+  Timer uptime;
+  size_t insert_pos = n;
+  uint64_t rounds = 0;
+  while (uptime.ElapsedSeconds() < seconds) {
+    for (const Point& q : probes) index->PointQuery(q);
+    index->PointQueryBatch(probes, hit, payload, batch_opts);
+    for (const Rect& w : windows) index->WindowQuery(w);
+    for (const Point& q : knn_probes) index->KnnQuery(q, 10);
+    for (int i = 0; i < 64 && insert_pos < all.size(); ++i) {
+      updater.Insert(all[insert_pos++]);
+    }
+    if (insert_pos >= all.size()) insert_pos = n;  // recycle the tail
+    ++rounds;
+  }
+
+  if (sampling) {
+    prof::CpuProfiler::Get().Stop();
+    const prof::ProfilerStats stats = prof::CpuProfiler::Get().Stats();
+    if (!prof::WriteCollapsedProfile(out, &error)) {
+      std::fprintf(stderr, "profile write failed: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf(
+        "profile: %llu samples from %llu threads (%llu dropped) -> %s\n"
+        "         flamegraph.pl %s > flame.svg, or paste into speedscope\n",
+        static_cast<unsigned long long>(stats.samples),
+        static_cast<unsigned long long>(stats.threads_seen),
+        static_cast<unsigned long long>(stats.dropped), out.c_str(),
+        out.c_str());
+  }
+
+  // Span cost table: wall-clock always; IPC/LLC columns only when the
+  // hardware tier opened (software tier shows task-clock instead).
+  const std::vector<prof::SpanCost> costs =
+      prof::SpanCostRegistry::Get().Snapshot();
+  prof::SpanCostRegistry::Get().Disable();
+  std::printf("\n%llu workload rounds; %zu span names\n",
+              static_cast<unsigned long long>(rounds), costs.size());
+  std::printf("%-32s %10s %10s %7s %9s %9s\n", "span", "calls", "wall ms",
+              "ipc", "llc/call", "br/call");
+  for (const prof::SpanCost& c : costs) {
+    std::printf("%-32s %10llu %10.2f", c.name.c_str(),
+                static_cast<unsigned long long>(c.count),
+                static_cast<double>(c.wall_ns) / 1e6);
+    if (c.totals.hardware) {
+      std::printf(" %7.2f %9.1f %9.1f\n", c.Ipc(), c.LlcMissPerCall(),
+                  c.BranchMissPerCall());
+    } else {
+      std::printf(" %7s %9s %9s\n", "-", "-", "-");
+    }
+  }
   return 0;
 }
 
@@ -766,6 +896,7 @@ int Main(int argc, char** argv) {
   if (command == "recover") return RunRecover(flags);
   if (command == "serve") return RunServe(flags);
   if (command == "top") return RunTop(flags);
+  if (command == "profile") return RunProfile(flags);
   return Usage();
 }
 
