@@ -1,0 +1,218 @@
+// bench_shard — sharded scatter-gather engine sweep (no paper figure; see
+// DESIGN.md "Sharded scatter-gather").
+//
+// Builds the ShardedIndex over clustered data at shard counts {1, 2, 4, 8,
+// 16} and, per shard count, measures:
+//
+//   point  — one batched point-query pass through the scatter-gather
+//            planner (every probe is a stored point, so the hit count is an
+//            exact checksum), throughput in Mops/s plus the speedup over
+//            the 1-shard row (routing to a smaller per-shard index is the
+//            win even on one core),
+//   window — a batched window pass (pruned fan-out + canonical merge),
+//   knn    — best-first shard visiting with the mean shards-visited
+//            counter (the pruning evidence: well below the shard count on
+//            clustered data),
+//   ops    — the three analytics operators (containment join, distance
+//            join, aggregate-by-region) with exact match-count checksums.
+//
+// Writes BENCH_shard.json (override with ELSI_BENCH_SHARD_OUT) for the
+// bench_diff gate: checksums are exact, timings advisory, throughputs get
+// loose floors in CI (foreign runners differ; a planner regression that
+// fans out to every shard tanks them far past the tolerance).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "data/workload.h"
+#include "shard/operators.h"
+#include "shard/sharded_index.h"
+
+namespace elsi {
+namespace bench {
+namespace {
+
+struct ShardRow {
+  size_t shards = 0;
+  double build_seconds = 0.0;
+  size_t point_hits = 0;
+  double point_mops = 0.0;
+  double point_scaling = 1.0;
+  size_t window_results = 0;
+  double window_kqps = 0.0;
+  size_t knn_results = 0;
+  double knn_kqps = 0.0;
+  double knn_visited_mean = 0.0;
+  size_t join_matches = 0;
+  size_t distance_matches = 0;
+  size_t aggregate_count = 0;
+  double ops_seconds = 0.0;
+};
+
+ShardRow RunShardCount(const Dataset& data, size_t shards,
+                       const std::vector<Point>& probes,
+                       const std::vector<Rect>& windows,
+                       const std::vector<Point>& knn_queries, size_t k,
+                       const std::vector<Rect>& regions,
+                       double join_radius) {
+  shard::ShardedIndexConfig cfg;
+  cfg.partition.shards = shards;
+  cfg.shard.kind = BaseIndexKind::kZM;
+  cfg.shard.elsi = false;  // DirectTrainer keeps the sweep about the planner.
+  cfg.shard.build.model = BenchModelConfig();
+  cfg.shard.scale = BenchScale(std::max<size_t>(data.size() / shards, 1000));
+  cfg.pool = &ThreadPool::Global();
+  shard::ShardedIndex index(cfg);
+
+  ShardRow row;
+  row.shards = shards;
+  Timer build_timer;
+  index.Build(data);
+  row.build_seconds = build_timer.ElapsedSeconds();
+
+  BatchQueryOptions opts;
+  opts.pool = &ThreadPool::Global();
+  opts.chunk = 512;
+
+  {
+    std::vector<uint8_t> hit(probes.size(), 0);
+    std::vector<Point> out(probes.size());
+    Timer timer;
+    index.PointQueryBatch(probes, hit, out, opts);
+    const double seconds = timer.ElapsedSeconds();
+    for (uint8_t h : hit) row.point_hits += h;
+    row.point_mops = static_cast<double>(probes.size()) / seconds / 1e6;
+  }
+
+  {
+    std::vector<std::vector<Point>> out(windows.size());
+    Timer timer;
+    index.WindowQueryBatch(windows, out, opts);
+    const double seconds = timer.ElapsedSeconds();
+    for (const auto& pts : out) row.window_results += pts.size();
+    row.window_kqps = static_cast<double>(windows.size()) / seconds / 1e3;
+  }
+
+  {
+    size_t visited = 0;
+    Timer timer;
+    for (const Point& q : knn_queries) {
+      shard::ShardedIndex::KnnStats stats;
+      row.knn_results += index.KnnQueryCounted(q, k, &stats).size();
+      visited += stats.shards_visited;
+    }
+    const double seconds = timer.ElapsedSeconds();
+    row.knn_kqps = static_cast<double>(knn_queries.size()) / seconds / 1e3;
+    row.knn_visited_mean = static_cast<double>(visited) /
+                           static_cast<double>(knn_queries.size());
+  }
+
+  {
+    Timer timer;
+    row.join_matches = shard::ContainmentJoin(index, regions, opts).size();
+    row.distance_matches =
+        shard::DistanceJoin(index, knn_queries, join_radius, opts).size();
+    for (const auto& agg : shard::AggregateByRegion(index, regions, opts)) {
+      row.aggregate_count += agg.count;
+    }
+    row.ops_seconds = timer.ElapsedSeconds();
+  }
+  return row;
+}
+
+int Run(int argc, char** argv) {
+  InitBenchThreads(argc, argv);
+  PrintBanner("bench_shard",
+              "sharded scatter-gather: shard-count sweep on clustered data");
+
+  const size_t n = BenchN();
+  const uint64_t seed = BenchSeed();
+  const size_t k = 10;
+  const double join_radius = 0.02;
+  const Dataset data = GenerateDataset(DatasetKind::kOsm1, n, seed);
+  const std::vector<Point> probes =
+      SamplePointQueries(data, FullMode() ? 50000 : 20000, seed + 1);
+  const std::vector<Rect> windows =
+      SampleWindowQueries(data, FullMode() ? 1000 : 400, 0.01, seed + 2);
+  const std::vector<Point> knn_queries =
+      SampleKnnQueries(data, FullMode() ? 1000 : 400, seed + 3);
+  const std::vector<Rect> regions =
+      SampleWindowQueries(data, FullMode() ? 500 : 200, 0.02, seed + 4);
+
+  const std::vector<size_t> sweep = {1, 2, 4, 8, 16};
+  std::vector<ShardRow> rows;
+  Table table({"shards", "build", "point Mops/s", "speedup", "window kq/s",
+               "knn kq/s", "knn visited", "join matches"});
+  for (const size_t shards : sweep) {
+    ShardRow row = RunShardCount(data, shards, probes, windows, knn_queries,
+                                 k, regions, join_radius);
+    if (row.point_hits != probes.size()) {
+      std::fprintf(stderr, "shards=%zu: %zu of %zu probes missed\n", shards,
+                   probes.size() - row.point_hits, probes.size());
+      return 1;
+    }
+    if (!rows.empty()) row.point_scaling = row.point_mops / rows[0].point_mops;
+    table.AddRow({std::to_string(row.shards), FormatSeconds(row.build_seconds),
+                  FormatRatio(row.point_mops),
+                  FormatRatio(row.point_scaling) + "x",
+                  FormatRatio(row.window_kqps), FormatRatio(row.knn_kqps),
+                  FormatRatio(row.knn_visited_mean),
+                  std::to_string(row.join_matches)});
+    rows.push_back(row);
+  }
+  table.Print();
+
+  const char* env_out = std::getenv("ELSI_BENCH_SHARD_OUT");
+  const std::string out = (env_out != nullptr && env_out[0] != '\0')
+                              ? env_out
+                              : "BENCH_shard.json";
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"n\": %zu,\n"
+               "  \"seed\": %llu,\n"
+               "  \"k\": %zu,\n"
+               "  \"rows\": [\n",
+               n, static_cast<unsigned long long>(seed), k);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ShardRow& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"name\": \"shards%zu\", \"build_seconds\": %.3f,\n"
+        "     \"point\": {\"hits\": %zu, \"throughput_mops\": %.3f, "
+        "\"scaling_speedup\": %.3f, \"batch\": 512},\n"
+        "     \"window\": {\"result_count\": %zu, \"throughput_kqps\": "
+        "%.3f},\n"
+        "     \"knn\": {\"result_count\": %zu, \"throughput_kqps\": %.3f, "
+        "\"shards_visited_mean\": %.3f},\n"
+        "     \"join\": {\"result_count\": %zu},\n"
+        "     \"distance_join\": {\"result_count\": %zu},\n"
+        "     \"aggregate\": {\"result_count\": %zu},\n"
+        "     \"ops_seconds\": %.3f}%s\n",
+        r.shards, r.build_seconds, r.point_hits, r.point_mops,
+        r.point_scaling, r.window_results, r.window_kqps, r.knn_results,
+        r.knn_kqps, r.knn_visited_mean, r.join_matches, r.distance_matches,
+        r.aggregate_count, r.ops_seconds, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace elsi
+
+int main(int argc, char** argv) { return elsi::bench::Run(argc, argv); }

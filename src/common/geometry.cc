@@ -49,4 +49,8 @@ Rect BoundingRect(const std::vector<Point>& points) {
   return r;
 }
 
+void SortCanonical(std::vector<Point>* pts) {
+  std::sort(pts->begin(), pts->end(), CanonicalLess);
+}
+
 }  // namespace elsi

@@ -77,6 +77,20 @@ struct Rect {
 /// Minimum bounding rectangle of a point set (empty Rect for no points).
 Rect BoundingRect(const std::vector<Point>& points);
 
+/// The canonical window-result order: ascending (x, y, id). A total order
+/// on stored points (ids are unique within a dataset), pinned by every
+/// WindowQuery/WindowQueryBatch implementation so that any two indices over
+/// the same data return bit-identical windows and scatter-gather merges
+/// compare against single-index oracles exactly.
+inline bool CanonicalLess(const Point& a, const Point& b) {
+  if (a.x != b.x) return a.x < b.x;
+  if (a.y != b.y) return a.y < b.y;
+  return a.id < b.id;
+}
+
+/// Sorts `pts` into the canonical result order.
+void SortCanonical(std::vector<Point>* pts);
+
 }  // namespace elsi
 
 #endif  // ELSI_COMMON_GEOMETRY_H_

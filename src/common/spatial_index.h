@@ -46,7 +46,10 @@ void ForEachQueryChunk(size_t n, const BatchQueryOptions& opts,
 /// Query semantics:
 ///  * PointQuery finds a stored point with exactly the query's coordinates
 ///    (the paper's point queries probe indexed points).
-///  * WindowQuery returns points inside the closed rectangle. Learned
+///  * WindowQuery returns points inside the closed rectangle, always in the
+///    canonical result order (ascending (x, y, id) — see CanonicalLess).
+///    The pinned order lets the sharded scatter-gather planner compare
+///    merged results against single-index oracles bit-exactly. Learned
 ///    indices may return approximate results (RSMI by design; LISA when its
 ///    shard predictor is an FFN) — recall is measured by the harness.
 ///  * KnnQuery returns the k nearest points by Euclidean distance; learned

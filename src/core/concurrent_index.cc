@@ -176,29 +176,93 @@ bool ConcurrentIndex::PointQuery(const Point& q, Point* out) const {
   return hit;
 }
 
+void ConcurrentIndex::OverlayWindow(const Generation& gen, const Rect& w,
+                                    std::vector<Point>* out) {
+  const bool any_tombstones =
+      gen.live->tombstone_count() > 0 ||
+      (gen.frozen != nullptr && gen.frozen->tombstone_count() > 0);
+  if (any_tombstones) {
+    out->erase(std::remove_if(out->begin(), out->end(),
+                              [&](const Point& p) {
+                                return Tombstoned(gen, p);
+                              }),
+               out->end());
+  }
+  if (gen.frozen != nullptr) {
+    gen.frozen->ForEachInserted([&](const Point& p) {
+      if (w.Contains(p) && !gen.live->IsTombstoned(p)) out->push_back(p);
+    });
+  }
+  gen.live->ForEachInserted([&](const Point& p) {
+    if (w.Contains(p)) out->push_back(p);
+  });
+  // Delta overlay breaks the base's canonical order; re-pin it here so the
+  // wrapper honours the same (x, y, id) window contract as the base index.
+  SortCanonical(out);
+}
+
 std::vector<Point> ConcurrentIndex::WindowQuery(const Rect& w) const {
   EpochManager::Guard guard(*epoch_);
   Generation* gen = Root();
   std::vector<Point> out = gen->base->WindowQuery(w);
-  const bool any_tombstones =
-      gen->live->tombstone_count() > 0 ||
-      (gen->frozen != nullptr && gen->frozen->tombstone_count() > 0);
-  if (any_tombstones) {
-    out.erase(std::remove_if(out.begin(), out.end(),
-                             [&](const Point& p) {
-                               return Tombstoned(*gen, p);
-                             }),
-              out.end());
-  }
-  if (gen->frozen != nullptr) {
-    gen->frozen->ForEachInserted([&](const Point& p) {
-      if (w.Contains(p) && !gen->live->IsTombstoned(p)) out.push_back(p);
-    });
-  }
-  gen->live->ForEachInserted([&](const Point& p) {
-    if (w.Contains(p)) out.push_back(p);
-  });
+  OverlayWindow(*gen, w, &out);
   return out;
+}
+
+void ConcurrentIndex::WindowQueryBatch(std::span<const Rect> ws,
+                                       std::span<std::vector<Point>> out,
+                                       const BatchQueryOptions& opts) const {
+  ELSI_CHECK_EQ(out.size(), ws.size());
+  ForEachQueryChunk(ws.size(), opts, [&](size_t begin, size_t end) {
+    EpochManager::Guard guard(*epoch_);
+    Generation* gen = Root();
+    const size_t len = end - begin;
+    gen->base->WindowQueryBatch(ws.subspan(begin, len),
+                                out.subspan(begin, len), {});
+    for (size_t i = begin; i < end; ++i) OverlayWindow(*gen, ws[i], &out[i]);
+  });
+}
+
+void ConcurrentIndex::PointQueryBatch(std::span<const Point> qs,
+                                      std::span<uint8_t> hit,
+                                      std::span<Point> out,
+                                      const BatchQueryOptions& opts) const {
+  ELSI_CHECK_EQ(hit.size(), qs.size());
+  ELSI_CHECK_EQ(out.size(), qs.size());
+  ForEachQueryChunk(qs.size(), opts, [&](size_t begin, size_t end) {
+    EpochManager::Guard guard(*epoch_);
+    Generation* gen = Root();
+    const size_t len = end - begin;
+    gen->base->PointQueryBatch(qs.subspan(begin, len), hit.subspan(begin, len),
+                               out.subspan(begin, len), {});
+    for (size_t i = begin; i < end; ++i) {
+      // Delta inserts are the newest state for these coordinates and win
+      // over the base hit, mirroring the scalar probe order exactly.
+      bool dhit = false;
+      Point found;
+      gen->live->ForEachInserted([&](const Point& p) {
+        if (!dhit && p.x == qs[i].x && p.y == qs[i].y) {
+          found = p;
+          dhit = true;
+        }
+      });
+      if (!dhit && gen->frozen != nullptr) {
+        gen->frozen->ForEachInserted([&](const Point& p) {
+          if (!dhit && p.x == qs[i].x && p.y == qs[i].y &&
+              !gen->live->IsTombstoned(p)) {
+            found = p;
+            dhit = true;
+          }
+        });
+      }
+      if (dhit) {
+        hit[i] = 1;
+        out[i] = found;
+      } else if (hit[i] != 0 && Tombstoned(*gen, out[i])) {
+        hit[i] = 0;
+      }
+    }
+  });
 }
 
 std::vector<Point> ConcurrentIndex::KnnQuery(const Point& q, size_t k) const {

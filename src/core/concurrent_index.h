@@ -72,6 +72,16 @@ class ConcurrentIndex : public SpatialIndex {
   bool PointQuery(const Point& q, Point* out = nullptr) const override;
   std::vector<Point> WindowQuery(const Rect& w) const override;
   std::vector<Point> KnnQuery(const Point& q, size_t k) const override;
+  /// Batched entry points pin one epoch guard per chunk and push the chunk
+  /// through the base index's batched path (the PR 2 GEMM-per-chunk fast
+  /// path), then overlay the deltas per query — answers are identical to
+  /// the scalar loop at every thread count.
+  void PointQueryBatch(std::span<const Point> qs, std::span<uint8_t> hit,
+                       std::span<Point> out,
+                       const BatchQueryOptions& opts = {}) const override;
+  void WindowQueryBatch(std::span<const Rect> ws,
+                        std::span<std::vector<Point>> out,
+                        const BatchQueryOptions& opts = {}) const override;
   size_t size() const override;
   std::vector<Point> CollectAll() const override;
   int Depth() const override;
@@ -115,6 +125,11 @@ class ConcurrentIndex : public SpatialIndex {
 
   /// True when (x, y, id) is tombstoned in either delta of `gen`.
   static bool Tombstoned(const Generation& gen, const Point& p);
+
+  /// Applies `gen`'s deltas to a base window result: drops tombstoned
+  /// points, appends in-window delta inserts, re-pins canonical order.
+  static void OverlayWindow(const Generation& gen, const Rect& w,
+                            std::vector<Point>* out);
 
   /// base + frozen-delta contents with `gen`'s frozen tombstones applied
   /// (live-delta state is NOT folded — it survives the merge).

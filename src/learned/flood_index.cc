@@ -123,6 +123,7 @@ std::vector<Point> FloodIndex::WindowQuery(const Rect& w) const {
   for (size_t c = c_lo; c <= c_hi && c < columns_.size(); ++c) {
     ScanColumn(columns_[c], w.lo_y, w.hi_y, w, &result);
   }
+  SortCanonical(&result);
   return result;
 }
 

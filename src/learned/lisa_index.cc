@@ -251,6 +251,7 @@ std::vector<Point> LisaIndex::WindowQuery(const Rect& w) const {
       shards_[sh].ScanKeyRangeInRect(key_lo, key_hi, w, &result);
     }
   }
+  SortCanonical(&result);
   return result;
 }
 
@@ -336,6 +337,7 @@ void LisaIndex::WindowQueryBatch(std::span<const Rect> ws,
                                        ws[begin + iv.w], &out[begin + iv.w]);
       }
     }
+    for (size_t i = begin; i < end; ++i) SortCanonical(&out[i]);
   });
 }
 

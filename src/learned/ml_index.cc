@@ -178,6 +178,7 @@ std::vector<Point> MlIndex::WindowQuery(const Rect& w) const {
   const double r = std::hypot(w.hi_x - w.lo_x, w.hi_y - w.lo_y) / 2.0;
   RingScan(center, r, w, &result);
   knn::FilterContained(w, &result);
+  SortCanonical(&result);
   return result;
 }
 

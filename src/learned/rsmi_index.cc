@@ -438,6 +438,7 @@ std::vector<Point> RsmiIndex::WindowQuery(const Rect& w) const {
   std::vector<Point> result;
   if (w.empty() || root_ == nullptr || size_ == 0) return result;
   WindowQueryNode(root_.get(), w, &result);
+  SortCanonical(&result);
   return result;
 }
 

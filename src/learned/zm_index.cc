@@ -83,6 +83,7 @@ std::vector<Point> ZmIndex::WindowQuery(const Rect& w) const {
     // overflow inserts; scan the full key range for those.
     array_.ScanKeyRangeInRect(0.0, KeyOf(Point{domain_.hi_x, domain_.hi_y, 0}),
                               w, &result);
+    SortCanonical(&result);
     return result;
   }
   const uint64_t zmin = CodeOf(lo);
@@ -114,6 +115,7 @@ std::vector<Point> ZmIndex::WindowScanFrom(const Rect& w, uint64_t zmin,
   // Merge inserted points from the overflow pages covering the Z-range.
   array_.ScanOverflowInRect(static_cast<double>(zmin),
                             static_cast<double>(zmax), w, &result);
+  SortCanonical(&result);
   return result;
 }
 

@@ -1,10 +1,13 @@
 #include "obs/http_exporter.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -275,6 +278,38 @@ std::string ExemplarComments(const FlightSnapshot& flight) {
   return out.str();
 }
 
+/// The /healthz "shard" block: population and balance of the sharded
+/// scatter-gather engine (src/shard/). All zeros / empty when no
+/// ShardedIndex runs in this process. Per-shard point counts come from the
+/// shard.points.<i> gauges published by ShardedIndex::UpdateShardMetrics;
+/// skew is the peak-to-mean population ratio, degraded counts shards whose
+/// model-health monitor entry has tripped.
+std::string ShardJson(const MetricsSnapshot& metrics) {
+  constexpr std::string_view kPrefix = "shard.points.";
+  std::vector<std::pair<size_t, int64_t>> points;
+  for (const auto& [name, value] : metrics.gauges) {
+    if (name.size() > kPrefix.size() &&
+        name.compare(0, kPrefix.size(), kPrefix) == 0) {
+      points.emplace_back(
+          std::strtoull(name.c_str() + kPrefix.size(), nullptr, 10), value);
+    }
+  }
+  std::sort(points.begin(), points.end());
+  char skew[32];
+  std::snprintf(
+      skew, sizeof(skew), "%.3f",
+      static_cast<double>(FindGauge(metrics, "shard.skew_permille")) / 1000.0);
+  std::ostringstream out;
+  out << "{\"count\": " << FindGauge(metrics, "shard.count")
+      << ", \"points\": [";
+  for (size_t i = 0; i < points.size(); ++i) {
+    out << (i > 0 ? ", " : "") << points[i].second;
+  }
+  out << "], \"skew_ratio\": " << skew
+      << ", \"degraded\": " << FindGauge(metrics, "shard.degraded") << "}";
+  return out.str();
+}
+
 std::string HealthzJson() {
   const MetricsSnapshot metrics = MetricsRegistry::Get().Snapshot();
   const FlightSnapshot flight = FlightRecorder::Get().Snapshot();
@@ -296,6 +331,7 @@ std::string HealthzJson() {
       << ", \"delta_depth\": "
       << FindGauge(metrics, "concurrent.delta_depth")
       << ", \"merges\": " << FindCounter(metrics, "concurrent.merges") << "}"
+      << ",\n \"shard\": " << ShardJson(metrics)
       << ",\n \"trace\": {\"dropped\": "
       << FindCounter(metrics, "trace.dropped_total") << "}"
       << ",\n \"flight\": " << FlightSummaryJson(flight)

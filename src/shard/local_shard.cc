@@ -1,0 +1,140 @@
+#include "shard/local_shard.h"
+
+#include <utility>
+
+#include "obs/flight_recorder.h"
+#include "obs/model_health.h"
+#include "persist/io.h"
+
+namespace elsi {
+namespace shard {
+
+const char* ShardHealthName(size_t id) {
+  static std::mutex mu;
+  // Leaked on purpose: QueryScope keeps the pointer beyond any scope we
+  // could tie it to, so the names must live for the process lifetime.
+  static std::vector<const std::string*>* names =
+      new std::vector<const std::string*>();
+  std::lock_guard<std::mutex> lock(mu);
+  while (names->size() <= id) {
+    names->push_back(new std::string("shard" + std::to_string(names->size())));
+  }
+  return (*names)[id]->c_str();
+}
+
+LocalShard::LocalShard(size_t id, const LocalShardConfig& config)
+    : id_(id), config_(config), health_name_(ShardHealthName(id)) {
+  if (config_.elsi) {
+    trainer_ = MakeElsiProcessor(config_.kind, config_.build, config_.selector);
+  } else {
+    trainer_ = std::make_shared<DirectTrainer>(config_.build.model);
+  }
+  concurrent::ConcurrentIndexConfig cc;
+  cc.merge_threshold = config_.merge_threshold;
+  index_ = std::make_unique<concurrent::ConcurrentIndex>(
+      MakeBase(), [this] { return MakeBase(); }, cc);
+}
+
+std::unique_ptr<SpatialIndex> LocalShard::MakeBase() const {
+  return MakeBaseIndex(config_.kind, trainer_, config_.scale);
+}
+
+std::string LocalShard::Name() const {
+  return std::string(health_name_) + ":" + index_->Name();
+}
+
+size_t LocalShard::PointCount() const { return index_->size(); }
+
+Rect LocalShard::Extent() const {
+  std::lock_guard<std::mutex> lock(extent_mu_);
+  return extent_;
+}
+
+void LocalShard::Build(const std::vector<Point>& data) {
+  index_->Build(data);
+  {
+    std::lock_guard<std::mutex> lock(extent_mu_);
+    extent_ = BoundingRect(data);
+  }
+  obs::ModelHealthMonitor::Get().OnBuild(health_name_);
+}
+
+void LocalShard::Insert(const Point& p) {
+  index_->Insert(p);
+  std::lock_guard<std::mutex> lock(extent_mu_);
+  extent_.Extend(p);
+}
+
+bool LocalShard::Remove(const Point& p) {
+  // The extent stays a superset bound: shrinking it exactly would need a
+  // scan, and an over-approximation only costs pruning precision.
+  return index_->Remove(p);
+}
+
+bool LocalShard::PointQuery(const Point& q, Point* out) const {
+  obs::QueryScope scope(health_name_, obs::QueryKind::kPoint);
+  return index_->PointQuery(q, out);
+}
+
+std::vector<Point> LocalShard::WindowQuery(const Rect& w) const {
+  obs::QueryScope scope(health_name_, obs::QueryKind::kWindow);
+  return index_->WindowQuery(w);
+}
+
+std::vector<Point> LocalShard::KnnQuery(const Point& q, size_t k) const {
+  obs::QueryScope scope(health_name_, obs::QueryKind::kKnn);
+  return index_->KnnQuery(q, k);
+}
+
+void LocalShard::PointQueryBatch(std::span<const Point> qs,
+                                 std::span<uint8_t> hit, std::span<Point> out,
+                                 const BatchQueryOptions& opts) const {
+  index_->PointQueryBatch(qs, hit, out, opts);
+}
+
+void LocalShard::WindowQueryBatch(std::span<const Rect> ws,
+                                  std::span<std::vector<Point>> out,
+                                  const BatchQueryOptions& opts) const {
+  index_->WindowQueryBatch(ws, out, opts);
+}
+
+bool LocalShard::Degraded() const {
+  for (const obs::IndexHealth& h : obs::ModelHealthMonitor::Get().Snapshot()) {
+    if (h.index == health_name_) return h.degraded;
+  }
+  return false;
+}
+
+int LocalShard::Depth() const { return index_->Depth(); }
+
+bool LocalShard::SaveState(persist::Writer& w) const {
+  // Fold any delta so the base alone is the complete state; the wrapper's
+  // unique_ptr lets a const shard run this maintenance on its index.
+  if (index_->delta_count() > 0) index_->MergeNow();
+  Rect extent;
+  {
+    std::lock_guard<std::mutex> lock(extent_mu_);
+    extent = extent_;
+  }
+  persist::PutRect(w, extent);
+  return index_->UnsafeBase()->SaveState(w);
+}
+
+bool LocalShard::LoadState(persist::Reader& r) {
+  const Rect extent = persist::GetRect(r);
+  std::unique_ptr<SpatialIndex> base = MakeBase();
+  if (!base->LoadState(r) || !r.ok()) return false;
+  concurrent::ConcurrentIndexConfig cc;
+  cc.merge_threshold = config_.merge_threshold;
+  index_ = std::make_unique<concurrent::ConcurrentIndex>(
+      std::move(base), [this] { return MakeBase(); }, cc);
+  {
+    std::lock_guard<std::mutex> lock(extent_mu_);
+    extent_ = extent;
+  }
+  obs::ModelHealthMonitor::Get().OnBuild(health_name_);
+  return true;
+}
+
+}  // namespace shard
+}  // namespace elsi

@@ -1,0 +1,88 @@
+#ifndef ELSI_SHARD_LOCAL_SHARD_H_
+#define ELSI_SHARD_LOCAL_SHARD_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/concurrent_index.h"
+#include "core/elsi.h"
+#include "shard/shard_client.h"
+
+namespace elsi {
+namespace shard {
+
+/// Interned per-shard metric name ("shard0", "shard1", ...). The returned
+/// pointer has static storage duration, as obs::QueryScope requires.
+const char* ShardHealthName(size_t id);
+
+/// How each in-process shard assembles its ELSI stack.
+struct LocalShardConfig {
+  BaseIndexKind kind = BaseIndexKind::kZM;
+  /// true: train through a BuildProcessor (the ELSI "-F" pipeline); false:
+  /// the OG DirectTrainer baseline.
+  bool elsi = true;
+  BaseIndexScale scale;
+  BuildProcessorConfig build;
+  /// Selector driving the build processor. Null picks the first enabled
+  /// method (SP), which keeps shard builds deterministic; shards sharing a
+  /// selector is safe (BuildProcessor serializes its calls).
+  std::shared_ptr<MethodSelector> selector;
+  /// ConcurrentIndex auto-merge threshold (0 = manual merges only).
+  size_t merge_threshold = 0;
+};
+
+/// One in-process shard: an independent ELSI instance — its own trainer
+/// (BuildProcessor or DirectTrainer), its own base index, wrapped in a
+/// ConcurrentIndex for lock-free serving — plus the per-shard extent the
+/// planner prunes with and per-shard observability (flight-recorder scopes
+/// and model-health registration under ShardHealthName(id)).
+class LocalShard : public ShardClient {
+ public:
+  LocalShard(size_t id, const LocalShardConfig& config);
+
+  LocalShard(const LocalShard&) = delete;
+  LocalShard& operator=(const LocalShard&) = delete;
+
+  std::string Name() const override;
+  size_t PointCount() const override;
+  Rect Extent() const override;
+  void Build(const std::vector<Point>& data) override;
+  void Insert(const Point& p) override;
+  bool Remove(const Point& p) override;
+  bool PointQuery(const Point& q, Point* out) const override;
+  std::vector<Point> WindowQuery(const Rect& w) const override;
+  std::vector<Point> KnnQuery(const Point& q, size_t k) const override;
+  void PointQueryBatch(std::span<const Point> qs, std::span<uint8_t> hit,
+                       std::span<Point> out,
+                       const BatchQueryOptions& opts) const override;
+  void WindowQueryBatch(std::span<const Rect> ws,
+                        std::span<std::vector<Point>> out,
+                        const BatchQueryOptions& opts) const override;
+  bool Degraded() const override;
+  int Depth() const override;
+  bool SaveState(persist::Writer& w) const override;
+  bool LoadState(persist::Reader& r) override;
+
+  size_t id() const { return id_; }
+
+  /// The serving wrapper (test/benchmark access).
+  concurrent::ConcurrentIndex* index() { return index_.get(); }
+
+ private:
+  std::unique_ptr<SpatialIndex> MakeBase() const;
+
+  size_t id_;
+  LocalShardConfig config_;
+  const char* health_name_;  // Interned; static storage duration.
+  std::shared_ptr<ModelTrainer> trainer_;
+  std::unique_ptr<concurrent::ConcurrentIndex> index_;
+  mutable std::mutex extent_mu_;
+  Rect extent_;  // Superset bound; grows on insert, kept on remove.
+};
+
+}  // namespace shard
+}  // namespace elsi
+
+#endif  // ELSI_SHARD_LOCAL_SHARD_H_

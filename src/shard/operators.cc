@@ -1,0 +1,78 @@
+#include "shard/operators.h"
+
+#include <algorithm>
+
+#include "common/knn.h"
+#include "obs/metrics.h"
+
+namespace elsi {
+namespace shard {
+
+std::vector<RegionMatch> ContainmentJoin(const SpatialIndex& index,
+                                         std::span<const Rect> regions,
+                                         const BatchQueryOptions& opts) {
+  obs::GetCounter("shard.op.containment_join").Add(1);
+  std::vector<std::vector<Point>> windows(regions.size());
+  index.WindowQueryBatch(regions, windows, opts);
+  size_t total = 0;
+  for (const auto& pts : windows) total += pts.size();
+  std::vector<RegionMatch> out;
+  out.reserve(total);
+  for (size_t i = 0; i < windows.size(); ++i) {
+    for (const Point& p : windows[i]) out.push_back({i, p});
+  }
+  return out;
+}
+
+std::vector<DistanceMatch> DistanceJoin(const SpatialIndex& index,
+                                        std::span<const Point> probes,
+                                        double radius,
+                                        const BatchQueryOptions& opts) {
+  obs::GetCounter("shard.op.distance_join").Add(1);
+  const double r = radius < 0.0 ? 0.0 : radius;
+  const double r2 = r * r;
+  std::vector<Rect> windows;
+  windows.reserve(probes.size());
+  for (const Point& p : probes) {
+    windows.push_back(Rect::Of(p.x - r, p.y - r, p.x + r, p.y + r));
+  }
+  std::vector<std::vector<Point>> candidates(probes.size());
+  index.WindowQueryBatch(windows, candidates, opts);
+  std::vector<DistanceMatch> out;
+  for (size_t i = 0; i < probes.size(); ++i) {
+    knn::FilterWithinRadius(probes[i], r2, &candidates[i]);
+    const size_t start = out.size();
+    for (const Point& p : candidates[i]) {
+      out.push_back({i, p, SquaredDistance(probes[i], p)});
+    }
+    std::sort(out.begin() + start, out.end(),
+              [](const DistanceMatch& a, const DistanceMatch& b) {
+                return a.d2 != b.d2 ? a.d2 < b.d2 : a.point.id < b.point.id;
+              });
+  }
+  return out;
+}
+
+std::vector<RegionAggregate> AggregateByRegion(const SpatialIndex& index,
+                                               std::span<const Rect> regions,
+                                               const BatchQueryOptions& opts) {
+  obs::GetCounter("shard.op.aggregate_by_region").Add(1);
+  std::vector<std::vector<Point>> windows(regions.size());
+  index.WindowQueryBatch(regions, windows, opts);
+  std::vector<RegionAggregate> out(regions.size());
+  for (size_t i = 0; i < windows.size(); ++i) {
+    RegionAggregate& agg = out[i];
+    // The window result is canonical, so this accumulation order — and
+    // therefore every float sum — is identical for any index over the data.
+    for (const Point& p : windows[i]) {
+      ++agg.count;
+      agg.sum_x += p.x;
+      agg.sum_y += p.y;
+      agg.mbr.Extend(p);
+    }
+  }
+  return out;
+}
+
+}  // namespace shard
+}  // namespace elsi

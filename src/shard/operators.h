@@ -1,0 +1,68 @@
+#ifndef ELSI_SHARD_OPERATORS_H_
+#define ELSI_SHARD_OPERATORS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/spatial_index.h"
+
+namespace elsi {
+namespace shard {
+
+/// Batched spatial analytics operators. They accept any SpatialIndex and
+/// ride its batched window path — over a ShardedIndex that is the
+/// scatter-gather plan with PR 2 per-shard batch kernels under the hood.
+/// Output orders are deterministic, so an operator result over N shards is
+/// comparable bit-exactly against the same operator over a single index —
+/// the property the equivalence tests pin.
+
+/// One (region, point) match of a containment join.
+struct RegionMatch {
+  size_t region = 0;  // Index into the `regions` argument.
+  Point point;
+};
+
+/// Joins `regions` with the indexed points: every (region i, point p) pair
+/// with p inside regions[i]. Output order: ascending region index, points
+/// in canonical (x, y, id) order within a region.
+std::vector<RegionMatch> ContainmentJoin(const SpatialIndex& index,
+                                         std::span<const Rect> regions,
+                                         const BatchQueryOptions& opts = {});
+
+/// One (probe, point) match of a distance join.
+struct DistanceMatch {
+  size_t probe = 0;  // Index into the `probes` argument.
+  Point point;
+  double d2 = 0.0;  // Squared distance probe -> point.
+};
+
+/// Joins `probes` with the indexed points: every (probe i, point p) pair
+/// with |p - probes[i]| <= radius. Output order: ascending probe index,
+/// then ascending (d2, id) within a probe. Distances use the dispatched
+/// squared-distance kernel (bit-identical to SquaredDistance).
+std::vector<DistanceMatch> DistanceJoin(const SpatialIndex& index,
+                                        std::span<const Point> probes,
+                                        double radius,
+                                        const BatchQueryOptions& opts = {});
+
+/// Per-region aggregate of the points inside it.
+struct RegionAggregate {
+  size_t count = 0;
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  Rect mbr;  // Empty when count == 0.
+};
+
+/// Aggregates the indexed points per region. out[i] covers regions[i].
+/// Sums accumulate over the canonical (x, y, id) point order, so they are
+/// bit-identical to an oracle aggregating its own canonical window result —
+/// float addition order never diverges between sharded and single-index.
+std::vector<RegionAggregate> AggregateByRegion(
+    const SpatialIndex& index, std::span<const Rect> regions,
+    const BatchQueryOptions& opts = {});
+
+}  // namespace shard
+}  // namespace elsi
+
+#endif  // ELSI_SHARD_OPERATORS_H_

@@ -1,0 +1,131 @@
+#include "shard/partition.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "curve/hilbert.h"
+
+namespace elsi {
+namespace shard {
+
+namespace {
+
+/// Positive-extent domain for the quantizer: the data bounding box, padded
+/// on any degenerate axis (single point, collinear data, empty input).
+Rect QuantizerDomain(const std::vector<Point>& data) {
+  Rect r = BoundingRect(data);
+  if (r.empty()) return Rect::Of(0.0, 0.0, 1.0, 1.0);
+  if (r.hi_x <= r.lo_x) r.hi_x = r.lo_x + 1.0;
+  if (r.hi_y <= r.lo_y) r.hi_y = r.lo_y + 1.0;
+  return r;
+}
+
+size_t ClampIndex(double v, size_t cells) {
+  if (!(v > 0.0)) return 0;  // NaN-safe lower clamp.
+  const size_t idx = static_cast<size_t>(v);
+  return idx >= cells ? cells - 1 : idx;
+}
+
+}  // namespace
+
+const char* PartitionCurveName(PartitionCurve curve) {
+  return curve == PartitionCurve::kHilbert ? "hilbert" : "z";
+}
+
+const char* PartitionModeName(PartitionMode mode) {
+  return mode == PartitionMode::kGrid ? "grid" : "curve";
+}
+
+void SpacePartitioner::Plan(const PartitionConfig& config,
+                            const std::vector<Point>& data) {
+  config_ = config;
+  if (config_.shards == 0) config_.shards = 1;
+  if (config_.sample_target == 0) config_.sample_target = 1;
+  domain_ = QuantizerDomain(data);
+  quantizer_.emplace(domain_);
+  grid_cols_ = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(config_.shards))));
+  grid_rows_ = (config_.shards + grid_cols_ - 1) / grid_cols_;
+  splits_.assign(config_.shards - 1, 0);
+  if (config_.mode == PartitionMode::kGrid || config_.shards == 1) return;
+
+  // Balanced splits over the sample CDF: systematic sample (every stride-th
+  // point), sort by curve key, cut at the i/shards quantiles. Duplicate keys
+  // at a cut produce equal consecutive splits, i.e. empty middle shards —
+  // never a duplicate key split across two shards, because routing compares
+  // keys, not positions.
+  std::vector<uint64_t> keys;
+  if (!data.empty()) {
+    const size_t stride =
+        std::max<size_t>(1, data.size() / config_.sample_target);
+    keys.reserve(data.size() / stride + 1);
+    for (size_t i = 0; i < data.size(); i += stride) keys.push_back(KeyOf(data[i]));
+    std::sort(keys.begin(), keys.end());
+  }
+  if (keys.empty()) return;  // All splits 0: shard 0 owns every key.
+  for (size_t i = 1; i < config_.shards; ++i) {
+    const size_t at = std::min(keys.size() - 1, i * keys.size() / config_.shards);
+    splits_[i - 1] = keys[at];
+  }
+  // Quantile rounding can produce a decreasing pair when shards > sample
+  // size; re-pin monotonicity so the ranges stay well formed.
+  for (size_t i = 1; i < splits_.size(); ++i) {
+    splits_[i] = std::max(splits_[i], splits_[i - 1]);
+  }
+}
+
+uint64_t SpacePartitioner::KeyOf(const Point& p) const {
+  const uint32_t qx = quantizer_->QuantizeX(p.x);
+  const uint32_t qy = quantizer_->QuantizeY(p.y);
+  return config_.curve == PartitionCurve::kHilbert ? HilbertEncode(qx, qy, 32)
+                                                   : MortonEncode(qx, qy);
+}
+
+uint32_t SpacePartitioner::ShardOf(const Point& p) const {
+  if (config_.shards == 1) return 0;
+  if (config_.mode == PartitionMode::kGrid) {
+    const Rect& d = domain_;
+    const size_t col = ClampIndex(
+        (p.x - d.lo_x) / (d.hi_x - d.lo_x) * static_cast<double>(grid_cols_),
+        grid_cols_);
+    const size_t row = ClampIndex(
+        (p.y - d.lo_y) / (d.hi_y - d.lo_y) * static_cast<double>(grid_rows_),
+        grid_rows_);
+    const size_t idx = row * grid_cols_ + col;
+    return static_cast<uint32_t>(std::min(idx, config_.shards - 1));
+  }
+  const uint64_t key = KeyOf(p);
+  // Shard = count of splits <= key: keys below splits[0] land in shard 0,
+  // keys equal to splits[i-1] in shard i (half-open ranges).
+  return static_cast<uint32_t>(
+      std::upper_bound(splits_.begin(), splits_.end(), key) - splits_.begin());
+}
+
+void SpacePartitioner::Save(persist::Writer& w) const {
+  w.U64(config_.shards);
+  w.U8(static_cast<uint8_t>(config_.mode));
+  w.U8(static_cast<uint8_t>(config_.curve));
+  w.U64(config_.sample_target);
+  persist::PutRect(w, domain_);
+  w.U64Vec(splits_);
+}
+
+bool SpacePartitioner::Load(persist::Reader& r) {
+  config_.shards = r.U64();
+  config_.mode = static_cast<PartitionMode>(r.U8());
+  config_.curve = static_cast<PartitionCurve>(r.U8());
+  config_.sample_target = r.U64();
+  domain_ = persist::GetRect(r);
+  if (!r.U64Vec(&splits_) || config_.shards == 0 ||
+      splits_.size() != config_.shards - 1 || domain_.empty()) {
+    return r.Fail();
+  }
+  quantizer_.emplace(domain_);
+  grid_cols_ = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(config_.shards))));
+  grid_rows_ = (config_.shards + grid_cols_ - 1) / grid_cols_;
+  return r.ok();
+}
+
+}  // namespace shard
+}  // namespace elsi

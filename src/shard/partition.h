@@ -1,0 +1,91 @@
+#ifndef ELSI_SHARD_PARTITION_H_
+#define ELSI_SHARD_PARTITION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/geometry.h"
+#include "curve/zorder.h"
+#include "persist/io.h"
+
+namespace elsi {
+namespace shard {
+
+/// Space-filling curve used to linearize points for curve-range partitioning.
+enum class PartitionCurve : uint8_t { kZOrder = 0, kHilbert = 1 };
+
+/// How the plane is carved into shards.
+///  * kCurveRange: sort the sample by curve key and cut at balanced
+///    quantiles of the sample CDF — shard i owns the key range
+///    [split[i-1], split[i]). Adapts to skew; shards are curve segments,
+///    not rectangles, so window/kNN pruning uses the per-shard data extents
+///    maintained by the engine.
+///  * kGrid: a fixed rows x cols tiling of the data bounding box. Cheap and
+///    rectangular, but skewed data piles into few tiles.
+enum class PartitionMode : uint8_t { kCurveRange = 0, kGrid = 1 };
+
+const char* PartitionCurveName(PartitionCurve curve);
+const char* PartitionModeName(PartitionMode mode);
+
+struct PartitionConfig {
+  size_t shards = 4;
+  PartitionMode mode = PartitionMode::kCurveRange;
+  PartitionCurve curve = PartitionCurve::kZOrder;
+  /// Sample size targeted by the balanced-split planner; the plan reads
+  /// every ceil(n / sample_target)-th point, so planning stays O(sample)
+  /// regardless of n. Deterministic in the data order.
+  size_t sample_target = 1 << 16;
+};
+
+/// Plans and answers the point -> shard routing. Planning is deterministic
+/// in (config, data): systematic sampling, never RNG. After Plan(), ShardOf
+/// routes any point — out-of-domain coordinates are clamped by the
+/// quantizer, so inserts outside the build domain route consistently with
+/// later queries for the same coordinates.
+class SpacePartitioner {
+ public:
+  SpacePartitioner() = default;
+
+  /// Plans shard boundaries over `data`. Empty data yields a unit-square
+  /// domain with every split collapsed to zero (shard 0 owns everything).
+  void Plan(const PartitionConfig& config, const std::vector<Point>& data);
+
+  bool planned() const { return quantizer_.has_value(); }
+  size_t shard_count() const { return config_.shards; }
+  const PartitionConfig& config() const { return config_; }
+
+  /// Bounding box the quantizer was fit to (padded to positive extent).
+  const Rect& domain() const { return domain_; }
+
+  /// Ascending split keys, size shards - 1. Shard i owns curve keys in
+  /// [splits[i-1], splits[i]) (first/last unbounded below/above). Equal
+  /// consecutive splits make the shard between them empty — that is how
+  /// N > distinct-key counts degrade.
+  const std::vector<uint64_t>& splits() const { return splits_; }
+
+  /// Curve key of `p` under the planned quantizer (kCurveRange mode).
+  uint64_t KeyOf(const Point& p) const;
+
+  /// The shard owning `p`. All points with equal coordinates — duplicate
+  /// curve keys included — map to the same shard, so duplicates never
+  /// straddle a boundary.
+  uint32_t ShardOf(const Point& p) const;
+
+  void Save(persist::Writer& w) const;
+  bool Load(persist::Reader& r);
+
+ private:
+  PartitionConfig config_;
+  Rect domain_;
+  std::optional<GridQuantizer> quantizer_;
+  std::vector<uint64_t> splits_;  // kCurveRange: shards - 1 keys.
+  size_t grid_cols_ = 0;          // kGrid tiling.
+  size_t grid_rows_ = 0;
+};
+
+}  // namespace shard
+}  // namespace elsi
+
+#endif  // ELSI_SHARD_PARTITION_H_

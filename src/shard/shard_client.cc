@@ -1,0 +1,11 @@
+#include "shard/shard_client.h"
+
+namespace elsi {
+namespace shard {
+
+bool ShardClient::SaveState(persist::Writer&) const { return false; }
+
+bool ShardClient::LoadState(persist::Reader&) { return false; }
+
+}  // namespace shard
+}  // namespace elsi

@@ -1,0 +1,84 @@
+#ifndef ELSI_SHARD_SHARD_CLIENT_H_
+#define ELSI_SHARD_SHARD_CLIENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/spatial_index.h"
+
+namespace elsi {
+namespace persist {
+class Writer;
+class Reader;
+}  // namespace persist
+
+namespace shard {
+
+/// Transport-agnostic handle to one shard, the only surface the
+/// scatter-gather planner talks to. LocalShard (shard-per-thread, this
+/// process) is the first implementation; a remote client speaking to the
+/// PR 5 HTTP server slots in behind the same interface for the future
+/// multi-process mode, which is why nothing here exposes the underlying
+/// SpatialIndex object.
+///
+/// Contracts the planner relies on:
+///  * Extent() is a superset bound: it contains every point the shard
+///    currently stores (it may over-approximate after removals). An empty
+///    Rect means the shard stores nothing.
+///  * WindowQuery returns canonical (x, y, id) order — the engine merges
+///    per-shard runs without re-checking.
+///  * KnnQuery returns (distance, id)-ordered results like any
+///    SpatialIndex, and is exact whenever the wrapped index kind is exact.
+///  * The batch entry points follow BatchQueryOptions determinism: answers
+///    are identical at every thread count.
+class ShardClient {
+ public:
+  virtual ~ShardClient() = default;
+
+  virtual std::string Name() const = 0;
+
+  /// Points currently stored (exact when writers are externally
+  /// serialized, like ConcurrentIndex::size()).
+  virtual size_t PointCount() const = 0;
+
+  /// Bounding rectangle of the shard's contents (see contract above).
+  virtual Rect Extent() const = 0;
+
+  /// Replaces the shard's contents. Called once per shard, in parallel, by
+  /// the engine's Build.
+  virtual void Build(const std::vector<Point>& data) = 0;
+
+  virtual void Insert(const Point& p) = 0;
+  virtual bool Remove(const Point& p) = 0;
+
+  virtual bool PointQuery(const Point& q, Point* out) const = 0;
+  virtual std::vector<Point> WindowQuery(const Rect& w) const = 0;
+  virtual std::vector<Point> KnnQuery(const Point& q, size_t k) const = 0;
+
+  virtual void PointQueryBatch(std::span<const Point> qs,
+                               std::span<uint8_t> hit, std::span<Point> out,
+                               const BatchQueryOptions& opts) const = 0;
+  virtual void WindowQueryBatch(std::span<const Rect> ws,
+                                std::span<std::vector<Point>> out,
+                                const BatchQueryOptions& opts) const = 0;
+
+  /// True when the shard's model-health monitor currently reports drift
+  /// (always false for transports that do not expose health).
+  virtual bool Degraded() const { return false; }
+
+  /// Index depth of the shard (planner telemetry; 1 when unknown).
+  virtual int Depth() const { return 1; }
+
+  /// Serializes / restores the shard's complete state. Default: not
+  /// supported (e.g. remote shards persist on their own node).
+  virtual bool SaveState(persist::Writer& w) const;
+  virtual bool LoadState(persist::Reader& r);
+};
+
+}  // namespace shard
+}  // namespace elsi
+
+#endif  // ELSI_SHARD_SHARD_CLIENT_H_

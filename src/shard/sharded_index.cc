@@ -1,0 +1,305 @@
+#include "shard/sharded_index.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/knn.h"
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "persist/io.h"
+
+namespace elsi {
+namespace shard {
+
+ShardedIndex::ShardedIndex(const ShardedIndexConfig& config,
+                           ShardFactory factory)
+    : config_(config), factory_(std::move(factory)) {
+  if (!factory_) {
+    factory_ = [this](size_t id) -> std::unique_ptr<ShardClient> {
+      return std::make_unique<LocalShard>(id, config_.shard);
+    };
+  }
+}
+
+std::string ShardedIndex::Name() const {
+  const size_t n = shards_.empty() ? config_.partition.shards : shards_.size();
+  return "Sharded[" + std::to_string(n) + "x" +
+         BaseIndexKindName(config_.shard.kind) +
+         (config_.shard.elsi ? "-F" : "") + "]";
+}
+
+void ShardedIndex::EnsureShards() {
+  if (!shards_.empty()) return;
+  if (!partitioner_.planned()) partitioner_.Plan(config_.partition, {});
+  shards_.reserve(partitioner_.shard_count());
+  for (size_t i = 0; i < partitioner_.shard_count(); ++i) {
+    shards_.push_back(factory_(i));
+  }
+}
+
+void ShardedIndex::Build(const std::vector<Point>& data) {
+  partitioner_.Plan(config_.partition, data);
+  shards_.clear();
+  shards_.reserve(partitioner_.shard_count());
+  for (size_t i = 0; i < partitioner_.shard_count(); ++i) {
+    shards_.push_back(factory_(i));
+  }
+  // Stable bucketing: shard-relative data order equals the input order, so
+  // shard builds are deterministic in (config, data).
+  std::vector<std::vector<Point>> buckets(shards_.size());
+  for (const Point& p : data) buckets[partitioner_.ShardOf(p)].push_back(p);
+  TaskGroup group(config_.pool);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    group.Run([this, &buckets, i] { shards_[i]->Build(buckets[i]); });
+  }
+  group.Wait();
+  UpdateShardMetrics();
+}
+
+void ShardedIndex::Insert(const Point& p) {
+  EnsureShards();
+  shards_[partitioner_.ShardOf(p)]->Insert(p);
+}
+
+bool ShardedIndex::Remove(const Point& p) {
+  if (shards_.empty()) return false;
+  return shards_[partitioner_.ShardOf(p)]->Remove(p);
+}
+
+bool ShardedIndex::PointQuery(const Point& q, Point* out) const {
+  if (shards_.empty()) return false;
+  obs::GetCounter("shard.query.point").Add(1);
+  return shards_[partitioner_.ShardOf(q)]->PointQuery(q, out);
+}
+
+std::vector<uint32_t> ShardedIndex::WindowTargets(const Rect& w) const {
+  std::vector<uint32_t> targets;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const Rect extent = shards_[i]->Extent();
+    if (!extent.empty() && extent.Intersects(w)) {
+      targets.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return targets;
+}
+
+std::vector<Point> ShardedIndex::WindowQuery(const Rect& w) const {
+  obs::GetCounter("shard.query.window").Add(1);
+  const std::vector<uint32_t> targets = WindowTargets(w);
+  obs::GetCounter("shard.window.shards_visited").Add(targets.size());
+  std::vector<std::vector<Point>> parts(targets.size());
+  TaskGroup group(config_.pool);
+  for (size_t j = 0; j < targets.size(); ++j) {
+    group.Run([this, &parts, &targets, &w, j] {
+      parts[j] = shards_[targets[j]]->WindowQuery(w);
+    });
+  }
+  group.Wait();
+  size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  std::vector<Point> out;
+  out.reserve(total);
+  for (const auto& part : parts) out.insert(out.end(), part.begin(), part.end());
+  // Each shard run is canonical but the runs interleave; one sort re-pins
+  // the global canonical order (bit-identical to a single-index answer).
+  SortCanonical(&out);
+  return out;
+}
+
+std::vector<Point> ShardedIndex::KnnQueryCounted(const Point& q, size_t k,
+                                                 KnnStats* stats) const {
+  struct Ranked {
+    double d2;
+    uint32_t id;
+  };
+  std::vector<Ranked> order;
+  order.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const Rect extent = shards_[i]->Extent();
+    if (extent.empty()) continue;
+    order.push_back({extent.MinSquaredDistance(q), static_cast<uint32_t>(i)});
+  }
+  std::sort(order.begin(), order.end(), [](const Ranked& a, const Ranked& b) {
+    return a.d2 != b.d2 ? a.d2 < b.d2 : a.id < b.id;
+  });
+  std::vector<Point> best;
+  double bound = std::numeric_limits<double>::infinity();
+  size_t visited = 0;
+  for (const Ranked& e : order) {
+    // Prune only strictly-worse shards: a shard at exactly the bound may
+    // hold an equal-distance, lower-id point, and ids break ties.
+    if (best.size() >= k && e.d2 > bound) break;
+    std::vector<Point> cand = shards_[e.id]->KnnQuery(q, k);
+    ++visited;
+    best.insert(best.end(), cand.begin(), cand.end());
+    bound = knn::SelectNearest(q, k, &best);
+  }
+  obs::GetCounter("shard.knn.shards_visited").Add(visited);
+  if (stats != nullptr) {
+    stats->shards_considered = order.size();
+    stats->shards_visited = visited;
+  }
+  return best;
+}
+
+std::vector<Point> ShardedIndex::KnnQuery(const Point& q, size_t k) const {
+  obs::GetCounter("shard.query.knn").Add(1);
+  return KnnQueryCounted(q, k, nullptr);
+}
+
+void ShardedIndex::PointQueryBatch(std::span<const Point> qs,
+                                   std::span<uint8_t> hit,
+                                   std::span<Point> out,
+                                   const BatchQueryOptions& opts) const {
+  ELSI_CHECK_EQ(hit.size(), qs.size());
+  ELSI_CHECK_EQ(out.size(), qs.size());
+  if (shards_.empty()) {
+    for (size_t i = 0; i < qs.size(); ++i) hit[i] = 0;
+    return;
+  }
+  obs::GetCounter("shard.query.point").Add(qs.size());
+  ForEachQueryChunk(qs.size(), opts, [&](size_t begin, size_t end) {
+    // Scatter the chunk per owning shard, push each group through the
+    // shard's batched path (serial within the chunk — parallelism comes
+    // from chunks), gather into the callers' slots.
+    std::vector<std::vector<size_t>> groups(shards_.size());
+    for (size_t i = begin; i < end; ++i) {
+      hit[i] = 0;
+      groups[partitioner_.ShardOf(qs[i])].push_back(i);
+    }
+    std::vector<Point> sub_q;
+    std::vector<uint8_t> sub_hit;
+    std::vector<Point> sub_out;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (groups[s].empty()) continue;
+      sub_q.clear();
+      for (size_t i : groups[s]) sub_q.push_back(qs[i]);
+      sub_hit.assign(sub_q.size(), 0);
+      sub_out.assign(sub_q.size(), Point{});
+      shards_[s]->PointQueryBatch(sub_q, sub_hit, sub_out, {});
+      for (size_t j = 0; j < groups[s].size(); ++j) {
+        if (sub_hit[j] != 0) {
+          hit[groups[s][j]] = 1;
+          out[groups[s][j]] = sub_out[j];
+        }
+      }
+    }
+  });
+}
+
+void ShardedIndex::WindowQueryBatch(std::span<const Rect> ws,
+                                    std::span<std::vector<Point>> out,
+                                    const BatchQueryOptions& opts) const {
+  ELSI_CHECK_EQ(out.size(), ws.size());
+  obs::GetCounter("shard.query.window").Add(ws.size());
+  ForEachQueryChunk(ws.size(), opts, [&](size_t begin, size_t end) {
+    std::vector<std::vector<size_t>> groups(shards_.size());
+    size_t fanout = 0;
+    for (size_t i = begin; i < end; ++i) {
+      out[i].clear();
+      for (uint32_t s : WindowTargets(ws[i])) groups[s].push_back(i);
+    }
+    std::vector<Rect> sub_w;
+    std::vector<std::vector<Point>> sub_out;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (groups[s].empty()) continue;
+      fanout += groups[s].size();
+      sub_w.clear();
+      for (size_t i : groups[s]) sub_w.push_back(ws[i]);
+      sub_out.assign(sub_w.size(), {});
+      shards_[s]->WindowQueryBatch(sub_w, sub_out, {});
+      // Shards are walked in ascending id order, so the append order into
+      // each out[i] is deterministic; the final sort pins canonical order.
+      for (size_t j = 0; j < groups[s].size(); ++j) {
+        auto& dst = out[groups[s][j]];
+        dst.insert(dst.end(), sub_out[j].begin(), sub_out[j].end());
+      }
+    }
+    for (size_t i = begin; i < end; ++i) SortCanonical(&out[i]);
+    obs::GetCounter("shard.window.shards_visited").Add(fanout);
+  });
+}
+
+void ShardedIndex::KnnQueryBatch(std::span<const Point> qs, size_t k,
+                                 std::span<std::vector<Point>> out,
+                                 const BatchQueryOptions& opts) const {
+  ELSI_CHECK_EQ(out.size(), qs.size());
+  obs::GetCounter("shard.query.knn").Add(qs.size());
+  ForEachQueryChunk(qs.size(), opts, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      out[i] = KnnQueryCounted(qs[i], k, nullptr);
+    }
+  });
+}
+
+size_t ShardedIndex::size() const {
+  size_t total = 0;
+  for (const auto& s : shards_) total += s->PointCount();
+  return total;
+}
+
+int ShardedIndex::Depth() const {
+  int depth = 0;
+  for (const auto& s : shards_) depth = std::max(depth, s->Depth());
+  return depth + 1;  // +1 for the routing layer.
+}
+
+double ShardedIndex::SkewRatio() const {
+  if (shards_.empty()) return 0.0;
+  size_t total = 0;
+  size_t peak = 0;
+  for (const auto& s : shards_) {
+    const size_t n = s->PointCount();
+    total += n;
+    peak = std::max(peak, n);
+  }
+  if (total == 0) return 0.0;
+  const double mean = static_cast<double>(total) /
+                      static_cast<double>(shards_.size());
+  return static_cast<double>(peak) / mean;
+}
+
+size_t ShardedIndex::DegradedCount() const {
+  size_t degraded = 0;
+  for (const auto& s : shards_) degraded += s->Degraded() ? 1 : 0;
+  return degraded;
+}
+
+void ShardedIndex::UpdateShardMetrics() const {
+  obs::GetGauge("shard.count").Set(static_cast<int64_t>(shards_.size()));
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    obs::GetGauge(std::string("shard.points.") + std::to_string(i))
+        .Set(static_cast<int64_t>(shards_[i]->PointCount()));
+  }
+  obs::GetGauge("shard.skew_permille")
+      .Set(static_cast<int64_t>(SkewRatio() * 1000.0));
+  obs::GetGauge("shard.degraded").Set(static_cast<int64_t>(DegradedCount()));
+}
+
+bool ShardedIndex::SaveState(persist::Writer& w) const {
+  if (shards_.empty()) return false;
+  partitioner_.Save(w);
+  w.U64(shards_.size());
+  for (const auto& s : shards_) {
+    if (!s->SaveState(w)) return false;
+  }
+  return true;
+}
+
+bool ShardedIndex::LoadState(persist::Reader& r) {
+  if (!partitioner_.Load(r)) return false;
+  const size_t n = r.U64();
+  if (!r.ok() || n != partitioner_.shard_count()) return r.Fail();
+  config_.partition = partitioner_.config();
+  shards_.clear();
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    shards_.push_back(factory_(i));
+    if (!shards_.back()->LoadState(r)) return false;
+  }
+  UpdateShardMetrics();
+  return r.ok();
+}
+
+}  // namespace shard
+}  // namespace elsi

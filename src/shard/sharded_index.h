@@ -1,0 +1,124 @@
+#ifndef ELSI_SHARD_SHARDED_INDEX_H_
+#define ELSI_SHARD_SHARDED_INDEX_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/spatial_index.h"
+#include "common/thread_pool.h"
+#include "shard/local_shard.h"
+#include "shard/partition.h"
+#include "shard/shard_client.h"
+
+namespace elsi {
+namespace shard {
+
+struct ShardedIndexConfig {
+  PartitionConfig partition;
+  /// Per-shard ELSI stack (used by the default LocalShard factory).
+  LocalShardConfig shard;
+  /// Planner pool: shard builds and per-shard fan-out run as tasks on it
+  /// (the caller participates). Null = serial.
+  ThreadPool* pool = nullptr;
+};
+
+/// Creates the shard with the given id. The default makes a LocalShard from
+/// ShardedIndexConfig::shard; tests and future transports inject their own.
+using ShardFactory = std::function<std::unique_ptr<ShardClient>(size_t)>;
+
+/// The sharded scatter-gather engine (see DESIGN.md, "Sharded
+/// scatter-gather"). Build plans a SpacePartitioner over the data, buckets
+/// the points, and builds one independent ELSI instance per shard in
+/// parallel. Queries are planned against the partitioner and the per-shard
+/// extents:
+///
+///  * PointQuery routes to exactly one shard (the partitioner owns the
+///    point's curve key / grid cell).
+///  * WindowQuery fans out only to shards whose extent intersects the
+///    window, merges the per-shard canonical runs, and re-pins canonical
+///    order — bit-identical to a single index over the same data whenever
+///    the shard kind is exact.
+///  * KnnQuery visits shards best-first by extent distance and stops as
+///    soon as the kth-neighbour bound beats every unvisited shard (ties
+///    visit, so results stay exact).
+///
+/// Batched entry points group each chunk's queries per shard and push them
+/// through the shards' batched paths; chunk boundaries and per-shard
+/// sub-batches depend only on the queries, so answers are identical at
+/// every planner thread count.
+///
+/// Implements SpatialIndex so the CLI, persistence, and benches drive it
+/// like any other index.
+class ShardedIndex : public SpatialIndex {
+ public:
+  explicit ShardedIndex(const ShardedIndexConfig& config = {},
+                        ShardFactory factory = nullptr);
+
+  std::string Name() const override;
+  void Build(const std::vector<Point>& data) override;
+  void Insert(const Point& p) override;
+  bool Remove(const Point& p) override;
+  bool PointQuery(const Point& q, Point* out = nullptr) const override;
+  std::vector<Point> WindowQuery(const Rect& w) const override;
+  std::vector<Point> KnnQuery(const Point& q, size_t k) const override;
+  void PointQueryBatch(std::span<const Point> qs, std::span<uint8_t> hit,
+                       std::span<Point> out,
+                       const BatchQueryOptions& opts = {}) const override;
+  void WindowQueryBatch(std::span<const Rect> ws,
+                        std::span<std::vector<Point>> out,
+                        const BatchQueryOptions& opts = {}) const override;
+  void KnnQueryBatch(std::span<const Point> qs, size_t k,
+                     std::span<std::vector<Point>> out,
+                     const BatchQueryOptions& opts = {}) const override;
+  size_t size() const override;
+  int Depth() const override;
+  bool SaveState(persist::Writer& w) const override;
+  bool LoadState(persist::Reader& r) override;
+
+  /// Per-query planner telemetry for KnnQueryCounted.
+  struct KnnStats {
+    size_t shards_considered = 0;  // Non-empty shards ranked by the planner.
+    size_t shards_visited = 0;     // Shards actually queried.
+  };
+
+  /// KnnQuery with the visit counters exposed (bench + pruning tests).
+  std::vector<Point> KnnQueryCounted(const Point& q, size_t k,
+                                     KnnStats* stats) const;
+
+  size_t shard_count() const { return shards_.size(); }
+  const SpacePartitioner& partitioner() const { return partitioner_; }
+  const ShardClient& shard(size_t i) const { return *shards_[i]; }
+  const ShardedIndexConfig& config() const { return config_; }
+
+  /// max / mean of per-shard point counts (1.0 = perfectly balanced,
+  /// 0.0 = no data).
+  double SkewRatio() const;
+
+  /// Shards currently reporting model-health degradation.
+  size_t DegradedCount() const;
+
+  /// Publishes the shard.* gauges (count, per-shard points, skew permille,
+  /// degraded count) consumed by /varz and the /healthz shard block. Called
+  /// after Build/LoadState; call again to refresh after updates.
+  void UpdateShardMetrics() const;
+
+ private:
+  /// Lazily creates the shard set (single shard over a unit domain) so
+  /// Insert works before any Build.
+  void EnsureShards();
+
+  /// Shards whose extent intersects `w`, ascending ids.
+  std::vector<uint32_t> WindowTargets(const Rect& w) const;
+
+  ShardedIndexConfig config_;
+  ShardFactory factory_;
+  SpacePartitioner partitioner_;
+  std::vector<std::unique_ptr<ShardClient>> shards_;
+};
+
+}  // namespace shard
+}  // namespace elsi
+
+#endif  // ELSI_SHARD_SHARDED_INDEX_H_

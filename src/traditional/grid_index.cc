@@ -139,6 +139,7 @@ std::vector<Point> GridIndex::WindowQuery(const Rect& w) const {
       }
     }
   }
+  SortCanonical(&result);
   return result;
 }
 

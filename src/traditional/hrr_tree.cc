@@ -146,6 +146,7 @@ bool HrrTree::PointQuery(const Point& q, Point* out) const {
 std::vector<Point> HrrTree::WindowQuery(const Rect& w) const {
   std::vector<Point> result;
   RTreeWindowQuery(root_.get(), w, &result);
+  SortCanonical(&result);
   return result;
 }
 

@@ -187,6 +187,7 @@ std::vector<Point> KdbTree::WindowQuery(const Rect& w) const {
     if (lo <= node->split) stack.push_back(node->left.get());
     if (hi > node->split) stack.push_back(node->right.get());
   }
+  SortCanonical(&result);
   return result;
 }
 

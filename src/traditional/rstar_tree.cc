@@ -313,6 +313,7 @@ bool RStarTree::PointQuery(const Point& q, Point* out) const {
 std::vector<Point> RStarTree::WindowQuery(const Rect& w) const {
   std::vector<Point> result;
   RTreeWindowQuery(root_.get(), w, &result);
+  SortCanonical(&result);
   return result;
 }
 

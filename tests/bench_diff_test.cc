@@ -4,7 +4,11 @@
 // bench-regression job relies on — an injected slowdown fails, an
 // improvement passes, an exact-metric (checksum) change fails.
 
+#include <filesystem>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -227,6 +231,41 @@ TEST(DiffTest, ParseErrorSurfacesAsFailure) {
   EXPECT_FALSE(report.ok());
   EXPECT_EQ(report.entries.size(), 1u);
   EXPECT_EQ(report.entries[0].path, "<fresh>");
+}
+
+TEST(DirPairsTest, FreshFileWithoutBaselineIsNewNotAFailure) {
+  const std::filesystem::path root =
+      std::filesystem::temp_directory_path() / "elsi_bench_diff_dirs";
+  const std::filesystem::path baselines = root / "baselines";
+  const std::filesystem::path fresh = root / "fresh";
+  std::filesystem::remove_all(root);
+  std::filesystem::create_directories(baselines);
+  std::filesystem::create_directories(fresh);
+  const auto write = [](const std::filesystem::path& p) {
+    std::ofstream(p) << "{}";
+  };
+  write(baselines / "BENCH_old.json");
+  write(fresh / "BENCH_old.json");
+  write(fresh / "BENCH_added.json");   // new bench, no baseline yet
+  write(fresh / "notes.txt");          // non-json: ignored entirely
+
+  std::vector<std::pair<std::string, std::string>> pairs;
+  std::vector<std::string> new_fresh;
+  ASSERT_TRUE(CollectDirPairs(baselines.string(), fresh.string(), &pairs,
+                              &new_fresh));
+  // Only baseline-backed files become gated pairs; the baseline-less fresh
+  // file is listed separately so the driver can report it as NEW without
+  // counting a failure.
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].first, (baselines / "BENCH_old.json").string());
+  EXPECT_EQ(pairs[0].second, (fresh / "BENCH_old.json").string());
+  ASSERT_EQ(new_fresh.size(), 1u);
+  EXPECT_EQ(new_fresh[0], (fresh / "BENCH_added.json").string());
+
+  // An unreadable baseline dir is an error; an empty-but-real one is not.
+  EXPECT_FALSE(CollectDirPairs((root / "missing").string(), fresh.string(),
+                               &pairs, &new_fresh));
+  std::filesystem::remove_all(root);
 }
 
 }  // namespace

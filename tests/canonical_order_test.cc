@@ -1,0 +1,109 @@
+// Canonical window-result order: every index returns WindowQuery results in
+// ascending (x, y, id) — the contract that lets the sharded scatter-gather
+// planner merge per-shard runs and compare them bit-exactly against a
+// single-index oracle. Pinned here for all eight paper indices plus Flood,
+// for the scalar and the batched path, at several thread counts.
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/spatial_index.h"
+#include "common/thread_pool.h"
+#include "data/synthetic.h"
+#include "data/workload.h"
+#include "learned/flood_index.h"
+#include "learned/rank_model.h"
+#include "persist/snapshot.h"
+
+namespace elsi {
+namespace {
+
+std::unique_ptr<SpatialIndex> MakeIndex(const std::string& kind) {
+  if (kind == "Flood") {
+    return std::make_unique<FloodIndex>(std::make_shared<DirectTrainer>());
+  }
+  return persist::MakeIndexByName(kind, {});
+}
+
+// Window answers of these kinds are exact, so they must equal the
+// canonically sorted brute-force truth bit-for-bit. RSMI and LISA are
+// approximate by design; for them only the ordering itself is pinned.
+bool IsExactWindowKind(const std::string& kind) {
+  return kind != "RSMI" && kind != "LISA";
+}
+
+class CanonicalOrderTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CanonicalOrderTest, WindowResultsAreCanonicalAndExactKindsMatchTruth) {
+  const std::string kind = GetParam();
+  const Dataset data = GenerateDataset(DatasetKind::kSkewed, 3000, 7);
+  std::unique_ptr<SpatialIndex> index = MakeIndex(kind);
+  ASSERT_NE(index, nullptr) << kind;
+  index->Build(data);
+
+  const std::vector<Rect> windows = SampleWindowQueries(data, 40, 0.03, 11);
+  std::vector<std::vector<Point>> serial(windows.size());
+  for (size_t i = 0; i < windows.size(); ++i) {
+    serial[i] = index->WindowQuery(windows[i]);
+    EXPECT_TRUE(std::is_sorted(serial[i].begin(), serial[i].end(),
+                               CanonicalLess))
+        << kind << " window " << i << " is not in canonical order";
+    if (IsExactWindowKind(kind)) {
+      std::vector<Point> truth = BruteForceWindow(data, windows[i]);
+      SortCanonical(&truth);
+      EXPECT_EQ(serial[i], truth) << kind << " window " << i;
+    }
+  }
+
+  // The batched path returns the same points in the same order at every
+  // thread count (chunk boundaries depend only on `chunk`).
+  ThreadPool pool(4);
+  for (ThreadPool* p : {static_cast<ThreadPool*>(nullptr), &pool}) {
+    BatchQueryOptions opts;
+    opts.pool = p;
+    opts.chunk = 7;
+    std::vector<std::vector<Point>> batch(windows.size());
+    index->WindowQueryBatch(windows, batch, opts);
+    for (size_t i = 0; i < windows.size(); ++i) {
+      EXPECT_EQ(batch[i], serial[i])
+          << kind << " batched window " << i << " diverges (pool="
+          << (p != nullptr) << ")";
+    }
+  }
+}
+
+TEST_P(CanonicalOrderTest, OrderSurvivesMutations) {
+  const std::string kind = GetParam();
+  const Dataset data = GenerateDataset(DatasetKind::kUniform, 1500, 13);
+  std::unique_ptr<SpatialIndex> index = MakeIndex(kind);
+  ASSERT_NE(index, nullptr) << kind;
+  index->Build(data);
+  for (size_t i = 0; i < 200; ++i) index->Remove(data[i * 3]);
+  for (size_t i = 0; i < 200; ++i) {
+    index->Insert(Point{0.1 + 0.002 * static_cast<double>(i),
+                        0.2 + 0.001 * static_cast<double>(i),
+                        1000000 + i});
+  }
+  const std::vector<Rect> windows = SampleWindowQueries(data, 20, 0.05, 17);
+  for (const Rect& w : windows) {
+    const std::vector<Point> result = index->WindowQuery(w);
+    EXPECT_TRUE(std::is_sorted(result.begin(), result.end(), CanonicalLess))
+        << kind << " post-mutation window is not in canonical order";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIndexKinds, CanonicalOrderTest,
+                         ::testing::Values("ZM", "ML", "RSMI", "LISA", "Grid",
+                                           "KDB", "HRR", "RR*", "Flood"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           if (name == "RR*") name = "RStar";
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace elsi

@@ -139,6 +139,26 @@ TEST(HttpHandleTest, HealthzReportsBuildInfoAndPersistLag) {
   EXPECT_NE(r.body.find("\"merges\": "), std::string::npos);
 }
 
+TEST(HttpHandleTest, HealthzCarriesShardBlock) {
+  // The shard block is driven purely by the shard.* gauges that
+  // ShardedIndex::UpdateShardMetrics publishes, so injecting gauges
+  // directly exercises the same path without linking the shard engine.
+  GetGauge("shard.count").Set(3);
+  GetGauge("shard.points.0").Set(100);
+  GetGauge("shard.points.2").Set(50);
+  GetGauge("shard.points.10").Set(7);
+  GetGauge("shard.skew_permille").Set(1500);
+  GetGauge("shard.degraded").Set(1);
+  const Response r = Dispatch("/healthz");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("\"shard\": {\"count\": 3"), std::string::npos);
+  // Per-shard populations sort numerically by shard id, not by gauge-name
+  // string order (shard 10 after shard 2).
+  EXPECT_NE(r.body.find("\"points\": [100, 50, 7]"), std::string::npos);
+  EXPECT_NE(r.body.find("\"skew_ratio\": 1.500"), std::string::npos);
+  EXPECT_NE(r.body.find("\"degraded\": 1"), std::string::npos);
+}
+
 TEST(HttpHandleTest, HealthzReflectsInjectedDrift) {
   ModelHealthMonitor& monitor = ModelHealthMonitor::Get();
   monitor.Reset();

@@ -1,0 +1,477 @@
+// elsi::shard tests: partitioner edge cases, scatter-gather equivalence
+// against single-index oracles (point / window / kNN and the three
+// analytics operators, uniform and clustered data, serial and 4-thread
+// planner), kNN shard pruning, persistence round-trips, and shard metrics.
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/knn.h"
+#include "common/spatial_index.h"
+#include "common/thread_pool.h"
+#include "data/synthetic.h"
+#include "data/workload.h"
+#include "obs/metrics.h"
+#include "persist/io.h"
+#include "shard/operators.h"
+#include "shard/partition.h"
+#include "shard/sharded_index.h"
+
+namespace elsi {
+namespace shard {
+namespace {
+
+RankModelConfig TestModelConfig() {
+  RankModelConfig cfg;
+  cfg.hidden = {8};
+  cfg.epochs = 60;
+  cfg.learning_rate = 0.03;
+  return cfg;
+}
+
+ShardedIndexConfig TestConfig(size_t shards, ThreadPool* pool = nullptr) {
+  ShardedIndexConfig cfg;
+  cfg.partition.shards = shards;
+  cfg.shard.kind = BaseIndexKind::kZM;
+  cfg.shard.elsi = false;  // DirectTrainer: fast, exact windows.
+  cfg.shard.build.model = TestModelConfig();
+  cfg.shard.scale.leaf_target = 400;
+  cfg.pool = pool;
+  return cfg;
+}
+
+std::unique_ptr<SpatialIndex> MakeOracle() {
+  BaseIndexScale scale;
+  scale.leaf_target = 400;
+  return MakeBaseIndex(BaseIndexKind::kZM,
+                       std::make_shared<DirectTrainer>(TestModelConfig()),
+                       scale);
+}
+
+std::vector<Point> SortedByDistance(const Point& q, std::vector<Point> pts) {
+  knn::SelectNearest(q, pts.size(), &pts);
+  return pts;
+}
+
+// ---------------------------------------------------------------------------
+// SpacePartitioner edge cases.
+
+TEST(SpacePartitionerTest, EmptyDataStillRoutesEverything) {
+  SpacePartitioner part;
+  PartitionConfig cfg;
+  cfg.shards = 4;
+  part.Plan(cfg, {});
+  EXPECT_TRUE(part.planned());
+  EXPECT_EQ(part.shard_count(), 4u);
+  // Every split collapsed to zero: all keys land in the last range or
+  // shard 0 (key 0); either way the result is a valid shard id.
+  for (double x : {-3.0, 0.0, 0.5, 7.0}) {
+    EXPECT_LT(part.ShardOf(Point{x, x, 0}), 4u);
+  }
+}
+
+TEST(SpacePartitionerTest, DuplicateKeysNeverStraddleABoundary) {
+  // 1000 copies of one coordinate plus a handful of distinct points: the
+  // duplicates dominate every quantile, so several splits are equal. All
+  // duplicates must still route to one shard.
+  std::vector<Point> data;
+  for (size_t i = 0; i < 1000; ++i) data.push_back(Point{0.5, 0.5, i});
+  for (size_t i = 0; i < 10; ++i) {
+    data.push_back(Point{0.1 * static_cast<double>(i), 0.9, 2000 + i});
+  }
+  SpacePartitioner part;
+  PartitionConfig cfg;
+  cfg.shards = 8;
+  part.Plan(cfg, data);
+  const uint32_t owner = part.ShardOf(Point{0.5, 0.5, 123});
+  for (size_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(part.ShardOf(data[i]), owner);
+  }
+}
+
+TEST(SpacePartitionerTest, MoreShardsThanDistinctKeysLeavesEmptyShards) {
+  std::vector<Point> data = {Point{0.1, 0.1, 1}, Point{0.5, 0.5, 2},
+                             Point{0.9, 0.9, 3}};
+  SpacePartitioner part;
+  PartitionConfig cfg;
+  cfg.shards = 8;
+  part.Plan(cfg, data);
+  ASSERT_EQ(part.splits().size(), 7u);
+  EXPECT_TRUE(std::is_sorted(part.splits().begin(), part.splits().end()));
+  // 3 distinct keys can occupy at most 3 of the 8 shards.
+  std::vector<size_t> counts(8, 0);
+  for (const Point& p : data) counts[part.ShardOf(p)]++;
+  const size_t occupied = static_cast<size_t>(
+      std::count_if(counts.begin(), counts.end(),
+                    [](size_t c) { return c > 0; }));
+  EXPECT_LE(occupied, 3u);
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), size_t{0}), 3u);
+}
+
+TEST(SpacePartitionerTest, SkewedDataGetsBalancedCurveRanges) {
+  const Dataset data = GenerateDataset(DatasetKind::kSkewed, 20000, 3);
+  SpacePartitioner part;
+  PartitionConfig cfg;
+  cfg.shards = 8;
+  part.Plan(cfg, data);
+  std::vector<size_t> counts(8, 0);
+  for (const Point& p : data) counts[part.ShardOf(p)]++;
+  const size_t peak = *std::max_element(counts.begin(), counts.end());
+  // Balanced quantile splits keep the biggest shard well under the pile-up
+  // a fixed grid would produce on y^4-skewed data (grid: ~50% in one tile).
+  EXPECT_LT(static_cast<double>(peak), 0.35 * static_cast<double>(data.size()));
+}
+
+TEST(SpacePartitionerTest, OutOfDomainPointsClampToEdgeShards) {
+  const Dataset data = GenerateDataset(DatasetKind::kUniform, 1000, 5);
+  SpacePartitioner part;
+  part.Plan(PartitionConfig{}, data);
+  // Same clamped coordinates route identically, and stay in range.
+  EXPECT_LT(part.ShardOf(Point{-100.0, -100.0, 1}), part.shard_count());
+  EXPECT_LT(part.ShardOf(Point{100.0, 100.0, 2}), part.shard_count());
+}
+
+TEST(SpacePartitionerTest, SaveLoadPreservesRouting) {
+  const Dataset data = GenerateDataset(DatasetKind::kOsm1, 5000, 9);
+  SpacePartitioner part;
+  PartitionConfig cfg;
+  cfg.shards = 6;
+  cfg.curve = PartitionCurve::kHilbert;
+  part.Plan(cfg, data);
+  persist::Writer w;
+  part.Save(w);
+  persist::Reader r(w.buffer());
+  SpacePartitioner loaded;
+  ASSERT_TRUE(loaded.Load(r));
+  EXPECT_EQ(loaded.shard_count(), 6u);
+  for (const Point& p : data) {
+    ASSERT_EQ(loaded.ShardOf(p), part.ShardOf(p));
+  }
+}
+
+TEST(SpacePartitionerTest, GridModeTilesTheDomain) {
+  const Dataset data = GenerateDataset(DatasetKind::kUniform, 4000, 21);
+  SpacePartitioner part;
+  PartitionConfig cfg;
+  cfg.shards = 9;
+  cfg.mode = PartitionMode::kGrid;
+  part.Plan(cfg, data);
+  std::vector<size_t> counts(9, 0);
+  for (const Point& p : data) counts[part.ShardOf(p)]++;
+  // Uniform data spreads over every 3x3 tile.
+  for (size_t c : counts) EXPECT_GT(c, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Scatter-gather equivalence against a single-index oracle.
+
+struct EquivalenceCase {
+  DatasetKind dataset;
+  size_t planner_threads;  // 0 = serial planner.
+};
+
+class ShardEquivalenceTest
+    : public ::testing::TestWithParam<EquivalenceCase> {};
+
+TEST_P(ShardEquivalenceTest, MatchesSingleIndexOracle) {
+  const EquivalenceCase param = GetParam();
+  const Dataset data = GenerateDataset(param.dataset, 4000, 7);
+  std::unique_ptr<ThreadPool> pool;
+  if (param.planner_threads > 0) {
+    pool = std::make_unique<ThreadPool>(param.planner_threads);
+  }
+  ShardedIndex sharded(TestConfig(8, pool.get()));
+  sharded.Build(data);
+  std::unique_ptr<SpatialIndex> oracle = MakeOracle();
+  oracle->Build(data);
+  ASSERT_EQ(sharded.size(), oracle->size());
+
+  // Point queries: exactly one shard answers; hit set equals the oracle's.
+  const std::vector<Point> probes = SamplePointQueries(data, 200, 31);
+  for (const Point& q : probes) {
+    Point got{}, want{};
+    ASSERT_EQ(sharded.PointQuery(q, &got), oracle->PointQuery(q, &want));
+    EXPECT_EQ(got, want);
+  }
+  EXPECT_FALSE(sharded.PointQuery(Point{-7.0, -7.0, 0}));
+
+  // Window queries: canonical merge is bit-identical to the oracle.
+  const std::vector<Rect> windows = SampleWindowQueries(data, 50, 0.04, 33);
+  for (const Rect& w : windows) {
+    EXPECT_EQ(sharded.WindowQuery(w), oracle->WindowQuery(w));
+  }
+
+  // kNN: best-first shard visiting with bound refinement stays exact,
+  // including distance ties (both sides order by (d2, id)).
+  const std::vector<Point> knn_qs = SampleKnnQueries(data, 50, 35);
+  for (const Point& q : knn_qs) {
+    const auto got = sharded.KnnQuery(q, 10);
+    const auto want = SortedByDistance(q, oracle->KnnQuery(q, 10));
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST_P(ShardEquivalenceTest, BatchedPathsMatchScalarAndOracle) {
+  const EquivalenceCase param = GetParam();
+  const Dataset data = GenerateDataset(param.dataset, 3000, 19);
+  std::unique_ptr<ThreadPool> pool;
+  if (param.planner_threads > 0) {
+    pool = std::make_unique<ThreadPool>(param.planner_threads);
+  }
+  ShardedIndex sharded(TestConfig(8, nullptr));
+  sharded.Build(data);
+  std::unique_ptr<SpatialIndex> oracle = MakeOracle();
+  oracle->Build(data);
+
+  BatchQueryOptions opts;
+  opts.pool = pool.get();
+  opts.chunk = 13;
+
+  const std::vector<Point> probes = SamplePointQueries(data, 150, 41);
+  std::vector<uint8_t> hit(probes.size(), 2);
+  std::vector<Point> out(probes.size());
+  sharded.PointQueryBatch(probes, hit, out, opts);
+  for (size_t i = 0; i < probes.size(); ++i) {
+    Point want{};
+    ASSERT_EQ(hit[i] != 0, oracle->PointQuery(probes[i], &want)) << i;
+    if (hit[i] != 0) {
+      EXPECT_EQ(out[i], want) << i;
+    }
+  }
+
+  const std::vector<Rect> windows = SampleWindowQueries(data, 40, 0.05, 43);
+  std::vector<std::vector<Point>> batch(windows.size());
+  sharded.WindowQueryBatch(windows, batch, opts);
+  for (size_t i = 0; i < windows.size(); ++i) {
+    EXPECT_EQ(batch[i], sharded.WindowQuery(windows[i])) << i;
+    EXPECT_EQ(batch[i], oracle->WindowQuery(windows[i])) << i;
+  }
+
+  const std::vector<Point> knn_qs = SampleKnnQueries(data, 30, 45);
+  std::vector<std::vector<Point>> knn_out(knn_qs.size());
+  sharded.KnnQueryBatch(knn_qs, 5, knn_out, opts);
+  for (size_t i = 0; i < knn_qs.size(); ++i) {
+    EXPECT_EQ(knn_out[i], sharded.KnnQuery(knn_qs[i], 5)) << i;
+  }
+}
+
+TEST_P(ShardEquivalenceTest, OperatorsMatchSingleIndexOracle) {
+  const EquivalenceCase param = GetParam();
+  const Dataset data = GenerateDataset(param.dataset, 3000, 23);
+  std::unique_ptr<ThreadPool> pool;
+  if (param.planner_threads > 0) {
+    pool = std::make_unique<ThreadPool>(param.planner_threads);
+  }
+  ShardedIndex sharded(TestConfig(8, pool.get()));
+  sharded.Build(data);
+  std::unique_ptr<SpatialIndex> oracle = MakeOracle();
+  oracle->Build(data);
+
+  BatchQueryOptions opts;
+  opts.pool = pool.get();
+  opts.chunk = 11;
+
+  const std::vector<Rect> regions = SampleWindowQueries(data, 30, 0.05, 51);
+
+  // Containment join: identical (region, point) pair lists.
+  const auto got_join = ContainmentJoin(sharded, regions, opts);
+  const auto want_join = ContainmentJoin(*oracle, regions, {});
+  ASSERT_EQ(got_join.size(), want_join.size());
+  for (size_t i = 0; i < got_join.size(); ++i) {
+    EXPECT_EQ(got_join[i].region, want_join[i].region) << i;
+    EXPECT_EQ(got_join[i].point, want_join[i].point) << i;
+  }
+
+  // Distance join: identical pairs and bit-identical distances.
+  const std::vector<Point> probes = SamplePointQueries(data, 40, 53);
+  const auto got_dj = DistanceJoin(sharded, probes, 0.05, opts);
+  const auto want_dj = DistanceJoin(*oracle, probes, 0.05, {});
+  ASSERT_EQ(got_dj.size(), want_dj.size());
+  for (size_t i = 0; i < got_dj.size(); ++i) {
+    EXPECT_EQ(got_dj[i].probe, want_dj[i].probe) << i;
+    EXPECT_EQ(got_dj[i].point, want_dj[i].point) << i;
+    EXPECT_EQ(got_dj[i].d2, want_dj[i].d2) << i;
+  }
+
+  // Aggregation: bit-identical counts, sums (canonical accumulation
+  // order), and MBRs.
+  const auto got_agg = AggregateByRegion(sharded, regions, opts);
+  const auto want_agg = AggregateByRegion(*oracle, regions, {});
+  ASSERT_EQ(got_agg.size(), want_agg.size());
+  for (size_t i = 0; i < got_agg.size(); ++i) {
+    EXPECT_EQ(got_agg[i].count, want_agg[i].count) << i;
+    EXPECT_EQ(got_agg[i].sum_x, want_agg[i].sum_x) << i;
+    EXPECT_EQ(got_agg[i].sum_y, want_agg[i].sum_y) << i;
+    EXPECT_EQ(got_agg[i].mbr.lo_x, want_agg[i].mbr.lo_x) << i;
+    EXPECT_EQ(got_agg[i].mbr.hi_x, want_agg[i].mbr.hi_x) << i;
+    EXPECT_EQ(got_agg[i].mbr.lo_y, want_agg[i].mbr.lo_y) << i;
+    EXPECT_EQ(got_agg[i].mbr.hi_y, want_agg[i].mbr.hi_y) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DatasetsAndThreads, ShardEquivalenceTest,
+    ::testing::Values(EquivalenceCase{DatasetKind::kUniform, 0},
+                      EquivalenceCase{DatasetKind::kUniform, 4},
+                      EquivalenceCase{DatasetKind::kOsm1, 0},
+                      EquivalenceCase{DatasetKind::kOsm1, 4}),
+    [](const auto& info) {
+      return std::string(info.param.dataset == DatasetKind::kUniform
+                             ? "Uniform"
+                             : "Clustered") +
+             (info.param.planner_threads == 0 ? "Serial" : "Threads4");
+    });
+
+// ---------------------------------------------------------------------------
+// Engine behaviour.
+
+TEST(ShardedIndexTest, EmptyShardsFromTinyDataStillAnswerQueries) {
+  // 3 distinct points, 8 shards: at least 5 shards build empty.
+  std::vector<Point> data = {Point{0.1, 0.1, 1}, Point{0.5, 0.5, 2},
+                             Point{0.9, 0.9, 3}};
+  ShardedIndex index(TestConfig(8));
+  index.Build(data);
+  EXPECT_EQ(index.shard_count(), 8u);
+  EXPECT_EQ(index.size(), 3u);
+  Point out{};
+  ASSERT_TRUE(index.PointQuery(Point{0.5, 0.5, 0}, &out));
+  EXPECT_EQ(out.id, 2u);
+  EXPECT_EQ(index.WindowQuery(Rect::Of(0.0, 0.0, 1.0, 1.0)).size(), 3u);
+  const auto knn = index.KnnQuery(Point{0.5, 0.5, 0}, 2);
+  ASSERT_EQ(knn.size(), 2u);
+  EXPECT_EQ(knn[0].id, 2u);
+}
+
+TEST(ShardedIndexTest, InsertRemoveRouteToOwningShard) {
+  const Dataset data = GenerateDataset(DatasetKind::kUniform, 2000, 11);
+  ShardedIndex index(TestConfig(4));
+  index.Build(data);
+  const Point extra{0.333, 0.444, 999999};
+  index.Insert(extra);
+  EXPECT_EQ(index.size(), data.size() + 1);
+  Point out{};
+  ASSERT_TRUE(index.PointQuery(extra, &out));
+  EXPECT_EQ(out.id, extra.id);
+  // The new point shows up in windows, in canonical position.
+  const Rect w = Rect::Of(0.3, 0.4, 0.4, 0.5);
+  const auto win = index.WindowQuery(w);
+  EXPECT_TRUE(std::is_sorted(win.begin(), win.end(), CanonicalLess));
+  EXPECT_NE(std::find(win.begin(), win.end(), extra), win.end());
+  ASSERT_TRUE(index.Remove(extra));
+  EXPECT_FALSE(index.PointQuery(extra));
+  EXPECT_EQ(index.size(), data.size());
+  // Removing a point that was never inserted fails.
+  EXPECT_FALSE(index.Remove(Point{0.123, 0.456, 123456789}));
+}
+
+TEST(ShardedIndexTest, InsertBeforeBuildWorks) {
+  ShardedIndex index(TestConfig(4));
+  index.Insert(Point{0.25, 0.75, 42});
+  EXPECT_EQ(index.size(), 1u);
+  Point out{};
+  ASSERT_TRUE(index.PointQuery(Point{0.25, 0.75, 0}, &out));
+  EXPECT_EQ(out.id, 42u);
+}
+
+TEST(ShardedIndexTest, KnnPlannerPrunesOnClusteredData) {
+  const Dataset data = GenerateDataset(DatasetKind::kOsm1, 20000, 13);
+  ShardedIndex index(TestConfig(16));
+  index.Build(data);
+  const std::vector<Point> queries = SampleKnnQueries(data, 100, 61);
+  size_t visited_total = 0;
+  size_t considered_total = 0;
+  for (const Point& q : queries) {
+    ShardedIndex::KnnStats stats;
+    const auto got = index.KnnQueryCounted(q, 10, &stats);
+    EXPECT_EQ(got.size(), 10u);
+    visited_total += stats.shards_visited;
+    considered_total += stats.shards_considered;
+    EXPECT_LE(stats.shards_visited, stats.shards_considered);
+  }
+  const double mean_visited =
+      static_cast<double>(visited_total) / static_cast<double>(queries.size());
+  const double mean_considered = static_cast<double>(considered_total) /
+                                 static_cast<double>(queries.size());
+  // The distance bound must keep the planner from touching most shards:
+  // clustered data with 16 curve-range shards needs only a few per query.
+  EXPECT_LT(mean_visited, 0.5 * mean_considered)
+      << "mean visited " << mean_visited << " of " << mean_considered;
+  EXPECT_LT(mean_visited, 6.0);
+}
+
+TEST(ShardedIndexTest, SaveLoadRoundTripPreservesEveryAnswer) {
+  const Dataset data = GenerateDataset(DatasetKind::kOsm2, 3000, 17);
+  ShardedIndex index(TestConfig(4));
+  index.Build(data);
+  // Leave a delta in one shard so SaveState's fold path runs too.
+  index.Insert(Point{0.21, 0.31, 777777});
+  persist::Writer w;
+  ASSERT_TRUE(index.SaveState(w));
+  persist::Reader r(w.buffer());
+  ShardedIndex loaded(TestConfig(4));
+  ASSERT_TRUE(loaded.LoadState(r));
+  EXPECT_EQ(loaded.shard_count(), 4u);
+  EXPECT_EQ(loaded.size(), index.size());
+  const std::vector<Rect> windows = SampleWindowQueries(data, 25, 0.05, 71);
+  for (const Rect& win : windows) {
+    EXPECT_EQ(loaded.WindowQuery(win), index.WindowQuery(win));
+  }
+  const std::vector<Point> probes = SamplePointQueries(data, 100, 73);
+  for (const Point& q : probes) {
+    EXPECT_EQ(loaded.PointQuery(q), index.PointQuery(q));
+  }
+  for (const Point& q : SampleKnnQueries(data, 20, 79)) {
+    EXPECT_EQ(loaded.KnnQuery(q, 7), index.KnnQuery(q, 7));
+  }
+}
+
+TEST(ShardedIndexTest, ElsiPipelineShardsMatchOracleWindows) {
+  // One pass through the BuildProcessor path (SP method) to pin that the
+  // ELSI-trained shards keep the same exactness contract.
+  const Dataset data = GenerateDataset(DatasetKind::kUniform, 2000, 29);
+  ShardedIndexConfig cfg = TestConfig(4);
+  cfg.shard.elsi = true;
+  ShardedIndex index(cfg);
+  index.Build(data);
+  ASSERT_EQ(index.size(), data.size());
+  for (const Rect& w : SampleWindowQueries(data, 15, 0.05, 83)) {
+    std::vector<Point> truth = BruteForceWindow(data, w);
+    SortCanonical(&truth);
+    EXPECT_EQ(index.WindowQuery(w), truth);
+  }
+}
+
+TEST(ShardedIndexTest, MetricsReportShardStateAndSkew) {
+  const Dataset data = GenerateDataset(DatasetKind::kUniform, 4000, 37);
+  ShardedIndex index(TestConfig(4));
+  index.Build(data);
+  EXPECT_GE(index.SkewRatio(), 1.0);
+  EXPECT_EQ(index.DegradedCount(), 0u);
+  index.UpdateShardMetrics();
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::Get().Snapshot();
+  if (snap.gauges.empty()) GTEST_SKIP() << "observability disabled";
+  auto gauge = [&](const std::string& name) -> int64_t {
+    for (const auto& g : snap.gauges) {
+      if (g.first == name) return g.second;
+    }
+    return -1;
+  };
+  EXPECT_EQ(gauge("shard.count"), 4);
+  EXPECT_GE(gauge("shard.skew_permille"), 1000);
+  EXPECT_EQ(gauge("shard.degraded"), 0);
+  int64_t points = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    points += gauge("shard.points." + std::to_string(i));
+  }
+  EXPECT_EQ(points, static_cast<int64_t>(data.size()));
+}
+
+}  // namespace
+}  // namespace shard
+}  // namespace elsi

@@ -16,15 +16,15 @@
 //
 // With --baseline-dir/--fresh-dir, every *.json in the baseline dir is
 // paired with the same-named file in the fresh dir; a missing fresh file is
-// a failure (the bench stopped producing it).
+// a failure (the bench stopped producing it). A fresh file with no paired
+// baseline is reported as NEW and does not fail the gate — a freshly added
+// bench can land in one PR with its baseline checked in by the same or a
+// follow-up commit without breaking CI in between.
 
-#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <filesystem>
 #include <fstream>
-#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -99,24 +99,19 @@ int Main(int argc, char** argv) {
   }
 
   std::vector<std::pair<std::string, std::string>> pairs;
+  std::vector<std::string> new_fresh;  // Fresh files with no baseline yet.
   if (!baseline_dir.empty() || !fresh_dir.empty()) {
     if (baseline_dir.empty() || fresh_dir.empty() || !positional.empty()) {
       return Usage();
     }
-    std::error_code ec;
-    for (const auto& entry :
-         std::filesystem::directory_iterator(baseline_dir, ec)) {
-      if (entry.path().extension() != ".json") continue;
-      pairs.emplace_back(entry.path().string(),
-                         (std::filesystem::path(fresh_dir) /
-                          entry.path().filename()).string());
-    }
-    if (ec) {
+    // A fresh BENCH_*.json without a checked-in baseline is informational,
+    // never a failure: it is reported as NEW so the author remembers to
+    // commit one (see CollectDirPairs).
+    if (!CollectDirPairs(baseline_dir, fresh_dir, &pairs, &new_fresh)) {
       std::fprintf(stderr, "bench_diff: cannot read %s\n",
                    baseline_dir.c_str());
       return 2;
     }
-    std::sort(pairs.begin(), pairs.end());
   } else {
     if (positional.empty() || positional.size() % 2 != 0) return Usage();
     for (size_t i = 0; i < positional.size(); i += 2) {
@@ -148,6 +143,10 @@ int Main(int argc, char** argv) {
     report << diff.ToText();
     failures += diff.failures;
     warnings += diff.warnings;
+  }
+  for (const std::string& path : new_fresh) {
+    report << "NEW   " << path
+           << " (no baseline yet; check one in to gate it)\n";
   }
   report << (failures > 0 ? "RESULT: REGRESSION\n" : "RESULT: OK\n");
 

@@ -1,9 +1,12 @@
 #include "bench_diff_lib.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <set>
 #include <sstream>
 
 namespace elsi {
@@ -319,7 +322,7 @@ MetricClass ClassifyPath(const std::string& path) {
     return MetricClass::kContext;
   }
   if (leaf == "ipc" || leaf == "llc_miss_per_op" ||
-      leaf == "branch_miss_per_op") {
+      leaf == "branch_miss_per_op" || leaf == "shards_visited_mean") {
     return MetricClass::kContextInfo;
   }
   if (leaf.find("speedup") != std::string::npos ||
@@ -498,6 +501,41 @@ std::string DiffReport::ToText() const {
       << (failures == 1 ? "" : "s") << ", " << warnings << " warning"
       << (warnings == 1 ? "" : "s") << "\n";
   return out.str();
+}
+
+// --- directory pairing ----------------------------------------------------
+
+bool CollectDirPairs(const std::string& baseline_dir,
+                     const std::string& fresh_dir,
+                     std::vector<std::pair<std::string, std::string>>* pairs,
+                     std::vector<std::string>* new_fresh) {
+  pairs->clear();
+  new_fresh->clear();
+  std::error_code ec;
+  std::set<std::string> baseline_names;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(baseline_dir, ec)) {
+    if (entry.path().extension() != ".json") continue;
+    baseline_names.insert(entry.path().filename().string());
+    pairs->emplace_back(
+        entry.path().string(),
+        (std::filesystem::path(fresh_dir) / entry.path().filename())
+            .string());
+  }
+  if (ec) return false;
+  std::sort(pairs->begin(), pairs->end());
+  // An unreadable fresh dir just means every baseline's fresh file is
+  // missing; the per-pair diff reports those, so no error here.
+  std::error_code fresh_ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(fresh_dir, fresh_ec)) {
+    if (entry.path().extension() != ".json") continue;
+    if (baseline_names.count(entry.path().filename().string()) == 0) {
+      new_fresh->push_back(entry.path().string());
+    }
+  }
+  std::sort(new_fresh->begin(), new_fresh->end());
+  return true;
 }
 
 }  // namespace benchdiff

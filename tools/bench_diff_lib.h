@@ -110,6 +110,20 @@ DiffReport DiffStrings(const std::string& baseline_text,
                        const std::string& fresh_text,
                        const DiffOptions& options);
 
+// --- directory pairing ----------------------------------------------------
+
+/// Pairs every *.json in `baseline_dir` with the same-named file in
+/// `fresh_dir` (sorted; a missing fresh file fails later, when the pair is
+/// diffed), and collects fresh *.json files with no checked-in baseline
+/// into `new_fresh` (sorted). NEW files never gate — a freshly added bench
+/// can land in one PR and check its baseline in with the same or a
+/// follow-up commit without breaking CI in between. Returns false when the
+/// baseline directory cannot be read.
+bool CollectDirPairs(const std::string& baseline_dir,
+                     const std::string& fresh_dir,
+                     std::vector<std::pair<std::string, std::string>>* pairs,
+                     std::vector<std::string>* new_fresh);
+
 }  // namespace benchdiff
 }  // namespace elsi
 

@@ -19,6 +19,13 @@
 //   top       --port P [--host H] [--endpoint /varz|/healthz|...]
 //   profile   [--kind K] [--n N] [--seed S] [--seconds S] [--hz HZ]
 //             [--out <file.collapsed>]
+//   shard build  --input <file.csv|file.bin> --out <file.sshard>
+//                [--shards N] [--index <zm|ml|rsmi|lisa>] [--elsi 0|1]
+//                [--mode <curve|grid>] [--curve <z|hilbert>] [--threads T]
+//   shard query  --snapshot <file.sshard> [--queries Q] [--window-frac F]
+//                [--knn K] [--seed S] [--threads T] [--batch B]
+//   shard serve  [--kind K] [--n N] [--shards N] [--seed S] [--port P]
+//                [--duration S] [--threads T]
 //
 // `bench` builds the chosen index (through ELSI's build processor unless
 // --method og) and reports build time plus point/window/kNN query timings
@@ -44,6 +51,15 @@
 // (default) serves until the process is killed. `top` fetches one endpoint
 // from a running server and prints it (a curl-free liveness probe).
 //
+// `shard build` partitions the input along a space-filling curve and builds
+// one index per shard (in parallel), writing a single sharded snapshot.
+// `shard query` restores it and runs point/window/kNN plus the analytics
+// operators through the scatter-gather planner, reporting how many shards
+// each kNN actually visited. `shard serve` is `serve` with a ShardedIndex
+// behind the HTTP exporter, so /healthz shows the per-shard population,
+// skew ratio, and degraded-shard count (see DESIGN.md "Sharded
+// scatter-gather").
+//
 // `profile` runs the elsi::prof stack over a self-contained query/update
 // workload: per-span hardware-counter attribution (IPC, LLC misses per
 // call) plus the sampling CPU profiler, whose collapsed stacks go to
@@ -59,8 +75,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -79,7 +97,10 @@
 #include "obs/model_health.h"
 #include "obs/trace.h"
 #include "persist/elsi.h"
+#include "persist/io.h"
 #include "persist/snapshot.h"
+#include "shard/operators.h"
+#include "shard/sharded_index.h"
 #include "prof/counters.h"
 #include "prof/sampler.h"
 #include "prof/span_costs.h"
@@ -112,7 +133,16 @@ int Usage() {
       "                    [--duration S] [--threads T]\n"
       "  elsi_cli top      --port P [--host H] [--endpoint /varz]\n"
       "  elsi_cli profile  [--kind K] [--n N] [--seed S] [--seconds S]\n"
-      "                    [--hz HZ] [--out <file.collapsed>]\n");
+      "                    [--hz HZ] [--out <file.collapsed>]\n"
+      "  elsi_cli shard build --input <file> --out <file.sshard>\n"
+      "                    [--shards N] [--index <zm|ml|rsmi|lisa>]\n"
+      "                    [--elsi 0|1] [--mode <curve|grid>]\n"
+      "                    [--curve <z|hilbert>] [--threads T]\n"
+      "  elsi_cli shard query --snapshot <file.sshard> [--queries Q]\n"
+      "                    [--window-frac F] [--knn K] [--seed S]\n"
+      "                    [--threads T] [--batch B]\n"
+      "  elsi_cli shard serve [--kind K] [--n N] [--shards N] [--seed S]\n"
+      "                    [--port P] [--duration S] [--threads T]\n");
   return 2;
 }
 
@@ -867,6 +897,307 @@ int RunProfile(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+/// CLI spelling -> BaseIndexKind for the sharded engine (one ELSI stack per
+/// shard, so only the four learned base kinds apply).
+bool ShardKindFromCli(const std::string& name, BaseIndexKind* kind) {
+  const std::map<std::string, BaseIndexKind> kinds = {
+      {"zm", BaseIndexKind::kZM},
+      {"ml", BaseIndexKind::kML},
+      {"rsmi", BaseIndexKind::kRSMI},
+      {"lisa", BaseIndexKind::kLISA}};
+  const auto it = kinds.find(name);
+  if (it == kinds.end()) return false;
+  *kind = it->second;
+  return true;
+}
+
+/// Sharded snapshots carry their own tiny header (magic + per-shard index
+/// kind + trainer flavour) ahead of ShardedIndex::SaveState, because the
+/// engine restores shards through the config it was constructed with — the
+/// header lets `shard query` rebuild that config from the file alone.
+constexpr const char kShardSnapshotMagic[] = "ELSI-SHARD-v1";
+
+shard::ShardedIndexConfig ShardConfigForScale(BaseIndexKind kind, bool elsi,
+                                              size_t shards, size_t n) {
+  shard::ShardedIndexConfig cfg;
+  cfg.partition.shards = shards;
+  cfg.shard.kind = kind;
+  cfg.shard.elsi = elsi;
+  cfg.shard.scale.leaf_target =
+      std::max<size_t>(2000, n / std::max<size_t>(shards, 1) / 16);
+  cfg.pool = &ThreadPool::Global();
+  return cfg;
+}
+
+int RunShardBuild(const std::map<std::string, std::string>& flags) {
+  const std::string input = FlagOr(flags, "input", "");
+  const std::string out = FlagOr(flags, "out", "");
+  const size_t shards =
+      std::strtoull(FlagOr(flags, "shards", "4").c_str(), nullptr, 10);
+  const bool elsi = FlagOr(flags, "elsi", "1") == "1";
+  const size_t threads =
+      std::strtoull(FlagOr(flags, "threads", "0").c_str(), nullptr, 10);
+  if (input.empty() || out.empty() || shards == 0) return Usage();
+  BaseIndexKind kind;
+  if (!ShardKindFromCli(FlagOr(flags, "index", "zm"), &kind)) {
+    std::fprintf(stderr, "unknown index '%s'\n",
+                 FlagOr(flags, "index", "zm").c_str());
+    return 2;
+  }
+  if (threads > 0) ThreadPool::SetGlobalThreads(threads);
+
+  Dataset data;
+  if (!LoadPointsFile(input, &data)) {
+    std::fprintf(stderr, "failed to load points from %s\n", input.c_str());
+    return 1;
+  }
+  shard::ShardedIndexConfig cfg =
+      ShardConfigForScale(kind, elsi, shards, data.size());
+  const std::string mode = FlagOr(flags, "mode", "curve");
+  if (mode == "grid") {
+    cfg.partition.mode = shard::PartitionMode::kGrid;
+  } else if (mode != "curve") {
+    std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
+    return 2;
+  }
+  const std::string curve = FlagOr(flags, "curve", "z");
+  if (curve == "hilbert") {
+    cfg.partition.curve = shard::PartitionCurve::kHilbert;
+  } else if (curve != "z") {
+    std::fprintf(stderr, "unknown curve '%s'\n", curve.c_str());
+    return 2;
+  }
+
+  shard::ShardedIndex index(cfg);
+  Timer build_timer;
+  index.Build(data);
+  std::printf("built %s on %zu points in %.3f s (skew %.2f)\n",
+              index.Name().c_str(), data.size(), build_timer.ElapsedSeconds(),
+              index.SkewRatio());
+  for (size_t i = 0; i < index.shard_count(); ++i) {
+    std::printf("  shard %zu: %zu points\n", i, index.shard(i).PointCount());
+  }
+
+  persist::Writer w;
+  w.Str(kShardSnapshotMagic);
+  w.Str(BaseIndexKindName(kind));
+  w.Bool(elsi);
+  if (!index.SaveState(w)) {
+    std::fprintf(stderr, "shard snapshot serialization failed\n");
+    return 1;
+  }
+  std::ofstream file(out, std::ios::binary | std::ios::trunc);
+  file.write(w.buffer().data(),
+             static_cast<std::streamsize>(w.buffer().size()));
+  if (!file.flush()) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("snapshot: %s (%zu bytes)\n", out.c_str(), w.buffer().size());
+  return 0;
+}
+
+int RunShardQuery(const std::map<std::string, std::string>& flags) {
+  const std::string path = FlagOr(flags, "snapshot", "");
+  const size_t queries =
+      std::strtoull(FlagOr(flags, "queries", "1000").c_str(), nullptr, 10);
+  const double window_frac =
+      std::atof(FlagOr(flags, "window-frac", "0.0001").c_str());
+  const size_t k =
+      std::strtoull(FlagOr(flags, "knn", "10").c_str(), nullptr, 10);
+  const uint64_t seed =
+      std::strtoull(FlagOr(flags, "seed", "42").c_str(), nullptr, 10);
+  const size_t threads =
+      std::strtoull(FlagOr(flags, "threads", "0").c_str(), nullptr, 10);
+  const size_t batch =
+      std::strtoull(FlagOr(flags, "batch", "256").c_str(), nullptr, 10);
+  if (path.empty() || queries == 0 || batch == 0) return Usage();
+  if (threads > 0) ThreadPool::SetGlobalThreads(threads);
+
+  std::ifstream file(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << file.rdbuf();
+  const std::string bytes = buf.str();
+  if (!file || bytes.empty()) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  persist::Reader r{std::string_view(bytes)};
+  BaseIndexKind kind = BaseIndexKind::kZM;
+  bool known_kind = false;
+  if (r.Str() == kShardSnapshotMagic) {
+    const std::string kind_name = r.Str();
+    for (const BaseIndexKind candidate : kAllBaseIndexKinds) {
+      if (BaseIndexKindName(candidate) == kind_name) {
+        kind = candidate;
+        known_kind = true;
+      }
+    }
+  }
+  const bool elsi = r.Bool();
+  if (!r.ok() || !known_kind) {
+    std::fprintf(stderr, "not a sharded snapshot (or unknown kind): %s\n",
+                 path.c_str());
+    return 1;
+  }
+
+  shard::ShardedIndex index(ShardConfigForScale(kind, elsi, 1, 0));
+  Timer load_timer;
+  if (!index.LoadState(r)) {
+    std::fprintf(stderr, "shard snapshot load failed: %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("loaded %s: %s, %zu points in %zu shards (skew %.2f) in"
+              " %.3f s\n",
+              path.c_str(), index.Name().c_str(), index.size(),
+              index.shard_count(), index.SkewRatio(),
+              load_timer.ElapsedSeconds());
+  if (index.size() == 0) return 0;
+
+  const Dataset contents = index.CollectAll();
+  const auto probes = SamplePointQueries(contents, queries, seed + 1);
+  const auto windows =
+      SampleWindowQueries(contents, std::max<size_t>(queries / 8, 1),
+                          window_frac, seed + 2);
+  const auto knn_probes =
+      SampleKnnQueries(contents, std::max<size_t>(queries / 8, 1), seed + 3);
+  BatchQueryOptions opts;
+  opts.pool = &ThreadPool::Global();
+  opts.chunk = batch;
+
+  std::vector<uint8_t> hit(probes.size(), 0);
+  std::vector<Point> payload(probes.size());
+  Timer point_timer;
+  index.PointQueryBatch(probes, hit, payload, opts);
+  size_t found = 0;
+  for (const uint8_t h : hit) found += h;
+  std::printf("point queries:  %.2f us avg (%zu/%zu found)\n",
+              point_timer.ElapsedMicros() / probes.size(), found,
+              probes.size());
+  if (found != probes.size()) {
+    std::fprintf(stderr, "restored shards lost points\n");
+    return 1;
+  }
+
+  std::vector<std::vector<Point>> window_out(windows.size());
+  Timer window_timer;
+  index.WindowQueryBatch(windows, window_out, opts);
+  size_t window_results = 0;
+  for (const auto& pts : window_out) window_results += pts.size();
+  std::printf("window queries: %.2f us avg (%zu results)\n",
+              window_timer.ElapsedMicros() / windows.size(), window_results);
+
+  Timer knn_timer;
+  size_t knn_results = 0, visited = 0;
+  for (const Point& q : knn_probes) {
+    shard::ShardedIndex::KnnStats stats;
+    knn_results += index.KnnQueryCounted(q, k, &stats).size();
+    visited += stats.shards_visited;
+  }
+  std::printf("knn queries:    %.2f us avg (k=%zu, %zu results, "
+              "%.2f of %zu shards visited on average)\n",
+              knn_timer.ElapsedMicros() / knn_probes.size(), k, knn_results,
+              static_cast<double>(visited) /
+                  static_cast<double>(knn_probes.size()),
+              index.shard_count());
+
+  Timer ops_timer;
+  const size_t join_matches =
+      shard::ContainmentJoin(index, windows, opts).size();
+  const size_t distance_matches =
+      shard::DistanceJoin(index, knn_probes, 0.02, opts).size();
+  size_t aggregated = 0;
+  for (const auto& agg : shard::AggregateByRegion(index, windows, opts)) {
+    aggregated += agg.count;
+  }
+  std::printf("operators:      %.3f s (containment %zu, distance %zu, "
+              "aggregate %zu)\n",
+              ops_timer.ElapsedSeconds(), join_matches, distance_matches,
+              aggregated);
+  return 0;
+}
+
+int RunShardServe(const std::map<std::string, std::string>& flags) {
+  const std::string kind_name = FlagOr(flags, "kind", "osm1");
+  const size_t n =
+      std::strtoull(FlagOr(flags, "n", "20000").c_str(), nullptr, 10);
+  const size_t shards =
+      std::strtoull(FlagOr(flags, "shards", "4").c_str(), nullptr, 10);
+  const uint64_t seed =
+      std::strtoull(FlagOr(flags, "seed", "42").c_str(), nullptr, 10);
+  const double duration = std::atof(FlagOr(flags, "duration", "0").c_str());
+  const size_t threads =
+      std::strtoull(FlagOr(flags, "threads", "0").c_str(), nullptr, 10);
+  if (threads > 0) ThreadPool::SetGlobalThreads(threads);
+
+  const std::map<std::string, DatasetKind> kinds = {
+      {"uniform", DatasetKind::kUniform}, {"skewed", DatasetKind::kSkewed},
+      {"osm1", DatasetKind::kOsm1},       {"osm2", DatasetKind::kOsm2},
+      {"tpch", DatasetKind::kTpch},       {"nyc", DatasetKind::kNyc}};
+  const auto kit = kinds.find(kind_name);
+  if (kit == kinds.end() || n == 0 || shards == 0) return Usage();
+
+  // DirectTrainer per shard keeps startup snappy; the telemetry surfaces
+  // are identical either way.
+  const Dataset all = GenerateDataset(kit->second, n * 2, seed);
+  const Dataset base(all.begin(), all.begin() + n);
+  shard::ShardedIndex index(
+      ShardConfigForScale(BaseIndexKind::kZM, /*elsi=*/false, shards, n));
+  index.Build(base);
+
+  obs::HttpExporter exporter;
+  obs::HttpExporter::Options options;
+  options.port = static_cast<uint16_t>(
+      std::strtoul(FlagOr(flags, "port", "0").c_str(), nullptr, 10));
+  if (!exporter.Start(options)) {
+    std::fprintf(stderr,
+                 "shard serve: cannot start the HTTP exporter (built with "
+                 "-DELSI_OBS=OFF, or the port is taken)\n");
+    return 1;
+  }
+  std::printf("serving on http://%s:%u\n", options.bind_address.c_str(),
+              exporter.port());
+  std::printf("  /healthz has the shard block; /varz the shard.* gauges\n");
+  std::printf("built %s on %s, n=%zu (skew %.2f); workload running%s\n",
+              index.Name().c_str(), kind_name.c_str(), n, index.SkewRatio(),
+              duration > 0 ? "" : " (Ctrl-C to stop)");
+  std::fflush(stdout);
+
+  const auto probes = SamplePointQueries(base, 512, seed + 1);
+  const auto windows = SampleWindowQueries(base, 64, 0.0001, seed + 2);
+  const auto knn_probes = SampleKnnQueries(base, 64, seed + 3);
+  Timer uptime;
+  size_t insert_pos = n;
+  uint64_t round = 0;
+  while (duration <= 0 || uptime.ElapsedSeconds() < duration) {
+    for (const Point& q : probes) index.PointQuery(q);
+    for (const Rect& w : windows) index.WindowQuery(w);
+    for (const Point& q : knn_probes) index.KnnQuery(q, 10);
+    for (int i = 0; i < 32 && insert_pos < all.size(); ++i) {
+      index.Insert(all[insert_pos++]);
+    }
+    if (insert_pos >= all.size()) insert_pos = n;  // recycle the tail
+    index.UpdateShardMetrics();  // keep /healthz populations fresh
+    ++round;
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  exporter.Stop();
+  std::printf("served %.1f s, %llu workload rounds\n",
+              uptime.ElapsedSeconds(),
+              static_cast<unsigned long long>(round));
+  return 0;
+}
+
+int RunShard(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string sub = argv[2];
+  const auto flags = ParseFlags(argc, argv, 3);
+  if (sub == "build") return RunShardBuild(flags);
+  if (sub == "query") return RunShardQuery(flags);
+  if (sub == "serve") return RunShardServe(flags);
+  return Usage();
+}
+
 int RunTop(const std::map<std::string, std::string>& flags) {
   const std::string host = FlagOr(flags, "host", "127.0.0.1");
   const std::string endpoint = FlagOr(flags, "endpoint", "/varz");
@@ -897,6 +1228,7 @@ int Main(int argc, char** argv) {
   if (command == "serve") return RunServe(flags);
   if (command == "top") return RunTop(flags);
   if (command == "profile") return RunProfile(flags);
+  if (command == "shard") return RunShard(argc, argv);
   return Usage();
 }
 
