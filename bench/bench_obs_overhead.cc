@@ -20,6 +20,8 @@
 #include "common/timer.h"
 #include "data/workload.h"
 #include "obs/metrics.h"
+#include "obs/slow_query.h"
+#include "obs/trace.h"
 
 namespace elsi {
 namespace bench {
@@ -80,6 +82,16 @@ void Run(const std::string& out_path) {
   std::printf("point query batch: %s (median of %d)\n",
               FormatMicros(batch_median).c_str(), kRepetitions);
 
+  // Observability side data: recorded span totals and slow-query captures.
+  // bench_diff classifies trace.* / slow_queries.* as context-info — shown
+  // in diffs, never gated (span counts scale with n and repetitions).
+  uint64_t trace_spans = 0;
+  for (const obs::ThreadTrace& t : obs::TraceRegistry::Get().Snapshot()) {
+    trace_spans += t.events.size() + t.dropped;
+  }
+  const uint64_t slow_captured =
+      obs::GetCounter("slow_queries.captured").Value();
+
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "[bench] cannot write %s\n", out_path.c_str());
@@ -93,10 +105,14 @@ void Run(const std::string& out_path) {
                "  \"repetitions\": %d,\n"
                "  \"build_s\": %.6f,\n"
                "  \"point_query_us\": %.4f,\n"
-               "  \"batch_query_us\": %.4f\n"
+               "  \"batch_query_us\": %.4f,\n"
+               "  \"trace\": {\"spans_total\": %llu},\n"
+               "  \"slow_queries\": {\"captured\": %llu}\n"
                "}\n",
                ELSI_OBS_ENABLED, n, queries.size(), kRepetitions, build_s,
-               serial_median, batch_median);
+               serial_median, batch_median,
+               static_cast<unsigned long long>(trace_spans),
+               static_cast<unsigned long long>(slow_captured));
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
 }

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace elsi {
 
@@ -53,9 +54,19 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  // Capture the submitter's trace context now and adopt it around the task
+  // wherever it eventually runs (worker, helping waiter, or dtor drain), so
+  // spans in pooled continuations join the submitting query's trace tree.
+  // Tasks submitted outside any span carry an empty context and root their
+  // own traces (the background-work policy).
+  obs::TraceContext ctx = obs::CurrentTraceContext();
+  auto traced = [ctx, inner = std::move(task)] {
+    obs::TraceContextScope scope(ctx);
+    inner();
+  };
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(traced));
     QueueDepthGauge().Set(static_cast<int64_t>(queue_.size()));
   }
   task_ready_.notify_one();

@@ -47,6 +47,10 @@ class ThreadPool {
 
   /// Enqueues a task. Prefer TaskGroup/ParallelFor, which add completion
   /// tracking; raw submissions are only joined by the destructor.
+  /// The submitter's obs::TraceContext is captured here and adopted around
+  /// the task, so spans recorded inside pooled continuations link into the
+  /// submitting query's trace tree (TaskGroup, ParallelFor and SubmitFuture
+  /// all route through Submit and inherit this).
   void Submit(std::function<void()> task);
 
   /// Futures-based submission for callers that want a task's value.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 
 namespace elsi {
@@ -218,6 +219,7 @@ std::string MetricsPrometheus(const MetricsSnapshot& snapshot) {
 }
 
 std::string TraceJson(const std::vector<ThreadTrace>& traces) {
+  constexpr int kPid = 1;  // single process; named by the metadata below
   // Flatten + sort by start so the file is stable and streams of nested
   // spans render parent-before-child in viewers.
   struct Flat {
@@ -240,20 +242,71 @@ std::string TraceJson(const std::vector<ThreadTrace>& traces) {
 
   std::ostringstream out;
   out << "{\"traceEvents\": [";
+  size_t emitted = 0;
+  const auto sep = [&]() -> std::ostream& {
+    out << (emitted++ ? ",\n  " : "\n  ");
+    return out;
+  };
+
+  // ph:"M" metadata names the process and every recorded thread, replacing
+  // the bare pid/tid integers in viewer sidebars.
+  if (!flat.empty()) {
+    sep() << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << kPid
+          << ", \"args\": {\"name\": \"elsi\"}}";
+    for (const ThreadTrace& trace : traces) {
+      if (trace.events.empty()) continue;
+      sep() << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": " << kPid
+            << ", \"tid\": " << trace.tid
+            << ", \"args\": {\"name\": \"elsi-thread-" << trace.tid << "\"}}";
+    }
+  }
+
+  // span_id -> flat index, for locating cross-thread parents.
+  std::map<uint64_t, size_t> by_span_id;
   for (size_t i = 0; i < flat.size(); ++i) {
-    const Flat& f = flat[i];
-    out << (i ? ",\n  " : "\n  ");
-    char ts[32], dur[32];
+    if (flat[i].event.span_id != 0) by_span_id[flat[i].event.span_id] = i;
+  }
+
+  char ts[32], dur[32];
+  for (const Flat& f : flat) {
     std::snprintf(ts, sizeof(ts), "%.3f",
                   static_cast<double>(f.event.start_ns) / 1000.0);
     std::snprintf(dur, sizeof(dur), "%.3f",
                   static_cast<double>(f.event.dur_ns) / 1000.0);
-    out << "{\"name\": \""
-        << JsonEscape(f.event.name != nullptr ? f.event.name : "")
-        << "\", \"ph\": \"X\", \"ts\": " << ts << ", \"dur\": " << dur
-        << ", \"pid\": 1, \"tid\": " << f.tid << "}";
+    sep() << "{\"name\": \""
+          << JsonEscape(f.event.name != nullptr ? f.event.name : "")
+          << "\", \"ph\": \"X\", \"ts\": " << ts << ", \"dur\": " << dur
+          << ", \"pid\": " << kPid << ", \"tid\": " << f.tid;
+    if (f.event.span_id != 0) {
+      out << ", \"args\": {\"trace\": " << f.event.trace_id
+          << ", \"span\": " << f.event.span_id
+          << ", \"parent\": " << f.event.parent_id << "}";
+    }
+    out << "}";
+
+    // Cross-thread parent: a ph:"s"/"f" flow pair draws the fan-out arrow
+    // from the parent span to this one. Same-thread nesting needs no arrow
+    // (the viewer stacks it), and a parent lost to ring wrap has no anchor.
+    if (f.event.parent_id != 0) {
+      const auto parent_it = by_span_id.find(f.event.parent_id);
+      if (parent_it != by_span_id.end() &&
+          flat[parent_it->second].tid != f.tid) {
+        const Flat& p = flat[parent_it->second];
+        char pts[32];
+        std::snprintf(pts, sizeof(pts), "%.3f",
+                      static_cast<double>(p.event.start_ns) / 1000.0);
+        sep() << "{\"name\": \"fanout\", \"cat\": \"flow\", \"ph\": \"s\", "
+                 "\"id\": "
+              << f.event.span_id << ", \"ts\": " << pts
+              << ", \"pid\": " << kPid << ", \"tid\": " << p.tid << "}";
+        sep() << "{\"name\": \"fanout\", \"cat\": \"flow\", \"ph\": \"f\", "
+                 "\"bp\": \"e\", \"id\": "
+              << f.event.span_id << ", \"ts\": " << ts
+              << ", \"pid\": " << kPid << ", \"tid\": " << f.tid << "}";
+      }
+    }
   }
-  out << (flat.empty() ? "]" : "\n]");
+  out << (emitted == 0 ? "]" : "\n]");
   out << ", \"displayTimeUnit\": \"ms\"}\n";
   return out.str();
 }

@@ -25,8 +25,11 @@ std::string MetricsJson(const MetricsSnapshot& snapshot);
 /// `_bucket{le=...}` / `_sum` / `_count` series.
 std::string MetricsPrometheus(const MetricsSnapshot& snapshot);
 
-/// Chrome trace_event JSON ("ph":"X" complete events, ts/dur in
-/// microseconds), one tid per recorded thread, sorted by start time.
+/// Chrome trace_event JSON, one tid per recorded thread, sorted by start
+/// time: ph:"M" process/thread-name metadata, ph:"X" complete events
+/// (ts/dur in microseconds, causal IDs under "args"), and ph:"s"/"f" flow
+/// pairs drawing the fan-out arrow for every cross-thread parent→child
+/// link so Perfetto renders the scatter-gather shape.
 std::string TraceJson(const std::vector<ThreadTrace>& traces);
 
 /// Convenience: snapshot the global registries and write to `path`.

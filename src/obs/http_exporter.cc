@@ -18,6 +18,8 @@
 #include "obs/exporters.h"
 #include "obs/flight_recorder.h"
 #include "obs/model_health.h"
+#include "obs/rolling.h"
+#include "obs/slow_query.h"
 #include "obs/trace.h"
 #include "prof/counters.h"
 #include "prof/proc_stats.h"
@@ -358,6 +360,9 @@ std::string VarzJson() {
       << ",\n \"proc\": " << ProcJson()
       << ",\n \"model_health\": "
       << Embed(ModelHealthJson(ModelHealthMonitor::Get().Snapshot()))
+      // Scrape-driven rolling windows: current p50/p99 and rates over the
+      // last ~10s/1m, not lifetime cumulatives. Ticks a capture per scrape.
+      << ",\n \"windows\": " << RollingWindows::Get().Json()
       << ",\n \"metrics\": " << Embed(MetricsJson(metrics)) << "}\n";
   return out.str();
 }
@@ -368,6 +373,7 @@ constexpr const char kIndexPage[] =
     "  /varz           JSON metrics snapshot\n"
     "  /healthz        liveness, build info, drift status\n"
     "  /debug/trace    Chrome trace_event JSON\n"
+    "  /debug/slow     captured tail-latency trace trees\n"
     "  /debug/queries  sampled query flight records\n"
     "  /debug/profile  collapsed-stack CPU profile (?seconds=N&hz=H)\n";
 
@@ -398,6 +404,8 @@ void HttpExporter::Handle(const std::string& target, int* status,
     *body = HealthzJson();
   } else if (path == "/debug/trace") {
     *body = TraceJson(TraceRegistry::Get().Snapshot());
+  } else if (path == "/debug/slow") {
+    *body = SlowQueriesJson();
   } else if (path == "/debug/queries") {
     *body = QueriesJson(FlightRecorder::Get().Snapshot());
   } else if (path == "/debug/profile") {

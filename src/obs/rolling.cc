@@ -1,0 +1,143 @@
+#include "obs/rolling.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace elsi {
+namespace obs {
+
+namespace {
+
+std::string RollingNumber(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+std::string WindowJson(const WindowView& view) {
+  std::ostringstream out;
+  out << "{\"requested_s\": " << RollingNumber(view.requested_s)
+      << ", \"actual_s\": " << RollingNumber(view.actual_s)
+      << ", \"histograms\": [";
+  for (size_t i = 0; i < view.histograms.size(); ++i) {
+    const WindowedHistogram& h = view.histograms[i];
+    out << (i ? ", " : "") << "{\"name\": \"" << h.name
+        << "\", \"count\": " << h.count
+        << ", \"rate_per_s\": " << RollingNumber(h.rate_per_s)
+        << ", \"p50\": " << RollingNumber(h.p50)
+        << ", \"p99\": " << RollingNumber(h.p99) << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace
+
+#if ELSI_OBS_ENABLED
+
+RollingWindows& RollingWindows::Get() {
+  // Leaked for the same static-destruction safety as the registries.
+  static auto* windows = new RollingWindows();
+  return *windows;
+}
+
+void RollingWindows::Tick(uint64_t now_ns) {
+  if (now_ns == 0) now_ns = NowNs();
+  // Snapshot outside the lock: the registry has its own synchronisation
+  // and snapshots can be slow with many histograms.
+  std::vector<HistogramSnapshot> histograms =
+      MetricsRegistry::Get().Snapshot().histograms;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!captures_.empty() && now_ns >= captures_.back().t_ns &&
+      now_ns - captures_.back().t_ns < kMinGapNs) {
+    return;
+  }
+  captures_.push_back({now_ns, std::move(histograms)});
+  while (captures_.size() > kMaxCaptures) captures_.pop_front();
+}
+
+WindowView RollingWindows::Window(double seconds, uint64_t now_ns) const {
+  if (now_ns == 0) now_ns = NowNs();
+  WindowView view;
+  view.requested_s = seconds;
+
+  const uint64_t window_ns = static_cast<uint64_t>(seconds * 1e9);
+  const Capture* base = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Newest capture at least `seconds` old; else the oldest available
+    // (a shorter-than-requested window, reported via actual_s).
+    for (const Capture& capture : captures_) {
+      if (now_ns >= capture.t_ns && now_ns - capture.t_ns >= window_ns) {
+        base = &capture;
+      } else {
+        break;  // captures are time-ordered
+      }
+    }
+    if (base == nullptr && !captures_.empty() &&
+        now_ns > captures_.front().t_ns) {
+      base = &captures_.front();
+    }
+    if (base == nullptr) return view;
+
+    view.actual_s = static_cast<double>(now_ns - base->t_ns) / 1e9;
+    std::map<std::string, const HistogramSnapshot*> base_by_name;
+    for (const HistogramSnapshot& h : base->histograms) {
+      base_by_name[h.name] = &h;
+    }
+    for (const HistogramSnapshot& live :
+         MetricsRegistry::Get().Snapshot().histograms) {
+      HistogramSnapshot delta = live;
+      const auto it = base_by_name.find(live.name);
+      if (it != base_by_name.end() &&
+          it->second->counts.size() == live.counts.size()) {
+        const HistogramSnapshot& old = *it->second;
+        delta.total = live.total >= old.total ? live.total - old.total : 0;
+        delta.sum = live.sum - old.sum;
+        for (size_t i = 0; i < delta.counts.size(); ++i) {
+          delta.counts[i] =
+              live.counts[i] >= old.counts[i] ? live.counts[i] - old.counts[i]
+                                              : 0;
+        }
+      }
+      if (delta.total == 0) continue;  // quiet histograms stay out
+      WindowedHistogram windowed;
+      windowed.name = live.name;
+      windowed.count = delta.total;
+      windowed.rate_per_s = static_cast<double>(delta.total) / view.actual_s;
+      windowed.p50 = delta.ApproxQuantile(0.5);
+      windowed.p99 = delta.ApproxQuantile(0.99);
+      view.histograms.push_back(std::move(windowed));
+    }
+  }
+  return view;
+}
+
+std::string RollingWindows::Json(uint64_t now_ns) {
+  Tick(now_ns);
+  std::ostringstream out;
+  out << "{\"10s\": " << WindowJson(Window(10.0, now_ns))
+      << ", \"60s\": " << WindowJson(Window(60.0, now_ns)) << "}";
+  return out.str();
+}
+
+void RollingWindows::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  captures_.clear();
+}
+
+#else  // !ELSI_OBS_ENABLED
+
+std::string RollingWindows::Json(uint64_t) {
+  std::ostringstream out;
+  out << "{\"10s\": " << WindowJson(Window(10.0))
+      << ", \"60s\": " << WindowJson(Window(60.0)) << "}";
+  return out.str();
+}
+
+#endif  // ELSI_OBS_ENABLED
+
+}  // namespace obs
+}  // namespace elsi

@@ -1,0 +1,112 @@
+#ifndef ELSI_OBS_ROLLING_H_
+#define ELSI_OBS_ROLLING_H_
+
+/// Time-windowed rolling views over the cumulative sharded histograms.
+///
+/// The registry's histograms are lifetime-cumulative: perfect for totals,
+/// useless for "what is p99 *right now*". RollingWindows keeps a short
+/// ring of timestamped histogram-snapshot captures (scrape-driven: the
+/// /varz handler calls Tick(), so there is no background thread and zero
+/// cost when nobody is looking) and answers windowed questions by
+/// differencing the live counts against the capture closest to `now -
+/// window`: the delta histogram yields windowed p50/p99 via
+/// ApproxQuantile, and delta-total / elapsed yields the rate (QPS for
+/// query histograms). The JSON reports the *actual* span of each window —
+/// after a fresh start a "60s" window may only cover 12s of history.
+///
+/// All entry points take an explicit now_ns (0 = NowNs()) so tests can
+/// drive time deterministically. With ELSI_OBS_ENABLED=0 the class stubs
+/// out and Json() returns an empty-windows document.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+#if ELSI_OBS_ENABLED
+#include <deque>
+#include <mutex>
+#endif
+
+namespace elsi {
+namespace obs {
+
+/// One histogram's activity inside a window.
+struct WindowedHistogram {
+  std::string name;
+  uint64_t count = 0;    // observations inside the window
+  double rate_per_s = 0; // count / actual window span
+  double p50 = 0;
+  double p99 = 0;
+};
+
+/// One evaluated window: requested length, actual covered span, and every
+/// histogram that saw activity inside it.
+struct WindowView {
+  double requested_s = 0;
+  double actual_s = 0;  // 0 when there is not enough history yet
+  std::vector<WindowedHistogram> histograms;
+};
+
+#if ELSI_OBS_ENABLED
+
+class RollingWindows {
+ public:
+  static constexpr size_t kMaxCaptures = 128;
+  /// Minimum gap between stored captures: bounds ring memory while keeping
+  /// a 10s window accurate to ~±1s under 1/s scraping.
+  static constexpr uint64_t kMinGapNs = 1'000'000'000ULL;
+
+  static RollingWindows& Get();
+
+  /// Stores a capture of the live histograms if kMinGapNs elapsed since
+  /// the last one. Called by the /varz handler on every scrape.
+  void Tick(uint64_t now_ns = 0);
+
+  /// Differences the live histograms against the best base capture for a
+  /// `seconds`-long window ending now.
+  WindowView Window(double seconds, uint64_t now_ns = 0) const;
+
+  /// {"10s": {...}, "60s": {...}} — Tick() then the standard two windows.
+  std::string Json(uint64_t now_ns = 0);
+
+  /// Drops all captures (tests).
+  void Clear();
+
+ private:
+  RollingWindows() = default;
+
+  struct Capture {
+    uint64_t t_ns = 0;
+    std::vector<HistogramSnapshot> histograms;
+  };
+
+  mutable std::mutex mutex_;
+  std::deque<Capture> captures_;
+};
+
+#else  // !ELSI_OBS_ENABLED
+
+class RollingWindows {
+ public:
+  static RollingWindows& Get() {
+    static RollingWindows windows;
+    return windows;
+  }
+  void Tick(uint64_t = 0) {}
+  WindowView Window(double seconds, uint64_t = 0) const {
+    WindowView view;
+    view.requested_s = seconds;
+    return view;
+  }
+  std::string Json(uint64_t = 0);
+  void Clear() {}
+};
+
+#endif  // ELSI_OBS_ENABLED
+
+}  // namespace obs
+}  // namespace elsi
+
+#endif  // ELSI_OBS_ROLLING_H_

@@ -1,0 +1,299 @@
+#include "obs/slow_query.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace elsi {
+namespace obs {
+
+#if ELSI_OBS_ENABLED
+
+namespace {
+
+Counter& CapturedCounter() {
+  static Counter& c = GetCounter("slow_queries.captured");
+  return c;
+}
+
+Counter& DroppedCounter() {
+  static Counter& c = GetCounter("slow_queries.dropped");
+  return c;
+}
+
+Gauge& ThresholdGauge() {
+  static Gauge& g = GetGauge("slow_queries.threshold_us");
+  return g;
+}
+
+}  // namespace
+
+void OnQueryRootComplete(const TraceEvent& event) {
+  SlowQueryStore::Get().OnRootSpan(event);
+}
+
+SlowQueryStore& SlowQueryStore::Get() {
+  // Leaked so query roots completing during static destruction stay safe
+  // (same policy as TraceRegistry).
+  static auto* store = new SlowQueryStore();
+  return *store;
+}
+
+void SlowQueryStore::OnRootSpan(const TraceEvent& root) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (latencies_.size() < kLatencyWindow) {
+    latencies_.push_back(root.dur_ns);
+  } else {
+    latencies_[latency_next_ % kLatencyWindow] = root.dur_ns;
+  }
+  ++latency_next_;
+  ++roots_seen_;
+
+  if (forced_threshold_ns_ == 0 && roots_seen_ >= kWarmupRoots &&
+      (threshold_ns_ == 0 || roots_seen_ % kRecomputeEvery == 0)) {
+    // Rolling-quantile threshold over the latency window. nth_element on a
+    // copy: 512 u64s, runs at most once per kRecomputeEvery roots.
+    std::vector<uint64_t> sorted = latencies_;
+    const size_t rank = std::min(
+        sorted.size() - 1,
+        static_cast<size_t>(quantile_ * static_cast<double>(sorted.size())));
+    std::nth_element(sorted.begin(), sorted.begin() + rank, sorted.end());
+    threshold_ns_ = sorted[rank];
+    ThresholdGauge().Set(static_cast<int64_t>(threshold_ns_ / 1000));
+  }
+
+  const uint64_t threshold =
+      forced_threshold_ns_ != 0 ? forced_threshold_ns_ : threshold_ns_;
+  if (threshold == 0 || root.dur_ns < threshold) return;
+  CaptureLocked(root);
+}
+
+void SlowQueryStore::CaptureLocked(const TraceEvent& root) {
+  SlowTrace capture;
+  capture.trace_id = root.trace_id;
+  capture.root_name = root.name;
+  capture.start_ns = root.start_ns;
+  capture.dur_ns = root.dur_ns;
+  capture.threshold_ns =
+      forced_threshold_ns_ != 0 ? forced_threshold_ns_ : threshold_ns_;
+  capture.seq = captured_total_;
+
+  // Assemble the tree: every thread's ring may hold spans of this trace
+  // (the pool fans queries out), so filter the full registry snapshot by
+  // trace_id. The root was pushed to its ring before this call, so the
+  // tree always contains at least the root.
+  for (const ThreadTrace& thread : TraceRegistry::Get().Snapshot()) {
+    for (const TraceEvent& event : thread.events) {
+      if (event.trace_id == root.trace_id) {
+        capture.spans.push_back({event, thread.tid});
+      }
+    }
+  }
+  std::sort(capture.spans.begin(), capture.spans.end(),
+            [](const SlowTraceSpan& a, const SlowTraceSpan& b) {
+              if (a.event.start_ns != b.event.start_ns) {
+                return a.event.start_ns < b.event.start_ns;
+              }
+              return a.event.dur_ns > b.event.dur_ns;  // outer span first
+            });
+  if (capture.spans.size() > kMaxSpansPerTrace) {
+    capture.truncated = capture.spans.size() - kMaxSpansPerTrace;
+    capture.spans.resize(kMaxSpansPerTrace);
+  }
+
+  // Orphans: spans whose parent fell off a ring (or was truncated above).
+  // The count is surfaced so operators can tell a complete tree from one
+  // assembled after wrap.
+  std::vector<uint64_t> ids;
+  ids.reserve(capture.spans.size());
+  for (const SlowTraceSpan& span : capture.spans) ids.push_back(span.event.span_id);
+  std::sort(ids.begin(), ids.end());
+  for (const SlowTraceSpan& span : capture.spans) {
+    if (span.event.parent_id != 0 &&
+        !std::binary_search(ids.begin(), ids.end(), span.event.parent_id)) {
+      ++capture.orphans;
+    }
+  }
+
+  if (ring_.size() < kCapacity) {
+    ring_.push_back(std::move(capture));
+  } else {
+    ring_[ring_next_ % kCapacity] = std::move(capture);
+    DroppedCounter().Add();
+  }
+  ++ring_next_;
+  ++captured_total_;
+  CapturedCounter().Add();
+}
+
+std::vector<SlowTrace> SlowQueryStore::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < kCapacity) return ring_;
+  // Unwrap: oldest surviving capture lives at ring_next_ % kCapacity.
+  std::vector<SlowTrace> out;
+  out.reserve(ring_.size());
+  const size_t head = ring_next_ % kCapacity;
+  out.insert(out.end(), ring_.begin() + head, ring_.end());
+  out.insert(out.end(), ring_.begin(), ring_.begin() + head);
+  return out;
+}
+
+uint64_t SlowQueryStore::threshold_ns() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return forced_threshold_ns_ != 0 ? forced_threshold_ns_ : threshold_ns_;
+}
+
+void SlowQueryStore::ForceThresholdNs(uint64_t ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  forced_threshold_ns_ = ns;
+}
+
+void SlowQueryStore::SetQuantile(double q) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  quantile_ = std::min(1.0, std::max(0.0, q));
+}
+
+void SlowQueryStore::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  latencies_.clear();
+  latency_next_ = 0;
+  roots_seen_ = 0;
+  threshold_ns_ = 0;
+  ring_.clear();
+  ring_next_ = 0;
+  captured_total_ = 0;
+}
+
+#endif  // ELSI_OBS_ENABLED
+
+namespace {
+
+std::string SlowJsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string Us(uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1000.0);
+  return buf;
+}
+
+/// True for the per-shard breakdown spans LocalShard records ("shard0",
+/// "shard1", ...).
+bool IsShardSpanName(const char* name) {
+  if (name == nullptr) return false;
+  std::string_view s(name);
+  if (s.size() < 6 || s.substr(0, 5) != "shard") return false;
+  for (const char c : s.substr(5)) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string SlowQueriesJson() {
+  const std::vector<SlowTrace> traces = SlowQueryStore::Get().Snapshot();
+  std::ostringstream out;
+  out << "{\n  \"threshold_us\": " << Us(SlowQueryStore::Get().threshold_ns())
+      << ",\n  \"captured\": "
+      << GetCounter("slow_queries.captured").Value()
+      << ",\n  \"dropped\": " << GetCounter("slow_queries.dropped").Value()
+      << ",\n  \"traces\": [";
+  for (size_t t = 0; t < traces.size(); ++t) {
+    const SlowTrace& trace = traces[t];
+    out << (t ? ",\n    " : "\n    ");
+    out << "{\"trace_id\": " << trace.trace_id << ", \"seq\": " << trace.seq
+        << ", \"root\": \""
+        << SlowJsonEscape(trace.root_name != nullptr ? trace.root_name : "")
+        << "\", \"start_us\": " << Us(trace.start_ns)
+        << ", \"dur_us\": " << Us(trace.dur_ns)
+        << ", \"threshold_us\": " << Us(trace.threshold_ns)
+        << ", \"span_count\": " << trace.spans.size()
+        << ", \"orphans\": " << trace.orphans
+        << ", \"truncated\": " << trace.truncated;
+
+    // Per-phase rollup: group spans by name; self time subtracts direct
+    // children so nested phases don't double-count.
+    std::map<uint64_t, uint64_t> child_ns;  // parent span_id -> sum of child dur
+    for (const SlowTraceSpan& span : trace.spans) {
+      if (span.event.parent_id != 0) {
+        child_ns[span.event.parent_id] += span.event.dur_ns;
+      }
+    }
+    struct Phase {
+      uint64_t count = 0;
+      uint64_t total_ns = 0;
+      uint64_t self_ns = 0;
+    };
+    std::map<std::string, Phase> phases;   // ordered -> stable JSON
+    std::map<std::string, Phase> shards;
+    for (const SlowTraceSpan& span : trace.spans) {
+      const char* name = span.event.name != nullptr ? span.event.name : "";
+      Phase& phase = phases[name];
+      ++phase.count;
+      phase.total_ns += span.event.dur_ns;
+      const auto it = child_ns.find(span.event.span_id);
+      const uint64_t children = it != child_ns.end() ? it->second : 0;
+      phase.self_ns += span.event.dur_ns > children
+                           ? span.event.dur_ns - children
+                           : 0;
+      if (IsShardSpanName(span.event.name)) {
+        Phase& shard = shards[name];
+        ++shard.count;
+        shard.total_ns += span.event.dur_ns;
+      }
+    }
+    out << ", \"phases\": [";
+    size_t i = 0;
+    for (const auto& [name, phase] : phases) {
+      out << (i++ ? ", " : "") << "{\"name\": \"" << SlowJsonEscape(name)
+          << "\", \"count\": " << phase.count
+          << ", \"total_us\": " << Us(phase.total_ns)
+          << ", \"self_us\": " << Us(phase.self_ns) << "}";
+    }
+    out << "], \"shards\": [";
+    i = 0;
+    for (const auto& [name, shard] : shards) {
+      out << (i++ ? ", " : "") << "{\"name\": \"" << SlowJsonEscape(name)
+          << "\", \"count\": " << shard.count
+          << ", \"total_us\": " << Us(shard.total_ns) << "}";
+    }
+    out << "], \"spans\": [";
+    for (size_t s = 0; s < trace.spans.size(); ++s) {
+      const SlowTraceSpan& span = trace.spans[s];
+      out << (s ? ", " : "") << "{\"name\": \""
+          << SlowJsonEscape(span.event.name != nullptr ? span.event.name : "")
+          << "\", \"span\": " << span.event.span_id
+          << ", \"parent\": " << span.event.parent_id
+          << ", \"tid\": " << span.tid
+          << ", \"ts_us\": " << Us(span.event.start_ns)
+          << ", \"dur_us\": " << Us(span.event.dur_ns) << "}";
+    }
+    out << "]}";
+  }
+  out << (traces.empty() ? "]" : "\n  ]");
+  out << "\n}\n";
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace elsi

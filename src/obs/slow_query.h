@@ -1,0 +1,131 @@
+#ifndef ELSI_OBS_SLOW_QUERY_H_
+#define ELSI_OBS_SLOW_QUERY_H_
+
+/// Slow-query trace store: tail-latency capture for causal trace trees.
+///
+/// Every query entry point records its span with ELSI_TRACE_QUERY_SPAN;
+/// when such a span roots its trace (it is the end-to-end query, not a
+/// nested call), its completion is fed to SlowQueryStore::OnRootSpan. The
+/// store keeps a rolling window of recent end-to-end latencies, derives an
+/// adaptive threshold (a configurable quantile, default p95), and when a
+/// root exceeds the threshold it assembles the query's *complete* trace
+/// tree — collecting spans by trace_id across every thread's ring buffer —
+/// into a bounded ring of SlowTrace records. /debug/slow and `elsi_cli
+/// slow` render the ring with per-phase and per-shard breakdowns.
+///
+/// Sizing: kLatencyWindow (512) root latencies bound the threshold
+/// estimate; kCapacity (32) captured trees bound memory (a tree is at most
+/// kMaxSpansPerTrace span records). Capture is rare by construction (only
+/// tail queries) and takes the store mutex, so the hot path cost for a
+/// sub-threshold query is one mutex-guarded push of a single uint64.
+///
+/// With ELSI_OBS_ENABLED=0 everything degrades to inline no-op stubs.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+#if ELSI_OBS_ENABLED
+#include <mutex>
+#endif
+
+namespace elsi {
+namespace obs {
+
+/// One span of a captured slow trace, with the thread that recorded it.
+struct SlowTraceSpan {
+  TraceEvent event;
+  uint64_t tid = 0;
+};
+
+/// One captured tail query: the root span plus every span of its tree that
+/// was still resident in the per-thread rings at capture time.
+struct SlowTrace {
+  uint64_t trace_id = 0;
+  const char* root_name = nullptr;
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  uint64_t threshold_ns = 0;  // adaptive threshold at capture time
+  uint64_t seq = 0;           // capture sequence (monotonic, for ordering)
+  uint64_t orphans = 0;       // spans whose parent was lost to ring wrap
+  uint64_t truncated = 0;     // spans dropped by kMaxSpansPerTrace
+  std::vector<SlowTraceSpan> spans;  // sorted by start_ns, root first
+};
+
+#if ELSI_OBS_ENABLED
+
+class SlowQueryStore {
+ public:
+  static constexpr size_t kCapacity = 32;          // captured trace trees
+  static constexpr size_t kLatencyWindow = 512;    // rolling root latencies
+  static constexpr size_t kWarmupRoots = 64;       // before first threshold
+  static constexpr size_t kRecomputeEvery = 32;    // roots per recompute
+  static constexpr size_t kMaxSpansPerTrace = 4096;
+
+  static SlowQueryStore& Get();
+
+  /// Called by ScopedSpan for every completed query-root span. Updates the
+  /// latency window / adaptive threshold and captures the trace tree when
+  /// the root is at or above the threshold.
+  void OnRootSpan(const TraceEvent& root);
+
+  /// Copies of the captured traces, oldest first.
+  std::vector<SlowTrace> Snapshot() const;
+
+  /// Current capture threshold (0 until warmed up and not forced).
+  uint64_t threshold_ns() const;
+
+  /// Test/ops knobs. Force 0 returns to adaptive mode. The quantile
+  /// applies to the rolling latency window (default 0.95).
+  void ForceThresholdNs(uint64_t ns);
+  void SetQuantile(double q);
+
+  /// Drops captured traces and latency history (threshold resets too).
+  void Clear();
+
+ private:
+  SlowQueryStore() = default;
+
+  void CaptureLocked(const TraceEvent& root);
+
+  mutable std::mutex mutex_;
+  std::vector<uint64_t> latencies_;  // ring of kLatencyWindow root latencies
+  size_t latency_next_ = 0;
+  uint64_t roots_seen_ = 0;
+  uint64_t threshold_ns_ = 0;
+  uint64_t forced_threshold_ns_ = 0;
+  double quantile_ = 0.95;
+  std::vector<SlowTrace> ring_;  // grows to kCapacity then wraps
+  size_t ring_next_ = 0;
+  uint64_t captured_total_ = 0;
+};
+
+#else  // !ELSI_OBS_ENABLED
+
+class SlowQueryStore {
+ public:
+  static SlowQueryStore& Get() {
+    static SlowQueryStore store;
+    return store;
+  }
+  void OnRootSpan(const TraceEvent&) {}
+  std::vector<SlowTrace> Snapshot() const { return {}; }
+  uint64_t threshold_ns() const { return 0; }
+  void ForceThresholdNs(uint64_t) {}
+  void SetQuantile(double) {}
+  void Clear() {}
+};
+
+#endif  // ELSI_OBS_ENABLED
+
+/// JSON document for /debug/slow: threshold, capture counters, and each
+/// captured trace with per-phase (by span name) and per-shard breakdowns
+/// plus the full span list. Valid (mostly empty) JSON with obs disabled.
+std::string SlowQueriesJson();
+
+}  // namespace obs
+}  // namespace elsi
+
+#endif  // ELSI_OBS_SLOW_QUERY_H_

@@ -32,10 +32,31 @@ namespace elsi {
 namespace obs {
 
 /// One completed span. `name` must point at static-storage characters.
+/// Every span carries causal IDs: `span_id` is process-unique, `parent_id`
+/// is the span that was active on the recording thread (or the context
+/// adopted from the submitting thread) when this span opened, and
+/// `trace_id` groups all spans of one logical request. A root span
+/// (parent_id == 0) has trace_id == span_id.
 struct TraceEvent {
   const char* name = nullptr;
   uint64_t start_ns = 0;
   uint64_t dur_ns = 0;
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;
+};
+
+/// The active-span coordinates of one thread at one instant. Capture it
+/// with CurrentTraceContext() on the submitting thread and adopt it with
+/// TraceContextScope in the continuation so spans recorded on a worker
+/// thread join the submitter's trace tree instead of rooting their own.
+/// A default-constructed context is "no active trace": spans opened under
+/// it become roots. ThreadPool::Submit does this automatically for every
+/// pooled task, so TaskGroup / ParallelFor / SubmitFuture continuations
+/// inherit the caller's tree without manual plumbing.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
 };
 
 /// Optional per-span instrumentation hooks, installed by elsi::prof for
@@ -76,6 +97,46 @@ struct ThreadTrace {
 };
 
 #if ELSI_OBS_ENABLED
+
+namespace internal {
+// Process-wide span-ID allocator. IDs start at 1 so 0 stays "no span".
+inline std::atomic<uint64_t> g_next_span_id{1};
+inline uint64_t NextSpanId() {
+  return g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+// The calling thread's active-span context. Read/written only by the
+// owning thread (ScopedSpan and TraceContextScope), so plain TLS suffices.
+inline thread_local TraceContext g_trace_context;
+}  // namespace internal
+
+/// The calling thread's active-span context (zero if no span is open).
+inline TraceContext CurrentTraceContext() { return internal::g_trace_context; }
+
+/// RAII adoption of a captured TraceContext: installs `ctx` as the calling
+/// thread's active context for the current scope and restores the previous
+/// context on exit. Used by ThreadPool::Submit to stitch pooled
+/// continuations into the submitter's trace tree.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(const TraceContext& ctx)
+      : saved_(internal::g_trace_context) {
+    internal::g_trace_context = ctx;
+  }
+
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+  ~TraceContextScope() { internal::g_trace_context = saved_; }
+
+ private:
+  TraceContext saved_;
+};
+
+/// Feeds a completed root span of a query-flagged trace (see
+/// ELSI_TRACE_QUERY_SPAN) into the slow-query store for tail-latency
+/// capture. Defined in slow_query.cc; declared here so the inline
+/// ScopedSpan destructor can call it without a header cycle.
+void OnQueryRootComplete(const TraceEvent& event);
 
 /// Fixed-capacity ring of completed spans for one thread. Push takes a
 /// mutex, but it is only ever contended by Snapshot/Clear — each thread
@@ -127,10 +188,23 @@ class TraceRegistry {
 };
 
 /// RAII span: stamps the start on construction, records the completed
-/// event on destruction.
+/// event on destruction. Construction links the span under the thread's
+/// active context (becoming a root when there is none) and makes the span
+/// the active context for its scope; destruction restores the previous
+/// context. `query_root` marks a query entry point: if such a span turns
+/// out to root its trace (i.e. it is an end-to-end query, not a nested
+/// call from a batch), its completion is offered to the slow-query store.
 class ScopedSpan {
  public:
-  explicit ScopedSpan(const char* name) : name_(name), start_ns_(NowNs()) {
+  explicit ScopedSpan(const char* name, bool query_root = false)
+      : name_(name), query_root_(query_root) {
+    const TraceContext parent = internal::g_trace_context;
+    span_id_ = internal::NextSpanId();
+    trace_id_ = parent.trace_id != 0 ? parent.trace_id : span_id_;
+    parent_id_ = parent.span_id;
+    saved_context_ = parent;
+    internal::g_trace_context = TraceContext{trace_id_, span_id_};
+    start_ns_ = NowNs();
     // Single relaxed load on the (overwhelmingly common) no-hook path keeps
     // the obs overhead budget intact with the profiler compiled in but idle.
     auto* enter = internal::g_span_enter.load(std::memory_order_relaxed);
@@ -148,15 +222,27 @@ class ScopedSpan {
     event.name = name_;
     event.start_ns = start_ns_;
     event.dur_ns = NowNs() - start_ns_;
+    event.trace_id = trace_id_;
+    event.span_id = span_id_;
+    event.parent_id = parent_id_;
+    internal::g_trace_context = saved_context_;
     TraceRegistry::Get().CurrentThreadBuffer().Push(event);
     if (hook_exit_ != nullptr && hook_token_ != kSpanHookNoToken) {
       hook_exit_(name_, hook_token_, event.dur_ns);
+    }
+    if (query_root_ && parent_id_ == 0) {
+      OnQueryRootComplete(event);
     }
   }
 
  private:
   const char* name_;
-  uint64_t start_ns_;
+  bool query_root_;
+  uint64_t start_ns_ = 0;
+  uint64_t trace_id_ = 0;
+  uint64_t span_id_ = 0;
+  uint64_t parent_id_ = 0;
+  TraceContext saved_context_;
   uint64_t hook_token_ = kSpanHookNoToken;
   void (*hook_exit_)(const char*, uint64_t, uint64_t) = nullptr;
 };
@@ -168,8 +254,22 @@ class ScopedSpan {
 #define ELSI_TRACE_SPAN(name)                                  \
   ::elsi::obs::ScopedSpan ELSI_OBS_SPAN_CONCAT(elsi_obs_span_, \
                                                __COUNTER__)(name)
+/// Same, but marks the span as a query entry point eligible for
+/// slow-query capture when it roots its trace (see ScopedSpan).
+#define ELSI_TRACE_QUERY_SPAN(name)                            \
+  ::elsi::obs::ScopedSpan ELSI_OBS_SPAN_CONCAT(elsi_obs_span_, \
+                                               __COUNTER__)(name, true)
 
 #else  // !ELSI_OBS_ENABLED
+
+inline TraceContext CurrentTraceContext() { return {}; }
+
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(const TraceContext&) {}
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+};
 
 class TraceBuffer {
  public:
@@ -195,11 +295,14 @@ class TraceRegistry {
 
 class ScopedSpan {
  public:
-  explicit ScopedSpan(const char*) {}
+  explicit ScopedSpan(const char*, bool = false) {}
 };
 
 #define ELSI_TRACE_SPAN(name) \
   do {                        \
+  } while (false)
+#define ELSI_TRACE_QUERY_SPAN(name) \
+  do {                              \
   } while (false)
 
 #endif  // ELSI_OBS_ENABLED

@@ -4,6 +4,7 @@
 
 #include "obs/flight_recorder.h"
 #include "obs/model_health.h"
+#include "obs/trace.h"
 #include "persist/io.h"
 
 namespace elsi {
@@ -72,16 +73,21 @@ bool LocalShard::Remove(const Point& p) {
 }
 
 bool LocalShard::PointQuery(const Point& q, Point* out) const {
+  // health_name_ ("shard<i>") has static storage, so it doubles as the
+  // span name: the per-shard breakdown in /debug/slow keys off it.
+  obs::ScopedSpan span(health_name_);
   obs::QueryScope scope(health_name_, obs::QueryKind::kPoint);
   return index_->PointQuery(q, out);
 }
 
 std::vector<Point> LocalShard::WindowQuery(const Rect& w) const {
+  obs::ScopedSpan span(health_name_);
   obs::QueryScope scope(health_name_, obs::QueryKind::kWindow);
   return index_->WindowQuery(w);
 }
 
 std::vector<Point> LocalShard::KnnQuery(const Point& q, size_t k) const {
+  obs::ScopedSpan span(health_name_);
   obs::QueryScope scope(health_name_, obs::QueryKind::kKnn);
   return index_->KnnQuery(q, k);
 }
@@ -89,12 +95,14 @@ std::vector<Point> LocalShard::KnnQuery(const Point& q, size_t k) const {
 void LocalShard::PointQueryBatch(std::span<const Point> qs,
                                  std::span<uint8_t> hit, std::span<Point> out,
                                  const BatchQueryOptions& opts) const {
+  obs::ScopedSpan span(health_name_);
   index_->PointQueryBatch(qs, hit, out, opts);
 }
 
 void LocalShard::WindowQueryBatch(std::span<const Rect> ws,
                                   std::span<std::vector<Point>> out,
                                   const BatchQueryOptions& opts) const {
+  obs::ScopedSpan span(health_name_);
   index_->WindowQueryBatch(ws, out, opts);
 }
 

@@ -6,6 +6,7 @@
 #include "common/knn.h"
 #include "common/logging.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "persist/io.h"
 
 namespace elsi {
@@ -46,6 +47,7 @@ void ShardedIndex::Build(const std::vector<Point>& data) {
   }
   // Stable bucketing: shard-relative data order equals the input order, so
   // shard builds are deterministic in (config, data).
+  ELSI_TRACE_SPAN("shard.build");
   std::vector<std::vector<Point>> buckets(shards_.size());
   for (const Point& p : data) buckets[partitioner_.ShardOf(p)].push_back(p);
   TaskGroup group(config_.pool);
@@ -68,6 +70,7 @@ bool ShardedIndex::Remove(const Point& p) {
 
 bool ShardedIndex::PointQuery(const Point& q, Point* out) const {
   if (shards_.empty()) return false;
+  ELSI_TRACE_QUERY_SPAN("shard.query.point");
   obs::GetCounter("shard.query.point").Add(1);
   return shards_[partitioner_.ShardOf(q)]->PointQuery(q, out);
 }
@@ -84,6 +87,7 @@ std::vector<uint32_t> ShardedIndex::WindowTargets(const Rect& w) const {
 }
 
 std::vector<Point> ShardedIndex::WindowQuery(const Rect& w) const {
+  ELSI_TRACE_QUERY_SPAN("shard.query.window");
   obs::GetCounter("shard.query.window").Add(1);
   const std::vector<uint32_t> targets = WindowTargets(w);
   obs::GetCounter("shard.window.shards_visited").Add(targets.size());
@@ -143,6 +147,7 @@ std::vector<Point> ShardedIndex::KnnQueryCounted(const Point& q, size_t k,
 }
 
 std::vector<Point> ShardedIndex::KnnQuery(const Point& q, size_t k) const {
+  ELSI_TRACE_QUERY_SPAN("shard.query.knn");
   obs::GetCounter("shard.query.knn").Add(1);
   return KnnQueryCounted(q, k, nullptr);
 }
@@ -157,6 +162,7 @@ void ShardedIndex::PointQueryBatch(std::span<const Point> qs,
     for (size_t i = 0; i < qs.size(); ++i) hit[i] = 0;
     return;
   }
+  ELSI_TRACE_QUERY_SPAN("shard.batch.point");
   obs::GetCounter("shard.query.point").Add(qs.size());
   ForEachQueryChunk(qs.size(), opts, [&](size_t begin, size_t end) {
     // Scatter the chunk per owning shard, push each group through the
@@ -191,6 +197,7 @@ void ShardedIndex::WindowQueryBatch(std::span<const Rect> ws,
                                     std::span<std::vector<Point>> out,
                                     const BatchQueryOptions& opts) const {
   ELSI_CHECK_EQ(out.size(), ws.size());
+  ELSI_TRACE_QUERY_SPAN("shard.batch.window");
   obs::GetCounter("shard.query.window").Add(ws.size());
   ForEachQueryChunk(ws.size(), opts, [&](size_t begin, size_t end) {
     std::vector<std::vector<size_t>> groups(shards_.size());
@@ -224,6 +231,7 @@ void ShardedIndex::KnnQueryBatch(std::span<const Point> qs, size_t k,
                                  std::span<std::vector<Point>> out,
                                  const BatchQueryOptions& opts) const {
   ELSI_CHECK_EQ(out.size(), qs.size());
+  ELSI_TRACE_QUERY_SPAN("shard.batch.knn");
   obs::GetCounter("shard.query.knn").Add(qs.size());
   ForEachQueryChunk(qs.size(), opts, [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {

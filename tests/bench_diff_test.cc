@@ -88,6 +88,12 @@ TEST(ClassifyTest, RoutesMetricFamilies) {
   EXPECT_EQ(ClassifyPath("mixes[read95].llc_miss_per_op"),
             MetricClass::kContextInfo);
   EXPECT_EQ(ClassifyPath("branch_miss_per_op"), MetricClass::kContextInfo);
+  // Observability columns are run-shape data, not performance: reported in
+  // the diff but never gated, even though some end in timing-like suffixes.
+  EXPECT_EQ(ClassifyPath("trace.spans_total"), MetricClass::kContextInfo);
+  EXPECT_EQ(ClassifyPath("slow_queries.captured"), MetricClass::kContextInfo);
+  EXPECT_EQ(ClassifyPath("slow_queries.threshold_us"),
+            MetricClass::kContextInfo);
   EXPECT_EQ(ClassifyPath("context.num_cpus"), MetricClass::kIgnored);
   EXPECT_EQ(ClassifyPath("date"), MetricClass::kIgnored);
   EXPECT_EQ(ClassifyPath("benchmarks[BM_Build].iterations"),
@@ -109,6 +115,21 @@ TEST(DiffTest, IdenticalRunsPass) {
   EXPECT_TRUE(report.ok());
   EXPECT_EQ(report.failures, 0);
   EXPECT_GT(report.compared, 0);
+}
+
+TEST(DiffTest, ObservabilityColumnsNeverGate) {
+  // Span totals and slow-query captures swing wildly with machine speed
+  // and run shape; arbitrarily large moves must stay informational.
+  const DiffReport report = DiffStrings(
+      "{\"dataset_n\": 1000,"
+      " \"trace\": {\"spans_total\": 10},"
+      " \"slow_queries\": {\"captured\": 5, \"threshold_us\": 120.0}}",
+      "{\"dataset_n\": 1000,"
+      " \"trace\": {\"spans_total\": 90000},"
+      " \"slow_queries\": {\"captured\": 0, \"threshold_us\": 9000.0}}",
+      {});
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.failures, 0);
 }
 
 TEST(DiffTest, InjectedRegressionFails) {

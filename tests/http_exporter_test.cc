@@ -18,6 +18,8 @@
 #include "obs/http_exporter.h"
 #include "obs/metrics.h"
 #include "obs/model_health.h"
+#include "obs/slow_query.h"
+#include "obs/trace.h"
 #include "simd/simd.h"
 
 namespace elsi {
@@ -200,6 +202,25 @@ TEST(HttpHandleTest, VarzEmbedsMetricsJson) {
   EXPECT_NE(r.body.find("\"flight\": {\"sample_every\": "),
             std::string::npos);
   EXPECT_NE(r.body.find("\"metrics\": {"), std::string::npos);
+  // Time-windowed rolling views (10s/1m), populated scrape-over-scrape.
+  EXPECT_NE(r.body.find("\"windows\": {"), std::string::npos);
+  EXPECT_NE(r.body.find("\"10s\": "), std::string::npos);
+  EXPECT_NE(r.body.find("\"60s\": "), std::string::npos);
+}
+
+TEST(HttpHandleTest, DebugSlowServesTheSlowQueryStore) {
+  SlowQueryStore::Get().Clear();
+  SlowQueryStore::Get().ForceThresholdNs(1);
+  { ELSI_TRACE_QUERY_SPAN("http.slow_query"); }
+  const Response r = Dispatch("/debug/slow");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.content_type, "application/json");
+  EXPECT_NE(r.body.find("\"threshold_us\": "), std::string::npos);
+  EXPECT_NE(r.body.find("\"root\": \"http.slow_query\""), std::string::npos);
+  EXPECT_NE(r.body.find("\"phases\": ["), std::string::npos);
+  EXPECT_NE(r.body.find("\"shards\": ["), std::string::npos);
+  SlowQueryStore::Get().ForceThresholdNs(0);
+  SlowQueryStore::Get().Clear();
 }
 
 TEST(HttpHandleTest, DebugEndpointsAndIndexAnd404) {
@@ -211,6 +232,7 @@ TEST(HttpHandleTest, DebugEndpointsAndIndexAnd404) {
   EXPECT_EQ(Dispatch("/").status, 200);
   EXPECT_NE(Dispatch("/").body.find("/healthz"), std::string::npos);
   EXPECT_NE(Dispatch("/").body.find("/debug/profile"), std::string::npos);
+  EXPECT_NE(Dispatch("/").body.find("/debug/slow"), std::string::npos);
   EXPECT_EQ(Dispatch("/nope").status, 404);
 }
 

@@ -322,17 +322,52 @@ TEST(ObsExportTest, MetricsPrometheusGolden) {
 TEST(ObsExportTest, TraceJsonGolden) {
   std::vector<ThreadTrace> traces(1);
   traces[0].tid = 1;
+  // No causal IDs (pre-ID events): metadata still names pid/tid, but no
+  // args block and no flow events appear.
   traces[0].events = {{"build.train_model", 1000, 2500},
                       {"build.ds", 1000, 1500}};
   const std::string json = TraceJson(traces);
   EXPECT_EQ(json,
             "{\"traceEvents\": [\n"
+            "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+            "\"args\": {\"name\": \"elsi\"}},\n"
+            "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+            "\"tid\": 1, \"args\": {\"name\": \"elsi-thread-1\"}},\n"
             // Same start: the longer (outer) span sorts first.
             "  {\"name\": \"build.train_model\", \"ph\": \"X\", "
             "\"ts\": 1.000, \"dur\": 2.500, \"pid\": 1, \"tid\": 1},\n"
             "  {\"name\": \"build.ds\", \"ph\": \"X\", "
             "\"ts\": 1.000, \"dur\": 1.500, \"pid\": 1, \"tid\": 1}\n"
             "], \"displayTimeUnit\": \"ms\"}\n");
+}
+
+TEST(ObsExportTest, TraceJsonCausalIdsAndFlows) {
+  // A root on thread 1 fanning out to a child on thread 2: the child gets
+  // an args block with its IDs plus a ph:"s"/"f" flow pair anchored at the
+  // parent's (ts, tid) and the child's (ts, tid). The same-thread child
+  // gets args but no flow (nesting renders without an arrow).
+  std::vector<ThreadTrace> traces(2);
+  traces[0].tid = 1;
+  traces[0].events = {{"shard.query.window", 1000, 4000, 7, 7, 0},
+                      {"shard0", 2000, 1000, 7, 8, 7}};
+  traces[1].tid = 2;
+  traces[1].events = {{"shard1", 2500, 1200, 7, 9, 7}};
+  const std::string json = TraceJson(traces);
+  EXPECT_NE(json.find("\"args\": {\"trace\": 7, \"span\": 7, \"parent\": 0}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"args\": {\"trace\": 7, \"span\": 9, \"parent\": 7}"),
+            std::string::npos);
+  // Flow start rides the parent's coordinates, flow finish the child's.
+  EXPECT_NE(json.find("{\"name\": \"fanout\", \"cat\": \"flow\", "
+                      "\"ph\": \"s\", \"id\": 9, \"ts\": 1.000, "
+                      "\"pid\": 1, \"tid\": 1}"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"name\": \"fanout\", \"cat\": \"flow\", "
+                      "\"ph\": \"f\", \"bp\": \"e\", \"id\": 9, "
+                      "\"ts\": 2.500, \"pid\": 1, \"tid\": 2}"),
+            std::string::npos);
+  // Same-thread parent link (span 8 under 7): no flow pair for it.
+  EXPECT_EQ(json.find("\"id\": 8"), std::string::npos);
 }
 
 TEST(ObsExportTest, EmptySnapshotsAreValidDocuments) {

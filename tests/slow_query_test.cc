@@ -1,0 +1,205 @@
+// SlowQueryStore tests: adaptive-threshold warmup and tracking under a
+// shifting latency distribution, capture of complete cross-thread trace
+// trees (assembled by trace_id), bounded-ring wrap, orphan accounting, and
+// the /debug/slow JSON document shape.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/slow_query.h"
+#include "obs/trace.h"
+
+namespace elsi {
+namespace obs {
+namespace {
+
+/// Synthetic root-span event: the store only reads ids, name, and times.
+TraceEvent Root(uint64_t trace_id, uint64_t dur_ns,
+                const char* name = "test.query") {
+  TraceEvent event;
+  event.name = name;
+  event.start_ns = trace_id * 1000;
+  event.dur_ns = dur_ns;
+  event.trace_id = trace_id;
+  event.span_id = trace_id;
+  event.parent_id = 0;
+  return event;
+}
+
+#if ELSI_OBS_ENABLED
+
+class SlowQueryStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SlowQueryStore::Get().Clear();
+    SlowQueryStore::Get().ForceThresholdNs(0);
+    SlowQueryStore::Get().SetQuantile(0.95);
+    TraceRegistry::Get().Clear();
+  }
+  void TearDown() override {
+    SlowQueryStore::Get().Clear();
+    SlowQueryStore::Get().ForceThresholdNs(0);
+  }
+};
+
+TEST_F(SlowQueryStoreTest, NoThresholdBeforeWarmup) {
+  SlowQueryStore& store = SlowQueryStore::Get();
+  for (uint64_t i = 0; i < SlowQueryStore::kWarmupRoots - 1; ++i) {
+    store.OnRootSpan(Root(i + 1, 1000));
+  }
+  EXPECT_EQ(store.threshold_ns(), 0u);
+  EXPECT_TRUE(store.Snapshot().empty());  // nothing captures while cold
+}
+
+TEST_F(SlowQueryStoreTest, ThresholdTracksTheRollingQuantile) {
+  SlowQueryStore& store = SlowQueryStore::Get();
+  // 1000ns everywhere: once warmed up, the p95 threshold is 1000.
+  uint64_t id = 1;
+  for (uint64_t i = 0; i < 128; ++i) store.OnRootSpan(Root(id++, 1000));
+  EXPECT_EQ(store.threshold_ns(), 1000u);
+
+  // Distribution shifts 10x: after the window refills and the periodic
+  // recompute runs, the threshold follows.
+  for (uint64_t i = 0; i < SlowQueryStore::kLatencyWindow + 64; ++i) {
+    store.OnRootSpan(Root(id++, 10000));
+  }
+  EXPECT_EQ(store.threshold_ns(), 10000u);
+}
+
+TEST_F(SlowQueryStoreTest, AdaptiveCaptureTakesOnlyTailQueries) {
+  SlowQueryStore& store = SlowQueryStore::Get();
+  uint64_t id = 1;
+  // 90 fast : 10 slow per 100 — the p95 rank lands inside the slow band,
+  // so the adaptive threshold settles at the slow latency and fast queries
+  // stop capturing. Enough rounds that the handful of fast captures taken
+  // while the threshold was still warming up get evicted from the ring.
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 90; ++i) store.OnRootSpan(Root(id++, 1000));
+    for (int i = 0; i < 10; ++i) store.OnRootSpan(Root(id++, 50000));
+  }
+  EXPECT_EQ(store.threshold_ns(), 50000u);
+  const std::vector<SlowTrace> captured = store.Snapshot();
+  ASSERT_EQ(captured.size(), SlowQueryStore::kCapacity);
+  for (const SlowTrace& trace : captured) {
+    EXPECT_EQ(trace.dur_ns, 50000u) << "captured a fast query";
+    EXPECT_GE(trace.dur_ns, trace.threshold_ns);
+  }
+}
+
+TEST_F(SlowQueryStoreTest, RingWrapsAtCapacityAndCountsDrops) {
+  SlowQueryStore& store = SlowQueryStore::Get();
+  store.ForceThresholdNs(1);  // capture everything
+  const uint64_t dropped_before = GetCounter("slow_queries.dropped").Value();
+  const size_t total = SlowQueryStore::kCapacity + 7;
+  for (uint64_t i = 0; i < total; ++i) {
+    store.OnRootSpan(Root(i + 1, 1000 + i));
+  }
+  const std::vector<SlowTrace> captured = store.Snapshot();
+  ASSERT_EQ(captured.size(), SlowQueryStore::kCapacity);
+  // Oldest-first order survives the wrap: the first 7 captures were
+  // overwritten, so the ring starts at seq 7.
+  EXPECT_EQ(captured.front().seq, 7u);
+  EXPECT_EQ(captured.back().seq, total - 1);
+  for (size_t i = 1; i < captured.size(); ++i) {
+    EXPECT_EQ(captured[i].seq, captured[i - 1].seq + 1);
+  }
+  EXPECT_EQ(GetCounter("slow_queries.dropped").Value() - dropped_before, 7u);
+}
+
+TEST_F(SlowQueryStoreTest, CapturesAssembleTheTreeAcrossThreads) {
+  SlowQueryStore::Get().ForceThresholdNs(1);
+  ThreadPool pool(4);
+  {
+    ELSI_TRACE_QUERY_SPAN("slow.fanout");
+    TaskGroup group(&pool);
+    for (int i = 0; i < 6; ++i) {
+      group.Run([] { ELSI_TRACE_SPAN("slow.child"); });
+    }
+    group.Wait();
+  }  // root closes here and feeds the store
+
+  const std::vector<SlowTrace> captured = SlowQueryStore::Get().Snapshot();
+  ASSERT_EQ(captured.size(), 1u);
+  const SlowTrace& trace = captured.front();
+  EXPECT_STREQ(trace.root_name, "slow.fanout");
+  EXPECT_EQ(trace.spans.size(), 7u);  // root + 6 children
+  EXPECT_EQ(trace.orphans, 0u);
+  // Root sorts first (earliest start, longest duration).
+  EXPECT_STREQ(trace.spans.front().event.name, "slow.fanout");
+  for (const SlowTraceSpan& span : trace.spans) {
+    EXPECT_EQ(span.event.trace_id, trace.trace_id);
+  }
+}
+
+TEST_F(SlowQueryStoreTest, NestedQuerySpansDoNotDoubleCapture) {
+  SlowQueryStore::Get().ForceThresholdNs(1);
+  {
+    // A batch entry point that internally reaches another query entry
+    // point: only the outermost (the trace root) may capture.
+    ELSI_TRACE_QUERY_SPAN("slow.outer_batch");
+    { ELSI_TRACE_QUERY_SPAN("slow.inner_query"); }
+  }
+  const std::vector<SlowTrace> captured = SlowQueryStore::Get().Snapshot();
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_STREQ(captured.front().root_name, "slow.outer_batch");
+}
+
+TEST_F(SlowQueryStoreTest, JsonReportsThresholdPhasesAndShards) {
+  SlowQueryStore::Get().ForceThresholdNs(1);
+  {
+    ELSI_TRACE_QUERY_SPAN("slow.json_root");
+    { ELSI_TRACE_SPAN("shard0"); }
+    { ELSI_TRACE_SPAN("shard1"); }
+    { ELSI_TRACE_SPAN("slow.merge"); }
+  }
+  const std::string json = SlowQueriesJson();
+  EXPECT_NE(json.find("\"threshold_us\": "), std::string::npos);
+  EXPECT_NE(json.find("\"root\": \"slow.json_root\""), std::string::npos);
+  EXPECT_NE(json.find("\"span_count\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"orphans\": 0"), std::string::npos);
+  // Phases cover every span name; the shard block only the shard spans.
+  EXPECT_NE(json.find("\"phases\": ["), std::string::npos);
+  EXPECT_NE(json.find("{\"name\": \"slow.merge\", \"count\": 1"),
+            std::string::npos);
+  const size_t shards_pos = json.find("\"shards\": [");
+  ASSERT_NE(shards_pos, std::string::npos);
+  const size_t spans_pos = json.find("\"spans\": [", shards_pos);
+  ASSERT_NE(spans_pos, std::string::npos);
+  const std::string shard_block =
+      json.substr(shards_pos, spans_pos - shards_pos);
+  EXPECT_NE(shard_block.find("{\"name\": \"shard0\", \"count\": 1"),
+            std::string::npos);
+  EXPECT_NE(shard_block.find("{\"name\": \"shard1\", \"count\": 1"),
+            std::string::npos);
+  EXPECT_EQ(shard_block.find("slow.merge"), std::string::npos)
+      << "non-shard span leaked into the shard block";
+}
+
+TEST_F(SlowQueryStoreTest, EmptyStoreStillEmitsValidJson) {
+  const std::string json = SlowQueriesJson();
+  EXPECT_NE(json.find("\"traces\": []"), std::string::npos);
+}
+
+#else  // !ELSI_OBS_ENABLED
+
+// Stub mode: the store accepts roots, captures nothing, and the JSON
+// document stays valid so /debug/slow never breaks a scraper.
+TEST(SlowQueryStoreStubTest, InertButValidJson) {
+  SlowQueryStore& store = SlowQueryStore::Get();
+  store.ForceThresholdNs(1);
+  store.OnRootSpan(Root(1, 1000));
+  EXPECT_TRUE(store.Snapshot().empty());
+  EXPECT_EQ(store.threshold_ns(), 0u);
+  const std::string json = SlowQueriesJson();
+  EXPECT_NE(json.find("\"traces\": []"), std::string::npos);
+}
+
+#endif  // ELSI_OBS_ENABLED
+
+}  // namespace
+}  // namespace obs
+}  // namespace elsi

@@ -304,6 +304,13 @@ MetricClass ClassifyPath(const std::string& path) {
   // google-benchmark's context block (host info, CPU scaling, date) and
   // run bookkeeping are machine noise, never gated.
   if (path.rfind("context.", 0) == 0) return MetricClass::kIgnored;
+  // Trace/slow-query observability columns (span totals, capture counts,
+  // thresholds) are run- and machine-dependent side data a bench may carry:
+  // reported, never gated — and timing-suffix rules must not claim them.
+  if (path.find("trace.") != std::string::npos ||
+      path.find("slow_queries") != std::string::npos) {
+    return MetricClass::kContextInfo;
+  }
   const std::string leaf = LastComponent(path);
   if (leaf == "date" || leaf == "executable" || leaf == "iterations" ||
       leaf == "repetitions" || leaf == "repetition_index" ||

@@ -16,9 +16,11 @@
 ///   context info   (ipc, llc_miss_per_op)       reported, never gated
 ///   ignored        (date, iterations, context.*) noise, skipped
 ///
-/// Context-info metrics are hardware-counter rates: zero on perf-denied
-/// hosts and machine-dependent everywhere else, so they never gate and a
-/// baseline written before the column existed still diffs cleanly.
+/// Context-info metrics are hardware-counter rates (zero on perf-denied
+/// hosts, machine-dependent everywhere else) and the trace./slow_queries
+/// observability columns (span totals, capture counts, adaptive
+/// thresholds): they never gate, and a baseline written before the column
+/// existed still diffs cleanly.
 ///
 /// A metric regresses when it moves past its tolerance in the "worse"
 /// direction (improvements never fail). Timings on foreign machines are

@@ -104,6 +104,7 @@
 #include "prof/counters.h"
 #include "prof/sampler.h"
 #include "prof/span_costs.h"
+#include "bench_diff_lib.h"
 
 namespace elsi {
 namespace {
@@ -132,6 +133,7 @@ int Usage() {
       "  elsi_cli serve    [--kind K] [--n N] [--seed S] [--port P]\n"
       "                    [--duration S] [--threads T]\n"
       "  elsi_cli top      --port P [--host H] [--endpoint /varz]\n"
+      "  elsi_cli slow     --port P [--host H] [--raw 0|1]\n"
       "  elsi_cli profile  [--kind K] [--n N] [--seed S] [--seconds S]\n"
       "                    [--hz HZ] [--out <file.collapsed>]\n"
       "  elsi_cli shard build --input <file> --out <file.sshard>\n"
@@ -751,7 +753,7 @@ int RunServe(const std::map<std::string, std::string>& flags) {
   std::printf("serving on http://%s:%u\n", options.bind_address.c_str(),
               exporter.port());
   std::printf(
-      "  /metrics /varz /healthz /debug/trace /debug/queries"
+      "  /metrics /varz /healthz /debug/trace /debug/slow /debug/queries"
       " /debug/profile\n");
   std::printf("built ZM on %s, n=%zu; workload running%s\n",
               kind_name.c_str(), n,
@@ -1215,6 +1217,77 @@ int RunTop(const std::map<std::string, std::string>& flags) {
   return status == 200 ? 0 : 1;
 }
 
+/// Fetches /debug/slow from a running server and renders the captured
+/// tail-latency trace trees: one line per trace plus its per-phase and
+/// per-shard time breakdown. --raw 1 dumps the JSON document instead.
+int RunSlow(const std::map<std::string, std::string>& flags) {
+  const std::string host = FlagOr(flags, "host", "127.0.0.1");
+  const uint16_t port = static_cast<uint16_t>(
+      std::strtoul(FlagOr(flags, "port", "0").c_str(), nullptr, 10));
+  if (port == 0) return Usage();
+  int status = 0;
+  std::string body;
+  if (!obs::HttpGet(host, port, "/debug/slow", &status, &body)) {
+    std::fprintf(stderr, "slow: cannot reach http://%s:%u/debug/slow\n",
+                 host.c_str(), port);
+    return 1;
+  }
+  if (status != 200) {
+    std::fputs(body.c_str(), stderr);
+    return 1;
+  }
+  if (FlagOr(flags, "raw", "0") == "1") {
+    std::fputs(body.c_str(), stdout);
+    return 0;
+  }
+  benchdiff::JsonValue doc;
+  std::string error;
+  if (!benchdiff::ParseJson(body, &doc, &error)) {
+    std::fprintf(stderr, "slow: bad /debug/slow JSON: %s\n", error.c_str());
+    return 1;
+  }
+  const auto number = [](const benchdiff::JsonValue* v) {
+    return v != nullptr ? v->number : 0.0;
+  };
+  std::printf("threshold %.1f us, captured %.0f, dropped %.0f\n",
+              number(doc.Find("threshold_us")), number(doc.Find("captured")),
+              number(doc.Find("dropped")));
+  const benchdiff::JsonValue* traces = doc.Find("traces");
+  if (traces == nullptr || traces->array.empty()) {
+    std::printf("no slow queries captured\n");
+    return 0;
+  }
+  for (const benchdiff::JsonValue& trace : traces->array) {
+    const benchdiff::JsonValue* root = trace.Find("root");
+    std::printf("trace %.0f  %-20s dur %9.1f us  spans %3.0f  orphans %.0f\n",
+                number(trace.Find("trace_id")),
+                root != nullptr ? root->string.c_str() : "?",
+                number(trace.Find("dur_us")), number(trace.Find("span_count")),
+                number(trace.Find("orphans")));
+    const benchdiff::JsonValue* phases = trace.Find("phases");
+    if (phases != nullptr) {
+      for (const benchdiff::JsonValue& phase : phases->array) {
+        const benchdiff::JsonValue* name = phase.Find("name");
+        std::printf("  phase %-20s x%-4.0f total %9.1f us  self %9.1f us\n",
+                    name != nullptr ? name->string.c_str() : "?",
+                    number(phase.Find("count")), number(phase.Find("total_us")),
+                    number(phase.Find("self_us")));
+      }
+    }
+    const benchdiff::JsonValue* shards = trace.Find("shards");
+    if (shards != nullptr) {
+      for (const benchdiff::JsonValue& shard : shards->array) {
+        const benchdiff::JsonValue* name = shard.Find("name");
+        std::printf("  shard %-20s x%-4.0f total %9.1f us\n",
+                    name != nullptr ? name->string.c_str() : "?",
+                    number(shard.Find("count")),
+                    number(shard.Find("total_us")));
+      }
+    }
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
@@ -1227,6 +1300,7 @@ int Main(int argc, char** argv) {
   if (command == "recover") return RunRecover(flags);
   if (command == "serve") return RunServe(flags);
   if (command == "top") return RunTop(flags);
+  if (command == "slow") return RunSlow(flags);
   if (command == "profile") return RunProfile(flags);
   if (command == "shard") return RunShard(argc, argv);
   return Usage();
